@@ -1,0 +1,226 @@
+package s2s
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/bgp"
+	"repro/internal/core/aspath"
+	"repro/internal/core/fft"
+	"repro/internal/experiments"
+	"repro/internal/ipam"
+	"repro/internal/itopo"
+)
+
+// The per-table/figure benchmarks share one environment: the first call
+// pays for the campaigns (reported by the dedicated campaign benchmarks
+// below); subsequent iterations measure the analysis cost, which is what
+// varies per figure.
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+func sharedBenchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = experiments.NewEnv(experiments.TestScale(77))
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// benchExperiment warms the experiment once (campaigns + caches), then
+// measures the analysis per iteration.
+func benchExperiment(b *testing.B, id string) {
+	env := sharedBenchEnv(b)
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	if _, err := exp.Run(env); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- One benchmark per paper table and figure (DESIGN.md index). ----
+
+func BenchmarkTable1Completeness(b *testing.B)         { benchExperiment(b, "T1") }
+func BenchmarkFigure1Timeline(b *testing.B)            { benchExperiment(b, "F1") }
+func BenchmarkFigure2PathCounts(b *testing.B)          { benchExperiment(b, "F2") }
+func BenchmarkFigure3PrevalenceChanges(b *testing.B)   { benchExperiment(b, "F3") }
+func BenchmarkFigure4Heatmap10th(b *testing.B)         { benchExperiment(b, "F4") }
+func BenchmarkFigure5Heatmap90th(b *testing.B)         { benchExperiment(b, "F5") }
+func BenchmarkFigure6Suboptimal(b *testing.B)          { benchExperiment(b, "F6") }
+func BenchmarkFigure7ShortTerm(b *testing.B)           { benchExperiment(b, "F7") }
+func BenchmarkFigure8Ownership(b *testing.B)           { benchExperiment(b, "F8") }
+func BenchmarkFigure9CongestionOverhead(b *testing.B)  { benchExperiment(b, "F9") }
+func BenchmarkFigure10aDualStack(b *testing.B)         { benchExperiment(b, "F10a") }
+func BenchmarkFigure10bInflation(b *testing.B)         { benchExperiment(b, "F10b") }
+func BenchmarkSection51DiurnalPrevalence(b *testing.B) { benchExperiment(b, "S51") }
+func BenchmarkSection53CongestedLinks(b *testing.B)    { benchExperiment(b, "S53") }
+func BenchmarkHeadlines(b *testing.B)                  { benchExperiment(b, "HL") }
+
+// ---- Ablation benchmarks (design choices DESIGN.md calls out). ----
+
+func BenchmarkAblationParisVsClassic(b *testing.B)    { benchExperiment(b, "AB-paris") }
+func BenchmarkAblationPSDThreshold(b *testing.B)      { benchExperiment(b, "AB-psd") }
+func BenchmarkAblationImputation(b *testing.B)        { benchExperiment(b, "AB-impute") }
+func BenchmarkAblationBestPathCriterion(b *testing.B) { benchExperiment(b, "AB-crit") }
+
+// ---- Substrate micro-benchmarks. ----
+
+func benchWorld(b *testing.B) (*astopo.Topology, *itopo.Network) {
+	b.Helper()
+	topo, err := astopo.Generate(astopo.DefaultConfig(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := itopo.Build(topo, itopo.DefaultConfig(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return topo, net
+}
+
+// BenchmarkBGPRouteComputation measures one full Gao–Rexford destination
+// tree on the default 300-AS topology.
+func BenchmarkBGPRouteComputation(b *testing.B) {
+	topo, _ := benchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := bgp.NewRouting(topo, nil, bgp.V4)
+		dst := topo.ASes[i%len(topo.ASes)].ASN
+		src := topo.ASes[(i*7+3)%len(topo.ASes)].ASN
+		if r.Path(src, dst) == nil && src != dst {
+			b.Fatal("unreachable in steady state")
+		}
+	}
+}
+
+// BenchmarkResolvePath measures router-level expansion of an AS path.
+func BenchmarkResolvePath(b *testing.B) {
+	topo, net := benchWorld(b)
+	r := bgp.NewRouting(topo, nil, bgp.V4)
+	src := topo.ASes[2].ASN
+	dst := topo.ASes[len(topo.ASes)-3].ASN
+	asPath := r.Path(src, dst)
+	if asPath == nil {
+		b.Skip("pair unreachable")
+	}
+	sr := net.RoutersOf(src)[0]
+	dr := net.RoutersOf(dst)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.ResolvePath(sr, dr, asPath, false, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracerouteSim measures one simulated Paris traceroute.
+func BenchmarkTracerouteSim(b *testing.B) {
+	study, err := NewStudy(StudyConfig{Seed: 9, ASes: 300, Clusters: 200, Days: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mesh := study.SelectMesh(4, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := mesh[i%len(mesh)]
+		dst := mesh[(i+1)%len(mesh)]
+		study.Prober.Traceroute(src, dst, false, true, time.Duration(i)*time.Minute)
+	}
+}
+
+// BenchmarkPingSim measures one simulated ping.
+func BenchmarkPingSim(b *testing.B) {
+	study, err := NewStudy(StudyConfig{Seed: 9, ASes: 300, Clusters: 200, Days: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mesh := study.SelectMesh(4, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		study.Prober.Ping(mesh[i%len(mesh)], mesh[(i+1)%len(mesh)], false, time.Duration(i)*time.Minute)
+	}
+}
+
+// BenchmarkLPMLookup measures longest-prefix matching on a built BGP view.
+func BenchmarkLPMLookup(b *testing.B) {
+	_, net := benchWorld(b)
+	links := net.Links
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := links[i%len(links)]
+		net.BGP.Lookup(l.Addr4[i%2])
+	}
+}
+
+// BenchmarkEditDistance measures AS-path edit distance on realistic sizes.
+func BenchmarkEditDistance(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	paths := make([]aspath.Path, 64)
+	for i := range paths {
+		n := 3 + rng.Intn(5)
+		p := make(aspath.Path, n)
+		for j := range p {
+			p[j] = ipam.ASN(rng.Intn(30) + 1)
+		}
+		paths[i] = p
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aspath.EditDistance(paths[i%64], paths[(i+1)%64])
+	}
+}
+
+// BenchmarkFFTDiurnalRatio measures the §5.1 detector on a one-week
+// 15-minute series.
+func BenchmarkFFTDiurnalRatio(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 672)
+	for i := range xs {
+		xs[i] = 80 + rng.NormFloat64()*3
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fft.DiurnalRatio(xs, 15*time.Minute)
+	}
+}
+
+// BenchmarkFFT1024 measures the radix-2 transform itself.
+func BenchmarkFFT1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]complex128, 1024)
+	for i := range xs {
+		xs[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fft.FFT(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

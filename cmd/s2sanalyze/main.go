@@ -1,0 +1,179 @@
+// Command s2sanalyze runs the paper's analyses over a dataset written by
+// s2sgen, reconstructing the IP-to-AS view from the .bgp.tsv sidecar. It
+// does not need the simulator: any dataset in the record format works.
+//
+// Usage:
+//
+//	s2sanalyze -data dataset.bin [-analysis table1|paths|changes|dualstack|congestion]
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core/aspath"
+	"repro/internal/core/congest"
+	"repro/internal/core/dualstack"
+	"repro/internal/core/stats"
+	"repro/internal/core/timeline"
+	"repro/internal/ipam"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "dataset.bin", "dataset path (binary records written by s2sgen)")
+		analysis = flag.String("analysis", "table1", "analysis: summary, table1, paths, changes, dualstack, congestion")
+		interval = flag.Duration("interval", 3*time.Hour, "measurement interval of the dataset")
+	)
+	flag.Parse()
+
+	table, err := loadBGP(strings.TrimSuffix(*data, ".bin") + ".bgp.tsv")
+	check(err)
+	mapper := aspath.NewMapper(table)
+
+	f, err := os.Open(*data)
+	check(err)
+	defer f.Close()
+	r := trace.NewBinaryReader(f)
+
+	builder := timeline.NewBuilder(mapper, *interval)
+	diffs := dualstack.NewDiffCollector(mapper)
+	var pings []*trace.Ping
+	records := 0
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		check(err)
+		records++
+		switch v := rec.(type) {
+		case *trace.Traceroute:
+			builder.Add(v)
+			diffs.Add(v)
+		case *trace.Ping:
+			pings = append(pings, v)
+		}
+	}
+	fmt.Printf("s2sanalyze: %d records from %s\n\n", records, *data)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	switch *analysis {
+	case "summary":
+		tls := builder.Timelines()
+		v4, v6 := timeline.ByProtocol(tls)
+		var span time.Duration
+		obs := 0
+		for _, tl := range tls {
+			obs += len(tl.Obs)
+			if n := len(tl.Obs); n > 0 && tl.Obs[n-1].At > span {
+				span = tl.Obs[n-1].At
+			}
+		}
+		report.KeyValues(w, "Dataset summary", map[string]float64{
+			"traceroute records":     float64(builder.TallyV4.Total + builder.TallyV6.Total + builder.Incomplete),
+			"incomplete traceroutes": float64(builder.Incomplete),
+			"ping records":           float64(len(pings)),
+			"trace timelines (v4)":   float64(len(v4)),
+			"trace timelines (v6)":   float64(len(v6)),
+			"usable observations":    float64(obs),
+			"span (days)":            span.Hours() / 24,
+			"paired v4/v6 diffs":     float64(len(diffs.All)),
+		})
+	case "table1":
+		c4, a4, i4 := builder.TallyV4.Fractions()
+		c6, a6, i6 := builder.TallyV6.Fractions()
+		report.Table(w, "Traceroute completeness", []string{"", "IPv4", "IPv6"}, [][]string{
+			{"complete AS-level data", pc(c4), pc(c6)},
+			{"missing AS-level data", pc(a4), pc(a6)},
+			{"missing IP-level data", pc(i4), pc(i6)},
+		})
+	case "paths":
+		v4, v6 := timeline.ByProtocol(builder.Timelines())
+		report.ECDFQuantiles(w, "Unique AS paths per timeline", []report.Series{
+			{Name: "IPv4", Values: timeline.PathsPerTimeline(v4, *interval)},
+			{Name: "IPv6", Values: timeline.PathsPerTimeline(v6, *interval)},
+		}, nil)
+		report.ECDFQuantiles(w, "Prevalence of the most popular path", []report.Series{
+			{Name: "IPv4", Values: timeline.PopularPrevalence(v4, *interval)},
+			{Name: "IPv6", Values: timeline.PopularPrevalence(v6, *interval)},
+		}, nil)
+	case "changes":
+		v4, v6 := timeline.ByProtocol(builder.Timelines())
+		report.ECDFQuantiles(w, "Routing changes per timeline", []report.Series{
+			{Name: "IPv4", Values: timeline.ChangesPerTimeline(v4)},
+			{Name: "IPv6", Values: timeline.ChangesPerTimeline(v6)},
+		}, nil)
+		life4, delta4 := timeline.LifetimeDeltaSamples(v4, *interval, timeline.ByP10)
+		if len(life4) > 0 {
+			h, err := stats.DecileHeatmap(life4, delta4, 10)
+			check(err)
+			report.Heatmap(w, "Lifetime vs Δ10th-pct RTT (IPv4)", h, report.DurationLabel, report.MsLabel)
+		}
+	case "dualstack":
+		report.ECDFQuantiles(w, "RTTv4 − RTTv6 (ms)", []report.Series{
+			{Name: "All", Values: diffs.All},
+			{Name: "Same AS-paths", Values: diffs.SamePath},
+		}, []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95})
+		v6s, v4s := dualstack.TailFractions(diffs.All, 50)
+		report.KeyValues(w, "Summary", map[string]float64{
+			"similar (±10ms) frac": dualstack.SimilarFraction(diffs.All, 10),
+			"v6 saves >=50ms frac": v6s,
+			"v4 saves >=50ms frac": v4s,
+		})
+	case "congestion":
+		if len(pings) == 0 {
+			fmt.Fprintln(w, "no ping records in dataset (use -campaign pings)")
+			break
+		}
+		// Infer cadence and span from the data.
+		span := time.Duration(0)
+		for _, p := range pings {
+			if p.At > span {
+				span = p.At
+			}
+		}
+		iv := 15 * time.Minute
+		slots := int(span/iv) + 1
+		series := congest.BuildSeries(pings, iv, time.Duration(slots)*iv, slots*80/100)
+		v4, v6 := congest.Summarize(series, congest.DefaultDetector())
+		report.Table(w, "Consistent congestion", []string{"", "IPv4", "IPv6"}, [][]string{
+			{"pairs", itoa(v4.Pairs), itoa(v6.Pairs)},
+			{"high variation", pc(v4.HighVariationFrac()), pc(v6.HighVariationFrac())},
+			{"congested", pc(v4.CongestedFrac()), pc(v6.CongestedFrac())},
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "s2sanalyze: unknown analysis %q\n", *analysis)
+		os.Exit(2)
+	}
+}
+
+func loadBGP(path string) (*ipam.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ipam.ReadTSV(f)
+}
+
+func pc(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "s2sanalyze: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,170 @@
+// Command s2sgen builds a simulated platform, runs a measurement campaign,
+// and writes the dataset plus the sidecar files an external analyzer needs:
+//
+//	<out>.bin      compact binary records (or <out>.jsonl with -jsonl)
+//	<out>.bgp.tsv  the BGP IP-to-AS view  (prefix <TAB> asn)
+//	<out>.rel.tsv  AS relationships       (a <TAB> b <TAB> c2p|p2p)
+//	<out>.loc.tsv  cluster locations      (id <TAB> lat <TAB> lon <TAB> country)
+//
+// Usage:
+//
+//	s2sgen -campaign longterm|pings|short [-seed N] [-days N] [-mesh N] [-o PATH]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/bgp"
+	"repro/internal/campaign"
+	"repro/internal/cdn"
+	"repro/internal/congestion"
+	"repro/internal/geo"
+	"repro/internal/ipam"
+	"repro/internal/itopo"
+	"repro/internal/probe"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "random seed")
+		ases     = flag.Int("ases", 300, "number of ASes")
+		clusters = flag.Int("clusters", 400, "number of CDN clusters")
+		mesh     = flag.Int("mesh", 24, "measurement mesh size")
+		days     = flag.Int("days", 30, "campaign duration in days")
+		kind     = flag.String("campaign", "longterm", "campaign: longterm, pings, or short")
+		out      = flag.String("o", "dataset", "output path prefix")
+		jsonl    = flag.Bool("jsonl", false, "write JSON lines instead of binary records")
+	)
+	flag.Parse()
+
+	duration := time.Duration(*days) * 24 * time.Hour
+	acfg := astopo.DefaultConfig(*seed)
+	acfg.NumASes = *ases
+	topo, err := astopo.Generate(acfg)
+	check(err)
+	net, err := itopo.Build(topo, itopo.DefaultConfig(*seed))
+	check(err)
+	dyn, err := bgp.NewDynamics(topo, bgp.DefaultDynConfig(*seed, duration))
+	check(err)
+	cong, err := congestion.NewModel(net, congestion.DefaultConfig(*seed, duration))
+	check(err)
+	plat, err := cdn.Deploy(net, cdn.DefaultConfig(*seed, *clusters))
+	check(err)
+	prober := probe.New(simnet.New(net, dyn, cong, simnet.DefaultConfig(*seed)))
+	servers := campaign.SelectMesh(plat, *mesh, *seed)
+
+	// Dataset writer.
+	ext := ".bin"
+	if *jsonl {
+		ext = ".jsonl"
+	}
+	f, err := os.Create(*out + ext)
+	check(err)
+	defer f.Close()
+	var consumer campaign.Consumer
+	var flush func() error
+	count := 0
+	if *jsonl {
+		w := trace.NewJSONLWriter(f)
+		consumer = campaign.Funcs{
+			Traceroute: func(tr *trace.Traceroute) { count++; check(w.WriteTraceroute(tr)) },
+			Ping:       func(p *trace.Ping) { count++; check(w.WritePing(p)) },
+		}
+		flush = w.Flush
+	} else {
+		w := trace.NewBinaryWriter(f)
+		consumer = campaign.Funcs{
+			Traceroute: func(tr *trace.Traceroute) { count++; check(w.WriteTraceroute(tr)) },
+			Ping:       func(p *trace.Ping) { count++; check(w.WritePing(p)) },
+		}
+		flush = w.Flush
+	}
+
+	switch *kind {
+	case "longterm":
+		check(campaign.LongTerm(prober, campaign.LongTermConfig{
+			Servers:       servers,
+			Duration:      duration,
+			Interval:      3 * time.Hour,
+			ParisSwitchAt: time.Duration(float64(duration) * 0.62),
+		}, consumer))
+	case "pings":
+		check(campaign.PingMesh(prober, campaign.PingMeshConfig{
+			Pairs:    campaign.FullMeshPairs(servers),
+			Duration: duration,
+			Interval: 15 * time.Minute,
+		}, consumer))
+	case "short":
+		check(campaign.TracerouteCampaign(prober, campaign.TracerouteCampaignConfig{
+			Pairs:          campaign.UnorderedPairs(servers),
+			Duration:       duration,
+			Interval:       30 * time.Minute,
+			BothDirections: true,
+			Paris:          true,
+			V6:             true,
+		}, consumer))
+	default:
+		fmt.Fprintf(os.Stderr, "s2sgen: unknown campaign %q\n", *kind)
+		os.Exit(2)
+	}
+	check(flush())
+
+	// Sidecars.
+	check(writeBGP(*out+".bgp.tsv", net, plat))
+	check(writeRels(*out+".rel.tsv", topo))
+	check(writeLocations(*out+".loc.tsv", plat))
+
+	fmt.Printf("s2sgen: wrote %d records to %s%s (+ .bgp.tsv, .rel.tsv, .loc.tsv)\n", count, *out, ext)
+}
+
+// writeBGP dumps the announced-prefix view as "prefix\tASN" lines.
+func writeBGP(path string, net *itopo.Network, plat *cdn.Platform) error {
+	_ = plat
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ipam.WriteTSV(f, net.BGPEntries())
+}
+
+func writeRels(path string, topo *astopo.Topology) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, l := range topo.Links {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", l.A, l.B, l.Rel)
+	}
+	return w.Flush()
+}
+
+func writeLocations(path string, plat *cdn.Platform) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, c := range plat.Clusters {
+		city := geo.Cities[c.City]
+		fmt.Fprintf(w, "%d\t%.4f\t%.4f\t%s\n", c.ID, city.Lat, city.Lon, city.Country)
+	}
+	return w.Flush()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "s2sgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,109 @@
+// Command s2sreport regenerates every table and figure of the paper at a
+// chosen scale, printing each artifact's rendered output and a
+// paper-vs-measured summary — the data behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	s2sreport [-scale test|default|full] [-seed N] [-only ID[,ID...]]
+//	          [-days N] [-mesh N] [-svgdir DIR] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "default", "simulation scale: test, default, or full")
+		seed      = flag.Int64("seed", 1, "master random seed")
+		only      = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		svgDir    = flag.String("svgdir", "", "write rendered figures (SVG) into this directory")
+		days      = flag.Int("days", 0, "override the long-term campaign length (days)")
+		mesh      = flag.Int("mesh", 0, "override the long-term mesh size")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "test":
+		sc = experiments.TestScale(*seed)
+	case "default":
+		sc = experiments.DefaultScale(*seed)
+	case "full":
+		sc = experiments.FullScale(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "s2sreport: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *days > 0 {
+		sc.LongTermDays = *days
+	}
+	if *mesh > 0 {
+		sc.MeshSize = *mesh
+	}
+
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "s2sreport: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	start := time.Now()
+	fmt.Printf("s2sreport: scale=%s seed=%d experiments=%d\n\n", *scaleName, *seed, len(selected))
+	env, err := experiments.NewEnv(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "s2sreport: %v\n", err)
+		os.Exit(1)
+	}
+	for _, e := range selected {
+		t0 := time.Now()
+		res, err := e.Run(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "s2sreport: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(strings.Repeat("=", 72))
+		fmt.Println(res.Text)
+		fmt.Println(res.Summary())
+		if *svgDir != "" && len(res.SVGs) > 0 {
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "s2sreport: %v\n", err)
+				os.Exit(1)
+			}
+			for stem, svg := range res.SVGs {
+				path := filepath.Join(*svgDir, stem+".svg")
+				if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "s2sreport: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("  wrote %s\n", path)
+			}
+		}
+		fmt.Printf("  (%s in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("s2sreport: done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,118 @@
+// Command s2stopo generates a simulated Internet topology and prints a
+// summary: tier and relationship mix, IXPs, router-level size, address
+// plan, and the CDN platform footprint.
+//
+// Usage:
+//
+//	s2stopo [-seed N] [-ases N] [-clusters N] [-links] [-platform]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/astopo"
+	"repro/internal/cdn"
+	"repro/internal/geo"
+	"repro/internal/itopo"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "random seed")
+		ases     = flag.Int("ases", 300, "number of ASes")
+		clusters = flag.Int("clusters", 400, "number of CDN clusters")
+		links    = flag.Bool("links", false, "dump every AS-level link")
+		platform = flag.Bool("platform", false, "dump every cluster")
+	)
+	flag.Parse()
+
+	acfg := astopo.DefaultConfig(*seed)
+	acfg.NumASes = *ases
+	topo, err := astopo.Generate(acfg)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := itopo.Build(topo, itopo.DefaultConfig(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	plat, err := cdn.Deploy(net, cdn.DefaultConfig(*seed, *clusters))
+	if err != nil {
+		fatal(err)
+	}
+
+	tiers := map[astopo.Tier]int{}
+	dual := 0
+	for _, as := range topo.ASes {
+		tiers[as.Tier]++
+		if topo.DualStack(as.ASN) {
+			dual++
+		}
+	}
+	rels := map[astopo.LinkKind]int{}
+	v6links := 0
+	for _, l := range topo.Links {
+		rels[l.Kind]++
+		if topo.LinkHasV6(l.A, l.B) {
+			v6links++
+		}
+	}
+
+	fmt.Printf("AS-level topology (seed %d)\n", *seed)
+	fmt.Printf("  ASes: %d (tier1 %d, tier2 %d, stub %d, cdn %d); dual-stack %d (%.0f%%)\n",
+		len(topo.ASes), tiers[astopo.Tier1], tiers[astopo.Tier2], tiers[astopo.Stub], tiers[astopo.CDN],
+		dual, 100*float64(dual)/float64(len(topo.ASes)))
+	fmt.Printf("  links: %d (transit %d, private peering %d, IXP peering %d); v6-capable %d\n",
+		len(topo.Links), rels[astopo.Transit], rels[astopo.PrivatePeering], rels[astopo.IXPPeering], v6links)
+	fmt.Printf("  IXPs: %d\n", len(topo.IXPs))
+	for i, ixp := range topo.IXPs {
+		fmt.Printf("    %-16s %-14s members %d\n", ixp.Name, geo.Cities[ixp.City].Name, len(topo.IXPMembers(i)))
+	}
+
+	internal, xconn := 0, 0
+	for _, l := range net.Links {
+		if l.Kind == itopo.Internal {
+			internal++
+		} else {
+			xconn++
+		}
+	}
+	fmt.Printf("\nRouter-level network\n")
+	fmt.Printf("  routers: %d; links: %d (internal %d, interconnect %d)\n",
+		len(net.Routers), len(net.Links), internal, xconn)
+	fmt.Printf("  BGP table: %d prefixes; ground-truth table: %d prefixes\n",
+		net.BGP.Len(), net.Truth.Len())
+
+	mix := plat.CountryMix()
+	fmt.Printf("\nCDN platform\n")
+	fmt.Printf("  clusters: %d in %d countries; dual-stack %d\n",
+		len(plat.Clusters), len(mix), len(plat.DualStackClusters()))
+	fmt.Printf("  top countries: US %.1f%%, DE %.1f%%, JP %.1f%%, AU %.1f%%, IN %.1f%%, CA %.1f%%\n",
+		100*mix["US"], 100*mix["DE"], 100*mix["JP"], 100*mix["AU"], 100*mix["IN"], 100*mix["CA"])
+
+	if *links {
+		fmt.Printf("\nAS-level links\n")
+		for _, l := range topo.Links {
+			fmt.Printf("  %-8s %-8s %-4s %-16s %s\n",
+				l.A, l.B, l.Rel, l.Kind, geo.Cities[l.City].Name)
+		}
+	}
+	if *platform {
+		fmt.Printf("\nClusters\n")
+		for _, c := range plat.Clusters {
+			v6 := "-"
+			if c.DualStack() {
+				v6 = c.Server6.String()
+			}
+			fmt.Printf("  %4d %-14s %-8s v4 %-16s v6 %s\n",
+				c.ID, geo.Cities[c.City].Name, c.HostAS, c.Server4, v6)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "s2stopo: %v\n", err)
+	os.Exit(1)
+}

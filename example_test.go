@@ -1,0 +1,91 @@
+package s2s_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	s2s "repro"
+)
+
+// ExampleNewStudy builds a small simulated world and issues one ping and
+// one Paris traceroute between two measurement servers, then infers the
+// AS-level path the way the paper's Section 4 does.
+func ExampleNewStudy() {
+	study, err := s2s.NewStudy(s2s.StudyConfig{Seed: 42, ASes: 120, Clusters: 80, Days: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mesh := study.SelectMesh(2, 42)
+	src, dst := mesh[0], mesh[1]
+
+	ping := study.Prober.Ping(src, dst, false, time.Hour)
+	tr := study.Prober.Traceroute(src, dst, false, true, time.Hour)
+	res := study.NewMapper().Infer(tr)
+
+	fmt.Println("ping lost:", ping.Lost)
+	fmt.Println("traceroute complete:", tr.Complete)
+	fmt.Println("usable AS path:", res.Usable())
+	// Output:
+	// ping lost: false
+	// traceroute complete: true
+	// usable AS path: true
+}
+
+// ExampleMustExperiment reproduces Table 1 at a tiny scale and checks the
+// shape of the result programmatically.
+func ExampleMustExperiment() {
+	sc := s2s.TestScale(7)
+	sc.LongTermDays = 4
+	sc.MeshSize = 5
+	env, err := s2s.NewEnv(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s2s.MustExperiment("T1").Run(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := res.Measured["v4_complete_frac"] +
+		res.Measured["v4_missingAS_frac"] +
+		res.Measured["v4_missingIP_frac"]
+	fmt.Printf("fractions sum to one: %v\n", sum > 0.999 && sum < 1.001)
+	// Output:
+	// fractions sum to one: true
+}
+
+// ExampleDiurnalRatio shows the paper's §5.1 detector flagging a daily
+// oscillation in a week-long 15-minute RTT series.
+func ExampleDiurnalRatio() {
+	series := make([]float64, 672) // one week at 15 minutes
+	for i := range series {
+		hour := float64(i%96) / 4
+		series[i] = 80
+		if hour >= 18 && hour < 23 {
+			series[i] += 25 // busy-hour congestion
+		}
+	}
+	ratio := s2s.DiurnalRatio(series, 15*time.Minute)
+	fmt.Println("strong diurnal pattern:", ratio >= 0.3)
+	// Output:
+	// strong diurnal pattern: true
+}
+
+// ExampleDetectLevelShifts finds the Figure 1 level shifts in a noisy RTT
+// series with a route-change step.
+func ExampleDetectLevelShifts() {
+	series := make([]float64, 400)
+	for i := range series {
+		series[i] = 60
+		if i >= 200 {
+			series[i] = 165 // route regime change
+		}
+		series[i] += float64(i%7) * 0.3 // deterministic "noise"
+	}
+	cuts := s2s.DetectLevelShifts(series, 10, 5)
+	fmt.Println("level shifts detected:", len(cuts))
+	fmt.Println("near the route change:", cuts[0] >= 195 && cuts[0] <= 205)
+	// Output:
+	// level shifts detected: 1
+	// near the route change: true
+}

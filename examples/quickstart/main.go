@@ -1,0 +1,65 @@
+// Quickstart: build a small simulated Internet + CDN platform, probe a
+// server pair the way the paper's measurement servers do, and reproduce
+// Table 1 on a one-week campaign.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// A small world: 120 ASes, 100 CDN clusters, 7 days of dynamics.
+	study, err := s2s.NewStudy(s2s.StudyConfig{Seed: 42, ASes: 120, Clusters: 100, Days: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick two dual-stack measurement servers in different networks.
+	mesh := study.SelectMesh(8, 42)
+	src, dst := mesh[0], mesh[1]
+	fmt.Printf("probing %s (%v) -> %s (%v)\n\n", src.Server4, src.HostAS, dst.Server4, dst.HostAS)
+
+	// One ping and one Paris traceroute, like the platform issues.
+	ping := study.Prober.Ping(src, dst, false, time.Hour)
+	fmt.Printf("ping: rtt=%v lost=%v\n\n", ping.RTT.Round(time.Millisecond/10), ping.Lost)
+
+	tr := study.Prober.Traceroute(src, dst, false, true, time.Hour)
+	fmt.Printf("traceroute (%d hops, complete=%v):\n", len(tr.Hops), tr.Complete)
+	for i, h := range tr.Hops {
+		if !h.Responsive() {
+			fmt.Printf("  %2d  *\n", i+1)
+			continue
+		}
+		fmt.Printf("  %2d  %-18v %v\n", i+1, h.Addr, h.RTT.Round(time.Millisecond/10))
+	}
+
+	// Infer the AS path the way the paper does (§4.1).
+	mapper := study.NewMapper()
+	res := mapper.Infer(tr)
+	fmt.Printf("\nAS path: %v  (class: %v, usable: %v)\n\n", res.Path, res.Class, res.Usable())
+
+	// A one-week mini campaign feeding the Table 1 accounting.
+	builder := s2s.NewTimelineBuilder(mapper, 3*time.Hour)
+	for at := time.Duration(0); at < 7*24*time.Hour; at += 3 * time.Hour {
+		for _, a := range mesh {
+			for _, b := range mesh {
+				if a.ID == b.ID {
+					continue
+				}
+				builder.Add(study.Prober.Traceroute(a, b, false, true, at))
+				builder.Add(study.Prober.Traceroute(a, b, true, true, at))
+			}
+		}
+	}
+	c4, a4, i4 := builder.TallyV4.Fractions()
+	c6, a6, i6 := builder.TallyV6.Fractions()
+	fmt.Println("Table 1 on this campaign (complete / missing-AS / missing-IP):")
+	fmt.Printf("  IPv4: %5.1f%% / %4.1f%% / %5.1f%%\n", 100*c4, 100*a4, 100*i4)
+	fmt.Printf("  IPv6: %5.1f%% / %4.1f%% / %5.1f%%\n", 100*c6, 100*a6, 100*i6)
+	fmt.Printf("  timelines: %d, incomplete traceroutes: %d\n",
+		len(builder.Timelines()), builder.Incomplete)
+}

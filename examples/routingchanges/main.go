@@ -1,0 +1,93 @@
+// routingchanges reproduces the Section 4 workflow on a medium simulation:
+// a multi-month 3-hourly traceroute mesh, AS-path timelines, routing-change
+// detection by edit distance, and the lifetime-vs-RTT-impact analysis
+// behind Figures 3, 4 and 6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/campaign"
+	"repro/internal/core/stats"
+	"repro/internal/core/timeline"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		seed = flag.Int64("seed", 7, "random seed")
+		days = flag.Int("days", 60, "campaign length in days")
+		mesh = flag.Int("mesh", 12, "mesh size (dual-stack servers)")
+	)
+	flag.Parse()
+
+	study, err := s2s.NewStudy(s2s.StudyConfig{Seed: *seed, ASes: 200, Clusters: 200, Days: *days})
+	if err != nil {
+		log.Fatal(err)
+	}
+	servers := study.SelectMesh(*mesh, *seed)
+	fmt.Printf("mesh: %d servers, %d days, 3-hourly, both protocols\n", len(servers), *days)
+
+	interval := 3 * time.Hour
+	builder := s2s.NewTimelineBuilder(study.NewMapper(), interval)
+	err = campaign.LongTerm(study.Prober, campaign.LongTermConfig{
+		Servers:       servers,
+		Duration:      time.Duration(*days) * 24 * time.Hour,
+		Interval:      interval,
+		ParisSwitchAt: time.Duration(*days) * 24 * time.Hour * 62 / 100,
+	}, campaign.Funcs{Traceroute: builder.Add})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	v4, v6 := timeline.ByProtocol(builder.Timelines())
+	w := os.Stdout
+
+	report.ECDFQuantiles(w, "\nUnique AS paths per trace timeline (Fig 2a)", []report.Series{
+		{Name: "IPv4", Values: timeline.PathsPerTimeline(v4, interval)},
+		{Name: "IPv6", Values: timeline.PathsPerTimeline(v6, interval)},
+	}, nil)
+
+	report.ECDFQuantiles(w, "Routing changes per timeline (Fig 3b)", []report.Series{
+		{Name: "IPv4", Values: timeline.ChangesPerTimeline(v4)},
+		{Name: "IPv6", Values: timeline.ChangesPerTimeline(v6)},
+	}, nil)
+
+	// Figure 4: lifetime vs baseline-RTT increase of sub-optimal paths.
+	life, delta := timeline.LifetimeDeltaSamples(v4, interval, timeline.ByP10)
+	if len(life) > 0 {
+		h, err := stats.DecileHeatmap(life, delta, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.Heatmap(w, "\nLifetime vs Δ10th-pct RTT, IPv4 (Fig 4a)", h,
+			report.DurationLabel, report.MsLabel)
+		fmt.Printf("\n20%% of sub-optimal IPv4 paths raise baseline RTT by >= %.1f ms (paper: 25 ms)\n",
+			timeline.DeltaQuantileMs(v4, interval, timeline.ByP10, 0.8))
+	}
+
+	// The most instructive single timeline: most changes.
+	var busiest *timeline.Timeline
+	for _, tl := range v4 {
+		if busiest == nil || tl.NumChanges() > busiest.NumChanges() {
+			busiest = tl
+		}
+	}
+	if busiest != nil {
+		fmt.Printf("\nbusiest timeline: server %d -> %d (%d changes)\n",
+			busiest.Key.SrcID, busiest.Key.DstID, busiest.NumChanges())
+		for i, ch := range busiest.Changes() {
+			if i >= 8 {
+				fmt.Printf("  ... %d more\n", busiest.NumChanges()-8)
+				break
+			}
+			fmt.Printf("  day %5.1f  dist %d  %v -> %v\n",
+				ch.At.Hours()/24, ch.Dist, ch.From, ch.To)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package astopo generates the AS-level topology of the simulated Internet
+// core: a tiered AS graph (tier-1 clique, regional transit, stubs, and a
+// globally deployed CDN AS) with customer-to-provider and peer-to-peer
+// relationships, IXPs, and geographic footprints over the city database.
+//
+// The generated relationships are ground truth. The analysis side
+// (internal/core/ownership) only ever sees the exported "inferred
+// relationship" view, mirroring the paper's use of CAIDA's AS relationship
+// inferences.
+package astopo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/ipam"
+)
+
+// Relationship describes the business relationship between two adjacent
+// ASes, from the perspective of the first AS.
+type Relationship int8
+
+// Relationship values.
+const (
+	RelNone     Relationship = iota // not adjacent
+	RelCustomer                     // first AS is a customer of the second (c2p)
+	RelProvider                     // first AS is a provider of the second (p2c)
+	RelPeer                         // settlement-free peers (p2p)
+)
+
+// String returns the CAIDA-style relationship label.
+func (r Relationship) String() string {
+	switch r {
+	case RelCustomer:
+		return "c2p"
+	case RelProvider:
+		return "p2c"
+	case RelPeer:
+		return "p2p"
+	default:
+		return "none"
+	}
+}
+
+// Invert returns the relationship from the other AS's perspective.
+func (r Relationship) Invert() Relationship {
+	switch r {
+	case RelCustomer:
+		return RelProvider
+	case RelProvider:
+		return RelCustomer
+	default:
+		return r
+	}
+}
+
+// Tier classifies an AS's role in the hierarchy.
+type Tier uint8
+
+// Tiers.
+const (
+	Tier1 Tier = iota // transit-free clique
+	Tier2             // regional / national transit
+	Stub              // edge networks (eyeball, enterprise, hosting)
+	CDN               // the content delivery network under study
+)
+
+// String returns the tier name.
+func (t Tier) String() string {
+	switch t {
+	case Tier1:
+		return "tier1"
+	case Tier2:
+		return "tier2"
+	case Stub:
+		return "stub"
+	case CDN:
+		return "cdn"
+	default:
+		return fmt.Sprintf("tier(%d)", uint8(t))
+	}
+}
+
+// AS is one autonomous system.
+type AS struct {
+	ASN  ipam.ASN
+	Tier Tier
+	Name string
+
+	// HomeCity indexes geo.Cities; Footprint lists the city indices where
+	// the AS operates points of presence (always includes HomeCity).
+	HomeCity  int
+	Footprint []int
+}
+
+// LinkKind describes how two ASes interconnect.
+type LinkKind uint8
+
+// Link kinds.
+const (
+	Transit        LinkKind = iota // c2p interconnection
+	PrivatePeering                 // p2p over a private cross-connect
+	IXPPeering                     // p2p over an IXP's public switching fabric
+)
+
+// String returns the link-kind name.
+func (k LinkKind) String() string {
+	switch k {
+	case Transit:
+		return "transit"
+	case PrivatePeering:
+		return "private-peering"
+	case IXPPeering:
+		return "ixp-peering"
+	default:
+		return fmt.Sprintf("linkkind(%d)", uint8(k))
+	}
+}
+
+// Link is an AS-level adjacency. Rel is A's relationship to B.
+type Link struct {
+	A, B ipam.ASN
+	Rel  Relationship
+	Kind LinkKind
+	City int // geo.Cities index of the interconnection location
+	IXP  int // IXP index when Kind == IXPPeering, else -1
+}
+
+// IXP is an Internet exchange point with a public switching fabric.
+type IXP struct {
+	Name string
+	City int // geo.Cities index
+}
+
+// Topology is the generated AS-level graph.
+type Topology struct {
+	ASes  []*AS // sorted by ASN
+	Links []Link
+	IXPs  []IXP
+
+	CDNASN ipam.ASN
+
+	byASN      map[ipam.ASN]*AS
+	rel        map[[2]ipam.ASN]Relationship
+	adj        map[ipam.ASN][]ipam.ASN
+	link       map[[2]ipam.ASN]int // canonical pair -> index into Links
+	v6         map[ipam.ASN]bool
+	linkHasV6  map[[2]ipam.ASN]bool
+	ixpMembers [][]ipam.ASN
+}
+
+// DualStack reports whether the AS supports IPv6 in addition to IPv4.
+func (t *Topology) DualStack(a ipam.ASN) bool { return t.v6[a] }
+
+// LinkHasV6 reports whether the link between a and b carries IPv6.
+func (t *Topology) LinkHasV6(a, b ipam.ASN) bool { return t.linkHasV6[pairKey(a, b)] }
+
+// IXPMembers returns the ASNs present on the ix-th IXP's fabric.
+func (t *Topology) IXPMembers(ix int) []ipam.ASN {
+	if ix < 0 || ix >= len(t.ixpMembers) {
+		return nil
+	}
+	return t.ixpMembers[ix]
+}
+
+// AS returns the AS with the given number.
+func (t *Topology) AS(asn ipam.ASN) (*AS, bool) {
+	a, ok := t.byASN[asn]
+	return a, ok
+}
+
+// Rel returns a's relationship to b (RelNone when not adjacent).
+func (t *Topology) Rel(a, b ipam.ASN) Relationship {
+	return t.rel[[2]ipam.ASN{a, b}]
+}
+
+// Neighbors returns the ASNs adjacent to a, sorted.
+func (t *Topology) Neighbors(a ipam.ASN) []ipam.ASN { return t.adj[a] }
+
+// LinkBetween returns the AS-level link between a and b.
+func (t *Topology) LinkBetween(a, b ipam.ASN) (Link, bool) {
+	i, ok := t.link[pairKey(a, b)]
+	if !ok {
+		return Link{}, false
+	}
+	return t.Links[i], true
+}
+
+// Providers returns the ASes of which a is a customer.
+func (t *Topology) Providers(a ipam.ASN) []ipam.ASN { return t.withRel(a, RelCustomer) }
+
+// Customers returns the ASes that are customers of a.
+func (t *Topology) Customers(a ipam.ASN) []ipam.ASN { return t.withRel(a, RelProvider) }
+
+// Peers returns a's settlement-free peers.
+func (t *Topology) Peers(a ipam.ASN) []ipam.ASN { return t.withRel(a, RelPeer) }
+
+func (t *Topology) withRel(a ipam.ASN, want Relationship) []ipam.ASN {
+	var out []ipam.ASN
+	for _, n := range t.adj[a] {
+		if t.Rel(a, n) == want {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// addLink registers a link and both relationship directions.
+func (t *Topology) addLink(l Link) error {
+	k := pairKey(l.A, l.B)
+	if _, dup := t.link[k]; dup {
+		return fmt.Errorf("astopo: duplicate link %v-%v", l.A, l.B)
+	}
+	if l.A == l.B {
+		return fmt.Errorf("astopo: self link %v", l.A)
+	}
+	t.link[k] = len(t.Links)
+	t.Links = append(t.Links, l)
+	t.rel[[2]ipam.ASN{l.A, l.B}] = l.Rel
+	t.rel[[2]ipam.ASN{l.B, l.A}] = l.Rel.Invert()
+	t.adj[l.A] = append(t.adj[l.A], l.B)
+	t.adj[l.B] = append(t.adj[l.B], l.A)
+	return nil
+}
+
+func (t *Topology) sortAdjacency() {
+	for asn := range t.adj {
+		ns := t.adj[asn]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+}
+
+func pairKey(a, b ipam.ASN) [2]ipam.ASN {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]ipam.ASN{a, b}
+}
+
+// SharedCities returns the city indices present in both footprints, sorted.
+func SharedCities(a, b *AS) []int {
+	in := make(map[int]bool, len(a.Footprint))
+	for _, c := range a.Footprint {
+		in[c] = true
+	}
+	var out []int
+	for _, c := range b.Footprint {
+		if in[c] {
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NearestCityPair returns the pair of footprint cities (one per AS) with the
+// smallest great-circle distance. It is used to site private interconnects
+// when the footprints do not overlap.
+func NearestCityPair(a, b *AS) (ca, cb int) {
+	best := -1.0
+	ca, cb = a.Footprint[0], b.Footprint[0]
+	for _, i := range a.Footprint {
+		for _, j := range b.Footprint {
+			d := geo.Cities[i].DistanceKm(geo.Cities[j])
+			if best < 0 || d < best {
+				best, ca, cb = d, i, j
+			}
+		}
+	}
+	return ca, cb
+}

@@ -1,0 +1,400 @@
+package astopo
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/ipam"
+)
+
+func genTest(t *testing.T, seed int64) *Topology {
+	t.Helper()
+	topo, err := Generate(DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	topo := genTest(t, 1)
+	cfg := DefaultConfig(1)
+	if len(topo.ASes) != cfg.NumASes {
+		t.Errorf("got %d ASes, want %d", len(topo.ASes), cfg.NumASes)
+	}
+	var t1, t2, stub, cdn int
+	for _, as := range topo.ASes {
+		switch as.Tier {
+		case Tier1:
+			t1++
+		case Tier2:
+			t2++
+		case Stub:
+			stub++
+		case CDN:
+			cdn++
+		}
+	}
+	if t1 != cfg.NumTier1 {
+		t.Errorf("tier1 count = %d, want %d", t1, cfg.NumTier1)
+	}
+	if cdn != 1 {
+		t.Errorf("cdn count = %d, want 1", cdn)
+	}
+	if t2 < 10 || stub < 100 {
+		t.Errorf("unexpected tier sizes: t2=%d stub=%d", t2, stub)
+	}
+	if len(topo.IXPs) != cfg.NumIXPs {
+		t.Errorf("IXPs = %d, want %d", len(topo.IXPs), cfg.NumIXPs)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genTest(t, 42)
+	b := genTest(t, 42)
+	if len(a.Links) != len(b.Links) {
+		t.Fatalf("link counts differ: %d vs %d", len(a.Links), len(b.Links))
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("link %d differs: %+v vs %+v", i, a.Links[i], b.Links[i])
+		}
+	}
+	for i := range a.ASes {
+		if a.ASes[i].ASN != b.ASes[i].ASN || a.ASes[i].HomeCity != b.ASes[i].HomeCity {
+			t.Fatalf("AS %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := genTest(t, 1)
+	b := genTest(t, 2)
+	if len(a.Links) == len(b.Links) {
+		same := true
+		for i := range a.Links {
+			if a.Links[i] != b.Links[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical topologies")
+		}
+	}
+}
+
+func TestTier1Clique(t *testing.T) {
+	topo := genTest(t, 3)
+	var t1s []ipam.ASN
+	for _, as := range topo.ASes {
+		if as.Tier == Tier1 {
+			t1s = append(t1s, as.ASN)
+		}
+	}
+	for i := 0; i < len(t1s); i++ {
+		for j := i + 1; j < len(t1s); j++ {
+			if topo.Rel(t1s[i], t1s[j]) != RelPeer {
+				t.Errorf("tier1 %v-%v not peers: %v", t1s[i], t1s[j], topo.Rel(t1s[i], t1s[j]))
+			}
+		}
+	}
+}
+
+func TestRelationshipSymmetry(t *testing.T) {
+	topo := genTest(t, 4)
+	for _, l := range topo.Links {
+		ab, ba := topo.Rel(l.A, l.B), topo.Rel(l.B, l.A)
+		if ab.Invert() != ba {
+			t.Errorf("asymmetric relationship %v-%v: %v / %v", l.A, l.B, ab, ba)
+		}
+		if ab == RelNone {
+			t.Errorf("link %v-%v has RelNone", l.A, l.B)
+		}
+	}
+	// Non-adjacent pair.
+	if r := topo.Rel(topo.ASes[0].ASN, 999999); r != RelNone {
+		t.Errorf("non-adjacent rel = %v, want none", r)
+	}
+}
+
+func TestEveryASHasProviderPathToTier1(t *testing.T) {
+	topo := genTest(t, 5)
+	for _, as := range topo.ASes {
+		if as.Tier == Tier1 {
+			continue
+		}
+		if !topo.uphillReachesTier1(as.ASN) {
+			t.Errorf("%v (%v) has no uphill path to tier-1", as.ASN, as.Tier)
+		}
+	}
+}
+
+func TestCDNProperties(t *testing.T) {
+	topo := genTest(t, 6)
+	cdn, ok := topo.AS(topo.CDNASN)
+	if !ok {
+		t.Fatal("CDN AS missing")
+	}
+	if cdn.Tier != CDN {
+		t.Errorf("CDN tier = %v", cdn.Tier)
+	}
+	if len(cdn.Footprint) < len(geo.Cities)/2 {
+		t.Errorf("CDN footprint = %d cities, want most of %d", len(cdn.Footprint), len(geo.Cities))
+	}
+	if len(topo.Providers(cdn.ASN)) < 2 {
+		t.Errorf("CDN providers = %d, want >= 2 (multihomed)", len(topo.Providers(cdn.ASN)))
+	}
+	if len(topo.Peers(cdn.ASN)) < 5 {
+		t.Errorf("CDN peers = %d, want >= 5 (open peering)", len(topo.Peers(cdn.ASN)))
+	}
+	if !topo.DualStack(cdn.ASN) {
+		t.Error("CDN must be dual-stack")
+	}
+}
+
+func TestLinkKinds(t *testing.T) {
+	topo := genTest(t, 7)
+	kinds := map[LinkKind]int{}
+	for _, l := range topo.Links {
+		kinds[l.Kind]++
+		if l.Kind == IXPPeering {
+			if l.IXP < 0 || l.IXP >= len(topo.IXPs) {
+				t.Errorf("IXP link %v-%v has bad IXP index %d", l.A, l.B, l.IXP)
+			}
+			if l.City != topo.IXPs[l.IXP].City {
+				t.Errorf("IXP link city %d != IXP city %d", l.City, topo.IXPs[l.IXP].City)
+			}
+			if l.Rel != RelPeer {
+				t.Errorf("IXP link %v-%v is %v, want p2p", l.A, l.B, l.Rel)
+			}
+		} else if l.IXP != -1 {
+			t.Errorf("non-IXP link %v-%v has IXP index %d", l.A, l.B, l.IXP)
+		}
+		if l.Kind == Transit && l.Rel == RelPeer {
+			t.Errorf("transit link %v-%v marked p2p", l.A, l.B)
+		}
+		if l.City < 0 || l.City >= len(geo.Cities) {
+			t.Errorf("link %v-%v has invalid city %d", l.A, l.B, l.City)
+		}
+	}
+	for _, k := range []LinkKind{Transit, PrivatePeering, IXPPeering} {
+		if kinds[k] == 0 {
+			t.Errorf("no links of kind %v generated", k)
+		}
+	}
+}
+
+func TestFootprintsValid(t *testing.T) {
+	topo := genTest(t, 8)
+	for _, as := range topo.ASes {
+		if len(as.Footprint) == 0 {
+			t.Errorf("%v has empty footprint", as.ASN)
+			continue
+		}
+		if !inFootprint(as, as.HomeCity) {
+			t.Errorf("%v home city %d not in footprint", as.ASN, as.HomeCity)
+		}
+		seen := map[int]bool{}
+		for _, c := range as.Footprint {
+			if c < 0 || c >= len(geo.Cities) {
+				t.Errorf("%v footprint city %d invalid", as.ASN, c)
+			}
+			if seen[c] {
+				t.Errorf("%v footprint has duplicate city %d", as.ASN, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestDualStackFlagsAndLinks(t *testing.T) {
+	topo := genTest(t, 9)
+	nv6 := 0
+	for _, as := range topo.ASes {
+		if topo.DualStack(as.ASN) {
+			nv6++
+		}
+	}
+	if nv6 < len(topo.ASes)/3 || nv6 == len(topo.ASes) {
+		t.Errorf("dual-stack ASes = %d of %d, want a strict majority subset", nv6, len(topo.ASes))
+	}
+	v6links, v4only := 0, 0
+	for _, l := range topo.Links {
+		if topo.LinkHasV6(l.A, l.B) {
+			v6links++
+			if !topo.DualStack(l.A) || !topo.DualStack(l.B) {
+				t.Errorf("v6 link %v-%v between non-dual-stack ASes", l.A, l.B)
+			}
+		} else if topo.DualStack(l.A) && topo.DualStack(l.B) {
+			v4only++
+		}
+	}
+	if v6links == 0 {
+		t.Error("no v6-capable links generated")
+	}
+	if v4only == 0 {
+		t.Error("expected some v4-only links between dual-stack ASes")
+	}
+}
+
+func TestSharedCitiesAndNearestPair(t *testing.T) {
+	a := &AS{ASN: 1, Footprint: []int{1, 3, 5}}
+	b := &AS{ASN: 2, Footprint: []int{5, 7}}
+	got := SharedCities(a, b)
+	if len(got) != 1 || got[0] != 5 {
+		t.Errorf("SharedCities = %v, want [5]", got)
+	}
+	c := &AS{ASN: 3, Footprint: []int{0}}
+	d := &AS{ASN: 4, Footprint: []int{1, 2}}
+	ca, cb := NearestCityPair(c, d)
+	if ca != 0 {
+		t.Errorf("NearestCityPair first = %d, want 0", ca)
+	}
+	if cb != 1 && cb != 2 {
+		t.Errorf("NearestCityPair second = %d", cb)
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.NumTier1 = 1
+	if _, err := Generate(cfg); err == nil {
+		t.Error("NumTier1=1 should error")
+	}
+	cfg = DefaultConfig(1)
+	cfg.NumASes = 5
+	if _, err := Generate(cfg); err == nil {
+		t.Error("tiny NumASes should error")
+	}
+	cfg = DefaultConfig(1)
+	cfg.NumIXPs = 1000
+	if _, err := Generate(cfg); err == nil {
+		t.Error("huge NumIXPs should error")
+	}
+}
+
+func TestRelationshipStringAndInvert(t *testing.T) {
+	if RelCustomer.String() != "c2p" || RelProvider.String() != "p2c" || RelPeer.String() != "p2p" || RelNone.String() != "none" {
+		t.Error("relationship strings wrong")
+	}
+	if RelCustomer.Invert() != RelProvider || RelProvider.Invert() != RelCustomer || RelPeer.Invert() != RelPeer {
+		t.Error("relationship inversion wrong")
+	}
+}
+
+func TestIXPMembers(t *testing.T) {
+	topo := genTest(t, 10)
+	total := 0
+	for i := range topo.IXPs {
+		ms := topo.IXPMembers(i)
+		total += len(ms)
+		for _, m := range ms {
+			if _, ok := topo.AS(m); !ok {
+				t.Errorf("IXP %d member %v unknown", i, m)
+			}
+		}
+	}
+	if total == 0 {
+		t.Error("no IXP memberships generated")
+	}
+	if topo.IXPMembers(-1) != nil || topo.IXPMembers(len(topo.IXPs)) != nil {
+		t.Error("out-of-range IXP index should return nil")
+	}
+}
+
+func TestTierStrings(t *testing.T) {
+	if Tier1.String() != "tier1" || CDN.String() != "cdn" || Stub.String() != "stub" || Tier2.String() != "tier2" {
+		t.Error("tier strings wrong")
+	}
+	if Transit.String() != "transit" || PrivatePeering.String() != "private-peering" || IXPPeering.String() != "ixp-peering" {
+		t.Error("link kind strings wrong")
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	topo, err := NewBuilder().
+		IXP("Test-IX", 0).
+		AS(10, Tier1, "T1", 0, 1).
+		AS(100, Tier2, "T2", 0).
+		AS(200, Stub, "S", 1).
+		AS(20940, CDN, "CDN", 0, 1).
+		Link(100, 10, RelCustomer, Transit, 0).
+		Link(200, 10, RelCustomer, Transit, 1).
+		Link(20940, 10, RelCustomer, Transit, 0).
+		IXPLink(100, 20940, 0).
+		Member(0, 100).
+		Member(0, 20940).
+		V4Only(200).
+		V4OnlyLink(100, 10).
+		Build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.CDNASN != 20940 {
+		t.Errorf("CDN ASN = %v", topo.CDNASN)
+	}
+	if ns := topo.Neighbors(10); len(ns) != 3 {
+		t.Errorf("Neighbors(10) = %v", ns)
+	}
+	if l, ok := topo.LinkBetween(100, 10); !ok || l.Kind != Transit {
+		t.Errorf("LinkBetween = %+v, %v", l, ok)
+	}
+	if _, ok := topo.LinkBetween(100, 200); ok {
+		t.Error("non-adjacent LinkBetween should miss")
+	}
+	if cs := topo.Customers(10); len(cs) != 3 {
+		t.Errorf("Customers(10) = %v", cs)
+	}
+	if topo.DualStack(200) {
+		t.Error("V4Only not applied")
+	}
+	if topo.LinkHasV6(100, 10) {
+		t.Error("V4OnlyLink not applied")
+	}
+	if !topo.LinkHasV6(100, 20940) {
+		t.Error("dual-stack IXP link should carry v6")
+	}
+	if ms := topo.IXPMembers(0); len(ms) != 2 {
+		t.Errorf("IXP members = %v", ms)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder().AS(1, Stub, "s").Build(false); err == nil {
+		t.Error("empty footprint should error")
+	}
+	if _, err := NewBuilder().AS(1, Stub, "a", 0).AS(1, Stub, "b", 0).Build(false); err == nil {
+		t.Error("duplicate ASN should error")
+	}
+	if _, err := NewBuilder().V4Only(9).Build(false); err == nil {
+		t.Error("V4Only on unknown AS should error")
+	}
+	if _, err := NewBuilder().AS(1, Stub, "a", 0).Link(1, 2, RelPeer, PrivatePeering, 0).Build(false); err == nil {
+		t.Error("link to unknown AS should error")
+	}
+	if _, err := NewBuilder().AS(1, Stub, "a", 0).AS(2, Stub, "b", 0).
+		Link(1, 2, RelPeer, PrivatePeering, 0).
+		Link(1, 2, RelPeer, PrivatePeering, 0).Build(false); err == nil {
+		t.Error("duplicate link should error")
+	}
+	if _, err := NewBuilder().AS(1, Stub, "a", 0).AS(2, Stub, "b", 0).IXPLink(1, 2, 0).Build(false); err == nil {
+		t.Error("IXPLink without IXP should error")
+	}
+	if _, err := NewBuilder().Member(3, 1).Build(false); err == nil {
+		t.Error("Member with bad IXP index should error")
+	}
+	if _, err := NewBuilder().AS(1, Stub, "a", 0).V4OnlyLink(1, 9).Build(false); err == nil {
+		t.Error("V4OnlyLink on missing link should error")
+	}
+	// Validation: a stub with no provider fails Validate.
+	if _, err := NewBuilder().AS(1, Stub, "a", 0).Build(true); err == nil {
+		t.Error("providerless stub should fail validation")
+	}
+	// Error sticks: further calls no-op, Build reports the first error.
+	b := NewBuilder().V4Only(9)
+	b.AS(1, Stub, "a", 0)
+	if _, err := b.Build(false); err == nil {
+		t.Error("sticky error lost")
+	}
+}

@@ -1,0 +1,154 @@
+package astopo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ipam"
+)
+
+// Builder assembles a Topology by hand. It is used by tests and by callers
+// that want a specific scenario (e.g. the Figure 1 Hong Kong ⇄ Osaka
+// illustration) rather than a generated graph.
+type Builder struct {
+	t   *Topology
+	err error
+}
+
+// NewBuilder returns an empty topology builder.
+func NewBuilder() *Builder {
+	return &Builder{t: &Topology{
+		byASN:     make(map[ipam.ASN]*AS),
+		rel:       make(map[[2]ipam.ASN]Relationship),
+		adj:       make(map[ipam.ASN][]ipam.ASN),
+		link:      make(map[[2]ipam.ASN]int),
+		v6:        make(map[ipam.ASN]bool),
+		linkHasV6: make(map[[2]ipam.ASN]bool),
+		CDNASN:    CDNASNumber,
+	}}
+}
+
+// AS adds an AS. footprint must be non-empty; the first city is the home.
+func (b *Builder) AS(asn ipam.ASN, tier Tier, name string, footprint ...int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(footprint) == 0 {
+		b.err = fmt.Errorf("astopo: AS %v needs a footprint", asn)
+		return b
+	}
+	if _, dup := b.t.byASN[asn]; dup {
+		b.err = fmt.Errorf("astopo: duplicate AS %v", asn)
+		return b
+	}
+	as := &AS{ASN: asn, Tier: tier, Name: name, HomeCity: footprint[0], Footprint: footprint}
+	b.t.register(as)
+	b.t.v6[asn] = true // dual-stack by default; see V4Only
+	if tier == CDN {
+		b.t.CDNASN = asn
+	}
+	return b
+}
+
+// V4Only marks an already-added AS as IPv4-only.
+func (b *Builder) V4Only(asn ipam.ASN) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if _, ok := b.t.byASN[asn]; !ok {
+		b.err = fmt.Errorf("astopo: V4Only: unknown AS %v", asn)
+		return b
+	}
+	b.t.v6[asn] = false
+	return b
+}
+
+// Link adds a link; rel is a's relationship to b. city is a geo.Cities
+// index. The link carries IPv6 iff both endpoints are dual-stack.
+func (b *Builder) Link(a, asnB ipam.ASN, rel Relationship, kind LinkKind, city int) *Builder {
+	return b.linkIXP(a, asnB, rel, kind, city, -1)
+}
+
+// IXPLink adds an IXP peering link over the ix-th IXP added via IXP.
+func (b *Builder) IXPLink(a, asnB ipam.ASN, ix int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if ix < 0 || ix >= len(b.t.IXPs) {
+		b.err = fmt.Errorf("astopo: IXPLink: bad IXP index %d", ix)
+		return b
+	}
+	return b.linkIXP(a, asnB, RelPeer, IXPPeering, b.t.IXPs[ix].City, ix)
+}
+
+func (b *Builder) linkIXP(a, asnB ipam.ASN, rel Relationship, kind LinkKind, city, ix int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	for _, asn := range []ipam.ASN{a, asnB} {
+		if _, ok := b.t.byASN[asn]; !ok {
+			b.err = fmt.Errorf("astopo: Link: unknown AS %v", asn)
+			return b
+		}
+	}
+	l := Link{A: a, B: asnB, Rel: rel, Kind: kind, City: city, IXP: ix}
+	if err := b.t.addLink(l); err != nil {
+		b.err = err
+		return b
+	}
+	b.t.linkHasV6[pairKey(a, asnB)] = b.t.v6[a] && b.t.v6[asnB]
+	return b
+}
+
+// V4OnlyLink marks an existing link as not carrying IPv6.
+func (b *Builder) V4OnlyLink(a, asnB ipam.ASN) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if _, ok := b.t.link[pairKey(a, asnB)]; !ok {
+		b.err = fmt.Errorf("astopo: V4OnlyLink: no link %v-%v", a, asnB)
+		return b
+	}
+	b.t.linkHasV6[pairKey(a, asnB)] = false
+	return b
+}
+
+// IXP adds an exchange point at the given city and returns its index via
+// the topology's IXPs slice.
+func (b *Builder) IXP(name string, city int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.t.IXPs = append(b.t.IXPs, IXP{Name: name, City: city})
+	b.t.ixpMembers = append(b.t.ixpMembers, nil)
+	return b
+}
+
+// Member records an AS on an IXP's fabric.
+func (b *Builder) Member(ix int, asn ipam.ASN) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if ix < 0 || ix >= len(b.t.IXPs) {
+		b.err = fmt.Errorf("astopo: Member: bad IXP index %d", ix)
+		return b
+	}
+	b.t.ixpMembers[ix] = append(b.t.ixpMembers[ix], asn)
+	return b
+}
+
+// Build finalizes and validates the topology. Pass validate=false for
+// deliberately irregular test graphs.
+func (b *Builder) Build(validate bool) (*Topology, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	b.t.sortAdjacency()
+	sort.Slice(b.t.ASes, func(i, j int) bool { return b.t.ASes[i].ASN < b.t.ASes[j].ASN })
+	if validate {
+		if err := b.t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return b.t, nil
+}

@@ -1,0 +1,552 @@
+package astopo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/ipam"
+)
+
+// Config parameterizes topology generation. The zero value is not usable;
+// call DefaultConfig or fill in every field.
+type Config struct {
+	Seed int64
+
+	// NumASes is the total number of ASes, including tier-1s and the CDN.
+	NumASes int
+	// NumTier1 is the size of the transit-free clique.
+	NumTier1 int
+	// Tier2Frac is the fraction of ASes that provide regional transit.
+	Tier2Frac float64
+	// NumIXPs is the number of Internet exchange points.
+	NumIXPs int
+
+	// T2PeerProb is the probability that two tier-2s colocated at an IXP
+	// establish a settlement-free peering.
+	T2PeerProb float64
+	// StubMultihomeProb is the probability a stub has a second provider.
+	StubMultihomeProb float64
+	// CDNPeerProb is the probability the CDN peers with a given tier-2 or
+	// stub at a shared IXP (CDNs peer openly).
+	CDNPeerProb float64
+
+	// V6Tier1Prob, V6Tier2Prob, V6StubProb are per-tier probabilities that
+	// an AS is dual-stack. V4OnlyLinkProb is the chance a link between two
+	// dual-stack ASes nevertheless carries only IPv4, which makes the v6
+	// AS-level graph a distinct (sparser) graph — the source of the
+	// IPv4-vs-IPv6 path differences in Section 6.
+	V6Tier1Prob, V6Tier2Prob, V6StubProb float64
+	V4OnlyLinkProb                       float64
+}
+
+// DefaultConfig returns a laptop-scale configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:              seed,
+		NumASes:           300,
+		NumTier1:          10,
+		Tier2Frac:         0.20,
+		NumIXPs:           12,
+		T2PeerProb:        0.5,
+		StubMultihomeProb: 0.75,
+		CDNPeerProb:       0.5,
+		V6Tier1Prob:       1.0,
+		V6Tier2Prob:       0.85,
+		V6StubProb:        0.6,
+		V4OnlyLinkProb:    0.12,
+	}
+}
+
+// CDNASNumber is the ASN assigned to the simulated CDN.
+const CDNASNumber ipam.ASN = 20940
+
+// ixpCityPreference lists, in priority order, cities that host major IXPs.
+var ixpCityPreference = []string{
+	"Amsterdam", "Frankfurt", "London", "Ashburn", "New York", "San Jose",
+	"Singapore", "Tokyo", "Hong Kong", "Sao Paulo", "Sydney", "Los Angeles",
+	"Chicago", "Paris", "Stockholm", "Johannesburg", "Moscow", "Miami",
+	"Seattle", "Toronto", "Mumbai", "Dubai", "Milan", "Warsaw",
+}
+
+// Generate builds a deterministic AS-level topology from cfg.
+func Generate(cfg Config) (*Topology, error) {
+	if cfg.NumTier1 < 2 {
+		return nil, fmt.Errorf("astopo: need at least 2 tier-1 ASes, got %d", cfg.NumTier1)
+	}
+	numT2 := int(float64(cfg.NumASes) * cfg.Tier2Frac)
+	numStub := cfg.NumASes - cfg.NumTier1 - numT2 - 1 // -1 for the CDN
+	if numT2 < 2 || numStub < 1 {
+		return nil, fmt.Errorf("astopo: NumASes=%d too small for tiering", cfg.NumASes)
+	}
+	if cfg.NumIXPs < 1 || cfg.NumIXPs > len(ixpCityPreference) {
+		return nil, fmt.Errorf("astopo: NumIXPs=%d out of range [1,%d]", cfg.NumIXPs, len(ixpCityPreference))
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Topology{
+		byASN:  make(map[ipam.ASN]*AS),
+		rel:    make(map[[2]ipam.ASN]Relationship),
+		adj:    make(map[ipam.ASN][]ipam.ASN),
+		link:   make(map[[2]ipam.ASN]int),
+		CDNASN: CDNASNumber,
+	}
+
+	// IXPs first: they constrain peering siting.
+	for i := 0; i < cfg.NumIXPs; i++ {
+		name := ixpCityPreference[i]
+		city, ok := geo.CityByName(name)
+		if !ok {
+			return nil, fmt.Errorf("astopo: IXP city %q missing from database", name)
+		}
+		_ = city
+		t.IXPs = append(t.IXPs, IXP{Name: name + "-IX", City: cityIndex(name)})
+	}
+
+	// ---- Tier-1s: global footprints, full p2p mesh. ----
+	var tier1 []*AS
+	for i := 0; i < cfg.NumTier1; i++ {
+		as := &AS{
+			ASN:  ipam.ASN(10 + i),
+			Tier: Tier1,
+			Name: fmt.Sprintf("T1-%d", i+1),
+		}
+		as.Footprint = sampleGlobalFootprint(rng, 0.35+0.15*rng.Float64())
+		as.HomeCity = as.Footprint[rng.Intn(len(as.Footprint))]
+		tier1 = append(tier1, as)
+		t.register(as)
+	}
+
+	// ---- Tier-2s: continental footprints. ----
+	var tier2 []*AS
+	for i := 0; i < numT2; i++ {
+		cont := geo.Continent(rng.Intn(6))
+		cities := continentIndices(cont)
+		n := 2 + rng.Intn(maxInt(2, len(cities)/2))
+		fp := sampleK(rng, cities, minInt(n, len(cities)))
+		// Occasionally extend one hop into another continent (regional
+		// carriers with a transatlantic PoP, etc.).
+		if rng.Float64() < 0.3 {
+			other := geo.Continent(rng.Intn(6))
+			oc := continentIndices(other)
+			fp = appendUnique(fp, oc[rng.Intn(len(oc))])
+		}
+		as := &AS{
+			ASN:       ipam.ASN(1000 + i),
+			Tier:      Tier2,
+			Name:      fmt.Sprintf("T2-%d", i+1),
+			Footprint: fp,
+			HomeCity:  fp[0],
+		}
+		tier2 = append(tier2, as)
+		t.register(as)
+	}
+
+	// ---- Stubs: edge networks at one or two cities. ----
+	var stubs []*AS
+	for i := 0; i < numStub; i++ {
+		home := rng.Intn(len(geo.Cities))
+		fp := []int{home}
+		if rng.Float64() < 0.25 {
+			// Second PoP on the same continent.
+			cc := continentIndices(geo.Cities[home].Continent)
+			fp = appendUnique(fp, cc[rng.Intn(len(cc))])
+		}
+		as := &AS{
+			ASN:       ipam.ASN(30000 + i),
+			Tier:      Stub,
+			Name:      fmt.Sprintf("STUB-%d", i+1),
+			Footprint: fp,
+			HomeCity:  home,
+		}
+		stubs = append(stubs, as)
+		t.register(as)
+	}
+
+	// ---- The CDN: near-global footprint. ----
+	cdn := &AS{
+		ASN:       CDNASNumber,
+		Tier:      CDN,
+		Name:      "CDN",
+		Footprint: sampleGlobalFootprint(rng, 0.7),
+	}
+	cdn.HomeCity = cdn.Footprint[0]
+	t.register(cdn)
+
+	// ---- Dual-stack flags. ----
+	v6 := make(map[ipam.ASN]bool, cfg.NumASes)
+	v6[cdn.ASN] = true
+	for _, as := range tier1 {
+		v6[as.ASN] = rng.Float64() < cfg.V6Tier1Prob
+	}
+	for _, as := range tier2 {
+		v6[as.ASN] = rng.Float64() < cfg.V6Tier2Prob
+	}
+	for _, as := range stubs {
+		v6[as.ASN] = rng.Float64() < cfg.V6StubProb
+	}
+	t.v6 = v6
+
+	linkV6 := func(a, b ipam.ASN) bool {
+		return v6[a] && v6[b] && rng.Float64() >= cfg.V4OnlyLinkProb
+	}
+
+	// ---- Tier-1 clique (private p2p). ----
+	for i := 0; i < len(tier1); i++ {
+		for j := i + 1; j < len(tier1); j++ {
+			a, b := tier1[i], tier1[j]
+			city := interconnectCity(rng, a, b)
+			if err := t.addLinkV6(Link{
+				A: a.ASN, B: b.ASN, Rel: RelPeer,
+				Kind: PrivatePeering, City: city, IXP: -1,
+			}, linkV6(a.ASN, b.ASN)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// ---- Tier-2 transit: 2–3 tier-1 providers each, best footprint overlap. ----
+	for _, as := range tier2 {
+		provs := pickProviders(rng, as, tier1, 2+rng.Intn(2))
+		for _, p := range provs {
+			city := interconnectCity(rng, as, p)
+			if err := t.addLinkV6(Link{
+				A: as.ASN, B: p.ASN, Rel: RelCustomer,
+				Kind: Transit, City: city, IXP: -1,
+			}, linkV6(as.ASN, p.ASN)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// ---- Occasional tier-2 → tier-2 transit (acyclic: customer has a
+	// strictly higher index than its provider). ----
+	for i, as := range tier2 {
+		if i == 0 || rng.Float64() > 0.15 {
+			continue
+		}
+		p := tier2[rng.Intn(i)]
+		if _, dup := t.link[pairKey(as.ASN, p.ASN)]; dup {
+			continue
+		}
+		city := interconnectCity(rng, as, p)
+		if err := t.addLinkV6(Link{
+			A: as.ASN, B: p.ASN, Rel: RelCustomer,
+			Kind: Transit, City: city, IXP: -1,
+		}, linkV6(as.ASN, p.ASN)); err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- IXP membership. ----
+	members := make([][]ipam.ASN, len(t.IXPs))
+	memberOf := make(map[ipam.ASN][]int)
+	joinIXP := func(as *AS, prob float64) {
+		for ix, ixp := range t.IXPs {
+			if !inFootprint(as, ixp.City) {
+				continue
+			}
+			if rng.Float64() < prob {
+				members[ix] = append(members[ix], as.ASN)
+				memberOf[as.ASN] = append(memberOf[as.ASN], ix)
+			}
+		}
+	}
+	for _, as := range tier2 {
+		joinIXP(as, 0.75)
+	}
+	for _, as := range stubs {
+		joinIXP(as, 0.5)
+	}
+	joinIXP(cdn, 1.0)
+	t.ixpMembers = members
+
+	// ---- Tier-2 p2p at shared IXPs (or private when both prefer it). ----
+	for i := 0; i < len(tier2); i++ {
+		for j := i + 1; j < len(tier2); j++ {
+			a, b := tier2[i], tier2[j]
+			ix := sharedIXP(memberOf, a.ASN, b.ASN)
+			if ix < 0 || rng.Float64() > cfg.T2PeerProb {
+				continue
+			}
+			if _, dup := t.link[pairKey(a.ASN, b.ASN)]; dup {
+				continue
+			}
+			l := Link{A: a.ASN, B: b.ASN, Rel: RelPeer, Kind: IXPPeering, City: t.IXPs[ix].City, IXP: ix}
+			if rng.Float64() < 0.4 {
+				// Large flows migrate to private cross-connects.
+				l.Kind, l.IXP = PrivatePeering, -1
+			}
+			if err := t.addLinkV6(l, linkV6(a.ASN, b.ASN)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// ---- Stub transit: 1–3 providers, preferring same-continent tier-2s.
+	// Dense multihoming keeps failover routes geographically close, so most
+	// routing changes barely move the RTT (the paper's central finding). ----
+	for _, as := range stubs {
+		n := 1
+		if rng.Float64() < cfg.StubMultihomeProb {
+			n = 2
+			if rng.Float64() < 0.3 {
+				n = 3
+			}
+		}
+		cands := sameContinentT2s(as, tier2)
+		if len(cands) == 0 {
+			cands = tier2
+		}
+		provs := pickProviders(rng, as, cands, n)
+		if len(provs) == 0 {
+			provs = []*AS{tier1[rng.Intn(len(tier1))]}
+		}
+		for _, p := range provs {
+			if _, dup := t.link[pairKey(as.ASN, p.ASN)]; dup {
+				continue
+			}
+			city := interconnectCity(rng, as, p)
+			if err := t.addLinkV6(Link{
+				A: as.ASN, B: p.ASN, Rel: RelCustomer,
+				Kind: Transit, City: city, IXP: -1,
+			}, linkV6(as.ASN, p.ASN)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// ---- CDN connectivity: multihomed transit + open peering. ----
+	for _, p := range sampleASes(rng, tier1, 3+rng.Intn(3)) {
+		city := interconnectCity(rng, cdn, p)
+		if err := t.addLinkV6(Link{
+			A: cdn.ASN, B: p.ASN, Rel: RelCustomer,
+			Kind: Transit, City: city, IXP: -1,
+		}, linkV6(cdn.ASN, p.ASN)); err != nil {
+			return nil, err
+		}
+	}
+	for _, as := range tier2 {
+		ix := sharedIXP(memberOf, cdn.ASN, as.ASN)
+		if ix < 0 || rng.Float64() > cfg.CDNPeerProb {
+			continue
+		}
+		if _, dup := t.link[pairKey(cdn.ASN, as.ASN)]; dup {
+			continue
+		}
+		if err := t.addLinkV6(Link{
+			A: cdn.ASN, B: as.ASN, Rel: RelPeer,
+			Kind: IXPPeering, City: t.IXPs[ix].City, IXP: ix,
+		}, linkV6(cdn.ASN, as.ASN)); err != nil {
+			return nil, err
+		}
+	}
+	for _, as := range stubs {
+		ix := sharedIXP(memberOf, cdn.ASN, as.ASN)
+		if ix < 0 || rng.Float64() > cfg.CDNPeerProb*0.6 {
+			continue
+		}
+		if _, dup := t.link[pairKey(cdn.ASN, as.ASN)]; dup {
+			continue
+		}
+		if err := t.addLinkV6(Link{
+			A: cdn.ASN, B: as.ASN, Rel: RelPeer,
+			Kind: IXPPeering, City: t.IXPs[ix].City, IXP: ix,
+		}, linkV6(cdn.ASN, as.ASN)); err != nil {
+			return nil, err
+		}
+	}
+
+	t.sortAdjacency()
+	sort.Slice(t.ASes, func(i, j int) bool { return t.ASes[i].ASN < t.ASes[j].ASN })
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Topology) register(as *AS) {
+	t.ASes = append(t.ASes, as)
+	t.byASN[as.ASN] = as
+}
+
+func (t *Topology) addLinkV6(l Link, v6 bool) error {
+	if err := t.addLink(l); err != nil {
+		return err
+	}
+	if t.linkHasV6 == nil {
+		t.linkHasV6 = make(map[[2]ipam.ASN]bool)
+	}
+	t.linkHasV6[pairKey(l.A, l.B)] = v6
+	return nil
+}
+
+// ---- helpers ----
+
+func cityIndex(name string) int {
+	for i, c := range geo.Cities {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func continentIndices(cont geo.Continent) []int {
+	var out []int
+	for i, c := range geo.Cities {
+		if c.Continent == cont {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// sampleGlobalFootprint picks frac of all cities, guaranteeing at least one
+// city per continent.
+func sampleGlobalFootprint(rng *rand.Rand, frac float64) []int {
+	all := make([]int, len(geo.Cities))
+	for i := range all {
+		all[i] = i
+	}
+	n := maxInt(6, int(frac*float64(len(all))))
+	fp := sampleK(rng, all, n)
+	have := make(map[geo.Continent]bool)
+	for _, i := range fp {
+		have[geo.Cities[i].Continent] = true
+	}
+	for cont := geo.Continent(0); cont < 6; cont++ {
+		if !have[cont] {
+			cc := continentIndices(cont)
+			fp = appendUnique(fp, cc[rng.Intn(len(cc))])
+		}
+	}
+	sort.Ints(fp)
+	return fp
+}
+
+// sampleK returns k distinct elements of src (partial Fisher-Yates).
+func sampleK(rng *rand.Rand, src []int, k int) []int {
+	cp := append([]int(nil), src...)
+	rng.Shuffle(len(cp), func(i, j int) { cp[i], cp[j] = cp[j], cp[i] })
+	if k > len(cp) {
+		k = len(cp)
+	}
+	out := cp[:k]
+	sort.Ints(out)
+	return out
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func inFootprint(as *AS, city int) bool {
+	for _, c := range as.Footprint {
+		if c == city {
+			return true
+		}
+	}
+	return false
+}
+
+// interconnectCity picks a shared footprint city, or the nearest pair's
+// first city when footprints don't overlap.
+func interconnectCity(rng *rand.Rand, a, b *AS) int {
+	shared := SharedCities(a, b)
+	if len(shared) > 0 {
+		return shared[rng.Intn(len(shared))]
+	}
+	ca, _ := NearestCityPair(a, b)
+	return ca
+}
+
+// pickProviders chooses up to n providers from cands, weighted toward
+// footprint overlap with as. Providers present in the customer's home city
+// dominate the ranking: real multihoming is bought where the network
+// lives, which keeps failover paths geographically close and their RTT
+// impact small — the paper's typical routing change.
+func pickProviders(rng *rand.Rand, as *AS, cands []*AS, n int) []*AS {
+	type scored struct {
+		as    *AS
+		score float64
+	}
+	var ss []scored
+	for _, c := range cands {
+		if c.ASN == as.ASN {
+			continue
+		}
+		overlap := float64(len(SharedCities(as, c)))
+		if inFootprint(c, as.HomeCity) {
+			overlap += 1000
+		}
+		ss = append(ss, scored{c, overlap + rng.Float64()})
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		return ss[i].as.ASN < ss[j].as.ASN
+	})
+	if n > len(ss) {
+		n = len(ss)
+	}
+	out := make([]*AS, 0, n)
+	for _, s := range ss[:n] {
+		out = append(out, s.as)
+	}
+	return out
+}
+
+func sameContinentT2s(as *AS, tier2 []*AS) []*AS {
+	cont := geo.Cities[as.HomeCity].Continent
+	var out []*AS
+	for _, t2 := range tier2 {
+		if geo.Cities[t2.HomeCity].Continent == cont {
+			out = append(out, t2)
+		}
+	}
+	return out
+}
+
+func sampleASes(rng *rand.Rand, src []*AS, n int) []*AS {
+	cp := append([]*AS(nil), src...)
+	rng.Shuffle(len(cp), func(i, j int) { cp[i], cp[j] = cp[j], cp[i] })
+	if n > len(cp) {
+		n = len(cp)
+	}
+	return cp[:n]
+}
+
+func sharedIXP(memberOf map[ipam.ASN][]int, a, b ipam.ASN) int {
+	bm := make(map[int]bool)
+	for _, ix := range memberOf[b] {
+		bm[ix] = true
+	}
+	for _, ix := range memberOf[a] {
+		if bm[ix] {
+			return ix
+		}
+	}
+	return -1
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package astopo
+
+import (
+	"fmt"
+
+	"repro/internal/ipam"
+)
+
+// Validate checks structural invariants of the topology:
+//
+//   - every non-tier-1 AS has at least one provider (so the
+//     customer-provider hierarchy is rooted at the clique);
+//   - the customer→provider digraph is acyclic;
+//   - relationships are stored consistently in both directions;
+//   - every AS is reachable from every other over a valley-free path in the
+//     IPv4 plane.
+func (t *Topology) Validate() error {
+	for _, as := range t.ASes {
+		if as.Tier == Tier1 {
+			continue
+		}
+		if len(t.Providers(as.ASN)) == 0 {
+			return fmt.Errorf("astopo: %v (%s) has no provider", as.ASN, as.Tier)
+		}
+	}
+	if err := t.checkProviderAcyclic(); err != nil {
+		return err
+	}
+	for _, l := range t.Links {
+		if t.Rel(l.A, l.B) != l.Rel || t.Rel(l.B, l.A) != l.Rel.Invert() {
+			return fmt.Errorf("astopo: inconsistent relationship on %v-%v", l.A, l.B)
+		}
+	}
+	return t.checkValleyFreeReachability()
+}
+
+func (t *Topology) checkProviderAcyclic() error {
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make(map[ipam.ASN]int, len(t.ASes))
+	var visit func(a ipam.ASN) error
+	visit = func(a ipam.ASN) error {
+		state[a] = inStack
+		for _, p := range t.Providers(a) {
+			switch state[p] {
+			case inStack:
+				return fmt.Errorf("astopo: provider cycle through %v and %v", a, p)
+			case unvisited:
+				if err := visit(p); err != nil {
+					return err
+				}
+			}
+		}
+		state[a] = done
+		return nil
+	}
+	for _, as := range t.ASes {
+		if state[as.ASN] == unvisited {
+			if err := visit(as.ASN); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkValleyFreeReachability verifies that every AS can reach every other
+// AS by a route of the form customer←...←customer ← (peer)? ← provider←...
+// (i.e. the standard uphill, optional peer step, downhill shape). Because
+// customer routes are exported to everyone and the tier-1 clique is fully
+// meshed, reachability holds by construction; this check guards the
+// generator against regressions.
+func (t *Topology) checkValleyFreeReachability() error {
+	// An AS can send traffic to destination D if D is reachable downhill
+	// from some AS that the sender can reach uphill (through providers),
+	// possibly crossing one peer edge at the top.
+	//
+	// upset(a): ASes reachable from a by repeatedly moving to providers
+	// (including a itself).
+	// downset(d): ASes from which d is reachable by moving only to
+	// customers (i.e. d's "customer cone" ancestors — every AS whose
+	// customer chain leads down to d), including d itself.
+	//
+	// a reaches d iff upset(a) ∩ (downset-or-peer-of-downset)(d) ≠ ∅.
+	// Checking all pairs exactly would be O(N²); instead verify the
+	// sufficient structural condition: every AS's upset includes a tier-1,
+	// and every AS's downset-closure includes a tier-1. With the tier-1
+	// full mesh, that implies all-pairs reachability.
+	for _, as := range t.ASes {
+		if !t.uphillReachesTier1(as.ASN) {
+			return fmt.Errorf("astopo: %v cannot reach the tier-1 clique uphill", as.ASN)
+		}
+	}
+	return nil
+}
+
+func (t *Topology) uphillReachesTier1(a ipam.ASN) bool {
+	seen := map[ipam.ASN]bool{a: true}
+	stack := []ipam.ASN{a}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if as, ok := t.AS(cur); ok && as.Tier == Tier1 {
+			return true
+		}
+		for _, p := range t.Providers(cur) {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}

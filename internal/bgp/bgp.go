@@ -1,0 +1,437 @@
+// Package bgp computes AS-level routes over an astopo.Topology using the
+// standard Gao–Rexford policy model, and evolves them over time through an
+// event schedule (link failures/repairs, policy shifts). It is the routing
+// substrate whose changes the paper's analysis detects and quantifies.
+//
+// Route selection at each AS, per destination:
+//
+//  1. prefer routes learned from customers over peers over providers
+//     (local preference);
+//  2. then the shortest AS path;
+//  3. then a deterministic tie-break on next-hop ASN (flippable per AS by a
+//     policy event, which models traffic engineering).
+//
+// Export follows the valley-free rule: routes learned from a customer are
+// exported to everyone; routes learned from a peer or provider are exported
+// only to customers.
+package bgp
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/astopo"
+	"repro/internal/ipam"
+)
+
+// Plane selects the IPv4 or IPv6 routing plane. The two planes share the
+// topology but the v6 plane only contains dual-stack ASes and v6-enabled
+// links, so routes (and route changes) differ between planes.
+type Plane uint8
+
+// Planes.
+const (
+	V4 Plane = iota
+	V6
+)
+
+// String returns "v4" or "v6".
+func (p Plane) String() string {
+	if p == V6 {
+		return "v6"
+	}
+	return "v4"
+}
+
+// routeKind orders route preference classes; lower is better.
+type routeKind uint8
+
+const (
+	viaCustomer routeKind = iota
+	viaPeer
+	viaProvider
+	viaNone
+)
+
+// graph is the dense-index view of an astopo.Topology shared by all Routing
+// instances derived from it.
+type graph struct {
+	topo      *astopo.Topology
+	asns      []ipam.ASN // index -> ASN
+	idx       map[ipam.ASN]int
+	providers [][]int32 // idx -> provider indices (sorted by ASN)
+	customers [][]int32
+	peers     [][]int32
+	dual      []bool            // idx -> dual-stack
+	v6link    map[[2]int32]bool // canonical idx pair -> link carries v6
+}
+
+func newGraph(t *astopo.Topology) *graph {
+	g := &graph{
+		topo:   t,
+		idx:    make(map[ipam.ASN]int, len(t.ASes)),
+		v6link: make(map[[2]int32]bool),
+	}
+	for i, as := range t.ASes {
+		g.asns = append(g.asns, as.ASN)
+		g.idx[as.ASN] = i
+	}
+	n := len(g.asns)
+	g.providers = make([][]int32, n)
+	g.customers = make([][]int32, n)
+	g.peers = make([][]int32, n)
+	g.dual = make([]bool, n)
+	for i, asn := range g.asns {
+		g.dual[i] = t.DualStack(asn)
+		for _, nb := range t.Neighbors(asn) {
+			j := int32(g.idx[nb])
+			switch t.Rel(asn, nb) {
+			case astopo.RelCustomer:
+				g.providers[i] = append(g.providers[i], j)
+			case astopo.RelProvider:
+				g.customers[i] = append(g.customers[i], j)
+			case astopo.RelPeer:
+				g.peers[i] = append(g.peers[i], j)
+			}
+		}
+	}
+	for _, l := range t.Links {
+		a, b := int32(g.idx[l.A]), int32(g.idx[l.B])
+		g.v6link[ipairKey(a, b)] = t.LinkHasV6(l.A, l.B)
+	}
+	return g
+}
+
+func ipairKey(a, b int32) [2]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int32{a, b}
+}
+
+// State is the effective condition of the network during one epoch: which
+// AS-level links are down and which ASes have flipped their tie-break.
+// The zero value (or nil) is the steady state.
+type State struct {
+	Down    map[[2]ipam.ASN]bool // canonical (low, high) ASN pairs
+	Flipped map[ipam.ASN]bool
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	c := &State{Down: make(map[[2]ipam.ASN]bool, len(s.Down)), Flipped: make(map[ipam.ASN]bool, len(s.Flipped))}
+	for k, v := range s.Down {
+		if v {
+			c.Down[k] = true
+		}
+	}
+	for k, v := range s.Flipped {
+		if v {
+			c.Flipped[k] = true
+		}
+	}
+	return c
+}
+
+func pairKey(a, b ipam.ASN) [2]ipam.ASN {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]ipam.ASN{a, b}
+}
+
+// Routing holds the routes for one (state, plane) pair. Destination trees
+// are computed lazily and cached. Routing is safe for concurrent use.
+type Routing struct {
+	g       *graph
+	plane   Plane
+	down    map[[2]int32]bool
+	flipped []bool
+
+	mu    sync.Mutex
+	trees map[int]*destTree
+}
+
+// NewRouting returns the routing view of topo under state (nil for the
+// steady state) on the given plane. For repeated use across many states
+// prefer Dynamics, which shares the dense graph.
+func NewRouting(topo *astopo.Topology, state *State, plane Plane) *Routing {
+	return newRouting(newGraph(topo), state, plane)
+}
+
+func newRouting(g *graph, state *State, plane Plane) *Routing {
+	r := &Routing{
+		g:       g,
+		plane:   plane,
+		down:    make(map[[2]int32]bool),
+		flipped: make([]bool, len(g.asns)),
+		trees:   make(map[int]*destTree),
+	}
+	if state != nil {
+		for k, v := range state.Down {
+			if !v {
+				continue
+			}
+			ia, oka := g.idx[k[0]]
+			ib, okb := g.idx[k[1]]
+			if oka && okb {
+				r.down[ipairKey(int32(ia), int32(ib))] = true
+			}
+		}
+		for asn, v := range state.Flipped {
+			if i, ok := g.idx[asn]; ok && v {
+				r.flipped[i] = true
+			}
+		}
+	}
+	return r
+}
+
+// destTree is the per-destination routing tree.
+type destTree struct {
+	nextHop []int32 // -1 when no route
+	kind    []routeKind
+	plen    []int32
+}
+
+// Path returns the selected AS path from src to dst, inclusive of both. It
+// returns nil when dst is unreachable from src on this plane.
+func (r *Routing) Path(src, dst ipam.ASN) []ipam.ASN {
+	si, ok := r.g.idx[src]
+	if !ok {
+		return nil
+	}
+	di, ok := r.g.idx[dst]
+	if !ok {
+		return nil
+	}
+	if src == dst {
+		return []ipam.ASN{src}
+	}
+	tree := r.treeFor(di)
+	if tree.kind[si] == viaNone {
+		return nil
+	}
+	path := []ipam.ASN{src}
+	cur := int32(si)
+	for int(cur) != di {
+		nh := tree.nextHop[cur]
+		if nh < 0 {
+			return nil
+		}
+		path = append(path, r.g.asns[nh])
+		cur = nh
+		if len(path) > len(r.g.asns) {
+			return nil // defensive; selection is loop-free by construction
+		}
+	}
+	return path
+}
+
+// NextHop returns cur's selected next hop toward dst.
+func (r *Routing) NextHop(cur, dst ipam.ASN) (ipam.ASN, bool) {
+	ci, ok := r.g.idx[cur]
+	if !ok {
+		return 0, false
+	}
+	di, ok := r.g.idx[dst]
+	if !ok || cur == dst {
+		return 0, false
+	}
+	nh := r.treeFor(di).nextHop[ci]
+	if nh < 0 {
+		return 0, false
+	}
+	return r.g.asns[nh], true
+}
+
+// Reachable reports whether src has any route to dst.
+func (r *Routing) Reachable(src, dst ipam.ASN) bool {
+	if src == dst {
+		return true
+	}
+	si, ok := r.g.idx[src]
+	if !ok {
+		return false
+	}
+	di, ok := r.g.idx[dst]
+	if !ok {
+		return false
+	}
+	return r.treeFor(di).kind[si] != viaNone
+}
+
+func (r *Routing) treeFor(dst int) *destTree {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.trees[dst]; ok {
+		return t
+	}
+	t := r.computeTree(dst)
+	r.trees[dst] = t
+	return t
+}
+
+func (r *Routing) usable(a, b int32) bool {
+	if r.plane == V6 {
+		if !r.g.dual[a] || !r.g.dual[b] || !r.g.v6link[ipairKey(a, b)] {
+			return false
+		}
+	}
+	return !r.down[ipairKey(a, b)]
+}
+
+// computeTree runs the three-stage Gao–Rexford propagation for one
+// destination.
+func (r *Routing) computeTree(dst int) *destTree {
+	g := r.g
+	n := len(g.asns)
+	tree := &destTree{
+		nextHop: make([]int32, n),
+		kind:    make([]routeKind, n),
+		plen:    make([]int32, n),
+	}
+	for i := range tree.nextHop {
+		tree.nextHop[i] = -1
+		tree.kind[i] = viaNone
+	}
+	if r.plane == V6 && !g.dual[dst] {
+		return tree
+	}
+
+	// better reports whether (k, l, via) beats the current route at as.
+	// The v6 plane inverts the tie-break for roughly half the ASes
+	// (deterministically, by ASN hash): operators commonly engineer IPv6
+	// independently, so equal-cost choices differ across protocols even on
+	// shared infrastructure — the source of the paper's §6 observation
+	// that v4 and v6 paths frequently disagree.
+	better := func(as int32, k routeKind, l int32, via int32) bool {
+		ck := tree.kind[as]
+		if k != ck {
+			return k < ck
+		}
+		if l != tree.plen[as] {
+			return l < tree.plen[as]
+		}
+		cur := tree.nextHop[as]
+		if cur < 0 {
+			return true
+		}
+		flip := r.flipped[as]
+		if r.plane == V6 && v6TieBias(g.asns[as]) {
+			flip = !flip
+		}
+		if flip {
+			return g.asns[via] > g.asns[cur]
+		}
+		return g.asns[via] < g.asns[cur]
+	}
+	set := func(as int32, k routeKind, l int32, via int32) {
+		tree.kind[as] = k
+		tree.plen[as] = l
+		tree.nextHop[as] = via
+	}
+
+	// Stage 1: customer routes propagate uphill, BFS by path length.
+	set(int32(dst), viaCustomer, 0, int32(dst))
+	frontier := []int32{int32(dst)}
+	for level := int32(1); len(frontier) > 0; level++ {
+		var next []int32
+		for _, y := range frontier {
+			for _, x := range g.providers[y] {
+				if !r.usable(x, y) {
+					continue
+				}
+				if tree.kind[x] == viaCustomer && tree.plen[x] < level {
+					continue
+				}
+				if better(x, viaCustomer, level, y) {
+					if tree.kind[x] != viaCustomer {
+						next = append(next, x)
+					}
+					set(x, viaCustomer, level, y)
+				}
+			}
+		}
+		frontier = dedupInt32(next)
+	}
+
+	// Stage 2: one peer edge on top of a customer route. Snapshot the
+	// customer-routed set first so peer routes never chain.
+	var custRouted []int32
+	for i := 0; i < n; i++ {
+		if tree.kind[i] == viaCustomer {
+			custRouted = append(custRouted, int32(i))
+		}
+	}
+	for _, y := range custRouted {
+		for _, x := range g.peers[y] {
+			if !r.usable(x, y) {
+				continue
+			}
+			if better(x, viaPeer, tree.plen[y]+1, y) {
+				set(x, viaPeer, tree.plen[y]+1, y)
+			}
+		}
+	}
+
+	// Stage 3: provider routes chain downhill (Dijkstra on path length).
+	type item struct {
+		as int32
+		l  int32
+	}
+	var queue []item
+	for i := 0; i < n; i++ {
+		if tree.kind[i] != viaNone {
+			queue = append(queue, item{int32(i), tree.plen[i]})
+		}
+	}
+	for len(queue) > 0 {
+		mi := 0
+		for i := 1; i < len(queue); i++ {
+			if queue[i].l < queue[mi].l ||
+				(queue[i].l == queue[mi].l && g.asns[queue[i].as] < g.asns[queue[mi].as]) {
+				mi = i
+			}
+		}
+		it := queue[mi]
+		queue[mi] = queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if it.l > tree.plen[it.as] {
+			continue // stale
+		}
+		for _, c := range g.customers[it.as] {
+			if !r.usable(c, it.as) {
+				continue
+			}
+			nl := tree.plen[it.as] + 1
+			if better(c, viaProvider, nl, it.as) {
+				set(c, viaProvider, nl, it.as)
+				queue = append(queue, item{c, nl})
+			}
+		}
+	}
+	return tree
+}
+
+// v6TieBias reports whether an AS prefers the opposite tie-break order on
+// the IPv6 plane (a stable per-AS coin; roughly one AS in eight, so v4 and
+// v6 paths differ for a sizable minority of pairs, as in §6).
+func v6TieBias(asn ipam.ASN) bool {
+	h := uint32(asn) * 2654435761
+	return h&7 == 0
+}
+
+func dedupInt32(in []int32) []int32 {
+	if len(in) < 2 {
+		return in
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+	out := in[:1]
+	for _, a := range in[1:] {
+		if a != out[len(out)-1] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,479 @@
+package bgp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/ipam"
+)
+
+// diamond builds the classic policy-routing test graph:
+//
+//	   T1a --- T1b        (p2p clique)
+//	  /    \  /    \
+//	T2a    T2b    T2c     (customers of tier-1s)
+//	 |    /    \    |
+//	S1          S2        (stubs)
+//
+// plus a peer edge T2a--T2b.
+func diamond(t *testing.T) *astopo.Topology {
+	t.Helper()
+	b := astopo.NewBuilder().
+		AS(10, astopo.Tier1, "T1a", 0).
+		AS(11, astopo.Tier1, "T1b", 1).
+		AS(100, astopo.Tier2, "T2a", 2).
+		AS(101, astopo.Tier2, "T2b", 3).
+		AS(102, astopo.Tier2, "T2c", 4).
+		AS(200, astopo.Stub, "S1", 5).
+		AS(201, astopo.Stub, "S2", 6).
+		Link(10, 11, astopo.RelPeer, astopo.PrivatePeering, 0).
+		Link(100, 10, astopo.RelCustomer, astopo.Transit, 0).
+		Link(101, 10, astopo.RelCustomer, astopo.Transit, 0).
+		Link(101, 11, astopo.RelCustomer, astopo.Transit, 1).
+		Link(102, 11, astopo.RelCustomer, astopo.Transit, 1).
+		Link(100, 101, astopo.RelPeer, astopo.PrivatePeering, 2).
+		Link(200, 100, astopo.RelCustomer, astopo.Transit, 2).
+		Link(200, 101, astopo.RelCustomer, astopo.Transit, 3).
+		Link(201, 101, astopo.RelCustomer, astopo.Transit, 3).
+		Link(201, 102, astopo.RelCustomer, astopo.Transit, 4)
+	topo, err := b.Build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func pathEq(got []ipam.ASN, want ...ipam.ASN) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCustomerRoutePreferred(t *testing.T) {
+	topo := diamond(t)
+	r := NewRouting(topo, nil, V4)
+	// S1 → S2: both are customers of T2b (101); the all-customer valley-free
+	// route S1→101→S2 must win over anything through tier-1.
+	got := r.Path(200, 201)
+	if !pathEq(got, 200, 101, 201) {
+		t.Errorf("S1→S2 path = %v, want [200 101 201]", got)
+	}
+}
+
+func TestPeerRouteBeatsProvider(t *testing.T) {
+	topo := diamond(t)
+	r := NewRouting(topo, nil, V4)
+	// T2a → S2: T2a's options: via peer T2b (customer route to S2), or via
+	// provider T1a. Peer must win.
+	got := r.Path(100, 201)
+	if !pathEq(got, 100, 101, 201) {
+		t.Errorf("T2a→S2 = %v, want [100 101 201] (peer route)", got)
+	}
+}
+
+func TestProviderRouteAsLastResort(t *testing.T) {
+	topo := diamond(t)
+	r := NewRouting(topo, nil, V4)
+	// T2a → T2c: no shared customer, no direct peering. Route must climb to
+	// tier-1: 100→10→11→102 (valley-free through the clique).
+	got := r.Path(100, 102)
+	if !pathEq(got, 100, 10, 11, 102) {
+		t.Errorf("T2a→T2c = %v, want [100 10 11 102]", got)
+	}
+}
+
+func TestValleyFreeNoPeerChaining(t *testing.T) {
+	topo := diamond(t)
+	r := NewRouting(topo, nil, V4)
+	// Every path must be valley-free: once it goes down (p2c) or sideways
+	// (p2p) it can never go up (c2p) or sideways again.
+	for _, src := range topo.ASes {
+		for _, dst := range topo.ASes {
+			p := r.Path(src.ASN, dst.ASN)
+			if p == nil {
+				t.Errorf("%v → %v unreachable", src.ASN, dst.ASN)
+				continue
+			}
+			assertValleyFree(t, topo, p)
+		}
+	}
+}
+
+func assertValleyFree(t *testing.T, topo *astopo.Topology, p []ipam.ASN) {
+	t.Helper()
+	// state: 0 = climbing, 1 = descended/peered
+	state := 0
+	for i := 0; i+1 < len(p); i++ {
+		rel := topo.Rel(p[i], p[i+1])
+		switch rel {
+		case astopo.RelCustomer: // going up
+			if state == 1 {
+				t.Errorf("path %v has a valley at %v→%v", p, p[i], p[i+1])
+				return
+			}
+		case astopo.RelPeer:
+			if state == 1 {
+				t.Errorf("path %v has a second lateral move at %v→%v", p, p[i], p[i+1])
+				return
+			}
+			state = 1
+		case astopo.RelProvider:
+			state = 1
+		default:
+			t.Errorf("path %v uses non-adjacent hop %v→%v", p, p[i], p[i+1])
+			return
+		}
+	}
+}
+
+func TestSelfPath(t *testing.T) {
+	topo := diamond(t)
+	r := NewRouting(topo, nil, V4)
+	if got := r.Path(200, 200); !pathEq(got, 200) {
+		t.Errorf("self path = %v", got)
+	}
+	if !r.Reachable(200, 200) {
+		t.Error("self should be reachable")
+	}
+}
+
+func TestUnknownASN(t *testing.T) {
+	topo := diamond(t)
+	r := NewRouting(topo, nil, V4)
+	if p := r.Path(9999, 200); p != nil {
+		t.Errorf("unknown src path = %v, want nil", p)
+	}
+	if p := r.Path(200, 9999); p != nil {
+		t.Errorf("unknown dst path = %v, want nil", p)
+	}
+	if r.Reachable(9999, 200) || r.Reachable(200, 9999) {
+		t.Error("unknown ASNs should be unreachable")
+	}
+	if _, ok := r.NextHop(9999, 200); ok {
+		t.Error("NextHop for unknown src should fail")
+	}
+}
+
+func TestLinkDownReroutes(t *testing.T) {
+	topo := diamond(t)
+	// Fail S1's link to T2b: S1→S2 must fall back to a longer route.
+	st := &State{
+		Down:    map[[2]ipam.ASN]bool{{101, 200}: true},
+		Flipped: map[ipam.ASN]bool{},
+	}
+	r := NewRouting(topo, st, V4)
+	got := r.Path(200, 201)
+	if got == nil {
+		t.Fatal("S1→S2 unreachable after single link failure (multihomed stub)")
+	}
+	if pathEq(got, 200, 101, 201) {
+		t.Errorf("S1→S2 still uses failed link: %v", got)
+	}
+	// The fallback goes through T2a: 200→100→101→201 (peer route at T2a).
+	if !pathEq(got, 200, 100, 101, 201) {
+		t.Errorf("S1→S2 fallback = %v, want [200 100 101 201]", got)
+	}
+}
+
+func TestLinkDownPartitionsSingleHomedStub(t *testing.T) {
+	topo := diamond(t)
+	// S2 is dual-homed to 101/102; failing both partitions it.
+	st := &State{Down: map[[2]ipam.ASN]bool{
+		{101, 201}: true,
+		{102, 201}: true,
+	}}
+	r := NewRouting(topo, st, V4)
+	if p := r.Path(200, 201); p != nil {
+		t.Errorf("S1→S2 should be unreachable, got %v", p)
+	}
+	if r.Reachable(200, 201) {
+		t.Error("Reachable should be false under partition")
+	}
+}
+
+func TestTieBreakDeterministicAndFlippable(t *testing.T) {
+	// A stub dual-homed to two providers that both reach the destination
+	// with equal preference and length: tie-break must pick the lower ASN,
+	// and flipping must pick the higher.
+	b := astopo.NewBuilder().
+		AS(10, astopo.Tier1, "T1a", 0).
+		AS(11, astopo.Tier1, "T1b", 1).
+		AS(200, astopo.Stub, "S", 2).
+		AS(201, astopo.Stub, "D", 3).
+		Link(10, 11, astopo.RelPeer, astopo.PrivatePeering, 0).
+		Link(200, 10, astopo.RelCustomer, astopo.Transit, 0).
+		Link(200, 11, astopo.RelCustomer, astopo.Transit, 1).
+		Link(201, 10, astopo.RelCustomer, astopo.Transit, 0).
+		Link(201, 11, astopo.RelCustomer, astopo.Transit, 1)
+	topo, err := b.Build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouting(topo, nil, V4)
+	if got := r.Path(200, 201); !pathEq(got, 200, 10, 201) {
+		t.Errorf("steady path = %v, want via AS10", got)
+	}
+	st := &State{Flipped: map[ipam.ASN]bool{200: true}}
+	rf := NewRouting(topo, st, V4)
+	if got := rf.Path(200, 201); !pathEq(got, 200, 11, 201) {
+		t.Errorf("flipped path = %v, want via AS11", got)
+	}
+}
+
+func TestV6PlaneExcludesV4Only(t *testing.T) {
+	b := astopo.NewBuilder().
+		AS(10, astopo.Tier1, "T1a", 0).
+		AS(11, astopo.Tier1, "T1b", 1).
+		AS(200, astopo.Stub, "S", 2).
+		AS(201, astopo.Stub, "D", 3).
+		Link(10, 11, astopo.RelPeer, astopo.PrivatePeering, 0).
+		Link(200, 10, astopo.RelCustomer, astopo.Transit, 0).
+		Link(200, 11, astopo.RelCustomer, astopo.Transit, 1).
+		Link(201, 10, astopo.RelCustomer, astopo.Transit, 0).
+		Link(201, 11, astopo.RelCustomer, astopo.Transit, 1).
+		V4OnlyLink(200, 10) // v6 must detour via AS11
+	topo, err := b.Build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4 := NewRouting(topo, nil, V4)
+	r6 := NewRouting(topo, nil, V6)
+	if got := r4.Path(200, 201); !pathEq(got, 200, 10, 201) {
+		t.Errorf("v4 path = %v, want via AS10", got)
+	}
+	if got := r6.Path(200, 201); !pathEq(got, 200, 11, 201) {
+		t.Errorf("v6 path = %v, want via AS11", got)
+	}
+}
+
+func TestV6PlaneExcludesV4OnlyAS(t *testing.T) {
+	b := astopo.NewBuilder().
+		AS(10, astopo.Tier1, "T1", 0).
+		AS(200, astopo.Stub, "S", 1).
+		AS(201, astopo.Stub, "D", 2).
+		Link(200, 10, astopo.RelCustomer, astopo.Transit, 0).
+		Link(201, 10, astopo.RelCustomer, astopo.Transit, 0).
+		V4Only(201)
+	topo, err := b.Build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r6 := NewRouting(topo, nil, V6)
+	if p := r6.Path(200, 201); p != nil {
+		t.Errorf("v6 path to v4-only AS = %v, want nil", p)
+	}
+	if p := r6.Path(201, 200); p != nil {
+		t.Errorf("v6 path from v4-only AS = %v, want nil", p)
+	}
+	r4 := NewRouting(topo, nil, V4)
+	if p := r4.Path(200, 201); p == nil {
+		t.Error("v4 path should exist")
+	}
+}
+
+func TestNextHopConsistentWithPath(t *testing.T) {
+	topo := diamond(t)
+	r := NewRouting(topo, nil, V4)
+	for _, src := range topo.ASes {
+		for _, dst := range topo.ASes {
+			if src.ASN == dst.ASN {
+				continue
+			}
+			p := r.Path(src.ASN, dst.ASN)
+			if p == nil {
+				continue
+			}
+			nh, ok := r.NextHop(src.ASN, dst.ASN)
+			if !ok || nh != p[1] {
+				t.Errorf("NextHop(%v,%v) = %v,%v; path %v", src.ASN, dst.ASN, nh, ok, p)
+			}
+		}
+	}
+}
+
+func TestGeneratedTopologyAllPairsReachableV4(t *testing.T) {
+	topo, err := astopo.Generate(astopo.DefaultConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouting(topo, nil, V4)
+	// Spot-check a grid of pairs (full N² would be slow in -race runs).
+	step := len(topo.ASes)/20 + 1
+	for i := 0; i < len(topo.ASes); i += step {
+		for j := 0; j < len(topo.ASes); j += step {
+			src, dst := topo.ASes[i].ASN, topo.ASes[j].ASN
+			p := r.Path(src, dst)
+			if p == nil {
+				t.Errorf("%v → %v unreachable in steady state", src, dst)
+				continue
+			}
+			assertValleyFree(t, topo, p)
+		}
+	}
+}
+
+func TestDynamicsEpochs(t *testing.T) {
+	topo := diamond(t)
+	cfg := DynConfig{
+		Seed:       7,
+		Duration:   100 * 24 * time.Hour,
+		LinkMTBF:   40 * 24 * time.Hour,
+		OutageMean: 24 * time.Hour,
+		FlipMTBF:   100 * 24 * time.Hour,
+		FlipMean:   5 * 24 * time.Hour,
+	}
+	dyn, err := NewDynamics(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.NumEpochs() < 2 {
+		t.Fatalf("expected events over 100 days with 10 links, got %d epochs", dyn.NumEpochs())
+	}
+	if dyn.EpochAt(0) != 0 {
+		t.Errorf("EpochAt(0) = %d", dyn.EpochAt(0))
+	}
+	if dyn.EpochAt(-time.Hour) != 0 {
+		t.Errorf("EpochAt(<0) = %d", dyn.EpochAt(-time.Hour))
+	}
+	last := dyn.NumEpochs() - 1
+	if got := dyn.EpochAt(cfg.Duration * 2); got != last {
+		t.Errorf("EpochAt(after end) = %d, want %d", got, last)
+	}
+	// Epoch boundaries are strictly increasing.
+	for i := 1; i < dyn.NumEpochs(); i++ {
+		if dyn.EpochStart(i) <= dyn.EpochStart(i-1) {
+			t.Fatalf("epoch starts not increasing at %d", i)
+		}
+	}
+	// Event list sorted.
+	evs := dyn.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events not sorted at %d", i)
+		}
+	}
+}
+
+func TestDynamicsDeterministic(t *testing.T) {
+	topo := diamond(t)
+	cfg := DefaultDynConfig(9, 200*24*time.Hour)
+	a, err := NewDynamics(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDynamics(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEvents() != b.NumEvents() {
+		t.Fatalf("event counts differ: %d vs %d", a.NumEvents(), b.NumEvents())
+	}
+	for i := range a.Events() {
+		if a.Events()[i] != b.Events()[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestDynamicsRoutingChangesOverTime(t *testing.T) {
+	topo := diamond(t)
+	cfg := DynConfig{
+		Seed:       3,
+		Duration:   365 * 24 * time.Hour,
+		LinkMTBF:   60 * 24 * time.Hour,
+		OutageMean: 48 * time.Hour,
+		FlipMTBF:   365 * 24 * time.Hour,
+		FlipMean:   10 * 24 * time.Hour,
+	}
+	dyn, err := NewDynamics(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn.SetEviction(false)
+	seen := map[string]bool{}
+	for ep := 0; ep < dyn.NumEpochs(); ep++ {
+		r := dyn.RoutingAtEpoch(ep, V4)
+		p := r.Path(200, 201)
+		seen[pathString(p)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("expected multiple distinct S1→S2 paths over a year of failures, got %d", len(seen))
+	}
+}
+
+func TestDynamicsRejectsBadConfig(t *testing.T) {
+	topo := diamond(t)
+	if _, err := NewDynamics(topo, DynConfig{Duration: 0}); err == nil {
+		t.Error("zero duration should error")
+	}
+	cfg := DefaultDynConfig(1, time.Hour)
+	cfg.LinkMTBF = 0
+	if _, err := NewDynamics(topo, cfg); err == nil {
+		t.Error("zero MTBF should error")
+	}
+}
+
+func TestDynamicsCacheEviction(t *testing.T) {
+	topo := diamond(t)
+	dyn, err := NewDynamics(topo, DefaultDynConfig(5, 485*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.NumEpochs() < 3 {
+		t.Skip("not enough epochs for eviction test")
+	}
+	r0 := dyn.RoutingAtEpoch(0, V4)
+	_ = dyn.RoutingAtEpoch(2, V4)
+	// Epoch 0 should have been evicted; requesting it again builds a new view.
+	r0b := dyn.RoutingAtEpoch(0, V4)
+	if r0 == r0b {
+		t.Error("expected epoch 0 view to be evicted and rebuilt")
+	}
+	// With eviction off, views are retained.
+	dyn.SetEviction(false)
+	ra := dyn.RoutingAtEpoch(1, V4)
+	_ = dyn.RoutingAtEpoch(2, V4)
+	rb := dyn.RoutingAtEpoch(1, V4)
+	if ra != rb {
+		t.Error("expected cached view with eviction off")
+	}
+}
+
+func TestStateAt(t *testing.T) {
+	topo := diamond(t)
+	dyn, err := NewDynamics(topo, DefaultDynConfig(6, 485*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dyn.StateAt(0)
+	if len(st.Down) != 0 || len(st.Flipped) != 0 {
+		t.Error("initial state should be clean")
+	}
+}
+
+func TestPlaneString(t *testing.T) {
+	if V4.String() != "v4" || V6.String() != "v6" {
+		t.Error("plane strings wrong")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if LinkDown.String() != "link-down" || FlipOff.String() != "flip-off" {
+		t.Error("event kind strings wrong")
+	}
+}
+
+func pathString(p []ipam.ASN) string {
+	s := ""
+	for _, a := range p {
+		s += a.String() + " "
+	}
+	return s
+}

@@ -1,0 +1,258 @@
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/ipam"
+)
+
+// EventKind enumerates routing events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	LinkDown EventKind = iota // AS-level adjacency fails
+	LinkUp                    // adjacency restored
+	FlipOn                    // AS flips its tie-break preference (traffic engineering)
+	FlipOff                   // flip reverted
+)
+
+// String returns the event-kind name.
+func (k EventKind) String() string {
+	switch k {
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case FlipOn:
+		return "flip-on"
+	case FlipOff:
+		return "flip-off"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one routing event at a virtual-time offset from campaign start.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	A, B ipam.ASN // link events
+	AS   ipam.ASN // flip events
+}
+
+// DynConfig parameterizes the event schedule.
+type DynConfig struct {
+	Seed     int64
+	Duration time.Duration
+
+	// LinkMTBF is the mean time between failures of a single AS-level
+	// link; OutageMean is the mean outage duration.
+	LinkMTBF   time.Duration
+	OutageMean time.Duration
+
+	// FlipMTBF is the mean time between tie-break flips per AS;
+	// FlipMean is the mean duration of a flip.
+	FlipMTBF time.Duration
+	FlipMean time.Duration
+}
+
+// DefaultDynConfig returns a schedule tuned so that, over the paper's
+// 485-day window on the default topology, most server pairs see a handful
+// of AS paths (Figure 2) and ~18% see none at all.
+func DefaultDynConfig(seed int64, duration time.Duration) DynConfig {
+	return DynConfig{
+		Seed:       seed,
+		Duration:   duration,
+		LinkMTBF:   900 * 24 * time.Hour,
+		OutageMean: 8 * time.Hour,
+		FlipMTBF:   200 * 24 * time.Hour,
+		FlipMean:   5 * 24 * time.Hour,
+	}
+}
+
+// Dynamics owns the event schedule and hands out Routing views for any
+// point in virtual time. Routing views are cached per epoch and evicted
+// once the clock moves past them (campaigns advance monotonically), keeping
+// memory bounded.
+type Dynamics struct {
+	topo   *astopo.Topology
+	g      *graph
+	events []Event
+	// epochStart[i] is when epoch i begins; epoch 0 begins at 0.
+	epochStart []time.Duration
+	states     []*State
+
+	mu          sync.Mutex
+	cache       map[int64]*Routing // key: epoch<<1 | plane
+	cacheEvict  bool
+	lowestEpoch int
+}
+
+// NewDynamics generates the event schedule for topo under cfg.
+func NewDynamics(topo *astopo.Topology, cfg DynConfig) (*Dynamics, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("bgp: non-positive duration %v", cfg.Duration)
+	}
+	if cfg.LinkMTBF <= 0 || cfg.OutageMean <= 0 || cfg.FlipMTBF <= 0 || cfg.FlipMean <= 0 {
+		return nil, fmt.Errorf("bgp: all rate parameters must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var events []Event
+
+	exp := func(mean time.Duration) time.Duration {
+		return time.Duration(rng.ExpFloat64() * float64(mean))
+	}
+
+	// Link failure/repair processes.
+	for _, l := range topo.Links {
+		t := exp(cfg.LinkMTBF)
+		for t < cfg.Duration {
+			outage := exp(cfg.OutageMean)
+			events = append(events, Event{At: t, Kind: LinkDown, A: l.A, B: l.B})
+			up := t + outage
+			if up < cfg.Duration {
+				events = append(events, Event{At: up, Kind: LinkUp, A: l.A, B: l.B})
+			}
+			t = up + exp(cfg.LinkMTBF)
+		}
+	}
+
+	// Per-AS tie-break flips. Durations are heavy-tailed: most traffic
+	// engineering reverts within days, but some episodes persist for
+	// weeks (the multi-week level shifts of the paper's Figure 1a).
+	for _, as := range topo.ASes {
+		t := exp(cfg.FlipMTBF)
+		for t < cfg.Duration {
+			d := exp(cfg.FlipMean)
+			if rng.Float64() < 0.15 {
+				d *= 6
+			}
+			events = append(events, Event{At: t, Kind: FlipOn, AS: as.ASN})
+			off := t + d
+			if off < cfg.Duration {
+				events = append(events, Event{At: off, Kind: FlipOff, AS: as.ASN})
+			}
+			t = off + exp(cfg.FlipMTBF)
+		}
+	}
+
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		// Deterministic order for simultaneous events.
+		if events[i].Kind != events[j].Kind {
+			return events[i].Kind < events[j].Kind
+		}
+		if events[i].A != events[j].A {
+			return events[i].A < events[j].A
+		}
+		if events[i].B != events[j].B {
+			return events[i].B < events[j].B
+		}
+		return events[i].AS < events[j].AS
+	})
+
+	d := &Dynamics{
+		topo:       topo,
+		g:          newGraph(topo),
+		events:     events,
+		cache:      make(map[int64]*Routing),
+		cacheEvict: true,
+	}
+	d.buildEpochs()
+	return d, nil
+}
+
+// buildEpochs folds the event list into per-epoch state snapshots. Events
+// sharing a timestamp fold into one epoch.
+func (d *Dynamics) buildEpochs() {
+	cur := &State{Down: make(map[[2]ipam.ASN]bool), Flipped: make(map[ipam.ASN]bool)}
+	d.epochStart = []time.Duration{0}
+	d.states = []*State{cur.Clone()}
+	i := 0
+	for i < len(d.events) {
+		at := d.events[i].At
+		for i < len(d.events) && d.events[i].At == at {
+			ev := d.events[i]
+			switch ev.Kind {
+			case LinkDown:
+				cur.Down[pairKey(ev.A, ev.B)] = true
+			case LinkUp:
+				delete(cur.Down, pairKey(ev.A, ev.B))
+			case FlipOn:
+				cur.Flipped[ev.AS] = true
+			case FlipOff:
+				delete(cur.Flipped, ev.AS)
+			}
+			i++
+		}
+		d.epochStart = append(d.epochStart, at)
+		d.states = append(d.states, cur.Clone())
+	}
+}
+
+// NumEpochs returns the number of state epochs (≥ 1).
+func (d *Dynamics) NumEpochs() int { return len(d.epochStart) }
+
+// NumEvents returns the number of scheduled events.
+func (d *Dynamics) NumEvents() int { return len(d.events) }
+
+// Events returns the schedule (read-only).
+func (d *Dynamics) Events() []Event { return d.events }
+
+// EpochAt returns the epoch index in effect at virtual time t.
+func (d *Dynamics) EpochAt(t time.Duration) int {
+	// Find the last epochStart ≤ t.
+	i := sort.Search(len(d.epochStart), func(i int) bool { return d.epochStart[i] > t })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// EpochStart returns when epoch i begins.
+func (d *Dynamics) EpochStart(i int) time.Duration { return d.epochStart[i] }
+
+// StateAt returns the effective state at time t (read-only).
+func (d *Dynamics) StateAt(t time.Duration) *State { return d.states[d.EpochAt(t)] }
+
+// SetEviction controls whether Routing views for epochs earlier than the
+// most recently requested one are evicted. Campaigns advance monotonically
+// and should leave this on (the default); random-access analyses can turn
+// it off.
+func (d *Dynamics) SetEviction(on bool) { d.cacheEvict = on }
+
+// RoutingAt returns the (cached) routing view in effect at time t on the
+// given plane.
+func (d *Dynamics) RoutingAt(t time.Duration, plane Plane) *Routing {
+	return d.RoutingAtEpoch(d.EpochAt(t), plane)
+}
+
+// RoutingAtEpoch returns the (cached) routing view for an epoch index.
+// It is safe for concurrent use.
+func (d *Dynamics) RoutingAtEpoch(epoch int, plane Plane) *Routing {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := int64(epoch)<<1 | int64(plane)
+	if r, ok := d.cache[key]; ok {
+		return r
+	}
+	if d.cacheEvict && epoch > d.lowestEpoch {
+		for k := range d.cache {
+			if int(k>>1) < epoch {
+				delete(d.cache, k)
+			}
+		}
+		d.lowestEpoch = epoch
+	}
+	r := newRouting(d.g, d.states[epoch], plane)
+	d.cache[key] = r
+	return r
+}

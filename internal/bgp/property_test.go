@@ -1,0 +1,122 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/astopo"
+	"repro/internal/ipam"
+)
+
+// TestValleyFreeUnderRandomFailures asserts the central routing invariants
+// on a generated topology across many random failure states: every
+// computed path is loop-free and valley-free, and paths never use downed
+// links.
+func TestValleyFreeUnderRandomFailures(t *testing.T) {
+	topo, err := astopo.Generate(astopo.DefaultConfig(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	ases := topo.ASes
+	for trial := 0; trial < 25; trial++ {
+		st := &State{Down: map[[2]ipam.ASN]bool{}, Flipped: map[ipam.ASN]bool{}}
+		// Fail a random 3% of links and flip a random 5% of ASes.
+		for _, l := range topo.Links {
+			if rng.Float64() < 0.03 {
+				st.Down[pairKey(l.A, l.B)] = true
+			}
+		}
+		for _, as := range ases {
+			if rng.Float64() < 0.05 {
+				st.Flipped[as.ASN] = true
+			}
+		}
+		for _, plane := range []Plane{V4, V6} {
+			r := NewRouting(topo, st, plane)
+			for k := 0; k < 40; k++ {
+				src := ases[rng.Intn(len(ases))].ASN
+				dst := ases[rng.Intn(len(ases))].ASN
+				p := r.Path(src, dst)
+				if p == nil {
+					continue // partitions are legitimate under failures
+				}
+				assertLoopFree(t, p)
+				assertValleyFreeState(t, topo, st, plane, p)
+			}
+		}
+	}
+}
+
+func assertLoopFree(t *testing.T, p []ipam.ASN) {
+	t.Helper()
+	seen := map[ipam.ASN]bool{}
+	for _, a := range p {
+		if seen[a] {
+			t.Fatalf("AS loop in computed path %v", p)
+		}
+		seen[a] = true
+	}
+}
+
+func assertValleyFreeState(t *testing.T, topo *astopo.Topology, st *State, plane Plane, p []ipam.ASN) {
+	t.Helper()
+	state := 0 // 0 = climbing, 1 = descended/peered
+	for i := 0; i+1 < len(p); i++ {
+		a, b := p[i], p[i+1]
+		if st.Down[pairKey(a, b)] {
+			t.Fatalf("path %v uses downed link %v-%v", p, a, b)
+		}
+		if plane == V6 && !topo.LinkHasV6(a, b) {
+			t.Fatalf("v6 path %v uses v4-only link %v-%v", p, a, b)
+		}
+		switch topo.Rel(a, b) {
+		case astopo.RelCustomer:
+			if state == 1 {
+				t.Fatalf("valley in path %v at %v→%v", p, a, b)
+			}
+		case astopo.RelPeer:
+			if state == 1 {
+				t.Fatalf("second lateral move in path %v at %v→%v", p, a, b)
+			}
+			state = 1
+		case astopo.RelProvider:
+			state = 1
+		default:
+			t.Fatalf("path %v uses non-adjacent hop %v→%v", p, a, b)
+		}
+	}
+}
+
+// TestRoutingDeterministicAcrossInstances asserts that two Routing views of
+// the same state produce identical paths (no map-iteration order leaks).
+func TestRoutingDeterministicAcrossInstances(t *testing.T) {
+	topo, err := astopo.Generate(astopo.DefaultConfig(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &State{Down: map[[2]ipam.ASN]bool{}, Flipped: map[ipam.ASN]bool{}}
+	rng := rand.New(rand.NewSource(19))
+	for _, l := range topo.Links {
+		if rng.Float64() < 0.05 {
+			st.Down[pairKey(l.A, l.B)] = true
+		}
+	}
+	a := NewRouting(topo, st, V4)
+	b := NewRouting(topo, st, V4)
+	ases := topo.ASes
+	for trial := 0; trial < 200; trial++ {
+		src := ases[rng.Intn(len(ases))].ASN
+		dst := ases[rng.Intn(len(ases))].ASN
+		pa := a.Path(src, dst)
+		pb := b.Path(src, dst)
+		if len(pa) != len(pb) {
+			t.Fatalf("path lengths differ for %v→%v: %v vs %v", src, dst, pa, pb)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("paths differ for %v→%v: %v vs %v", src, dst, pa, pb)
+			}
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package campaign reproduces the paper's measurement campaigns on the
+// virtual clock:
+//
+//   - the long-term data set (§2.1): traceroutes between all pairs of
+//     dual-stack servers, in both directions and over both protocols, once
+//     every three hours for 16 months, with IPv4 switching from classic to
+//     Paris traceroute partway through (November 2014);
+//   - the short-term ping mesh (§2.2): servers ping a preselected target
+//     set every 15 minutes for a week;
+//   - the short-term traceroute campaigns (§2.2, §5.2): 30-minute
+//     traceroutes between selected pairs for weeks.
+//
+// Every measurement in a round is annotated with the round's timestamp, as
+// the paper does. Consumers receive records in a deterministic order.
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/probe"
+	"repro/internal/trace"
+)
+
+// Consumer receives measurement records as they are produced.
+type Consumer interface {
+	OnTraceroute(*trace.Traceroute)
+	OnPing(*trace.Ping)
+}
+
+// Collector is an in-memory Consumer.
+type Collector struct {
+	Traceroutes []*trace.Traceroute
+	Pings       []*trace.Ping
+}
+
+// OnTraceroute stores the record.
+func (c *Collector) OnTraceroute(tr *trace.Traceroute) { c.Traceroutes = append(c.Traceroutes, tr) }
+
+// OnPing stores the record.
+func (c *Collector) OnPing(p *trace.Ping) { c.Pings = append(c.Pings, p) }
+
+// Funcs adapts functions to Consumer; nil fields drop records.
+type Funcs struct {
+	Traceroute func(*trace.Traceroute)
+	Ping       func(*trace.Ping)
+}
+
+// OnTraceroute forwards to the function when set.
+func (f Funcs) OnTraceroute(tr *trace.Traceroute) {
+	if f.Traceroute != nil {
+		f.Traceroute(tr)
+	}
+}
+
+// OnPing forwards to the function when set.
+func (f Funcs) OnPing(p *trace.Ping) {
+	if f.Ping != nil {
+		f.Ping(p)
+	}
+}
+
+// Multi fans records out to several consumers.
+type Multi []Consumer
+
+// OnTraceroute forwards to every consumer.
+func (m Multi) OnTraceroute(tr *trace.Traceroute) {
+	for _, c := range m {
+		c.OnTraceroute(tr)
+	}
+}
+
+// OnPing forwards to every consumer.
+func (m Multi) OnPing(p *trace.Ping) {
+	for _, c := range m {
+		c.OnPing(p)
+	}
+}
+
+// LongTermConfig parameterizes the long-term full-mesh campaign.
+type LongTermConfig struct {
+	// Servers is the dual-stack mesh (the paper used ~600).
+	Servers []*cdn.Cluster
+	// Duration of the campaign (the paper: 485 days) and Interval between
+	// rounds (the paper: 3 hours).
+	Duration, Interval time.Duration
+	// ParisSwitchAt is when IPv4 measurements switch from classic to Paris
+	// traceroute (the paper: November 2014 ≈ day 300 of 485). Zero means
+	// Paris from the start; a value ≥ Duration means classic throughout.
+	ParisSwitchAt time.Duration
+}
+
+// Validate checks the configuration.
+func (cfg *LongTermConfig) Validate() error {
+	if len(cfg.Servers) < 2 {
+		return fmt.Errorf("campaign: need >= 2 servers, got %d", len(cfg.Servers))
+	}
+	for _, s := range cfg.Servers {
+		if !s.DualStack() {
+			return fmt.Errorf("campaign: server %d is not dual-stack", s.ID)
+		}
+	}
+	if cfg.Duration <= 0 || cfg.Interval <= 0 {
+		return fmt.Errorf("campaign: non-positive duration or interval")
+	}
+	return nil
+}
+
+// LongTerm runs the long-term campaign, streaming records to c.
+func LongTerm(p *probe.Prober, cfg LongTermConfig, c Consumer) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
+		paris4 := at >= cfg.ParisSwitchAt
+		for _, src := range cfg.Servers {
+			for _, dst := range cfg.Servers {
+				if src.ID == dst.ID {
+					continue
+				}
+				c.OnTraceroute(p.Traceroute(src, dst, false, paris4, at))
+				c.OnTraceroute(p.Traceroute(src, dst, true, false, at))
+			}
+		}
+	}
+	return nil
+}
+
+// PingMeshConfig parameterizes the short-term ping campaign.
+type PingMeshConfig struct {
+	// Pairs are directed (source, target) pairs. Both protocols are
+	// measured where both endpoints are dual-stack.
+	Pairs              [][2]*cdn.Cluster
+	Duration, Interval time.Duration
+}
+
+// PingMesh runs the ping campaign.
+func PingMesh(p *probe.Prober, cfg PingMeshConfig, c Consumer) error {
+	if len(cfg.Pairs) == 0 {
+		return fmt.Errorf("campaign: no pairs")
+	}
+	if cfg.Duration <= 0 || cfg.Interval <= 0 {
+		return fmt.Errorf("campaign: non-positive duration or interval")
+	}
+	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
+		for _, pair := range cfg.Pairs {
+			src, dst := pair[0], pair[1]
+			c.OnPing(p.Ping(src, dst, false, at))
+			if src.DualStack() && dst.DualStack() {
+				c.OnPing(p.Ping(src, dst, true, at))
+			}
+		}
+	}
+	return nil
+}
+
+// TracerouteCampaignConfig parameterizes the short-term traceroute
+// campaigns (30-minute rounds in the paper).
+type TracerouteCampaignConfig struct {
+	Pairs              [][2]*cdn.Cluster
+	Duration, Interval time.Duration
+	// BothDirections also measures dst→src each round (the paper measured
+	// "in either direction").
+	BothDirections bool
+	// Paris selects the traceroute flavor; V6 also measures IPv6 for
+	// dual-stack pairs.
+	Paris bool
+	V6    bool
+}
+
+// TracerouteCampaign runs the campaign.
+func TracerouteCampaign(p *probe.Prober, cfg TracerouteCampaignConfig, c Consumer) error {
+	if len(cfg.Pairs) == 0 {
+		return fmt.Errorf("campaign: no pairs")
+	}
+	if cfg.Duration <= 0 || cfg.Interval <= 0 {
+		return fmt.Errorf("campaign: non-positive duration or interval")
+	}
+	measure := func(src, dst *cdn.Cluster, at time.Duration) {
+		c.OnTraceroute(p.Traceroute(src, dst, false, cfg.Paris, at))
+		if cfg.V6 && src.DualStack() && dst.DualStack() {
+			c.OnTraceroute(p.Traceroute(src, dst, true, cfg.Paris, at))
+		}
+	}
+	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
+		for _, pair := range cfg.Pairs {
+			measure(pair[0], pair[1], at)
+			if cfg.BothDirections {
+				measure(pair[1], pair[0], at)
+			}
+		}
+	}
+	return nil
+}
+
+// SelectMesh picks up to n dual-stack clusters spread across the platform
+// — the long-term mesh population ("each located in a different server
+// cluster ... over 70 countries"). Clusters hosted in distinct ASes are
+// preferred (server-to-server paths should cross the core); remaining slots
+// are filled allowing host-AS reuse at distinct cities.
+func SelectMesh(p *cdn.Platform, n int, seed int64) []*cdn.Cluster {
+	rng := rand.New(rand.NewSource(seed))
+	ds := p.DualStackClusters()
+	shuffled := append([]*cdn.Cluster(nil), ds...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	type site struct {
+		as   int64
+		city int
+	}
+	seenAS := make(map[int64]bool)
+	seenSite := make(map[site]bool)
+	var out []*cdn.Cluster
+	for _, c := range shuffled {
+		as := int64(c.HostAS)
+		if seenAS[as] {
+			continue
+		}
+		seenAS[as] = true
+		seenSite[site{as, c.City}] = true
+		out = append(out, c)
+		if len(out) == n {
+			return out
+		}
+	}
+	for _, c := range shuffled {
+		k := site{int64(c.HostAS), c.City}
+		if seenSite[k] {
+			continue
+		}
+		seenSite[k] = true
+		out = append(out, c)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// FullMeshPairs expands servers into all ordered pairs.
+func FullMeshPairs(servers []*cdn.Cluster) [][2]*cdn.Cluster {
+	var out [][2]*cdn.Cluster
+	for _, a := range servers {
+		for _, b := range servers {
+			if a.ID != b.ID {
+				out = append(out, [2]*cdn.Cluster{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// UnorderedPairs expands servers into all unordered pairs.
+func UnorderedPairs(servers []*cdn.Cluster) [][2]*cdn.Cluster {
+	var out [][2]*cdn.Cluster
+	for i := 0; i < len(servers); i++ {
+		for j := i + 1; j < len(servers); j++ {
+			out = append(out, [2]*cdn.Cluster{servers[i], servers[j]})
+		}
+	}
+	return out
+}
+
+// ColocatedPairs returns unordered pairs of clusters at the same city — the
+// paper's full-mesh campaign between colocated clusters.
+func ColocatedPairs(p *cdn.Platform) [][2]*cdn.Cluster {
+	byCity := make(map[int][]*cdn.Cluster)
+	var cities []int
+	for _, c := range p.Clusters {
+		if byCity[c.City] == nil {
+			cities = append(cities, c.City)
+		}
+		byCity[c.City] = append(byCity[c.City], c)
+	}
+	sort.Ints(cities)
+	var out [][2]*cdn.Cluster
+	for _, city := range cities {
+		cs := byCity[city]
+		for i := 0; i < len(cs); i++ {
+			for j := i + 1; j < len(cs); j++ {
+				out = append(out, [2]*cdn.Cluster{cs[i], cs[j]})
+			}
+		}
+	}
+	return out
+}

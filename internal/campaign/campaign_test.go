@@ -1,0 +1,314 @@
+package campaign
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/bgp"
+	"repro/internal/cdn"
+	"repro/internal/congestion"
+	"repro/internal/itopo"
+	"repro/internal/probe"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+func newProber(t *testing.T, seed int64, days int, clusters int) (*probe.Prober, *cdn.Platform) {
+	t.Helper()
+	dur := time.Duration(days) * 24 * time.Hour
+	topo, err := astopo.Generate(astopo.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnet, err := itopo.Build(topo, itopo.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := bgp.NewDynamics(topo, bgp.DefaultDynConfig(seed, dur))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cong, err := congestion.NewModel(rnet, congestion.DefaultConfig(seed, dur))
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := cdn.Deploy(rnet, cdn.DefaultConfig(seed, clusters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return probe.New(simnet.New(rnet, dyn, cong, simnet.DefaultConfig(seed))), platform
+}
+
+func TestLongTermSchedule(t *testing.T) {
+	p, platform := newProber(t, 1, 3, 60)
+	servers := SelectMesh(platform, 6, 1)
+	if len(servers) != 6 {
+		t.Fatalf("mesh size = %d", len(servers))
+	}
+	var col Collector
+	cfg := LongTermConfig{
+		Servers:  servers,
+		Duration: 24 * time.Hour,
+		Interval: 3 * time.Hour,
+	}
+	if err := LongTerm(p, cfg, &col); err != nil {
+		t.Fatal(err)
+	}
+	// 8 rounds × 30 directed pairs × 2 protocols.
+	want := 8 * 6 * 5 * 2
+	if len(col.Traceroutes) != want {
+		t.Fatalf("traceroutes = %d, want %d", len(col.Traceroutes), want)
+	}
+	// Round timestamps are shared and multiples of the interval.
+	for _, tr := range col.Traceroutes {
+		if tr.At%(3*time.Hour) != 0 {
+			t.Fatalf("timestamp %v not on a round boundary", tr.At)
+		}
+	}
+	// Both protocols measured per pair per round.
+	v4, v6 := 0, 0
+	for _, tr := range col.Traceroutes {
+		if tr.V6 {
+			v6++
+		} else {
+			v4++
+		}
+	}
+	if v4 != v6 {
+		t.Errorf("v4=%d v6=%d, want equal", v4, v6)
+	}
+}
+
+func TestLongTermParisSwitch(t *testing.T) {
+	p, platform := newProber(t, 2, 3, 40)
+	servers := SelectMesh(platform, 3, 2)
+	var col Collector
+	cfg := LongTermConfig{
+		Servers:       servers,
+		Duration:      12 * time.Hour,
+		Interval:      3 * time.Hour,
+		ParisSwitchAt: 6 * time.Hour,
+	}
+	if err := LongTerm(p, cfg, &col); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range col.Traceroutes {
+		switch {
+		case tr.V6 && tr.Paris:
+			t.Fatal("v6 must remain classic throughout")
+		case !tr.V6 && tr.At < 6*time.Hour && tr.Paris:
+			t.Fatal("v4 must be classic before the switch")
+		case !tr.V6 && tr.At >= 6*time.Hour && !tr.Paris:
+			t.Fatal("v4 must be Paris after the switch")
+		}
+	}
+}
+
+func TestLongTermValidation(t *testing.T) {
+	p, platform := newProber(t, 3, 3, 40)
+	servers := SelectMesh(platform, 3, 3)
+	var col Collector
+	if err := LongTerm(p, LongTermConfig{Servers: servers[:1], Duration: time.Hour, Interval: time.Hour}, &col); err == nil {
+		t.Error("single server should error")
+	}
+	if err := LongTerm(p, LongTermConfig{Servers: servers, Duration: 0, Interval: time.Hour}, &col); err == nil {
+		t.Error("zero duration should error")
+	}
+	// Non-dual-stack server rejected.
+	var v4only *cdn.Cluster
+	for _, c := range platform.Clusters {
+		if !c.DualStack() {
+			v4only = c
+			break
+		}
+	}
+	if v4only != nil {
+		bad := append(append([]*cdn.Cluster(nil), servers...), v4only)
+		if err := LongTerm(p, LongTermConfig{Servers: bad, Duration: time.Hour, Interval: time.Hour}, &col); err == nil {
+			t.Error("non-dual-stack server should error")
+		}
+	}
+}
+
+func TestPingMesh(t *testing.T) {
+	p, platform := newProber(t, 4, 2, 50)
+	servers := SelectMesh(platform, 5, 4)
+	pairs := FullMeshPairs(servers)
+	var col Collector
+	cfg := PingMeshConfig{
+		Pairs:    pairs,
+		Duration: 2 * time.Hour,
+		Interval: 15 * time.Minute,
+	}
+	if err := PingMesh(p, cfg, &col); err != nil {
+		t.Fatal(err)
+	}
+	// 8 rounds × 20 pairs × 2 protocols (all mesh members dual-stack).
+	want := 8 * 20 * 2
+	if len(col.Pings) != want {
+		t.Fatalf("pings = %d, want %d", len(col.Pings), want)
+	}
+	if err := PingMesh(p, PingMeshConfig{}, &col); err == nil {
+		t.Error("empty pairs should error")
+	}
+}
+
+func TestTracerouteCampaignBothDirections(t *testing.T) {
+	p, platform := newProber(t, 5, 2, 50)
+	servers := SelectMesh(platform, 4, 5)
+	pairs := UnorderedPairs(servers)
+	var col Collector
+	cfg := TracerouteCampaignConfig{
+		Pairs:          pairs,
+		Duration:       time.Hour,
+		Interval:       30 * time.Minute,
+		BothDirections: true,
+		Paris:          true,
+		V6:             true,
+	}
+	if err := TracerouteCampaign(p, cfg, &col); err != nil {
+		t.Fatal(err)
+	}
+	// 2 rounds × 6 unordered pairs × 2 directions × 2 protocols.
+	want := 2 * 6 * 2 * 2
+	if len(col.Traceroutes) != want {
+		t.Fatalf("traceroutes = %d, want %d", len(col.Traceroutes), want)
+	}
+	// Every forward record has a same-round reverse record.
+	type k struct {
+		a, b int
+		at   time.Duration
+		v6   bool
+	}
+	seen := map[k]bool{}
+	for _, tr := range col.Traceroutes {
+		seen[k{tr.SrcID, tr.DstID, tr.At, tr.V6}] = true
+	}
+	for _, tr := range col.Traceroutes {
+		if !seen[k{tr.DstID, tr.SrcID, tr.At, tr.V6}] {
+			t.Fatalf("missing reverse measurement for %d→%d", tr.SrcID, tr.DstID)
+		}
+	}
+}
+
+func TestSelectMeshProperties(t *testing.T) {
+	_, platform := newProber(t, 6, 2, 300)
+	mesh := SelectMesh(platform, 40, 9)
+	if len(mesh) != 40 {
+		t.Fatalf("mesh = %d, want 40", len(mesh))
+	}
+	type site struct {
+		as   int64
+		city int
+	}
+	seen := map[site]bool{}
+	for _, c := range mesh {
+		if !c.DualStack() {
+			t.Errorf("cluster %d in mesh is not dual-stack", c.ID)
+		}
+		k := site{int64(c.HostAS), c.City}
+		if seen[k] {
+			t.Errorf("duplicate site in mesh: %+v", k)
+		}
+		seen[k] = true
+	}
+	// Deterministic under the same seed.
+	mesh2 := SelectMesh(platform, 40, 9)
+	for i := range mesh {
+		if mesh[i].ID != mesh2[i].ID {
+			t.Fatal("SelectMesh not deterministic")
+		}
+	}
+}
+
+func TestColocatedPairs(t *testing.T) {
+	_, platform := newProber(t, 7, 2, 200)
+	pairs := ColocatedPairs(platform)
+	if len(pairs) == 0 {
+		t.Fatal("no colocated pairs on a 200-cluster platform")
+	}
+	for _, pr := range pairs {
+		if pr[0].City != pr[1].City {
+			t.Errorf("pair %d/%d not colocated", pr[0].ID, pr[1].ID)
+		}
+		if pr[0].ID == pr[1].ID {
+			t.Error("self pair")
+		}
+	}
+}
+
+func TestConsumerAdapters(t *testing.T) {
+	var got []string
+	f := Funcs{
+		Traceroute: func(tr *trace.Traceroute) { got = append(got, "tr") },
+		Ping:       func(p *trace.Ping) { got = append(got, "pg") },
+	}
+	var col Collector
+	m := Multi{f, &col}
+	m.OnTraceroute(&trace.Traceroute{})
+	m.OnPing(&trace.Ping{})
+	if len(got) != 2 || got[0] != "tr" || got[1] != "pg" {
+		t.Errorf("Funcs adapter: %v", got)
+	}
+	if len(col.Traceroutes) != 1 || len(col.Pings) != 1 {
+		t.Error("Collector missed records via Multi")
+	}
+	// nil funcs drop silently
+	Funcs{}.OnTraceroute(&trace.Traceroute{})
+	Funcs{}.OnPing(&trace.Ping{})
+}
+
+// TestParallelMatchesSequential asserts that the parallel long-term runner
+// produces the exact record stream of the sequential one.
+func TestParallelMatchesSequential(t *testing.T) {
+	p, platform := newProber(t, 8, 2, 60)
+	servers := SelectMesh(platform, 5, 8)
+	cfg := LongTermConfig{
+		Servers:  servers,
+		Duration: 12 * time.Hour,
+		Interval: 3 * time.Hour,
+	}
+	var seq, par Collector
+	if err := LongTerm(p, cfg, &seq); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh prober so path caches don't leak ordering effects.
+	p2, platform2 := newProber(t, 8, 2, 60)
+	servers2 := SelectMesh(platform2, 5, 8)
+	cfg.Servers = servers2
+	if err := LongTermParallel(p2, cfg, 4, &par); err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Traceroutes) != len(par.Traceroutes) {
+		t.Fatalf("record counts differ: %d vs %d", len(seq.Traceroutes), len(par.Traceroutes))
+	}
+	for i := range seq.Traceroutes {
+		a, b := seq.Traceroutes[i], par.Traceroutes[i]
+		if a.SrcID != b.SrcID || a.DstID != b.DstID || a.At != b.At ||
+			a.V6 != b.V6 || a.RTT != b.RTT || a.Complete != b.Complete ||
+			len(a.Hops) != len(b.Hops) {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a, b)
+		}
+		for h := range a.Hops {
+			if a.Hops[h] != b.Hops[h] {
+				t.Fatalf("record %d hop %d differs", i, h)
+			}
+		}
+	}
+}
+
+// TestParallelSingleWorkerFallback covers the sequential fast path.
+func TestParallelSingleWorkerFallback(t *testing.T) {
+	p, platform := newProber(t, 9, 2, 50)
+	servers := SelectMesh(platform, 3, 9)
+	cfg := LongTermConfig{Servers: servers, Duration: 3 * time.Hour, Interval: 3 * time.Hour}
+	var col Collector
+	if err := LongTermParallel(p, cfg, 1, &col); err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * 2 * 2 // pairs × protocols
+	if len(col.Traceroutes) != want {
+		t.Fatalf("records = %d, want %d", len(col.Traceroutes), want)
+	}
+}

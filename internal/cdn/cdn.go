@@ -1,0 +1,260 @@
+// Package cdn deploys the synthetic content delivery platform onto the
+// router-level network: server clusters at colocation centers, IXPs,
+// datacenters and inside third-party (eyeball) networks, mirroring the
+// paper's description of a platform with clusters in >2000 locations and a
+// country mix led by the USA (~39% of measurement servers), then Australia,
+// Germany, India, Japan and Canada.
+//
+// One dual-stack measurement server per cluster performs all probing, as on
+// the real platform.
+package cdn
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/ipam"
+	"repro/internal/itopo"
+)
+
+// Cluster is one server cluster; its measurement server addresses are the
+// vantage points of every campaign.
+type Cluster struct {
+	ID     int
+	City   int // geo.Cities index
+	HostAS ipam.ASN
+	// Attach is the host AS's router the cluster connects through.
+	Attach itopo.RouterID
+
+	Net4, Net6       netip.Prefix
+	Server4, Server6 netip.Addr // Server6 invalid for v4-only hosts
+}
+
+// DualStack reports whether the cluster's measurement server has IPv6.
+func (c *Cluster) DualStack() bool { return c.Server6.IsValid() }
+
+// Country returns the cluster's country code.
+func (c *Cluster) Country() string { return geo.Cities[c.City].Country }
+
+// Continent returns the cluster's continent.
+func (c *Cluster) Continent() geo.Continent { return geo.Cities[c.City].Continent }
+
+// Platform is the deployed CDN.
+type Platform struct {
+	Clusters []*Cluster
+
+	byAddr map[netip.Addr]*Cluster
+}
+
+// Config parameterizes deployment.
+type Config struct {
+	Seed        int64
+	NumClusters int
+
+	// OwnFrac is the fraction of clusters deployed inside the CDN's own AS
+	// (at its PoPs); the rest are hosted inside third-party networks.
+	OwnFrac float64
+
+	// CountryWeights biases cluster placement; countries absent from the
+	// map share the remaining probability uniformly. The default mirrors
+	// the paper's distribution.
+	CountryWeights map[string]float64
+}
+
+// DefaultConfig returns the paper-shaped deployment parameters.
+func DefaultConfig(seed int64, clusters int) Config {
+	return Config{
+		Seed:        seed,
+		NumClusters: clusters,
+		OwnFrac:     0.45,
+		CountryWeights: map[string]float64{
+			"US": 0.39,
+			"AU": 0.045, "DE": 0.04, "IN": 0.04, "JP": 0.035, "CA": 0.03,
+		},
+	}
+}
+
+// Deploy places clusters on the network.
+func Deploy(net *itopo.Network, cfg Config) (*Platform, error) {
+	if cfg.NumClusters < 2 {
+		return nil, fmt.Errorf("cdn: need at least 2 clusters, got %d", cfg.NumClusters)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	topo := net.Topo
+	cdnAS, ok := topo.AS(topo.CDNASN)
+	if !ok {
+		return nil, fmt.Errorf("cdn: topology has no CDN AS")
+	}
+
+	// Precompute, per city, the candidate host ASes (those with a router
+	// there), excluding the CDN itself.
+	hostsByCity := make(map[int][]ipam.ASN)
+	for _, as := range topo.ASes {
+		if as.ASN == topo.CDNASN {
+			continue
+		}
+		for _, city := range as.Footprint {
+			hostsByCity[city] = append(hostsByCity[city], as.ASN)
+		}
+	}
+	for city := range hostsByCity {
+		hs := hostsByCity[city]
+		sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	}
+
+	picker, err := newCityPicker(cfg.CountryWeights, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Platform{byAddr: make(map[netip.Addr]*Cluster)}
+	for i := 0; i < cfg.NumClusters; i++ {
+		var host ipam.ASN
+		var city int
+		if rng.Float64() < cfg.OwnFrac {
+			host = topo.CDNASN
+			city = cdnAS.Footprint[rng.Intn(len(cdnAS.Footprint))]
+		} else {
+			city = picker.pick()
+			cands := hostsByCity[city]
+			if len(cands) == 0 {
+				host = topo.CDNASN
+			} else {
+				host = cands[rng.Intn(len(cands))]
+			}
+		}
+		c, err := newCluster(net, i, host, city)
+		if err != nil {
+			return nil, err
+		}
+		p.Clusters = append(p.Clusters, c)
+		p.byAddr[c.Server4] = c
+		if c.Server6.IsValid() {
+			p.byAddr[c.Server6] = c
+		}
+	}
+	return p, nil
+}
+
+func newCluster(net *itopo.Network, id int, host ipam.ASN, city int) (*Cluster, error) {
+	net4, net6, attach, err := net.AllocCluster(host, city)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		ID:     id,
+		City:   city,
+		HostAS: host,
+		Attach: attach,
+		Net4:   net4,
+		Net6:   net6,
+	}
+	if c.Server4, err = ipam.HostSeq(net4, 1); err != nil {
+		return nil, err
+	}
+	if net6.IsValid() {
+		if c.Server6, err = ipam.HostSeq(net6, 1); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// ByAddr returns the cluster owning a measurement-server address.
+func (p *Platform) ByAddr(a netip.Addr) (*Cluster, bool) {
+	c, ok := p.byAddr[a]
+	return c, ok
+}
+
+// DualStackClusters returns the clusters whose servers speak both
+// protocols — the population the paper's long-term mesh is drawn from.
+func (p *Platform) DualStackClusters() []*Cluster {
+	var out []*Cluster
+	for _, c := range p.Clusters {
+		if c.DualStack() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CountryMix returns the fraction of clusters per country code.
+func (p *Platform) CountryMix() map[string]float64 {
+	mix := make(map[string]float64)
+	for _, c := range p.Clusters {
+		mix[c.Country()]++
+	}
+	for k := range mix {
+		mix[k] /= float64(len(p.Clusters))
+	}
+	return mix
+}
+
+// cityPicker samples cities with country-level weighting.
+type cityPicker struct {
+	rng      *rand.Rand
+	weighted []int // city indices for weighted countries
+	weights  []float64
+	restSum  float64
+	rest     []int // all other cities, sampled uniformly
+}
+
+func newCityPicker(countryWeights map[string]float64, rng *rand.Rand) (*cityPicker, error) {
+	p := &cityPicker{rng: rng}
+	total := 0.0
+	countries := make([]string, 0, len(countryWeights))
+	for c, w := range countryWeights {
+		if w < 0 {
+			return nil, fmt.Errorf("cdn: negative weight for %s", c)
+		}
+		total += w
+		countries = append(countries, c)
+	}
+	if total > 1 {
+		return nil, fmt.Errorf("cdn: country weights sum to %.2f > 1", total)
+	}
+	sort.Strings(countries)
+	weightedCities := map[int]bool{}
+	for _, country := range countries {
+		cs := geo.CitiesIn(country)
+		if len(cs) == 0 {
+			return nil, fmt.Errorf("cdn: no cities for weighted country %s", country)
+		}
+		var idxs []int
+		for i, c := range geo.Cities {
+			if c.Country == country {
+				idxs = append(idxs, i)
+				weightedCities[i] = true
+			}
+		}
+		per := countryWeights[country] / float64(len(idxs))
+		for _, i := range idxs {
+			p.weighted = append(p.weighted, i)
+			p.weights = append(p.weights, per)
+		}
+	}
+	for i := range geo.Cities {
+		if !weightedCities[i] {
+			p.rest = append(p.rest, i)
+		}
+	}
+	p.restSum = 1 - total
+	return p, nil
+}
+
+func (p *cityPicker) pick() int {
+	u := p.rng.Float64()
+	for i, w := range p.weights {
+		if u < w {
+			return p.weighted[i]
+		}
+		u -= w
+	}
+	if len(p.rest) == 0 {
+		return p.weighted[len(p.weighted)-1]
+	}
+	return p.rest[p.rng.Intn(len(p.rest))]
+}

@@ -1,0 +1,154 @@
+package cdn
+
+import (
+	"testing"
+
+	"repro/internal/astopo"
+	"repro/internal/itopo"
+)
+
+func deployTest(t *testing.T, seed int64, clusters int) (*itopo.Network, *Platform) {
+	t.Helper()
+	topo, err := astopo.Generate(astopo.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := itopo.Build(topo, itopo.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Deploy(net, DefaultConfig(seed, clusters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, p
+}
+
+func TestDeployBasics(t *testing.T) {
+	net, p := deployTest(t, 1, 200)
+	if len(p.Clusters) != 200 {
+		t.Fatalf("clusters = %d, want 200", len(p.Clusters))
+	}
+	for _, c := range p.Clusters {
+		if !c.Server4.IsValid() {
+			t.Errorf("cluster %d has no v4 server", c.ID)
+		}
+		if !c.Net4.Contains(c.Server4) {
+			t.Errorf("cluster %d server outside its subnet", c.ID)
+		}
+		// Cluster address must map to the host AS in the BGP view.
+		origin, ok := net.BGP.Lookup(c.Server4)
+		if !ok || origin != c.HostAS {
+			t.Errorf("cluster %d: server maps to %v, %v; want %v", c.ID, origin, ok, c.HostAS)
+		}
+		// Attach router is operated by the host AS.
+		if net.Routers[c.Attach].Owner != c.HostAS {
+			t.Errorf("cluster %d attach router owned by %v, want %v",
+				c.ID, net.Routers[c.Attach].Owner, c.HostAS)
+		}
+		if c.DualStack() {
+			if origin6, ok := net.BGP.Lookup(c.Server6); !ok || origin6 != c.HostAS {
+				t.Errorf("cluster %d: v6 server maps to %v, %v", c.ID, origin6, ok)
+			}
+		}
+	}
+}
+
+func TestDeployCountryMix(t *testing.T) {
+	_, p := deployTest(t, 2, 3000)
+	mix := p.CountryMix()
+	// Hosted clusters (55%) follow country weights; own clusters follow
+	// the CDN footprint. The US share must clearly dominate.
+	if mix["US"] < 0.20 {
+		t.Errorf("US share = %.2f, want >= 0.20", mix["US"])
+	}
+	// Broad coverage.
+	if len(mix) < 30 {
+		t.Errorf("platform spans %d countries, want >= 30", len(mix))
+	}
+}
+
+func TestDeployDualStackMajority(t *testing.T) {
+	_, p := deployTest(t, 3, 500)
+	ds := p.DualStackClusters()
+	if len(ds) < len(p.Clusters)/3 {
+		t.Errorf("dual-stack clusters = %d of %d, want a sizable fraction", len(ds), len(p.Clusters))
+	}
+	if len(ds) == len(p.Clusters) {
+		t.Log("note: all clusters dual-stack (possible but unusual)")
+	}
+	for _, c := range ds {
+		if !c.Server6.IsValid() || !c.Net6.Contains(c.Server6) {
+			t.Errorf("dual-stack cluster %d has bad v6 server", c.ID)
+		}
+	}
+}
+
+func TestByAddr(t *testing.T) {
+	_, p := deployTest(t, 4, 100)
+	for _, c := range p.Clusters {
+		got, ok := p.ByAddr(c.Server4)
+		if !ok || got != c {
+			t.Errorf("ByAddr(v4) failed for cluster %d", c.ID)
+		}
+		if c.DualStack() {
+			got, ok = p.ByAddr(c.Server6)
+			if !ok || got != c {
+				t.Errorf("ByAddr(v6) failed for cluster %d", c.ID)
+			}
+		}
+	}
+	if _, ok := p.ByAddr(p.Clusters[0].Net4.Addr()); ok {
+		t.Error("network address should not resolve to a cluster")
+	}
+}
+
+func TestDeployDeterministic(t *testing.T) {
+	_, a := deployTest(t, 7, 150)
+	_, b := deployTest(t, 7, 150)
+	for i := range a.Clusters {
+		ca, cb := a.Clusters[i], b.Clusters[i]
+		if ca.City != cb.City || ca.HostAS != cb.HostAS || ca.Server4 != cb.Server4 {
+			t.Fatalf("cluster %d differs between identical deployments", i)
+		}
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	topo, err := astopo.Generate(astopo.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := itopo.Build(topo, itopo.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Deploy(net, DefaultConfig(5, 1)); err == nil {
+		t.Error("single cluster should error")
+	}
+	cfg := DefaultConfig(5, 10)
+	cfg.CountryWeights = map[string]float64{"US": 2}
+	if _, err := Deploy(net, cfg); err == nil {
+		t.Error("weights > 1 should error")
+	}
+	cfg = DefaultConfig(5, 10)
+	cfg.CountryWeights = map[string]float64{"XX": 0.5}
+	if _, err := Deploy(net, cfg); err == nil {
+		t.Error("unknown weighted country should error")
+	}
+	cfg = DefaultConfig(5, 10)
+	cfg.CountryWeights = map[string]float64{"US": -0.1}
+	if _, err := Deploy(net, cfg); err == nil {
+		t.Error("negative weight should error")
+	}
+}
+
+func TestClusterMetadata(t *testing.T) {
+	_, p := deployTest(t, 8, 50)
+	for _, c := range p.Clusters {
+		if c.Country() == "" {
+			t.Errorf("cluster %d has no country", c.ID)
+		}
+		_ = c.Continent()
+	}
+}

@@ -1,0 +1,226 @@
+// Package congestion models consistent congestion — the paper's term for
+// daily-oscillating latency inflation — on a subset of router-level links.
+// Each congested link gets a raised-cosine delay bump centered on the local
+// busy hour, with a magnitude distribution mirroring Section 5.4: 20–30 ms
+// for intra-US links, around 60 ms on transcontinental spans, and up to
+// ~90 ms on some Asia and Asia–Europe interconnects.
+//
+// The set of congested links is ground truth the detector
+// (internal/core/congest) is validated against; the paper had to infer it.
+package congestion
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/geo"
+	"repro/internal/itopo"
+)
+
+// Profile describes one link's congestion episode.
+type Profile struct {
+	Link itopo.LinkID
+
+	// Amplitude is the peak added queueing delay at the busy hour.
+	Amplitude time.Duration
+	// PeakHour is the local hour of peak congestion; Width the busy-period
+	// length in hours (the bump spans PeakHour ± Width/2).
+	PeakHour, Width float64
+	// City determines local time for the diurnal cycle.
+	City int
+	// Start and End bound the episode within the campaign (congestion
+	// comes and goes, cf. the paper's peering-dispute discussion).
+	Start, End time.Duration
+}
+
+// DelayAt returns the added queueing delay on the link at virtual time t
+// (offset from campaign start, which is 00:00 UTC).
+func (p *Profile) DelayAt(t time.Duration) time.Duration {
+	if t < p.Start || t >= p.End {
+		return 0
+	}
+	h := geo.Cities[p.City].LocalHour(t)
+	// Circular distance from the peak hour.
+	d := math.Abs(h - p.PeakHour)
+	if d > 12 {
+		d = 24 - d
+	}
+	if d >= p.Width/2 {
+		return 0
+	}
+	// Raised cosine: Amplitude at the peak, 0 at the edges.
+	frac := 0.5 * (1 + math.Cos(2*math.Pi*d/p.Width))
+	return time.Duration(float64(p.Amplitude) * frac)
+}
+
+// ActiveAt reports whether the episode covers time t.
+func (p *Profile) ActiveAt(t time.Duration) bool { return t >= p.Start && t < p.End }
+
+// Config parameterizes congested-link selection.
+type Config struct {
+	Seed     int64
+	Duration time.Duration
+
+	// InternalFrac and InterconnectFrac are the fractions of internal and
+	// interconnection links that experience congestion. The paper found
+	// more congested internal links by count, but interconnection links
+	// (mostly private peering) carrying more server-pair paths.
+	InternalFrac     float64
+	InterconnectFrac float64
+
+	// PrivatePeeringBias multiplies the selection weight of private
+	// peering links relative to IXP links (the paper: congestion at
+	// interconnection occurs more often on private peering; IXP SLAs police
+	// fabric utilization).
+	PrivatePeeringBias float64
+
+	// PermanentProb is the chance an episode spans the whole campaign;
+	// otherwise it lasts 3–60 days starting at a random offset.
+	PermanentProb float64
+}
+
+// DefaultConfig returns the standard congestion parameters.
+func DefaultConfig(seed int64, duration time.Duration) Config {
+	return Config{
+		Seed:               seed,
+		Duration:           duration,
+		InternalFrac:       0.0025,
+		InterconnectFrac:   0.008,
+		PrivatePeeringBias: 3.0,
+		PermanentProb:      0.4,
+	}
+}
+
+// Model is the congestion state of a network.
+type Model struct {
+	profiles map[itopo.LinkID]*Profile
+	ordered  []itopo.LinkID
+}
+
+// NewModel selects congested links in net per cfg.
+func NewModel(net *itopo.Network, cfg Config) (*Model, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("congestion: non-positive duration")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{profiles: make(map[itopo.LinkID]*Profile)}
+
+	for _, l := range net.Links {
+		var p float64
+		switch l.Kind {
+		case itopo.Internal:
+			p = cfg.InternalFrac
+		case itopo.PrivatePeering:
+			// Private interconnects run "hot" most often (paper §5.3).
+			p = cfg.InterconnectFrac * cfg.PrivatePeeringBias
+		case itopo.IXPPeering:
+			// IXP SLAs police port utilization.
+			p = cfg.InterconnectFrac * 0.5
+		default: // Transit
+			p = cfg.InterconnectFrac
+		}
+		if l.Kind != itopo.Internal {
+			// Interconnects of heavily used networks (tier-1 transit, the
+			// CDN's peers) run hot more often — and carry many more
+			// server-to-server paths, the paper's popularity observation.
+			oa, _ := net.Topo.AS(net.Routers[l.A].Owner)
+			ob, _ := net.Topo.AS(net.Routers[l.B].Owner)
+			if (oa != nil && (oa.Tier == astopo.Tier1 || oa.Tier == astopo.CDN)) ||
+				(ob != nil && (ob.Tier == astopo.Tier1 || ob.Tier == astopo.CDN)) {
+				p *= 3
+			}
+		}
+		if rng.Float64() >= p {
+			continue
+		}
+		m.profiles[l.ID] = newProfile(net, l, rng, cfg)
+		m.ordered = append(m.ordered, l.ID)
+	}
+	sort.Slice(m.ordered, func(i, j int) bool { return m.ordered[i] < m.ordered[j] })
+	return m, nil
+}
+
+func newProfile(net *itopo.Network, l *itopo.Link, rng *rand.Rand, cfg Config) *Profile {
+	ca := geo.Cities[net.Routers[l.A].City]
+	cb := geo.Cities[net.Routers[l.B].City]
+
+	// Magnitude by region (paper §5.4).
+	var amp time.Duration
+	switch {
+	case ca.Continent != cb.Continent:
+		// Transcontinental: ~60 ms, Asia↔Europe up to ~90 ms.
+		base := 45 + rng.Float64()*30 // 45–75
+		if (ca.Continent == geo.Asia && cb.Continent == geo.Europe) ||
+			(ca.Continent == geo.Europe && cb.Continent == geo.Asia) {
+			base = 60 + rng.Float64()*35 // 60–95
+		}
+		amp = time.Duration(base * float64(time.Millisecond))
+	case ca.Country == "US" && cb.Country == "US":
+		// Uniform router-buffer rule of thumb: tight 20–30 ms band.
+		amp = time.Duration((20 + rng.Float64()*10) * float64(time.Millisecond))
+	case ca.Continent == geo.Asia:
+		// Wider spread in Asia, incl. some very high values.
+		amp = time.Duration((15 + rng.Float64()*75) * float64(time.Millisecond))
+	default:
+		amp = time.Duration((12 + rng.Float64()*40) * float64(time.Millisecond))
+	}
+
+	start, end := time.Duration(0), cfg.Duration
+	if rng.Float64() >= cfg.PermanentProb {
+		days := 3 + rng.Float64()*57
+		span := time.Duration(days * 24 * float64(time.Hour))
+		if span < cfg.Duration {
+			start = time.Duration(rng.Float64() * float64(cfg.Duration-span))
+			end = start + span
+		}
+	}
+
+	return &Profile{
+		Link:      l.ID,
+		Amplitude: amp,
+		PeakHour:  19 + rng.Float64()*3, // local evening peak
+		Width:     4 + rng.Float64()*4,  // 4–8 busy hours
+		City:      net.Routers[l.A].City,
+		Start:     start,
+		End:       end,
+	}
+}
+
+// DelayOn returns the congestion delay on link lid at time t (0 for
+// uncongested links).
+func (m *Model) DelayOn(lid itopo.LinkID, t time.Duration) time.Duration {
+	p, ok := m.profiles[lid]
+	if !ok {
+		return 0
+	}
+	return p.DelayAt(t)
+}
+
+// Profile returns the congestion profile of a link.
+func (m *Model) Profile(lid itopo.LinkID) (*Profile, bool) {
+	p, ok := m.profiles[lid]
+	return p, ok
+}
+
+// CongestedLinks returns the ground-truth set of congested links, sorted.
+func (m *Model) CongestedLinks() []itopo.LinkID { return m.ordered }
+
+// CongestedOnPath returns the subset of the path's inbound links that have
+// a congestion profile active at any point (ground truth for localization
+// validation).
+func (m *Model) CongestedOnPath(hops []itopo.PathHop) []itopo.LinkID {
+	var out []itopo.LinkID
+	for _, h := range hops {
+		if h.InLink < 0 {
+			continue
+		}
+		if _, ok := m.profiles[h.InLink]; ok {
+			out = append(out, h.InLink)
+		}
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package congestion
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/geo"
+	"repro/internal/itopo"
+)
+
+func testNet(t *testing.T, seed int64) *itopo.Network {
+	t.Helper()
+	topo, err := astopo.Generate(astopo.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := itopo.Build(topo, itopo.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestProfileDiurnalShape(t *testing.T) {
+	ny := cityIdx(t, "New York") // UTC-5
+	p := &Profile{
+		Amplitude: 30 * time.Millisecond,
+		PeakHour:  20,
+		Width:     6,
+		City:      ny,
+		Start:     0,
+		End:       30 * 24 * time.Hour,
+	}
+	// Local 20:00 in NY is 01:00 UTC.
+	peakT := 1 * time.Hour
+	if d := p.DelayAt(peakT); d < 29*time.Millisecond || d > 30*time.Millisecond {
+		t.Errorf("peak delay = %v, want ~30ms", d)
+	}
+	// Off-peak (local 08:00 = 13:00 UTC): zero.
+	if d := p.DelayAt(13 * time.Hour); d != 0 {
+		t.Errorf("off-peak delay = %v, want 0", d)
+	}
+	// Edge of busy period (peak ± width/2): zero (raised cosine).
+	edge := peakT + 3*time.Hour
+	if d := p.DelayAt(edge); d > time.Millisecond {
+		t.Errorf("edge delay = %v, want ~0", d)
+	}
+	// Halfway into the bump: exactly half the amplitude.
+	half := peakT + 90*time.Minute
+	if d := p.DelayAt(half); d < 14*time.Millisecond || d > 16*time.Millisecond {
+		t.Errorf("half-width delay = %v, want ~15ms", d)
+	}
+	// Repeats daily.
+	if d := p.DelayAt(peakT + 24*time.Hour); d < 29*time.Millisecond {
+		t.Errorf("next-day peak = %v, want ~30ms", d)
+	}
+}
+
+func TestProfileEpisodeWindow(t *testing.T) {
+	ny := cityIdx(t, "New York")
+	p := &Profile{
+		Amplitude: 30 * time.Millisecond,
+		PeakHour:  20, Width: 6, City: ny,
+		Start: 10 * 24 * time.Hour,
+		End:   20 * 24 * time.Hour,
+	}
+	peakOffset := 1 * time.Hour
+	if d := p.DelayAt(peakOffset); d != 0 {
+		t.Errorf("before episode: %v, want 0", d)
+	}
+	if d := p.DelayAt(15*24*time.Hour + peakOffset); d == 0 {
+		t.Error("during episode: want nonzero")
+	}
+	if d := p.DelayAt(25*24*time.Hour + peakOffset); d != 0 {
+		t.Errorf("after episode: %v, want 0", d)
+	}
+	if p.ActiveAt(0) || !p.ActiveAt(12*24*time.Hour) || p.ActiveAt(20*24*time.Hour) {
+		t.Error("ActiveAt window wrong")
+	}
+}
+
+func TestProfilePeakNearMidnightWraps(t *testing.T) {
+	ldn := cityIdx(t, "London") // UTC+0
+	p := &Profile{
+		Amplitude: 20 * time.Millisecond,
+		PeakHour:  23.5, Width: 4, City: ldn,
+		Start: 0, End: 24 * time.Hour * 10,
+	}
+	// 00:30 local is 1h from the 23:30 peak — inside the bump thanks to
+	// circular hour distance.
+	if d := p.DelayAt(30 * time.Minute); d == 0 {
+		t.Error("bump should wrap across midnight")
+	}
+}
+
+func TestNewModelSelectsLinks(t *testing.T) {
+	net := testNet(t, 1)
+	dur := 30 * 24 * time.Hour
+	m, err := NewModel(net, DefaultConfig(1, dur))
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := m.CongestedLinks()
+	if len(links) == 0 {
+		t.Fatal("no congested links selected")
+	}
+	frac := float64(len(links)) / float64(len(net.Links))
+	if frac < 0.0005 || frac > 0.03 {
+		t.Errorf("congested fraction = %.4f, want a sparse minority", frac)
+	}
+	kinds := map[itopo.LinkKind]int{}
+	for _, lid := range links {
+		kinds[net.Links[lid].Kind]++
+		p, ok := m.Profile(lid)
+		if !ok {
+			t.Fatalf("profile missing for %d", lid)
+		}
+		if p.Amplitude < 10*time.Millisecond || p.Amplitude > 100*time.Millisecond {
+			t.Errorf("amplitude %v out of expected range", p.Amplitude)
+		}
+		if p.Width < 4 || p.Width > 8 {
+			t.Errorf("width %v out of range", p.Width)
+		}
+		if p.Start < 0 || p.End > dur || p.Start >= p.End {
+			t.Errorf("bad episode window [%v, %v)", p.Start, p.End)
+		}
+	}
+	if kinds[itopo.Internal] == 0 {
+		t.Error("no internal links congested")
+	}
+	if kinds[itopo.Transit]+kinds[itopo.PrivatePeering]+kinds[itopo.IXPPeering] == 0 {
+		t.Error("no interconnects congested")
+	}
+}
+
+func TestUSAmplitudesInBand(t *testing.T) {
+	net := testNet(t, 2)
+	m, err := NewModel(net, DefaultConfig(2, 60*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lid := range m.CongestedLinks() {
+		l := net.Links[lid]
+		ca := geo.Cities[net.Routers[l.A].City]
+		cb := geo.Cities[net.Routers[l.B].City]
+		if ca.Country == "US" && cb.Country == "US" {
+			p, _ := m.Profile(lid)
+			if p.Amplitude < 20*time.Millisecond || p.Amplitude > 30*time.Millisecond {
+				t.Errorf("US-US link amplitude %v outside 20-30ms band", p.Amplitude)
+			}
+		}
+		if ca.Continent != cb.Continent {
+			p, _ := m.Profile(lid)
+			if p.Amplitude < 45*time.Millisecond {
+				t.Errorf("transcontinental amplitude %v below 45ms", p.Amplitude)
+			}
+		}
+	}
+}
+
+func TestDelayOnUncongested(t *testing.T) {
+	net := testNet(t, 3)
+	m, err := NewModel(net, DefaultConfig(3, 30*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	congested := map[itopo.LinkID]bool{}
+	for _, lid := range m.CongestedLinks() {
+		congested[lid] = true
+	}
+	for _, l := range net.Links {
+		if !congested[l.ID] {
+			if d := m.DelayOn(l.ID, 12*time.Hour); d != 0 {
+				t.Fatalf("uncongested link %d has delay %v", l.ID, d)
+			}
+		}
+	}
+}
+
+func TestModelDeterministic(t *testing.T) {
+	net := testNet(t, 4)
+	a, err := NewModel(net, DefaultConfig(9, 30*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewModel(net, DefaultConfig(9, 30*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, lb := a.CongestedLinks(), b.CongestedLinks()
+	if len(la) != len(lb) {
+		t.Fatalf("selection differs: %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("link %d differs", i)
+		}
+		pa, _ := a.Profile(la[i])
+		pb, _ := b.Profile(lb[i])
+		if *pa != *pb {
+			t.Fatalf("profile %d differs", i)
+		}
+	}
+}
+
+func TestNewModelRejectsBadDuration(t *testing.T) {
+	net := testNet(t, 5)
+	if _, err := NewModel(net, Config{Duration: 0}); err == nil {
+		t.Error("zero duration should error")
+	}
+}
+
+func TestCongestedOnPath(t *testing.T) {
+	net := testNet(t, 6)
+	m, err := NewModel(net, DefaultConfig(6, 30*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lids := m.CongestedLinks()
+	if len(lids) == 0 {
+		t.Skip("no congested links")
+	}
+	hops := []itopo.PathHop{
+		{Router: 0, InLink: -1},
+		{Router: 1, InLink: lids[0]},
+	}
+	got := m.CongestedOnPath(hops)
+	if len(got) != 1 || got[0] != lids[0] {
+		t.Errorf("CongestedOnPath = %v, want [%d]", got, lids[0])
+	}
+}
+
+func cityIdx(t *testing.T, name string) int {
+	t.Helper()
+	for i, c := range geo.Cities {
+		if c.Name == name {
+			return i
+		}
+	}
+	t.Fatalf("city %q not found", name)
+	return -1
+}

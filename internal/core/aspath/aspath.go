@@ -1,0 +1,286 @@
+// Package aspath infers AS-level paths from traceroute output the way the
+// paper does (§2.1, §4.1): each hop address is mapped to the origin AS of
+// its longest matching BGP prefix; unresponsive or unmapped hops are
+// imputed when both known neighbors agree; consecutive duplicates collapse
+// into one AS hop; and paths are classified for the Table 1 accounting
+// (complete AS-level data / missing AS-level data / missing IP-level data).
+//
+// Route changes are detected by the token-level edit distance between the
+// AS paths of consecutive traceroutes (§4.1).
+package aspath
+
+import (
+	"strings"
+
+	"repro/internal/ipam"
+	"repro/internal/trace"
+)
+
+// Path is an AS-level path with consecutive duplicates collapsed.
+type Path []ipam.ASN
+
+// String renders the path as "AS1 AS2 AS3".
+func (p Path) String() string {
+	var b strings.Builder
+	for i, a := range p {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.String())
+	}
+	return b.String()
+}
+
+// Equal reports element-wise equality.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasLoop reports whether an AS appears at two non-adjacent positions —
+// the AS-path loops the paper excludes (2.16% of IPv4, 5.5% of IPv6
+// traceroutes).
+func (p Path) HasLoop() bool {
+	seen := make(map[ipam.ASN]bool, len(p))
+	for _, a := range p {
+		if seen[a] {
+			return true
+		}
+		seen[a] = true
+	}
+	return false
+}
+
+// Key returns a compact map key for the path.
+func (p Path) Key() string { return p.String() }
+
+// Completeness classifies a traceroute's hop data (Table 1). A traceroute
+// with any unresponsive hop counts as missing IP-level data; otherwise one
+// with any unmapped address counts as missing AS-level data.
+type Completeness uint8
+
+// Completeness classes.
+const (
+	CompleteASLevel Completeness = iota
+	MissingASLevel
+	MissingIPLevel
+)
+
+// String returns the Table 1 row label.
+func (c Completeness) String() string {
+	switch c {
+	case CompleteASLevel:
+		return "complete AS-level data"
+	case MissingASLevel:
+		return "missing AS-level data"
+	case MissingIPLevel:
+		return "missing IP-level data"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is the inference outcome for one traceroute.
+type Result struct {
+	// Path is the inferred AS path including the source and destination
+	// ASes. When Resolved is false, unresolved hops were dropped from the
+	// path and it should not be used for change detection.
+	Path Path
+	// Class is the Table 1 completeness class.
+	Class Completeness
+	// Resolved reports that every hop mapped to an AS, possibly after
+	// imputation.
+	Resolved bool
+	// Imputed counts hops whose AS was filled in by imputation.
+	Imputed int
+	// Loop reports a non-adjacent AS repetition.
+	Loop bool
+}
+
+// Usable reports whether the path should enter timeline analyses: fully
+// resolved and loop-free.
+func (r Result) Usable() bool { return r.Resolved && !r.Loop }
+
+// Mapper infers AS paths using a BGP-derived longest-prefix-match view.
+type Mapper struct {
+	Table *ipam.Table
+	// NoImpute disables missing-hop imputation (used by the ablation that
+	// quantifies how much imputation recovers).
+	NoImpute bool
+}
+
+// NewMapper returns a Mapper over the given IP-to-AS table.
+func NewMapper(t *ipam.Table) *Mapper { return &Mapper{Table: t} }
+
+// hop markers used during inference.
+const (
+	hopUnresponsive ipam.ASN = 0
+	// hopUnmapped marks a responsive hop with no BGP cover. The value is
+	// outside any ASN the simulator allocates.
+	hopUnmapped ipam.ASN = ^ipam.ASN(0)
+)
+
+// Infer maps a traceroute to an AS path.
+func (m *Mapper) Infer(tr *trace.Traceroute) Result {
+	var res Result
+
+	// The source server's AS anchors the path.
+	raw := make([]ipam.ASN, 0, len(tr.Hops)+1)
+	if src, ok := m.Table.Lookup(tr.Src); ok {
+		raw = append(raw, src)
+	} else {
+		raw = append(raw, hopUnmapped)
+	}
+	for _, h := range tr.Hops {
+		if !h.Responsive() {
+			raw = append(raw, hopUnresponsive)
+			continue
+		}
+		if as, ok := m.Table.Lookup(h.Addr); ok {
+			raw = append(raw, as)
+		} else {
+			raw = append(raw, hopUnmapped)
+		}
+	}
+
+	// Classify before imputation: the Table 1 accounting reflects the raw
+	// measurement, not what inference recovered.
+	res.Class = CompleteASLevel
+	for _, a := range raw[1:] { // source lookup always succeeds on real data
+		switch a {
+		case hopUnresponsive:
+			res.Class = MissingIPLevel
+		case hopUnmapped:
+			if res.Class == CompleteASLevel {
+				res.Class = MissingASLevel
+			}
+		}
+	}
+
+	// Imputation: a run of unknown hops flanked by the same AS on both
+	// sides belongs to that AS.
+	if !m.NoImpute {
+		res.Imputed = impute(raw)
+	}
+
+	// Collapse consecutive duplicates, dropping still-unknown hops.
+	res.Resolved = true
+	for _, a := range raw {
+		if a == hopUnresponsive || a == hopUnmapped {
+			res.Resolved = false
+			continue
+		}
+		if len(res.Path) == 0 || res.Path[len(res.Path)-1] != a {
+			res.Path = append(res.Path, a)
+		}
+	}
+	res.Loop = res.Path.HasLoop()
+	return res
+}
+
+// impute fills runs of unknown hops whose flanking ASes agree, returning
+// the number of hops filled.
+func impute(raw []ipam.ASN) int {
+	filled := 0
+	i := 0
+	for i < len(raw) {
+		if raw[i] != hopUnresponsive && raw[i] != hopUnmapped {
+			i++
+			continue
+		}
+		// Find the run [i, j).
+		j := i
+		for j < len(raw) && (raw[j] == hopUnresponsive || raw[j] == hopUnmapped) {
+			j++
+		}
+		if i > 0 && j < len(raw) && raw[i-1] == raw[j] {
+			for k := i; k < j; k++ {
+				raw[k] = raw[j]
+				filled++
+			}
+		}
+		i = j
+	}
+	return filled
+}
+
+// EditDistance returns the token-level Levenshtein distance between two AS
+// paths — the paper's measure of how different two routes are; zero means
+// no routing change.
+func EditDistance(a, b Path) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Tally accumulates the Table 1 accounting.
+type Tally struct {
+	Complete  int
+	MissingAS int
+	MissingIP int
+	Loops     int
+	Total     int
+}
+
+// Add records one inference result.
+func (t *Tally) Add(r Result) {
+	t.Total++
+	switch r.Class {
+	case CompleteASLevel:
+		t.Complete++
+	case MissingASLevel:
+		t.MissingAS++
+	case MissingIPLevel:
+		t.MissingIP++
+	}
+	if r.Loop {
+		t.Loops++
+	}
+}
+
+// Fractions returns the Table 1 row fractions (complete, missing AS-level,
+// missing IP-level) of all tallied traceroutes.
+func (t *Tally) Fractions() (complete, missingAS, missingIP float64) {
+	if t.Total == 0 {
+		return 0, 0, 0
+	}
+	n := float64(t.Total)
+	return float64(t.Complete) / n, float64(t.MissingAS) / n, float64(t.MissingIP) / n
+}

@@ -1,0 +1,257 @@
+package aspath
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ipam"
+	"repro/internal/trace"
+)
+
+// testMapper builds a table:
+//
+//	10.0.0.0/8   -> AS100 (source space)
+//	20.0.0.0/8   -> AS200
+//	30.0.0.0/8   -> AS300 (destination space)
+//	40.0.0.0/8   -> AS400
+//	(90.0.0.0/8 deliberately unannounced)
+func testMapper(t *testing.T) *Mapper {
+	t.Helper()
+	tbl := ipam.NewTable()
+	for _, e := range []struct {
+		p  string
+		as ipam.ASN
+	}{
+		{"10.0.0.0/8", 100},
+		{"20.0.0.0/8", 200},
+		{"30.0.0.0/8", 300},
+		{"40.0.0.0/8", 400},
+	} {
+		if err := tbl.Insert(netip.MustParsePrefix(e.p), e.as); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewMapper(tbl)
+}
+
+func tr(src string, hops ...string) *trace.Traceroute {
+	t := &trace.Traceroute{Src: netip.MustParseAddr(src), Complete: true}
+	for _, h := range hops {
+		if h == "*" {
+			t.Hops = append(t.Hops, trace.Hop{})
+		} else {
+			t.Hops = append(t.Hops, trace.Hop{Addr: netip.MustParseAddr(h)})
+		}
+	}
+	return t
+}
+
+func TestInferCleanPath(t *testing.T) {
+	m := testMapper(t)
+	r := m.Infer(tr("10.0.0.1", "10.0.0.2", "20.0.0.1", "20.0.0.2", "30.0.0.1"))
+	if !r.Path.Equal(Path{100, 200, 300}) {
+		t.Errorf("path = %v", r.Path)
+	}
+	if r.Class != CompleteASLevel || !r.Resolved || r.Loop || r.Imputed != 0 {
+		t.Errorf("result = %+v", r)
+	}
+	if !r.Usable() {
+		t.Error("clean path should be usable")
+	}
+}
+
+func TestInferImputesUnresponsiveHop(t *testing.T) {
+	m := testMapper(t)
+	// Unresponsive hop inside AS200's segment: imputed.
+	r := m.Infer(tr("10.0.0.1", "20.0.0.1", "*", "20.0.0.2", "30.0.0.1"))
+	if !r.Path.Equal(Path{100, 200, 300}) {
+		t.Errorf("path = %v", r.Path)
+	}
+	if r.Class != MissingIPLevel {
+		t.Errorf("class = %v, want missing IP-level", r.Class)
+	}
+	if !r.Resolved || r.Imputed != 1 {
+		t.Errorf("resolved=%v imputed=%d", r.Resolved, r.Imputed)
+	}
+}
+
+func TestInferImputesUnmappedHop(t *testing.T) {
+	m := testMapper(t)
+	// 90.0.0.1 is responsive but unannounced; flanked by AS200 → imputed.
+	r := m.Infer(tr("10.0.0.1", "20.0.0.1", "90.0.0.1", "20.0.0.2", "30.0.0.1"))
+	if !r.Path.Equal(Path{100, 200, 300}) {
+		t.Errorf("path = %v", r.Path)
+	}
+	if r.Class != MissingASLevel {
+		t.Errorf("class = %v, want missing AS-level", r.Class)
+	}
+	if !r.Resolved || r.Imputed != 1 {
+		t.Errorf("resolved=%v imputed=%d", r.Resolved, r.Imputed)
+	}
+}
+
+func TestInferUnresolvableBoundaryHop(t *testing.T) {
+	m := testMapper(t)
+	// Unknown hop at an AS boundary (AS200 → AS300): cannot impute.
+	r := m.Infer(tr("10.0.0.1", "20.0.0.1", "*", "30.0.0.1"))
+	if r.Resolved {
+		t.Error("boundary gap should remain unresolved")
+	}
+	if r.Usable() {
+		t.Error("unresolved result must not be usable")
+	}
+	// The path still contains the known segments.
+	if !r.Path.Equal(Path{100, 200, 300}) {
+		t.Errorf("path = %v", r.Path)
+	}
+}
+
+func TestInferRunOfMissingHops(t *testing.T) {
+	m := testMapper(t)
+	r := m.Infer(tr("10.0.0.1", "20.0.0.1", "*", "90.0.0.1", "20.0.0.2", "30.0.0.1"))
+	if !r.Resolved || r.Imputed != 2 {
+		t.Errorf("run imputation failed: %+v", r)
+	}
+	// Mixed missing kinds: IP-level wins the classification.
+	if r.Class != MissingIPLevel {
+		t.Errorf("class = %v", r.Class)
+	}
+}
+
+func TestInferLoopDetection(t *testing.T) {
+	m := testMapper(t)
+	// 200 ... 400 ... 200: AS loop.
+	r := m.Infer(tr("10.0.0.1", "20.0.0.1", "40.0.0.1", "20.0.0.2", "30.0.0.1"))
+	if !r.Loop {
+		t.Error("loop not detected")
+	}
+	if r.Usable() {
+		t.Error("looped path must not be usable")
+	}
+}
+
+func TestInferCollapsesConsecutiveDuplicates(t *testing.T) {
+	m := testMapper(t)
+	r := m.Infer(tr("10.0.0.1", "10.0.0.9", "10.0.1.1", "20.0.0.1", "20.0.5.5", "20.1.1.1", "30.0.0.1"))
+	if !r.Path.Equal(Path{100, 200, 300}) {
+		t.Errorf("path = %v", r.Path)
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	p := Path{100, 200, 300}
+	if p.String() != "AS100 AS200 AS300" {
+		t.Errorf("String = %q", p.String())
+	}
+	if p.Key() != p.String() {
+		t.Error("Key should equal String")
+	}
+	if !p.Equal(Path{100, 200, 300}) || p.Equal(Path{100, 200}) || p.Equal(Path{100, 200, 301}) {
+		t.Error("Equal broken")
+	}
+	if p.HasLoop() {
+		t.Error("no loop expected")
+	}
+	if !(Path{100, 200, 100}).HasLoop() {
+		t.Error("loop expected")
+	}
+	if (Path{}).HasLoop() {
+		t.Error("empty path has no loop")
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b Path
+		want int
+	}{
+		{Path{1, 2, 3}, Path{1, 2, 3}, 0},
+		{Path{1, 2, 3, 4}, Path{1, 2, 4}, 1}, // the paper's example: one removal
+		{Path{1, 2, 3}, Path{1, 5, 3}, 1},    // substitution
+		{Path{1, 2, 3}, Path{}, 3},           // deletion of all
+		{Path{}, Path{7}, 1},                 // insertion
+		{Path{1, 2, 3}, Path{4, 5, 6, 7}, 4}, // all different + 1 longer
+		{Path{1, 2, 3, 4, 5}, Path{1, 3, 5}, 2},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceProperties(t *testing.T) {
+	toPath := func(raw []uint8) Path {
+		p := make(Path, len(raw)%7)
+		for i := range p {
+			p[i] = ipam.ASN(raw[i]%5 + 1)
+		}
+		return p
+	}
+	// Symmetry and identity-of-indiscernibles-ish properties.
+	f := func(ra, rb []uint8) bool {
+		a, b := toPath(ra), toPath(rb)
+		d1, d2 := EditDistance(a, b), EditDistance(b, a)
+		if d1 != d2 {
+			return false
+		}
+		if a.Equal(b) != (d1 == 0) {
+			return false
+		}
+		// Bounded by the longer length.
+		longer := len(a)
+		if len(b) > longer {
+			longer = len(b)
+		}
+		return d1 <= longer
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditDistanceTriangleInequality(t *testing.T) {
+	toPath := func(raw []uint8) Path {
+		p := make(Path, len(raw)%6)
+		for i := range p {
+			p[i] = ipam.ASN(raw[i]%4 + 1)
+		}
+		return p
+	}
+	f := func(ra, rb, rc []uint8) bool {
+		a, b, c := toPath(ra), toPath(rb), toPath(rc)
+		return EditDistance(a, c) <= EditDistance(a, b)+EditDistance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTally(t *testing.T) {
+	var tally Tally
+	tally.Add(Result{Class: CompleteASLevel})
+	tally.Add(Result{Class: CompleteASLevel, Loop: true})
+	tally.Add(Result{Class: MissingASLevel})
+	tally.Add(Result{Class: MissingIPLevel})
+	c, a, i := tally.Fractions()
+	if c != 0.5 || a != 0.25 || i != 0.25 {
+		t.Errorf("fractions = %v %v %v", c, a, i)
+	}
+	if tally.Loops != 1 || tally.Total != 4 {
+		t.Errorf("tally = %+v", tally)
+	}
+	var empty Tally
+	if c, a, i := empty.Fractions(); c != 0 || a != 0 || i != 0 {
+		t.Error("empty tally fractions should be 0")
+	}
+}
+
+func TestCompletenessString(t *testing.T) {
+	if CompleteASLevel.String() == "" || MissingASLevel.String() == "" || MissingIPLevel.String() == "" {
+		t.Error("empty completeness strings")
+	}
+	if Completeness(9).String() != "unknown" {
+		t.Error("unknown class string")
+	}
+}

@@ -1,0 +1,148 @@
+package changepoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// steps builds a noisy piecewise-constant series.
+func steps(rng *rand.Rand, lengths []int, levels []float64, sigma float64) []float64 {
+	var out []float64
+	for i, n := range lengths {
+		for j := 0; j < n; j++ {
+			out = append(out, levels[i]+rng.NormFloat64()*sigma)
+		}
+	}
+	return out
+}
+
+func TestDetectSingleShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := steps(rng, []int{200, 200}, []float64{50, 150}, 2)
+	cuts := Detect(xs, 10, 0)
+	if len(cuts) != 1 {
+		t.Fatalf("cuts = %v, want exactly one", cuts)
+	}
+	if cuts[0] < 195 || cuts[0] > 205 {
+		t.Errorf("cut at %d, want ~200", cuts[0])
+	}
+}
+
+func TestDetectMultipleShifts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := steps(rng, []int{150, 100, 200, 120}, []float64{60, 160, 55, 90}, 3)
+	cuts := Detect(xs, 10, 0)
+	if len(cuts) != 3 {
+		t.Fatalf("cuts = %v, want 3", cuts)
+	}
+	want := []int{150, 250, 450}
+	for i, w := range want {
+		if abs(cuts[i]-w) > 8 {
+			t.Errorf("cut %d at %d, want ~%d", i, cuts[i], w)
+		}
+	}
+}
+
+func TestDetectNoShiftOnNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 80 + rng.NormFloat64()*4
+	}
+	if cuts := Detect(xs, 10, 0); len(cuts) != 0 {
+		t.Errorf("noise-only series produced cuts %v", cuts)
+	}
+}
+
+func TestDetectSpikesNotShifts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 600)
+	for i := range xs {
+		xs[i] = 80 + rng.NormFloat64()
+		if rng.Float64() < 0.02 {
+			xs[i] += 80 // the paper's isolated spikes
+		}
+	}
+	if cuts := DetectRobust(xs, 10, 5); len(cuts) != 0 {
+		t.Errorf("spiky-but-level series produced cuts %v after median filter", cuts)
+	}
+}
+
+func TestDetectShiftSurvivesMedianFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := steps(rng, []int{300, 300}, []float64{60, 170}, 2)
+	for i := range xs {
+		if rng.Float64() < 0.02 {
+			xs[i] += 90
+		}
+	}
+	cuts := DetectRobust(xs, 10, 5)
+	if len(cuts) != 1 || abs(cuts[0]-300) > 8 {
+		t.Errorf("cuts = %v, want one near 300", cuts)
+	}
+}
+
+func TestDetectEdgeCases(t *testing.T) {
+	if cuts := Detect(nil, 5, 0); cuts != nil {
+		t.Error("nil input should yield nil")
+	}
+	if cuts := Detect([]float64{1, 2}, 5, 0); cuts != nil {
+		t.Error("short input should yield nil")
+	}
+	// Constant series.
+	xs := make([]float64, 100)
+	if cuts := Detect(xs, 5, 0); len(cuts) != 0 {
+		t.Errorf("constant series produced cuts %v", cuts)
+	}
+	// Explicit huge penalty suppresses everything.
+	rng := rand.New(rand.NewSource(6))
+	shifted := steps(rng, []int{50, 50}, []float64{0, 100}, 1)
+	if cuts := Detect(shifted, 5, math.Inf(1)); len(cuts) != 0 {
+		t.Error("infinite penalty should suppress cuts")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	xs := []float64{1, 1, 1, 5, 5, 5}
+	segs := Split(xs, []int{3})
+	if len(segs) != 2 {
+		t.Fatalf("segments = %v", segs)
+	}
+	if segs[0].Mean != 1 || segs[1].Mean != 5 {
+		t.Errorf("means = %v, %v", segs[0].Mean, segs[1].Mean)
+	}
+	if segs[0].Start != 0 || segs[0].End != 3 || segs[1].Start != 3 || segs[1].End != 6 {
+		t.Errorf("bounds wrong: %+v", segs)
+	}
+	// No cuts: one segment.
+	if segs := Split(xs, nil); len(segs) != 1 {
+		t.Errorf("no-cut split = %v", segs)
+	}
+}
+
+func TestMedianFilter(t *testing.T) {
+	xs := []float64{1, 1, 100, 1, 1}
+	got := MedianFilter(xs, 3)
+	if got[2] != 1 {
+		t.Errorf("spike not removed: %v", got)
+	}
+	// Even/small windows are normalized without panicking.
+	_ = MedianFilter(xs, 4)
+	_ = MedianFilter(xs, 1)
+	if len(MedianFilter(nil, 5)) != 0 {
+		t.Error("empty filter should be empty")
+	}
+}
+
+func TestMatchRate(t *testing.T) {
+	if got := MatchRate([]int{100, 200}, []int{101, 500}, 3); got != 0.5 {
+		t.Errorf("match rate = %v, want 0.5", got)
+	}
+	if got := MatchRate(nil, []int{1}, 3); got != 0 {
+		t.Error("empty detected should be 0")
+	}
+	if got := MatchRate([]int{5}, []int{5}, 0); got != 1 {
+		t.Error("exact match at tol 0 should count")
+	}
+}

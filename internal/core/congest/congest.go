@@ -1,0 +1,398 @@
+// Package congest implements the paper's congestion analyses: detection of
+// consistent (diurnally oscillating) congestion from ping meshes (§5.1),
+// localization of the congested segment from traceroute campaigns via
+// per-segment Pearson correlation (§5.2), and estimation of the congestion
+// overhead (§5.4, Figure 9).
+package congest
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"time"
+
+	"repro/internal/core/fft"
+	"repro/internal/core/stats"
+	"repro/internal/trace"
+)
+
+// Series is an evenly spaced RTT time series for one directed pair.
+// Missing samples (losses) hold NaN.
+type Series struct {
+	Key      trace.PairKey
+	Interval time.Duration
+	RTTms    []float64
+	Received int
+}
+
+// Values returns the series with NaN gaps filled by linear interpolation
+// (ends clamped to the nearest sample) — the spectral analysis needs an
+// evenly spaced series.
+func (s *Series) Values() []float64 {
+	out := append([]float64(nil), s.RTTms...)
+	fillGaps(out)
+	return out
+}
+
+func fillGaps(xs []float64) {
+	n := len(xs)
+	i := 0
+	for i < n {
+		if !math.IsNaN(xs[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < n && math.IsNaN(xs[j]) {
+			j++
+		}
+		switch {
+		case i == 0 && j == n:
+			for k := range xs {
+				xs[k] = 0
+			}
+		case i == 0:
+			for k := i; k < j; k++ {
+				xs[k] = xs[j]
+			}
+		case j == n:
+			for k := i; k < n; k++ {
+				xs[k] = xs[i-1]
+			}
+		default:
+			lo, hi := xs[i-1], xs[j]
+			span := float64(j - i + 1)
+			for k := i; k < j; k++ {
+				frac := float64(k-i+1) / span
+				xs[k] = lo*(1-frac) + hi*frac
+			}
+		}
+		i = j
+	}
+}
+
+// BuildSeries folds ping records into per-pair series. Pairs with fewer
+// than minSamples received measurements are dropped (the paper required
+// ≥600 of 672 possible samples).
+func BuildSeries(pings []*trace.Ping, interval, duration time.Duration, minSamples int) map[trace.PairKey]*Series {
+	slots := int(duration / interval)
+	if slots <= 0 {
+		return nil
+	}
+	out := make(map[trace.PairKey]*Series)
+	for _, p := range pings {
+		k := p.Key()
+		s := out[k]
+		if s == nil {
+			s = &Series{Key: k, Interval: interval, RTTms: make([]float64, slots)}
+			for i := range s.RTTms {
+				s.RTTms[i] = math.NaN()
+			}
+			out[k] = s
+		}
+		slot := int(p.At / interval)
+		if slot < 0 || slot >= slots {
+			continue
+		}
+		if p.Lost {
+			continue
+		}
+		s.RTTms[slot] = float64(p.RTT) / float64(time.Millisecond)
+		s.Received++
+	}
+	for k, s := range out {
+		if s.Received < minSamples {
+			delete(out, k)
+		}
+	}
+	return out
+}
+
+// VariationMs returns the p95−p5 spread of the series (the paper's §5.1
+// variation metric).
+func (s *Series) VariationMs() float64 {
+	vals := received(s.RTTms)
+	if len(vals) == 0 {
+		return 0
+	}
+	return stats.Percentile(vals, 95) - stats.Percentile(vals, 5)
+}
+
+func received(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, v := range xs {
+		if !math.IsNaN(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// DiurnalRatio returns the fraction of the series' energy at f = 1/day.
+func (s *Series) DiurnalRatio() float64 {
+	return fft.DiurnalRatio(s.Values(), s.Interval)
+}
+
+// Detector holds the §5.1 thresholds.
+type Detector struct {
+	// VariationMs is the minimum p95−p5 spread (paper: 10 ms).
+	VariationMs float64
+	// PSDThreshold is the minimum diurnal power ratio (paper: 0.3).
+	PSDThreshold float64
+}
+
+// DefaultDetector returns the paper's thresholds.
+func DefaultDetector() Detector {
+	return Detector{VariationMs: 10, PSDThreshold: fft.DefaultDiurnalThreshold}
+}
+
+// Congested reports whether the series shows consistent congestion: large
+// variation with a strong diurnal pattern.
+func (d Detector) Congested(s *Series) bool {
+	return s.VariationMs() >= d.VariationMs && s.DiurnalRatio() >= d.PSDThreshold
+}
+
+// MeshSummary aggregates §5.1 over a ping mesh, per protocol.
+type MeshSummary struct {
+	Pairs         int
+	HighVariation int // p95−p5 ≥ threshold
+	Congested     int // high variation and strong diurnal pattern
+}
+
+// HighVariationFrac returns the fraction of pairs with large RTT variation.
+func (m MeshSummary) HighVariationFrac() float64 { return frac(m.HighVariation, m.Pairs) }
+
+// CongestedFrac returns the fraction of pairs with consistent congestion.
+func (m MeshSummary) CongestedFrac() float64 { return frac(m.Congested, m.Pairs) }
+
+func frac(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Summarize runs the detector over a series map, split by protocol.
+func Summarize(series map[trace.PairKey]*Series, d Detector) (v4, v6 MeshSummary) {
+	for k, s := range series {
+		m := &v4
+		if k.V6 {
+			m = &v6
+		}
+		m.Pairs++
+		highVar := s.VariationMs() >= d.VariationMs
+		if highVar {
+			m.HighVariation++
+			if s.DiurnalRatio() >= d.PSDThreshold {
+				m.Congested++
+			}
+		}
+	}
+	return v4, v6
+}
+
+// Localization is the outcome of segment localization for one pair.
+type Localization struct {
+	Key trace.PairKey
+	// SegmentIndex is the 1-based hop position whose segment first matched
+	// the end-to-end congestion pattern; HopAddr is that hop's address.
+	SegmentIndex int
+	HopAddr      netip.Addr
+	// Rho is the Pearson correlation of the matching segment.
+	Rho float64
+	// OverheadMs estimates the congestion's RTT contribution (p95−p5 of
+	// the end-to-end series), the Figure 9 quantity.
+	OverheadMs float64
+	// DiurnalRatio of the end-to-end series.
+	DiurnalRatio float64
+}
+
+// Localizer holds the §5.2 parameters.
+type Localizer struct {
+	// MinRho is the correlation threshold for marking a segment (paper: 0.5).
+	MinRho float64
+	// PSDThreshold gates localization on a persisting diurnal signal.
+	PSDThreshold float64
+	// MinStableFrac is the fraction of traceroutes that must agree on the
+	// IP-level path (the paper restricts to static IP-level paths).
+	MinStableFrac float64
+	// Interval is the campaign cadence.
+	Interval time.Duration
+}
+
+// DefaultLocalizer returns the paper's parameters for a 30-minute campaign.
+func DefaultLocalizer() Localizer {
+	return Localizer{
+		MinRho:        0.5,
+		PSDThreshold:  fft.DefaultDiurnalThreshold,
+		MinStableFrac: 0.9,
+		Interval:      30 * time.Minute,
+	}
+}
+
+// Errors returned by Localize.
+var (
+	ErrUnstablePath = fmt.Errorf("congest: IP-level path not static")
+	ErrNoDiurnal    = fmt.Errorf("congest: no persistent diurnal signal")
+	ErrNoSegment    = fmt.Errorf("congest: no segment matches the end-to-end pattern")
+	ErrNoData       = fmt.Errorf("congest: not enough complete traceroutes")
+)
+
+// Localize infers the congested segment from the time-ordered traceroutes
+// of one directed pair. Following the paper, it (1) verifies the IP-level
+// path is static, (2) re-checks the diurnal signal on the end-to-end RTTs,
+// (3) builds one RTT time series per segment, and (4) reports the first
+// segment whose series correlates with the end-to-end series at ρ ≥ MinRho.
+func (l Localizer) Localize(trs []*trace.Traceroute) (*Localization, error) {
+	// The spectral analysis assumes one sample per round: keep complete
+	// traceroutes, one per timestamp.
+	complete := make([]*trace.Traceroute, 0, len(trs))
+	seenAt := make(map[time.Duration]bool, len(trs))
+	for _, tr := range trs {
+		if !tr.Complete || len(tr.Hops) <= 1 || seenAt[tr.At] {
+			continue
+		}
+		seenAt[tr.At] = true
+		complete = append(complete, tr)
+	}
+	if len(complete) < 16 {
+		return nil, ErrNoData
+	}
+
+	// Static-path check via a consensus path: majority hop count, then the
+	// majority address per position (unresponsive probes are rate-limiting
+	// noise, not path changes, and are ignored). A traceroute is "stable"
+	// when every responsive hop matches the consensus.
+	lenCounts := make(map[int]int)
+	for _, tr := range complete {
+		lenCounts[len(tr.Hops)]++
+	}
+	nHops, bestN := 0, 0
+	for n, c := range lenCounts {
+		if c > bestN || (c == bestN && n < nHops) {
+			nHops, bestN = n, c
+		}
+	}
+	sameLen := make([]*trace.Traceroute, 0, bestN)
+	for _, tr := range complete {
+		if len(tr.Hops) == nHops {
+			sameLen = append(sameLen, tr)
+		}
+	}
+	consensus := make([]netip.Addr, nHops)
+	for k := 0; k < nHops; k++ {
+		votes := make(map[netip.Addr]int)
+		for _, tr := range sameLen {
+			if a := tr.Hops[k].Addr; a.IsValid() {
+				votes[a]++
+			}
+		}
+		top, topN := netip.Addr{}, 0
+		for a, n := range votes {
+			if n > topN || (n == topN && a.Compare(top) < 0) {
+				top, topN = a, n
+			}
+		}
+		consensus[k] = top
+	}
+	stable := make([]*trace.Traceroute, 0, len(sameLen))
+	for _, tr := range sameLen {
+		ok := true
+		for k, h := range tr.Hops {
+			if h.Addr.IsValid() && consensus[k].IsValid() && h.Addr != consensus[k] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			stable = append(stable, tr)
+		}
+	}
+	if float64(len(stable)) < l.MinStableFrac*float64(len(complete)) {
+		return nil, ErrUnstablePath
+	}
+	// Time series are slotted by timestamp: missing rounds (incomplete or
+	// unstable traceroutes) become NaN gaps, interpolated before spectral
+	// analysis. Concatenating samples instead would let random losses
+	// destroy the periodicity in sample space.
+	var maxAt time.Duration
+	for _, tr := range stable {
+		if tr.At > maxAt {
+			maxAt = tr.At
+		}
+	}
+	slots := int(maxAt/l.Interval) + 1
+	e2e := nanSlice(slots)
+	for _, tr := range stable {
+		if slot := int(tr.At / l.Interval); slot >= 0 && slot < slots {
+			e2e[slot] = float64(tr.Hops[nHops-1].RTT) / float64(time.Millisecond)
+		}
+	}
+	filled := append([]float64(nil), e2e...)
+	fillGaps(filled)
+	ratio := fft.PowerFraction(filled, diurnalFreq(l.Interval), 2)
+	if ratio < l.PSDThreshold {
+		return nil, ErrNoDiurnal
+	}
+
+	out := &Localization{
+		Key:          stable[0].Key(),
+		OverheadMs:   stats.Percentile(received(e2e), 95) - stats.Percentile(received(e2e), 5),
+		DiurnalRatio: ratio,
+	}
+	// Per-segment series; unresponsive probes and missing rounds leave
+	// gaps, and Pearson runs over the slots where both series exist.
+	for k := 0; k < nHops-1; k++ {
+		segSlots := nanSlice(slots)
+		present := 0
+		for _, tr := range stable {
+			h := tr.Hops[k]
+			if !h.Responsive() {
+				continue
+			}
+			if slot := int(tr.At / l.Interval); slot >= 0 && slot < slots {
+				segSlots[slot] = float64(h.RTT) / float64(time.Millisecond)
+				present++
+			}
+		}
+		if present < len(stable)/2 {
+			continue
+		}
+		var seg, ref []float64
+		for i := 0; i < slots; i++ {
+			if !math.IsNaN(segSlots[i]) && !math.IsNaN(e2e[i]) {
+				seg = append(seg, segSlots[i])
+				ref = append(ref, e2e[i])
+			}
+		}
+		if rho := stats.Pearson(seg, ref); rho >= l.MinRho {
+			out.SegmentIndex = k + 1
+			out.HopAddr = consensus[k]
+			out.Rho = rho
+			return out, nil
+		}
+	}
+	return nil, ErrNoSegment
+}
+
+func nanSlice(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	return out
+}
+
+func diurnalFreq(interval time.Duration) float64 {
+	return float64(interval) / float64(24*time.Hour)
+}
+
+// OverheadSamples extracts the Figure 9 population: the congestion
+// overhead (ms) of each successfully localized pair.
+func OverheadSamples(locs []*Localization) []float64 {
+	out := make([]float64, 0, len(locs))
+	for _, l := range locs {
+		out = append(out, l.OverheadMs)
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package congest
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// bump returns the raised-cosine busy-hour delay (ms) at sample i.
+func bump(i int, interval time.Duration, amp float64) float64 {
+	hour := math.Mod(float64(i)*interval.Hours(), 24)
+	d := math.Abs(hour - 20)
+	if d > 12 {
+		d = 24 - d
+	}
+	if d >= 3 {
+		return 0
+	}
+	return amp * 0.5 * (1 + math.Cos(2*math.Pi*d/6))
+}
+
+func synthPings(t *testing.T, amp float64, lossEvery int) []*trace.Ping {
+	t.Helper()
+	interval := 15 * time.Minute
+	var out []*trace.Ping
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 672; i++ {
+		p := &trace.Ping{
+			SrcID: 1, DstID: 2,
+			At:  time.Duration(i) * interval,
+			RTT: time.Duration((80 + bump(i, interval, amp) + rng.NormFloat64()) * float64(time.Millisecond)),
+		}
+		if lossEvery > 0 && i%lossEvery == 0 {
+			p.Lost = true
+			p.RTT = 0
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestBuildSeries(t *testing.T) {
+	pings := synthPings(t, 25, 10)
+	series := BuildSeries(pings, 15*time.Minute, 7*24*time.Hour, 600)
+	s, ok := series[trace.PairKey{SrcID: 1, DstID: 2}]
+	if !ok {
+		t.Fatal("series missing")
+	}
+	if s.Received < 600 || s.Received >= 672 {
+		t.Errorf("received = %d", s.Received)
+	}
+	// Lost slots hold NaN before filling.
+	if !math.IsNaN(s.RTTms[0]) {
+		t.Error("lost slot should be NaN")
+	}
+	vals := s.Values()
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			t.Fatalf("gap not filled at %d", i)
+		}
+	}
+}
+
+func TestBuildSeriesMinSamples(t *testing.T) {
+	pings := synthPings(t, 25, 2) // half the samples lost
+	series := BuildSeries(pings, 15*time.Minute, 7*24*time.Hour, 600)
+	if len(series) != 0 {
+		t.Error("sparse pair should be dropped")
+	}
+	if s := BuildSeries(nil, 15*time.Minute, 0, 1); len(s) != 0 {
+		t.Error("zero duration should yield nothing")
+	}
+}
+
+func TestFillGapsEdges(t *testing.T) {
+	xs := []float64{math.NaN(), 10, math.NaN(), math.NaN(), 40, math.NaN()}
+	fillGaps(xs)
+	want := []float64{10, 10, 20, 30, 40, 40}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-9 {
+			t.Fatalf("fillGaps[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+	all := []float64{math.NaN(), math.NaN()}
+	fillGaps(all)
+	if all[0] != 0 || all[1] != 0 {
+		t.Error("all-NaN series should zero-fill")
+	}
+}
+
+func TestDetectorCongested(t *testing.T) {
+	d := DefaultDetector()
+	congested := BuildSeries(synthPings(t, 25, 0), 15*time.Minute, 7*24*time.Hour, 600)
+	s := congested[trace.PairKey{SrcID: 1, DstID: 2}]
+	if !d.Congested(s) {
+		t.Errorf("25ms diurnal bump not detected (var=%.1f ratio=%.2f)",
+			s.VariationMs(), s.DiurnalRatio())
+	}
+	flat := BuildSeries(synthPings(t, 0, 0), 15*time.Minute, 7*24*time.Hour, 600)
+	sf := flat[trace.PairKey{SrcID: 1, DstID: 2}]
+	if d.Congested(sf) {
+		t.Errorf("flat series misdetected (var=%.1f ratio=%.2f)",
+			sf.VariationMs(), sf.DiurnalRatio())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	series := map[trace.PairKey]*Series{}
+	add := func(id int, v6 bool, amp float64) {
+		pings := synthPings(t, amp, 0)
+		for _, p := range pings {
+			p.SrcID, p.V6 = id, v6
+		}
+		m := BuildSeries(pings, 15*time.Minute, 7*24*time.Hour, 600)
+		for k, s := range m {
+			series[k] = s
+		}
+	}
+	add(1, false, 25) // congested v4
+	add(2, false, 0)  // quiet v4
+	add(3, false, 0)
+	add(4, true, 30) // congested v6
+	v4, v6 := Summarize(series, DefaultDetector())
+	if v4.Pairs != 3 || v4.Congested != 1 || v4.HighVariation != 1 {
+		t.Errorf("v4 summary = %+v", v4)
+	}
+	if v6.Pairs != 1 || v6.Congested != 1 {
+		t.Errorf("v6 summary = %+v", v6)
+	}
+	if math.Abs(v4.CongestedFrac()-1.0/3) > 1e-9 {
+		t.Errorf("congested frac = %v", v4.CongestedFrac())
+	}
+	var empty MeshSummary
+	if empty.CongestedFrac() != 0 || empty.HighVariationFrac() != 0 {
+		t.Error("empty summary fractions should be 0")
+	}
+}
+
+// synthTraceroutes builds a 3-hop campaign where the congestion enters at
+// hop congestedAt (1-based).
+func synthTraceroutes(t *testing.T, congestedAt int, rounds int) []*trace.Traceroute {
+	t.Helper()
+	interval := 30 * time.Minute
+	hops := []string{"10.0.0.1", "20.0.0.1", "30.0.0.1", "40.0.0.1"}
+	base := []float64{2, 20, 40, 80}
+	rng := rand.New(rand.NewSource(2))
+	var out []*trace.Traceroute
+	for i := 0; i < rounds; i++ {
+		tr := &trace.Traceroute{
+			SrcID: 1, DstID: 2, Complete: true,
+			At: time.Duration(i) * interval,
+		}
+		b := bump(i, interval, 25)
+		for k, h := range hops {
+			rtt := base[k] + rng.NormFloat64()*0.5
+			if k+1 >= congestedAt {
+				rtt += b
+			}
+			tr.Hops = append(tr.Hops, trace.Hop{
+				Addr: netip.MustParseAddr(h),
+				RTT:  time.Duration(rtt * float64(time.Millisecond)),
+			})
+		}
+		tr.RTT = tr.Hops[len(tr.Hops)-1].RTT
+		out = append(out, tr)
+	}
+	return out
+}
+
+func TestLocalizeFindsFirstCongestedSegment(t *testing.T) {
+	l := DefaultLocalizer()
+	for _, at := range []int{1, 2, 3} {
+		trs := synthTraceroutes(t, at, 672)
+		loc, err := l.Localize(trs)
+		if err != nil {
+			t.Fatalf("congestedAt=%d: %v", at, err)
+		}
+		if loc.SegmentIndex != at {
+			t.Errorf("congestedAt=%d: localized segment %d", at, loc.SegmentIndex)
+		}
+		if loc.Rho < 0.5 {
+			t.Errorf("rho = %v", loc.Rho)
+		}
+		// Overhead ≈ bump amplitude.
+		if loc.OverheadMs < 15 || loc.OverheadMs > 35 {
+			t.Errorf("overhead = %.1f ms, want ~25", loc.OverheadMs)
+		}
+	}
+}
+
+func TestLocalizeNoDiurnal(t *testing.T) {
+	l := DefaultLocalizer()
+	// congestedAt beyond path → no bump anywhere.
+	trs := synthTraceroutes(t, 99, 672)
+	if _, err := l.Localize(trs); err != ErrNoDiurnal {
+		t.Errorf("err = %v, want ErrNoDiurnal", err)
+	}
+}
+
+func TestLocalizeUnstablePath(t *testing.T) {
+	l := DefaultLocalizer()
+	trs := synthTraceroutes(t, 2, 672)
+	// Flip 20% of traceroutes to a different hop address.
+	for i := 0; i < len(trs); i += 5 {
+		trs[i].Hops[1].Addr = netip.MustParseAddr("99.0.0.1")
+	}
+	if _, err := l.Localize(trs); err != ErrUnstablePath {
+		t.Errorf("err = %v, want ErrUnstablePath", err)
+	}
+}
+
+func TestLocalizeNoData(t *testing.T) {
+	l := DefaultLocalizer()
+	if _, err := l.Localize(nil); err != ErrNoData {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+	trs := synthTraceroutes(t, 2, 8)
+	if _, err := l.Localize(trs); err != ErrNoData {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestLocalizeSkipsUnresponsiveSegments(t *testing.T) {
+	l := DefaultLocalizer()
+	trs := synthTraceroutes(t, 2, 672)
+	// Blank the first hop everywhere: localization should land on hop 2.
+	for _, tr := range trs {
+		tr.Hops[0] = trace.Hop{}
+	}
+	loc, err := l.Localize(trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.SegmentIndex != 2 {
+		t.Errorf("segment = %d, want 2", loc.SegmentIndex)
+	}
+}
+
+func TestOverheadSamples(t *testing.T) {
+	locs := []*Localization{{OverheadMs: 20}, {OverheadMs: 30}}
+	got := OverheadSamples(locs)
+	if len(got) != 2 || got[0] != 20 || got[1] != 30 {
+		t.Errorf("OverheadSamples = %v", got)
+	}
+}

@@ -1,0 +1,16 @@
+// Package core groups the paper's analysis pipeline — the primary
+// contribution of "A Server-to-Server View of the Internet" (CoNEXT 2015):
+//
+//   - core/aspath: AS-path inference from traceroutes (LPM mapping,
+//     imputation, loop filtering, edit-distance change detection, Table 1);
+//   - core/timeline: trace timelines, lifetimes, prevalence, best-path
+//     deltas (Figures 2–7);
+//   - core/stats: percentiles, ECDFs, decile heat maps, KDE, Pearson;
+//   - core/fft: FFT/Goertzel and the diurnal power-ratio detector;
+//   - core/congest: consistent-congestion detection and per-segment
+//     localization (§5.1–5.2, Figure 9);
+//   - core/ownership: router ownership heuristics and link classification
+//     (§5.3, Figure 8);
+//   - core/dualstack: IPv4 vs IPv6 comparisons and cRTT inflation (§6,
+//     Figure 10).
+package core

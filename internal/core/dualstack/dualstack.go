@@ -1,0 +1,186 @@
+// Package dualstack implements the paper's Section 6 analyses: IPv4 vs
+// IPv6 RTT differences between dual-stack servers (Figure 10a, including
+// the same-AS-path subset), the cRTT inflation metric (Figure 10b), and
+// the dual-stack latency-saving headline ("up to 50 ms by switching
+// protocols").
+package dualstack
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core/aspath"
+	"repro/internal/core/stats"
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// Differences pairs IPv4 and IPv6 traceroutes taken between the same
+// servers at the same time and returns RTTv4 − RTTv6 in milliseconds: once
+// over all pairs, and once restricted to measurements whose inferred AS
+// paths agree across protocols (the "Same AS-paths" line of Figure 10a).
+// The mapper may be nil, in which case samePath is empty.
+func Differences(trs []*trace.Traceroute, mapper *aspath.Mapper) (all, samePath []float64) {
+	type key struct {
+		src, dst int
+		at       time.Duration
+	}
+	v4 := make(map[key]*trace.Traceroute)
+	v6 := make(map[key]*trace.Traceroute)
+	var keys []key
+	for _, tr := range trs {
+		if !tr.Complete {
+			continue
+		}
+		k := key{tr.SrcID, tr.DstID, tr.At}
+		if tr.V6 {
+			if _, dup := v6[k]; !dup {
+				v6[k] = tr
+			}
+		} else {
+			if _, dup := v4[k]; !dup {
+				v4[k] = tr
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return a.at < b.at
+	})
+	for _, k := range keys {
+		t4 := v4[k]
+		t6, ok := v6[k]
+		if !ok {
+			continue
+		}
+		diff := float64(t4.RTT-t6.RTT) / float64(time.Millisecond)
+		all = append(all, diff)
+		if mapper == nil {
+			continue
+		}
+		r4 := mapper.Infer(t4)
+		r6 := mapper.Infer(t6)
+		if r4.Usable() && r6.Usable() && r4.Path.Equal(r6.Path) {
+			samePath = append(samePath, diff)
+		}
+	}
+	return all, samePath
+}
+
+// TailFractions returns the fraction of differences where IPv6 is faster
+// than IPv4 by at least thresholdMs (diff ≥ threshold, so switching to v6
+// saves that much) and vice versa — the Figure 10a tail statistics (3.7% /
+// 8.5% at 50 ms in the paper).
+func TailFractions(diffs []float64, thresholdMs float64) (v6Saves, v4Saves float64) {
+	if len(diffs) == 0 {
+		return 0, 0
+	}
+	hi, lo := 0, 0
+	for _, d := range diffs {
+		if d >= thresholdMs {
+			hi++
+		}
+		if d <= -thresholdMs {
+			lo++
+		}
+	}
+	n := float64(len(diffs))
+	return float64(hi) / n, float64(lo) / n
+}
+
+// SimilarFraction returns the fraction of differences within ±thresholdMs
+// (the shaded "insignificant" band of Figure 10a, 10 ms in the paper).
+func SimilarFraction(diffs []float64, thresholdMs float64) float64 {
+	if len(diffs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range diffs {
+		if d > -thresholdMs && d < thresholdMs {
+			n++
+		}
+	}
+	return float64(n) / float64(len(diffs))
+}
+
+// InflationSet holds the Figure 10b populations: RTT/cRTT per protocol,
+// overall and for the US↔US and transcontinental subsets.
+type InflationSet struct {
+	V4All, V6All     []float64
+	V4US, V6US       []float64
+	V4Trans, V6Trans []float64
+}
+
+// Inflations computes per-endpoint-pair inflation: the median observed RTT
+// over complete traceroutes divided by the speed-of-light cRTT between the
+// endpoints' (ground truth) locations. cityOf maps a server id to its
+// city.
+func Inflations(trs []*trace.Traceroute, cityOf func(serverID int) (geo.City, bool)) InflationSet {
+	type pairKey struct {
+		src, dst int
+		v6       bool
+	}
+	rtts := make(map[pairKey][]float64)
+	var keys []pairKey
+	for _, tr := range trs {
+		if !tr.Complete {
+			continue
+		}
+		k := pairKey{tr.SrcID, tr.DstID, tr.V6}
+		if _, seen := rtts[k]; !seen {
+			keys = append(keys, k)
+		}
+		rtts[k] = append(rtts[k], float64(tr.RTT)/float64(time.Millisecond))
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return !a.v6 && b.v6
+	})
+
+	var set InflationSet
+	for _, k := range keys {
+		ca, oka := cityOf(k.src)
+		cb, okb := cityOf(k.dst)
+		if !oka || !okb {
+			continue
+		}
+		crtt := float64(geo.CRTT(ca, cb)) / float64(time.Millisecond)
+		if crtt <= 0 {
+			continue // colocated endpoints have no defined inflation
+		}
+		infl := stats.Median(rtts[k]) / crtt
+		if k.v6 {
+			set.V6All = append(set.V6All, infl)
+		} else {
+			set.V4All = append(set.V4All, infl)
+		}
+		switch {
+		case ca.Country == "US" && cb.Country == "US":
+			if k.v6 {
+				set.V6US = append(set.V6US, infl)
+			} else {
+				set.V4US = append(set.V4US, infl)
+			}
+		case geo.Transcontinental(ca, cb):
+			if k.v6 {
+				set.V6Trans = append(set.V6Trans, infl)
+			} else {
+				set.V4Trans = append(set.V4Trans, infl)
+			}
+		}
+	}
+	return set
+}

@@ -1,0 +1,219 @@
+package dualstack
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/core/aspath"
+	"repro/internal/geo"
+	"repro/internal/ipam"
+	"repro/internal/trace"
+)
+
+func mk(src, dst int, v6 bool, at time.Duration, rttMs float64, complete bool) *trace.Traceroute {
+	return &trace.Traceroute{
+		SrcID: src, DstID: dst, V6: v6, At: at,
+		Complete: complete,
+		RTT:      time.Duration(rttMs * float64(time.Millisecond)),
+	}
+}
+
+func TestDifferencesPairsSameTime(t *testing.T) {
+	trs := []*trace.Traceroute{
+		mk(1, 2, false, 0, 100, true),
+		mk(1, 2, true, 0, 80, true), // diff +20 (v6 faster)
+		mk(1, 2, false, 3*time.Hour, 50, true),
+		mk(1, 2, true, 3*time.Hour, 90, true), // diff -40
+		mk(1, 2, false, 6*time.Hour, 70, true),
+		// no v6 partner at 6h
+		mk(3, 4, false, 0, 60, false), // incomplete: ignored
+		mk(3, 4, true, 0, 60, true),
+	}
+	all, same := Differences(trs, nil)
+	if len(all) != 2 {
+		t.Fatalf("diffs = %v", all)
+	}
+	if math.Abs(all[0]-20) > 1e-9 || math.Abs(all[1]+40) > 1e-9 {
+		t.Errorf("diffs = %v, want [20 -40]", all)
+	}
+	if same != nil {
+		t.Error("samePath should be empty without a mapper")
+	}
+}
+
+func TestDifferencesSamePathSubset(t *testing.T) {
+	tbl := ipam.NewTable()
+	for _, e := range []struct {
+		p  string
+		as ipam.ASN
+	}{
+		{"10.0.0.0/8", 100}, {"20.0.0.0/8", 200}, {"30.0.0.0/8", 300}, {"40.0.0.0/8", 400},
+		{"2400::/16", 100}, {"2401::/16", 200}, {"2402::/16", 300}, {"2403::/16", 400},
+	} {
+		if err := tbl.Insert(netip.MustParsePrefix(e.p), e.as); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := aspath.NewMapper(tbl)
+	t4 := mk(1, 2, false, 0, 100, true)
+	t4.Src = netip.MustParseAddr("10.0.0.1")
+	t4.Hops = []trace.Hop{
+		{Addr: netip.MustParseAddr("20.0.0.1")},
+		{Addr: netip.MustParseAddr("30.0.0.1")},
+	}
+	t6 := mk(1, 2, true, 0, 90, true)
+	t6.Src = netip.MustParseAddr("2400::1")
+	t6.Hops = []trace.Hop{
+		{Addr: netip.MustParseAddr("2401::1")},
+		{Addr: netip.MustParseAddr("2402::1")},
+	}
+	// Second measurement at 3h where the v6 AS path differs (via AS400).
+	t4b := mk(1, 2, false, 3*time.Hour, 100, true)
+	t4b.Src = t4.Src
+	t4b.Hops = t4.Hops
+	t6b := mk(1, 2, true, 3*time.Hour, 90, true)
+	t6b.Src = t6.Src
+	t6b.Hops = []trace.Hop{
+		{Addr: netip.MustParseAddr("2403::1")},
+		{Addr: netip.MustParseAddr("2402::1")},
+	}
+	all, same := Differences([]*trace.Traceroute{t4, t6, t4b, t6b}, m)
+	if len(all) != 2 {
+		t.Fatalf("all = %v", all)
+	}
+	if len(same) != 1 || math.Abs(same[0]-10) > 1e-9 {
+		t.Errorf("samePath = %v, want [10]", same)
+	}
+}
+
+func TestTailFractionsAndSimilar(t *testing.T) {
+	diffs := []float64{60, 55, -70, 5, -5, 0, 3, -2, 49, -49}
+	v6Saves, v4Saves := TailFractions(diffs, 50)
+	if math.Abs(v6Saves-0.2) > 1e-9 {
+		t.Errorf("v6Saves = %v", v6Saves)
+	}
+	if math.Abs(v4Saves-0.1) > 1e-9 {
+		t.Errorf("v4Saves = %v", v4Saves)
+	}
+	sim := SimilarFraction(diffs, 10)
+	if math.Abs(sim-0.5) > 1e-9 {
+		t.Errorf("similar = %v", sim)
+	}
+	if a, b := TailFractions(nil, 50); a != 0 || b != 0 {
+		t.Error("empty tails should be 0")
+	}
+	if SimilarFraction(nil, 10) != 0 {
+		t.Error("empty similar should be 0")
+	}
+}
+
+func TestInflations(t *testing.T) {
+	ny, _ := geo.CityByName("New York")
+	la, _ := geo.CityByName("Los Angeles")
+	tokyo, _ := geo.CityByName("Tokyo")
+	cities := map[int]geo.City{1: ny, 2: la, 3: tokyo}
+	cityOf := func(id int) (geo.City, bool) {
+		c, ok := cities[id]
+		return c, ok
+	}
+	// NY-LA cRTT ~26.3ms. Median RTT 79 → inflation ~3.
+	trs := []*trace.Traceroute{
+		mk(1, 2, false, 0, 79, true),
+		mk(1, 2, false, 3*time.Hour, 79, true),
+		mk(1, 2, true, 0, 105, true),
+		// NY-Tokyo (transcontinental): cRTT ~72ms; RTT 216 → ~3.
+		mk(1, 3, false, 0, 216, true),
+		// Unknown server id: skipped.
+		mk(9, 2, false, 0, 50, true),
+		// Incomplete: skipped.
+		mk(2, 1, false, 0, 50, false),
+	}
+	set := Inflations(trs, cityOf)
+	if len(set.V4All) != 2 || len(set.V6All) != 1 {
+		t.Fatalf("all sizes: v4=%d v6=%d", len(set.V4All), len(set.V6All))
+	}
+	if set.V4All[0] < 2.5 || set.V4All[0] > 3.5 {
+		t.Errorf("NY-LA v4 inflation = %v, want ~3", set.V4All[0])
+	}
+	if len(set.V4US) != 1 || len(set.V6US) != 1 {
+		t.Errorf("US subset sizes: %d/%d", len(set.V4US), len(set.V6US))
+	}
+	if len(set.V4Trans) != 1 {
+		t.Errorf("transcontinental subset = %d", len(set.V4Trans))
+	}
+	if set.V4Trans[0] < 2.5 || set.V4Trans[0] > 3.5 {
+		t.Errorf("NY-Tokyo inflation = %v", set.V4Trans[0])
+	}
+}
+
+func TestInflationsColocatedSkipped(t *testing.T) {
+	ny, _ := geo.CityByName("New York")
+	cityOf := func(id int) (geo.City, bool) { return ny, true }
+	set := Inflations([]*trace.Traceroute{mk(1, 2, false, 0, 5, true)}, cityOf)
+	if len(set.V4All) != 0 {
+		t.Error("colocated pair should be skipped (cRTT = 0)")
+	}
+}
+
+func TestDiffCollectorMatchesBatch(t *testing.T) {
+	trs := []*trace.Traceroute{
+		mk(1, 2, false, 0, 100, true),
+		mk(1, 2, true, 0, 80, true),
+		mk(1, 2, true, 3*time.Hour, 90, true), // v6 first this round
+		mk(1, 2, false, 3*time.Hour, 50, true),
+		mk(1, 2, false, 6*time.Hour, 70, true), // unpaired
+		mk(3, 4, false, 0, 60, false),          // incomplete
+	}
+	c := NewDiffCollector(nil)
+	for _, tr := range trs {
+		c.Add(tr)
+	}
+	batch, _ := Differences(trs, nil)
+	if len(c.All) != len(batch) {
+		t.Fatalf("stream %v vs batch %v", c.All, batch)
+	}
+	// Order within may differ; compare as sets.
+	seen := map[float64]int{}
+	for _, d := range batch {
+		seen[d]++
+	}
+	for _, d := range c.All {
+		seen[d]--
+	}
+	for d, n := range seen {
+		if n != 0 {
+			t.Errorf("diff %v count mismatch %d", d, n)
+		}
+	}
+}
+
+func TestInflationCollectorMatchesBatch(t *testing.T) {
+	ny, _ := geo.CityByName("New York")
+	la, _ := geo.CityByName("Los Angeles")
+	cities := map[int]geo.City{1: ny, 2: la}
+	cityOf := func(id int) (geo.City, bool) {
+		c, ok := cities[id]
+		return c, ok
+	}
+	trs := []*trace.Traceroute{
+		mk(1, 2, false, 0, 79, true),
+		mk(1, 2, false, 3*time.Hour, 81, true),
+		mk(2, 1, true, 0, 100, true),
+	}
+	c := NewInflationCollector()
+	for _, tr := range trs {
+		c.Add(tr)
+	}
+	got := c.Set(cityOf)
+	want := Inflations(trs, cityOf)
+	if len(got.V4All) != len(want.V4All) || len(got.V6All) != len(want.V6All) {
+		t.Fatalf("set sizes differ: %+v vs %+v", got, want)
+	}
+	for i := range want.V4All {
+		if math.Abs(got.V4All[i]-want.V4All[i]) > 1e-9 {
+			t.Errorf("v4 inflation %d: %v vs %v", i, got.V4All[i], want.V4All[i])
+		}
+	}
+}

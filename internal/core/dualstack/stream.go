@@ -1,0 +1,149 @@
+package dualstack
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core/aspath"
+	"repro/internal/core/stats"
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// DiffCollector computes Figure 10a differences incrementally so a
+// campaign's records never need to be retained. It relies on the v4 and v6
+// measurements of a pair arriving within the same round (any order).
+type DiffCollector struct {
+	// Mapper enables the same-AS-path subset; nil disables it.
+	Mapper *aspath.Mapper
+
+	All      []float64
+	SamePath []float64
+
+	pending map[[2]int]pendingDiff
+}
+
+type pendingDiff struct {
+	at      time.Duration
+	v6      bool
+	rttMs   float64
+	pathKey string
+	usable  bool
+}
+
+// NewDiffCollector returns an empty collector.
+func NewDiffCollector(m *aspath.Mapper) *DiffCollector {
+	return &DiffCollector{Mapper: m, pending: make(map[[2]int]pendingDiff)}
+}
+
+// Add consumes one traceroute.
+func (c *DiffCollector) Add(tr *trace.Traceroute) {
+	if !tr.Complete {
+		return
+	}
+	cur := pendingDiff{
+		at:    tr.At,
+		v6:    tr.V6,
+		rttMs: float64(tr.RTT) / float64(time.Millisecond),
+	}
+	if c.Mapper != nil {
+		r := c.Mapper.Infer(tr)
+		cur.usable = r.Usable()
+		if cur.usable {
+			cur.pathKey = r.Path.Key()
+		}
+	}
+	k := [2]int{tr.SrcID, tr.DstID}
+	prev, ok := c.pending[k]
+	if !ok || prev.at != tr.At || prev.v6 == tr.V6 {
+		c.pending[k] = cur
+		return
+	}
+	delete(c.pending, k)
+	v4, v6 := prev, cur
+	if v4.v6 {
+		v4, v6 = v6, v4
+	}
+	diff := v4.rttMs - v6.rttMs
+	c.All = append(c.All, diff)
+	if c.Mapper != nil && v4.usable && v6.usable && v4.pathKey == v6.pathKey {
+		c.SamePath = append(c.SamePath, diff)
+	}
+}
+
+// InflationCollector accumulates per-pair RTTs for Figure 10b without
+// retaining records.
+type InflationCollector struct {
+	rtts map[inflKey][]float64
+	keys []inflKey
+}
+
+type inflKey struct {
+	src, dst int
+	v6       bool
+}
+
+// NewInflationCollector returns an empty collector.
+func NewInflationCollector() *InflationCollector {
+	return &InflationCollector{rtts: make(map[inflKey][]float64)}
+}
+
+// Add consumes one traceroute.
+func (c *InflationCollector) Add(tr *trace.Traceroute) {
+	if !tr.Complete {
+		return
+	}
+	k := inflKey{tr.SrcID, tr.DstID, tr.V6}
+	if _, seen := c.rtts[k]; !seen {
+		c.keys = append(c.keys, k)
+	}
+	c.rtts[k] = append(c.rtts[k], float64(tr.RTT)/float64(time.Millisecond))
+}
+
+// Set computes the Figure 10b populations from the collected RTTs.
+func (c *InflationCollector) Set(cityOf func(serverID int) (geo.City, bool)) InflationSet {
+	keys := append([]inflKey(nil), c.keys...)
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return !a.v6 && b.v6
+	})
+	var set InflationSet
+	for _, k := range keys {
+		ca, oka := cityOf(k.src)
+		cb, okb := cityOf(k.dst)
+		if !oka || !okb {
+			continue
+		}
+		crtt := float64(geo.CRTT(ca, cb)) / float64(time.Millisecond)
+		if crtt <= 0 {
+			continue
+		}
+		infl := stats.Median(c.rtts[k]) / crtt
+		if k.v6 {
+			set.V6All = append(set.V6All, infl)
+		} else {
+			set.V4All = append(set.V4All, infl)
+		}
+		switch {
+		case ca.Country == "US" && cb.Country == "US":
+			if k.v6 {
+				set.V6US = append(set.V6US, infl)
+			} else {
+				set.V4US = append(set.V4US, infl)
+			}
+		case geo.Transcontinental(ca, cb):
+			if k.v6 {
+				set.V6Trans = append(set.V6Trans, infl)
+			} else {
+				set.V4Trans = append(set.V4Trans, infl)
+			}
+		}
+	}
+	return set
+}

@@ -1,0 +1,184 @@
+// Package fft implements the spectral machinery behind the paper's
+// congestion detector (§5.1): a radix-2 fast Fourier transform, a Goertzel
+// single-bin evaluator for arbitrary frequencies, and the diurnal power
+// ratio — the fraction of a series' energy concentrated at f = 1/day —
+// thresholded at 0.3 to flag consistent congestion, following Luckie et
+// al.'s TSLP processing [IMC 2014] as adapted by the paper.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"time"
+)
+
+// FFT computes the in-order discrete Fourier transform of x, whose length
+// must be a power of two. The input is not modified.
+func FFT(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	out := make([]complex128, n)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i, v := range x {
+		out[bits.Reverse64(uint64(i))>>shift] = v
+	}
+	// Iterative Cooley-Tukey.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := -2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := out[start+k]
+				b := out[start+k+half] * w
+				out[start+k] = a + b
+				out[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+	return out, nil
+}
+
+// IFFT computes the inverse transform of X (power-of-two length).
+func IFFT(X []complex128) ([]complex128, error) {
+	n := len(X)
+	conj := make([]complex128, n)
+	for i, v := range X {
+		conj[i] = cmplx.Conj(v)
+	}
+	y, err := FFT(conj)
+	if err != nil {
+		return nil, err
+	}
+	scale := complex(1/float64(n), 0)
+	for i := range y {
+		y[i] = cmplx.Conj(y[i]) * scale
+	}
+	return y, nil
+}
+
+// DFTNaive is the O(n²) reference transform used to validate FFT.
+func DFTNaive(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// NextPow2 returns the smallest power of two ≥ n (minimum 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Goertzel evaluates the DFT of a real series at a single frequency f
+// expressed in cycles per sample, returning the complex coefficient
+// X(f) = Σ x[t]·e^{-2πi·f·t}. Unlike FFT bins, f need not be a multiple of
+// 1/len(x).
+func Goertzel(x []float64, f float64) complex128 {
+	var re, im float64
+	w := -2 * math.Pi * f
+	for t, v := range x {
+		angle := w * float64(t)
+		re += v * math.Cos(angle)
+		im += v * math.Sin(angle)
+	}
+	return complex(re, im)
+}
+
+// TotalPower returns the AC energy of the series: Σ (x[t] − mean)².
+func TotalPower(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	sum := 0.0
+	for _, v := range x {
+		d := v - mean
+		sum += d * d
+	}
+	return sum
+}
+
+// PowerFraction returns the fraction of the demeaned series' energy
+// concentrated at frequency f (cycles per sample), including the specified
+// number of harmonics (1 = fundamental only). For a pure sinusoid at f the
+// fraction is 1; for white noise it is O(1/n).
+//
+// Parseval gives Σ|X(k)|² = n·Σx², and a real series splits its energy
+// between the ±f conjugate bins, hence the factor 2/n.
+func PowerFraction(x []float64, f float64, harmonics int) float64 {
+	n := len(x)
+	if n == 0 || f <= 0 || harmonics < 1 {
+		return 0
+	}
+	total := TotalPower(x)
+	if total == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	dem := make([]float64, n)
+	for i, v := range x {
+		dem[i] = v - mean
+	}
+	power := 0.0
+	for h := 1; h <= harmonics; h++ {
+		fh := f * float64(h)
+		if fh >= 0.5 {
+			break // beyond Nyquist
+		}
+		c := Goertzel(dem, fh)
+		power += 2 * (real(c)*real(c) + imag(c)*imag(c)) / float64(n)
+	}
+	frac := power / total
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// DefaultDiurnalThreshold is the paper's empirically chosen cutoff on the
+// diurnal power ratio.
+const DefaultDiurnalThreshold = 0.3
+
+// DiurnalRatio returns the fraction of the series' energy at the
+// once-per-day frequency (fundamental plus second harmonic, to capture
+// non-sinusoidal busy-hour bumps), given the sampling interval.
+func DiurnalRatio(x []float64, sampleInterval time.Duration) float64 {
+	if sampleInterval <= 0 {
+		return 0
+	}
+	f := float64(sampleInterval) / float64(24*time.Hour)
+	return PowerFraction(x, f, 2)
+}
+
+// IsDiurnal reports whether the series carries a strong daily oscillation:
+// DiurnalRatio ≥ threshold (use DefaultDiurnalThreshold for the paper's
+// setting).
+func IsDiurnal(x []float64, sampleInterval time.Duration, threshold float64) bool {
+	return DiurnalRatio(x, sampleInterval) >= threshold
+}

@@ -1,0 +1,226 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		got, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := DFTNaive(x)
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-8*float64(n) {
+				t.Fatalf("n=%d bin %d: %v vs %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestFFTRejectsNonPow2(t *testing.T) {
+	if _, err := FFT(make([]complex128, 3)); err == nil {
+		t.Error("length 3 should error")
+	}
+	if _, err := FFT(nil); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]complex128, 128)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	X, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := IFFT(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-y[i]) > 1e-9 {
+			t.Fatalf("IFFT(FFT(x)) differs at %d: %v vs %v", i, x[i], y[i])
+		}
+	}
+}
+
+func TestFFTKnownSinusoid(t *testing.T) {
+	// A sinusoid at bin 5 puts all its energy in bins 5 and n-5.
+	n := 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(2*math.Pi*5*float64(i)/float64(n)), 0)
+	}
+	X, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range X {
+		mag := cmplx.Abs(X[k])
+		if k == 5 || k == n-5 {
+			if math.Abs(mag-float64(n)/2) > 1e-9 {
+				t.Errorf("bin %d magnitude %v, want %v", k, mag, float64(n)/2)
+			}
+		} else if mag > 1e-9 {
+			t.Errorf("bin %d magnitude %v, want 0", k, mag)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := [][2]int{{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {672, 1024}, {1024, 1024}}
+	for _, c := range cases {
+		if got := NextPow2(c[0]); got != c[1] {
+			t.Errorf("NextPow2(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestGoertzelMatchesFFTBins(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 128
+	x := make([]float64, n)
+	cx := make([]complex128, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		cx[i] = complex(x[i], 0)
+	}
+	X, err := FFT(cx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 1, 7, 31, 63} {
+		g := Goertzel(x, float64(k)/float64(n))
+		if cmplx.Abs(g-X[k]) > 1e-8 {
+			t.Errorf("Goertzel bin %d = %v, FFT = %v", k, g, X[k])
+		}
+	}
+}
+
+func TestPowerFractionPureSinusoid(t *testing.T) {
+	n := 672 // one week at 15 minutes
+	f := 1.0 / 96
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 25 * math.Sin(2*math.Pi*f*float64(i))
+	}
+	if got := PowerFraction(x, f, 1); got < 0.999 {
+		t.Errorf("pure sinusoid fraction = %v, want ~1", got)
+	}
+	// At the wrong frequency: tiny.
+	if got := PowerFraction(x, f*3.1, 1); got > 0.01 {
+		t.Errorf("off-frequency fraction = %v, want ~0", got)
+	}
+}
+
+func TestPowerFractionWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, 672)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	if got := PowerFraction(x, 1.0/96, 2); got > 0.05 {
+		t.Errorf("white noise fraction = %v, want near 0", got)
+	}
+}
+
+func TestPowerFractionEdgeCases(t *testing.T) {
+	if PowerFraction(nil, 0.1, 1) != 0 {
+		t.Error("empty series should be 0")
+	}
+	if PowerFraction([]float64{1, 1, 1}, 0.1, 1) != 0 {
+		t.Error("constant series should be 0")
+	}
+	if PowerFraction([]float64{1, 2}, 0, 1) != 0 {
+		t.Error("f=0 should be 0")
+	}
+	if PowerFraction([]float64{1, 2}, 0.1, 0) != 0 {
+		t.Error("harmonics=0 should be 0")
+	}
+	// Fraction is clamped to [0, 1].
+	x := []float64{1, -1, 1, -1}
+	if got := PowerFraction(x, 0.49, 3); got < 0 || got > 1 {
+		t.Errorf("fraction out of range: %v", got)
+	}
+}
+
+func TestDiurnalRatioDetectsDailyBump(t *testing.T) {
+	// A raised-cosine busy-hour bump (6h of 24h) + noise, sampled every
+	// 15 minutes for a week — the shape the congestion model produces.
+	rng := rand.New(rand.NewSource(5))
+	n := 672
+	x := make([]float64, n)
+	for i := range x {
+		hour := math.Mod(float64(i)*0.25, 24)
+		d := math.Abs(hour - 20)
+		if d > 12 {
+			d = 24 - d
+		}
+		bump := 0.0
+		if d < 3 {
+			bump = 25 * 0.5 * (1 + math.Cos(2*math.Pi*d/6))
+		}
+		x[i] = 80 + bump + rng.NormFloat64()*2
+	}
+	ratio := DiurnalRatio(x, 15*time.Minute)
+	if ratio < DefaultDiurnalThreshold {
+		t.Errorf("diurnal bump ratio = %v, want >= %v", ratio, DefaultDiurnalThreshold)
+	}
+	if !IsDiurnal(x, 15*time.Minute, DefaultDiurnalThreshold) {
+		t.Error("IsDiurnal should flag the bump")
+	}
+}
+
+func TestDiurnalRatioRejectsFlatAndNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	flat := make([]float64, 672)
+	noisy := make([]float64, 672)
+	spiky := make([]float64, 672)
+	for i := range flat {
+		flat[i] = 80
+		noisy[i] = 80 + rng.NormFloat64()*3
+		spiky[i] = 80
+		if rng.Float64() < 0.02 {
+			spiky[i] += rng.ExpFloat64() * 40
+		}
+	}
+	for name, x := range map[string][]float64{"flat": flat, "noise": noisy, "spikes": spiky} {
+		if IsDiurnal(x, 15*time.Minute, DefaultDiurnalThreshold) {
+			t.Errorf("%s series misclassified as diurnal (ratio %v)",
+				name, DiurnalRatio(x, 15*time.Minute))
+		}
+	}
+}
+
+func TestDiurnalRatioWrongPeriodRejected(t *testing.T) {
+	// A 6-hour oscillation is not a daily pattern.
+	n := 672
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 20 * math.Sin(2*math.Pi*float64(i)/24) // period 24 samples = 6h
+	}
+	if IsDiurnal(x, 15*time.Minute, DefaultDiurnalThreshold) {
+		t.Errorf("6-hour oscillation misclassified as diurnal (ratio %v)",
+			DiurnalRatio(x, 15*time.Minute))
+	}
+}
+
+func TestDiurnalRatioBadInterval(t *testing.T) {
+	if DiurnalRatio([]float64{1, 2, 3}, 0) != 0 {
+		t.Error("non-positive interval should give 0")
+	}
+}

@@ -1,0 +1,411 @@
+// Package ownership implements the paper's router-ownership inference
+// (§5.3, Figure 8): six heuristics label traceroute hop addresses with
+// candidate operator ASes, building on the BGP IP-to-AS mapping and
+// CAIDA-style AS relationship inferences; a resolution step then picks the
+// likely owner of each interface. With owners in hand, links are classified
+// as internal or interconnection, and interconnections as p2p or c2p.
+//
+// The key ambiguity the heuristics untangle: on a customer-to-provider
+// link the customer numbers its interface from provider-assigned space, so
+// the BGP origin of an address is not the operator of its router.
+package ownership
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/astopo"
+	"repro/internal/ipam"
+	"repro/internal/trace"
+)
+
+// Heuristic identifies which Figure 8 rule produced a label.
+type Heuristic uint8
+
+// The six heuristics.
+const (
+	First Heuristic = iota
+	NoIP2AS
+	Customer
+	Provider
+	Back
+	Forward
+)
+
+// String returns the paper's heuristic name.
+func (h Heuristic) String() string {
+	switch h {
+	case First:
+		return "first"
+	case NoIP2AS:
+		return "noip2as"
+	case Customer:
+		return "customer"
+	case Provider:
+		return "provider"
+	case Back:
+		return "back"
+	case Forward:
+		return "forward"
+	default:
+		return "unknown"
+	}
+}
+
+// Label is one candidate-owner annotation on an address.
+type Label struct {
+	AS   ipam.ASN
+	Kind Heuristic
+}
+
+// RelFunc reports a's business relationship to b (astopo.RelNone when not
+// adjacent) — the stand-in for CAIDA's relationship inferences.
+type RelFunc func(a, b ipam.ASN) astopo.Relationship
+
+// Inferencer holds the inputs to ownership inference.
+type Inferencer struct {
+	// Table is the BGP longest-prefix-match view.
+	Table *ipam.Table
+	// Rel supplies AS relationships.
+	Rel RelFunc
+}
+
+// Inference is the outcome over a traceroute corpus.
+type Inference struct {
+	labels map[netip.Addr][]Label
+	owner  map[netip.Addr]ipam.ASN
+	// adjacency graph of consecutive responsive hops
+	neighbors map[netip.Addr]map[netip.Addr]bool
+	table     *ipam.Table
+}
+
+// Process runs the heuristics over the corpus and resolves owners.
+// Traceroute hop sequences contribute consecutive responsive hops only; an
+// unresponsive hop breaks adjacency, and the final hop of a complete
+// traceroute (the destination server, not a router) is excluded.
+func (inf *Inferencer) Process(trs []*trace.Traceroute) *Inference {
+	r := &Inference{
+		labels:    make(map[netip.Addr][]Label),
+		owner:     make(map[netip.Addr]ipam.ASN),
+		neighbors: make(map[netip.Addr]map[netip.Addr]bool),
+		table:     inf.Table,
+	}
+
+	// Pass 1: per-traceroute windows → heuristics first, noip2as,
+	// customer, provider; collect the hop adjacency graph.
+	for _, tr := range trs {
+		hops := routerHops(tr)
+		for _, run := range consecutiveRuns(hops) {
+			inf.applyWindows(r, run)
+		}
+	}
+
+	// Pass 2: graph-wide heuristics back and forward.
+	inf.applyBack(r)
+	inf.applyForward(r)
+
+	// Pass 3: resolve owners.
+	r.resolve()
+	return r
+}
+
+// routerHops returns the hop addresses excluding the destination server of
+// complete traceroutes.
+func routerHops(tr *trace.Traceroute) []netip.Addr {
+	hops := tr.Hops
+	if tr.Complete && len(hops) > 0 {
+		hops = hops[:len(hops)-1]
+	}
+	out := make([]netip.Addr, len(hops))
+	for i, h := range hops {
+		out[i] = h.Addr // invalid for unresponsive hops
+	}
+	return out
+}
+
+// consecutiveRuns splits a hop list into runs of responsive hops,
+// de-duplicating immediately repeated addresses.
+func consecutiveRuns(hops []netip.Addr) [][]netip.Addr {
+	var runs [][]netip.Addr
+	var cur []netip.Addr
+	flush := func() {
+		if len(cur) > 0 {
+			runs = append(runs, cur)
+			cur = nil
+		}
+	}
+	for _, a := range hops {
+		if !a.IsValid() {
+			flush()
+			continue
+		}
+		if len(cur) > 0 && cur[len(cur)-1] == a {
+			continue
+		}
+		cur = append(cur, a)
+	}
+	flush()
+	return runs
+}
+
+func (inf *Inferencer) applyWindows(r *Inference, run []netip.Addr) {
+	as := func(a netip.Addr) (ipam.ASN, bool) { return inf.Table.Lookup(a) }
+
+	for i := 0; i+1 < len(run); i++ {
+		x, y := run[i], run[i+1]
+		r.addEdge(x, y)
+
+		ax, okx := as(x)
+		ay, oky := as(y)
+
+		// first: IPx then IPy, both announced by ASi → IPx owned by ASi.
+		if okx && oky && ax == ay {
+			r.addLabel(x, Label{ax, First})
+		}
+		// provider: IPx in ASi, IPy in ASj, ASj provider of ASi → IPy
+		// owned by ASj (a provider interface facing its customer).
+		if okx && oky && ax != ay && inf.Rel(ay, ax) == astopo.RelProvider {
+			r.addLabel(y, Label{ay, Provider})
+		}
+
+		if i+2 >= len(run) {
+			continue
+		}
+		z := run[i+2]
+		az, okz := as(z)
+
+		// noip2as: IPy unmapped, IPx and IPz both ASi → IPy owned by ASi.
+		if okx && !oky && okz && ax == az {
+			r.addLabel(y, Label{ax, NoIP2AS})
+		}
+		// customer: IPx, IPy in ASi, IPz in ASj, ASj customer of ASi →
+		// IPy owned by ASj (the customer numbers its interface from
+		// provider space).
+		if okx && oky && okz && ax == ay && az != ax &&
+			inf.Rel(az, ax) == astopo.RelCustomer {
+			r.addLabel(y, Label{az, Customer})
+		}
+	}
+}
+
+// applyBack: links x1–y, x2–y, x3–y where x1, x2 share a candidate owner
+// ASi → label x3 with ASi, provided ASi announces x3 in BGP.
+func (inf *Inferencer) applyBack(r *Inference) {
+	// For each hub y, look at its neighborhood.
+	for _, y := range r.sortedAddrs() {
+		ns := r.neighborList(y)
+		if len(ns) < 3 {
+			continue
+		}
+		// Count candidate owners among labeled neighbors.
+		counts := make(map[ipam.ASN]int)
+		for _, x := range ns {
+			for _, as := range candidateSet(r.labels[x]) {
+				counts[as]++
+			}
+		}
+		for _, x := range ns {
+			if len(r.labels[x]) > 0 {
+				continue
+			}
+			ax, ok := inf.Table.Lookup(x)
+			if !ok {
+				continue
+			}
+			if counts[ax] >= 2 {
+				r.addLabel(x, Label{ax, Back})
+			}
+		}
+	}
+}
+
+// applyForward: an unlabeled x whose neighbors y1..yn (n ≥ 3) all map to
+// the same ASj and are all labeled → label x with ASj.
+func (inf *Inferencer) applyForward(r *Inference) {
+	for _, x := range r.sortedAddrs() {
+		if len(r.labels[x]) > 0 {
+			continue
+		}
+		ns := r.neighborList(x)
+		if len(ns) < 3 {
+			continue
+		}
+		var common ipam.ASN
+		ok := true
+		for i, y := range ns {
+			ay, mapped := inf.Table.Lookup(y)
+			if !mapped || len(r.labels[y]) == 0 {
+				ok = false
+				break
+			}
+			if i == 0 {
+				common = ay
+			} else if ay != common {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			r.addLabel(x, Label{common, Forward})
+		}
+	}
+}
+
+func (r *Inference) addEdge(a, b netip.Addr) {
+	if r.neighbors[a] == nil {
+		r.neighbors[a] = make(map[netip.Addr]bool)
+	}
+	if r.neighbors[b] == nil {
+		r.neighbors[b] = make(map[netip.Addr]bool)
+	}
+	r.neighbors[a][b] = true
+	r.neighbors[b][a] = true
+}
+
+func (r *Inference) addLabel(a netip.Addr, l Label) {
+	r.labels[a] = append(r.labels[a], l)
+}
+
+func (r *Inference) sortedAddrs() []netip.Addr {
+	out := make([]netip.Addr, 0, len(r.neighbors))
+	for a := range r.neighbors {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+func (r *Inference) neighborList(a netip.Addr) []netip.Addr {
+	out := make([]netip.Addr, 0, len(r.neighbors[a]))
+	for n := range r.neighbors[a] {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+func candidateSet(labels []Label) []ipam.ASN {
+	seen := make(map[ipam.ASN]bool)
+	var out []ipam.ASN
+	for _, l := range labels {
+		if !seen[l.AS] {
+			seen[l.AS] = true
+			out = append(out, l.AS)
+		}
+	}
+	return out
+}
+
+// resolve assigns owners: a single candidate wins outright; with multiple
+// candidates, the address is assigned only when the most frequent label
+// came from the first heuristic (the paper's rule).
+func (r *Inference) resolve() {
+	for a, labels := range r.labels {
+		cands := candidateSet(labels)
+		if len(cands) == 1 {
+			r.owner[a] = cands[0]
+			continue
+		}
+		counts := make(map[Label]int)
+		for _, l := range labels {
+			counts[l]++
+		}
+		var top Label
+		topN := -1
+		for l, n := range counts {
+			if n > topN || (n == topN && less(l, top)) {
+				top, topN = l, n
+			}
+		}
+		if top.Kind == First {
+			r.owner[a] = top.AS
+		}
+	}
+}
+
+func less(a, b Label) bool {
+	if a.AS != b.AS {
+		return a.AS < b.AS
+	}
+	return a.Kind < b.Kind
+}
+
+// Owner returns the resolved operator of an interface address.
+func (r *Inference) Owner(a netip.Addr) (ipam.ASN, bool) {
+	as, ok := r.owner[a]
+	return as, ok
+}
+
+// Labels returns the raw candidate labels of an address.
+func (r *Inference) Labels(a netip.Addr) []Label { return r.labels[a] }
+
+// Resolved returns the number of addresses with an assigned owner and the
+// number seen in the corpus.
+func (r *Inference) Resolved() (resolved, seen int) {
+	return len(r.owner), len(r.neighbors)
+}
+
+// LinkClass distinguishes internal from interconnection links.
+type LinkClass uint8
+
+// Link classes.
+const (
+	UnknownClass LinkClass = iota
+	InternalLink
+	InterconnectionLink
+)
+
+// String returns the class name.
+func (c LinkClass) String() string {
+	switch c {
+	case InternalLink:
+		return "internal"
+	case InterconnectionLink:
+		return "interconnection"
+	default:
+		return "unknown"
+	}
+}
+
+// LinkType refines interconnection links by relationship.
+type LinkType uint8
+
+// Link types (paper §5.3: p2p and c2p).
+const (
+	UnknownType LinkType = iota
+	P2P
+	C2P
+)
+
+// String returns the type name.
+func (t LinkType) String() string {
+	switch t {
+	case P2P:
+		return "p2p"
+	case C2P:
+		return "c2p"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifyLink classifies the link between two consecutive hop addresses
+// using the resolved owners and the relationship function.
+func (r *Inference) ClassifyLink(a, b netip.Addr, rel RelFunc) (LinkClass, LinkType) {
+	oa, oka := r.Owner(a)
+	ob, okb := r.Owner(b)
+	if !oka || !okb {
+		return UnknownClass, UnknownType
+	}
+	if oa == ob {
+		return InternalLink, UnknownType
+	}
+	switch rel(oa, ob) {
+	case astopo.RelPeer:
+		return InterconnectionLink, P2P
+	case astopo.RelCustomer, astopo.RelProvider:
+		return InterconnectionLink, C2P
+	default:
+		return InterconnectionLink, UnknownType
+	}
+}

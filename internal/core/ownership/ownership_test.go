@@ -1,0 +1,296 @@
+package ownership
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/bgp"
+	"repro/internal/cdn"
+	"repro/internal/ipam"
+	"repro/internal/itopo"
+	"repro/internal/probe"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// synthetic fixture: AS100 (10/8), AS200 (20/8), AS300 (30/8);
+// AS300 is a customer of AS100; AS200 is a provider of AS100.
+func synthInferencer(t *testing.T) *Inferencer {
+	t.Helper()
+	tbl := ipam.NewTable()
+	for _, e := range []struct {
+		p  string
+		as ipam.ASN
+	}{
+		{"10.0.0.0/8", 100}, {"20.0.0.0/8", 200}, {"30.0.0.0/8", 300},
+	} {
+		if err := tbl.Insert(netip.MustParsePrefix(e.p), e.as); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel := func(a, b ipam.ASN) astopo.Relationship {
+		switch {
+		case a == 300 && b == 100:
+			return astopo.RelCustomer
+		case a == 100 && b == 300:
+			return astopo.RelProvider
+		case a == 200 && b == 100:
+			return astopo.RelProvider
+		case a == 100 && b == 200:
+			return astopo.RelCustomer
+		default:
+			return astopo.RelNone
+		}
+	}
+	return &Inferencer{Table: tbl, Rel: rel}
+}
+
+func mkTrace(hops ...string) *trace.Traceroute {
+	tr := &trace.Traceroute{}
+	for _, h := range hops {
+		if h == "*" {
+			tr.Hops = append(tr.Hops, trace.Hop{})
+		} else {
+			tr.Hops = append(tr.Hops, trace.Hop{Addr: netip.MustParseAddr(h)})
+		}
+	}
+	return tr
+}
+
+func hasLabel(labels []Label, as ipam.ASN, k Heuristic) bool {
+	for _, l := range labels {
+		if l.AS == as && l.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFirstHeuristic(t *testing.T) {
+	inf := synthInferencer(t)
+	r := inf.Process([]*trace.Traceroute{mkTrace("10.0.0.1", "10.0.0.2", "20.0.0.1")})
+	if !hasLabel(r.Labels(netip.MustParseAddr("10.0.0.1")), 100, First) {
+		t.Errorf("first heuristic missing: %v", r.Labels(netip.MustParseAddr("10.0.0.1")))
+	}
+	owner, ok := r.Owner(netip.MustParseAddr("10.0.0.1"))
+	if !ok || owner != 100 {
+		t.Errorf("owner = %v, %v", owner, ok)
+	}
+}
+
+func TestProviderHeuristic(t *testing.T) {
+	inf := synthInferencer(t)
+	// AS100 → AS200 where AS200 is AS100's provider.
+	r := inf.Process([]*trace.Traceroute{mkTrace("10.0.0.1", "20.0.0.1")})
+	if !hasLabel(r.Labels(netip.MustParseAddr("20.0.0.1")), 200, Provider) {
+		t.Errorf("provider heuristic missing: %v", r.Labels(netip.MustParseAddr("20.0.0.1")))
+	}
+}
+
+func TestCustomerHeuristic(t *testing.T) {
+	inf := synthInferencer(t)
+	// x,y in AS100, z in AS300 (customer of AS100): y is the customer's
+	// router numbered from provider space.
+	r := inf.Process([]*trace.Traceroute{mkTrace("10.0.0.1", "10.0.0.2", "30.0.0.1")})
+	if !hasLabel(r.Labels(netip.MustParseAddr("10.0.0.2")), 300, Customer) {
+		t.Errorf("customer heuristic missing: %v", r.Labels(netip.MustParseAddr("10.0.0.2")))
+	}
+	owner, ok := r.Owner(netip.MustParseAddr("10.0.0.2"))
+	if !ok || owner != 300 {
+		t.Errorf("customer-side owner = %v, %v, want AS300", owner, ok)
+	}
+}
+
+func TestNoIP2ASHeuristic(t *testing.T) {
+	inf := synthInferencer(t)
+	r := inf.Process([]*trace.Traceroute{mkTrace("10.0.0.1", "90.0.0.1", "10.0.0.2")})
+	if !hasLabel(r.Labels(netip.MustParseAddr("90.0.0.1")), 100, NoIP2AS) {
+		t.Errorf("noip2as heuristic missing: %v", r.Labels(netip.MustParseAddr("90.0.0.1")))
+	}
+}
+
+func TestUnresponsiveBreaksAdjacency(t *testing.T) {
+	inf := synthInferencer(t)
+	// The '*' separates the two AS100 hops: no first label.
+	r := inf.Process([]*trace.Traceroute{mkTrace("10.0.0.1", "*", "10.0.0.2")})
+	if len(r.Labels(netip.MustParseAddr("10.0.0.1"))) != 0 {
+		t.Errorf("labels across gap: %v", r.Labels(netip.MustParseAddr("10.0.0.1")))
+	}
+}
+
+func TestDestinationServerHopExcluded(t *testing.T) {
+	inf := synthInferencer(t)
+	tr := mkTrace("10.0.0.1", "10.0.0.2", "30.0.0.1")
+	tr.Complete = true // final hop is the destination server
+	r := inf.Process([]*trace.Traceroute{tr})
+	// Without the server hop the customer heuristic cannot fire.
+	if len(r.Labels(netip.MustParseAddr("10.0.0.2"))) != 0 {
+		t.Errorf("server hop leaked into inference: %v", r.Labels(netip.MustParseAddr("10.0.0.2")))
+	}
+	if !hasLabel(r.Labels(netip.MustParseAddr("10.0.0.1")), 100, First) {
+		t.Error("first label missing on router pair")
+	}
+}
+
+func TestBackHeuristic(t *testing.T) {
+	inf := synthInferencer(t)
+	trs := []*trace.Traceroute{
+		mkTrace("10.0.1.1", "20.0.0.9"),
+		mkTrace("10.0.1.1", "10.0.9.9"), // first → x1 owned by AS100
+		mkTrace("10.0.2.1", "20.0.0.9"),
+		mkTrace("10.0.2.1", "10.0.9.9"), // first → x2 owned by AS100
+		mkTrace("10.0.3.1", "20.0.0.9"), // x3 unlabeled, announced by AS100
+	}
+	r := inf.Process(trs)
+	if !hasLabel(r.Labels(netip.MustParseAddr("10.0.3.1")), 100, Back) {
+		t.Errorf("back heuristic missing: %v", r.Labels(netip.MustParseAddr("10.0.3.1")))
+	}
+}
+
+func TestForwardHeuristic(t *testing.T) {
+	inf := synthInferencer(t)
+	trs := []*trace.Traceroute{
+		mkTrace("90.0.0.1", "20.0.1.1"),
+		mkTrace("20.0.1.1", "20.0.9.9"),
+		mkTrace("90.0.0.1", "20.0.2.1"),
+		mkTrace("20.0.2.1", "20.0.9.9"),
+		mkTrace("90.0.0.1", "20.0.3.1"),
+		mkTrace("20.0.3.1", "20.0.9.9"),
+	}
+	r := inf.Process(trs)
+	if !hasLabel(r.Labels(netip.MustParseAddr("90.0.0.1")), 200, Forward) {
+		t.Errorf("forward heuristic missing: %v", r.Labels(netip.MustParseAddr("90.0.0.1")))
+	}
+}
+
+func TestResolutionConflicts(t *testing.T) {
+	inf := synthInferencer(t)
+	r := &Inference{
+		labels: map[netip.Addr][]Label{},
+		owner:  map[netip.Addr]ipam.ASN{},
+		table:  inf.Table,
+	}
+	a := netip.MustParseAddr("10.0.0.1")
+	b := netip.MustParseAddr("10.0.0.2")
+	// a: dominated by first → resolved.
+	r.labels[a] = []Label{{100, First}, {100, First}, {300, Customer}}
+	// b: dominated by customer → left unresolved per the paper's rule.
+	r.labels[b] = []Label{{300, Customer}, {300, Customer}, {100, First}}
+	r.resolve()
+	if owner, ok := r.Owner(a); !ok || owner != 100 {
+		t.Errorf("a owner = %v, %v", owner, ok)
+	}
+	if _, ok := r.Owner(b); ok {
+		t.Error("b should remain unresolved")
+	}
+}
+
+func TestClassifyLink(t *testing.T) {
+	inf := synthInferencer(t)
+	r := &Inference{
+		labels: map[netip.Addr][]Label{},
+		owner: map[netip.Addr]ipam.ASN{
+			netip.MustParseAddr("10.0.0.1"): 100,
+			netip.MustParseAddr("10.0.0.2"): 100,
+			netip.MustParseAddr("30.0.0.1"): 300,
+			netip.MustParseAddr("20.0.0.1"): 200,
+		},
+		table: inf.Table,
+	}
+	cl, _ := r.ClassifyLink(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"), inf.Rel)
+	if cl != InternalLink {
+		t.Errorf("same-owner link = %v", cl)
+	}
+	cl, lt := r.ClassifyLink(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("30.0.0.1"), inf.Rel)
+	if cl != InterconnectionLink || lt != C2P {
+		t.Errorf("c2p link = %v %v", cl, lt)
+	}
+	cl, lt = r.ClassifyLink(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("99.0.0.1"), inf.Rel)
+	if cl != UnknownClass || lt != UnknownType {
+		t.Errorf("unknown link = %v %v", cl, lt)
+	}
+}
+
+func TestHeuristicStrings(t *testing.T) {
+	names := map[Heuristic]string{
+		First: "first", NoIP2AS: "noip2as", Customer: "customer",
+		Provider: "provider", Back: "back", Forward: "forward",
+	}
+	for h, want := range names {
+		if h.String() != want {
+			t.Errorf("%v.String() = %q", h, h.String())
+		}
+	}
+	if InternalLink.String() != "internal" || InterconnectionLink.String() != "interconnection" {
+		t.Error("link class strings")
+	}
+	if P2P.String() != "p2p" || C2P.String() != "c2p" || UnknownType.String() != "unknown" {
+		t.Error("link type strings")
+	}
+}
+
+// TestAccuracyAgainstGroundTruth runs the full pipeline on a simulated
+// network and checks inferred owners against the simulator's ground truth
+// — the validation the paper could not perform.
+func TestAccuracyAgainstGroundTruth(t *testing.T) {
+	seed := int64(21)
+	topo, err := astopo.Generate(astopo.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnet, err := itopo.Build(topo, itopo.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := bgp.NewDynamics(topo, bgp.DefaultDynConfig(seed, 24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := cdn.Deploy(rnet, cdn.DefaultConfig(seed, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := probe.New(simnet.New(rnet, dyn, nil, simnet.DefaultConfig(seed)))
+	pr.DstFailProb = 0
+
+	var trs []*trace.Traceroute
+	cs := platform.Clusters
+	for i := 0; i < len(cs); i++ {
+		for j := 0; j < len(cs); j += 7 {
+			if i == j {
+				continue
+			}
+			trs = append(trs, pr.Traceroute(cs[i], cs[j], false, true, time.Hour))
+		}
+	}
+
+	inf := &Inferencer{Table: rnet.BGP, Rel: topo.Rel}
+	res := inf.Process(trs)
+	resolved, seen := res.Resolved()
+	if seen == 0 || resolved == 0 {
+		t.Fatalf("nothing inferred: resolved=%d seen=%d", resolved, seen)
+	}
+	correct, wrong := 0, 0
+	for a, owner := range res.owner {
+		truth, ok := rnet.IfaceOwner(a)
+		if !ok {
+			continue
+		}
+		if truth == owner {
+			correct++
+		} else {
+			wrong++
+		}
+	}
+	acc := float64(correct) / float64(correct+wrong)
+	t.Logf("ownership: %d/%d addresses resolved, accuracy %.3f", resolved, seen, acc)
+	if acc < 0.8 {
+		t.Errorf("accuracy = %.3f, want >= 0.8", acc)
+	}
+	if float64(resolved)/float64(seen) < 0.3 {
+		t.Errorf("coverage = %.3f, want >= 0.3 (\"most, but not all interfaces\")",
+			float64(resolved)/float64(seen))
+	}
+}

@@ -1,0 +1,117 @@
+package relinfer
+
+import (
+	"testing"
+
+	"repro/internal/astopo"
+	"repro/internal/bgp"
+	"repro/internal/core/aspath"
+	"repro/internal/ipam"
+)
+
+// hand-built scenario: two tier-1 peers (10, 11) with customers.
+//
+//	   10 ===== 11        (p2p)
+//	  /  \     /  \
+//	100   101 102  103    (customers)
+//	 |
+//	200                   (customer of 100)
+func handPaths() []aspath.Path {
+	return []aspath.Path{
+		{200, 100, 10, 11, 102},
+		{200, 100, 10, 11, 103},
+		{101, 10, 11, 102},
+		{102, 11, 10, 100, 200},
+		{103, 11, 10, 101},
+		{100, 10, 101},
+		{102, 11, 103},
+	}
+}
+
+func TestInferHandScenario(t *testing.T) {
+	in := Infer(handPaths(), DefaultConfig())
+	cases := []struct {
+		a, b ipam.ASN
+		want astopo.Relationship
+	}{
+		{200, 100, astopo.RelCustomer},
+		{100, 200, astopo.RelProvider},
+		{100, 10, astopo.RelCustomer},
+		{101, 10, astopo.RelCustomer},
+		{102, 11, astopo.RelCustomer},
+		{103, 11, astopo.RelCustomer},
+		{10, 11, astopo.RelPeer},
+	}
+	for _, c := range cases {
+		if got := in.Rel(c.a, c.b); got != c.want {
+			t.Errorf("Rel(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if in.Rel(200, 11) != astopo.RelNone {
+		t.Error("unobserved edge should be RelNone")
+	}
+	if in.Edges() == 0 || in.Degree(10) < 3 {
+		t.Errorf("edges=%d degree(10)=%d", in.Edges(), in.Degree(10))
+	}
+}
+
+func TestInferSymmetry(t *testing.T) {
+	in := Infer(handPaths(), DefaultConfig())
+	for _, pair := range [][2]ipam.ASN{{200, 100}, {10, 11}, {100, 10}} {
+		ab := in.Rel(pair[0], pair[1])
+		ba := in.Rel(pair[1], pair[0])
+		if ab.Invert() != ba {
+			t.Errorf("asymmetric inference %v-%v: %v / %v", pair[0], pair[1], ab, ba)
+		}
+	}
+}
+
+func TestInferEmptyAndDegenerate(t *testing.T) {
+	in := Infer(nil, DefaultConfig())
+	if in.Edges() != 0 {
+		t.Error("empty input should infer nothing")
+	}
+	in = Infer([]aspath.Path{{42}}, DefaultConfig())
+	if in.Edges() != 0 {
+		t.Error("single-AS paths carry no edges")
+	}
+	// Zero config values fall back to defaults without panicking.
+	in = Infer(handPaths(), Config{})
+	if in.Edges() == 0 {
+		t.Error("zero-config inference failed")
+	}
+}
+
+// TestAccuracyOnGeneratedTopology validates the inference against the
+// simulator's ground truth over real policy-routed paths.
+func TestAccuracyOnGeneratedTopology(t *testing.T) {
+	topo, err := astopo.Generate(astopo.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bgp.NewRouting(topo, nil, bgp.V4)
+	var paths []aspath.Path
+	ases := topo.ASes
+	for i := 0; i < len(ases); i += 2 {
+		for j := 1; j < len(ases); j += 5 {
+			if i == j {
+				continue
+			}
+			if p := r.Path(ases[i].ASN, ases[j].ASN); p != nil {
+				paths = append(paths, aspath.Path(p))
+			}
+		}
+	}
+	if len(paths) < 1000 {
+		t.Fatalf("only %d paths", len(paths))
+	}
+	in := Infer(paths, DefaultConfig())
+	acc, n := in.Accuracy(topo.Rel)
+	t.Logf("relinfer: %d edges classified, accuracy %.3f over %d paths", n, acc, len(paths))
+	if n < 100 {
+		t.Fatalf("too few classified edges: %d", n)
+	}
+	if acc < 0.75 {
+		t.Errorf("accuracy = %.3f, want >= 0.75 (Gao reported >90%% on BGP tables)", acc)
+	}
+}

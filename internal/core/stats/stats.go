@@ -1,0 +1,283 @@
+// Package stats provides the statistical machinery the paper's analyses
+// rest on: percentiles, empirical CDFs, decile heat maps (Figures 4 and 5),
+// kernel density estimates (Figure 9), and the Pearson correlation used to
+// localize congestion (§5.2).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between order statistics. It returns NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// PercentileSorted is Percentile over an already-sorted sample, avoiding
+// the copy.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation (NaN for empty input).
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// series. It returns 0 when either series is constant, and NaN for empty
+// or mismatched input.
+func Pearson(x, y []float64) float64 {
+	if len(x) == 0 || len(x) != len(y) {
+		return math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from a sample (copied and sorted).
+func NewECDF(xs []float64) ECDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return ECDF{sorted: s}
+}
+
+// Len returns the sample size.
+func (e ECDF) Len() int { return len(e.sorted) }
+
+// Eval returns P(X ≤ x).
+func (e ECDF) Eval(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(e.sorted, x)
+	// Advance past equal values (SearchFloat64s returns the first index).
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1).
+func (e ECDF) Quantile(q float64) float64 {
+	return PercentileSorted(e.sorted, q*100)
+}
+
+// Points returns up to n (x, F(x)) pairs suitable for plotting or printing
+// an ECDF curve.
+func (e ECDF) Points(n int) [][2]float64 {
+	if len(e.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(e.sorted) {
+		n = len(e.sorted)
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(e.sorted) - 1) / max(n-1, 1)
+		x := e.sorted[idx]
+		out = append(out, [2]float64{x, float64(idx+1) / float64(len(e.sorted))})
+	}
+	return out
+}
+
+// Heatmap is a 2-D binned distribution; Cells[yi][xi] holds the fraction
+// (in percent) of points falling into that cell. Edges are half-open
+// [e[i], e[i+1]) bins, matching the paper's Figure 4/5 presentation.
+type Heatmap struct {
+	XEdges, YEdges []float64
+	Cells          [][]float64
+	N              int
+}
+
+// DecileHeatmap bins (x, y) points into cells bounded by the deciles of
+// the marginal distributions. Duplicate decile edges are merged, so a cell
+// can represent more than one decile (the paper's first Figure 4 column
+// spans two deciles of AS-path lifetime).
+func DecileHeatmap(xs, ys []float64, nbins int) (*Heatmap, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("stats: empty input")
+	}
+	if nbins < 2 {
+		return nil, fmt.Errorf("stats: nbins must be >= 2")
+	}
+	xe := quantileEdges(xs, nbins)
+	ye := quantileEdges(ys, nbins)
+	h := &Heatmap{XEdges: xe, YEdges: ye, N: len(xs)}
+	h.Cells = make([][]float64, len(ye)-1)
+	for i := range h.Cells {
+		h.Cells[i] = make([]float64, len(xe)-1)
+	}
+	inc := 100.0 / float64(len(xs))
+	for i := range xs {
+		xi := binIndex(xe, xs[i])
+		yi := binIndex(ye, ys[i])
+		h.Cells[yi][xi] += inc
+	}
+	return h, nil
+}
+
+// RowSums returns the percentage of points per Y bin (summing a row gives
+// the paper's "10% of AS paths suffer at least …" statements).
+func (h *Heatmap) RowSums() []float64 {
+	out := make([]float64, len(h.Cells))
+	for i, row := range h.Cells {
+		for _, v := range row {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// quantileEdges returns unique quantile edges spanning the sample.
+func quantileEdges(xs []float64, nbins int) []float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	edges := make([]float64, 0, nbins+1)
+	for i := 0; i <= nbins; i++ {
+		e := percentileSorted(s, float64(i)*100/float64(nbins))
+		if len(edges) == 0 || e > edges[len(edges)-1] {
+			edges = append(edges, e)
+		}
+	}
+	if len(edges) < 2 {
+		// Degenerate (constant) sample: a single bin.
+		edges = append(edges, edges[0]+1)
+	}
+	return edges
+}
+
+// binIndex places x into half-open bins defined by edges; values at or
+// beyond the last edge fall into the final bin.
+func binIndex(edges []float64, x float64) int {
+	i := sort.SearchFloat64s(edges, x)
+	// SearchFloat64s returns first index with edges[i] >= x; adjust to the
+	// bin whose lower edge is ≤ x.
+	if i < len(edges) && edges[i] == x {
+		i++
+	}
+	i--
+	if i < 0 {
+		i = 0
+	}
+	if i > len(edges)-2 {
+		i = len(edges) - 2
+	}
+	return i
+}
+
+// KDE evaluates a Gaussian kernel density estimate of xs at the grid
+// points. A non-positive bandwidth selects Silverman's rule of thumb.
+func KDE(xs []float64, bandwidth float64, grid []float64) []float64 {
+	out := make([]float64, len(grid))
+	if len(xs) == 0 {
+		return out
+	}
+	if bandwidth <= 0 {
+		sd := StdDev(xs)
+		if sd == 0 {
+			sd = 1
+		}
+		bandwidth = 1.06 * sd * math.Pow(float64(len(xs)), -0.2)
+	}
+	norm := 1 / (float64(len(xs)) * bandwidth * math.Sqrt(2*math.Pi))
+	for gi, g := range grid {
+		sum := 0.0
+		for _, x := range xs {
+			u := (g - x) / bandwidth
+			sum += math.Exp(-0.5 * u * u)
+		}
+		out[gi] = sum * norm
+	}
+	return out
+}
+
+// Grid returns n evenly spaced points covering [lo, hi].
+func Grid(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,333 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 10}, {50, 5.5}, {10, 1.9}, {90, 9.1}, {25, 3.25},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+	// Input order must not matter (Percentile copies).
+	shuffled := []float64{5, 1, 9, 3, 7, 2, 10, 4, 8, 6}
+	if got := Percentile(shuffled, 50); !almost(got, 5.5, 1e-9) {
+		t.Errorf("shuffled median = %v", got)
+	}
+	if shuffled[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileMonotonicProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStdDevMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almost(got, 5, 1e-9) {
+		t.Errorf("mean = %v", got)
+	}
+	if got := StdDev(xs); !almost(got, 2, 1e-9) {
+		t.Errorf("stddev = %v", got)
+	}
+	if got := Median(xs); !almost(got, 4.5, 1e-9) {
+		t.Errorf("median = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev(nil)) {
+		t.Error("empty mean/stddev should be NaN")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, y); !almost(got, 1, 1e-12) {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, yneg); !almost(got, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if got := Pearson(x, []float64{3, 3, 3, 3, 3}); got != 0 {
+		t.Errorf("constant series correlation = %v, want 0", got)
+	}
+	if !math.IsNaN(Pearson(x, []float64{1})) {
+		t.Error("mismatched lengths should be NaN")
+	}
+	// Uncorrelated noise: near zero.
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 5000)
+	b := make([]float64, 5000)
+	for i := range a {
+		a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	if got := Pearson(a, b); math.Abs(got) > 0.05 {
+		t.Errorf("independent noise correlation = %v", got)
+	}
+}
+
+func TestPearsonShiftedDiurnal(t *testing.T) {
+	// A segment time series that carries the end-to-end diurnal signal
+	// must correlate strongly — the §5.2 localization criterion.
+	n := 672
+	sig := make([]float64, n)
+	seg := make([]float64, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range sig {
+		s := math.Max(0, math.Sin(2*math.Pi*float64(i)/96))
+		sig[i] = 20*s + rng.NormFloat64()
+		seg[i] = 20*s + rng.NormFloat64()*2
+	}
+	if got := Pearson(sig, seg); got < 0.9 {
+		t.Errorf("shared diurnal correlation = %v, want > 0.9", got)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3, 10})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.2}, {2, 0.6}, {2.5, 0.6}, {3, 0.8}, {10, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := e.Eval(c.x); !almost(got, c.want, 1e-12) {
+			t.Errorf("Eval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if got := e.Quantile(0.5); got != 2 {
+		t.Errorf("Quantile(0.5) = %v", got)
+	}
+	if e.Len() != 5 {
+		t.Errorf("Len = %d", e.Len())
+	}
+	pts := e.Points(3)
+	if len(pts) != 3 || pts[0][0] != 1 || pts[2][0] != 10 || pts[2][1] != 1 {
+		t.Errorf("Points = %v", pts)
+	}
+	if math.IsNaN(e.Eval(5)) {
+		t.Error("unexpected NaN")
+	}
+	empty := NewECDF(nil)
+	if !math.IsNaN(empty.Eval(1)) {
+		t.Error("empty ECDF should eval NaN")
+	}
+	if empty.Points(5) != nil {
+		t.Error("empty ECDF points should be nil")
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		e := NewECDF(xs)
+		prev := -1.0
+		for _, x := range xs {
+			v := e.Eval(x)
+			if v < 0 || v > 1 {
+				return false
+			}
+			_ = prev
+		}
+		// F is monotone along sorted xs.
+		s := append([]float64(nil), xs...)
+		for i := 1; i < len(s); i++ {
+			if e.Eval(s[i]) < e.Eval(s[i-1]) && s[i] >= s[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecileHeatmap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 10000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ys[i] = rng.ExpFloat64() * 10
+	}
+	h, err := DecileHeatmap(xs, ys, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.XEdges) != 11 || len(h.YEdges) != 11 {
+		t.Fatalf("edges: %d x, %d y", len(h.XEdges), len(h.YEdges))
+	}
+	// All cells sum to ~100%.
+	total := 0.0
+	for _, row := range h.Cells {
+		for _, v := range row {
+			if v < 0 {
+				t.Fatal("negative cell")
+			}
+			total += v
+		}
+	}
+	if !almost(total, 100, 1e-6) {
+		t.Errorf("cells sum to %v, want 100", total)
+	}
+	// With independent marginals each cell holds ~1%.
+	for yi, row := range h.Cells {
+		for xi, v := range row {
+			if v < 0.3 || v > 2.5 {
+				t.Errorf("cell[%d][%d] = %.2f%%, want ~1%%", yi, xi, v)
+			}
+		}
+	}
+	// Row sums ~10% each.
+	for i, rs := range h.RowSums() {
+		if rs < 8 || rs > 12 {
+			t.Errorf("row %d sum = %.1f%%, want ~10%%", i, rs)
+		}
+	}
+}
+
+func TestDecileHeatmapDuplicateEdges(t *testing.T) {
+	// Half the mass at a single value: decile edges collapse and must be
+	// merged (like the paper's 3-hour minimum lifetime column).
+	xs := make([]float64, 1000)
+	ys := make([]float64, 1000)
+	rng := rand.New(rand.NewSource(4))
+	for i := range xs {
+		if i < 500 {
+			xs[i] = 3
+		} else {
+			xs[i] = 3 + rng.Float64()*100
+		}
+		ys[i] = rng.Float64()
+	}
+	h, err := DecileHeatmap(xs, ys, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.XEdges) >= 11 {
+		t.Errorf("expected merged X edges, got %d", len(h.XEdges))
+	}
+	total := 0.0
+	for _, row := range h.Cells {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if !almost(total, 100, 1e-6) {
+		t.Errorf("cells sum to %v", total)
+	}
+}
+
+func TestDecileHeatmapErrors(t *testing.T) {
+	if _, err := DecileHeatmap([]float64{1}, []float64{1, 2}, 10); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := DecileHeatmap(nil, nil, 10); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := DecileHeatmap([]float64{1, 2}, []float64{1, 2}, 1); err == nil {
+		t.Error("nbins < 2 should error")
+	}
+	// Constant sample must not panic.
+	h, err := DecileHeatmap([]float64{5, 5, 5}, []float64{1, 1, 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cells[0][0] < 99 {
+		t.Error("constant sample should land in one cell")
+	}
+}
+
+func TestKDE(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	grid := Grid(-4, 4, 81)
+	dens := KDE(xs, 0, grid)
+	// Peak near zero, roughly the standard normal peak (0.399).
+	peakIdx := 0
+	for i, d := range dens {
+		if d > dens[peakIdx] {
+			peakIdx = i
+		}
+	}
+	if math.Abs(grid[peakIdx]) > 0.3 {
+		t.Errorf("KDE peak at %v, want ~0", grid[peakIdx])
+	}
+	if dens[peakIdx] < 0.3 || dens[peakIdx] > 0.5 {
+		t.Errorf("KDE peak density = %v, want ~0.4", dens[peakIdx])
+	}
+	// Integrates to ~1.
+	integral := 0.0
+	for i := 1; i < len(grid); i++ {
+		integral += (dens[i] + dens[i-1]) / 2 * (grid[i] - grid[i-1])
+	}
+	if !almost(integral, 1, 0.05) {
+		t.Errorf("KDE integral = %v", integral)
+	}
+	// Empty input: zeros.
+	for _, d := range KDE(nil, 0, grid) {
+		if d != 0 {
+			t.Fatal("empty KDE should be zero")
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(0, 10, 11)
+	if len(g) != 11 || g[0] != 0 || g[10] != 10 || g[5] != 5 {
+		t.Errorf("Grid = %v", g)
+	}
+	if g := Grid(1, 2, 1); len(g) != 1 || g[0] != 1 {
+		t.Errorf("degenerate grid = %v", g)
+	}
+}

@@ -1,0 +1,141 @@
+package timeline
+
+import (
+	"time"
+
+	"repro/internal/core/stats"
+	"repro/internal/trace"
+)
+
+// PathsPerTimeline returns the number of unique AS paths per timeline
+// (Figure 2a).
+func PathsPerTimeline(tls []*Timeline, interval time.Duration) []float64 {
+	out := make([]float64, 0, len(tls))
+	for _, tl := range tls {
+		out = append(out, float64(len(tl.UniquePaths(interval))))
+	}
+	return out
+}
+
+// PathPairsPerServerPair returns, per undirected server pair, the number
+// of unique (forward path, reverse path) combinations observed at the same
+// timestamp (Figure 2b). Timelines must all share a protocol.
+func PathPairsPerServerPair(tls []*Timeline) []float64 {
+	byKey := make(map[trace.PairKey]*Timeline, len(tls))
+	for _, tl := range tls {
+		byKey[tl.Key] = tl
+	}
+	seenPair := make(map[trace.PairKey]bool)
+	var out []float64
+	for _, tl := range tls {
+		und := tl.Key.Undirected()
+		if seenPair[und] {
+			continue
+		}
+		seenPair[und] = true
+		fwd := byKey[und]
+		rev := byKey[und.Reverse()]
+		if fwd == nil || rev == nil {
+			continue
+		}
+		revAt := make(map[time.Duration]string, len(rev.Obs))
+		for _, o := range rev.Obs {
+			revAt[o.At] = o.Path.Key()
+		}
+		combos := make(map[string]bool)
+		for _, o := range fwd.Obs {
+			if rp, ok := revAt[o.At]; ok {
+				combos[o.Path.Key()+"|"+rp] = true
+			}
+		}
+		if len(combos) > 0 {
+			out = append(out, float64(len(combos)))
+		}
+	}
+	return out
+}
+
+// PopularPrevalence returns the prevalence of each timeline's most popular
+// AS path (Figure 3a).
+func PopularPrevalence(tls []*Timeline, interval time.Duration) []float64 {
+	var out []float64
+	for _, tl := range tls {
+		if _, prev := tl.PopularPath(interval); prev > 0 {
+			out = append(out, prev)
+		}
+	}
+	return out
+}
+
+// ChangesPerTimeline returns the routing-change count per timeline
+// (Figure 3b).
+func ChangesPerTimeline(tls []*Timeline) []float64 {
+	out := make([]float64, 0, len(tls))
+	for _, tl := range tls {
+		out = append(out, float64(tl.NumChanges()))
+	}
+	return out
+}
+
+// LifetimeDeltaSamples returns the Figure 4/5 scatter: per sub-optimal path
+// bucket, its lifetime (hours) and its criterion-percentile RTT increase
+// over the best path (ms).
+func LifetimeDeltaSamples(tls []*Timeline, interval time.Duration, crit BestCriterion) (lifetimeHours, deltaMs []float64) {
+	for _, tl := range tls {
+		for _, s := range tl.SuboptimalDeltas(interval, crit) {
+			lifetimeHours = append(lifetimeHours, s.Lifetime.Hours())
+			deltaMs = append(deltaMs, s.DeltaMs)
+		}
+	}
+	return lifetimeHours, deltaMs
+}
+
+// SuboptimalPrevalence returns, per timeline, the summed prevalence of
+// sub-optimal AS paths whose baseline (10th percentile) RTT increase is at
+// least thresholdMs (Figure 6). Timelines with a single path contribute
+// zero, matching the figure's ECDF population.
+func SuboptimalPrevalence(tls []*Timeline, interval time.Duration, thresholdMs float64) []float64 {
+	out := make([]float64, 0, len(tls))
+	for _, tl := range tls {
+		sum := 0.0
+		for _, s := range tl.SuboptimalDeltas(interval, ByP10) {
+			if s.DeltaMs >= thresholdMs {
+				sum += s.Prevalence
+			}
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// FractionDeltaAtLeast returns the fraction of sub-optimal path buckets
+// whose RTT increase is at least deltaMs and, when minPrevalence > 0,
+// whose prevalence is at least that — the abstract's "4% (7%) of routing
+// changes increase RTTs by at least 50 ms for at least 20% of the study
+// period".
+func FractionDeltaAtLeast(tls []*Timeline, interval time.Duration, crit BestCriterion, deltaMs, minPrevalence float64) float64 {
+	total, hit := 0, 0
+	for _, tl := range tls {
+		for _, s := range tl.SuboptimalDeltas(interval, crit) {
+			total++
+			if s.DeltaMs >= deltaMs && s.Prevalence >= minPrevalence {
+				hit++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// DeltaQuantileMs returns the q-quantile (0..1) of sub-optimal path RTT
+// increases — e.g. q=0.8 recovers the abstract's "20% of routing changes
+// impact paths by at least 26 ms (31 ms)".
+func DeltaQuantileMs(tls []*Timeline, interval time.Duration, crit BestCriterion, q float64) float64 {
+	_, deltas := LifetimeDeltaSamples(tls, interval, crit)
+	if len(deltas) == 0 {
+		return 0
+	}
+	return stats.Percentile(deltas, q*100)
+}

@@ -1,0 +1,322 @@
+// Package timeline implements the paper's Section 4 analyses over "trace
+// timelines" — the time-ordered traceroutes of one directed server pair on
+// one protocol. It computes unique AS paths and their lifetimes,
+// prevalence, routing-change counts (edit distance between consecutive AS
+// paths), best-path RTT deltas, and the reductions behind Figures 2–7.
+package timeline
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core/aspath"
+	"repro/internal/core/stats"
+	"repro/internal/trace"
+)
+
+// Observation is one usable traceroute on a timeline.
+type Observation struct {
+	At   time.Duration
+	Path aspath.Path
+	// RTTms is the end-to-end round-trip time in milliseconds.
+	RTTms float64
+}
+
+// Timeline is the time series of one directed pair on one protocol.
+type Timeline struct {
+	Key trace.PairKey
+	Obs []Observation
+}
+
+// Builder consumes traceroutes, infers AS paths, keeps the Table 1
+// accounting, and groups usable observations into timelines.
+type Builder struct {
+	Mapper *aspath.Mapper
+	// Interval is the measurement cadence; a path observed once is assumed
+	// to persist for one interval (the paper's lifetime convention).
+	Interval time.Duration
+
+	// TallyV4/TallyV6 accumulate Table 1 per protocol over *complete*
+	// traceroutes (the paper's Table 1 covers the completed subset).
+	TallyV4, TallyV6 aspath.Tally
+	// Incomplete counts traceroutes that never reached the destination.
+	Incomplete int
+	// LoopsDropped counts usable-path rejections due to AS loops.
+	LoopsDropped int
+
+	timelines map[trace.PairKey]*Timeline
+	// intern deduplicates identical AS paths so long campaigns don't hold
+	// one slice per observation.
+	intern map[string]aspath.Path
+}
+
+// NewBuilder returns a Builder using the given IP-to-AS mapper and
+// measurement interval.
+func NewBuilder(m *aspath.Mapper, interval time.Duration) *Builder {
+	return &Builder{
+		Mapper:    m,
+		Interval:  interval,
+		timelines: make(map[trace.PairKey]*Timeline),
+		intern:    make(map[string]aspath.Path),
+	}
+}
+
+// Add consumes one traceroute record.
+func (b *Builder) Add(tr *trace.Traceroute) {
+	if !tr.Complete {
+		b.Incomplete++
+		return
+	}
+	res := b.Mapper.Infer(tr)
+	if tr.V6 {
+		b.TallyV6.Add(res)
+	} else {
+		b.TallyV4.Add(res)
+	}
+	if !res.Resolved {
+		return
+	}
+	if res.Loop {
+		b.LoopsDropped++
+		return
+	}
+	pk := res.Path.Key()
+	if shared, ok := b.intern[pk]; ok {
+		res.Path = shared
+	} else {
+		b.intern[pk] = res.Path
+	}
+	k := tr.Key()
+	tl := b.timelines[k]
+	if tl == nil {
+		tl = &Timeline{Key: k}
+		b.timelines[k] = tl
+	}
+	tl.Obs = append(tl.Obs, Observation{
+		At:    tr.At,
+		Path:  res.Path,
+		RTTms: float64(tr.RTT) / float64(time.Millisecond),
+	})
+}
+
+// Timelines returns all timelines sorted by key.
+func (b *Builder) Timelines() []*Timeline {
+	out := make([]*Timeline, 0, len(b.timelines))
+	for _, tl := range b.timelines {
+		out = append(out, tl)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, c := out[i].Key, out[j].Key
+		if a.SrcID != c.SrcID {
+			return a.SrcID < c.SrcID
+		}
+		if a.DstID != c.DstID {
+			return a.DstID < c.DstID
+		}
+		return !a.V6 && c.V6
+	})
+	return out
+}
+
+// Timeline returns one timeline by key.
+func (b *Builder) Timeline(k trace.PairKey) (*Timeline, bool) {
+	tl, ok := b.timelines[k]
+	return tl, ok
+}
+
+// ByProtocol splits timelines by family.
+func ByProtocol(tls []*Timeline) (v4, v6 []*Timeline) {
+	for _, tl := range tls {
+		if tl.Key.V6 {
+			v6 = append(v6, tl)
+		} else {
+			v4 = append(v4, tl)
+		}
+	}
+	return v4, v6
+}
+
+// PathStat aggregates one unique AS path on a timeline — the paper's "AS
+// path bucket".
+type PathStat struct {
+	Path  aspath.Path
+	Count int
+	// Lifetime is Count × the measurement interval: the total time the
+	// path was observed (periods need not be contiguous).
+	Lifetime time.Duration
+	// RTTs are the end-to-end RTTs (ms) observed over this path.
+	RTTs []float64
+}
+
+// P10, P90, Std return the bucket's RTT statistics.
+func (ps *PathStat) P10() float64 { return stats.Percentile(ps.RTTs, 10) }
+
+// P90 returns the 90th percentile of the bucket's RTTs.
+func (ps *PathStat) P90() float64 { return stats.Percentile(ps.RTTs, 90) }
+
+// Std returns the standard deviation of the bucket's RTTs.
+func (ps *PathStat) Std() float64 { return stats.StdDev(ps.RTTs) }
+
+// UniquePaths buckets the timeline's observations by AS path, ordered by
+// descending lifetime then path string.
+func (tl *Timeline) UniquePaths(interval time.Duration) []*PathStat {
+	byKey := make(map[string]*PathStat)
+	for _, o := range tl.Obs {
+		k := o.Path.Key()
+		ps := byKey[k]
+		if ps == nil {
+			ps = &PathStat{Path: o.Path}
+			byKey[k] = ps
+		}
+		ps.Count++
+		ps.RTTs = append(ps.RTTs, o.RTTms)
+	}
+	out := make([]*PathStat, 0, len(byKey))
+	for _, ps := range byKey {
+		ps.Lifetime = time.Duration(ps.Count) * interval
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lifetime != out[j].Lifetime {
+			return out[i].Lifetime > out[j].Lifetime
+		}
+		return out[i].Path.Key() < out[j].Path.Key()
+	})
+	return out
+}
+
+// Change is one routing change: consecutive observations whose AS paths
+// differ. Following the paper, the change is timestamped at the later
+// observation.
+type Change struct {
+	At       time.Duration
+	Dist     int
+	From, To aspath.Path
+}
+
+// Changes returns the routing changes along the timeline.
+func (tl *Timeline) Changes() []Change {
+	var out []Change
+	for i := 1; i < len(tl.Obs); i++ {
+		prev, cur := tl.Obs[i-1], tl.Obs[i]
+		if prev.Path.Equal(cur.Path) {
+			continue
+		}
+		out = append(out, Change{
+			At:   cur.At,
+			Dist: aspath.EditDistance(prev.Path, cur.Path),
+			From: prev.Path,
+			To:   cur.Path,
+		})
+	}
+	return out
+}
+
+// NumChanges returns the number of routing changes.
+func (tl *Timeline) NumChanges() int { return len(tl.Changes()) }
+
+// Prevalence returns, per unique path, the fraction of observations using
+// it (the paper's prevalence, after Paxson).
+func (tl *Timeline) Prevalence(interval time.Duration) map[string]float64 {
+	out := make(map[string]float64)
+	if len(tl.Obs) == 0 {
+		return out
+	}
+	for _, ps := range tl.UniquePaths(interval) {
+		out[ps.Path.Key()] = float64(ps.Count) / float64(len(tl.Obs))
+	}
+	return out
+}
+
+// PopularPath returns the path with the longest lifetime and its
+// prevalence.
+func (tl *Timeline) PopularPath(interval time.Duration) (*PathStat, float64) {
+	ups := tl.UniquePaths(interval)
+	if len(ups) == 0 {
+		return nil, 0
+	}
+	return ups[0], float64(ups[0].Count) / float64(len(tl.Obs))
+}
+
+// BestCriterion selects how the "best" AS path of a timeline is chosen.
+type BestCriterion uint8
+
+// Criteria: the paper's default is the lowest 10th percentile of RTTs;
+// §4.2 also discusses the 90th percentile and the standard deviation.
+const (
+	ByP10 BestCriterion = iota
+	ByP90
+	ByStd
+)
+
+func (c BestCriterion) value(ps *PathStat) float64 {
+	switch c {
+	case ByP90:
+		return ps.P90()
+	case ByStd:
+		return ps.Std()
+	default:
+		return ps.P10()
+	}
+}
+
+// BestPath returns the bucket minimizing the criterion ("best" among paths
+// actually observed, as the paper stresses).
+func (tl *Timeline) BestPath(interval time.Duration, crit BestCriterion) *PathStat {
+	ups := tl.UniquePaths(interval)
+	if len(ups) == 0 {
+		return nil
+	}
+	best := ups[0]
+	bestV := crit.value(best)
+	for _, ps := range ups[1:] {
+		if v := crit.value(ps); v < bestV || (v == bestV && ps.Path.Key() < best.Path.Key()) {
+			best, bestV = ps, v
+		}
+	}
+	return best
+}
+
+// SuboptimalDelta is one sub-optimal path's (lifetime, RTT-increase)
+// sample: the Figure 4/5 scatter input.
+type SuboptimalDelta struct {
+	Lifetime time.Duration
+	// DeltaMs is the increase of the criterion percentile over the best
+	// path's, in milliseconds.
+	DeltaMs float64
+	// Prevalence of the sub-optimal path on its timeline.
+	Prevalence float64
+}
+
+// SuboptimalDeltas returns one sample per non-best path bucket. Timelines
+// with a single path contribute nothing (paper: "trace timelines with only
+// one AS path are not included").
+func (tl *Timeline) SuboptimalDeltas(interval time.Duration, crit BestCriterion) []SuboptimalDelta {
+	ups := tl.UniquePaths(interval)
+	if len(ups) < 2 {
+		return nil
+	}
+	best := ups[0]
+	bestV := crit.value(best)
+	for _, ps := range ups[1:] {
+		if v := crit.value(ps); v < bestV || (v == bestV && ps.Path.Key() < best.Path.Key()) {
+			best, bestV = ps, v
+		}
+	}
+	var out []SuboptimalDelta
+	for _, ps := range ups {
+		if ps == best {
+			continue
+		}
+		d := crit.value(ps) - bestV
+		if d < 0 {
+			d = 0
+		}
+		out = append(out, SuboptimalDelta{
+			Lifetime:   ps.Lifetime,
+			DeltaMs:    d,
+			Prevalence: float64(ps.Count) / float64(len(tl.Obs)),
+		})
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package timeline
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/core/aspath"
+	"repro/internal/ipam"
+	"repro/internal/trace"
+)
+
+const hour = time.Hour
+
+// obs builds a synthetic observation.
+func obs(at time.Duration, rtt float64, path ...ipam.ASN) Observation {
+	return Observation{At: at, Path: aspath.Path(path), RTTms: rtt}
+}
+
+func tlOf(key trace.PairKey, os ...Observation) *Timeline {
+	return &Timeline{Key: key, Obs: os}
+}
+
+func TestUniquePathsAndLifetimes(t *testing.T) {
+	tl := tlOf(trace.PairKey{SrcID: 1, DstID: 2},
+		obs(0, 10, 1, 2, 3),
+		obs(3*hour, 11, 1, 2, 3),
+		obs(6*hour, 30, 1, 4, 3),
+		obs(9*hour, 10, 1, 2, 3),
+	)
+	ups := tl.UniquePaths(3 * hour)
+	if len(ups) != 2 {
+		t.Fatalf("unique paths = %d", len(ups))
+	}
+	if !ups[0].Path.Equal(aspath.Path{1, 2, 3}) || ups[0].Count != 3 {
+		t.Errorf("dominant bucket = %+v", ups[0])
+	}
+	if ups[0].Lifetime != 9*hour {
+		t.Errorf("dominant lifetime = %v, want 9h", ups[0].Lifetime)
+	}
+	if ups[1].Lifetime != 3*hour {
+		t.Errorf("minor lifetime = %v", ups[1].Lifetime)
+	}
+}
+
+func TestChangesAndEditDistance(t *testing.T) {
+	tl := tlOf(trace.PairKey{},
+		obs(0, 10, 1, 2, 3),
+		obs(3*hour, 10, 1, 2, 3), // no change
+		obs(6*hour, 30, 1, 4, 3), // change (substitution): dist 1
+		obs(9*hour, 10, 1, 2, 3), // change back: dist 1
+		obs(12*hour, 12, 1, 2),   // truncation: dist 1
+	)
+	chs := tl.Changes()
+	if len(chs) != 3 {
+		t.Fatalf("changes = %d, want 3", len(chs))
+	}
+	if chs[0].At != 6*hour || chs[0].Dist != 1 {
+		t.Errorf("first change = %+v", chs[0])
+	}
+	if tl.NumChanges() != 3 {
+		t.Error("NumChanges mismatch")
+	}
+	if n := tlOf(trace.PairKey{}, obs(0, 1, 1, 2)).NumChanges(); n != 0 {
+		t.Errorf("single-obs changes = %d", n)
+	}
+}
+
+func TestPrevalenceAndPopular(t *testing.T) {
+	tl := tlOf(trace.PairKey{},
+		obs(0, 10, 1, 2),
+		obs(3*hour, 10, 1, 2),
+		obs(6*hour, 10, 1, 2),
+		obs(9*hour, 10, 1, 3),
+	)
+	prev := tl.Prevalence(3 * hour)
+	if math.Abs(prev[aspath.Path{1, 2}.Key()]-0.75) > 1e-9 {
+		t.Errorf("prevalence = %v", prev)
+	}
+	pp, p := tl.PopularPath(3 * hour)
+	if !pp.Path.Equal(aspath.Path{1, 2}) || math.Abs(p-0.75) > 1e-9 {
+		t.Errorf("popular = %v %v", pp.Path, p)
+	}
+	if pp2, p2 := tlOf(trace.PairKey{}).PopularPath(3 * hour); pp2 != nil || p2 != 0 {
+		t.Error("empty timeline popular path should be nil")
+	}
+}
+
+func TestBestPathCriteria(t *testing.T) {
+	// Path A: baseline 10 with occasional 100 spikes; path B: steady 20.
+	var os []Observation
+	for i := 0; i < 20; i++ {
+		rtt := 10.0
+		if i >= 15 {
+			rtt = 100
+		}
+		os = append(os, obs(time.Duration(i)*3*hour, rtt, 1, 2))
+	}
+	for i := 20; i < 40; i++ {
+		os = append(os, obs(time.Duration(i)*3*hour, 20, 1, 3))
+	}
+	tl := tlOf(trace.PairKey{}, os...)
+	// By P10 path A wins (baseline 10 < 20).
+	if best := tl.BestPath(3*hour, ByP10); !best.Path.Equal(aspath.Path{1, 2}) {
+		t.Errorf("ByP10 best = %v", best.Path)
+	}
+	// By P90, A's spikes push its 90th percentile above B's 20.
+	if best := tl.BestPath(3*hour, ByP90); !best.Path.Equal(aspath.Path{1, 3}) {
+		t.Errorf("ByP90 best = %v", best.Path)
+	}
+	// By StdDev the constant path wins.
+	if best := tl.BestPath(3*hour, ByStd); !best.Path.Equal(aspath.Path{1, 3}) {
+		t.Errorf("ByStd best = %v", best.Path)
+	}
+	if tlOf(trace.PairKey{}).BestPath(3*hour, ByP10) != nil {
+		t.Error("empty best path should be nil")
+	}
+}
+
+func TestSuboptimalDeltas(t *testing.T) {
+	var os []Observation
+	for i := 0; i < 8; i++ {
+		os = append(os, obs(time.Duration(i)*3*hour, 10, 1, 2))
+	}
+	for i := 8; i < 10; i++ {
+		os = append(os, obs(time.Duration(i)*3*hour, 60, 1, 3))
+	}
+	tl := tlOf(trace.PairKey{}, os...)
+	subs := tl.SuboptimalDeltas(3*hour, ByP10)
+	if len(subs) != 1 {
+		t.Fatalf("suboptimal buckets = %d", len(subs))
+	}
+	if math.Abs(subs[0].DeltaMs-50) > 1e-9 {
+		t.Errorf("delta = %v, want 50", subs[0].DeltaMs)
+	}
+	if subs[0].Lifetime != 6*hour {
+		t.Errorf("lifetime = %v", subs[0].Lifetime)
+	}
+	if math.Abs(subs[0].Prevalence-0.2) > 1e-9 {
+		t.Errorf("prevalence = %v", subs[0].Prevalence)
+	}
+	// Single-path timeline contributes nothing.
+	single := tlOf(trace.PairKey{}, obs(0, 1, 1, 2), obs(3*hour, 1, 1, 2))
+	if subs := single.SuboptimalDeltas(3*hour, ByP10); subs != nil {
+		t.Errorf("single-path suboptimal = %v", subs)
+	}
+}
+
+func TestBuilderGroupsAndTallies(t *testing.T) {
+	tbl := ipam.NewTable()
+	for _, e := range []struct {
+		p  string
+		as ipam.ASN
+	}{
+		{"10.0.0.0/8", 100}, {"20.0.0.0/8", 200}, {"30.0.0.0/8", 300},
+	} {
+		if err := tbl.Insert(netip.MustParsePrefix(e.p), e.as); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := NewBuilder(aspath.NewMapper(tbl), 3*hour)
+	mk := func(at time.Duration, v6, complete bool, hops ...string) *trace.Traceroute {
+		tr := &trace.Traceroute{
+			SrcID: 1, DstID: 2,
+			Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("30.0.0.1"),
+			V6: v6, At: at, Complete: complete,
+			RTT: 42 * time.Millisecond,
+		}
+		for _, h := range hops {
+			if h == "*" {
+				tr.Hops = append(tr.Hops, trace.Hop{})
+			} else {
+				tr.Hops = append(tr.Hops, trace.Hop{Addr: netip.MustParseAddr(h), RTT: time.Millisecond})
+			}
+		}
+		return tr
+	}
+	b.Add(mk(0, false, true, "20.0.0.1", "30.0.0.1"))
+	b.Add(mk(3*hour, false, true, "20.0.0.1", "*", "20.0.0.2", "30.0.0.1")) // imputed, missing IP
+	b.Add(mk(6*hour, false, false))                                         // incomplete
+	b.Add(mk(0, true, true, "20.0.0.1", "30.0.0.1"))                        // v6 timeline
+
+	if b.Incomplete != 1 {
+		t.Errorf("incomplete = %d", b.Incomplete)
+	}
+	if b.TallyV4.Total != 2 || b.TallyV6.Total != 1 {
+		t.Errorf("tallies = %+v / %+v", b.TallyV4, b.TallyV6)
+	}
+	if b.TallyV4.MissingIP != 1 || b.TallyV4.Complete != 1 {
+		t.Errorf("v4 tally = %+v", b.TallyV4)
+	}
+	tls := b.Timelines()
+	if len(tls) != 2 {
+		t.Fatalf("timelines = %d", len(tls))
+	}
+	v4, v6 := ByProtocol(tls)
+	if len(v4) != 1 || len(v6) != 1 {
+		t.Fatalf("protocol split: %d v4, %d v6", len(v4), len(v6))
+	}
+	if len(v4[0].Obs) != 2 {
+		t.Errorf("v4 obs = %d", len(v4[0].Obs))
+	}
+	if v4[0].Obs[0].RTTms != 42 {
+		t.Errorf("RTT ms = %v", v4[0].Obs[0].RTTms)
+	}
+	if _, ok := b.Timeline(trace.PairKey{SrcID: 1, DstID: 2}); !ok {
+		t.Error("timeline lookup failed")
+	}
+}
+
+func TestFigureReductions(t *testing.T) {
+	k12 := trace.PairKey{SrcID: 1, DstID: 2}
+	k21 := trace.PairKey{SrcID: 2, DstID: 1}
+	fwd := tlOf(k12,
+		obs(0, 10, 1, 2), obs(3*hour, 10, 1, 2), obs(6*hour, 40, 1, 3), obs(9*hour, 10, 1, 2))
+	rev := tlOf(k21,
+		obs(0, 10, 2, 1), obs(3*hour, 10, 2, 5, 1), obs(6*hour, 10, 2, 1), obs(9*hour, 10, 2, 1))
+	tls := []*Timeline{fwd, rev}
+
+	pp := PathsPerTimeline(tls, 3*hour)
+	if len(pp) != 2 || pp[0] != 2 || pp[1] != 2 {
+		t.Errorf("paths per timeline = %v", pp)
+	}
+	pairs := PathPairsPerServerPair(tls)
+	// Combos at shared timestamps: (12,21),(12,251),(13,21),(12,21) → 3 unique.
+	if len(pairs) != 1 || pairs[0] != 3 {
+		t.Errorf("path pairs = %v, want [3]", pairs)
+	}
+	pops := PopularPrevalence(tls, 3*hour)
+	if len(pops) != 2 || math.Abs(pops[0]-0.75) > 1e-9 {
+		t.Errorf("popular prevalence = %v", pops)
+	}
+	chs := ChangesPerTimeline(tls)
+	if chs[0] != 2 || chs[1] != 2 {
+		t.Errorf("changes = %v", chs)
+	}
+	lh, dm := LifetimeDeltaSamples(tls, 3*hour, ByP10)
+	if len(lh) != 2 || len(dm) != 2 {
+		t.Errorf("lifetime/delta samples = %v / %v", lh, dm)
+	}
+	sp := SuboptimalPrevalence(tls, 3*hour, 20)
+	if len(sp) != 2 || math.Abs(sp[0]-0.25) > 1e-9 {
+		t.Errorf("suboptimal prevalence = %v", sp)
+	}
+	// Threshold above every delta: zero prevalence.
+	sp100 := SuboptimalPrevalence(tls, 3*hour, 100)
+	if sp100[0] != 0 {
+		t.Errorf("suboptimal prevalence @100ms = %v", sp100)
+	}
+	frac := FractionDeltaAtLeast(tls, 3*hour, ByP10, 20, 0.2)
+	if math.Abs(frac-0.5) > 1e-9 {
+		t.Errorf("FractionDeltaAtLeast = %v, want 0.5", frac)
+	}
+	q := DeltaQuantileMs(tls, 3*hour, ByP10, 1)
+	if math.Abs(q-30) > 1e-9 {
+		t.Errorf("max delta = %v, want 30", q)
+	}
+	if DeltaQuantileMs(nil, 3*hour, ByP10, 0.5) != 0 {
+		t.Error("empty delta quantile should be 0")
+	}
+}
+
+func TestPathPairsRequiresBothDirections(t *testing.T) {
+	k12 := trace.PairKey{SrcID: 1, DstID: 2}
+	fwd := tlOf(k12, obs(0, 10, 1, 2))
+	if got := PathPairsPerServerPair([]*Timeline{fwd}); len(got) != 0 {
+		t.Errorf("one-direction pair should be skipped, got %v", got)
+	}
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core/congest"
+	"repro/internal/core/ownership"
+	"repro/internal/core/stats"
+	"repro/internal/geo"
+	"repro/internal/plot"
+	"repro/internal/report"
+)
+
+// Section51 reproduces §5.1: the fraction of server pairs with large RTT
+// variation and the fraction with consistent (diurnal) congestion.
+func Section51(e *Env) (*Result, error) {
+	pd, err := e.PingMesh()
+	if err != nil {
+		return nil, err
+	}
+	det := congest.DefaultDetector()
+	v4, v6 := congest.Summarize(pd.series, det)
+
+	var txt strings.Builder
+	report.Table(&txt, "§5.1: consistent congestion in the ping mesh",
+		[]string{"", "IPv4", "IPv6"},
+		[][]string{
+			{"pairs analyzed", itoa(v4.Pairs), itoa(v6.Pairs)},
+			{"p95-p5 variation >= 10ms", pct(v4.HighVariationFrac()), pct(v6.HighVariationFrac())},
+			{"strong diurnal pattern (congested)", pct(v4.CongestedFrac()), pct(v6.CongestedFrac())},
+		})
+	m := map[string]float64{
+		"v4_pairs":          float64(v4.Pairs),
+		"v6_pairs":          float64(v6.Pairs),
+		"v4_highvar_frac":   v4.HighVariationFrac(),
+		"v6_highvar_frac":   v6.HighVariationFrac(),
+		"v4_congested_frac": v4.CongestedFrac(),
+		"v6_congested_frac": v6.CongestedFrac(),
+	}
+	return &Result{
+		ID:       "S51",
+		Title:    "§5.1: is congestion the norm?",
+		Text:     txt.String(),
+		Measured: m,
+		Paper: map[string]float64{
+			"v4_highvar_frac":   0.095,
+			"v6_highvar_frac":   0.04,
+			"v4_congested_frac": 0.02,
+			"v6_congested_frac": 0.006,
+		},
+	}, nil
+}
+
+// linkTally aggregates the §5.3 congested-link classification.
+type linkTally struct {
+	internal, interconnection, unknown int
+	p2p, c2p                           int
+	ixp, private                       int
+}
+
+// classifyLocalizations runs ownership inference over the localization
+// corpus and classifies each localized link.
+func (e *Env) classifyLocalizations() (*localizationData, linkTally, []*congest.Localization, error) {
+	ld, err := e.Localizations()
+	if err != nil {
+		return nil, linkTally{}, nil, err
+	}
+	var tally linkTally
+	if len(ld.locs) == 0 {
+		return ld, tally, nil, nil
+	}
+	inf := &ownership.Inferencer{Table: e.Net.BGP, Rel: e.Topo.Rel}
+	res := inf.Process(ld.records)
+
+	// Find, per localized pair, the stable traceroute to read the hop
+	// before the congested segment.
+	for _, loc := range ld.locs {
+		var prev, cur = loc.HopAddr, loc.HopAddr
+		for _, tr := range ld.records {
+			if tr.Key() != loc.Key || !tr.Complete || len(tr.Hops) < loc.SegmentIndex {
+				continue
+			}
+			if tr.Hops[loc.SegmentIndex-1].Addr != loc.HopAddr {
+				continue
+			}
+			if loc.SegmentIndex >= 2 {
+				prev = tr.Hops[loc.SegmentIndex-2].Addr
+			}
+			break
+		}
+		if _, isIXP := e.Net.IsIXPAddr(cur); isIXP {
+			tally.ixp++
+		}
+		if prev == cur || !prev.IsValid() {
+			tally.unknown++
+			continue
+		}
+		class, typ := res.ClassifyLink(prev, cur, e.Topo.Rel)
+		switch class {
+		case ownership.InternalLink:
+			tally.internal++
+		case ownership.InterconnectionLink:
+			tally.interconnection++
+			switch typ {
+			case ownership.P2P:
+				tally.p2p++
+			case ownership.C2P:
+				tally.c2p++
+			}
+			if _, isIXP := e.Net.IsIXPAddr(cur); !isIXP {
+				tally.private++
+			}
+		default:
+			tally.unknown++
+		}
+	}
+	return ld, tally, ld.locs, nil
+}
+
+// Section53 reproduces §5.3's congested-link accounting: internal vs
+// interconnection links, and p2p vs c2p among interconnections.
+func Section53(e *Env) (*Result, error) {
+	ld, tally, _, err := e.classifyLocalizations()
+	if err != nil {
+		return nil, err
+	}
+	var txt strings.Builder
+	report.Table(&txt, "§5.3: localized congested links",
+		[]string{"category", "count"},
+		[][]string{
+			{"localized pairs", itoa(len(ld.locs))},
+			{"internal links", itoa(tally.internal)},
+			{"interconnection links", itoa(tally.interconnection)},
+			{"  p2p", itoa(tally.p2p)},
+			{"  c2p", itoa(tally.c2p)},
+			{"  private (non-IXP)", itoa(tally.private)},
+			{"  over IXP fabric", itoa(tally.ixp)},
+			{"unclassified", itoa(tally.unknown)},
+			{"localization failures", itoa(sumValues(ld.failures))},
+		})
+	if len(ld.failures) > 0 {
+		var rows [][]string
+		keys := make([]string, 0, len(ld.failures))
+		for k := range ld.failures {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			rows = append(rows, []string{k, itoa(ld.failures[k])})
+		}
+		report.Table(&txt, "failure reasons", []string{"reason", "count"}, rows)
+	}
+	m := map[string]float64{
+		"localized":           float64(len(ld.locs)),
+		"internal":            float64(tally.internal),
+		"interconnection":     float64(tally.interconnection),
+		"p2p":                 float64(tally.p2p),
+		"c2p":                 float64(tally.c2p),
+		"private_frac_of_ixn": frac(tally.private, tally.interconnection),
+	}
+	return &Result{
+		ID:       "S53",
+		Title:    "§5.3: congested link classification",
+		Text:     txt.String(),
+		Measured: m,
+		Paper: map[string]float64{
+			// Paper: 3155 congested links — 1768 internal, 1121
+			// interconnection (658 p2p, 463 c2p); the large majority of
+			// congested interconnections were private (only ~60 IXP links).
+			"internal":            1768,
+			"interconnection":     1121,
+			"p2p":                 658,
+			"c2p":                 463,
+			"private_frac_of_ixn": 0.95,
+		},
+	}, nil
+}
+
+// Figure9 reproduces Figure 9: the density of the congestion overhead,
+// overall and for the US↔US subset.
+func Figure9(e *Env) (*Result, error) {
+	ld, _, locs, err := e.classifyLocalizations()
+	if err != nil {
+		return nil, err
+	}
+	_ = ld
+	all := congest.OverheadSamples(locs)
+	var us, trans []float64
+	for _, loc := range locs {
+		ca, oka := e.CityOf(loc.Key.SrcID)
+		cb, okb := e.CityOf(loc.Key.DstID)
+		if !oka || !okb {
+			continue
+		}
+		if ca.Country == "US" && cb.Country == "US" {
+			us = append(us, loc.OverheadMs)
+		}
+		if geo.Transcontinental(ca, cb) {
+			trans = append(trans, loc.OverheadMs)
+		}
+	}
+
+	var txt strings.Builder
+	report.Density(&txt, "Figure 9: congestion overhead density (ms)",
+		[]report.Series{
+			{Name: "All", Values: all},
+			{Name: "US-US", Values: us},
+			{Name: "Transcontinental", Values: trans},
+		}, 0, 100, 21)
+	svgs := map[string]string{"fig9": plot.ECDFChart(
+		"Figure 9: congestion overhead (ms)", "overhead (ms)",
+		[]plot.Series{
+			{Name: "All", Values: all},
+			{Name: "US-US", Values: us},
+			{Name: "Transcontinental", Values: trans},
+		}, false)}
+	m := map[string]float64{
+		"pairs":              float64(len(all)),
+		"overhead_median_ms": stats.Median(all),
+		"overhead_us_median": stats.Median(us),
+		"overhead_trans_med": stats.Median(trans),
+		"frac_20_30ms":       fracInBand(all, 20, 30),
+		"us_frac_20_30ms":    fracInBand(us, 20, 30),
+	}
+	return &Result{
+		ID:       "F9",
+		Title:    "Figure 9: congestion overhead",
+		Text:     txt.String(),
+		SVGs:     svgs,
+		Measured: m,
+		Paper: map[string]float64{
+			// Typical overhead 20–30 ms (>60% of density; ~90% for US-US);
+			// transcontinental links shift toward ~60 ms.
+			"overhead_median_ms": 25,
+			"frac_20_30ms":       0.6,
+			"us_frac_20_30ms":    0.9,
+			"overhead_trans_med": 60,
+		},
+	}, nil
+}
+
+func fracInBand(xs []float64, lo, hi float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= lo && x <= hi {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+func sumValues(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

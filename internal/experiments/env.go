@@ -1,0 +1,419 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation: each experiment has an identifier (T1, F1–F10b, S51, S53, HL,
+// plus ablations), a runner over a shared simulation environment, rendered
+// text output, and the measured key numbers side by side with the paper's.
+//
+// Absolute values are not expected to match the paper — the substrate is a
+// simulator, not the authors' platform — but the shapes are: who wins, by
+// roughly what factor, and where the crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/bgp"
+	"repro/internal/campaign"
+	"repro/internal/cdn"
+	"repro/internal/congestion"
+	"repro/internal/core/aspath"
+	"repro/internal/core/congest"
+	"repro/internal/core/dualstack"
+	"repro/internal/core/timeline"
+	"repro/internal/geo"
+	"repro/internal/itopo"
+	"repro/internal/probe"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Scale sizes the simulation and the campaigns.
+type Scale struct {
+	Seed int64
+
+	NumASes     int
+	NumClusters int
+
+	// Long-term campaign (paper: 600 servers, 485 days, 3-hourly).
+	MeshSize         int
+	LongTermDays     int
+	LongTermInterval time.Duration
+	// ParisSwitchFrac is when IPv4 switches to Paris traceroute, as a
+	// fraction of the campaign (the paper: ~day 300 of 485 ≈ 0.62).
+	ParisSwitchFrac float64
+
+	// Short-term traceroute data set (paper: 22 days, 30-minute rounds).
+	ShortTermDays     int
+	ShortTermInterval time.Duration
+	ShortPairs        int
+
+	// Ping mesh (paper: 1 week, 15-minute rounds).
+	PingDays     int
+	PingInterval time.Duration
+	PingMeshSize int
+
+	// Localization campaign (paper: 3 weeks, 30-minute rounds).
+	LocalizeDays int
+
+	// Churn multiplies the routing-event rates (1 = the default schedule).
+	// Short test campaigns use higher churn so per-timeline change counts
+	// stay paper-shaped despite the compressed window.
+	Churn float64
+
+	// Workers parallelizes the long-term campaign's measurement rounds
+	// (records remain bit-identical to a sequential run; ≤1 disables).
+	Workers int
+}
+
+// TestScale returns a tiny configuration for unit tests.
+func TestScale(seed int64) Scale {
+	return Scale{
+		Seed:              seed,
+		NumASes:           120,
+		NumClusters:       120,
+		MeshSize:          10,
+		LongTermDays:      30,
+		LongTermInterval:  3 * time.Hour,
+		ParisSwitchFrac:   0.62,
+		ShortTermDays:     4,
+		ShortTermInterval: 30 * time.Minute,
+		ShortPairs:        12,
+		PingDays:          7,
+		PingInterval:      15 * time.Minute,
+		PingMeshSize:      24,
+		LocalizeDays:      7,
+		Churn:             8,
+		Workers:           4,
+	}
+}
+
+// DefaultScale returns the laptop-scale configuration used by the
+// benchmarks and the report tool.
+func DefaultScale(seed int64) Scale {
+	return Scale{
+		Seed:              seed,
+		NumASes:           300,
+		NumClusters:       400,
+		MeshSize:          24,
+		LongTermDays:      120,
+		LongTermInterval:  3 * time.Hour,
+		ParisSwitchFrac:   0.62,
+		ShortTermDays:     10,
+		ShortTermInterval: 30 * time.Minute,
+		ShortPairs:        30,
+		PingDays:          7,
+		PingInterval:      15 * time.Minute,
+		PingMeshSize:      48,
+		LocalizeDays:      14,
+		Churn:             4,
+		Workers:           8,
+	}
+}
+
+// FullScale approaches the paper's campaign shape (slow: minutes).
+func FullScale(seed int64) Scale {
+	return Scale{
+		Seed:              seed,
+		NumASes:           600,
+		NumClusters:       1500,
+		MeshSize:          48,
+		LongTermDays:      485,
+		LongTermInterval:  3 * time.Hour,
+		ParisSwitchFrac:   0.62,
+		ShortTermDays:     22,
+		ShortTermInterval: 30 * time.Minute,
+		ShortPairs:        60,
+		PingDays:          7,
+		PingInterval:      15 * time.Minute,
+		PingMeshSize:      80,
+		LocalizeDays:      21,
+		Churn:             1,
+		Workers:           16,
+	}
+}
+
+// Env is the shared simulation environment. Expensive campaigns run once
+// and are cached for all experiments that consume them.
+type Env struct {
+	Scale    Scale
+	Topo     *astopo.Topology
+	Net      *itopo.Network
+	Dyn      *bgp.Dynamics
+	Cong     *congestion.Model
+	Platform *cdn.Platform
+	Sim      *simnet.Net
+	Prober   *probe.Prober
+	Mesh     []*cdn.Cluster
+
+	long      *longTermData
+	shortTerm *shortTermData
+	pings     *pingData
+	locs      *localizationData
+}
+
+// NewEnv builds the simulation environment for a scale.
+func NewEnv(sc Scale) (*Env, error) {
+	duration := time.Duration(sc.LongTermDays) * 24 * time.Hour
+	if d := time.Duration(sc.PingDays+sc.LocalizeDays+sc.ShortTermDays) * 24 * time.Hour; d > duration {
+		duration = d
+	}
+	acfg := astopo.DefaultConfig(sc.Seed)
+	acfg.NumASes = sc.NumASes
+	topo, err := astopo.Generate(acfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: topology: %w", err)
+	}
+	net, err := itopo.Build(topo, itopo.DefaultConfig(sc.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: router network: %w", err)
+	}
+	dcfg := bgp.DefaultDynConfig(sc.Seed, duration)
+	if sc.Churn > 1 {
+		dcfg.LinkMTBF = time.Duration(float64(dcfg.LinkMTBF) / sc.Churn)
+		dcfg.FlipMTBF = time.Duration(float64(dcfg.FlipMTBF) / sc.Churn)
+	}
+	dyn, err := bgp.NewDynamics(topo, dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: dynamics: %w", err)
+	}
+	cong, err := congestion.NewModel(net, congestion.DefaultConfig(sc.Seed, duration))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: congestion: %w", err)
+	}
+	platform, err := cdn.Deploy(net, cdn.DefaultConfig(sc.Seed, sc.NumClusters))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: platform: %w", err)
+	}
+	sim := simnet.New(net, dyn, cong, simnet.DefaultConfig(sc.Seed))
+	env := &Env{
+		Scale:    sc,
+		Topo:     topo,
+		Net:      net,
+		Dyn:      dyn,
+		Cong:     cong,
+		Platform: platform,
+		Sim:      sim,
+		Prober:   probe.New(sim),
+		Mesh:     campaign.SelectMesh(platform, sc.MeshSize, sc.Seed),
+	}
+	if len(env.Mesh) < 2 {
+		return nil, fmt.Errorf("experiments: mesh too small (%d dual-stack sites)", len(env.Mesh))
+	}
+	return env, nil
+}
+
+// CityOf maps a cluster id to its (ground truth) city.
+func (e *Env) CityOf(id int) (geo.City, bool) {
+	if id < 0 || id >= len(e.Platform.Clusters) {
+		return geo.City{}, false
+	}
+	return geo.Cities[e.Platform.Clusters[id].City], true
+}
+
+// longTermData is the shared outcome of the long-term campaign.
+type longTermData struct {
+	builder    *timeline.Builder
+	diffs      *dualstack.DiffCollector
+	inflations *dualstack.InflationCollector
+	total      int
+}
+
+// LongTerm runs (once) the long-term full-mesh campaign with streaming
+// consumers and returns the shared datasets.
+func (e *Env) LongTerm() (*longTermData, error) {
+	if e.long != nil {
+		return e.long, nil
+	}
+	mapper := aspath.NewMapper(e.Net.BGP)
+	data := &longTermData{
+		builder:    timeline.NewBuilder(mapper, e.Scale.LongTermInterval),
+		diffs:      dualstack.NewDiffCollector(mapper),
+		inflations: dualstack.NewInflationCollector(),
+	}
+	duration := time.Duration(e.Scale.LongTermDays) * 24 * time.Hour
+	cfg := campaign.LongTermConfig{
+		Servers:       e.Mesh,
+		Duration:      duration,
+		Interval:      e.Scale.LongTermInterval,
+		ParisSwitchAt: time.Duration(float64(duration) * e.Scale.ParisSwitchFrac),
+	}
+	consumer := campaign.Funcs{Traceroute: func(tr *trace.Traceroute) {
+		data.total++
+		data.builder.Add(tr)
+		data.diffs.Add(tr)
+		data.inflations.Add(tr)
+	}}
+	if err := campaign.LongTermParallel(e.Prober, cfg, e.Scale.Workers, consumer); err != nil {
+		return nil, err
+	}
+	e.long = data
+	return data, nil
+}
+
+// shortTermData is the 30-minute traceroute data set (§4.3, Figure 7).
+type shortTermData struct {
+	builder *timeline.Builder
+	records []*trace.Traceroute
+}
+
+// ShortTerm runs (once) the short-term traceroute campaign. Records are
+// retained for the ownership analysis (Figure 8).
+func (e *Env) ShortTerm() (*shortTermData, error) {
+	if e.shortTerm != nil {
+		return e.shortTerm, nil
+	}
+	mapper := aspath.NewMapper(e.Net.BGP)
+	data := &shortTermData{builder: timeline.NewBuilder(mapper, e.Scale.ShortTermInterval)}
+	pairs := campaign.UnorderedPairs(e.Mesh)
+	if len(pairs) > e.Scale.ShortPairs {
+		pairs = pairs[:e.Scale.ShortPairs]
+	}
+	cfg := campaign.TracerouteCampaignConfig{
+		Pairs:          pairs,
+		Duration:       time.Duration(e.Scale.ShortTermDays) * 24 * time.Hour,
+		Interval:       e.Scale.ShortTermInterval,
+		BothDirections: true,
+		Paris:          true,
+		V6:             true,
+	}
+	consumer := campaign.Funcs{Traceroute: func(tr *trace.Traceroute) {
+		data.builder.Add(tr)
+		data.records = append(data.records, tr)
+	}}
+	if err := campaign.TracerouteCampaign(e.Prober, cfg, consumer); err != nil {
+		return nil, err
+	}
+	e.shortTerm = data
+	return data, nil
+}
+
+// pingData is the §5.1 ping mesh outcome.
+type pingData struct {
+	series     map[trace.PairKey]*congest.Series
+	totalPings int
+	// congestedPairs are the directed v4 pairs flagged by the detector.
+	congestedPairs []trace.PairKey
+}
+
+// PingMesh runs (once) the short-term ping campaign and the §5.1 detector.
+func (e *Env) PingMesh() (*pingData, error) {
+	if e.pings != nil {
+		return e.pings, nil
+	}
+	// An AS-diverse member set: ping paths should cross the core, like the
+	// platform's cluster-to-cluster measurements.
+	members := campaign.SelectMesh(e.Platform, e.Scale.PingMeshSize, e.Scale.Seed+1)
+	if len(members) < 2 {
+		members = e.Platform.Clusters
+		if len(members) > e.Scale.PingMeshSize {
+			members = members[:e.Scale.PingMeshSize]
+		}
+	}
+	pairs := campaign.FullMeshPairs(members)
+	duration := time.Duration(e.Scale.PingDays) * 24 * time.Hour
+	var col campaign.Collector
+	cfg := campaign.PingMeshConfig{
+		Pairs:    pairs,
+		Duration: duration,
+		Interval: e.Scale.PingInterval,
+	}
+	if err := campaign.PingMesh(e.Prober, cfg, &col); err != nil {
+		return nil, err
+	}
+	slots := int(duration / e.Scale.PingInterval)
+	minSamples := slots * 89 / 100 // the paper's ≥600-of-672 bar
+	series := congest.BuildSeries(col.Pings, e.Scale.PingInterval, duration, minSamples)
+	data := &pingData{series: series, totalPings: len(col.Pings)}
+	det := congest.DefaultDetector()
+	var keys []trace.PairKey
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.SrcID != b.SrcID {
+			return a.SrcID < b.SrcID
+		}
+		if a.DstID != b.DstID {
+			return a.DstID < b.DstID
+		}
+		return !a.V6 && b.V6
+	})
+	for _, k := range keys {
+		if !k.V6 && det.Congested(series[k]) {
+			data.congestedPairs = append(data.congestedPairs, k)
+		}
+	}
+	e.pings = data
+	return data, nil
+}
+
+// localizationData is the §5.2 outcome over the congested pairs.
+type localizationData struct {
+	locs    []*congest.Localization
+	records []*trace.Traceroute
+	// failures counts pairs that could not be localized, by reason.
+	failures map[string]int
+}
+
+// Localizations runs (once) the localization traceroute campaign over the
+// pairs the detector flagged, then localizes each.
+func (e *Env) Localizations() (*localizationData, error) {
+	if e.locs != nil {
+		return e.locs, nil
+	}
+	pd, err := e.PingMesh()
+	if err != nil {
+		return nil, err
+	}
+	data := &localizationData{failures: make(map[string]int)}
+	// A pair flagged in both directions must be scheduled once: the
+	// campaign already measures both directions.
+	var pairs [][2]*cdn.Cluster
+	seen := make(map[trace.PairKey]bool)
+	for _, k := range pd.congestedPairs {
+		und := k.Undirected()
+		if seen[und] {
+			continue
+		}
+		seen[und] = true
+		pairs = append(pairs, [2]*cdn.Cluster{
+			e.Platform.Clusters[k.SrcID], e.Platform.Clusters[k.DstID],
+		})
+	}
+	if len(pairs) == 0 {
+		e.locs = data
+		return data, nil
+	}
+	var col campaign.Collector
+	cfg := campaign.TracerouteCampaignConfig{
+		Pairs:          pairs,
+		Duration:       time.Duration(e.Scale.LocalizeDays) * 24 * time.Hour,
+		Interval:       30 * time.Minute,
+		BothDirections: true,
+		Paris:          true,
+	}
+	if err := campaign.TracerouteCampaign(e.Prober, cfg, &col); err != nil {
+		return nil, err
+	}
+	data.records = col.Traceroutes
+
+	byKey := make(map[trace.PairKey][]*trace.Traceroute)
+	for _, tr := range col.Traceroutes {
+		byKey[tr.Key()] = append(byKey[tr.Key()], tr)
+	}
+	loc := congest.DefaultLocalizer()
+	for _, k := range pd.congestedPairs {
+		trs := byKey[k]
+		l, err := loc.Localize(trs)
+		if err != nil {
+			data.failures[err.Error()]++
+			continue
+		}
+		data.locs = append(data.locs, l)
+	}
+	e.locs = data
+	return data, nil
+}

@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// sharedEnv builds one test-scale environment reused across experiment
+// tests (campaigns are cached inside the env).
+var testEnv *Env
+
+func env(t *testing.T) *Env {
+	t.Helper()
+	if testEnv != nil {
+		return testEnv
+	}
+	e, err := NewEnv(TestScale(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testEnv = e
+	return e
+}
+
+func runExp(t *testing.T, id string) *Result {
+	t.Helper()
+	exp, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	r, err := exp.Run(env(t))
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if r.ID != id {
+		t.Errorf("result id = %q, want %q", r.ID, id)
+	}
+	if r.Text == "" {
+		t.Errorf("%s produced no text", id)
+	}
+	if len(r.Measured) == 0 {
+		t.Errorf("%s produced no measured metrics", id)
+	}
+	if s := r.Summary(); !strings.Contains(s, id) {
+		t.Errorf("%s summary missing id:\n%s", id, s)
+	}
+	return r
+}
+
+func TestAllRegistered(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment: %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"T1", "F1", "F2", "F3", "F4", "F5", "F6", "F7",
+		"F8", "F9", "F10a", "F10b", "S51", "S53", "HL",
+		"AB-paris", "AB-psd", "AB-impute", "AB-crit"} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing from registry", want)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID should miss unknown ids")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := runExp(t, "T1")
+	c4 := r.Measured["v4_complete_frac"]
+	i4 := r.Measured["v4_missingIP_frac"]
+	a4 := r.Measured["v4_missingAS_frac"]
+	if c4 < 0.4 || c4 > 0.95 {
+		t.Errorf("v4 complete frac = %.3f, want paper-shaped ~0.70", c4)
+	}
+	if i4 < 0.05 || i4 > 0.5 {
+		t.Errorf("v4 missing-IP frac = %.3f, want ~0.28", i4)
+	}
+	if a4 > i4 {
+		t.Errorf("missing-AS (%.3f) should be rarer than missing-IP (%.3f)", a4, i4)
+	}
+	if sum := c4 + i4 + a4; sum < 0.999 || sum > 1.001 {
+		t.Errorf("fractions sum to %.4f", sum)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	r := runExp(t, "F2")
+	// Most pairs fluctuate among a small set of AS paths.
+	if p80 := r.Measured["v4_paths_p80"]; p80 < 1 || p80 > 12 {
+		t.Errorf("v4 paths p80 = %v, want small (paper: 5)", p80)
+	}
+	// Path pairs at least as numerous as single-direction paths is not
+	// guaranteed, but both must exist.
+	if r.Measured["v4_pathpairs_p80"] < 1 {
+		t.Error("no path pairs measured")
+	}
+	single := r.Measured["v4_single_path_frac"]
+	if single < 0.0 || single > 0.9 {
+		t.Errorf("single-path frac = %v", single)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	r := runExp(t, "F3")
+	// Most timelines have one dominant route.
+	if dom := r.Measured["v4_dominant_frac"]; dom < 0.5 {
+		t.Errorf("dominant-route frac = %.3f, want most timelines", dom)
+	}
+	if r.Measured["v4_changes_p90_485d"] <= 0 {
+		t.Error("no routing changes measured")
+	}
+}
+
+func TestFigure4And5Shape(t *testing.T) {
+	r4 := runExp(t, "F4")
+	r5 := runExp(t, "F5")
+	// The lifetime/delta association must be negative (long-lived paths
+	// are near-optimal) — the heat maps' headline pattern.
+	// At test scale the sample is small and noisy; the strong negative
+	// association is asserted at default scale (see bench_test.go / the
+	// report run). Here we only reject a clearly positive association.
+	if c := r4.Measured["v4_lifetime_delta_corr"]; c >= 0.5 {
+		t.Errorf("Fig4 lifetime-delta correlation = %.3f, want non-positive trend", c)
+	}
+	// Δ90th percentiles are at least as large as Δ10th at the tail.
+	if r5.Measured["v4_delta_p90_ms"]+1e-9 < r4.Measured["v4_delta_p90_ms"]*0.5 {
+		t.Errorf("Fig5 p90 delta %.1f implausibly below Fig4 %.1f",
+			r5.Measured["v4_delta_p90_ms"], r4.Measured["v4_delta_p90_ms"])
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	r := runExp(t, "F6")
+	// Higher thresholds ⇒ fewer timelines exceed them.
+	f20 := r.Measured["v4_frac_prev20_at20ms"]
+	f50 := r.Measured["v4_frac_prev20_at50ms"]
+	f100 := r.Measured["v4_frac_prev20_at100ms"]
+	if !(f20 >= f50 && f50 >= f100) {
+		t.Errorf("threshold monotonicity violated: %v %v %v", f20, f50, f100)
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	r := runExp(t, "F7")
+	// The paper's conclusion: 3-hour sampling barely changes the deltas.
+	gap := r.Measured["v4_d10_gap_ms"]
+	med := r.Measured["v4_d10_median_all_ms"]
+	if med > 1 && gap > med {
+		t.Errorf("3hr-vs-all gap %.2f ms exceeds the median delta %.2f ms", gap, med)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	r := runExp(t, "F8")
+	if cov := r.Measured["coverage_frac"]; cov < 0.3 {
+		t.Errorf("ownership coverage = %.3f, want most addresses", cov)
+	}
+	if acc := r.Measured["accuracy"]; acc < 0.8 {
+		t.Errorf("ownership accuracy = %.3f, want >= 0.8", acc)
+	}
+	if r.Measured["labels_first"] <= 0 {
+		t.Error("first heuristic produced no labels")
+	}
+}
+
+func TestSection51Shape(t *testing.T) {
+	r := runExp(t, "S51")
+	// Congestion is not the norm: a small minority of pairs.
+	if f := r.Measured["v4_congested_frac"]; f > 0.35 {
+		t.Errorf("v4 congested frac = %.3f — congestion should not be the norm", f)
+	}
+	if r.Measured["v4_pairs"] == 0 {
+		t.Error("no v4 pairs analyzed")
+	}
+	// Congested pairs are a subset of high-variation pairs.
+	if r.Measured["v4_congested_frac"] > r.Measured["v4_highvar_frac"]+1e-9 {
+		t.Error("congested must be a subset of high-variation")
+	}
+}
+
+func TestHeadlinesShape(t *testing.T) {
+	r := runExp(t, "HL")
+	if r.Measured["v4_change_impact_p80_ms"] < 0 {
+		t.Error("negative delta quantile")
+	}
+	if f := r.Measured["similar_frac"]; f < 0.05 || f > 1 {
+		t.Errorf("similar frac = %v", f)
+	}
+}
+
+func TestFigure10Shapes(t *testing.T) {
+	ra := runExp(t, "F10a")
+	if ra.Measured["pairs"] == 0 {
+		t.Fatal("no paired v4/v6 measurements")
+	}
+	// Same-AS-path subset should be at least as similar as the full set.
+	if ra.Measured["samepath_similar_frac"]+0.05 < ra.Measured["similar_frac"] {
+		t.Errorf("same-path subset less similar (%.3f) than all (%.3f)",
+			ra.Measured["samepath_similar_frac"], ra.Measured["similar_frac"])
+	}
+	rb := runExp(t, "F10b")
+	v4med := rb.Measured["v4_inflation_median"]
+	if v4med < 1 {
+		t.Errorf("median inflation %.2f < 1 (violates physics)", v4med)
+	}
+	// Transcontinental inflation below US-US (the paper's observation).
+	if us, tr := rb.Measured["v4_us_median"], rb.Measured["v4_trans_median"]; us > 0 && tr > 0 && tr > us {
+		t.Errorf("transcontinental inflation %.2f above US-US %.2f", tr, us)
+	}
+}
+
+func TestFigure1Runs(t *testing.T) {
+	r := runExp(t, "F1")
+	if r.Measured["v4_rtt_swing_ms"] < 0 {
+		t.Error("negative swing")
+	}
+}
+
+func TestSection53AndFigure9Run(t *testing.T) {
+	r := runExp(t, "S53")
+	// At test scale there may be few localizations, but the pipeline must
+	// account for every congested pair: localized + failures.
+	_ = r
+	r9 := runExp(t, "F9")
+	_ = r9
+}
+
+func TestAblationsRun(t *testing.T) {
+	rp := runExp(t, "AB-paris")
+	if rp.Measured["classic_loop_frac"] < rp.Measured["paris_loop_frac"] {
+		t.Errorf("classic loop rate %.4f below Paris %.4f",
+			rp.Measured["classic_loop_frac"], rp.Measured["paris_loop_frac"])
+	}
+	ri := runExp(t, "AB-impute")
+	if ri.Measured["usable_with_imputation"] < ri.Measured["usable_without_imputation"] {
+		t.Error("imputation reduced usable traceroutes")
+	}
+	// At test scale the corpus can be too clean for imputation to have
+	// work; the default-scale report shows ~11% recovered. Only assert it
+	// never hurts.
+	if ri.Measured["recovered_frac"] < 0 {
+		t.Error("imputation must never reduce usable traceroutes")
+	}
+	rc := runExp(t, "AB-crit")
+	if len(rc.Measured) < 6 {
+		t.Error("criterion ablation incomplete")
+	}
+	rpsd := runExp(t, "AB-psd")
+	// Recall is monotone non-increasing in the threshold.
+	if rpsd.Measured["recall_0.6"] > rpsd.Measured["recall_0.1"]+1e-9 {
+		t.Errorf("recall increased with threshold: %.3f vs %.3f",
+			rpsd.Measured["recall_0.6"], rpsd.Measured["recall_0.1"])
+	}
+}
+
+func TestExtensionsRun(t *testing.T) {
+	rs := runExp(t, "EXT-shared")
+	if rs.Measured["pairs"] == 0 {
+		t.Fatal("no pairs analyzed")
+	}
+	med := rs.Measured["sharing_median"]
+	if med <= 0 || med > 1 {
+		t.Errorf("sharing median = %v, want (0, 1]", med)
+	}
+	// Shared infrastructure should associate with similar delays.
+	if c := rs.Measured["sharing_diff_corr"]; c < -0.2 {
+		t.Errorf("sharing vs |diff| correlation = %.3f, want non-negative trend", c)
+	}
+	rl := runExp(t, "EXT-loss")
+	if rl.Measured["pairs"] == 0 {
+		t.Error("no loss pairs")
+	}
+	if rl.Measured["loss_median_pct"] < 0 || rl.Measured["loss_median_pct"] > 100 {
+		t.Error("loss median out of range")
+	}
+	rc := runExp(t, "EXT-colo")
+	if rc.Measured["pairs"] > 0 {
+		// Same-facility, same-AS pairs stay local; different-AS pairs
+		// trombone through their providers.
+		if sa := rc.Measured["same_as_median_ms"]; sa > 0 && sa > rc.Measured["cross_as_median_ms"] {
+			t.Errorf("same-AS colocated RTT %v exceeds cross-AS %v",
+				sa, rc.Measured["cross_as_median_ms"])
+		}
+	}
+}
+
+func TestRelAblation(t *testing.T) {
+	r := runExp(t, "AB-rel")
+	if r.Measured["rel_edges_classified"] < 20 {
+		t.Errorf("too few relationship edges classified: %v", r.Measured["rel_edges_classified"])
+	}
+	if acc := r.Measured["rel_accuracy"]; acc < 0.6 {
+		t.Errorf("relationship inference accuracy = %.3f, want >= 0.6", acc)
+	}
+	// Ownership with inferred relationships should still mostly work.
+	if r.Measured["ownership_acc_inferred"] < 0.7 {
+		t.Errorf("ownership accuracy with inferred rels = %.3f", r.Measured["ownership_acc_inferred"])
+	}
+	// And never beat truth by much (sanity).
+	if r.Measured["ownership_acc_inferred"] > r.Measured["ownership_acc_truth"]+0.05 {
+		t.Error("inferred relationships should not beat ground truth")
+	}
+}
+
+func TestAsymmetryExtension(t *testing.T) {
+	r := runExp(t, "EXT-asym")
+	if r.Measured["pairs"] == 0 {
+		t.Fatal("no pairs")
+	}
+	med := r.Measured["median_asym_frac"]
+	if med < 0 || med > 1 {
+		t.Errorf("median asymmetry = %v", med)
+	}
+	sym := r.Measured["always_symmetric_frac"]
+	if sym < 0 || sym > 1 {
+		t.Errorf("always-symmetric frac = %v", sym)
+	}
+}
+
+func TestFiguresRenderSVG(t *testing.T) {
+	for _, id := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "F10a", "F10b"} {
+		r := runExp(t, id)
+		if len(r.SVGs) == 0 {
+			t.Errorf("%s rendered no SVG figures", id)
+			continue
+		}
+		for stem, svg := range r.SVGs {
+			if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+				t.Errorf("%s/%s is not an SVG document", id, stem)
+			}
+		}
+	}
+}

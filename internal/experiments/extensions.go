@@ -1,0 +1,372 @@
+package experiments
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/core/stats"
+	"repro/internal/itopo"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// ExtSharedInfrastructure implements the paper's stated future work (§8):
+// "to what extent infrastructure is shared between IPv4 and IPv6". The
+// simulator can answer directly: for every dual-stack mesh pair, resolve
+// the v4 and v6 forwarding paths and measure the fraction of shared
+// router-level links, then relate sharing to the observed RTT difference.
+func ExtSharedInfrastructure(e *Env) (*Result, error) {
+	var sharing, absDiff []float64
+	sharedBuckets := map[string][]float64{} // sharing band -> |RTTv4-RTTv6|
+	at := 6 * time.Hour
+
+	for i, src := range e.Mesh {
+		for j, dst := range e.Mesh {
+			if i == j {
+				continue
+			}
+			h4, err4 := e.Sim.ForwardHops(src, dst, false, 1, at)
+			h6, err6 := e.Sim.ForwardHops(src, dst, true, 1, at)
+			if err4 != nil || err6 != nil {
+				continue
+			}
+			share := linkSharing(h4, h6)
+			sharing = append(sharing, share)
+
+			r4, err4 := e.Sim.BaseRTT(src, dst, false, 1, 2, at)
+			r6, err6 := e.Sim.BaseRTT(src, dst, true, 1, 2, at)
+			if err4 != nil || err6 != nil {
+				continue
+			}
+			d := float64(r4-r6) / float64(time.Millisecond)
+			if d < 0 {
+				d = -d
+			}
+			absDiff = append(absDiff, d)
+			switch {
+			case share >= 0.9:
+				sharedBuckets[">=90% shared"] = append(sharedBuckets[">=90% shared"], d)
+			case share >= 0.5:
+				sharedBuckets["50-90% shared"] = append(sharedBuckets["50-90% shared"], d)
+			default:
+				sharedBuckets["<50% shared"] = append(sharedBuckets["<50% shared"], d)
+			}
+		}
+	}
+	if len(sharing) == 0 {
+		return nil, errNoPairs
+	}
+
+	var txt strings.Builder
+	report.ECDFQuantiles(&txt, "Extension: fraction of router-level links shared by v4 and v6 paths",
+		[]report.Series{{Name: "link sharing", Values: sharing}}, nil)
+	var rows [][]string
+	for _, band := range []string{">=90% shared", "50-90% shared", "<50% shared"} {
+		vals := sharedBuckets[band]
+		med := 0.0
+		if len(vals) > 0 {
+			med = stats.Median(vals)
+		}
+		rows = append(rows, []string{band, itoa(len(vals)), report.MsLabel(med)})
+	}
+	report.Table(&txt, "median |RTTv4 − RTTv6| by infrastructure sharing",
+		[]string{"sharing", "pairs", "median |diff|"}, rows)
+
+	m := map[string]float64{
+		"pairs":             float64(len(sharing)),
+		"sharing_median":    stats.Median(sharing),
+		"fully_shared_frac": fracAtLeast(sharing, 0.999),
+		"sharing_diff_corr": stats.Pearson(sharing, negate(absDiff)),
+		"absdiff_median_ms": stats.Median(absDiff),
+	}
+	report.KeyValues(&txt, "Extension summary", m)
+	return &Result{
+		ID:       "EXT-shared",
+		Title:    "Extension (§8 future work): IPv4/IPv6 infrastructure sharing",
+		Text:     txt.String(),
+		Measured: m,
+		Paper:    map[string]float64{
+			// No paper values: this is the question the authors "plan on
+			// addressing in future work". The mechanism hypothesis: shared
+			// infrastructure ⇒ similar delays (§6) — so sharing should
+			// correlate with small RTT differences.
+		},
+	}, nil
+}
+
+// ExtPacketLoss implements the other §8 suggestion: packet loss. The ping
+// mesh's loss rates are related to the congestion state of the path.
+func ExtPacketLoss(e *Env) (*Result, error) {
+	pd, err := e.PingMesh()
+	if err != nil {
+		return nil, err
+	}
+	flagged := make(map[trace.PairKey]bool, len(pd.congestedPairs))
+	for _, k := range pd.congestedPairs {
+		flagged[k] = true
+	}
+	var lossAll, lossCongested, lossQuiet []float64
+	slots := 0
+	for k, s := range pd.series {
+		if k.V6 {
+			continue
+		}
+		if slots == 0 {
+			slots = len(s.RTTms)
+		}
+		loss := 1 - float64(s.Received)/float64(len(s.RTTms))
+		lossAll = append(lossAll, loss*100)
+		if flagged[k] {
+			lossCongested = append(lossCongested, loss*100)
+		} else {
+			lossQuiet = append(lossQuiet, loss*100)
+		}
+	}
+	var txt strings.Builder
+	report.ECDFQuantiles(&txt, "Extension: ping loss rate (%) per server pair",
+		[]report.Series{
+			{Name: "all", Values: lossAll},
+			{Name: "congested", Values: lossCongested},
+			{Name: "quiet", Values: lossQuiet},
+		}, []float64{0.5, 0.9, 0.99})
+	m := map[string]float64{
+		"pairs":                 float64(len(lossAll)),
+		"loss_median_pct":       stats.Median(lossAll),
+		"loss_p99_pct":          stats.Percentile(lossAll, 99),
+		"loss_congested_median": stats.Median(lossCongested),
+		"loss_quiet_median":     stats.Median(lossQuiet),
+	}
+	report.KeyValues(&txt, "Extension summary", m)
+	return &Result{
+		ID:       "EXT-loss",
+		Title:    "Extension (§8 future work): packet loss in the core",
+		Text:     txt.String(),
+		Measured: m,
+		Paper:    map[string]float64{},
+	}, nil
+}
+
+// linkSharing returns |links(a) ∩ links(b)| / |links(a) ∪ links(b)|
+// (Jaccard index over inbound link ids).
+func linkSharing(a, b []itopo.PathHop) float64 {
+	la := linkSet(a)
+	lb := linkSet(b)
+	if len(la) == 0 && len(lb) == 0 {
+		return 1
+	}
+	inter, union := 0, len(la)
+	for l := range lb {
+		if la[l] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+func linkSet(hops []itopo.PathHop) map[itopo.LinkID]bool {
+	out := make(map[itopo.LinkID]bool, len(hops))
+	for _, h := range hops {
+		if h.InLink >= 0 {
+			out[h.InLink] = true
+		}
+	}
+	return out
+}
+
+func fracAtLeast(xs []float64, th float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= th {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+func negate(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = -x
+	}
+	return out
+}
+
+// errNoPairs is returned when an extension finds nothing to analyze.
+var errNoPairs = errNoPairsType{}
+
+type errNoPairsType struct{}
+
+func (errNoPairsType) Error() string { return "experiments: no analyzable pairs" }
+
+// ExtColocated reproduces the §2.2 colocated-cluster campaign: full-mesh
+// 30-minute traceroutes between clusters at the same location, to observe
+// congestion between clusters sharing a facility.
+func ExtColocated(e *Env) (*Result, error) {
+	pairs := colocatedMeshPairs(e)
+	if len(pairs) == 0 {
+		return nil, errNoPairs
+	}
+	if len(pairs) > 20 {
+		pairs = pairs[:20]
+	}
+	var sameAS, crossAS []float64
+	days := e.Scale.LocalizeDays
+	if days > 20 {
+		days = 20 // the paper's campaign length
+	}
+	for at := time.Duration(0); at < time.Duration(days)*24*time.Hour; at += 30 * time.Minute {
+		for _, pr := range pairs {
+			tr := e.Prober.Traceroute(pr[0], pr[1], false, true, at)
+			if !tr.Complete {
+				continue
+			}
+			ms := float64(tr.RTT) / float64(time.Millisecond)
+			if pr[0].HostAS == pr[1].HostAS {
+				sameAS = append(sameAS, ms)
+			} else {
+				crossAS = append(crossAS, ms)
+			}
+		}
+	}
+	var txt strings.Builder
+	report.ECDFQuantiles(&txt, "Extension: RTT between colocated clusters (ms)",
+		[]report.Series{
+			{Name: "same host AS", Values: sameAS},
+			{Name: "different host AS", Values: crossAS},
+		}, nil)
+	m := map[string]float64{
+		"pairs":              float64(len(pairs)),
+		"same_as_median_ms":  stats.Median(sameAS),
+		"cross_as_median_ms": stats.Median(crossAS),
+		"tromboning_factor":  stats.Median(crossAS) / stats.Median(sameAS),
+	}
+	report.KeyValues(&txt, "Extension summary", m)
+	return &Result{
+		ID:       "EXT-colo",
+		Title:    "Extension (§2.2): colocated-cluster campaign",
+		Text:     txt.String(),
+		Measured: m,
+		Paper:    map[string]float64{},
+	}, nil
+}
+
+func colocatedMeshPairs(e *Env) [][2]*cdn.Cluster {
+	byCity := map[int][]*cdn.Cluster{}
+	var cities []int
+	for _, c := range e.Platform.Clusters {
+		if byCity[c.City] == nil {
+			cities = append(cities, c.City)
+		}
+		byCity[c.City] = append(byCity[c.City], c)
+	}
+	var out [][2]*cdn.Cluster
+	for _, city := range cities {
+		cs := byCity[city]
+		for i := 0; i < len(cs); i++ {
+			for j := i + 1; j < len(cs); j++ {
+				out = append(out, [2]*cdn.Cluster{cs[i], cs[j]})
+			}
+		}
+	}
+	return out
+}
+
+// ExtAsymmetry quantifies routing asymmetry — the paper notes that "paths
+// along the forward and reverse directions between two servers can be
+// asymmetric" and §5.2 restricts localization to symmetric pairs. For each
+// server pair, same-timestamp forward/reverse AS paths are compared
+// (reverse path reversed first).
+func ExtAsymmetry(e *Env) (*Result, error) {
+	lt, err := e.LongTerm()
+	if err != nil {
+		return nil, err
+	}
+	tls := lt.builder.Timelines()
+	byKey := make(map[trace.PairKey]map[time.Duration]string)
+	for _, tl := range tls {
+		m := make(map[time.Duration]string, len(tl.Obs))
+		for _, o := range tl.Obs {
+			m[o.At] = o.Path.Key()
+		}
+		byKey[tl.Key] = m
+	}
+	var asymFrac []float64 // per undirected pair: fraction of rounds asymmetric
+	seen := make(map[trace.PairKey]bool)
+	for _, tl := range tls {
+		und := tl.Key.Undirected()
+		if tl.Key.V6 || seen[und] {
+			continue
+		}
+		seen[und] = true
+		fwd := byKey[und]
+		rev := byKey[und.Reverse()]
+		if fwd == nil || rev == nil {
+			continue
+		}
+		matched, asym := 0, 0
+		for at, fp := range fwd {
+			rp, ok := rev[at]
+			if !ok {
+				continue
+			}
+			matched++
+			if fp != reverseKey(rp) {
+				asym++
+			}
+		}
+		if matched > 0 {
+			asymFrac = append(asymFrac, float64(asym)/float64(matched))
+		}
+	}
+	if len(asymFrac) == 0 {
+		return nil, errNoPairs
+	}
+	var txt strings.Builder
+	report.ECDFQuantiles(&txt, "Extension: fraction of rounds with asymmetric AS paths, per pair (v4)",
+		[]report.Series{{Name: "asymmetry", Values: asymFrac}}, nil)
+	m := map[string]float64{
+		"pairs":                 float64(len(asymFrac)),
+		"median_asym_frac":      stats.Median(asymFrac),
+		"always_symmetric_frac": fracAtMost(asymFrac, 0),
+		"mostly_asym_frac":      fracAtLeast(asymFrac, 0.5),
+	}
+	report.KeyValues(&txt, "Extension summary", m)
+	return &Result{
+		ID:       "EXT-asym",
+		Title:    "Extension: forward/reverse AS-path asymmetry",
+		Text:     txt.String(),
+		Measured: m,
+		Paper:    map[string]float64{},
+	}, nil
+}
+
+// reverseKey reverses a space-separated AS path key.
+func reverseKey(key string) string {
+	parts := strings.Fields(key)
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, " ")
+}
+
+func fracAtMost(xs []float64, th float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x <= th {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one reproduced table or figure.
+type Result struct {
+	// ID is the experiment identifier from DESIGN.md (T1, F2, …).
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Text is the rendered table/series output.
+	Text string
+	// Measured holds this run's key numbers; Paper holds the paper's
+	// corresponding values for EXPERIMENTS.md.
+	Measured map[string]float64
+	Paper    map[string]float64
+	// SVGs holds rendered figures keyed by file stem (e.g. "fig2a").
+	SVGs map[string]string
+}
+
+// Summary renders the paper-vs-measured comparison block.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s\n", r.ID, r.Title)
+	keys := make([]string, 0, len(r.Measured))
+	for k := range r.Measured {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	width := 0
+	for _, k := range keys {
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	for _, k := range keys {
+		pv, ok := r.Paper[k]
+		if ok {
+			fmt.Fprintf(&b, "  %-*s  measured %-10.4g paper %.4g\n", width, k, r.Measured[k], pv)
+		} else {
+			fmt.Fprintf(&b, "  %-*s  measured %-10.4g\n", width, k, r.Measured[k])
+		}
+	}
+	return b.String()
+}
+
+// Runner produces one experiment's result from the environment.
+type Runner func(*Env) (*Result, error)
+
+// Experiment binds an identifier to its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", "Table 1: traceroute completeness", Table1},
+		{"F1", "Figure 1: RTT timeline (level shifts and diurnal oscillation)", Figure1},
+		{"F2", "Figure 2: AS paths per timeline; AS-path pairs per server pair", Figure2},
+		{"F3", "Figure 3: prevalence of popular AS paths; routing-change counts", Figure3},
+		{"F4", "Figure 4: lifetime vs Δ10th-percentile RTT heat maps", Figure4},
+		{"F5", "Figure 5: lifetime vs Δ90th-percentile RTT heat maps", Figure5},
+		{"F6", "Figure 6: prevalence of sub-optimal AS paths", Figure6},
+		{"F7", "Figure 7: short-term Δ percentiles, 30-min vs 3-hour sampling", Figure7},
+		{"F8", "Figure 8 / §5.3: router ownership heuristics", Figure8},
+		{"F9", "Figure 9 / §5.4: congestion overhead density", Figure9},
+		{"F10a", "Figure 10a: RTTv4 − RTTv6 ECDFs", Figure10a},
+		{"F10b", "Figure 10b: RTT/cRTT inflation ECDFs", Figure10b},
+		{"S51", "§5.1: is congestion the norm in the core?", Section51},
+		{"S53", "§5.3: congested link classification", Section53},
+		{"HL", "Abstract headlines", Headlines},
+		{"AB-paris", "Ablation: Paris vs classic traceroute", AblationParisVsClassic},
+		{"AB-psd", "Ablation: diurnal PSD threshold sweep", AblationPSDThreshold},
+		{"AB-impute", "Ablation: missing-hop imputation", AblationImputation},
+		{"AB-crit", "Ablation: best-path criterion", AblationBestPathCriterion},
+		{"AB-rel", "Ablation: inferred vs ground-truth AS relationships", AblationRelInference},
+		{"EXT-shared", "Extension: IPv4/IPv6 infrastructure sharing (§8 future work)", ExtSharedInfrastructure},
+		{"EXT-loss", "Extension: packet loss in the core (§8 future work)", ExtPacketLoss},
+		{"EXT-colo", "Extension: colocated-cluster campaign (§2.2)", ExtColocated},
+		{"EXT-asym", "Extension: forward/reverse AS-path asymmetry", ExtAsymmetry},
+	}
+}
+
+// ByID returns the experiment with the given identifier.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

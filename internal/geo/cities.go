@@ -1,0 +1,188 @@
+package geo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cities is the built-in world city database: ~120 cities chosen to mirror
+// the paper's platform footprint (USA-heavy, then Australia, Germany, India,
+// Japan, Canada, plus broad coverage of 60+ other countries). Coordinates
+// are real; UTC offsets are standard-time offsets.
+//
+// The slice is sorted by name and must be treated as read-only.
+var Cities = []City{
+	// --- United States (the paper: ~39% of servers) ---
+	{"New York", "US", NorthAmerica, 40.71, -74.01, -5},
+	{"Los Angeles", "US", NorthAmerica, 34.05, -118.24, -8},
+	{"Chicago", "US", NorthAmerica, 41.88, -87.63, -6},
+	{"Dallas", "US", NorthAmerica, 32.78, -96.80, -6},
+	{"Miami", "US", NorthAmerica, 25.76, -80.19, -5},
+	{"Seattle", "US", NorthAmerica, 47.61, -122.33, -8},
+	{"San Jose", "US", NorthAmerica, 37.34, -121.89, -8},
+	{"Ashburn", "US", NorthAmerica, 39.04, -77.49, -5},
+	{"Atlanta", "US", NorthAmerica, 33.75, -84.39, -5},
+	{"Denver", "US", NorthAmerica, 39.74, -104.99, -7},
+	{"Phoenix", "US", NorthAmerica, 33.45, -112.07, -7},
+	{"Boston", "US", NorthAmerica, 42.36, -71.06, -5},
+	{"Houston", "US", NorthAmerica, 29.76, -95.37, -6},
+	{"Minneapolis", "US", NorthAmerica, 44.98, -93.27, -6},
+	{"Portland", "US", NorthAmerica, 45.52, -122.68, -8},
+	{"Salt Lake City", "US", NorthAmerica, 40.76, -111.89, -7},
+	{"Kansas City", "US", NorthAmerica, 39.10, -94.58, -6},
+	{"St. Louis", "US", NorthAmerica, 38.63, -90.20, -6},
+	{"Philadelphia", "US", NorthAmerica, 39.95, -75.17, -5},
+	{"Detroit", "US", NorthAmerica, 42.33, -83.05, -5},
+	{"Nashville", "US", NorthAmerica, 36.16, -86.78, -6},
+	{"Las Vegas", "US", NorthAmerica, 36.17, -115.14, -8},
+	{"Charlotte", "US", NorthAmerica, 35.23, -80.84, -5},
+	{"Columbus", "US", NorthAmerica, 39.96, -83.00, -5},
+	{"Honolulu", "US", NorthAmerica, 21.31, -157.86, -10},
+	{"Anchorage", "US", NorthAmerica, 61.22, -149.90, -9},
+
+	// --- Canada ---
+	{"Toronto", "CA", NorthAmerica, 43.65, -79.38, -5},
+	{"Montreal", "CA", NorthAmerica, 45.50, -73.57, -5},
+	{"Vancouver", "CA", NorthAmerica, 49.28, -123.12, -8},
+	{"Calgary", "CA", NorthAmerica, 51.05, -114.07, -7},
+
+	// --- Mexico / Central America / Caribbean ---
+	{"Mexico City", "MX", NorthAmerica, 19.43, -99.13, -6},
+	{"Panama City", "PA", NorthAmerica, 8.98, -79.52, -5},
+	{"San Juan", "PR", NorthAmerica, 18.47, -66.11, -4},
+
+	// --- South America ---
+	{"Sao Paulo", "BR", SouthAmerica, -23.55, -46.63, -3},
+	{"Rio de Janeiro", "BR", SouthAmerica, -22.91, -43.17, -3},
+	{"Buenos Aires", "AR", SouthAmerica, -34.60, -58.38, -3},
+	{"Santiago", "CL", SouthAmerica, -33.45, -70.67, -4},
+	{"Bogota", "CO", SouthAmerica, 4.71, -74.07, -5},
+	{"Lima", "PE", SouthAmerica, -12.05, -77.04, -5},
+	{"Caracas", "VE", SouthAmerica, 10.48, -66.90, -4},
+
+	// --- Europe (Germany prominent per the paper) ---
+	{"Frankfurt", "DE", Europe, 50.11, 8.68, 1},
+	{"Berlin", "DE", Europe, 52.52, 13.40, 1},
+	{"Munich", "DE", Europe, 48.14, 11.58, 1},
+	{"Hamburg", "DE", Europe, 53.55, 9.99, 1},
+	{"Dusseldorf", "DE", Europe, 51.23, 6.78, 1},
+	{"London", "GB", Europe, 51.51, -0.13, 0},
+	{"Manchester", "GB", Europe, 53.48, -2.24, 0},
+	{"Amsterdam", "NL", Europe, 52.37, 4.90, 1},
+	{"Paris", "FR", Europe, 48.86, 2.35, 1},
+	{"Marseille", "FR", Europe, 43.30, 5.37, 1},
+	{"Madrid", "ES", Europe, 40.42, -3.70, 1},
+	{"Barcelona", "ES", Europe, 41.39, 2.17, 1},
+	{"Milan", "IT", Europe, 45.46, 9.19, 1},
+	{"Rome", "IT", Europe, 41.90, 12.50, 1},
+	{"Zurich", "CH", Europe, 47.38, 8.54, 1},
+	{"Vienna", "AT", Europe, 48.21, 16.37, 1},
+	{"Brussels", "BE", Europe, 50.85, 4.35, 1},
+	{"Stockholm", "SE", Europe, 59.33, 18.07, 1},
+	{"Copenhagen", "DK", Europe, 55.68, 12.57, 1},
+	{"Oslo", "NO", Europe, 59.91, 10.75, 1},
+	{"Helsinki", "FI", Europe, 60.17, 24.94, 2},
+	{"Warsaw", "PL", Europe, 52.23, 21.01, 1},
+	{"Prague", "CZ", Europe, 50.09, 14.42, 1},
+	{"Budapest", "HU", Europe, 47.50, 19.04, 1},
+	{"Bucharest", "RO", Europe, 44.43, 26.10, 2},
+	{"Sofia", "BG", Europe, 42.70, 23.32, 2},
+	{"Athens", "GR", Europe, 37.98, 23.73, 2},
+	{"Lisbon", "PT", Europe, 38.72, -9.14, 0},
+	{"Dublin", "IE", Europe, 53.35, -6.26, 0},
+	{"Kyiv", "UA", Europe, 50.45, 30.52, 2},
+	{"Moscow", "RU", Europe, 55.76, 37.62, 3},
+	{"Istanbul", "TR", Europe, 41.01, 28.98, 3},
+
+	// --- Asia (India, Japan prominent per the paper) ---
+	{"Tokyo", "JP", Asia, 35.68, 139.69, 9},
+	{"Osaka", "JP", Asia, 34.69, 135.50, 9},
+	{"Seoul", "KR", Asia, 37.57, 126.98, 9},
+	{"Hong Kong", "HK", Asia, 22.32, 114.17, 8},
+	{"Singapore", "SG", Asia, 1.35, 103.82, 8},
+	{"Taipei", "TW", Asia, 25.03, 121.57, 8},
+	{"Shanghai", "CN", Asia, 31.23, 121.47, 8},
+	{"Beijing", "CN", Asia, 39.90, 116.41, 8},
+	{"Mumbai", "IN", Asia, 19.08, 72.88, 5.5},
+	{"Delhi", "IN", Asia, 28.70, 77.10, 5.5},
+	{"Chennai", "IN", Asia, 13.08, 80.27, 5.5},
+	{"Bangalore", "IN", Asia, 12.97, 77.59, 5.5},
+	{"Kolkata", "IN", Asia, 22.57, 88.36, 5.5},
+	{"Bangkok", "TH", Asia, 13.76, 100.50, 7},
+	{"Kuala Lumpur", "MY", Asia, 3.14, 101.69, 8},
+	{"Jakarta", "ID", Asia, -6.21, 106.85, 7},
+	{"Manila", "PH", Asia, 14.60, 120.98, 8},
+	{"Hanoi", "VN", Asia, 21.03, 105.85, 7},
+	{"Dubai", "AE", Asia, 25.20, 55.27, 4},
+	{"Riyadh", "SA", Asia, 24.71, 46.68, 3},
+	{"Doha", "QA", Asia, 25.29, 51.53, 3},
+	{"Tel Aviv", "IL", Asia, 32.09, 34.78, 2},
+	{"Karachi", "PK", Asia, 24.86, 67.00, 5},
+	{"Dhaka", "BD", Asia, 23.81, 90.41, 6},
+	{"Colombo", "LK", Asia, 6.93, 79.85, 5.5},
+	{"Almaty", "KZ", Asia, 43.22, 76.85, 6},
+
+	// --- Africa ---
+	{"Johannesburg", "ZA", Africa, -26.20, 28.05, 2},
+	{"Cape Town", "ZA", Africa, -33.92, 18.42, 2},
+	{"Cairo", "EG", Africa, 30.04, 31.24, 2},
+	{"Lagos", "NG", Africa, 6.52, 3.38, 1},
+	{"Nairobi", "KE", Africa, -1.29, 36.82, 3},
+	{"Casablanca", "MA", Africa, 33.57, -7.59, 0},
+	{"Accra", "GH", Africa, 5.60, -0.19, 0},
+	{"Tunis", "TN", Africa, 36.81, 10.18, 1},
+
+	// --- Oceania (Australia prominent per the paper) ---
+	{"Sydney", "AU", Oceania, -33.87, 151.21, 10},
+	{"Melbourne", "AU", Oceania, -37.81, 144.96, 10},
+	{"Brisbane", "AU", Oceania, -27.47, 153.03, 10},
+	{"Perth", "AU", Oceania, -31.95, 115.86, 8},
+	{"Adelaide", "AU", Oceania, -34.93, 138.60, 9.5},
+	{"Auckland", "NZ", Oceania, -36.85, 174.76, 12},
+	{"Wellington", "NZ", Oceania, -41.29, 174.78, 12},
+}
+
+var cityByName map[string]int
+
+func init() {
+	sort.Slice(Cities, func(i, j int) bool { return Cities[i].Name < Cities[j].Name })
+	cityByName = make(map[string]int, len(Cities))
+	for i, c := range Cities {
+		if _, dup := cityByName[c.Name]; dup {
+			panic(fmt.Sprintf("geo: duplicate city %q", c.Name))
+		}
+		cityByName[c.Name] = i
+	}
+}
+
+// CityByName returns the city with the given name from the built-in
+// database.
+func CityByName(name string) (City, bool) {
+	i, ok := cityByName[name]
+	if !ok {
+		return City{}, false
+	}
+	return Cities[i], true
+}
+
+// CitiesIn returns all built-in cities in the given country.
+func CitiesIn(country string) []City {
+	var out []City
+	for _, c := range Cities {
+		if c.Country == country {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CitiesOn returns all built-in cities on the given continent.
+func CitiesOn(cont Continent) []City {
+	var out []City
+	for _, c := range Cities {
+		if c.Continent == cont {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+// Package geo provides the geographic substrate for the simulated Internet
+// core: a database of world cities with real coordinates, great-circle
+// distance, fiber propagation delay, and the speed-of-light round-trip time
+// (cRTT) used by the paper's inflation metric (Figure 10b).
+package geo
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Physical constants used throughout the simulator.
+const (
+	// SpeedOfLightKmPerSec is the speed of light in free space. The paper
+	// defines cRTT using free-space light speed.
+	SpeedOfLightKmPerSec = 299792.458
+
+	// FiberVelocityFactor is the fraction of c at which signals propagate in
+	// optical fiber (refractive index ~1.47).
+	FiberVelocityFactor = 0.68
+
+	// EarthRadiusKm is the mean Earth radius used by the haversine formula.
+	EarthRadiusKm = 6371.0
+)
+
+// Continent identifies one of the populated continents.
+type Continent uint8
+
+// Continents, in no particular order.
+const (
+	NorthAmerica Continent = iota
+	SouthAmerica
+	Europe
+	Asia
+	Africa
+	Oceania
+)
+
+var continentNames = [...]string{
+	NorthAmerica: "North America",
+	SouthAmerica: "South America",
+	Europe:       "Europe",
+	Asia:         "Asia",
+	Africa:       "Africa",
+	Oceania:      "Oceania",
+}
+
+// String returns the human-readable continent name.
+func (c Continent) String() string {
+	if int(c) < len(continentNames) {
+		return continentNames[c]
+	}
+	return fmt.Sprintf("Continent(%d)", uint8(c))
+}
+
+// City is a point location where network infrastructure (routers, IXPs,
+// datacenters, CDN clusters) can be placed.
+type City struct {
+	Name      string
+	Country   string // ISO 3166-1 alpha-2
+	Continent Continent
+	Lat       float64 // degrees, +N
+	Lon       float64 // degrees, +E
+	UTCOffset float64 // hours east of UTC, standard time (no DST)
+}
+
+// LocalHour returns the local hour-of-day (0 ≤ h < 24, fractional) for the
+// city at the given offset from the campaign start. The campaign clock is
+// defined to start at 00:00 UTC.
+func (c City) LocalHour(sinceStart time.Duration) float64 {
+	h := math.Mod(sinceStart.Hours()+c.UTCOffset, 24)
+	if h < 0 {
+		h += 24
+	}
+	return h
+}
+
+// DistanceKm returns the great-circle distance between two cities.
+func (c City) DistanceKm(o City) float64 {
+	return HaversineKm(c.Lat, c.Lon, o.Lat, o.Lon)
+}
+
+// HaversineKm returns the great-circle distance in kilometers between two
+// points given in degrees.
+func HaversineKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const degToRad = math.Pi / 180
+	φ1, φ2 := lat1*degToRad, lat2*degToRad
+	dφ := (lat2 - lat1) * degToRad
+	dλ := (lon2 - lon1) * degToRad
+	a := math.Sin(dφ/2)*math.Sin(dφ/2) +
+		math.Cos(φ1)*math.Cos(φ2)*math.Sin(dλ/2)*math.Sin(dλ/2)
+	return 2 * EarthRadiusKm * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// FiberDelay returns the one-way propagation delay over a fiber path of the
+// given great-circle length. Real fiber paths are longer than great circles;
+// pathStretch (≥ 1) accounts for that. A stretch of 1 means a perfectly
+// straight fiber run.
+func FiberDelay(distKm, pathStretch float64) time.Duration {
+	if pathStretch < 1 {
+		pathStretch = 1
+	}
+	sec := distKm * pathStretch / (SpeedOfLightKmPerSec * FiberVelocityFactor)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// CRTT returns the round-trip time for light in free space over the
+// great-circle distance between two cities — the denominator of the paper's
+// inflation metric (Figure 10b).
+func CRTT(a, b City) time.Duration {
+	sec := 2 * a.DistanceKm(b) / SpeedOfLightKmPerSec
+	return time.Duration(sec * float64(time.Second))
+}
+
+// InflationRatio returns observed/cRTT, the paper's path inflation metric.
+// It returns 0 when the endpoints are colocated (cRTT of zero).
+func InflationRatio(observed time.Duration, a, b City) float64 {
+	c := CRTT(a, b)
+	if c <= 0 {
+		return 0
+	}
+	return float64(observed) / float64(c)
+}
+
+// Transcontinental reports whether two cities are on different continents.
+func Transcontinental(a, b City) bool { return a.Continent != b.Continent }

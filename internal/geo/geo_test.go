@@ -1,0 +1,189 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	cases := []struct {
+		a, b   string
+		wantKm float64
+		within float64 // relative tolerance
+	}{
+		{"New York", "London", 5570, 0.02},
+		{"Tokyo", "Osaka", 400, 0.05},
+		{"Hong Kong", "Osaka", 2480, 0.03},
+		{"Sydney", "Los Angeles", 12050, 0.02},
+		{"Frankfurt", "Singapore", 10260, 0.02},
+	}
+	for _, c := range cases {
+		a, ok := CityByName(c.a)
+		if !ok {
+			t.Fatalf("city %q missing", c.a)
+		}
+		b, ok := CityByName(c.b)
+		if !ok {
+			t.Fatalf("city %q missing", c.b)
+		}
+		got := a.DistanceKm(b)
+		if rel := math.Abs(got-c.wantKm) / c.wantKm; rel > c.within {
+			t.Errorf("%s-%s distance = %.0f km, want ~%.0f km", c.a, c.b, got, c.wantKm)
+		}
+	}
+}
+
+func TestHaversineProperties(t *testing.T) {
+	// Symmetry and non-negativity over random coordinate pairs.
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		lat1 = math.Mod(lat1, 90)
+		lat2 = math.Mod(lat2, 90)
+		lon1 = math.Mod(lon1, 180)
+		lon2 = math.Mod(lon2, 180)
+		d1 := HaversineKm(lat1, lon1, lat2, lon2)
+		d2 := HaversineKm(lat2, lon2, lat1, lon1)
+		if d1 < 0 || math.IsNaN(d1) {
+			return false
+		}
+		// Symmetric within floating error.
+		return math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHaversineZeroAndAntipodal(t *testing.T) {
+	if d := HaversineKm(10, 20, 10, 20); d != 0 {
+		t.Errorf("distance to self = %v, want 0", d)
+	}
+	// Antipodal points: half the Earth's circumference.
+	d := HaversineKm(0, 0, 0, 180)
+	want := math.Pi * EarthRadiusKm
+	if math.Abs(d-want) > 1 {
+		t.Errorf("antipodal distance = %.1f, want %.1f", d, want)
+	}
+}
+
+func TestFiberDelay(t *testing.T) {
+	// 1000 km at 0.68c with no stretch: ~4.9 ms one-way.
+	d := FiberDelay(1000, 1)
+	if d < 4700*time.Microsecond || d > 5100*time.Microsecond {
+		t.Errorf("FiberDelay(1000,1) = %v, want ~4.9ms", d)
+	}
+	// Stretch scales linearly.
+	if d2 := FiberDelay(1000, 2); math.Abs(float64(d2)-2*float64(d)) > float64(time.Microsecond) {
+		t.Errorf("stretch 2 should double delay: %v vs %v", d2, d)
+	}
+	// Stretch below 1 is clamped.
+	if d3 := FiberDelay(1000, 0.5); d3 != d {
+		t.Errorf("stretch <1 should clamp to 1: %v vs %v", d3, d)
+	}
+}
+
+func TestCRTTAndInflation(t *testing.T) {
+	ny, _ := CityByName("New York")
+	la, _ := CityByName("Los Angeles")
+	c := CRTT(ny, la)
+	// ~3940 km great circle → cRTT ≈ 26.3 ms.
+	if c < 24*time.Millisecond || c > 29*time.Millisecond {
+		t.Errorf("CRTT(NY,LA) = %v, want ~26ms", c)
+	}
+	// Observed 70 ms gives inflation ≈ 2.7.
+	infl := InflationRatio(70*time.Millisecond, ny, la)
+	if infl < 2.3 || infl > 3.0 {
+		t.Errorf("inflation = %.2f, want ~2.7", infl)
+	}
+	// Colocated endpoints: inflation defined as 0.
+	if got := InflationRatio(time.Millisecond, ny, ny); got != 0 {
+		t.Errorf("colocated inflation = %v, want 0", got)
+	}
+}
+
+func TestLocalHour(t *testing.T) {
+	tokyo, _ := CityByName("Tokyo")
+	// Campaign starts 00:00 UTC → Tokyo is at 09:00.
+	if h := tokyo.LocalHour(0); math.Abs(h-9) > 1e-9 {
+		t.Errorf("Tokyo local hour at t=0: %v, want 9", h)
+	}
+	// 20 hours later: 05:00 next day.
+	if h := tokyo.LocalHour(20 * time.Hour); math.Abs(h-5) > 1e-9 {
+		t.Errorf("Tokyo local hour at t=20h: %v, want 5", h)
+	}
+	ny, _ := CityByName("New York")
+	// New York at UTC-5: t=0 is 19:00 previous day.
+	if h := ny.LocalHour(0); math.Abs(h-19) > 1e-9 {
+		t.Errorf("NY local hour at t=0: %v, want 19", h)
+	}
+}
+
+func TestCityDatabase(t *testing.T) {
+	if len(Cities) < 100 {
+		t.Fatalf("city database has %d cities, want >= 100", len(Cities))
+	}
+	countries := map[string]bool{}
+	continents := map[Continent]bool{}
+	for _, c := range Cities {
+		countries[c.Country] = true
+		continents[c.Continent] = true
+		if c.Lat < -90 || c.Lat > 90 || c.Lon < -180 || c.Lon > 180 {
+			t.Errorf("city %s has invalid coordinates (%v, %v)", c.Name, c.Lat, c.Lon)
+		}
+		if c.UTCOffset < -12 || c.UTCOffset > 14 {
+			t.Errorf("city %s has invalid UTC offset %v", c.Name, c.UTCOffset)
+		}
+	}
+	if len(countries) < 60 {
+		t.Errorf("database covers %d countries, want >= 60", len(countries))
+	}
+	if len(continents) != 6 {
+		t.Errorf("database covers %d continents, want 6", len(continents))
+	}
+}
+
+func TestCityLookups(t *testing.T) {
+	if _, ok := CityByName("Atlantis"); ok {
+		t.Error("CityByName should not find Atlantis")
+	}
+	us := CitiesIn("US")
+	if len(us) < 20 {
+		t.Errorf("US cities = %d, want >= 20 (paper: 39%% of servers in US)", len(us))
+	}
+	for _, c := range us {
+		if c.Country != "US" {
+			t.Errorf("CitiesIn(US) returned %s (%s)", c.Name, c.Country)
+		}
+	}
+	asia := CitiesOn(Asia)
+	if len(asia) < 15 {
+		t.Errorf("Asia cities = %d, want >= 15", len(asia))
+	}
+	for _, c := range asia {
+		if c.Continent != Asia {
+			t.Errorf("CitiesOn(Asia) returned %s (%v)", c.Name, c.Continent)
+		}
+	}
+}
+
+func TestTranscontinental(t *testing.T) {
+	ny, _ := CityByName("New York")
+	la, _ := CityByName("Los Angeles")
+	tokyo, _ := CityByName("Tokyo")
+	if Transcontinental(ny, la) {
+		t.Error("NY-LA should not be transcontinental")
+	}
+	if !Transcontinental(ny, tokyo) {
+		t.Error("NY-Tokyo should be transcontinental")
+	}
+}
+
+func TestContinentString(t *testing.T) {
+	if Europe.String() != "Europe" {
+		t.Errorf("Europe.String() = %q", Europe.String())
+	}
+	if s := Continent(99).String(); s != "Continent(99)" {
+		t.Errorf("unknown continent string = %q", s)
+	}
+}

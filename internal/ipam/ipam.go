@@ -1,0 +1,160 @@
+// Package ipam provides IP address management for the simulated Internet:
+// prefix pools and allocation, point-to-point subnet carving, and a
+// longest-prefix-match table that plays the role of the "origin AS of the
+// longest matching prefix observed in BGP" mapping the paper uses to infer
+// AS paths from traceroutes.
+package ipam
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// String renders the ASN in the conventional "AS64500" form. ASN 0 denotes
+// "unknown" and renders as "AS?".
+func (a ASN) String() string {
+	if a == 0 {
+		return "AS?"
+	}
+	return fmt.Sprintf("AS%d", uint32(a))
+}
+
+// Pool hands out consecutive, non-overlapping prefixes of a fixed size from
+// a supernet. It is the simulator's registry: each AS draws its announced
+// prefixes (and its unannounced infrastructure space) from pools.
+type Pool struct {
+	super netip.Prefix
+	bits  int // size of prefixes handed out
+	next  netip.Addr
+	done  bool
+}
+
+// NewPool returns a pool carving prefixes of length bits out of super.
+// bits must be ≥ super.Bits() and ≤ the address-family bit length.
+func NewPool(super netip.Prefix, bits int) (*Pool, error) {
+	super = super.Masked()
+	max := 32
+	if super.Addr().Is6() {
+		max = 128
+	}
+	if bits < super.Bits() || bits > max {
+		return nil, fmt.Errorf("ipam: prefix length /%d out of range for %v", bits, super)
+	}
+	return &Pool{super: super, bits: bits, next: super.Addr()}, nil
+}
+
+// MustPool is NewPool that panics on error, for static configuration.
+func MustPool(super string, bits int) *Pool {
+	p, err := NewPool(netip.MustParsePrefix(super), bits)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Next returns the next unallocated prefix from the pool.
+func (p *Pool) Next() (netip.Prefix, error) {
+	if p.done || !p.super.Contains(p.next) {
+		return netip.Prefix{}, fmt.Errorf("ipam: pool %v (/%d) exhausted", p.super, p.bits)
+	}
+	out := netip.PrefixFrom(p.next, p.bits)
+	n, ok := advance(p.next, p.bits)
+	if !ok {
+		p.done = true
+	} else {
+		p.next = n
+	}
+	return out, nil
+}
+
+// advance returns the first address after the /bits block containing a.
+// ok is false when the block is the last one in the address space.
+func advance(a netip.Addr, bits int) (netip.Addr, bool) {
+	b := a.As16()
+	total := 128
+	if a.Is4() {
+		b4 := a.As4()
+		copy(b[12:], b4[:])
+		// operate on the low 4 bytes
+		idx := 12 + (bits-1)/8
+		shift := 7 - (bits-1)%8
+		if carryAdd(b[:], idx, shift) {
+			return netip.Addr{}, false
+		}
+		var out4 [4]byte
+		copy(out4[:], b[12:])
+		return netip.AddrFrom4(out4), true
+	}
+	_ = total
+	idx := (bits - 1) / 8
+	shift := 7 - (bits-1)%8
+	b = a.As16()
+	if carryAdd(b[:], idx, shift) {
+		return netip.Addr{}, false
+	}
+	return netip.AddrFrom16(b), true
+}
+
+// carryAdd adds 1<<shift to b[idx], propagating carries toward b[0].
+// It reports whether the addition overflowed past b[0].
+func carryAdd(b []byte, idx, shift int) bool {
+	add := uint16(1) << shift
+	for i := idx; i >= 0; i-- {
+		sum := uint16(b[i]) + add
+		b[i] = byte(sum)
+		if sum < 256 {
+			return false
+		}
+		add = 1
+	}
+	return true
+}
+
+// Subnetter carves fixed-size subnets (e.g. /30 point-to-point links) and
+// host addresses out of a single prefix, such as an AS's announced block.
+type Subnetter struct {
+	pool *Pool
+}
+
+// NewSubnetter returns a Subnetter carving /bits subnets from p.
+func NewSubnetter(p netip.Prefix, bits int) (*Subnetter, error) {
+	pool, err := NewPool(p, bits)
+	if err != nil {
+		return nil, err
+	}
+	return &Subnetter{pool: pool}, nil
+}
+
+// NextSubnet returns the next subnet.
+func (s *Subnetter) NextSubnet() (netip.Prefix, error) { return s.pool.Next() }
+
+// NextLink returns the next point-to-point subnet along with its two usable
+// addresses (for /30 these are .1 and .2; for /126 the ::1 and ::2).
+func (s *Subnetter) NextLink() (p netip.Prefix, a, b netip.Addr, err error) {
+	p, err = s.pool.Next()
+	if err != nil {
+		return netip.Prefix{}, netip.Addr{}, netip.Addr{}, err
+	}
+	a = p.Addr().Next()
+	b = a.Next()
+	if !p.Contains(b) {
+		return netip.Prefix{}, netip.Addr{}, netip.Addr{}, fmt.Errorf("ipam: subnet %v too small for two hosts", p)
+	}
+	return p, a, b, nil
+}
+
+// HostSeq returns a sequence of host addresses inside p, starting at the
+// n-th usable address (1-based, skipping the network address).
+func HostSeq(p netip.Prefix, n int) (netip.Addr, error) {
+	a := p.Addr()
+	for i := 0; i < n; i++ {
+		a = a.Next()
+		if !p.Contains(a) {
+			return netip.Addr{}, fmt.Errorf("ipam: host %d out of range for %v", n, p)
+		}
+	}
+	return a, nil
+}

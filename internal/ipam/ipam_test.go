@@ -1,0 +1,333 @@
+package ipam
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestASNString(t *testing.T) {
+	if got := ASN(64500).String(); got != "AS64500" {
+		t.Errorf("ASN(64500) = %q", got)
+	}
+	if got := ASN(0).String(); got != "AS?" {
+		t.Errorf("ASN(0) = %q", got)
+	}
+}
+
+func TestPoolSequentialV4(t *testing.T) {
+	p := MustPool("10.0.0.0/8", 16)
+	want := []string{"10.0.0.0/16", "10.1.0.0/16", "10.2.0.0/16"}
+	for _, w := range want {
+		got, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != w {
+			t.Errorf("Next() = %v, want %v", got, w)
+		}
+	}
+}
+
+func TestPoolSequentialV6(t *testing.T) {
+	p := MustPool("2001:db8::/32", 48)
+	want := []string{"2001:db8::/48", "2001:db8:1::/48", "2001:db8:2::/48"}
+	for _, w := range want {
+		got, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != w {
+			t.Errorf("Next() = %v, want %v", got, w)
+		}
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	p := MustPool("192.168.0.0/30", 31)
+	if _, err := p.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Next(); err == nil {
+		t.Error("expected exhaustion error")
+	}
+}
+
+func TestPoolEndOfAddressSpace(t *testing.T) {
+	// A pool at the top of v4 space must not wrap around.
+	p := MustPool("255.255.255.252/30", 31)
+	a, err := p.Next()
+	if err != nil || a.String() != "255.255.255.252/31" {
+		t.Fatalf("first = %v, %v", a, err)
+	}
+	b, err := p.Next()
+	if err != nil || b.String() != "255.255.255.254/31" {
+		t.Fatalf("second = %v, %v", b, err)
+	}
+	if _, err := p.Next(); err == nil {
+		t.Error("expected exhaustion at end of address space")
+	}
+}
+
+func TestPoolInvalidBits(t *testing.T) {
+	if _, err := NewPool(netip.MustParsePrefix("10.0.0.0/8"), 4); err == nil {
+		t.Error("bits < super bits should error")
+	}
+	if _, err := NewPool(netip.MustParsePrefix("10.0.0.0/8"), 33); err == nil {
+		t.Error("bits > 32 should error for v4")
+	}
+	if _, err := NewPool(netip.MustParsePrefix("2001:db8::/32"), 129); err == nil {
+		t.Error("bits > 128 should error for v6")
+	}
+}
+
+func TestPoolNoOverlap(t *testing.T) {
+	p := MustPool("172.16.0.0/12", 20)
+	var prev netip.Prefix
+	for i := 0; i < 100; i++ {
+		got, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev.IsValid() {
+			if prev.Overlaps(got) {
+				t.Fatalf("prefixes overlap: %v and %v", prev, got)
+			}
+			if got.Addr().Compare(prev.Addr()) <= 0 {
+				t.Fatalf("prefixes not increasing: %v then %v", prev, got)
+			}
+		}
+		prev = got
+	}
+}
+
+func TestSubnetterLinks(t *testing.T) {
+	s, err := NewSubnetter(netip.MustParsePrefix("192.0.2.0/24"), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, a, b, err := s.NextLink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "192.0.2.0/30" || a.String() != "192.0.2.1" || b.String() != "192.0.2.2" {
+		t.Errorf("link = %v, %v, %v", p, a, b)
+	}
+	p2, a2, _, err := s.NextLink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.String() != "192.0.2.4/30" || a2.String() != "192.0.2.5" {
+		t.Errorf("second link = %v, %v", p2, a2)
+	}
+}
+
+func TestSubnetterLinksV6(t *testing.T) {
+	s, err := NewSubnetter(netip.MustParsePrefix("2001:db8:ffff::/48"), 126)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, a, b, err := s.NextLink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(a) || !p.Contains(b) || a == b {
+		t.Errorf("bad v6 link: %v %v %v", p, a, b)
+	}
+}
+
+func TestHostSeq(t *testing.T) {
+	p := netip.MustParsePrefix("198.51.100.0/29")
+	a, err := HostSeq(p, 1)
+	if err != nil || a.String() != "198.51.100.1" {
+		t.Errorf("HostSeq(1) = %v, %v", a, err)
+	}
+	a, err = HostSeq(p, 7)
+	if err != nil || a.String() != "198.51.100.7" {
+		t.Errorf("HostSeq(7) = %v, %v", a, err)
+	}
+	if _, err := HostSeq(p, 8); err == nil {
+		t.Error("HostSeq past subnet should error")
+	}
+}
+
+func TestTableLookupBasics(t *testing.T) {
+	tbl := NewTable()
+	mustInsert(t, tbl, "10.0.0.0/8", 100)
+	mustInsert(t, tbl, "10.1.0.0/16", 200)
+	mustInsert(t, tbl, "2001:db8::/32", 300)
+
+	cases := []struct {
+		ip   string
+		want ASN
+		ok   bool
+	}{
+		{"10.2.3.4", 100, true},    // covered by /8 only
+		{"10.1.3.4", 200, true},    // longest match /16 wins
+		{"11.0.0.1", 0, false},     // no cover
+		{"2001:db8::1", 300, true}, // v6
+		{"2001:db9::1", 0, false},  // v6 no cover
+		{"192.168.1.1", 0, false},  // nothing inserted
+	}
+	for _, c := range cases {
+		got, ok := tbl.Lookup(netip.MustParseAddr(c.ip))
+		if ok != c.ok || got != c.want {
+			t.Errorf("Lookup(%s) = %v, %v; want %v, %v", c.ip, got, ok, c.want, c.ok)
+		}
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tbl.Len())
+	}
+}
+
+func TestTableLongestMatchOrderIndependent(t *testing.T) {
+	// Insert more-specific first, then less-specific: LPM must still prefer
+	// the /24.
+	tbl := NewTable()
+	mustInsert(t, tbl, "203.0.113.0/24", 7)
+	mustInsert(t, tbl, "203.0.0.0/16", 8)
+	got, ok := tbl.Lookup(netip.MustParseAddr("203.0.113.9"))
+	if !ok || got != 7 {
+		t.Errorf("Lookup = %v, %v; want AS7", got, ok)
+	}
+	got, ok = tbl.Lookup(netip.MustParseAddr("203.0.5.9"))
+	if !ok || got != 8 {
+		t.Errorf("Lookup = %v, %v; want AS8", got, ok)
+	}
+}
+
+func TestTableReinsertOverwrites(t *testing.T) {
+	tbl := NewTable()
+	mustInsert(t, tbl, "10.0.0.0/8", 1)
+	mustInsert(t, tbl, "10.0.0.0/8", 2)
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d, want 1 after reinsert", tbl.Len())
+	}
+	got, _ := tbl.Lookup(netip.MustParseAddr("10.9.9.9"))
+	if got != 2 {
+		t.Errorf("origin = %v, want 2", got)
+	}
+}
+
+func TestTableLookupPrefix(t *testing.T) {
+	tbl := NewTable()
+	mustInsert(t, tbl, "10.0.0.0/8", 100)
+	mustInsert(t, tbl, "10.1.0.0/16", 200)
+	p, origin, ok := tbl.LookupPrefix(netip.MustParseAddr("10.1.2.3"))
+	if !ok || origin != 200 || p.String() != "10.1.0.0/16" {
+		t.Errorf("LookupPrefix = %v, %v, %v", p, origin, ok)
+	}
+	p, origin, ok = tbl.LookupPrefix(netip.MustParseAddr("10.200.2.3"))
+	if !ok || origin != 100 || p.String() != "10.0.0.0/8" {
+		t.Errorf("LookupPrefix = %v, %v, %v", p, origin, ok)
+	}
+	if _, _, ok := tbl.LookupPrefix(netip.MustParseAddr("11.0.0.1")); ok {
+		t.Error("LookupPrefix should miss for uncovered address")
+	}
+}
+
+func TestTable4In6Lookup(t *testing.T) {
+	tbl := NewTable()
+	mustInsert(t, tbl, "10.0.0.0/8", 42)
+	got, ok := tbl.Lookup(netip.MustParseAddr("::ffff:10.1.2.3"))
+	if !ok || got != 42 {
+		t.Errorf("4-in-6 lookup = %v, %v; want AS42", got, ok)
+	}
+}
+
+func TestTableInvalidInputs(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Insert(netip.Prefix{}, 1); err == nil {
+		t.Error("inserting invalid prefix should error")
+	}
+	if _, ok := tbl.Lookup(netip.Addr{}); ok {
+		t.Error("looking up invalid addr should miss")
+	}
+	if _, _, ok := tbl.LookupPrefix(netip.Addr{}); ok {
+		t.Error("LookupPrefix of invalid addr should miss")
+	}
+}
+
+// Property: any address inside an inserted prefix maps to its origin when no
+// more-specific prefix exists.
+func TestTableProperty(t *testing.T) {
+	tbl := NewTable()
+	mustInsert(t, tbl, "100.64.0.0/10", 5)
+	f := func(b [4]byte) bool {
+		ip := netip.AddrFrom4(b)
+		inside := netip.MustParsePrefix("100.64.0.0/10").Contains(ip)
+		got, ok := tbl.Lookup(ip)
+		if inside {
+			return ok && got == 5
+		}
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustInsert(t *testing.T, tbl *Table, p string, origin ASN) {
+	t.Helper()
+	if err := tbl.Insert(netip.MustParsePrefix(p), origin); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{netip.MustParsePrefix("10.0.0.0/8"), 100},
+		{netip.MustParsePrefix("10.1.0.0/16"), 200},
+		{netip.MustParsePrefix("2400::/32"), 300},
+		{netip.MustParsePrefix("10.0.0.0/8"), 100}, // duplicate: dropped
+	}
+	var buf strings.Builder
+	if err := WriteTSV(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3 (dedup): %q", len(lines), buf.String())
+	}
+	tbl, err := ReadTSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("table len = %d", tbl.Len())
+	}
+	if got, _ := tbl.Lookup(netip.MustParseAddr("10.1.2.3")); got != 200 {
+		t.Errorf("lookup = %v, want 200", got)
+	}
+	if got, _ := tbl.Lookup(netip.MustParseAddr("2400::1")); got != 300 {
+		t.Errorf("v6 lookup = %v, want 300", got)
+	}
+}
+
+func TestReadTSVTolerance(t *testing.T) {
+	input := "# comment\n\n10.0.0.0/8\tAS100\n20.0.0.0/8 200\n"
+	tbl, err := ReadTSV(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("len = %d", tbl.Len())
+	}
+}
+
+func TestReadTSVRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"notaprefix\t100",
+		"10.0.0.0/8\tnotanasn",
+		"10.0.0.0/8",
+		"10.0.0.0/8\t1\textra",
+	} {
+		if _, err := ReadTSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q should error", bad)
+		}
+	}
+}

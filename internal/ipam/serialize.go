@@ -1,0 +1,82 @@
+package ipam
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteTSV serializes the given (prefix, origin) entries as tab-separated
+// "prefix\tASN" lines, sorted, suitable for ReadTSV. Tables do not expose
+// iteration (they only answer lookups), so callers pass the entries they
+// know about — see Entry collectors in the builders.
+func WriteTSV(w io.Writer, entries []Entry) error {
+	sorted := append([]Entry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if c := a.Prefix.Addr().Compare(b.Prefix.Addr()); c != 0 {
+			return c < 0
+		}
+		if a.Prefix.Bits() != b.Prefix.Bits() {
+			return a.Prefix.Bits() < b.Prefix.Bits()
+		}
+		return a.Origin < b.Origin
+	})
+	bw := bufio.NewWriter(w)
+	var prev Entry
+	for i, e := range sorted {
+		if i > 0 && e == prev {
+			continue
+		}
+		prev = e
+		if _, err := fmt.Fprintf(bw, "%s\t%d\n", e.Prefix, uint32(e.Origin)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Entry is one (prefix, origin AS) pair.
+type Entry struct {
+	Prefix netip.Prefix
+	Origin ASN
+}
+
+// ReadTSV parses "prefix\tASN" lines (an optional "AS" prefix on the ASN
+// is accepted) into a fresh Table. Blank lines and lines starting with '#'
+// are skipped.
+func ReadTSV(r io.Reader) (*Table, error) {
+	t := NewTable()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("ipam: line %d: want 'prefix asn', got %q", line, text)
+		}
+		prefix, err := netip.ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("ipam: line %d: %w", line, err)
+		}
+		asn, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "AS"), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("ipam: line %d: bad ASN %q", line, fields[1])
+		}
+		if err := t.Insert(prefix, ASN(asn)); err != nil {
+			return nil, fmt.Errorf("ipam: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

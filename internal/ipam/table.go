@@ -1,0 +1,148 @@
+package ipam
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Table is a longest-prefix-match table mapping IP prefixes to their origin
+// AS, as observed "in BGP". It stands in for the BGP dumps the paper uses
+// for IP-to-ASN mapping. Addresses covered by no announced prefix — e.g.
+// unannounced interconnect space or IXP fabric space — have no mapping,
+// which is exactly how "missing AS-level data" rows arise in Table 1.
+//
+// The implementation is a binary trie, one per address family. Lookups walk
+// address bits most-significant first and remember the deepest node that
+// terminates an inserted prefix.
+type Table struct {
+	v4, v6 *trieNode
+	n      int
+}
+
+type trieNode struct {
+	child [2]*trieNode
+	// set reports whether a prefix terminates at this node.
+	set    bool
+	origin ASN
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{v4: &trieNode{}, v6: &trieNode{}}
+}
+
+// Len returns the number of inserted prefixes.
+func (t *Table) Len() int { return t.n }
+
+// Insert adds a prefix with the given origin AS. Re-inserting the same
+// prefix overwrites the origin (as a newer BGP announcement would).
+func (t *Table) Insert(p netip.Prefix, origin ASN) error {
+	if !p.IsValid() {
+		return fmt.Errorf("ipam: invalid prefix %v", p)
+	}
+	p = p.Masked()
+	n := t.rootFor(p.Addr())
+	bits := addrBits(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		b := bit(bits, i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.n++
+	}
+	n.set = true
+	n.origin = origin
+	return nil
+}
+
+// Lookup returns the origin AS of the longest matching prefix for ip.
+func (t *Table) Lookup(ip netip.Addr) (ASN, bool) {
+	if !ip.IsValid() {
+		return 0, false
+	}
+	n := t.rootFor(ip)
+	bits := addrBits(ip)
+	max := 32
+	if ip.Is6() && !ip.Is4In6() {
+		max = 128
+	}
+	var best ASN
+	found := false
+	if n.set {
+		best, found = n.origin, true
+	}
+	for i := 0; i < max; i++ {
+		n = n.child[bit(bits, i)]
+		if n == nil {
+			break
+		}
+		if n.set {
+			best, found = n.origin, true
+		}
+	}
+	return best, found
+}
+
+// LookupPrefix returns the longest matching prefix itself along with its
+// origin, which the ownership heuristics use to reason about which AS
+// assigned an interface address.
+func (t *Table) LookupPrefix(ip netip.Addr) (netip.Prefix, ASN, bool) {
+	if !ip.IsValid() {
+		return netip.Prefix{}, 0, false
+	}
+	n := t.rootFor(ip)
+	bits := addrBits(ip)
+	max := 32
+	if ip.Is6() && !ip.Is4In6() {
+		max = 128
+	}
+	var (
+		bestLen    = -1
+		bestOrigin ASN
+	)
+	if n.set {
+		bestLen, bestOrigin = 0, n.origin
+	}
+	for i := 0; i < max; i++ {
+		n = n.child[bit(bits, i)]
+		if n == nil {
+			break
+		}
+		if n.set {
+			bestLen, bestOrigin = i+1, n.origin
+		}
+	}
+	if bestLen < 0 {
+		return netip.Prefix{}, 0, false
+	}
+	norm := ip
+	if ip.Is4In6() {
+		norm = ip.Unmap()
+	}
+	return netip.PrefixFrom(norm, bestLen).Masked(), bestOrigin, true
+}
+
+func (t *Table) rootFor(ip netip.Addr) *trieNode {
+	if ip.Is4() || ip.Is4In6() {
+		return t.v4
+	}
+	return t.v6
+}
+
+// addrBits returns the address bytes in canonical per-family form.
+func addrBits(ip netip.Addr) []byte {
+	if ip.Is4() || ip.Is4In6() {
+		b := ip.Unmap().As4()
+		return b[:]
+	}
+	b := ip.As16()
+	return b[:]
+}
+
+// bit returns the i-th most significant bit of b.
+func bit(b []byte, i int) int {
+	return int(b[i/8]>>(7-i%8)) & 1
+}

@@ -1,0 +1,751 @@
+package itopo
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/geo"
+	"repro/internal/ipam"
+)
+
+// Config parameterizes router-level materialization.
+type Config struct {
+	Seed int64
+
+	// NeverRespProb is the fraction of routers that never answer probes;
+	// FlakyProb the fraction that rate-limit ICMP, answering each probe
+	// with FlakyResponseProb. The rest always answer. With typical path
+	// lengths this yields the paper's ~28-33% of traceroutes containing at
+	// least one unresponsive hop (Table 1).
+	NeverRespProb     float64
+	FlakyProb         float64
+	FlakyResponseProb float64
+
+	// UnannouncedInfraProb is the probability that an AS numbers its
+	// infrastructure (internal links, link subnets it supplies) from space
+	// it does not announce in BGP — the paper's "missing AS-level data".
+	UnannouncedInfraProb float64
+
+	// IXPAnnouncedProb is the probability that an IXP's fabric prefix is
+	// announced in BGP (by the IXP's own ASN).
+	IXPAnnouncedProb float64
+
+	// LBDiamondProb is the per-AS probability of deploying an equal-cost
+	// load-balanced "diamond" in its backbone, which makes classic and
+	// Paris traceroute disagree.
+	LBDiamondProb float64
+
+	// ExtraXconnectProb adds a second physical interconnect to non-tier-1
+	// AS links; T1Parallel is the interconnect count between tier-1s.
+	ExtraXconnectProb float64
+	T1Parallel        int
+
+	// StretchMin/StretchMax bound the fiber path stretch over the great
+	// circle for long-haul links.
+	StretchMin, StretchMax float64
+}
+
+// DefaultConfig returns the standard build parameters.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:                 seed,
+		NeverRespProb:        0.008,
+		FlakyProb:            0.055,
+		FlakyResponseProb:    0.85,
+		UnannouncedInfraProb: 0.008,
+		IXPAnnouncedProb:     0.85,
+		LBDiamondProb:        0.35,
+		ExtraXconnectProb:    0.15,
+		T1Parallel:           2,
+		StretchMin:           1.1,
+		StretchMax:           1.7,
+	}
+}
+
+// Address plan: disjoint pools for announced AS space, unannounced
+// infrastructure space, and IXP fabrics.
+const (
+	asPool4    = "4.0.0.0/6"      // /16 per AS, announced
+	infraPool4 = "80.0.0.0/8"     // /18 per AS that hides its infra
+	ixpPool4   = "193.200.0.0/16" // /22 per IXP
+	asPool6    = "2400::/12"      // /32 per AS, announced
+	infraPool6 = "fd00::/8"       // /40 per AS that hides its infra
+	ixpPool6   = "2001:7f8::/32"  // /48 per IXP (real-world IXP space)
+	ixpBaseASN = ipam.ASN(59000)  // pseudo-ASNs for IXP fabrics
+)
+
+type clusterAlloc struct {
+	sub4 *ipam.Subnetter
+	sub6 *ipam.Subnetter // nil for v4-only ASes
+}
+
+// asPlan carries an AS's address allocators during the build.
+type asPlan struct {
+	prefix4, prefix6 netip.Prefix
+	infra4, infra6   *ipam.Subnetter
+}
+
+// Build materializes topo into a router-level network.
+func Build(topo *astopo.Topology, cfg Config) (*Network, error) {
+	if cfg.T1Parallel < 1 {
+		return nil, fmt.Errorf("itopo: T1Parallel must be >= 1")
+	}
+	if cfg.StretchMin < 1 || cfg.StretchMax < cfg.StretchMin {
+		return nil, fmt.Errorf("itopo: invalid stretch bounds [%v, %v]", cfg.StretchMin, cfg.StretchMax)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := &Network{
+		Topo:        topo,
+		BGP:         ipam.NewTable(),
+		Truth:       ipam.NewTable(),
+		ifaceOwner:  make(map[netip.Addr]ipam.ASN),
+		ifaceRouter: make(map[netip.Addr]RouterID),
+		routersOfAS: make(map[ipam.ASN][]RouterID),
+		routerAt:    make(map[asCity]RouterID),
+		xconnects:   make(map[[2]ipam.ASN][]LinkID),
+		clusterSubs: make(map[ipam.ASN]*clusterAlloc),
+	}
+
+	pool4 := ipam.MustPool(asPool4, 16)
+	poolInfra4 := ipam.MustPool(infraPool4, 18)
+	poolIXP4 := ipam.MustPool(ixpPool4, 22)
+	pool6 := ipam.MustPool(asPool6, 32)
+	poolInfra6 := ipam.MustPool(infraPool6, 40)
+	poolIXP6 := ipam.MustPool(ixpPool6, 48)
+
+	// ---- Per-AS address plans, routers, internal backbones. ----
+	plans := make(map[ipam.ASN]*asPlan, len(topo.ASes))
+	for _, as := range topo.ASes {
+		plan, err := n.planAS(topo, as, rng, cfg, pool4, pool6, poolInfra4, poolInfra6)
+		if err != nil {
+			return nil, err
+		}
+		plans[as.ASN] = plan
+		n.addRouters(as, rng, cfg)
+	}
+	for _, as := range topo.ASes {
+		if err := n.buildBackbone(as, plans[as.ASN], rng, cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- IXP fabrics. ----
+	ixpSub4 := make([]*ipam.Subnetter, len(topo.IXPs))
+	ixpSub6 := make([]*ipam.Subnetter, len(topo.IXPs))
+	for ix := range topo.IXPs {
+		p4, err := poolIXP4.Next()
+		if err != nil {
+			return nil, err
+		}
+		p6, err := poolIXP6.Next()
+		if err != nil {
+			return nil, err
+		}
+		n.ixpPrefix4 = append(n.ixpPrefix4, p4)
+		n.ixpPrefix6 = append(n.ixpPrefix6, p6)
+		ixpASN := ixpBaseASN + ipam.ASN(ix)
+		if err := n.Truth.Insert(p4, ixpASN); err != nil {
+			return nil, err
+		}
+		if err := n.Truth.Insert(p6, ixpASN); err != nil {
+			return nil, err
+		}
+		if rng.Float64() < cfg.IXPAnnouncedProb {
+			if err := n.announce(p4, ixpASN); err != nil {
+				return nil, err
+			}
+			if err := n.announce(p6, ixpASN); err != nil {
+				return nil, err
+			}
+		}
+		s4, err := ipam.NewSubnetter(p4, 32)
+		if err != nil {
+			return nil, err
+		}
+		// Skip the network address itself.
+		if _, err := s4.NextSubnet(); err != nil {
+			return nil, err
+		}
+		s6, err := ipam.NewSubnetter(p6, 128)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s6.NextSubnet(); err != nil {
+			return nil, err
+		}
+		ixpSub4[ix], ixpSub6[ix] = s4, s6
+	}
+	// Fabric interface addresses are per (IXP, router), shared across all
+	// peerings of that member on that fabric.
+	fabric4 := make(map[[2]int32]netip.Addr)
+	fabric6 := make(map[[2]int32]netip.Addr)
+
+	// ---- Physical interconnects per AS-level link. ----
+	for _, al := range topo.Links {
+		count := 1
+		asA, _ := topo.AS(al.A)
+		asB, _ := topo.AS(al.B)
+		if asA.Tier == astopo.Tier1 && asB.Tier == astopo.Tier1 {
+			count = cfg.T1Parallel
+		} else if rng.Float64() < cfg.ExtraXconnectProb {
+			count = 2
+		}
+		shared := astopo.SharedCities(asA, asB)
+		for i := 0; i < count; i++ {
+			city := al.City
+			if i > 0 && len(shared) > 1 {
+				city = shared[rng.Intn(len(shared))]
+			}
+			if err := n.buildInterconnect(topo, al, city, rng, cfg, plans, ixpSub4, ixpSub6, fabric4, fabric6); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// announce inserts a prefix into the BGP view and records the entry.
+func (n *Network) announce(p netip.Prefix, origin ipam.ASN) error {
+	if err := n.BGP.Insert(p, origin); err != nil {
+		return err
+	}
+	n.bgpEntries = append(n.bgpEntries, ipam.Entry{Prefix: p, Origin: origin})
+	return nil
+}
+
+// planAS allocates the AS's announced prefixes and infrastructure
+// allocators, and registers them in the BGP/Truth tables.
+func (n *Network) planAS(topo *astopo.Topology, as *astopo.AS, rng *rand.Rand, cfg Config,
+	pool4, pool6, poolInfra4, poolInfra6 *ipam.Pool) (*asPlan, error) {
+
+	plan := &asPlan{}
+	p4, err := pool4.Next()
+	if err != nil {
+		return nil, err
+	}
+	plan.prefix4 = p4
+	if err := n.announce(p4, as.ASN); err != nil {
+		return nil, err
+	}
+	if err := n.Truth.Insert(p4, as.ASN); err != nil {
+		return nil, err
+	}
+
+	dual := topo.DualStack(as.ASN)
+	if dual {
+		p6, err := pool6.Next()
+		if err != nil {
+			return nil, err
+		}
+		plan.prefix6 = p6
+		if err := n.announce(p6, as.ASN); err != nil {
+			return nil, err
+		}
+		if err := n.Truth.Insert(p6, as.ASN); err != nil {
+			return nil, err
+		}
+	}
+
+	hideInfra := rng.Float64() < cfg.UnannouncedInfraProb
+	if hideInfra {
+		i4, err := poolInfra4.Next()
+		if err != nil {
+			return nil, err
+		}
+		if err := n.Truth.Insert(i4, as.ASN); err != nil {
+			return nil, err
+		}
+		if plan.infra4, err = ipam.NewSubnetter(i4, 30); err != nil {
+			return nil, err
+		}
+		if dual {
+			i6, err := poolInfra6.Next()
+			if err != nil {
+				return nil, err
+			}
+			if err := n.Truth.Insert(i6, as.ASN); err != nil {
+				return nil, err
+			}
+			if plan.infra6, err = ipam.NewSubnetter(i6, 126); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Infrastructure from the first /18 (first /40) of announced space.
+		i4 := netip.PrefixFrom(p4.Addr(), 18)
+		if plan.infra4, err = ipam.NewSubnetter(i4, 30); err != nil {
+			return nil, err
+		}
+		if dual {
+			i6 := netip.PrefixFrom(plan.prefix6.Addr(), 40)
+			if plan.infra6, err = ipam.NewSubnetter(i6, 126); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Cluster space: upper half of the announced block, so it never
+	// collides with announced-space infrastructure.
+	cl4 := upperHalf(p4)
+	sub4, err := ipam.NewSubnetter(cl4, 28)
+	if err != nil {
+		return nil, err
+	}
+	ca := &clusterAlloc{sub4: sub4}
+	if dual {
+		cl6 := upperHalf(plan.prefix6)
+		if ca.sub6, err = ipam.NewSubnetter(cl6, 48); err != nil {
+			return nil, err
+		}
+	}
+	n.clusterSubs[as.ASN] = ca
+	return plan, nil
+}
+
+// upperHalf returns the second half of a prefix (one bit longer).
+func upperHalf(p netip.Prefix) netip.Prefix {
+	b := p.Addr().As16()
+	bitIdx := p.Bits()
+	if p.Addr().Is4() {
+		b4 := p.Addr().As4()
+		b4[bitIdx/8] |= 1 << (7 - bitIdx%8)
+		return netip.PrefixFrom(netip.AddrFrom4(b4), p.Bits()+1)
+	}
+	b[bitIdx/8] |= 1 << (7 - bitIdx%8)
+	return netip.PrefixFrom(netip.AddrFrom16(b), p.Bits()+1)
+}
+
+func (n *Network) addRouters(as *astopo.AS, rng *rand.Rand, cfg Config) {
+	for _, city := range as.Footprint {
+		id := RouterID(len(n.Routers))
+		r := &Router{
+			ID:           id,
+			Owner:        as.ASN,
+			City:         city,
+			ResponseProb: drawResponseProb(rng, cfg),
+		}
+		n.Routers = append(n.Routers, r)
+		n.adj = append(n.adj, nil)
+		n.routersOfAS[as.ASN] = append(n.routersOfAS[as.ASN], id)
+		n.routerAt[asCity{as.ASN, city}] = id
+	}
+}
+
+// buildBackbone wires an AS's routers: minimum spanning tree by distance,
+// a few redundancy chords, and optionally an equal-cost diamond.
+func (n *Network) buildBackbone(as *astopo.AS, plan *asPlan, rng *rand.Rand, cfg Config) error {
+	routers := n.routersOfAS[as.ASN]
+	if len(routers) < 2 {
+		return nil
+	}
+	dual := n.Topo.DualStack(as.ASN)
+
+	dist := func(a, b RouterID) float64 {
+		return geo.Cities[n.Routers[a].City].DistanceKm(geo.Cities[n.Routers[b].City])
+	}
+
+	// Prim's MST with deterministic iteration order and tie-breaks.
+	inTree := map[RouterID]bool{routers[0]: true}
+	type edge struct{ a, b RouterID }
+	var mst []edge
+	for len(inTree) < len(routers) {
+		best := edge{-1, -1}
+		bestD := -1.0
+		for _, t := range routers {
+			if !inTree[t] {
+				continue
+			}
+			for _, r := range routers {
+				if inTree[r] {
+					continue
+				}
+				d := dist(t, r)
+				if bestD < 0 || d < bestD ||
+					(d == bestD && (r < best.b || (r == best.b && t < best.a))) {
+					bestD, best = d, edge{t, r}
+				}
+			}
+		}
+		inTree[best.b] = true
+		mst = append(mst, best)
+	}
+
+	addInternal := func(a, b RouterID) error {
+		_, err := n.addInternalLink(a, b, plan, dual, rng, cfg, 1.0)
+		return err
+	}
+	for _, e := range mst {
+		if err := addInternal(e.a, e.b); err != nil {
+			return err
+		}
+	}
+
+	// Nearest-neighbor enrichment: every router also links to its two
+	// closest siblings. Backbones are locally dense in practice; a bare
+	// MST would send intra-AS traffic on continent-scale detours, wrecking
+	// the Figure 10b inflation and every RTT baseline.
+	for _, a := range routers {
+		type nd struct {
+			r RouterID
+			d float64
+		}
+		var nds []nd
+		for _, b := range routers {
+			if a != b {
+				nds = append(nds, nd{b, dist(a, b)})
+			}
+		}
+		sort.Slice(nds, func(i, j int) bool {
+			if nds[i].d != nds[j].d {
+				return nds[i].d < nds[j].d
+			}
+			return nds[i].r < nds[j].r
+		})
+		for k := 0; k < 2 && k < len(nds); k++ {
+			if !n.linked(a, nds[k].r) {
+				if err := addInternal(a, nds[k].r); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Redundancy chords: connect a few random non-adjacent pairs.
+	chords := len(routers) / 2
+	for i := 0; i < chords; i++ {
+		a := routers[rng.Intn(len(routers))]
+		b := routers[rng.Intn(len(routers))]
+		if a == b || n.linked(a, b) {
+			continue
+		}
+		if err := addInternal(a, b); err != nil {
+			return err
+		}
+	}
+
+	// Equal-cost diamond: replace one backbone link u–v by u–x–v / u–y–v
+	// with identical costs, creating two router-disjoint shortest paths.
+	if len(routers) >= 2 && rng.Float64() < cfg.LBDiamondProb {
+		e := mst[rng.Intn(len(mst))]
+		if lid, ok := n.findLink(e.a, e.b); ok {
+			if err := n.insertDiamond(lid, as, plan, dual, rng, cfg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (n *Network) linked(a, b RouterID) bool {
+	_, ok := n.findLink(a, b)
+	return ok
+}
+
+func (n *Network) findLink(a, b RouterID) (LinkID, bool) {
+	for _, lid := range n.adj[a] {
+		l := n.Links[lid]
+		if l.Other(a) == b {
+			return lid, true
+		}
+	}
+	return 0, false
+}
+
+// addInternalLink creates an internal link between two routers of the same
+// AS, numbering it from the AS's infrastructure space. delayScale scales
+// the computed delay (used by diamonds to split a link's cost).
+func (n *Network) addInternalLink(a, b RouterID, plan *asPlan, dual bool, rng *rand.Rand, cfg Config, delayScale float64) (*Link, error) {
+	ca, cb := geo.Cities[n.Routers[a].City], geo.Cities[n.Routers[b].City]
+	stretch := cfg.StretchMin + rng.Float64()*(cfg.StretchMax-cfg.StretchMin)
+	delay := geo.FiberDelay(ca.DistanceKm(cb), stretch) + 200*time.Microsecond
+	delay = time.Duration(float64(delay) * delayScale)
+
+	l := &Link{
+		ID:    LinkID(len(n.Links)),
+		A:     a,
+		B:     b,
+		Kind:  Internal,
+		Delay: delay,
+		V6:    dual,
+		RelAB: astopo.RelNone,
+		IXP:   -1,
+	}
+	_, a4, b4, err := plan.infra4.NextLink()
+	if err != nil {
+		return nil, err
+	}
+	l.Addr4 = [2]netip.Addr{a4, b4}
+	if dual {
+		_, a6, b6, err := plan.infra6.NextLink()
+		if err != nil {
+			return nil, err
+		}
+		l.Addr6 = [2]netip.Addr{a6, b6}
+	}
+	n.registerLink(l)
+	return l, nil
+}
+
+// insertDiamond replaces link lid (u–v) with two equal-cost two-hop paths
+// through fresh core routers colocated with u.
+func (n *Network) insertDiamond(lid LinkID, as *astopo.AS, plan *asPlan, dual bool, rng *rand.Rand, cfg Config) error {
+	l := n.Links[lid]
+	u, v := l.A, l.B
+	// Disable the direct link by inflating its delay beyond any alternative
+	// (removal would reindex; an unattractive link is equivalent for
+	// shortest-path forwarding).
+	l.Delay = l.Delay*16 + time.Second
+
+	for i := 0; i < 2; i++ {
+		id := RouterID(len(n.Routers))
+		r := &Router{
+			ID:           id,
+			Owner:        as.ASN,
+			City:         n.Routers[u].City,
+			ResponseProb: drawResponseProb(rng, cfg),
+		}
+		n.Routers = append(n.Routers, r)
+		n.adj = append(n.adj, nil)
+		n.routersOfAS[as.ASN] = append(n.routersOfAS[as.ASN], id)
+		// Do not override routerAt: the original city router stays primary.
+
+		// u–x: nominal zero distance (same site); x–v: the original span.
+		// Identical costs on both arms make them equal-cost paths.
+		lx := &Link{
+			ID: LinkID(len(n.Links)), A: u, B: id, Kind: Internal,
+			Delay: 150 * time.Microsecond, V6: dual, RelAB: astopo.RelNone, IXP: -1,
+		}
+		if err := n.numberInternal(lx, plan, dual); err != nil {
+			return err
+		}
+		n.registerLink(lx)
+		span := &Link{
+			ID: LinkID(len(n.Links)), A: id, B: v, Kind: Internal,
+			Delay: (l.Delay - time.Second) / 16, V6: dual, RelAB: astopo.RelNone, IXP: -1,
+		}
+		if err := n.numberInternal(span, plan, dual); err != nil {
+			return err
+		}
+		n.registerLink(span)
+	}
+	return nil
+}
+
+func (n *Network) numberInternal(l *Link, plan *asPlan, dual bool) error {
+	_, a4, b4, err := plan.infra4.NextLink()
+	if err != nil {
+		return err
+	}
+	l.Addr4 = [2]netip.Addr{a4, b4}
+	if dual {
+		_, a6, b6, err := plan.infra6.NextLink()
+		if err != nil {
+			return err
+		}
+		l.Addr6 = [2]netip.Addr{a6, b6}
+	}
+	return nil
+}
+
+// drawResponseProb assigns a router's probe-response behavior.
+func drawResponseProb(rng *rand.Rand, cfg Config) float64 {
+	u := rng.Float64()
+	switch {
+	case u < cfg.NeverRespProb:
+		return 0
+	case u < cfg.NeverRespProb+cfg.FlakyProb:
+		return cfg.FlakyResponseProb
+	default:
+		return 1
+	}
+}
+
+// buildInterconnect creates one physical interconnect for AS link al sited
+// at the given city, applying the paper's addressing conventions.
+func (n *Network) buildInterconnect(topo *astopo.Topology, al astopo.Link, city int,
+	rng *rand.Rand, cfg Config, plans map[ipam.ASN]*asPlan,
+	ixpSub4, ixpSub6 []*ipam.Subnetter, fabric4, fabric6 map[[2]int32]netip.Addr) error {
+
+	ra, ok := n.nearestRouter(al.A, city)
+	if !ok {
+		return fmt.Errorf("itopo: %v has no routers", al.A)
+	}
+	rb, ok := n.nearestRouter(al.B, city)
+	if !ok {
+		return fmt.Errorf("itopo: %v has no routers", al.B)
+	}
+	ca, cb := geo.Cities[n.Routers[ra].City], geo.Cities[n.Routers[rb].City]
+	var delay time.Duration
+	if n.Routers[ra].City == n.Routers[rb].City {
+		delay = 200 * time.Microsecond
+	} else {
+		stretch := cfg.StretchMin + rng.Float64()*(cfg.StretchMax-cfg.StretchMin)
+		delay = geo.FiberDelay(ca.DistanceKm(cb), stretch) + 300*time.Microsecond
+	}
+
+	v6 := topo.LinkHasV6(al.A, al.B)
+	l := &Link{
+		ID:    LinkID(len(n.Links)),
+		A:     ra,
+		B:     rb,
+		Delay: delay,
+		V6:    v6,
+		RelAB: al.Rel,
+		IXP:   al.IXP,
+	}
+
+	switch al.Kind {
+	case astopo.Transit:
+		l.Kind = Transit
+		// The provider supplies the point-to-point subnet; the customer
+		// numbers its interface from provider space (paper §5.3).
+		provider := al.B
+		if al.Rel == astopo.RelProvider { // A is the provider
+			provider = al.A
+		}
+		plan := plans[provider]
+		_, p4a, p4b, err := plan.infra4.NextLink()
+		if err != nil {
+			return err
+		}
+		l.Addr4 = [2]netip.Addr{p4a, p4b}
+		if v6 {
+			_, p6a, p6b, err := plan.infra6.NextLink()
+			if err != nil {
+				return err
+			}
+			l.Addr6 = [2]netip.Addr{p6a, p6b}
+		}
+
+	case astopo.PrivatePeering:
+		l.Kind = PrivatePeering
+		// No convention: either side supplies the subnet.
+		supplier := al.A
+		if rng.Float64() < 0.5 {
+			supplier = al.B
+		}
+		plan := plans[supplier]
+		_, p4a, p4b, err := plan.infra4.NextLink()
+		if err != nil {
+			return err
+		}
+		l.Addr4 = [2]netip.Addr{p4a, p4b}
+		if v6 {
+			_, p6a, p6b, err := plan.infra6.NextLink()
+			if err != nil {
+				return err
+			}
+			l.Addr6 = [2]netip.Addr{p6a, p6b}
+		}
+
+	case astopo.IXPPeering:
+		l.Kind = IXPPeering
+		a4, err := n.fabricAddr(fabric4, ixpSub4, al.IXP, ra, false)
+		if err != nil {
+			return err
+		}
+		b4, err := n.fabricAddr(fabric4, ixpSub4, al.IXP, rb, false)
+		if err != nil {
+			return err
+		}
+		l.Addr4 = [2]netip.Addr{a4, b4}
+		if v6 {
+			a6, err := n.fabricAddr(fabric6, ixpSub6, al.IXP, ra, true)
+			if err != nil {
+				return err
+			}
+			b6, err := n.fabricAddr(fabric6, ixpSub6, al.IXP, rb, true)
+			if err != nil {
+				return err
+			}
+			l.Addr6 = [2]netip.Addr{a6, b6}
+		}
+	}
+
+	n.registerLink(l)
+	n.xconnects[pairKey(al.A, al.B)] = append(n.xconnects[pairKey(al.A, al.B)], l.ID)
+	return nil
+}
+
+// fabricAddr returns the (stable) fabric address of a router on an IXP.
+func (n *Network) fabricAddr(cache map[[2]int32]netip.Addr, subs []*ipam.Subnetter, ix int, r RouterID, v6 bool) (netip.Addr, error) {
+	key := [2]int32{int32(ix), int32(r)}
+	if a, ok := cache[key]; ok {
+		return a, nil
+	}
+	p, err := subs[ix].NextSubnet()
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	a := p.Addr()
+	cache[key] = a
+	return a, nil
+}
+
+// nearestRouter returns the AS's router at the city, or its closest router.
+func (n *Network) nearestRouter(as ipam.ASN, city int) (RouterID, bool) {
+	if r, ok := n.routerAt[asCity{as, city}]; ok {
+		return r, true
+	}
+	routers := n.routersOfAS[as]
+	if len(routers) == 0 {
+		return 0, false
+	}
+	best := routers[0]
+	bestD := geo.Cities[city].DistanceKm(geo.Cities[n.Routers[best].City])
+	for _, r := range routers[1:] {
+		d := geo.Cities[city].DistanceKm(geo.Cities[n.Routers[r].City])
+		if d < bestD {
+			best, bestD = r, d
+		}
+	}
+	return best, true
+}
+
+// registerLink appends the link and indexes its interface addresses.
+func (n *Network) registerLink(l *Link) {
+	n.Links = append(n.Links, l)
+	n.adj[l.A] = append(n.adj[l.A], l.ID)
+	n.adj[l.B] = append(n.adj[l.B], l.ID)
+	sides := [2]RouterID{l.A, l.B}
+	for i, r := range sides {
+		owner := n.Routers[r].Owner
+		if l.Addr4[i].IsValid() {
+			n.ifaceOwner[l.Addr4[i]] = owner
+			n.ifaceRouter[l.Addr4[i]] = r
+		}
+		if l.Addr6[i].IsValid() {
+			n.ifaceOwner[l.Addr6[i]] = owner
+			n.ifaceRouter[l.Addr6[i]] = r
+		}
+	}
+}
+
+// AllocCluster carves a cluster subnet (v4 /28 and, for dual-stack hosts, a
+// v6 /48) from the host AS's announced space and returns the attachment
+// router in the given city (or the AS's nearest router).
+func (n *Network) AllocCluster(hostAS ipam.ASN, city int) (net4, net6 netip.Prefix, attach RouterID, err error) {
+	ca, ok := n.clusterSubs[hostAS]
+	if !ok {
+		return netip.Prefix{}, netip.Prefix{}, 0, fmt.Errorf("itopo: unknown AS %v", hostAS)
+	}
+	attach, ok = n.nearestRouter(hostAS, city)
+	if !ok {
+		return netip.Prefix{}, netip.Prefix{}, 0, fmt.Errorf("itopo: %v has no routers", hostAS)
+	}
+	net4, err = ca.sub4.NextSubnet()
+	if err != nil {
+		return netip.Prefix{}, netip.Prefix{}, 0, err
+	}
+	if ca.sub6 != nil {
+		net6, err = ca.sub6.NextSubnet()
+		if err != nil {
+			return netip.Prefix{}, netip.Prefix{}, 0, err
+		}
+	}
+	return net4, net6, attach, nil
+}

@@ -1,0 +1,219 @@
+// Package itopo materializes an astopo.Topology into a router-level
+// network: routers at footprint cities, intra-AS backbones, physical
+// interconnects with realistic addressing conventions, and per-link
+// propagation delays. It also builds the two IP-to-AS views the paper's
+// analysis depends on:
+//
+//   - the BGP view (announced prefixes only), used for AS-path inference —
+//     with deliberate gaps (unannounced infrastructure space, IXP fabric
+//     space) that produce the paper's "missing AS-level data" rows; and
+//   - the ground-truth view (who allocated each address, and which AS
+//     operates each router), which the paper did not have and which lets
+//     tests validate the ownership heuristics.
+//
+// Addressing conventions mirror Section 5.3 of the paper: on a c2p link the
+// customer numbers its interface from provider-assigned space; on private
+// peering either side may supply the subnet; on an IXP both sides use the
+// IXP's fabric prefix.
+package itopo
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/ipam"
+)
+
+// RouterID indexes Network.Routers.
+type RouterID int32
+
+// LinkID indexes Network.Links.
+type LinkID int32
+
+// Router is one router-level node. A router is owned and operated by
+// exactly one AS (the ground truth that ownership heuristics try to infer).
+type Router struct {
+	ID    RouterID
+	Owner ipam.ASN
+	City  int // geo.Cities index
+	// ResponseProb is the probability the router answers a given
+	// traceroute probe: 1 for ordinary routers, 0 for routers that never
+	// reply, and an intermediate value for routers that rate-limit ICMP —
+	// together these produce the paper's ~28-33% of traceroutes with
+	// unresponsive hops (Table 1).
+	ResponseProb float64
+}
+
+// LinkKind classifies a router-level link.
+type LinkKind uint8
+
+// Link kinds. The interconnect kinds correspond to astopo link kinds.
+const (
+	Internal LinkKind = iota
+	Transit
+	PrivatePeering
+	IXPPeering
+)
+
+// String returns the link-kind name.
+func (k LinkKind) String() string {
+	switch k {
+	case Internal:
+		return "internal"
+	case Transit:
+		return "transit"
+	case PrivatePeering:
+		return "private-peering"
+	case IXPPeering:
+		return "ixp-peering"
+	default:
+		return "unknown"
+	}
+}
+
+// Link is an undirected router-level adjacency. Side 0 belongs to router A,
+// side 1 to router B.
+type Link struct {
+	ID    LinkID
+	A, B  RouterID
+	Kind  LinkKind
+	Delay time.Duration // one-way propagation + serialization
+	V6    bool          // carries IPv6 in addition to IPv4
+
+	// Interface addresses: Addr4[0]/Addr6[0] on A's interface, [1] on B's.
+	Addr4 [2]netip.Addr
+	Addr6 [2]netip.Addr
+
+	// RelAB is A's business relationship to B for interconnects
+	// (RelNone for internal links).
+	RelAB astopo.Relationship
+	// IXP is the exchange index for IXPPeering links, else -1.
+	IXP int
+}
+
+// Other returns the far-side router of the link.
+func (l *Link) Other(r RouterID) RouterID {
+	if r == l.A {
+		return l.B
+	}
+	return l.A
+}
+
+// AddrOn returns the interface address of router r on this link for the
+// given family (4 or 6).
+func (l *Link) AddrOn(r RouterID, v6 bool) netip.Addr {
+	side := 0
+	if r == l.B {
+		side = 1
+	}
+	if v6 {
+		return l.Addr6[side]
+	}
+	return l.Addr4[side]
+}
+
+// Interconnect reports whether the link crosses an AS boundary.
+func (l *Link) Interconnect() bool { return l.Kind != Internal }
+
+// Network is the built router-level network.
+type Network struct {
+	Topo    *astopo.Topology
+	Routers []*Router
+	Links   []*Link
+
+	// BGP is the announced-prefix longest-match table (the analysis view).
+	BGP *ipam.Table
+	// Truth maps every allocated prefix — announced or not — to the AS
+	// that allocated it (ground truth, used by tests and oracles).
+	Truth *ipam.Table
+
+	// ifaceOwner maps an interface address to the AS operating the router
+	// that carries it: ground truth for the ownership heuristics.
+	ifaceOwner map[netip.Addr]ipam.ASN
+	// ifaceRouter maps an interface address to its router.
+	ifaceRouter map[netip.Addr]RouterID
+
+	adj         [][]LinkID                 // router -> incident links
+	routersOfAS map[ipam.ASN][]RouterID    // sorted by city
+	routerAt    map[asCity]RouterID        // (AS, city) -> router
+	xconnects   map[[2]ipam.ASN][]LinkID   // interconnect links per AS pair
+	clusterSubs map[ipam.ASN]*clusterAlloc // cluster address allocators
+
+	ixpPrefix4 []netip.Prefix
+	ixpPrefix6 []netip.Prefix
+
+	bgpEntries []ipam.Entry
+
+	sptState // forwarding caches (see forward.go)
+}
+
+// BGPEntries returns every (prefix, origin) pair announced in the BGP view
+// — the rows of a route-collector dump of this network.
+func (n *Network) BGPEntries() []ipam.Entry {
+	return append([]ipam.Entry(nil), n.bgpEntries...)
+}
+
+type asCity struct {
+	as   ipam.ASN
+	city int
+}
+
+// Router returns the router with the given id.
+func (n *Network) Router(id RouterID) *Router { return n.Routers[id] }
+
+// LinksAt returns the link ids incident to router r.
+func (n *Network) LinksAt(r RouterID) []LinkID { return n.adj[r] }
+
+// RoutersOf returns the routers operated by an AS.
+func (n *Network) RoutersOf(as ipam.ASN) []RouterID { return n.routersOfAS[as] }
+
+// RouterAt returns the router an AS operates in the given city.
+func (n *Network) RouterAt(as ipam.ASN, city int) (RouterID, bool) {
+	r, ok := n.routerAt[asCity{as, city}]
+	return r, ok
+}
+
+// Interconnects returns the physical interconnect links between two ASes.
+func (n *Network) Interconnects(a, b ipam.ASN) []LinkID {
+	return n.xconnects[pairKey(a, b)]
+}
+
+// IfaceOwner returns the ground-truth operator of the router carrying the
+// interface address.
+func (n *Network) IfaceOwner(a netip.Addr) (ipam.ASN, bool) {
+	as, ok := n.ifaceOwner[a]
+	return as, ok
+}
+
+// IfaceRouter returns the router carrying the interface address.
+func (n *Network) IfaceRouter(a netip.Addr) (RouterID, bool) {
+	r, ok := n.ifaceRouter[a]
+	return r, ok
+}
+
+// IXPPrefix returns the fabric prefix of the ix-th exchange.
+func (n *Network) IXPPrefix(ix int, v6 bool) netip.Prefix {
+	if v6 {
+		return n.ixpPrefix6[ix]
+	}
+	return n.ixpPrefix4[ix]
+}
+
+func pairKey(a, b ipam.ASN) [2]ipam.ASN {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]ipam.ASN{a, b}
+}
+
+// IsIXPAddr reports whether an address lies on an exchange fabric and
+// returns the IXP index.
+func (n *Network) IsIXPAddr(a netip.Addr) (int, bool) {
+	for ix := range n.ixpPrefix4 {
+		if n.ixpPrefix4[ix].Contains(a) || n.ixpPrefix6[ix].Contains(a) {
+			return ix, true
+		}
+	}
+	return -1, false
+}

@@ -1,0 +1,101 @@
+package itopo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bgp"
+)
+
+// TestResolvePathLoopFreePerFlow asserts that any single flow's resolved
+// router path visits each router at most once — per-flow forwarding is
+// loop-free even though classic traceroute's stitched view may not be.
+func TestResolvePathLoopFreePerFlow(t *testing.T) {
+	n := buildTestNet(t, 31)
+	routing := bgp.NewRouting(n.Topo, nil, bgp.V4)
+	rng := rand.New(rand.NewSource(31))
+	ases := n.Topo.ASes
+	for trial := 0; trial < 300; trial++ {
+		src := ases[rng.Intn(len(ases))].ASN
+		dst := ases[rng.Intn(len(ases))].ASN
+		if src == dst {
+			continue
+		}
+		asPath := routing.Path(src, dst)
+		if asPath == nil {
+			continue
+		}
+		sr := n.RoutersOf(src)[0]
+		dr := n.RoutersOf(dst)[0]
+		hops, err := n.ResolvePath(sr, dr, asPath, false, rng.Uint64())
+		if err != nil {
+			t.Fatalf("%v→%v: %v", src, dst, err)
+		}
+		seen := map[RouterID]bool{}
+		for _, h := range hops {
+			if seen[h.Router] {
+				t.Fatalf("%v→%v: router %d visited twice", src, dst, h.Router)
+			}
+			seen[h.Router] = true
+		}
+	}
+}
+
+// TestInterfaceAddressesUnique asserts that no two interfaces share an
+// address (fabric addresses are per (IXP, router) and may legitimately
+// appear on several links of the same router, which still maps to one
+// owner).
+func TestInterfaceAddressesUnique(t *testing.T) {
+	n := buildTestNet(t, 32)
+	ownerOf := map[string]RouterID{}
+	for _, l := range n.Links {
+		for i, r := range [2]RouterID{l.A, l.B} {
+			for _, a := range []string{l.Addr4[i].String(), l.Addr6[i].String()} {
+				if a == "invalid IP" {
+					continue
+				}
+				if prev, ok := ownerOf[a]; ok && prev != r {
+					t.Fatalf("address %s on routers %d and %d", a, prev, r)
+				}
+				ownerOf[a] = r
+			}
+		}
+	}
+}
+
+// TestHotPotatoMonotone asserts egress choice picks a candidate whose
+// internal distance is minimal among usable interconnects.
+func TestHotPotatoMonotone(t *testing.T) {
+	n := buildTestNet(t, 33)
+	checked := 0
+	for _, al := range n.Topo.Links {
+		lids := n.Interconnects(al.A, al.B)
+		if len(lids) < 2 {
+			continue
+		}
+		for _, from := range n.RoutersOf(al.A)[:1] {
+			lid, side, ok := n.chooseEgress(from, al.A, al.B, false)
+			if !ok {
+				continue
+			}
+			chosen := n.sptTo(side, false).dist[from]
+			for _, other := range lids {
+				if other == lid {
+					continue
+				}
+				l := n.Links[other]
+				near := l.A
+				if n.Routers[near].Owner != al.A {
+					near = l.B
+				}
+				if d, ok := n.sptTo(near, false).dist[from]; ok && d < chosen {
+					t.Fatalf("hot potato picked %v (dist %v) over %v (dist %v)", lid, chosen, other, d)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no parallel interconnects under this seed")
+	}
+}

@@ -1,0 +1,159 @@
+// Package mapping implements a measurement-driven request-mapping system —
+// the consumer the paper names for its data ("these measurements serve as
+// input to the CDN's mapping system, which is responsible for determining
+// how to map end-user requests to appropriate CDN servers", §2, citing
+// Nygren et al. and Chen et al.).
+//
+// Clients are represented by clusters hosted inside their (eyeball) ASes:
+// candidate serving clusters ping those vantage clusters on a schedule, and
+// the mapper assigns each client AS the candidate with the lowest median
+// RTT. Because the simulator can compute the noise-free best candidate, the
+// mapper's decisions are scored against an oracle.
+package mapping
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/core/stats"
+	"repro/internal/probe"
+)
+
+// Config parameterizes the measurement schedule.
+type Config struct {
+	// Rounds of pings per (candidate, client) pair and their spacing.
+	Rounds   int
+	Interval time.Duration
+	// Start offsets the campaign on the virtual clock.
+	Start time.Duration
+}
+
+// DefaultConfig measures each pair 12 times over 3 hours.
+func DefaultConfig() Config {
+	return Config{Rounds: 12, Interval: 15 * time.Minute}
+}
+
+// Assignment is one client's mapping decision.
+type Assignment struct {
+	Client    *cdn.Cluster
+	Candidate *cdn.Cluster
+	// MedianRTTms is the measured median RTT of the chosen candidate.
+	MedianRTTms float64
+	// Measured counts received pings across all candidates.
+	Measured int
+}
+
+// System holds mapping decisions for a set of clients.
+type System struct {
+	assignments map[int]*Assignment // client cluster id -> assignment
+	candidates  []*cdn.Cluster
+}
+
+// Build measures candidates → clients and computes assignments.
+func Build(p *probe.Prober, candidates, clients []*cdn.Cluster, cfg Config) (*System, error) {
+	if len(candidates) == 0 || len(clients) == 0 {
+		return nil, fmt.Errorf("mapping: need candidates and clients")
+	}
+	if cfg.Rounds <= 0 || cfg.Interval <= 0 {
+		return nil, fmt.Errorf("mapping: non-positive schedule")
+	}
+	s := &System{
+		assignments: make(map[int]*Assignment, len(clients)),
+		candidates:  candidates,
+	}
+	for _, client := range clients {
+		best := (*Assignment)(nil)
+		total := 0
+		for _, cand := range candidates {
+			if cand.ID == client.ID {
+				continue
+			}
+			var rtts []float64
+			for r := 0; r < cfg.Rounds; r++ {
+				at := cfg.Start + time.Duration(r)*cfg.Interval
+				ping := p.Ping(cand, client, false, at)
+				if ping.Lost {
+					continue
+				}
+				rtts = append(rtts, float64(ping.RTT)/float64(time.Millisecond))
+			}
+			total += len(rtts)
+			if len(rtts) == 0 {
+				continue
+			}
+			med := stats.Median(rtts)
+			if best == nil || med < best.MedianRTTms {
+				best = &Assignment{Client: client, Candidate: cand, MedianRTTms: med}
+			}
+		}
+		if best != nil {
+			best.Measured = total
+			s.assignments[client.ID] = best
+		}
+	}
+	return s, nil
+}
+
+// Best returns the assignment for a client cluster id.
+func (s *System) Best(clientID int) (*Assignment, bool) {
+	a, ok := s.assignments[clientID]
+	return a, ok
+}
+
+// Assignments returns all decisions sorted by client id.
+func (s *System) Assignments() []*Assignment {
+	out := make([]*Assignment, 0, len(s.assignments))
+	for _, a := range s.assignments {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Client.ID < out[j].Client.ID })
+	return out
+}
+
+// Oracle scores the mapper against a noise-free RTT function (the
+// simulator's BaseRTT): it returns the fraction of clients mapped to the
+// true best candidate, and the mean extra latency (ms) incurred by
+// non-optimal choices (the "stretch").
+func (s *System) Oracle(baseRTT func(cand, client *cdn.Cluster) (time.Duration, bool)) (optimalFrac, meanExtraMs float64) {
+	if len(s.assignments) == 0 {
+		return 0, 0
+	}
+	optimal := 0
+	extra := 0.0
+	scored := 0
+	for _, a := range s.assignments {
+		bestCand := (*cdn.Cluster)(nil)
+		var bestRTT time.Duration
+		for _, cand := range s.candidates {
+			if cand.ID == a.Client.ID {
+				continue
+			}
+			rtt, ok := baseRTT(cand, a.Client)
+			if !ok {
+				continue
+			}
+			if bestCand == nil || rtt < bestRTT {
+				bestCand, bestRTT = cand, rtt
+			}
+		}
+		if bestCand == nil {
+			continue
+		}
+		scored++
+		chosenRTT, ok := baseRTT(a.Candidate, a.Client)
+		if !ok {
+			continue
+		}
+		if a.Candidate.ID == bestCand.ID {
+			optimal++
+		} else {
+			extra += float64(chosenRTT-bestRTT) / float64(time.Millisecond)
+		}
+	}
+	if scored == 0 {
+		return 0, 0
+	}
+	return float64(optimal) / float64(scored), extra / float64(scored)
+}

@@ -1,0 +1,121 @@
+package mapping
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/bgp"
+	"repro/internal/cdn"
+	"repro/internal/itopo"
+	"repro/internal/probe"
+	"repro/internal/simnet"
+)
+
+func world(t *testing.T, seed int64) (*probe.Prober, *simnet.Net, *cdn.Platform) {
+	t.Helper()
+	dur := 7 * 24 * time.Hour
+	topo, err := astopo.Generate(astopo.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnet, err := itopo.Build(topo, itopo.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := bgp.NewDynamics(topo, bgp.DefaultDynConfig(seed, dur))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := cdn.Deploy(rnet, cdn.DefaultConfig(seed, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simnet.New(rnet, dyn, nil, simnet.DefaultConfig(seed))
+	return probe.New(sim), sim, plat
+}
+
+// split picks candidates from clusters hosted in the CDN's own AS and
+// clients from third-party-hosted clusters.
+func split(plat *cdn.Platform, nCand, nClients int) (cands, clients []*cdn.Cluster) {
+	for _, c := range plat.Clusters {
+		if len(cands) < nCand && c.HostAS == 20940 {
+			cands = append(cands, c)
+		} else if len(clients) < nClients && c.HostAS != 20940 {
+			clients = append(clients, c)
+		}
+	}
+	return cands, clients
+}
+
+func TestBuildAssignsEveryClient(t *testing.T) {
+	p, _, plat := world(t, 1)
+	cands, clients := split(plat, 8, 10)
+	if len(cands) < 2 || len(clients) < 2 {
+		t.Skipf("split too small: %d candidates, %d clients", len(cands), len(clients))
+	}
+	sys, err := Build(p, cands, clients, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := sys.Assignments()
+	if len(as) != len(clients) {
+		t.Fatalf("assignments = %d, want %d", len(as), len(clients))
+	}
+	for _, a := range as {
+		if a.Candidate == nil || a.MedianRTTms <= 0 {
+			t.Errorf("bad assignment for client %d: %+v", a.Client.ID, a)
+		}
+		if a.Candidate.ID == a.Client.ID {
+			t.Error("client mapped to itself")
+		}
+	}
+	if _, ok := sys.Best(clients[0].ID); !ok {
+		t.Error("Best lookup failed")
+	}
+	if _, ok := sys.Best(-1); ok {
+		t.Error("unknown client should miss")
+	}
+}
+
+func TestOracleQuality(t *testing.T) {
+	p, sim, plat := world(t, 2)
+	cands, clients := split(plat, 10, 12)
+	if len(cands) < 3 || len(clients) < 3 {
+		t.Skip("split too small")
+	}
+	sys, err := Build(p, cands, clients, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRTT := func(cand, client *cdn.Cluster) (time.Duration, bool) {
+		rtt, err := sim.BaseRTT(cand, client, false, 1, 2, time.Hour)
+		if err != nil {
+			return 0, false
+		}
+		return rtt, true
+	}
+	optimal, extra := sys.Oracle(baseRTT)
+	t.Logf("mapping: %.0f%% of clients at the true optimum, mean stretch %.2f ms", 100*optimal, extra)
+	// Median-of-12 pings should find the best candidate almost always.
+	if optimal < 0.6 {
+		t.Errorf("optimal fraction = %.2f, want >= 0.6", optimal)
+	}
+	if extra > 20 {
+		t.Errorf("mean extra latency = %.1f ms, want small", extra)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	p, _, plat := world(t, 3)
+	cands, clients := split(plat, 4, 4)
+	if _, err := Build(p, nil, clients, DefaultConfig()); err == nil {
+		t.Error("no candidates should error")
+	}
+	if _, err := Build(p, cands, nil, DefaultConfig()); err == nil {
+		t.Error("no clients should error")
+	}
+	if _, err := Build(p, cands, clients, Config{Rounds: 0, Interval: time.Minute}); err == nil {
+		t.Error("zero rounds should error")
+	}
+}

@@ -1,0 +1,316 @@
+// Package plot renders the paper's figure types as standalone SVG
+// documents using only the standard library: ECDF curves (Figures 2, 3, 6,
+// 7, 10), decile heat maps (Figures 4, 5), RTT timelines (Figure 1), and
+// density curves (Figure 9).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named sample or curve.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// XY is one named (x, y) polyline.
+type XY struct {
+	Name string
+	X, Y []float64
+}
+
+// palette holds the line colors, cycled.
+var palette = []string{
+	"#c0392b", "#2980b9", "#27ae60", "#8e44ad", "#d35400", "#16a085",
+	"#7f8c8d", "#2c3e50",
+}
+
+const (
+	width   = 640
+	height  = 400
+	marginL = 70
+	marginR = 20
+	marginT = 40
+	marginB = 55
+)
+
+type canvas struct {
+	b          strings.Builder
+	xmin, xmax float64
+	ymin, ymax float64
+	logX       bool
+}
+
+func newCanvas(title string, xmin, xmax, ymin, ymax float64, logX bool) *canvas {
+	c := &canvas{xmin: xmin, xmax: xmax, ymin: ymin, ymax: ymax, logX: logX}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&c.b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+		width/2, escape(title))
+	return c
+}
+
+// x maps a data x-coordinate onto the canvas.
+func (c *canvas) x(v float64) float64 {
+	lo, hi, val := c.xmin, c.xmax, v
+	if c.logX {
+		lo, hi, val = math.Log10(c.xmin), math.Log10(c.xmax), math.Log10(math.Max(v, c.xmin))
+	}
+	if hi == lo {
+		return marginL
+	}
+	return marginL + (val-lo)/(hi-lo)*(width-marginL-marginR)
+}
+
+func (c *canvas) y(v float64) float64 {
+	if c.ymax == c.ymin {
+		return height - marginB
+	}
+	return float64(height-marginB) - (v-c.ymin)/(c.ymax-c.ymin)*float64(height-marginT-marginB)
+}
+
+func (c *canvas) axes(xlabel, ylabel string) {
+	fmt.Fprintf(&c.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&c.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&c.b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		(marginL+width-marginR)/2, height-12, escape(xlabel))
+	fmt.Fprintf(&c.b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		(marginT+height-marginB)/2, (marginT+height-marginB)/2, escape(ylabel))
+
+	for _, t := range ticks(c.xmin, c.xmax, c.logX) {
+		px := c.x(t)
+		fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			px, height-marginB, px, height-marginB+5)
+		fmt.Fprintf(&c.b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px, height-marginB+18, tickLabel(t))
+	}
+	for _, t := range ticks(c.ymin, c.ymax, false) {
+		py := c.y(t)
+		fmt.Fprintf(&c.b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-5, py, marginL, py)
+		fmt.Fprintf(&c.b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginL-8, py+3, tickLabel(t))
+		fmt.Fprintf(&c.b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#eeeeee"/>`+"\n",
+			marginL, py, width-marginR, py)
+	}
+}
+
+func (c *canvas) polyline(xs, ys []float64, color string) {
+	if len(xs) == 0 {
+		return
+	}
+	var pts strings.Builder
+	for i := range xs {
+		fmt.Fprintf(&pts, "%.1f,%.1f ", c.x(xs[i]), c.y(ys[i]))
+	}
+	fmt.Fprintf(&c.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+		strings.TrimSpace(pts.String()), color)
+}
+
+func (c *canvas) legend(names []string) {
+	y := marginT + 4
+	for i, name := range names {
+		color := palette[i%len(palette)]
+		fmt.Fprintf(&c.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			width-marginR-150, y+4, width-marginR-130, y+4, color)
+		fmt.Fprintf(&c.b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			width-marginR-125, y+8, escape(name))
+		y += 16
+	}
+}
+
+func (c *canvas) done() string {
+	c.b.WriteString("</svg>\n")
+	return c.b.String()
+}
+
+// ECDFChart renders empirical CDFs of the samples.
+func ECDFChart(title, xlabel string, series []Series, logX bool) string {
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			xmin = math.Min(xmin, v)
+			xmax = math.Max(xmax, v)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax = 0, 1
+	}
+	if logX {
+		if xmin <= 0 {
+			xmin = 1e-3
+		}
+		if xmax <= xmin {
+			xmax = xmin * 10
+		}
+	} else if xmax == xmin {
+		xmax = xmin + 1
+	}
+	c := newCanvas(title, xmin, xmax, 0, 1, logX)
+	c.axes(xlabel, "ECDF")
+	var names []string
+	for i, s := range series {
+		if len(s.Values) == 0 {
+			continue
+		}
+		sorted := append([]float64(nil), s.Values...)
+		sort.Float64s(sorted)
+		xs := make([]float64, 0, len(sorted)*2)
+		ys := make([]float64, 0, len(sorted)*2)
+		for j, v := range sorted {
+			f0 := float64(j) / float64(len(sorted))
+			f1 := float64(j+1) / float64(len(sorted))
+			xs = append(xs, v, v)
+			ys = append(ys, f0, f1)
+		}
+		c.polyline(xs, ys, palette[i%len(palette)])
+		names = append(names, fmt.Sprintf("%s (n=%d)", s.Name, len(s.Values)))
+	}
+	c.legend(names)
+	return c.done()
+}
+
+// LineChart renders (x, y) polylines on shared axes.
+func LineChart(title, xlabel, ylabel string, lines []XY) string {
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, l := range lines {
+		for i := range l.X {
+			xmin, xmax = math.Min(xmin, l.X[i]), math.Max(xmax, l.X[i])
+			ymin, ymax = math.Min(ymin, l.Y[i]), math.Max(ymax, l.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y range slightly.
+	pad := (ymax - ymin) * 0.05
+	c := newCanvas(title, xmin, xmax, math.Max(0, ymin-pad), ymax+pad, false)
+	c.axes(xlabel, ylabel)
+	var names []string
+	for i, l := range lines {
+		c.polyline(l.X, l.Y, palette[i%len(palette)])
+		names = append(names, l.Name)
+	}
+	c.legend(names)
+	return c.done()
+}
+
+// HeatmapChart renders a 2-D binned distribution: cells shaded by value,
+// with per-cell percentages. Bin edges come with formatters.
+type HeatmapData struct {
+	XEdges, YEdges []float64
+	Cells          [][]float64 // [yi][xi], percentages
+	FmtX, FmtY     func(float64) string
+}
+
+// HeatmapChart renders the Figure 4/5 style heat map.
+func HeatmapChart(title string, h HeatmapData) string {
+	nx, ny := len(h.XEdges)-1, len(h.YEdges)-1
+	if nx < 1 || ny < 1 {
+		return ""
+	}
+	c := newCanvas(title, 0, 1, 0, 1, false)
+	maxV := 0.0
+	for _, row := range h.Cells {
+		for _, v := range row {
+			maxV = math.Max(maxV, v)
+		}
+	}
+	cw := float64(width-marginL-marginR) / float64(nx)
+	ch := float64(height-marginT-marginB) / float64(ny)
+	for yi := 0; yi < ny; yi++ {
+		for xi := 0; xi < nx; xi++ {
+			v := h.Cells[yi][xi]
+			// Higher deltas at the top: row ny-1 is drawn first (top).
+			px := float64(marginL) + float64(xi)*cw
+			py := float64(marginT) + float64(ny-1-yi)*ch
+			shade := 255
+			if maxV > 0 {
+				shade = 255 - int(200*v/maxV)
+			}
+			fmt.Fprintf(&c.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="rgb(%d,%d,255)" stroke="#ffffff"/>`+"\n",
+				px, py, cw, ch, shade, shade)
+			fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="9" text-anchor="middle">%.2f</text>`+"\n",
+				px+cw/2, py+ch/2+3, v)
+		}
+	}
+	// Edge labels.
+	for xi := 0; xi <= nx; xi++ {
+		px := float64(marginL) + float64(xi)*cw
+		fmt.Fprintf(&c.b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="8" text-anchor="middle">%s</text>`+"\n",
+			px, height-marginB+14, escape(h.FmtX(h.XEdges[xi])))
+	}
+	for yi := 0; yi <= ny; yi++ {
+		py := float64(marginT) + float64(ny-yi)*ch
+		fmt.Fprintf(&c.b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="8" text-anchor="end">%s</text>`+"\n",
+			marginL-4, py+3, escape(h.FmtY(h.YEdges[yi])))
+	}
+	return c.done()
+}
+
+// ticks returns up to ~6 pleasant tick positions covering [lo, hi].
+func ticks(lo, hi float64, logScale bool) []float64 {
+	if logScale {
+		var out []float64
+		start := math.Floor(math.Log10(math.Max(lo, 1e-12)))
+		end := math.Ceil(math.Log10(math.Max(hi, 1e-12)))
+		for e := start; e <= end; e++ {
+			t := math.Pow(10, e)
+			if t >= lo*0.999 && t <= hi*1.001 {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	step := math.Pow(10, math.Floor(math.Log10(span/5)))
+	for span/step > 7 {
+		step *= 2
+	}
+	for span/step < 3 {
+		step /= 2
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step/2; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func tickLabel(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.0fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	case av >= 0.01:
+		return fmt.Sprintf("%.2g", v)
+	default:
+		return fmt.Sprintf("%.1g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

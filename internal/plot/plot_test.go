@@ -1,0 +1,139 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed asserts the SVG parses as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg[:min(400, len(svg))])
+		}
+	}
+}
+
+func TestECDFChart(t *testing.T) {
+	svg := ECDFChart("Figure 2a", "AS paths", []Series{
+		{Name: "IPv4", Values: []float64{1, 1, 2, 2, 3, 5}},
+		{Name: "IPv6", Values: []float64{1, 2, 2, 4}},
+		{Name: "empty", Values: nil},
+	}, false)
+	wellFormed(t, svg)
+	for _, want := range []string{"Figure 2a", "IPv4 (n=6)", "IPv6 (n=4)", "polyline", "ECDF"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "empty (n=0)") {
+		t.Error("empty series should not appear in the legend")
+	}
+}
+
+func TestECDFChartLogX(t *testing.T) {
+	svg := ECDFChart("log", "ms", []Series{
+		{Name: "a", Values: []float64{1, 10, 100, 1000}},
+	}, true)
+	wellFormed(t, svg)
+	// Log ticks at powers of ten.
+	for _, want := range []string{">1<", ">10<", ">100<", ">1k<"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("log axis missing tick %q", want)
+		}
+	}
+}
+
+func TestECDFChartDegenerate(t *testing.T) {
+	wellFormed(t, ECDFChart("none", "x", nil, false))
+	wellFormed(t, ECDFChart("const", "x", []Series{{Name: "c", Values: []float64{5, 5, 5}}}, false))
+	wellFormed(t, ECDFChart("logzero", "x", []Series{{Name: "z", Values: []float64{0, 0}}}, true))
+}
+
+func TestLineChart(t *testing.T) {
+	svg := LineChart("Figure 1", "day", "RTT (ms)", []XY{
+		{Name: "IPv4", X: []float64{0, 1, 2, 3}, Y: []float64{150, 152, 260, 258}},
+		{Name: "IPv6", X: []float64{0, 1, 2, 3}, Y: []float64{140, 139, 141, 90}},
+	})
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "RTT (ms)") || !strings.Contains(svg, "IPv6") {
+		t.Error("labels missing")
+	}
+	// Degenerate inputs do not panic.
+	wellFormed(t, LineChart("empty", "x", "y", nil))
+	wellFormed(t, LineChart("flat", "x", "y", []XY{{Name: "f", X: []float64{1, 2}, Y: []float64{3, 3}}}))
+}
+
+func TestHeatmapChart(t *testing.T) {
+	h := HeatmapData{
+		XEdges: []float64{3, 24, 240},
+		YEdges: []float64{0, 10, 50},
+		Cells:  [][]float64{{1.5, 0.5}, {0.2, 2.8}},
+		FmtX:   func(v float64) string { return tickLabel(v) + "h" },
+		FmtY:   func(v float64) string { return tickLabel(v) + "ms" },
+	}
+	svg := HeatmapChart("Figure 4", h)
+	wellFormed(t, svg)
+	for _, want := range []string{"2.80", "1.50", "3h", "50ms", "rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("heatmap missing %q", want)
+		}
+	}
+	if HeatmapChart("bad", HeatmapData{}) != "" {
+		t.Error("degenerate heatmap should render empty")
+	}
+}
+
+func TestTicks(t *testing.T) {
+	ts := ticks(0, 100, false)
+	if len(ts) < 3 || len(ts) > 9 {
+		t.Errorf("ticks(0,100) = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("ticks not increasing: %v", ts)
+		}
+	}
+	if got := ticks(5, 5, false); len(got) != 1 {
+		t.Errorf("degenerate ticks = %v", got)
+	}
+	lt := ticks(1, 1000, true)
+	if len(lt) != 4 {
+		t.Errorf("log ticks = %v, want 4 powers of ten", lt)
+	}
+}
+
+func TestTickLabel(t *testing.T) {
+	cases := map[float64]string{
+		2000000: "2M",
+		50000:   "50k",
+		42:      "42",
+		0.5:     "0.5",
+		0.001:   "0.001",
+	}
+	for v, want := range cases {
+		if got := tickLabel(v); got != want {
+			t.Errorf("tickLabel(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b&"c"`); got != "a&lt;b&amp;&quot;c&quot;" {
+		t.Errorf("escape = %q", got)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,194 @@
+// Package probe implements the measurement tools the platform runs: ping,
+// classic traceroute, and Paris traceroute. Probes traverse the virtual
+// network (simnet) and emit trace records.
+//
+// Classic traceroute varies the flow identifier per probe, so per-flow load
+// balancers can send successive TTLs down different equal-cost arms and the
+// reported path is a stitch of several real paths — the artifact Paris
+// traceroute fixes by keeping the flow identifier constant [Augustin et
+// al., IMC 2006], and the reason the paper switched to Paris traceroute for
+// IPv4 in November 2014.
+package probe
+
+import (
+	"errors"
+	"net/netip"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Prober issues measurements on a virtual network.
+type Prober struct {
+	Net *simnet.Net
+
+	// DstFailProb is the probability the destination does not answer a
+	// traceroute (filtered probes, rate limiting): the traceroute is then
+	// incomplete, matching the paper's ~75% completion rate together with
+	// transient unreachability.
+	DstFailProb float64
+
+	// ArtifactProb is the probability that a classic traceroute suffers a
+	// mid-measurement path artifact (a stale hop repeated later in the
+	// output), occasionally producing AS-path loops (paper: 2.16% of IPv4,
+	// 5.5% of IPv6 traceroutes carried AS loops; v6 stayed on classic
+	// traceroute for the whole study).
+	ArtifactProb float64
+
+	// MaxTTL bounds the probed path length.
+	MaxTTL int
+}
+
+// New returns a Prober with the standard error rates.
+func New(n *simnet.Net) *Prober {
+	return &Prober{
+		Net:          n,
+		DstFailProb:  0.17,
+		ArtifactProb: 0.06,
+		MaxTTL:       64,
+	}
+}
+
+// serverAddr returns the measurement server address for the family.
+func serverAddr(c *cdn.Cluster, v6 bool) netip.Addr {
+	if v6 {
+		return c.Server6
+	}
+	return c.Server4
+}
+
+// pairFlow derives the stable flow identifier a measurement process uses
+// for a destination (fixed source/destination ports).
+func pairFlow(srcID, dstID int, v6 bool) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(int64(srcID)))
+	mix(uint64(int64(dstID)))
+	if v6 {
+		mix(7)
+	}
+	return h
+}
+
+func probeFlow(base uint64, ttl int, at time.Duration) uint64 {
+	h := base
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(ttl))
+	mix(uint64(int64(at)))
+	return h
+}
+
+// Ping measures the RTT between two measurement servers at virtual time at.
+func (p *Prober) Ping(src, dst *cdn.Cluster, v6 bool, at time.Duration) *trace.Ping {
+	rec := &trace.Ping{
+		SrcID: src.ID, DstID: dst.ID,
+		Src: serverAddr(src, v6), Dst: serverAddr(dst, v6),
+		V6: v6, At: at,
+	}
+	rng := p.Net.Rand(simnet.KindPing, src.ID, dst.ID, v6, at)
+	flowF := pairFlow(src.ID, dst.ID, v6)
+	flowR := pairFlow(dst.ID, src.ID, v6)
+
+	fwd, err := p.Net.ForwardHops(src, dst, v6, flowF, at)
+	if err != nil {
+		rec.Lost = true
+		return rec
+	}
+	rev, err := p.Net.ForwardHops(dst, src, v6, flowR, at)
+	if err != nil {
+		rec.Lost = true
+		return rec
+	}
+	cong := p.Net.CongestionDelay(fwd, len(fwd)-1, at) + p.Net.CongestionDelay(rev, len(rev)-1, at)
+	if p.Net.LostCongested(rng, cong) {
+		rec.Lost = true
+		return rec
+	}
+	base := p.Net.OneWayDelay(fwd, at) + p.Net.OneWayDelay(rev, at) + 4*p.Net.Config().ServerLinkDelay
+	rec.RTT = base + p.Net.Noise(rng, len(fwd)+len(rev))
+	return rec
+}
+
+// Traceroute measures the hop-by-hop path between two measurement servers.
+// With paris=true the flow identifier is held constant across probes.
+func (p *Prober) Traceroute(src, dst *cdn.Cluster, v6, paris bool, at time.Duration) *trace.Traceroute {
+	rec := &trace.Traceroute{
+		SrcID: src.ID, DstID: dst.ID,
+		Src: serverAddr(src, v6), Dst: serverAddr(dst, v6),
+		V6: v6, Paris: paris, At: at,
+	}
+	rng := p.Net.Rand(simnet.KindTraceroute, src.ID, dst.ID, v6, at)
+	base := pairFlow(src.ID, dst.ID, v6)
+
+	// The destination's reply travels the true reverse route.
+	revFlow := pairFlow(dst.ID, src.ID, v6)
+	rev, revErr := p.Net.ForwardHops(dst, src, v6, revFlow, at)
+
+	serverLink := p.Net.Config().ServerLinkDelay
+	dstAnswers := rng.Float64() >= p.DstFailProb
+
+	for ttl := 1; ttl <= p.MaxTTL; ttl++ {
+		flow := base
+		if !paris {
+			flow = probeFlow(base, ttl, at)
+		}
+		hops, err := p.Net.ForwardHops(src, dst, v6, flow, at)
+		if err != nil {
+			if errors.Is(err, simnet.ErrUnreachable) {
+				break // no route: empty/truncated output
+			}
+			break
+		}
+		if ttl >= len(hops) {
+			// The probe reaches the destination server.
+			if dstAnswers && revErr == nil {
+				e2e := p.Net.OneWayDelay(hops, at) + p.Net.OneWayDelay(rev, at) + 4*serverLink
+				rec.Hops = append(rec.Hops, trace.Hop{
+					Addr: serverAddr(dst, v6),
+					RTT:  e2e + p.Net.Noise(rng, len(hops)+len(rev)),
+				})
+				rec.Complete = true
+				rec.RTT = rec.Hops[len(rec.Hops)-1].RTT
+			}
+			break
+		}
+		h := hops[ttl]
+		router := p.Net.R.Router(h.Router)
+		if rng.Float64() >= router.ResponseProb {
+			rec.Hops = append(rec.Hops, trace.Hop{})
+			continue
+		}
+		// TTL-exceeded replies are assumed to return along the reversed
+		// forward segment: hop RTT ≈ 2 × (propagation + congestion) up to
+		// this hop.
+		oneWay := h.Cum + p.Net.CongestionDelay(hops, ttl, at)
+		hopRTT := 2*oneWay + 2*serverLink + p.Net.Noise(rng, ttl)
+		addr := p.Net.R.Links[h.InLink].AddrOn(h.Router, v6)
+		rec.Hops = append(rec.Hops, trace.Hop{Addr: addr, RTT: hopRTT})
+	}
+
+	// Classic traceroute artifact: a mid-measurement path change makes a
+	// stale earlier hop reappear later in the output.
+	if !paris && len(rec.Hops) >= 4 && rng.Float64() < p.ArtifactProb {
+		i := 1 + rng.Intn(len(rec.Hops)/2)
+		j := len(rec.Hops)/2 + rng.Intn(len(rec.Hops)/2)
+		if i < j && j < len(rec.Hops)-1 { // never clobber the final hop
+			rec.Hops[j] = rec.Hops[i]
+		}
+	}
+	return rec
+}

@@ -1,0 +1,206 @@
+// Package report renders analysis results as text: aligned tables, ECDF
+// quantile tables, heat maps, and density curves — the same rows and series
+// the paper's tables and figures present.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core/stats"
+)
+
+// Table writes an aligned text table.
+func Table(w io.Writer, title string, headers []string, rows [][]string) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(headers))
+		for i := range headers {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one named ECDF sample.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// ECDFQuantiles prints, for each series, the value at standard ECDF levels
+// — a textual rendering of the paper's ECDF plots.
+func ECDFQuantiles(w io.Writer, title string, series []Series, qs []float64) {
+	if len(qs) == 0 {
+		qs = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99}
+	}
+	headers := []string{"ECDF"}
+	for _, s := range series {
+		headers = append(headers, fmt.Sprintf("%s (n=%d)", s.Name, len(s.Values)))
+	}
+	var rows [][]string
+	ecdfs := make([]stats.ECDF, len(series))
+	for i, s := range series {
+		ecdfs[i] = stats.NewECDF(s.Values)
+	}
+	for _, q := range qs {
+		row := []string{fmt.Sprintf("%.2f", q)}
+		for i := range series {
+			if ecdfs[i].Len() == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f", ecdfs[i].Quantile(q)))
+		}
+		rows = append(rows, row)
+	}
+	Table(w, title, headers, rows)
+}
+
+// ECDFAt prints, for each series, the ECDF evaluated at given thresholds
+// ("fraction of timelines with ≤ x").
+func ECDFAt(w io.Writer, title string, series []Series, thresholds []float64) {
+	headers := []string{"x"}
+	for _, s := range series {
+		headers = append(headers, s.Name)
+	}
+	ecdfs := make([]stats.ECDF, len(series))
+	for i, s := range series {
+		ecdfs[i] = stats.NewECDF(s.Values)
+	}
+	var rows [][]string
+	for _, x := range thresholds {
+		row := []string{fmt.Sprintf("%g", x)}
+		for i := range series {
+			if ecdfs[i].Len() == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3f", ecdfs[i].Eval(x)))
+		}
+		rows = append(rows, row)
+	}
+	Table(w, title, headers, rows)
+}
+
+// Heatmap prints a stats.Heatmap with formatted bin edges, highest Y bins
+// first (matching the paper's orientation).
+func Heatmap(w io.Writer, title string, h *stats.Heatmap, fmtX, fmtY func(float64) string) {
+	if title != "" {
+		fmt.Fprintf(w, "%s (n=%d)\n", title, h.N)
+	}
+	headers := []string{"delta \\ lifetime"}
+	for i := 0; i+1 < len(h.XEdges); i++ {
+		headers = append(headers, fmt.Sprintf("[%s,%s)", fmtX(h.XEdges[i]), fmtX(h.XEdges[i+1])))
+	}
+	headers = append(headers, "row%")
+	rowSums := h.RowSums()
+	var rows [][]string
+	for yi := len(h.Cells) - 1; yi >= 0; yi-- {
+		row := []string{fmt.Sprintf("[%s,%s)", fmtY(h.YEdges[yi]), fmtY(h.YEdges[yi+1]))}
+		for _, v := range h.Cells[yi] {
+			row = append(row, fmt.Sprintf("%.2f", v))
+		}
+		row = append(row, fmt.Sprintf("%.1f", rowSums[yi]))
+		rows = append(rows, row)
+	}
+	Table(w, "", headers, rows)
+}
+
+// Density prints KDE curves for named samples over a shared grid.
+func Density(w io.Writer, title string, series []Series, lo, hi float64, points int) {
+	grid := stats.Grid(lo, hi, points)
+	headers := []string{"x"}
+	curves := make([][]float64, len(series))
+	for i, s := range series {
+		headers = append(headers, fmt.Sprintf("%s (n=%d)", s.Name, len(s.Values)))
+		curves[i] = stats.KDE(s.Values, 0, grid)
+	}
+	var rows [][]string
+	for gi, g := range grid {
+		row := []string{fmt.Sprintf("%.1f", g)}
+		for i := range series {
+			row = append(row, fmt.Sprintf("%.4f", curves[i][gi]))
+		}
+		rows = append(rows, row)
+	}
+	Table(w, title, headers, rows)
+}
+
+// KeyValues prints a sorted key/value block — used for headline metrics
+// and paper-vs-measured summaries.
+func KeyValues(w io.Writer, title string, kv map[string]float64) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	width := 0
+	for _, k := range keys {
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %s  %.4g\n", pad(k, width), kv[k])
+	}
+}
+
+// DurationLabel formats an hours value the way the paper labels lifetime
+// bins: hours below a day, days below ~2 months, months beyond.
+func DurationLabel(hours float64) string {
+	switch {
+	case hours < 24:
+		return fmt.Sprintf("%.1fh", hours)
+	case hours < 24*60:
+		return fmt.Sprintf("%.1fD", hours/24)
+	default:
+		return fmt.Sprintf("%.1fM", hours/(24*30))
+	}
+}
+
+// MsLabel formats a milliseconds value compactly.
+func MsLabel(ms float64) string {
+	if ms >= 1000 {
+		return fmt.Sprintf("%.1fs", ms/1000)
+	}
+	return fmt.Sprintf("%.1fms", ms)
+}

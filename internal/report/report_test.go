@@ -1,0 +1,98 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/stats"
+)
+
+func TestTable(t *testing.T) {
+	var b strings.Builder
+	Table(&b, "Title", []string{"a", "bbbb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	out := b.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "333") || !strings.Contains(out, "bbbb") {
+		t.Errorf("table body wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// Short row is padded, not panicking.
+	var b2 strings.Builder
+	Table(&b2, "", []string{"x", "y"}, [][]string{{"only"}})
+	if !strings.Contains(b2.String(), "only") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestECDFQuantilesAndAt(t *testing.T) {
+	var b strings.Builder
+	s := []Series{
+		{Name: "IPv4", Values: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+		{Name: "IPv6", Values: nil},
+	}
+	ECDFQuantiles(&b, "fig", s, []float64{0.5, 0.9})
+	out := b.String()
+	if !strings.Contains(out, "IPv4 (n=10)") || !strings.Contains(out, "5.50") {
+		t.Errorf("quantile table wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("empty series should print dashes")
+	}
+	var b2 strings.Builder
+	ECDFAt(&b2, "fig", s, []float64{5})
+	if !strings.Contains(b2.String(), "0.500") {
+		t.Errorf("ECDFAt wrong:\n%s", b2.String())
+	}
+}
+
+func TestHeatmapRendering(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ys := []float64{10, 20, 30, 40, 50, 60, 70, 80}
+	h, err := stats.DecileHeatmap(xs, ys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	Heatmap(&b, "hm", h, func(v float64) string { return DurationLabel(v) },
+		func(v float64) string { return MsLabel(v) })
+	out := b.String()
+	if !strings.Contains(out, "hm (n=8)") || !strings.Contains(out, "row%") {
+		t.Errorf("heatmap output wrong:\n%s", out)
+	}
+}
+
+func TestDensityAndKeyValues(t *testing.T) {
+	var b strings.Builder
+	Density(&b, "d", []Series{{Name: "all", Values: []float64{20, 25, 30}}}, 0, 50, 6)
+	if !strings.Contains(b.String(), "all (n=3)") {
+		t.Errorf("density output wrong:\n%s", b.String())
+	}
+	var b2 strings.Builder
+	KeyValues(&b2, "metrics", map[string]float64{"b": 2, "a": 1.5})
+	out := b2.String()
+	ai := strings.Index(out, "a ")
+	bi := strings.Index(out, "b ")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Errorf("keyvalues not sorted:\n%s", out)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if DurationLabel(5) != "5.0h" {
+		t.Errorf("hours label = %s", DurationLabel(5))
+	}
+	if DurationLabel(48) != "2.0D" {
+		t.Errorf("days label = %s", DurationLabel(48))
+	}
+	if DurationLabel(24*90) != "3.0M" {
+		t.Errorf("months label = %s", DurationLabel(24*90))
+	}
+	if MsLabel(26.1) != "26.1ms" || MsLabel(2500) != "2.5s" {
+		t.Error("ms labels wrong")
+	}
+}

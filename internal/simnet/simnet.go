@@ -1,0 +1,274 @@
+// Package simnet is the virtual network the measurement tools probe: it
+// composes the router-level topology (itopo), time-varying BGP routing
+// (bgp.Dynamics), the congestion model, and a deterministic noise model
+// into path- and RTT-oracles addressed by cluster pairs and virtual time.
+//
+// Determinism: every stochastic quantity (jitter, spikes, losses) is drawn
+// from a PRNG seeded by a hash of (seed, src, dst, time, family, kind), so
+// a measurement's outcome is a pure function of its coordinates — identical
+// campaigns produce identical datasets regardless of execution order.
+package simnet
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/cdn"
+	"repro/internal/congestion"
+	"repro/internal/ipam"
+	"repro/internal/itopo"
+)
+
+// ErrUnreachable is returned when no route exists between the endpoints at
+// the measurement time (e.g. a partition, or IPv6 between v4-only hosts).
+var ErrUnreachable = errors.New("simnet: destination unreachable")
+
+// maxCachedPaths bounds the per-family resolved-path cache.
+const maxCachedPaths = 1 << 16
+
+// Config tunes the measurement-visible noise floor.
+type Config struct {
+	Seed int64
+
+	// ServerLinkDelay is the one-way delay between a measurement server
+	// and its attachment router.
+	ServerLinkDelay time.Duration
+
+	// HopJitter is the per-hop jitter scale (half-normal).
+	HopJitter time.Duration
+
+	// SpikeProb and SpikeMean shape the occasional large RTT spikes the
+	// paper calls "a typical feature of repeated measurements".
+	SpikeProb float64
+	SpikeMean time.Duration
+
+	// LossProb is the baseline ping-loss probability. CongestionLossPerMs
+	// adds loss proportional to the congestion queueing delay on the path
+	// (full buffers drop packets), so loss correlates with the §5.1
+	// diurnal pattern.
+	LossProb            float64
+	CongestionLossPerMs float64
+}
+
+// DefaultConfig returns the standard noise parameters.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:                seed,
+		ServerLinkDelay:     250 * time.Microsecond,
+		HopJitter:           120 * time.Microsecond,
+		SpikeProb:           0.012,
+		SpikeMean:           30 * time.Millisecond,
+		LossProb:            0.004,
+		CongestionLossPerMs: 0.0006,
+	}
+}
+
+// Net is the virtual network.
+type Net struct {
+	R    *itopo.Network
+	Dyn  *bgp.Dynamics
+	Cong *congestion.Model
+	cfg  Config
+
+	// Per-epoch resolved-path cache; cleared when the epoch advances.
+	// Guarded by cacheMu: probers may run on several goroutines.
+	cacheMu    sync.Mutex
+	cacheEpoch [2]int
+	cache      [2]map[pathKey][]itopo.PathHop
+}
+
+type pathKey struct {
+	src, dst itopo.RouterID
+	flow     uint64
+	asHash   uint64
+}
+
+// New assembles a virtual network. cong may be nil for a congestion-free
+// network.
+func New(r *itopo.Network, dyn *bgp.Dynamics, cong *congestion.Model, cfg Config) *Net {
+	n := &Net{R: r, Dyn: dyn, Cong: cong, cfg: cfg}
+	n.cache[0] = make(map[pathKey][]itopo.PathHop)
+	n.cache[1] = make(map[pathKey][]itopo.PathHop)
+	n.cacheEpoch = [2]int{-1, -1}
+	return n
+}
+
+// Config returns the noise configuration.
+func (n *Net) Config() Config { return n.cfg }
+
+// plane maps a family flag onto the BGP plane.
+func plane(v6 bool) bgp.Plane {
+	if v6 {
+		return bgp.V6
+	}
+	return bgp.V4
+}
+
+// ASPath returns the AS-level route between the clusters' host ASes at
+// time t, or nil when unreachable.
+func (n *Net) ASPath(src, dst *cdn.Cluster, v6 bool, t time.Duration) []ipam.ASN {
+	if v6 && (!src.DualStack() || !dst.DualStack()) {
+		return nil
+	}
+	return n.Dyn.RoutingAt(t, plane(v6)).Path(src.HostAS, dst.HostAS)
+}
+
+// ForwardHops resolves the router-level path from src's attachment router
+// to dst's at time t for the given flow. The first hop is src's attachment
+// router with zero cumulative delay.
+func (n *Net) ForwardHops(src, dst *cdn.Cluster, v6 bool, flowID uint64, t time.Duration) ([]itopo.PathHop, error) {
+	asPath := n.ASPath(src, dst, v6, t)
+	if asPath == nil {
+		return nil, ErrUnreachable
+	}
+	return n.resolveCached(src.Attach, dst.Attach, asPath, v6, flowID, t)
+}
+
+func (n *Net) resolveCached(sr, dr itopo.RouterID, asPath []ipam.ASN, v6 bool, flowID uint64, t time.Duration) ([]itopo.PathHop, error) {
+	fi := 0
+	if v6 {
+		fi = 1
+	}
+	epoch := n.Dyn.EpochAt(t)
+	key := pathKey{sr, dr, flowID, hashASPath(asPath)}
+	n.cacheMu.Lock()
+	if n.cacheEpoch[fi] != epoch {
+		n.cache[fi] = make(map[pathKey][]itopo.PathHop)
+		n.cacheEpoch[fi] = epoch
+	}
+	if hops, ok := n.cache[fi][key]; ok {
+		n.cacheMu.Unlock()
+		return hops, nil
+	}
+	n.cacheMu.Unlock()
+	hops, err := n.R.ResolvePath(sr, dr, asPath, v6, flowID)
+	if err != nil {
+		return nil, err
+	}
+	n.cacheMu.Lock()
+	// Classic traceroute uses per-probe flows that never repeat, so the
+	// cache is bounded to keep long campaigns from accumulating entries.
+	if n.cacheEpoch[fi] == epoch {
+		if len(n.cache[fi]) >= maxCachedPaths {
+			n.cache[fi] = make(map[pathKey][]itopo.PathHop)
+		}
+		n.cache[fi][key] = hops
+	}
+	n.cacheMu.Unlock()
+	return hops, nil
+}
+
+// OneWayDelay returns the propagation delay of the resolved path plus the
+// congestion queueing delay active on its links at time t.
+func (n *Net) OneWayDelay(hops []itopo.PathHop, t time.Duration) time.Duration {
+	if len(hops) == 0 {
+		return 0
+	}
+	d := hops[len(hops)-1].Cum
+	d += n.CongestionDelay(hops, len(hops)-1, t)
+	return d
+}
+
+// CongestionDelay sums the congestion delay on the inbound links of
+// hops[1..upto] at time t.
+func (n *Net) CongestionDelay(hops []itopo.PathHop, upto int, t time.Duration) time.Duration {
+	if n.Cong == nil {
+		return 0
+	}
+	var d time.Duration
+	for i := 1; i <= upto && i < len(hops); i++ {
+		if hops[i].InLink >= 0 {
+			d += n.Cong.DelayOn(hops[i].InLink, t)
+		}
+	}
+	return d
+}
+
+// BaseRTT returns the noise-free round-trip time between two clusters at
+// time t: forward path (flow flowF) out, independent reverse path (flow
+// flowR) back, plus the server attachment links. Paths may be asymmetric —
+// the reverse direction is routed from dst's side.
+func (n *Net) BaseRTT(src, dst *cdn.Cluster, v6 bool, flowF, flowR uint64, t time.Duration) (time.Duration, error) {
+	fwd, err := n.ForwardHops(src, dst, v6, flowF, t)
+	if err != nil {
+		return 0, err
+	}
+	rev, err := n.ForwardHops(dst, src, v6, flowR, t)
+	if err != nil {
+		return 0, err
+	}
+	return n.OneWayDelay(fwd, t) + n.OneWayDelay(rev, t) + 4*n.cfg.ServerLinkDelay, nil
+}
+
+// MeasurementKind salts the per-measurement PRNG so that, e.g., a ping and
+// a traceroute at the same coordinates see different noise.
+type MeasurementKind uint8
+
+// Measurement kinds.
+const (
+	KindPing MeasurementKind = iota
+	KindTraceroute
+)
+
+// Rand returns the deterministic PRNG for one measurement.
+func (n *Net) Rand(kind MeasurementKind, srcID, dstID int, v6 bool, at time.Duration) *rand.Rand {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(n.cfg.Seed))
+	mix(uint64(kind))
+	mix(uint64(int64(srcID)))
+	mix(uint64(int64(dstID)))
+	mix(uint64(int64(at)))
+	if v6 {
+		mix(1)
+	} else {
+		mix(2)
+	}
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// Noise draws the additive measurement noise for a path of the given hop
+// count: per-hop half-normal jitter plus an occasional exponential spike.
+func (n *Net) Noise(rng *rand.Rand, hopCount int) time.Duration {
+	var d time.Duration
+	for i := 0; i < hopCount; i++ {
+		d += time.Duration(math.Abs(rng.NormFloat64()) * float64(n.cfg.HopJitter))
+	}
+	if rng.Float64() < n.cfg.SpikeProb {
+		d += time.Duration(rng.ExpFloat64() * float64(n.cfg.SpikeMean))
+	}
+	return d
+}
+
+// Lost reports whether a ping is dropped (independent of reachability).
+func (n *Net) Lost(rng *rand.Rand) bool { return rng.Float64() < n.cfg.LossProb }
+
+// LostCongested reports a drop given the congestion queueing delay the
+// packet met: baseline loss plus CongestionLossPerMs per millisecond.
+func (n *Net) LostCongested(rng *rand.Rand, congestion time.Duration) bool {
+	p := n.cfg.LossProb + n.cfg.CongestionLossPerMs*float64(congestion)/float64(time.Millisecond)
+	return rng.Float64() < p
+}
+
+func hashASPath(p []ipam.ASN) uint64 {
+	h := uint64(14695981039346656037)
+	for _, a := range p {
+		v := uint64(a)
+		for i := 0; i < 4; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	return h
+}

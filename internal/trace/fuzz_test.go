@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzBinaryReader asserts the decoder never panics or allocates absurdly
+// on arbitrary input, and that valid records round-trip through a
+// re-encode.
+func FuzzBinaryReader(f *testing.F) {
+	// Seed with a valid stream.
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	_ = w.WriteTraceroute(sampleTraceroute())
+	_ = w.WritePing(samplePing())
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xA1})
+	f.Add([]byte{0xA2, 0xFF, 0xFF})
+	f.Add([]byte{0xA1, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 1, 2, 3, 4, 0x00, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewBinaryReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			rec, err := r.Next()
+			if err != nil {
+				return // io.EOF or a parse error: both fine
+			}
+			// Any successfully decoded record must re-encode and decode to
+			// an equivalent record.
+			var out bytes.Buffer
+			w := NewBinaryWriter(&out)
+			switch v := rec.(type) {
+			case *Traceroute:
+				if err := w.WriteTraceroute(v); err != nil {
+					t.Fatalf("re-encode traceroute: %v", err)
+				}
+			case *Ping:
+				if err := w.WritePing(v); err != nil {
+					t.Fatalf("re-encode ping: %v", err)
+				}
+			default:
+				t.Fatalf("unknown record type %T", rec)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			r2 := NewBinaryReader(bytes.NewReader(out.Bytes()))
+			if _, err := r2.Next(); err != nil && err != io.EOF {
+				t.Fatalf("decode of re-encoded record failed: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,78 @@
+// Package trace defines the measurement record model shared by the probing
+// tools and the analysis pipeline: traceroute records with per-hop
+// addresses and RTTs, ping records, and streaming encodings (JSON lines for
+// interoperability, a compact binary framing for bulk storage).
+package trace
+
+import (
+	"net/netip"
+	"time"
+)
+
+// Hop is one traceroute hop. An unresponsive hop has an invalid Addr and
+// zero RTT — exactly what a '*' line in traceroute output conveys.
+type Hop struct {
+	Addr netip.Addr    `json:"addr,omitempty"`
+	RTT  time.Duration `json:"rtt,omitempty"`
+}
+
+// Responsive reports whether the hop answered.
+func (h Hop) Responsive() bool { return h.Addr.IsValid() }
+
+// Traceroute is one traceroute measurement between two servers.
+type Traceroute struct {
+	// SrcID/DstID identify the measurement servers (cluster ids).
+	SrcID int        `json:"src_id"`
+	DstID int        `json:"dst_id"`
+	Src   netip.Addr `json:"src"`
+	Dst   netip.Addr `json:"dst"`
+	V6    bool       `json:"v6,omitempty"`
+	// Paris records whether the Paris traceroute algorithm was used.
+	Paris bool `json:"paris,omitempty"`
+	// At is the virtual time offset from campaign start.
+	At time.Duration `json:"at"`
+	// Hops lists intermediate routers and the destination (when reached).
+	Hops []Hop `json:"hops"`
+	// Complete reports whether the destination answered; RTT is the
+	// end-to-end round-trip time and is only meaningful when Complete.
+	Complete bool          `json:"complete"`
+	RTT      time.Duration `json:"rtt,omitempty"`
+}
+
+// Ping is one ping measurement between two servers.
+type Ping struct {
+	SrcID int           `json:"src_id"`
+	DstID int           `json:"dst_id"`
+	Src   netip.Addr    `json:"src"`
+	Dst   netip.Addr    `json:"dst"`
+	V6    bool          `json:"v6,omitempty"`
+	At    time.Duration `json:"at"`
+	RTT   time.Duration `json:"rtt,omitempty"`
+	Lost  bool          `json:"lost,omitempty"`
+}
+
+// PairKey identifies a directed server pair on one protocol — the unit the
+// paper calls a "trace timeline" (all traceroutes from server A to server B
+// over one protocol, ordered by time).
+type PairKey struct {
+	SrcID, DstID int
+	V6           bool
+}
+
+// Key returns the timeline key of the traceroute.
+func (tr *Traceroute) Key() PairKey { return PairKey{tr.SrcID, tr.DstID, tr.V6} }
+
+// Key returns the timeline key of the ping.
+func (p *Ping) Key() PairKey { return PairKey{p.SrcID, p.DstID, p.V6} }
+
+// Reverse returns the key of the opposite direction.
+func (k PairKey) Reverse() PairKey { return PairKey{k.DstID, k.SrcID, k.V6} }
+
+// Undirected returns the key with the lower id first, for grouping the two
+// directions of a server pair.
+func (k PairKey) Undirected() PairKey {
+	if k.SrcID > k.DstID {
+		k.SrcID, k.DstID = k.DstID, k.SrcID
+	}
+	return k
+}

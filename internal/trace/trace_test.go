@@ -1,0 +1,264 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sampleTraceroute() *Traceroute {
+	return &Traceroute{
+		SrcID: 3, DstID: 9,
+		Src:      netip.MustParseAddr("4.0.128.1"),
+		Dst:      netip.MustParseAddr("4.7.128.1"),
+		V6:       false,
+		Paris:    true,
+		At:       36 * time.Hour,
+		Complete: true,
+		RTT:      83 * time.Millisecond,
+		Hops: []Hop{
+			{Addr: netip.MustParseAddr("4.0.0.1"), RTT: 1 * time.Millisecond},
+			{}, // unresponsive
+			{Addr: netip.MustParseAddr("193.200.0.5"), RTT: 40 * time.Millisecond},
+			{Addr: netip.MustParseAddr("4.7.128.1"), RTT: 83 * time.Millisecond},
+		},
+	}
+}
+
+func samplePing() *Ping {
+	return &Ping{
+		SrcID: 1, DstID: 2,
+		Src: netip.MustParseAddr("2400::1"),
+		Dst: netip.MustParseAddr("2400:1::1"),
+		V6:  true,
+		At:  15 * time.Minute,
+		RTT: 12 * time.Millisecond,
+	}
+}
+
+func TestHopResponsive(t *testing.T) {
+	if (Hop{}).Responsive() {
+		t.Error("empty hop should be unresponsive")
+	}
+	if !(Hop{Addr: netip.MustParseAddr("1.2.3.4")}).Responsive() {
+		t.Error("addressed hop should be responsive")
+	}
+}
+
+func TestPairKeys(t *testing.T) {
+	tr := sampleTraceroute()
+	k := tr.Key()
+	if k != (PairKey{3, 9, false}) {
+		t.Errorf("Key = %+v", k)
+	}
+	if k.Reverse() != (PairKey{9, 3, false}) {
+		t.Errorf("Reverse = %+v", k.Reverse())
+	}
+	if k.Undirected() != (PairKey{3, 9, false}) {
+		t.Errorf("Undirected = %+v", k.Undirected())
+	}
+	if k.Reverse().Undirected() != k.Undirected() {
+		t.Error("both directions should share an undirected key")
+	}
+	p := samplePing()
+	if p.Key() != (PairKey{1, 2, true}) {
+		t.Errorf("ping key = %+v", p.Key())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	tr := sampleTraceroute()
+	if err := w.WriteTraceroute(tr); err != nil {
+		t.Fatal(err)
+	}
+	p := samplePing()
+	if err := w.WritePing(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("missing first line")
+	}
+	var tr2 Traceroute
+	if err := json.Unmarshal(sc.Bytes(), &tr2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*tr, tr2) {
+		t.Errorf("traceroute round trip mismatch:\n%+v\n%+v", *tr, tr2)
+	}
+	if !sc.Scan() {
+		t.Fatal("missing second line")
+	}
+	var p2 Ping
+	if err := json.Unmarshal(sc.Bytes(), &p2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*p, p2) {
+		t.Errorf("ping round trip mismatch:\n%+v\n%+v", *p, p2)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	tr := sampleTraceroute()
+	p := samplePing()
+	if err := w.WriteTraceroute(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePing(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewBinaryReader(&buf)
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, ok := rec.(*Traceroute)
+	if !ok {
+		t.Fatalf("first record is %T", rec)
+	}
+	if !reflect.DeepEqual(tr, tr2) {
+		t.Errorf("traceroute mismatch:\n%+v\n%+v", tr, tr2)
+	}
+	rec, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, ok := rec.(*Ping)
+	if !ok {
+		t.Fatalf("second record is %T", rec)
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Errorf("ping mismatch:\n%+v\n%+v", p, p2)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestBinaryRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	var want []*Traceroute
+	for i := 0; i < 200; i++ {
+		tr := &Traceroute{
+			SrcID: rng.Intn(1000), DstID: rng.Intn(1000),
+			V6:       rng.Intn(2) == 1,
+			Paris:    rng.Intn(2) == 1,
+			Complete: rng.Intn(2) == 1,
+			At:       time.Duration(rng.Int63n(int64(485 * 24 * time.Hour))),
+			RTT:      time.Duration(rng.Int63n(int64(300 * time.Millisecond))),
+		}
+		if tr.V6 {
+			tr.Src = randAddr6(rng)
+			tr.Dst = randAddr6(rng)
+		} else {
+			tr.Src = randAddr4(rng)
+			tr.Dst = randAddr4(rng)
+		}
+		n := rng.Intn(20)
+		for h := 0; h < n; h++ {
+			if rng.Float64() < 0.2 {
+				tr.Hops = append(tr.Hops, Hop{})
+				continue
+			}
+			a := randAddr4(rng)
+			if tr.V6 {
+				a = randAddr6(rng)
+			}
+			tr.Hops = append(tr.Hops, Hop{Addr: a, RTT: time.Duration(rng.Int63n(int64(200 * time.Millisecond)))})
+		}
+		if err := w.WriteTraceroute(tr); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tr)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewBinaryReader(&buf)
+	for i, tr := range want {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		got := rec.(*Traceroute)
+		if !tracerouteEq(tr, got) {
+			t.Fatalf("record %d mismatch:\n%+v\n%+v", i, tr, got)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+// tracerouteEq compares records treating nil and empty hop slices equal.
+func tracerouteEq(a, b *Traceroute) bool {
+	if len(a.Hops) != len(b.Hops) {
+		return false
+	}
+	for i := range a.Hops {
+		if a.Hops[i] != b.Hops[i] {
+			return false
+		}
+	}
+	return a.SrcID == b.SrcID && a.DstID == b.DstID &&
+		a.Src == b.Src && a.Dst == b.Dst &&
+		a.V6 == b.V6 && a.Paris == b.Paris && a.Complete == b.Complete &&
+		a.At == b.At && a.RTT == b.RTT
+}
+
+func TestBinaryReaderRejectsGarbage(t *testing.T) {
+	r := NewBinaryReader(bytes.NewReader([]byte{0xFF, 0x00}))
+	if _, err := r.Next(); err == nil {
+		t.Error("expected error on bad magic")
+	}
+	// Truncated traceroute record.
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.WriteTraceroute(sampleTraceroute()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	r = NewBinaryReader(bytes.NewReader(trunc))
+	if _, err := r.Next(); err == nil {
+		t.Error("expected error on truncated record")
+	}
+}
+
+func randAddr4(rng *rand.Rand) netip.Addr {
+	var b [4]byte
+	rng.Read(b[:])
+	return netip.AddrFrom4(b)
+}
+
+func randAddr6(rng *rand.Rand) netip.Addr {
+	var b [16]byte
+	rng.Read(b[:])
+	a := netip.AddrFrom16(b)
+	if a.Is4In6() {
+		b[0] = 0x20
+		a = netip.AddrFrom16(b)
+	}
+	return a
+}

@@ -1,0 +1,294 @@
+// Package s2s is a Go reproduction of "A Server-to-Server View of the
+// Internet" (Chandrasekaran, Smaragdakis, Berger, Luckie, Ng — CoNEXT
+// 2015): the measurement methodology and analyses of the paper, plus a
+// deterministic simulation of everything the paper's production platform
+// provided — an Internet core (AS-level topology with Gao–Rexford policy
+// routing, router-level forwarding, IXPs, dual-stack addressing,
+// congestion) and a globally deployed CDN measurement platform.
+//
+// The package is a facade over the implementation packages:
+//
+//	geo, ipam, astopo, bgp, itopo, congestion, simnet, cdn  — substrates
+//	probe, campaign, trace                                  — measurement
+//	core/{aspath,timeline,stats,fft,congest,ownership,
+//	      dualstack,relinfer,changepoint}                   — analyses
+//	experiments, report, plot, mapping                      — reproduction
+//
+// Quick start:
+//
+//	env, err := s2s.NewEnv(s2s.TestScale(1))
+//	if err != nil { ... }
+//	res, err := s2s.MustExperiment("T1").Run(env)
+//	fmt.Print(res.Text)
+//
+// Or build the pieces directly:
+//
+//	study, err := s2s.NewStudy(s2s.StudyConfig{Seed: 1, ASes: 150, Clusters: 150, Days: 30})
+//	tr := study.Prober.Traceroute(study.Platform.Clusters[0], study.Platform.Clusters[1], false, true, 0)
+package s2s
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/bgp"
+	"repro/internal/campaign"
+	"repro/internal/cdn"
+	"repro/internal/congestion"
+	"repro/internal/core/aspath"
+	"repro/internal/core/changepoint"
+	"repro/internal/core/congest"
+	"repro/internal/core/dualstack"
+	"repro/internal/core/fft"
+	"repro/internal/core/ownership"
+	"repro/internal/core/relinfer"
+	"repro/internal/core/stats"
+	"repro/internal/core/timeline"
+	"repro/internal/experiments"
+	"repro/internal/geo"
+	"repro/internal/ipam"
+	"repro/internal/itopo"
+	"repro/internal/probe"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Core identity types.
+type (
+	// ASN is an autonomous system number.
+	ASN = ipam.ASN
+	// ASPath is an AS-level path.
+	ASPath = aspath.Path
+	// City is a geographic location from the built-in database.
+	City = geo.City
+)
+
+// Substrate types.
+type (
+	// Topology is the AS-level graph.
+	Topology = astopo.Topology
+	// TopologyConfig parameterizes AS-graph generation.
+	TopologyConfig = astopo.Config
+	// Network is the router-level network.
+	Network = itopo.Network
+	// NetworkConfig parameterizes router-level materialization.
+	NetworkConfig = itopo.Config
+	// Dynamics is the time-varying BGP routing.
+	Dynamics = bgp.Dynamics
+	// CongestionModel is the diurnal link-congestion model.
+	CongestionModel = congestion.Model
+	// Platform is the deployed CDN.
+	Platform = cdn.Platform
+	// Cluster is one CDN server cluster.
+	Cluster = cdn.Cluster
+	// VirtualNet is the probe-able virtual network.
+	VirtualNet = simnet.Net
+)
+
+// Measurement types.
+type (
+	// Prober issues pings and traceroutes.
+	Prober = probe.Prober
+	// Traceroute is one traceroute record.
+	Traceroute = trace.Traceroute
+	// Ping is one ping record.
+	Ping = trace.Ping
+	// Hop is one traceroute hop.
+	Hop = trace.Hop
+	// PairKey identifies a directed server pair on one protocol.
+	PairKey = trace.PairKey
+	// Consumer receives campaign records.
+	Consumer = campaign.Consumer
+	// Collector is an in-memory Consumer.
+	Collector = campaign.Collector
+)
+
+// Analysis types.
+type (
+	// Mapper infers AS paths from traceroutes.
+	Mapper = aspath.Mapper
+	// TimelineBuilder groups traceroutes into trace timelines.
+	TimelineBuilder = timeline.Builder
+	// Timeline is one directed pair's traceroute time series.
+	Timeline = timeline.Timeline
+	// Detector flags consistent congestion (§5.1).
+	Detector = congest.Detector
+	// Localizer finds the congested segment (§5.2).
+	Localizer = congest.Localizer
+	// OwnershipInferencer runs the §5.3 heuristics.
+	OwnershipInferencer = ownership.Inferencer
+	// ECDF is an empirical CDF.
+	ECDF = stats.ECDF
+)
+
+// Experiment-harness types.
+type (
+	// Scale sizes the simulation and campaigns.
+	Scale = experiments.Scale
+	// Env is the shared simulation environment for experiments.
+	Env = experiments.Env
+	// Result is one reproduced table or figure.
+	Result = experiments.Result
+	// Experiment binds an identifier to its runner.
+	Experiment = experiments.Experiment
+)
+
+// Scales.
+var (
+	// TestScale is a tiny configuration (unit tests, quick demos).
+	TestScale = experiments.TestScale
+	// DefaultScale is the laptop-scale configuration.
+	DefaultScale = experiments.DefaultScale
+	// FullScale approaches the paper's campaign shape.
+	FullScale = experiments.FullScale
+)
+
+// NewEnv builds the simulation environment for a scale.
+func NewEnv(sc Scale) (*Env, error) { return experiments.NewEnv(sc) }
+
+// Experiments returns every reproduced table/figure in presentation order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID returns the experiment with the given identifier (T1,
+// F1…F10b, S51, S53, HL, AB-…).
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
+
+// MustExperiment is ExperimentByID that panics on unknown ids.
+func MustExperiment(id string) Experiment {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		panic(fmt.Sprintf("s2s: unknown experiment %q", id))
+	}
+	return e
+}
+
+// StudyConfig sizes a standalone Study.
+type StudyConfig struct {
+	Seed     int64
+	ASes     int // AS-graph size (≥ ~50)
+	Clusters int // deployed CDN clusters (≥ 2)
+	Days     int // virtual-time horizon for routing/congestion dynamics
+}
+
+// Study bundles a ready-to-probe simulated Internet + CDN platform for
+// programs that want the substrate without the experiment harness.
+type Study struct {
+	Topo     *Topology
+	Net      *Network
+	Dyn      *Dynamics
+	Cong     *CongestionModel
+	Platform *Platform
+	Sim      *VirtualNet
+	Prober   *Prober
+}
+
+// NewStudy builds a Study.
+func NewStudy(cfg StudyConfig) (*Study, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("s2s: Days must be positive")
+	}
+	duration := time.Duration(cfg.Days) * 24 * time.Hour
+	acfg := astopo.DefaultConfig(cfg.Seed)
+	if cfg.ASes > 0 {
+		acfg.NumASes = cfg.ASes
+	}
+	topo, err := astopo.Generate(acfg)
+	if err != nil {
+		return nil, err
+	}
+	net, err := itopo.Build(topo, itopo.DefaultConfig(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	dyn, err := bgp.NewDynamics(topo, bgp.DefaultDynConfig(cfg.Seed, duration))
+	if err != nil {
+		return nil, err
+	}
+	cong, err := congestion.NewModel(net, congestion.DefaultConfig(cfg.Seed, duration))
+	if err != nil {
+		return nil, err
+	}
+	platform, err := cdn.Deploy(net, cdn.DefaultConfig(cfg.Seed, cfg.Clusters))
+	if err != nil {
+		return nil, err
+	}
+	sim := simnet.New(net, dyn, cong, simnet.DefaultConfig(cfg.Seed))
+	return &Study{
+		Topo:     topo,
+		Net:      net,
+		Dyn:      dyn,
+		Cong:     cong,
+		Platform: platform,
+		Sim:      sim,
+		Prober:   probe.New(sim),
+	}, nil
+}
+
+// SelectMesh picks up to n dual-stack clusters spread across the platform.
+func (s *Study) SelectMesh(n int, seed int64) []*Cluster {
+	return campaign.SelectMesh(s.Platform, n, seed)
+}
+
+// NewMapper returns an AS-path mapper over the study's BGP view.
+func (s *Study) NewMapper() *Mapper { return aspath.NewMapper(s.Net.BGP) }
+
+// RunAll executes every experiment against a fresh environment at the
+// given scale, writing each result's text and paper-vs-measured summary.
+func RunAll(w io.Writer, sc Scale) error {
+	env, err := NewEnv(sc)
+	if err != nil {
+		return err
+	}
+	for _, exp := range Experiments() {
+		res, err := exp.Run(env)
+		if err != nil {
+			return fmt.Errorf("s2s: %s: %w", exp.ID, err)
+		}
+		fmt.Fprintln(w, res.Text)
+		fmt.Fprintln(w, res.Summary())
+	}
+	return nil
+}
+
+// Dual-stack analysis conveniences (Figure 10).
+var (
+	// RTTDifferences pairs v4/v6 traceroutes and returns RTTv4−RTTv6 (ms).
+	RTTDifferences = dualstack.Differences
+	// DiurnalRatio is the fraction of a series' energy at f = 1/day.
+	DiurnalRatio = fft.DiurnalRatio
+)
+
+// NewTimelineBuilder returns a trace-timeline builder over a mapper at the
+// given measurement cadence.
+func NewTimelineBuilder(m *Mapper, interval time.Duration) *TimelineBuilder {
+	return timeline.NewBuilder(m, interval)
+}
+
+// NewDetector returns the §5.1 congestion detector with the paper's
+// thresholds (≥10 ms p95−p5 variation, diurnal power ratio ≥ 0.3).
+func NewDetector() Detector { return congest.DefaultDetector() }
+
+// NewLocalizer returns the §5.2 congested-segment localizer with the
+// paper's parameters (ρ ≥ 0.5, static IP-level path, 30-minute cadence).
+func NewLocalizer() Localizer { return congest.DefaultLocalizer() }
+
+// BuildPingSeries folds ping records into evenly spaced per-pair RTT
+// series, dropping pairs with fewer than minSamples received samples.
+var BuildPingSeries = congest.BuildSeries
+
+// SummarizeCongestion runs the detector over ping series, split by
+// protocol (§5.1).
+var SummarizeCongestion = congest.Summarize
+
+// DetectLevelShifts finds RTT level shifts (Figure 1) by binary
+// segmentation over a median-filtered series.
+var DetectLevelShifts = changepoint.DetectRobust
+
+// InferRelationships runs Gao-style AS-relationship inference over
+// observed AS paths — the stand-in for the CAIDA inferences the paper
+// consumes (§5.3).
+func InferRelationships(paths []ASPath) *relinfer.Inferred {
+	return relinfer.Infer(paths, relinfer.DefaultConfig())
+}

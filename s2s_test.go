@@ -1,0 +1,103 @@
+package s2s
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStudyEndToEnd(t *testing.T) {
+	study, err := NewStudy(StudyConfig{Seed: 5, ASes: 120, Clusters: 80, Days: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := study.SelectMesh(6, 5)
+	if len(mesh) != 6 {
+		t.Fatalf("mesh = %d", len(mesh))
+	}
+	src, dst := mesh[0], mesh[1]
+
+	ping := study.Prober.Ping(src, dst, false, time.Hour)
+	if ping.SrcID != src.ID {
+		t.Error("ping metadata wrong")
+	}
+	tr := study.Prober.Traceroute(src, dst, false, true, time.Hour)
+	if tr.Complete {
+		res := study.NewMapper().Infer(tr)
+		if len(res.Path) == 0 {
+			t.Error("empty AS path for complete traceroute")
+		}
+	}
+
+	builder := NewTimelineBuilder(study.NewMapper(), 3*time.Hour)
+	for at := time.Duration(0); at < 24*time.Hour; at += 3 * time.Hour {
+		builder.Add(study.Prober.Traceroute(src, dst, false, true, at))
+	}
+	if builder.TallyV4.Total == 0 && builder.Incomplete == 0 {
+		t.Error("builder consumed nothing")
+	}
+}
+
+func TestStudyRejectsBadConfig(t *testing.T) {
+	if _, err := NewStudy(StudyConfig{Seed: 1, ASes: 120, Clusters: 80, Days: 0}); err == nil {
+		t.Error("zero days should error")
+	}
+	if _, err := NewStudy(StudyConfig{Seed: 1, ASes: 5, Clusters: 80, Days: 7}); err == nil {
+		t.Error("tiny AS count should error")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	all := Experiments()
+	if len(all) < 19 {
+		t.Fatalf("experiments = %d, want >= 19", len(all))
+	}
+	if _, ok := ExperimentByID("T1"); !ok {
+		t.Error("T1 missing")
+	}
+	if _, ok := ExperimentByID("bogus"); ok {
+		t.Error("bogus id should miss")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExperiment should panic on unknown id")
+		}
+	}()
+	MustExperiment("bogus")
+}
+
+func TestRunAllAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	sc := TestScale(31)
+	// Shrink further: this exercises plumbing, not statistics.
+	sc.LongTermDays = 8
+	sc.MeshSize = 6
+	sc.PingMeshSize = 12
+	sc.ShortTermDays = 2
+	sc.ShortPairs = 6
+	sc.LocalizeDays = 3
+	var sb strings.Builder
+	if err := RunAll(&sb, sc); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"[T1]", "[F2]", "[F10a]", "[S51]", "[HL]"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("RunAll output missing %s", id)
+		}
+	}
+}
+
+func TestDiurnalRatioFacade(t *testing.T) {
+	xs := make([]float64, 672)
+	for i := range xs {
+		if i%96 < 24 {
+			xs[i] = 30
+		}
+	}
+	if DiurnalRatio(xs, 15*time.Minute) <= 0 {
+		t.Error("diurnal ratio should be positive for a periodic series")
+	}
+}
