@@ -33,6 +33,7 @@ func main() {
 		data     = flag.String("data", "dataset.bin", "dataset path (binary records written by s2sgen)")
 		analysis = flag.String("analysis", "table1", "analysis: summary, table1, paths, changes, dualstack, congestion")
 		interval = flag.Duration("interval", 3*time.Hour, "measurement interval of the dataset")
+		workers  = flag.Int("workers", 0, "detector workers (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -146,7 +147,7 @@ func main() {
 		iv := 15 * time.Minute
 		slots := int(span/iv) + 1
 		series := congest.BuildSeries(pings, iv, time.Duration(slots)*iv, slots*80/100)
-		v4, v6 := congest.Summarize(series, congest.DefaultDetector())
+		v4, v6 := congest.SummarizeParallel(series, congest.DefaultDetector(), *workers)
 		report.Table(w, "Consistent congestion", []string{"", "IPv4", "IPv6"}, [][]string{
 			{"pairs", itoa(v4.Pairs), itoa(v6.Pairs)},
 			{"high variation", pc(v4.HighVariationFrac()), pc(v6.HighVariationFrac())},

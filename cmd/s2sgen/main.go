@@ -41,6 +41,7 @@ func main() {
 		kind     = flag.String("campaign", "longterm", "campaign: longterm, pings, or short")
 		out      = flag.String("o", "dataset", "output path prefix")
 		jsonl    = flag.Bool("jsonl", false, "write JSON lines instead of binary records")
+		workers  = flag.Int("workers", 0, "measurement workers (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -94,12 +95,14 @@ func main() {
 			Duration:      duration,
 			Interval:      3 * time.Hour,
 			ParisSwitchAt: time.Duration(float64(duration) * 0.62),
+			Workers:       *workers,
 		}, consumer))
 	case "pings":
 		check(campaign.PingMesh(prober, campaign.PingMeshConfig{
 			Pairs:    campaign.FullMeshPairs(servers),
 			Duration: duration,
 			Interval: 15 * time.Minute,
+			Workers:  *workers,
 		}, consumer))
 	case "short":
 		check(campaign.TracerouteCampaign(prober, campaign.TracerouteCampaignConfig{
@@ -109,6 +112,7 @@ func main() {
 			BothDirections: true,
 			Paris:          true,
 			V6:             true,
+			Workers:        *workers,
 		}, consumer))
 	default:
 		fmt.Fprintf(os.Stderr, "s2sgen: unknown campaign %q\n", *kind)

@@ -19,6 +19,7 @@ package bgp
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/astopo"
 	"repro/internal/ipam"
@@ -141,15 +142,32 @@ func pairKey(a, b ipam.ASN) [2]ipam.ASN {
 }
 
 // Routing holds the routes for one (state, plane) pair. Destination trees
-// are computed lazily and cached. Routing is safe for concurrent use.
+// are computed lazily and cached. Routing is safe for concurrent use:
+// each destination has its own once-style slot, so concurrent Path calls
+// for different destinations compute their trees in parallel instead of
+// serializing behind one lock.
 type Routing struct {
 	g       *graph
 	plane   Plane
 	down    map[[2]int32]bool
 	flipped []bool
 
-	mu    sync.Mutex
-	trees map[int]*destTree
+	slots []treeSlot
+
+	// linkUse is the reverse index from a selected AS-level edge to the
+	// destinations whose trees traverse it. Dynamics consults it when an
+	// epoch boundary carries a LinkDown: only trees actually routing over
+	// the failed link need recomputing.
+	linkMu  sync.Mutex
+	linkUse map[[2]int32][]int32
+}
+
+// treeSlot lazily holds one destination tree. The pointer is published
+// atomically; the mutex only serializes the (single) computation per
+// destination.
+type treeSlot struct {
+	mu sync.Mutex
+	t  atomic.Pointer[destTree]
 }
 
 // NewRouting returns the routing view of topo under state (nil for the
@@ -165,7 +183,8 @@ func newRouting(g *graph, state *State, plane Plane) *Routing {
 		plane:   plane,
 		down:    make(map[[2]int32]bool),
 		flipped: make([]bool, len(g.asns)),
-		trees:   make(map[int]*destTree),
+		slots:   make([]treeSlot, len(g.asns)),
+		linkUse: make(map[[2]int32][]int32),
 	}
 	if state != nil {
 		for k, v := range state.Down {
@@ -192,6 +211,11 @@ type destTree struct {
 	nextHop []int32 // -1 when no route
 	kind    []routeKind
 	plen    []int32
+	// tied[as] records that as's selection involved a tie-break
+	// comparison: only those selections can change when the AS flips its
+	// preference, which is what lets Dynamics carry unaffected trees
+	// across flip events.
+	tied []bool
 }
 
 // Path returns the selected AS path from src to dst, inclusive of both. It
@@ -262,14 +286,115 @@ func (r *Routing) Reachable(src, dst ipam.ASN) bool {
 }
 
 func (r *Routing) treeFor(dst int) *destTree {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if t, ok := r.trees[dst]; ok {
+	s := &r.slots[dst]
+	if t := s.t.Load(); t != nil {
+		return t
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t := s.t.Load(); t != nil {
 		return t
 	}
 	t := r.computeTree(dst)
-	r.trees[dst] = t
+	r.indexTree(dst, t)
+	s.t.Store(t)
 	return t
+}
+
+// indexTree records the selected edges of a freshly computed (or adopted)
+// tree in the reverse index.
+func (r *Routing) indexTree(dst int, t *destTree) {
+	r.linkMu.Lock()
+	defer r.linkMu.Unlock()
+	for as, nh := range t.nextHop {
+		if nh < 0 || int32(as) == nh {
+			continue
+		}
+		k := ipairKey(int32(as), nh)
+		r.linkUse[k] = append(r.linkUse[k], int32(dst))
+	}
+}
+
+// adopt installs a tree computed by an earlier-epoch Routing whose routes
+// the epoch's events provably did not change.
+func (r *Routing) adopt(dst int, t *destTree) {
+	r.indexTree(dst, t)
+	r.slots[dst].t.Store(t)
+}
+
+// cachedTree returns the destination tree if it has been computed.
+func (r *Routing) cachedTree(dst int) *destTree {
+	return r.slots[dst].t.Load()
+}
+
+// destsUsingLink returns the destinations whose computed trees route over
+// the AS-level edge (a, b), in dense graph indices.
+func (r *Routing) destsUsingLink(a, b int32) []int32 {
+	r.linkMu.Lock()
+	defer r.linkMu.Unlock()
+	return r.linkUse[ipairKey(a, b)]
+}
+
+// relKind returns the preference class a route learned by a from neighbor
+// b falls into (b a customer of a → viaCustomer, and so on), or viaNone
+// when not adjacent.
+func (g *graph) relKind(a, b int32) routeKind {
+	for _, c := range g.customers[a] {
+		if c == b {
+			return viaCustomer
+		}
+	}
+	for _, p := range g.peers[a] {
+		if p == b {
+			return viaPeer
+		}
+	}
+	for _, p := range g.providers[a] {
+		if p == b {
+			return viaProvider
+		}
+	}
+	return viaNone
+}
+
+// linkUpAffects reports whether restoring the AS-level edge (a, b) could
+// change tree t under this routing's state: the link only matters if the
+// candidate route it offers at an endpoint beats or ties that endpoint's
+// current selection — otherwise neither endpoint re-selects and nothing
+// new propagates.
+func (r *Routing) linkUpAffects(t *destTree, a, b int32) bool {
+	if !r.usable(a, b) {
+		return false // re-downed, or fails the plane's criteria
+	}
+	return r.endpointGains(t, a, b) || r.endpointGains(t, b, a)
+}
+
+// endpointGains reports whether x could prefer (or tie with) a candidate
+// route via its neighbor y over x's current selection in t.
+func (r *Routing) endpointGains(t *destTree, x, y int32) bool {
+	if t.kind[y] == viaNone {
+		return false // y has nothing to offer
+	}
+	rel := r.g.relKind(x, y)
+	if rel == viaNone {
+		return false
+	}
+	// Valley-free export: y offers its route to x only when the route is
+	// customer-learned or x is y's customer (y is x's provider).
+	if t.kind[y] != viaCustomer && rel != viaProvider {
+		return false
+	}
+	candLen := t.plen[y] + 1
+	if t.kind[x] == viaNone {
+		return true
+	}
+	if rel != t.kind[x] {
+		return rel < t.kind[x]
+	}
+	if candLen != t.plen[x] {
+		return candLen < t.plen[x]
+	}
+	return true // equal class and length: the tie-break could switch
 }
 
 func (r *Routing) usable(a, b int32) bool {
@@ -290,6 +415,7 @@ func (r *Routing) computeTree(dst int) *destTree {
 		nextHop: make([]int32, n),
 		kind:    make([]routeKind, n),
 		plen:    make([]int32, n),
+		tied:    make([]bool, n),
 	}
 	for i := range tree.nextHop {
 		tree.nextHop[i] = -1
@@ -317,6 +443,7 @@ func (r *Routing) computeTree(dst int) *destTree {
 		if cur < 0 {
 			return true
 		}
+		tree.tied[as] = true
 		flip := r.flipped[as]
 		if r.plane == V6 && v6TieBias(g.asns[as]) {
 			flip = !flip

@@ -87,6 +87,9 @@ type Dynamics struct {
 	// epochStart[i] is when epoch i begins; epoch 0 begins at 0.
 	epochStart []time.Duration
 	states     []*State
+	// epochEvents[i] are the events that fired at epochStart[i] (empty
+	// for epoch 0) — the delta the incremental tree carry-over checks.
+	epochEvents [][]Event
 
 	mu          sync.Mutex
 	cache       map[int64]*Routing // key: epoch<<1 | plane
@@ -176,9 +179,11 @@ func (d *Dynamics) buildEpochs() {
 	cur := &State{Down: make(map[[2]ipam.ASN]bool), Flipped: make(map[ipam.ASN]bool)}
 	d.epochStart = []time.Duration{0}
 	d.states = []*State{cur.Clone()}
+	d.epochEvents = [][]Event{nil}
 	i := 0
 	for i < len(d.events) {
 		at := d.events[i].At
+		var delta []Event
 		for i < len(d.events) && d.events[i].At == at {
 			ev := d.events[i]
 			switch ev.Kind {
@@ -191,12 +196,18 @@ func (d *Dynamics) buildEpochs() {
 			case FlipOff:
 				delete(cur.Flipped, ev.AS)
 			}
+			delta = append(delta, ev)
 			i++
 		}
 		d.epochStart = append(d.epochStart, at)
 		d.states = append(d.states, cur.Clone())
+		d.epochEvents = append(d.epochEvents, delta)
 	}
 }
+
+// EpochEvents returns the events that fired at the start of epoch i
+// (empty for epoch 0).
+func (d *Dynamics) EpochEvents(i int) []Event { return d.epochEvents[i] }
 
 // NumEpochs returns the number of state epochs (≥ 1).
 func (d *Dynamics) NumEpochs() int { return len(d.epochStart) }
@@ -235,6 +246,11 @@ func (d *Dynamics) RoutingAt(t time.Duration, plane Plane) *Routing {
 	return d.RoutingAtEpoch(d.EpochAt(t), plane)
 }
 
+// maxCarryGap bounds how many epochs' events the incremental derivation
+// folds together before falling back to a from-scratch view: past that,
+// nearly every tree is invalidated anyway and the checks are pure cost.
+const maxCarryGap = 64
+
 // RoutingAtEpoch returns the (cached) routing view for an epoch index.
 // It is safe for concurrent use.
 func (d *Dynamics) RoutingAtEpoch(epoch int, plane Plane) *Routing {
@@ -244,6 +260,7 @@ func (d *Dynamics) RoutingAtEpoch(epoch int, plane Plane) *Routing {
 	if r, ok := d.cache[key]; ok {
 		return r
 	}
+	r := d.buildRoutingLocked(epoch, plane)
 	if d.cacheEvict && epoch > d.lowestEpoch {
 		for k := range d.cache {
 			if int(k>>1) < epoch {
@@ -252,7 +269,104 @@ func (d *Dynamics) RoutingAtEpoch(epoch int, plane Plane) *Routing {
 		}
 		d.lowestEpoch = epoch
 	}
-	r := newRouting(d.g, d.states[epoch], plane)
 	d.cache[key] = r
 	return r
+}
+
+// buildRoutingLocked constructs the routing view for an epoch, carrying
+// over destination trees from the nearest cached earlier epoch on the
+// same plane when the intervening events provably left them unchanged.
+func (d *Dynamics) buildRoutingLocked(epoch int, plane Plane) *Routing {
+	prevEpoch := -1
+	var prev *Routing
+	for k, cand := range d.cache {
+		if Plane(k&1) != plane {
+			continue
+		}
+		if e := int(k >> 1); e < epoch && e > prevEpoch {
+			prevEpoch, prev = e, cand
+		}
+	}
+	r := newRouting(d.g, d.states[epoch], plane)
+	if prev == nil || epoch-prevEpoch > maxCarryGap {
+		return r
+	}
+	var delta []Event
+	for e := prevEpoch + 1; e <= epoch; e++ {
+		delta = append(delta, d.epochEvents[e]...)
+	}
+	d.carryTrees(prev, r, delta)
+	return r
+}
+
+// carryTrees copies prev's computed destination trees into next, skipping
+// every tree the delta events could have changed:
+//
+//   - LinkDown(a,b) invalidates exactly the trees routing over (a,b),
+//     found via prev's reverse link index (an unselected candidate edge
+//     disappearing cannot change any selection);
+//   - LinkUp(a,b) invalidates trees where the restored link's candidate
+//     route beats or ties an endpoint's current selection (otherwise
+//     neither endpoint re-selects and nothing new propagates);
+//   - FlipOn/FlipOff(X) invalidates trees where X's selection involved a
+//     tie-break (recorded per tree at computation; a flip changes nothing
+//     anywhere else, since the choice among equal routes does not alter
+//     the preference class or length the AS exports).
+//
+// Trees untouched by every event are exact for the new epoch and are
+// adopted as-is — under the default schedule, the vast majority.
+func (d *Dynamics) carryTrees(prev, next *Routing, delta []Event) {
+	g := d.g
+	dead := make(map[int32]bool)
+	var ups [][2]int32 // restored links, dense indices
+	var flips []int32  // flipped ASes, dense indices
+	for _, ev := range delta {
+		switch ev.Kind {
+		case LinkDown:
+			ia, oka := g.idx[ev.A]
+			ib, okb := g.idx[ev.B]
+			if oka && okb {
+				for _, dst := range prev.destsUsingLink(int32(ia), int32(ib)) {
+					dead[dst] = true
+				}
+			}
+		case LinkUp:
+			ia, oka := g.idx[ev.A]
+			ib, okb := g.idx[ev.B]
+			if oka && okb {
+				ups = append(ups, [2]int32{int32(ia), int32(ib)})
+			}
+		case FlipOn, FlipOff:
+			if ix, ok := g.idx[ev.AS]; ok {
+				flips = append(flips, int32(ix))
+			}
+		}
+	}
+	for dst := range prev.slots {
+		if dead[int32(dst)] {
+			continue
+		}
+		t := prev.cachedTree(dst)
+		if t == nil {
+			continue
+		}
+		carry := true
+		for _, ix := range flips {
+			if t.tied[ix] {
+				carry = false
+				break
+			}
+		}
+		for _, up := range ups {
+			if !carry {
+				break
+			}
+			if next.linkUpAffects(t, up[0], up[1]) {
+				carry = false
+			}
+		}
+		if carry {
+			next.adopt(dst, t)
+		}
+	}
 }

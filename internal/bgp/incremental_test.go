@@ -1,0 +1,156 @@
+package bgp
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+)
+
+// TestIncrementalTreesMatchScratch walks every epoch of a churny schedule
+// in order (the campaign access pattern, which makes each epoch derive
+// incrementally from the previous one) and asserts that every carried or
+// recomputed path equals the path a from-scratch Routing computes for the
+// same state.
+func TestIncrementalTreesMatchScratch(t *testing.T) {
+	acfg := astopo.DefaultConfig(21)
+	acfg.NumASes = 100
+	topo, err := astopo.Generate(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := 60 * 24 * time.Hour
+	cfg := DefaultDynConfig(21, dur)
+	// Compress the failure/flip processes so the window holds many epochs.
+	cfg.LinkMTBF /= 40
+	cfg.FlipMTBF /= 40
+	dyn, err := NewDynamics(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.NumEpochs() < 10 {
+		t.Fatalf("schedule too quiet for the test: %d epochs", dyn.NumEpochs())
+	}
+	ases := topo.ASes
+	for _, plane := range []Plane{V4, V6} {
+		for epoch := 0; epoch < dyn.NumEpochs(); epoch++ {
+			inc := dyn.RoutingAtEpoch(epoch, plane)
+			scratch := NewRouting(topo, dyn.states[epoch], plane)
+			for s := 0; s < len(ases); s += 7 {
+				for d := 0; d < len(ases); d += 11 {
+					src, dst := ases[s].ASN, ases[d].ASN
+					got := inc.Path(src, dst)
+					want := scratch.Path(src, dst)
+					if !pathEq(got, want...) {
+						t.Fatalf("epoch %d %v %s→%s: incremental %v, scratch %v",
+							epoch, plane, src, dst, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// treesEqual compares two destination trees structurally.
+func treesEqual(a, b *destTree) bool {
+	for i := range a.nextHop {
+		if a.nextHop[i] != b.nextHop[i] || a.kind[i] != b.kind[i] || a.plen[i] != b.plen[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIncrementalCarryIsSharp asserts the carry-over is doing real work:
+// of the trees that are provably identical across each epoch boundary
+// (ground truth from from-scratch routings), the incremental derivation
+// must adopt the large majority rather than recompute them.
+func TestIncrementalCarryIsSharp(t *testing.T) {
+	acfg := astopo.DefaultConfig(22)
+	acfg.NumASes = 100
+	topo, err := astopo.Generate(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := 120 * 24 * time.Hour
+	cfg := DefaultDynConfig(22, dur)
+	cfg.LinkMTBF /= 20
+	dyn, err := NewDynamics(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.NumEpochs() < 3 {
+		t.Skip("schedule too quiet")
+	}
+	forceAll := func(r *Routing) {
+		for _, as := range topo.ASes {
+			r.Path(topo.ASes[0].ASN, as.ASN)
+		}
+	}
+	forceAll(dyn.RoutingAtEpoch(0, V4))
+	carried, unchanged, total := 0, 0, 0
+	maxEpoch := dyn.NumEpochs() - 1
+	if maxEpoch > 10 {
+		maxEpoch = 10
+	}
+	for epoch := 1; epoch <= maxEpoch; epoch++ {
+		prev := NewRouting(topo, dyn.states[epoch-1], V4)
+		next := NewRouting(topo, dyn.states[epoch], V4)
+		r := dyn.RoutingAtEpoch(epoch, V4)
+		for i := range r.slots {
+			total++
+			if r.cachedTree(i) != nil {
+				carried++
+			}
+			if treesEqual(prev.treeFor(i), next.treeFor(i)) {
+				unchanged++
+			}
+		}
+		forceAll(r)
+	}
+	t.Logf("carried %d of %d unchanged trees (%d total)", carried, unchanged, total)
+	if carried == 0 || unchanged == 0 {
+		t.Fatalf("degenerate schedule: carried=%d unchanged=%d", carried, unchanged)
+	}
+	if float64(carried) < 0.7*float64(unchanged) {
+		t.Errorf("carry-over adopted %d of %d unchanged trees; the invalidation is too conservative", carried, unchanged)
+	}
+}
+
+// TestRoutingConcurrentPathSafe hammers one Routing from many goroutines
+// (run under -race): per-destination slots must serialize computation
+// without a global lock.
+func TestRoutingConcurrentPathSafe(t *testing.T) {
+	topo, err := astopo.Generate(astopo.DefaultConfig(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouting(topo, nil, V4)
+	ases := topo.ASes
+	var wg sync.WaitGroup
+	results := make([][]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lens := make([]int, 0, len(ases))
+			for d := 0; d < len(ases); d++ {
+				p := r.Path(ases[(w*13)%len(ases)].ASN, ases[d].ASN)
+				lens = append(lens, len(p))
+			}
+			results[w] = lens
+		}(w)
+	}
+	wg.Wait()
+	// Same source must see identical paths regardless of racing workers.
+	single := NewRouting(topo, nil, V4)
+	for w := range results {
+		for d := 0; d < len(ases); d++ {
+			want := len(single.Path(ases[(w*13)%len(ases)].ASN, ases[d].ASN))
+			if results[w][d] != want {
+				t.Fatalf("worker %d dst %d: path len %d, want %d", w, d, results[w][d], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package campaign
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkLongTermCampaign measures the long-term campaign end to end at
+// several worker counts. On a multi-core host the 8-worker variant should
+// run well over 2x faster than the sequential one while producing the
+// byte-identical dataset (see TestLongTermBitIdentical).
+func BenchmarkLongTermCampaign(b *testing.B) {
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p, platform := newProber(b, 41, 10, 80)
+			servers := SelectMesh(platform, 10, 41)
+			cfg := LongTermConfig{
+				Servers:       servers,
+				Duration:      5 * 24 * time.Hour,
+				Interval:      3 * time.Hour,
+				ParisSwitchAt: 60 * time.Hour,
+				Workers:       w,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := LongTerm(p, cfg, Funcs{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -91,6 +91,10 @@ type LongTermConfig struct {
 	// traceroute (the paper: November 2014 ≈ day 300 of 485). Zero means
 	// Paris from the start; a value ≥ Duration means classic throughout.
 	ParisSwitchAt time.Duration
+	// Workers sizes the measurement engine: <= 0 selects all cores, 1
+	// forces sequential execution. The record stream is identical either
+	// way (see Engine).
+	Workers int
 }
 
 // Validate checks the configuration.
@@ -109,22 +113,43 @@ func (cfg *LongTermConfig) Validate() error {
 	return nil
 }
 
-// LongTerm runs the long-term campaign, streaming records to c.
+// longTermSchedule builds one round's task list: both protocols for every
+// directed pair, in the order the paper's dataset (and the sequential
+// reference) uses.
+func longTermSchedule(servers []*cdn.Cluster, paris4 bool, buf []measurement) []measurement {
+	buf = buf[:0]
+	for _, src := range servers {
+		for _, dst := range servers {
+			if src.ID == dst.ID {
+				continue
+			}
+			buf = append(buf,
+				measurement{src: src, dst: dst, v6: false, paris: paris4},
+				measurement{src: src, dst: dst, v6: true},
+			)
+		}
+	}
+	return buf
+}
+
+// LongTerm runs the long-term campaign, streaming records to c. Rounds
+// execute on cfg.Workers workers; the record stream is independent of the
+// worker count.
 func LongTerm(p *probe.Prober, cfg LongTermConfig, c Consumer) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
+	e := NewEngine(p, cfg.Workers)
+	defer e.Close()
+	var tasks []measurement
+	scheduledParis := false
 	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
 		paris4 := at >= cfg.ParisSwitchAt
-		for _, src := range cfg.Servers {
-			for _, dst := range cfg.Servers {
-				if src.ID == dst.ID {
-					continue
-				}
-				c.OnTraceroute(p.Traceroute(src, dst, false, paris4, at))
-				c.OnTraceroute(p.Traceroute(src, dst, true, false, at))
-			}
+		if tasks == nil || paris4 != scheduledParis {
+			tasks = longTermSchedule(cfg.Servers, paris4, tasks)
+			scheduledParis = paris4
 		}
+		e.RunRound(tasks, at, c)
 	}
 	return nil
 }
@@ -135,6 +160,8 @@ type PingMeshConfig struct {
 	// measured where both endpoints are dual-stack.
 	Pairs              [][2]*cdn.Cluster
 	Duration, Interval time.Duration
+	// Workers sizes the measurement engine (see LongTermConfig.Workers).
+	Workers int
 }
 
 // PingMesh runs the ping campaign.
@@ -145,14 +172,19 @@ func PingMesh(p *probe.Prober, cfg PingMeshConfig, c Consumer) error {
 	if cfg.Duration <= 0 || cfg.Interval <= 0 {
 		return fmt.Errorf("campaign: non-positive duration or interval")
 	}
-	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
-		for _, pair := range cfg.Pairs {
-			src, dst := pair[0], pair[1]
-			c.OnPing(p.Ping(src, dst, false, at))
-			if src.DualStack() && dst.DualStack() {
-				c.OnPing(p.Ping(src, dst, true, at))
-			}
+	// The schedule is identical every round.
+	tasks := make([]measurement, 0, len(cfg.Pairs)*2)
+	for _, pair := range cfg.Pairs {
+		src, dst := pair[0], pair[1]
+		tasks = append(tasks, measurement{src: src, dst: dst, ping: true})
+		if src.DualStack() && dst.DualStack() {
+			tasks = append(tasks, measurement{src: src, dst: dst, v6: true, ping: true})
 		}
+	}
+	e := NewEngine(p, cfg.Workers)
+	defer e.Close()
+	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
+		e.RunRound(tasks, at, c)
 	}
 	return nil
 }
@@ -169,6 +201,8 @@ type TracerouteCampaignConfig struct {
 	// dual-stack pairs.
 	Paris bool
 	V6    bool
+	// Workers sizes the measurement engine (see LongTermConfig.Workers).
+	Workers int
 }
 
 // TracerouteCampaign runs the campaign.
@@ -179,19 +213,24 @@ func TracerouteCampaign(p *probe.Prober, cfg TracerouteCampaignConfig, c Consume
 	if cfg.Duration <= 0 || cfg.Interval <= 0 {
 		return fmt.Errorf("campaign: non-positive duration or interval")
 	}
-	measure := func(src, dst *cdn.Cluster, at time.Duration) {
-		c.OnTraceroute(p.Traceroute(src, dst, false, cfg.Paris, at))
+	// The schedule is identical every round.
+	var tasks []measurement
+	schedule := func(src, dst *cdn.Cluster) {
+		tasks = append(tasks, measurement{src: src, dst: dst, paris: cfg.Paris})
 		if cfg.V6 && src.DualStack() && dst.DualStack() {
-			c.OnTraceroute(p.Traceroute(src, dst, true, cfg.Paris, at))
+			tasks = append(tasks, measurement{src: src, dst: dst, v6: true, paris: cfg.Paris})
 		}
 	}
-	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
-		for _, pair := range cfg.Pairs {
-			measure(pair[0], pair[1], at)
-			if cfg.BothDirections {
-				measure(pair[1], pair[0], at)
-			}
+	for _, pair := range cfg.Pairs {
+		schedule(pair[0], pair[1])
+		if cfg.BothDirections {
+			schedule(pair[1], pair[0])
 		}
+	}
+	e := NewEngine(p, cfg.Workers)
+	defer e.Close()
+	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
+		e.RunRound(tasks, at, c)
 	}
 	return nil
 }

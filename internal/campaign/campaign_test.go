@@ -14,7 +14,7 @@ import (
 	"repro/internal/trace"
 )
 
-func newProber(t *testing.T, seed int64, days int, clusters int) (*probe.Prober, *cdn.Platform) {
+func newProber(t testing.TB, seed int64, days int, clusters int) (*probe.Prober, *cdn.Platform) {
 	t.Helper()
 	dur := time.Duration(days) * 24 * time.Hour
 	topo, err := astopo.Generate(astopo.DefaultConfig(seed))

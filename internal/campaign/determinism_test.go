@@ -1,0 +1,138 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/probe"
+	"repro/internal/trace"
+)
+
+// binarySink encodes every delivered record with the dataset's binary
+// writer, so two runs compare at the strictest level there is: the bytes
+// that would land on disk.
+func binarySink(t *testing.T, buf *bytes.Buffer) (Consumer, func()) {
+	t.Helper()
+	w := trace.NewBinaryWriter(buf)
+	c := Funcs{
+		Traceroute: func(tr *trace.Traceroute) {
+			if err := w.WriteTraceroute(tr); err != nil {
+				t.Fatal(err)
+			}
+		},
+		Ping: func(p *trace.Ping) {
+			if err := w.WritePing(p); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	return c, func() {
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runTwice executes the same campaign sequentially and with the given
+// worker count, each against a fresh identically-seeded prober, and
+// returns both encoded streams.
+func runTwice(t *testing.T, seed int64, run func(p *probe.Prober, workers int, c Consumer) error, workers int) ([]byte, []byte) {
+	t.Helper()
+	var seq, par bytes.Buffer
+	c, flush := binarySink(t, &seq)
+	p, _ := newProber(t, seed, 3, 60)
+	if err := run(p, 1, c); err != nil {
+		t.Fatal(err)
+	}
+	flush()
+	c, flush = binarySink(t, &par)
+	p2, _ := newProber(t, seed, 3, 60)
+	if err := run(p2, workers, c); err != nil {
+		t.Fatal(err)
+	}
+	flush()
+	return seq.Bytes(), par.Bytes()
+}
+
+func TestLongTermBitIdentical(t *testing.T) {
+	for _, workers := range []int{0, 4, 8} {
+		// Clusters are plain values and SelectMesh is deterministic, so one
+		// mesh serves both identically-seeded worlds.
+		_, platform := newProber(t, 31, 3, 60)
+		servers := SelectMesh(platform, 5, 31)
+		run := func(p *probe.Prober, w int, c Consumer) error {
+			return LongTerm(p, LongTermConfig{
+				Servers:       servers,
+				Duration:      18 * time.Hour,
+				Interval:      3 * time.Hour,
+				ParisSwitchAt: 9 * time.Hour,
+				Workers:       w,
+			}, c)
+		}
+		seq, par := runTwice(t, 31, run, workers)
+		if !bytes.Equal(seq, par) {
+			t.Fatalf("workers=%d: parallel stream differs from sequential (%d vs %d bytes)", workers, len(par), len(seq))
+		}
+	}
+}
+
+func TestPingMeshBitIdentical(t *testing.T) {
+	_, platform := newProber(t, 32, 3, 60)
+	servers := SelectMesh(platform, 5, 32)
+	pairs := FullMeshPairs(servers)
+	run := func(p *probe.Prober, w int, c Consumer) error {
+		return PingMesh(p, PingMeshConfig{
+			Pairs:    pairs,
+			Duration: 2 * time.Hour,
+			Interval: 15 * time.Minute,
+			Workers:  w,
+		}, c)
+	}
+	seq, par := runTwice(t, 32, run, 8)
+	if len(seq) == 0 {
+		t.Fatal("empty stream")
+	}
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("parallel stream differs from sequential (%d vs %d bytes)", len(par), len(seq))
+	}
+}
+
+func TestTracerouteCampaignBitIdentical(t *testing.T) {
+	_, platform := newProber(t, 33, 3, 60)
+	servers := SelectMesh(platform, 4, 33)
+	pairs := UnorderedPairs(servers)
+	run := func(p *probe.Prober, w int, c Consumer) error {
+		return TracerouteCampaign(p, TracerouteCampaignConfig{
+			Pairs:          pairs,
+			Duration:       2 * time.Hour,
+			Interval:       30 * time.Minute,
+			BothDirections: true,
+			Paris:          true,
+			V6:             true,
+			Workers:        w,
+		}, c)
+	}
+	seq, par := runTwice(t, 33, run, 6)
+	if len(seq) == 0 {
+		t.Fatal("empty stream")
+	}
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("parallel stream differs from sequential (%d vs %d bytes)", len(par), len(seq))
+	}
+}
+
+func TestNormalizeWorkers(t *testing.T) {
+	if got := NormalizeWorkers(1); got != 1 {
+		t.Errorf("NormalizeWorkers(1) = %d", got)
+	}
+	if got := NormalizeWorkers(0); got < 1 || got > maxWorkers {
+		t.Errorf("NormalizeWorkers(0) = %d, want within [1,%d]", got, maxWorkers)
+	}
+	if got := NormalizeWorkers(-3); got != NormalizeWorkers(0) {
+		t.Errorf("negative and zero must normalize alike: %d vs %d", got, NormalizeWorkers(0))
+	}
+	if got := NormalizeWorkers(maxWorkers + 100); got != maxWorkers {
+		t.Errorf("NormalizeWorkers(big) = %d, want clamp to %d", got, maxWorkers)
+	}
+}

@@ -1,0 +1,170 @@
+package campaign
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/probe"
+	"repro/internal/trace"
+)
+
+// maxWorkers bounds the pool size so a misconfigured worker count cannot
+// spawn an unbounded number of goroutines.
+const maxWorkers = 64
+
+// NormalizeWorkers maps a configured worker count onto an engine pool
+// size: values <= 0 select runtime.NumCPU(), and counts are clamped to
+// maxWorkers. Every campaign type and command interprets its Workers
+// setting through this one function.
+func NormalizeWorkers(w int) int {
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > maxWorkers {
+		w = maxWorkers
+	}
+	return w
+}
+
+// measurement is one slot in a round's schedule: a traceroute or a ping
+// between two clusters. Measurements are pure functions of their
+// coordinates (see simnet), so they may execute on any worker in any
+// order.
+type measurement struct {
+	src, dst *cdn.Cluster
+	v6       bool
+	paris    bool // traceroutes only
+	ping     bool // ping instead of traceroute
+}
+
+// result holds a completed measurement until in-order delivery.
+type result struct {
+	tr *trace.Traceroute
+	pg *trace.Ping
+}
+
+// round is one unit of engine work: a task schedule at a single virtual
+// timestamp. Workers claim task indices with an atomic counter; the last
+// task completion closes fin.
+type round struct {
+	at    time.Duration
+	tasks []measurement
+	out   []result
+	next  atomic.Int64
+	done  atomic.Int64
+	fin   chan struct{}
+}
+
+// Engine is the shared parallel measurement executor: a persistent pool
+// of workers that all campaign types dispatch rounds to. Workers are
+// spawned once and reused across rounds; within a round, tasks are
+// claimed by atomic increment (no locks on the hot path) and results are
+// delivered to the consumer in schedule order, so the record stream is
+// bit-identical to a sequential run regardless of worker count.
+//
+// An Engine with one worker executes rounds inline on the caller's
+// goroutine, making the sequential reference path and the parallel path
+// share one implementation.
+type Engine struct {
+	p       *probe.Prober
+	workers int
+	feed    chan *round
+	wg      sync.WaitGroup
+	scratch []result // reused between rounds; only one round is in flight
+}
+
+// NewEngine returns an engine over the prober with NormalizeWorkers(workers)
+// workers. Callers must Close it to release the pool.
+func NewEngine(p *probe.Prober, workers int) *Engine {
+	e := &Engine{p: p, workers: NormalizeWorkers(workers)}
+	if e.workers > 1 {
+		e.feed = make(chan *round, e.workers)
+		for i := 0; i < e.workers-1; i++ {
+			e.wg.Add(1)
+			go e.worker(e.feed)
+		}
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Close stops the pool. The engine must not be used afterwards.
+func (e *Engine) Close() {
+	if e.feed != nil {
+		close(e.feed)
+		e.feed = nil
+	}
+	e.wg.Wait()
+}
+
+// worker receives its feed as an argument so that Close nilling the field
+// cannot race with a worker that has not yet entered its receive loop.
+func (e *Engine) worker(feed <-chan *round) {
+	defer e.wg.Done()
+	for r := range feed {
+		e.drain(r)
+	}
+}
+
+// drain claims and executes tasks until the round is exhausted.
+func (e *Engine) drain(r *round) {
+	n := int64(len(r.tasks))
+	for {
+		i := r.next.Add(1) - 1
+		if i >= n {
+			return
+		}
+		tk := r.tasks[i]
+		if tk.ping {
+			r.out[i].pg = e.p.Ping(tk.src, tk.dst, tk.v6, r.at)
+		} else {
+			r.out[i].tr = e.p.Traceroute(tk.src, tk.dst, tk.v6, tk.paris, r.at)
+		}
+		if r.done.Add(1) == n {
+			close(r.fin)
+		}
+	}
+}
+
+// RunRound executes one round's schedule at virtual time at and delivers
+// the records to c in schedule order.
+func (e *Engine) RunRound(tasks []measurement, at time.Duration, c Consumer) {
+	if len(tasks) == 0 {
+		return
+	}
+	if e.workers <= 1 || len(tasks) == 1 {
+		for _, tk := range tasks {
+			if tk.ping {
+				c.OnPing(e.p.Ping(tk.src, tk.dst, tk.v6, at))
+			} else {
+				c.OnTraceroute(e.p.Traceroute(tk.src, tk.dst, tk.v6, tk.paris, at))
+			}
+		}
+		return
+	}
+	if cap(e.scratch) < len(tasks) {
+		e.scratch = make([]result, len(tasks))
+	}
+	out := e.scratch[:len(tasks)]
+	r := &round{at: at, tasks: tasks, out: out, fin: make(chan struct{})}
+	// Wake the pool, then join it: the caller drains too, so the round
+	// completes even while workers are still picking the round up.
+	for i := 0; i < e.workers-1; i++ {
+		e.feed <- r
+	}
+	e.drain(r)
+	<-r.fin
+	for i := range out {
+		if out[i].pg != nil {
+			c.OnPing(out[i].pg)
+		} else {
+			c.OnTraceroute(out[i].tr)
+		}
+		out[i] = result{}
+	}
+}

@@ -1,88 +1,14 @@
 package campaign
 
 import (
-	"runtime"
-	"sync"
-	"time"
-
-	"repro/internal/cdn"
 	"repro/internal/probe"
-	"repro/internal/trace"
 )
-
-// Workers in campaign configs selects parallel measurement execution.
-// Records within each round are produced concurrently but delivered to the
-// consumer in the same deterministic order as the sequential runner, so
-// datasets are bit-identical regardless of worker count (measurements are
-// pure functions of their coordinates; see simnet).
-
-// task is one measurement slot within a round.
-type task struct {
-	src, dst *cdn.Cluster
-	v6       bool
-	paris    bool
-}
-
-// runRound executes a round's tasks across workers and delivers the
-// resulting traceroutes in task order.
-func runRound(p *probe.Prober, tasks []task, at time.Duration, workers int, c Consumer) {
-	if workers <= 1 || len(tasks) < 2 {
-		for _, tk := range tasks {
-			c.OnTraceroute(p.Traceroute(tk.src, tk.dst, tk.v6, tk.paris, at))
-		}
-		return
-	}
-	if workers > runtime.NumCPU() {
-		workers = runtime.NumCPU()
-	}
-	out := make([]*trace.Traceroute, len(tasks))
-	var next int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := int(next)
-				next++
-				mu.Unlock()
-				if i >= len(tasks) {
-					return
-				}
-				tk := tasks[i]
-				out[i] = p.Traceroute(tk.src, tk.dst, tk.v6, tk.paris, at)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, tr := range out {
-		c.OnTraceroute(tr)
-	}
-}
 
 // LongTermParallel runs the long-term campaign with the given worker
 // count, producing exactly the records LongTerm would, in the same order.
+// It is a convenience wrapper over LongTerm with cfg.Workers overridden;
+// all campaign types share the Engine worker pool implementation.
 func LongTermParallel(p *probe.Prober, cfg LongTermConfig, workers int, c Consumer) error {
-	if err := cfg.Validate(); err != nil {
-		return err
-	}
-	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
-		paris4 := at >= cfg.ParisSwitchAt
-		tasks := make([]task, 0, len(cfg.Servers)*(len(cfg.Servers)-1)*2)
-		for _, src := range cfg.Servers {
-			for _, dst := range cfg.Servers {
-				if src.ID == dst.ID {
-					continue
-				}
-				tasks = append(tasks,
-					task{src, dst, false, paris4},
-					task{src, dst, true, false},
-				)
-			}
-		}
-		runRound(p, tasks, at, workers, c)
-	}
-	return nil
+	cfg.Workers = workers
+	return LongTerm(p, cfg, c)
 }

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"net/netip"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core/fft"
@@ -174,21 +176,92 @@ func frac(a, b int) float64 {
 
 // Summarize runs the detector over a series map, split by protocol.
 func Summarize(series map[trace.PairKey]*Series, d Detector) (v4, v6 MeshSummary) {
-	for k, s := range series {
+	return SummarizeParallel(series, d, 1)
+}
+
+// SummarizeParallel is Summarize with the per-pair detector (percentiles
+// plus an FFT each) evaluated on workers goroutines. Counts are
+// order-independent, so the result is identical to the sequential one.
+func SummarizeParallel(series map[trace.PairKey]*Series, d Detector, workers int) (v4, v6 MeshSummary) {
+	keys := make([]trace.PairKey, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	eval := evalDetector(keys, series, d, workers)
+	for i, k := range keys {
 		m := &v4
 		if k.V6 {
 			m = &v6
 		}
 		m.Pairs++
-		highVar := s.VariationMs() >= d.VariationMs
-		if highVar {
+		if eval[i].highVar {
 			m.HighVariation++
-			if s.DiurnalRatio() >= d.PSDThreshold {
+			if eval[i].congested {
 				m.Congested++
 			}
 		}
 	}
 	return v4, v6
+}
+
+type detectorVerdict struct {
+	highVar   bool
+	congested bool
+}
+
+// evalDetector runs the detector over keys on workers goroutines,
+// returning per-key verdicts aligned with keys.
+func evalDetector(keys []trace.PairKey, series map[trace.PairKey]*Series, d Detector, workers int) []detectorVerdict {
+	out := make([]detectorVerdict, len(keys))
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers <= 1 {
+		for i, k := range keys {
+			out[i] = verdictFor(series[k], d)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(keys) {
+					return
+				}
+				out[i] = verdictFor(series[keys[i]], d)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func verdictFor(s *Series, d Detector) detectorVerdict {
+	v := detectorVerdict{highVar: s.VariationMs() >= d.VariationMs}
+	if v.highVar {
+		v.congested = s.DiurnalRatio() >= d.PSDThreshold
+	}
+	return v
+}
+
+// DetectParallel runs the detector over every series on workers
+// goroutines and returns the flagged keys in no particular order.
+func DetectParallel(series map[trace.PairKey]*Series, d Detector, workers int) map[trace.PairKey]bool {
+	keys := make([]trace.PairKey, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	eval := evalDetector(keys, series, d, workers)
+	out := make(map[trace.PairKey]bool, len(keys))
+	for i, k := range keys {
+		out[k] = eval[i].highVar && eval[i].congested
+	}
+	return out
 }
 
 // Localization is the outcome of segment localization for one pair.

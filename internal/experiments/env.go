@@ -277,6 +277,7 @@ func (e *Env) ShortTerm() (*shortTermData, error) {
 		BothDirections: true,
 		Paris:          true,
 		V6:             true,
+		Workers:        e.Scale.Workers,
 	}
 	consumer := campaign.Funcs{Traceroute: func(tr *trace.Traceroute) {
 		data.builder.Add(tr)
@@ -318,6 +319,7 @@ func (e *Env) PingMesh() (*pingData, error) {
 		Pairs:    pairs,
 		Duration: duration,
 		Interval: e.Scale.PingInterval,
+		Workers:  e.Scale.Workers,
 	}
 	if err := campaign.PingMesh(e.Prober, cfg, &col); err != nil {
 		return nil, err
@@ -326,7 +328,9 @@ func (e *Env) PingMesh() (*pingData, error) {
 	minSamples := slots * 89 / 100 // the paper's ≥600-of-672 bar
 	series := congest.BuildSeries(col.Pings, e.Scale.PingInterval, duration, minSamples)
 	data := &pingData{series: series, totalPings: len(col.Pings)}
-	det := congest.DefaultDetector()
+	// Per-pair detection (an FFT each) fans out over the workers; the
+	// flagged set is then ordered deterministically.
+	verdicts := congest.DetectParallel(series, congest.DefaultDetector(), e.Scale.Workers)
 	var keys []trace.PairKey
 	for k := range series {
 		keys = append(keys, k)
@@ -342,7 +346,7 @@ func (e *Env) PingMesh() (*pingData, error) {
 		return !a.V6 && b.V6
 	})
 	for _, k := range keys {
-		if !k.V6 && det.Congested(series[k]) {
+		if !k.V6 && verdicts[k] {
 			data.congestedPairs = append(data.congestedPairs, k)
 		}
 	}
@@ -394,6 +398,7 @@ func (e *Env) Localizations() (*localizationData, error) {
 		Interval:       30 * time.Minute,
 		BothDirections: true,
 		Paris:          true,
+		Workers:        e.Scale.Workers,
 	}
 	if err := campaign.TracerouteCampaign(e.Prober, cfg, &col); err != nil {
 		return nil, err

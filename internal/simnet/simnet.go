@@ -27,12 +27,22 @@ import (
 // the measurement time (e.g. a partition, or IPv6 between v4-only hosts).
 var ErrUnreachable = errors.New("simnet: destination unreachable")
 
-// maxCachedPaths bounds the per-family resolved-path cache.
+// maxCachedPaths is the default bound on the per-family resolved-path
+// cache (entries across all shards).
 const maxCachedPaths = 1 << 16
+
+// pathCacheShards is the number of independently locked cache shards per
+// family. Workers hash onto shards by key, so concurrent probers contend
+// only when they resolve paths that land on the same shard.
+const pathCacheShards = 32
 
 // Config tunes the measurement-visible noise floor.
 type Config struct {
 	Seed int64
+
+	// MaxCachedPaths overrides the resolved-path cache bound per family
+	// (0 selects the maxCachedPaths default). Mostly a test hook.
+	MaxCachedPaths int
 
 	// ServerLinkDelay is the one-way delay between a measurement server
 	// and its attachment router.
@@ -74,26 +84,48 @@ type Net struct {
 	Cong *congestion.Model
 	cfg  Config
 
-	// Per-epoch resolved-path cache; cleared when the epoch advances.
-	// Guarded by cacheMu: probers may run on several goroutines.
-	cacheMu    sync.Mutex
-	cacheEpoch [2]int
-	cache      [2]map[pathKey][]itopo.PathHop
+	// Resolved-path cache, sharded by key hash so concurrent probers
+	// rarely contend. Keys carry the BGP epoch ("epoch-keyed
+	// generations"): a round that straddles an epoch boundary keeps both
+	// generations warm instead of thrashing a shared clear-on-advance
+	// cache, and stale generations are evicted shard-by-shard as the
+	// per-shard bound is reached.
+	shards   [2][pathCacheShards]pathShard
+	shardMax int
+}
+
+type pathShard struct {
+	mu sync.Mutex
+	m  map[pathKey][]itopo.PathHop
 }
 
 type pathKey struct {
 	src, dst itopo.RouterID
 	flow     uint64
 	asHash   uint64
+	epoch    int
+}
+
+// shardIndex spreads keys across shards; flow and asHash are already
+// FNV-mixed, so a simple combine suffices.
+func (k pathKey) shardIndex() int {
+	h := k.flow ^ k.asHash ^ uint64(k.src)<<32 ^ uint64(k.dst) ^ uint64(k.epoch)<<16
+	h *= 1099511628211
+	return int((h >> 32) % pathCacheShards)
 }
 
 // New assembles a virtual network. cong may be nil for a congestion-free
 // network.
 func New(r *itopo.Network, dyn *bgp.Dynamics, cong *congestion.Model, cfg Config) *Net {
 	n := &Net{R: r, Dyn: dyn, Cong: cong, cfg: cfg}
-	n.cache[0] = make(map[pathKey][]itopo.PathHop)
-	n.cache[1] = make(map[pathKey][]itopo.PathHop)
-	n.cacheEpoch = [2]int{-1, -1}
+	bound := cfg.MaxCachedPaths
+	if bound <= 0 {
+		bound = maxCachedPaths
+	}
+	n.shardMax = bound / pathCacheShards
+	if n.shardMax < 1 {
+		n.shardMax = 1
+	}
 	return n
 }
 
@@ -134,32 +166,56 @@ func (n *Net) resolveCached(sr, dr itopo.RouterID, asPath []ipam.ASN, v6 bool, f
 		fi = 1
 	}
 	epoch := n.Dyn.EpochAt(t)
-	key := pathKey{sr, dr, flowID, hashASPath(asPath)}
-	n.cacheMu.Lock()
-	if n.cacheEpoch[fi] != epoch {
-		n.cache[fi] = make(map[pathKey][]itopo.PathHop)
-		n.cacheEpoch[fi] = epoch
-	}
-	if hops, ok := n.cache[fi][key]; ok {
-		n.cacheMu.Unlock()
+	key := pathKey{sr, dr, flowID, hashASPath(asPath), epoch}
+	sh := &n.shards[fi][key.shardIndex()]
+	sh.mu.Lock()
+	if hops, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
 		return hops, nil
 	}
-	n.cacheMu.Unlock()
+	sh.mu.Unlock()
 	hops, err := n.R.ResolvePath(sr, dr, asPath, v6, flowID)
 	if err != nil {
 		return nil, err
 	}
-	n.cacheMu.Lock()
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[pathKey][]itopo.PathHop)
+	}
 	// Classic traceroute uses per-probe flows that never repeat, so the
 	// cache is bounded to keep long campaigns from accumulating entries.
-	if n.cacheEpoch[fi] == epoch {
-		if len(n.cache[fi]) >= maxCachedPaths {
-			n.cache[fi] = make(map[pathKey][]itopo.PathHop)
+	// Entries from other epochs go first (the clock has usually moved
+	// on); if the shard is still full, it is reset.
+	if len(sh.m) >= n.shardMax {
+		for k := range sh.m {
+			if k.epoch != epoch {
+				delete(sh.m, k)
+			}
 		}
-		n.cache[fi][key] = hops
+		if len(sh.m) >= n.shardMax {
+			sh.m = make(map[pathKey][]itopo.PathHop)
+		}
 	}
-	n.cacheMu.Unlock()
+	sh.m[key] = hops
+	sh.mu.Unlock()
 	return hops, nil
+}
+
+// cachedPaths reports the resolved-path cache population for one family
+// (test hook for the bound).
+func (n *Net) cachedPaths(v6 bool) int {
+	fi := 0
+	if v6 {
+		fi = 1
+	}
+	total := 0
+	for i := range n.shards[fi] {
+		sh := &n.shards[fi][i]
+		sh.mu.Lock()
+		total += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // OneWayDelay returns the propagation delay of the resolved path plus the

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -238,5 +239,60 @@ func TestLostRate(t *testing.T) {
 	rate := float64(lost) / float64(n)
 	if rate < 0.001 || rate > 0.02 {
 		t.Errorf("loss rate = %.4f, want ~0.004", rate)
+	}
+}
+
+// TestPathCacheBounded floods the resolved-path cache with never-repeating
+// flow IDs (the classic-traceroute access pattern) and asserts the
+// configured bound holds: no shard may exceed its share, so the total stays
+// at or below MaxCachedPaths.
+func TestPathCacheBounded(t *testing.T) {
+	w := newWorld(t, 9)
+	cfg := DefaultConfig(9)
+	cfg.MaxCachedPaths = 64
+	sim := New(w.net, w.dyn, w.cong, cfg)
+	src, dst := w.pair(t)
+	for flow := uint64(0); flow < 4096; flow++ {
+		if _, err := sim.ForwardHops(src, dst, false, flow, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		if n := sim.cachedPaths(false); n > 64 {
+			t.Fatalf("cache grew to %d entries, bound is 64 (after %d flows)", n, flow+1)
+		}
+	}
+	if n := sim.cachedPaths(false); n == 0 {
+		t.Fatal("cache empty after 4096 resolutions")
+	}
+}
+
+// TestPathCacheConcurrent hammers the sharded cache from many goroutines
+// (run under -race) mixing repeated and unique flows across both families.
+func TestPathCacheConcurrent(t *testing.T) {
+	w := newWorld(t, 10)
+	cfg := DefaultConfig(10)
+	cfg.MaxCachedPaths = 128
+	sim := New(w.net, w.dyn, w.cong, cfg)
+	src, dst := w.pair(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				flow := uint64(i % 16)
+				if g%2 == 0 {
+					flow = uint64(g*1000 + i) // never repeats
+				}
+				_, err := sim.ForwardHops(src, dst, g%3 == 0 && src.DualStack() && dst.DualStack(), flow, time.Duration(i)*time.Minute)
+				if err != nil && !errors.Is(err, ErrUnreachable) {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := sim.cachedPaths(false); n > 128 {
+		t.Fatalf("v4 cache grew to %d entries, bound is 128", n)
 	}
 }
