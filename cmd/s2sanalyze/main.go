@@ -2,9 +2,14 @@
 // s2sgen, reconstructing the IP-to-AS view from the .bgp.tsv sidecar. It
 // does not need the simulator: any dataset in the record format works.
 //
+// Analysis output goes to stdout; diagnostics go to stderr (silence them
+// with -q). -metrics writes a final telemetry snapshot, and
+// -cpuprofile/-memprofile capture pprof profiles of the run.
+//
 // Usage:
 //
 //	s2sanalyze -data dataset.bin [-analysis table1|paths|changes|dualstack|congestion]
+//	           [-metrics PATH] [-cpuprofile PATH] [-memprofile PATH] [-q]
 package main
 
 import (
@@ -14,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -24,39 +31,78 @@ import (
 	"repro/internal/core/stats"
 	"repro/internal/core/timeline"
 	"repro/internal/ipam"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "s2sanalyze: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		data     = flag.String("data", "dataset.bin", "dataset path (binary records written by s2sgen)")
-		analysis = flag.String("analysis", "table1", "analysis: summary, table1, paths, changes, dualstack, congestion")
-		interval = flag.Duration("interval", 3*time.Hour, "measurement interval of the dataset")
-		workers  = flag.Int("workers", 0, "detector workers (0 = all cores, 1 = sequential)")
+		data       = flag.String("data", "dataset.bin", "dataset path (binary records written by s2sgen)")
+		analysis   = flag.String("analysis", "table1", "analysis: summary, table1, paths, changes, dualstack, congestion")
+		interval   = flag.Duration("interval", 3*time.Hour, "measurement interval of the dataset")
+		workers    = flag.Int("workers", 0, "detector workers (0 = all cores, 1 = sequential)")
+		metrics    = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
+		quiet      = flag.Bool("q", false, "suppress progress output on stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
+	log := obs.NewLogger("s2sanalyze", *quiet)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	start := time.Now()
+	reg := obs.NewRegistry()
+	recordsC := reg.Counter(obs.MetricRunRecords, "records the run read")
 
 	table, err := loadBGP(strings.TrimSuffix(*data, ".bin") + ".bgp.tsv")
-	check(err)
+	if err != nil {
+		return err
+	}
 	mapper := aspath.NewMapper(table)
 
 	f, err := os.Open(*data)
-	check(err)
+	if err != nil {
+		return err
+	}
 	defer f.Close()
 	r := trace.NewBinaryReader(f)
 
 	builder := timeline.NewBuilder(mapper, *interval)
 	diffs := dualstack.NewDiffCollector(mapper)
 	var pings []*trace.Ping
-	records := 0
+	stop := obs.Every(2*time.Second, func() {
+		log.Printf("%d records read, %.0f records/s",
+			recordsC.Value(), float64(recordsC.Value())/time.Since(start).Seconds())
+	})
 	for {
 		rec, err := r.Next()
 		if errors.Is(err, io.EOF) {
 			break
 		}
-		check(err)
-		records++
+		if err != nil {
+			stop()
+			return err
+		}
+		recordsC.Inc()
 		switch v := rec.(type) {
 		case *trace.Traceroute:
 			builder.Add(v)
@@ -65,7 +111,8 @@ func main() {
 			pings = append(pings, v)
 		}
 	}
-	fmt.Printf("s2sanalyze: %d records from %s\n\n", records, *data)
+	stop()
+	log.Printf("%d records from %s", recordsC.Value(), *data)
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -74,9 +121,9 @@ func main() {
 		tls := builder.Timelines()
 		v4, v6 := timeline.ByProtocol(tls)
 		var span time.Duration
-		obs := 0
+		obsCount := 0
 		for _, tl := range tls {
-			obs += len(tl.Obs)
+			obsCount += len(tl.Obs)
 			if n := len(tl.Obs); n > 0 && tl.Obs[n-1].At > span {
 				span = tl.Obs[n-1].At
 			}
@@ -87,7 +134,7 @@ func main() {
 			"ping records":           float64(len(pings)),
 			"trace timelines (v4)":   float64(len(v4)),
 			"trace timelines (v6)":   float64(len(v6)),
-			"usable observations":    float64(obs),
+			"usable observations":    float64(obsCount),
 			"span (days)":            span.Hours() / 24,
 			"paired v4/v6 diffs":     float64(len(diffs.All)),
 		})
@@ -118,7 +165,9 @@ func main() {
 		life4, delta4 := timeline.LifetimeDeltaSamples(v4, *interval, timeline.ByP10)
 		if len(life4) > 0 {
 			h, err := stats.DecileHeatmap(life4, delta4, 10)
-			check(err)
+			if err != nil {
+				return err
+			}
 			report.Heatmap(w, "Lifetime vs Δ10th-pct RTT (IPv4)", h, report.DurationLabel, report.MsLabel)
 		}
 	case "dualstack":
@@ -147,16 +196,38 @@ func main() {
 		iv := 15 * time.Minute
 		slots := int(span/iv) + 1
 		series := congest.BuildSeries(pings, iv, time.Duration(slots)*iv, slots*80/100)
-		v4, v6 := congest.SummarizeParallel(series, congest.DefaultDetector(), *workers)
+		det := congest.DefaultDetector().WithMetrics(reg)
+		v4, v6 := congest.SummarizeParallel(series, det, *workers)
 		report.Table(w, "Consistent congestion", []string{"", "IPv4", "IPv6"}, [][]string{
 			{"pairs", itoa(v4.Pairs), itoa(v6.Pairs)},
 			{"high variation", pc(v4.HighVariationFrac()), pc(v6.HighVariationFrac())},
 			{"congested", pc(v4.CongestedFrac()), pc(v6.CongestedFrac())},
 		})
 	default:
-		fmt.Fprintf(os.Stderr, "s2sanalyze: unknown analysis %q\n", *analysis)
-		os.Exit(2)
+		return fmt.Errorf("unknown analysis %q", *analysis)
 	}
+
+	wall := time.Since(start)
+	reg.Gauge(obs.MetricRunWallSeconds, "wall-clock duration of the run").Set(wall.Seconds())
+	reg.Gauge(obs.MetricRunRecordsPerSec, "records read per wall-clock second").Set(float64(recordsC.Value()) / wall.Seconds())
+	if *metrics != "" {
+		if err := obs.WriteFile(*metrics, reg); err != nil {
+			return err
+		}
+		log.Printf("wrote metrics snapshot to %s", *metrics)
+	}
+	if *memprofile != "" {
+		mf, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func loadBGP(path string) (*ipam.Table, error) {
@@ -171,10 +242,3 @@ func loadBGP(path string) (*ipam.Table, error) {
 func pc(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
 
 func itoa(n int) string { return strconv.Itoa(n) }
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "s2sanalyze: %v\n", err)
-		os.Exit(1)
-	}
-}

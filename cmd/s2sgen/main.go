@@ -6,9 +6,15 @@
 //	<out>.rel.tsv  AS relationships       (a <TAB> b <TAB> c2p|p2p)
 //	<out>.loc.tsv  cluster locations      (id <TAB> lat <TAB> lon <TAB> country)
 //
+// All diagnostics go to stderr (silence them with -q); stdout carries
+// nothing, so the command composes in pipelines. -metrics writes a final
+// telemetry snapshot (Prometheus text, or JSON for .json paths), and
+// -cpuprofile/-memprofile capture pprof profiles of the run.
+//
 // Usage:
 //
 //	s2sgen -campaign longterm|pings|short [-seed N] [-days N] [-mesh N] [-o PATH]
+//	       [-churn X] [-metrics PATH] [-cpuprofile PATH] [-memprofile PATH] [-q]
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/astopo"
@@ -26,86 +34,161 @@ import (
 	"repro/internal/geo"
 	"repro/internal/ipam"
 	"repro/internal/itopo"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/simnet"
 	"repro/internal/trace"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "s2sgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		seed     = flag.Int64("seed", 1, "random seed")
-		ases     = flag.Int("ases", 300, "number of ASes")
-		clusters = flag.Int("clusters", 400, "number of CDN clusters")
-		mesh     = flag.Int("mesh", 24, "measurement mesh size")
-		days     = flag.Int("days", 30, "campaign duration in days")
-		kind     = flag.String("campaign", "longterm", "campaign: longterm, pings, or short")
-		out      = flag.String("o", "dataset", "output path prefix")
-		jsonl    = flag.Bool("jsonl", false, "write JSON lines instead of binary records")
-		workers  = flag.Int("workers", 0, "measurement workers (0 = all cores, 1 = sequential)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		ases       = flag.Int("ases", 300, "number of ASes")
+		clusters   = flag.Int("clusters", 400, "number of CDN clusters")
+		mesh       = flag.Int("mesh", 24, "measurement mesh size")
+		days       = flag.Int("days", 30, "campaign duration in days")
+		kind       = flag.String("campaign", "longterm", "campaign: longterm, pings, or short")
+		out        = flag.String("o", "dataset", "output path prefix")
+		jsonl      = flag.Bool("jsonl", false, "write JSON lines instead of binary records")
+		workers    = flag.Int("workers", 0, "measurement workers (0 = all cores, 1 = sequential)")
+		churn      = flag.Float64("churn", 1, "multiply routing-event rates (1 = default schedule)")
+		metrics    = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
+		quiet      = flag.Bool("q", false, "suppress progress output on stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
+	log := obs.NewLogger("s2sgen", *quiet)
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	start := time.Now()
 	duration := time.Duration(*days) * 24 * time.Hour
 	acfg := astopo.DefaultConfig(*seed)
 	acfg.NumASes = *ases
 	topo, err := astopo.Generate(acfg)
-	check(err)
+	if err != nil {
+		return err
+	}
 	net, err := itopo.Build(topo, itopo.DefaultConfig(*seed))
-	check(err)
-	dyn, err := bgp.NewDynamics(topo, bgp.DefaultDynConfig(*seed, duration))
-	check(err)
+	if err != nil {
+		return err
+	}
+	dcfg := bgp.DefaultDynConfig(*seed, duration)
+	if *churn > 1 {
+		dcfg.LinkMTBF = time.Duration(float64(dcfg.LinkMTBF) / *churn)
+		dcfg.FlipMTBF = time.Duration(float64(dcfg.FlipMTBF) / *churn)
+	}
+	dyn, err := bgp.NewDynamics(topo, dcfg)
+	if err != nil {
+		return err
+	}
 	cong, err := congestion.NewModel(net, congestion.DefaultConfig(*seed, duration))
-	check(err)
+	if err != nil {
+		return err
+	}
 	plat, err := cdn.Deploy(net, cdn.DefaultConfig(*seed, *clusters))
-	check(err)
-	prober := probe.New(simnet.New(net, dyn, cong, simnet.DefaultConfig(*seed)))
+	if err != nil {
+		return err
+	}
+	sim := simnet.New(net, dyn, cong, simnet.DefaultConfig(*seed))
+	prober := probe.New(sim)
 	servers := campaign.SelectMesh(plat, *mesh, *seed)
 
-	// Dataset writer.
+	// Telemetry: every subsystem registers its counters here; the engine
+	// joins in through the campaign config. Metrics only observe, so the
+	// record stream is byte-identical with or without them.
+	reg := obs.NewRegistry()
+	sim.Instrument(reg)
+	dyn.Instrument(reg)
+	prober.Instrument(reg)
+
+	// Dataset writer. The first write error is remembered and reported
+	// after the campaign; later writes are skipped.
 	ext := ".bin"
 	if *jsonl {
 		ext = ".jsonl"
 	}
 	f, err := os.Create(*out + ext)
-	check(err)
-	defer f.Close()
-	var consumer campaign.Consumer
-	var flush func() error
-	count := 0
-	if *jsonl {
-		w := trace.NewJSONLWriter(f)
-		consumer = campaign.Funcs{
-			Traceroute: func(tr *trace.Traceroute) { count++; check(w.WriteTraceroute(tr)) },
-			Ping:       func(p *trace.Ping) { count++; check(w.WritePing(p)) },
-		}
-		flush = w.Flush
-	} else {
-		w := trace.NewBinaryWriter(f)
-		consumer = campaign.Funcs{
-			Traceroute: func(tr *trace.Traceroute) { count++; check(w.WriteTraceroute(tr)) },
-			Ping:       func(p *trace.Ping) { count++; check(w.WritePing(p)) },
-		}
-		flush = w.Flush
+	if err != nil {
+		return err
 	}
+	defer f.Close()
+	var werr error
+	count := 0
+	type recordWriter interface {
+		WriteTraceroute(*trace.Traceroute) error
+		WritePing(*trace.Ping) error
+		Flush() error
+	}
+	var w recordWriter
+	if *jsonl {
+		w = trace.NewJSONLWriter(f)
+	} else {
+		w = trace.NewBinaryWriter(f)
+	}
+	consumer := campaign.Funcs{
+		Traceroute: func(tr *trace.Traceroute) {
+			count++
+			if werr == nil {
+				werr = w.WriteTraceroute(tr)
+			}
+		},
+		Ping: func(p *trace.Ping) {
+			count++
+			if werr == nil {
+				werr = w.WritePing(p)
+			}
+		},
+	}
+
+	// Progress line: virtual-clock position and cumulative throughput,
+	// read from the same registry series the engine updates.
+	tasksC := reg.Counter(campaign.MetricTasks, "measurement tasks executed")
+	virtualG := reg.Gauge(campaign.MetricVirtualNS, "virtual-clock position of the campaign (nanoseconds since start)")
+	stop := obs.Every(2*time.Second, func() {
+		el := time.Since(start).Seconds()
+		log.Printf("virtual day %.1f/%d, %d records, %.0f records/s",
+			virtualG.Value()/86400e9, *days, tasksC.Value(), float64(tasksC.Value())/el)
+	})
 
 	switch *kind {
 	case "longterm":
-		check(campaign.LongTerm(prober, campaign.LongTermConfig{
+		err = campaign.LongTerm(prober, campaign.LongTermConfig{
 			Servers:       servers,
 			Duration:      duration,
 			Interval:      3 * time.Hour,
 			ParisSwitchAt: time.Duration(float64(duration) * 0.62),
 			Workers:       *workers,
-		}, consumer))
+			Metrics:       reg,
+		}, consumer)
 	case "pings":
-		check(campaign.PingMesh(prober, campaign.PingMeshConfig{
+		err = campaign.PingMesh(prober, campaign.PingMeshConfig{
 			Pairs:    campaign.FullMeshPairs(servers),
 			Duration: duration,
 			Interval: 15 * time.Minute,
 			Workers:  *workers,
-		}, consumer))
+			Metrics:  reg,
+		}, consumer)
 	case "short":
-		check(campaign.TracerouteCampaign(prober, campaign.TracerouteCampaignConfig{
+		err = campaign.TracerouteCampaign(prober, campaign.TracerouteCampaignConfig{
 			Pairs:          campaign.UnorderedPairs(servers),
 			Duration:       duration,
 			Interval:       30 * time.Minute,
@@ -113,19 +196,59 @@ func main() {
 			Paris:          true,
 			V6:             true,
 			Workers:        *workers,
-		}, consumer))
+			Metrics:        reg,
+		}, consumer)
 	default:
-		fmt.Fprintf(os.Stderr, "s2sgen: unknown campaign %q\n", *kind)
-		os.Exit(2)
+		stop()
+		return fmt.Errorf("unknown campaign %q", *kind)
 	}
-	check(flush())
+	stop()
+	if err != nil {
+		return err
+	}
+	if werr != nil {
+		return werr
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
 
 	// Sidecars.
-	check(writeBGP(*out+".bgp.tsv", net, plat))
-	check(writeRels(*out+".rel.tsv", topo))
-	check(writeLocations(*out+".loc.tsv", plat))
+	if err := writeBGP(*out+".bgp.tsv", net, plat); err != nil {
+		return err
+	}
+	if err := writeRels(*out+".rel.tsv", topo); err != nil {
+		return err
+	}
+	if err := writeLocations(*out+".loc.tsv", plat); err != nil {
+		return err
+	}
 
-	fmt.Printf("s2sgen: wrote %d records to %s%s (+ .bgp.tsv, .rel.tsv, .loc.tsv)\n", count, *out, ext)
+	wall := time.Since(start)
+	reg.Gauge(obs.MetricRunWallSeconds, "wall-clock duration of the run").Set(wall.Seconds())
+	reg.Counter(obs.MetricRunRecords, "records the run wrote").Add(int64(count))
+	reg.Gauge(obs.MetricRunRecordsPerSec, "records written per wall-clock second").Set(float64(count) / wall.Seconds())
+	if *metrics != "" {
+		if err := obs.WriteFile(*metrics, reg); err != nil {
+			return err
+		}
+		log.Printf("wrote metrics snapshot to %s", *metrics)
+	}
+	if *memprofile != "" {
+		mf, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return err
+		}
+	}
+
+	log.Printf("wrote %d records to %s%s (+ .bgp.tsv, .rel.tsv, .loc.tsv) in %v",
+		count, *out, ext, wall.Round(time.Millisecond))
+	return nil
 }
 
 // writeBGP dumps the announced-prefix view as "prefix\tASN" lines.
@@ -164,11 +287,4 @@ func writeLocations(path string, plat *cdn.Platform) error {
 		fmt.Fprintf(w, "%d\t%.4f\t%.4f\t%s\n", c.ID, city.Lat, city.Lon, city.Country)
 	}
 	return w.Flush()
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "s2sgen: %v\n", err)
-		os.Exit(1)
-	}
 }

@@ -2,10 +2,14 @@
 // chosen scale, printing each artifact's rendered output and a
 // paper-vs-measured summary — the data behind EXPERIMENTS.md.
 //
+// Rendered artifacts go to stdout; progress and timing go to stderr
+// (silence them with -q). -metrics writes a final telemetry snapshot
+// covering every experiment the run executed.
+//
 // Usage:
 //
 //	s2sreport [-scale test|default|full] [-seed N] [-only ID[,ID...]]
-//	          [-days N] [-mesh N] [-svgdir DIR] [-list]
+//	          [-days N] [-mesh N] [-svgdir DIR] [-list] [-metrics PATH] [-q]
 package main
 
 import (
@@ -17,9 +21,17 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "s2sreport: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		scaleName = flag.String("scale", "default", "simulation scale: test, default, or full")
 		seed      = flag.Int64("seed", 1, "master random seed")
@@ -28,14 +40,17 @@ func main() {
 		svgDir    = flag.String("svgdir", "", "write rendered figures (SVG) into this directory")
 		days      = flag.Int("days", 0, "override the long-term campaign length (days)")
 		mesh      = flag.Int("mesh", 0, "override the long-term mesh size")
+		metrics   = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
+		quiet     = flag.Bool("q", false, "suppress progress output on stderr")
 	)
 	flag.Parse()
+	log := obs.NewLogger("s2sreport", *quiet)
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
-		return
+		return nil
 	}
 
 	var sc experiments.Scale
@@ -47,8 +62,7 @@ func main() {
 	case "full":
 		sc = experiments.FullScale(*seed)
 	default:
-		fmt.Fprintf(os.Stderr, "s2sreport: unknown scale %q\n", *scaleName)
-		os.Exit(2)
+		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
 	if *days > 0 {
 		sc.LongTermDays = *days
@@ -56,6 +70,8 @@ func main() {
 	if *mesh > 0 {
 		sc.MeshSize = *mesh
 	}
+	reg := obs.NewRegistry()
+	sc.Metrics = reg
 
 	var selected []experiments.Experiment
 	if *only == "" {
@@ -65,45 +81,50 @@ func main() {
 			id = strings.TrimSpace(id)
 			e, ok := experiments.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "s2sreport: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
 			}
 			selected = append(selected, e)
 		}
 	}
 
 	start := time.Now()
-	fmt.Printf("s2sreport: scale=%s seed=%d experiments=%d\n\n", *scaleName, *seed, len(selected))
+	log.Printf("scale=%s seed=%d experiments=%d", *scaleName, *seed, len(selected))
 	env, err := experiments.NewEnv(sc)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "s2sreport: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	for _, e := range selected {
 		t0 := time.Now()
 		res, err := e.Run(env)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "s2sreport: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Println(strings.Repeat("=", 72))
 		fmt.Println(res.Text)
 		fmt.Println(res.Summary())
 		if *svgDir != "" && len(res.SVGs) > 0 {
 			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "s2sreport: %v\n", err)
-				os.Exit(1)
+				return err
 			}
 			for stem, svg := range res.SVGs {
 				path := filepath.Join(*svgDir, stem+".svg")
 				if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "s2sreport: %v\n", err)
-					os.Exit(1)
+					return err
 				}
-				fmt.Printf("  wrote %s\n", path)
+				log.Printf("wrote %s", path)
 			}
 		}
-		fmt.Printf("  (%s in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		log.Printf("%s done in %v", e.ID, time.Since(t0).Round(time.Millisecond))
 	}
-	fmt.Printf("s2sreport: done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	wall := time.Since(start)
+	reg.Gauge(obs.MetricRunWallSeconds, "wall-clock duration of the run").Set(wall.Seconds())
+	if *metrics != "" {
+		if err := obs.WriteFile(*metrics, reg); err != nil {
+			return err
+		}
+		log.Printf("wrote metrics snapshot to %s", *metrics)
+	}
+	log.Printf("done in %v", wall.Round(time.Millisecond))
+	return nil
 }

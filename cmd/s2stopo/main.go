@@ -2,46 +2,65 @@
 // summary: tier and relationship mix, IXPs, router-level size, address
 // plan, and the CDN platform footprint.
 //
+// The summary is the product and goes to stdout; diagnostics go to stderr
+// (silence them with -q). -metrics writes a telemetry snapshot with the
+// generated topology's sizes and the build's wall time.
+//
 // Usage:
 //
 //	s2stopo [-seed N] [-ases N] [-clusters N] [-links] [-platform]
+//	        [-metrics PATH] [-q]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/astopo"
 	"repro/internal/cdn"
 	"repro/internal/geo"
 	"repro/internal/itopo"
+	"repro/internal/obs"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "s2stopo: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		seed     = flag.Int64("seed", 1, "random seed")
 		ases     = flag.Int("ases", 300, "number of ASes")
 		clusters = flag.Int("clusters", 400, "number of CDN clusters")
 		links    = flag.Bool("links", false, "dump every AS-level link")
 		platform = flag.Bool("platform", false, "dump every cluster")
+		metrics  = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
+		quiet    = flag.Bool("q", false, "suppress progress output on stderr")
 	)
 	flag.Parse()
+	log := obs.NewLogger("s2stopo", *quiet)
 
+	start := time.Now()
 	acfg := astopo.DefaultConfig(*seed)
 	acfg.NumASes = *ases
 	topo, err := astopo.Generate(acfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	net, err := itopo.Build(topo, itopo.DefaultConfig(*seed))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	plat, err := cdn.Deploy(net, cdn.DefaultConfig(*seed, *clusters))
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	log.Printf("built topology in %v", time.Since(start).Round(time.Millisecond))
 
 	tiers := map[astopo.Tier]int{}
 	dual := 0
@@ -110,9 +129,19 @@ func main() {
 				c.ID, geo.Cities[c.City].Name, c.HostAS, c.Server4, v6)
 		}
 	}
-}
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "s2stopo: %v\n", err)
-	os.Exit(1)
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		reg.Gauge(obs.MetricRunWallSeconds, "wall-clock duration of the run").Set(time.Since(start).Seconds())
+		reg.Gauge("s2s_topo_ases", "ASes in the generated topology").Set(float64(len(topo.ASes)))
+		reg.Gauge("s2s_topo_as_links", "AS-level links in the generated topology").Set(float64(len(topo.Links)))
+		reg.Gauge("s2s_topo_routers", "routers in the generated network").Set(float64(len(net.Routers)))
+		reg.Gauge("s2s_topo_router_links", "router-level links in the generated network").Set(float64(len(net.Links)))
+		reg.Gauge("s2s_topo_clusters", "CDN clusters deployed").Set(float64(len(plat.Clusters)))
+		if err := obs.WriteFile(*metrics, reg); err != nil {
+			return err
+		}
+		log.Printf("wrote metrics snapshot to %s", *metrics)
+	}
+	return nil
 }

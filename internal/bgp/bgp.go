@@ -20,9 +20,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/astopo"
 	"repro/internal/ipam"
+	"repro/internal/obs"
 )
 
 // Plane selects the IPv4 or IPv6 routing plane. The two planes share the
@@ -160,6 +162,19 @@ type Routing struct {
 	// the failed link need recomputing.
 	linkMu  sync.Mutex
 	linkUse map[[2]int32][]int32
+
+	// Telemetry shared with the owning Dynamics; nil when uninstrumented.
+	obsComputed *obs.Counter
+	obsCarried  *obs.Counter
+	obsCompute  *obs.Histogram
+}
+
+// instrument attaches the owning Dynamics' counters. Must not race with
+// concurrent tree computation: call before probing starts.
+func (r *Routing) instrument(computed, carried *obs.Counter, compute *obs.Histogram) {
+	r.obsComputed = computed
+	r.obsCarried = carried
+	r.obsCompute = compute
 }
 
 // treeSlot lazily holds one destination tree. The pointer is published
@@ -295,7 +310,15 @@ func (r *Routing) treeFor(dst int) *destTree {
 	if t := s.t.Load(); t != nil {
 		return t
 	}
+	var t0 time.Time
+	if r.obsCompute != nil {
+		t0 = time.Now()
+	}
 	t := r.computeTree(dst)
+	if r.obsCompute != nil {
+		r.obsCompute.Observe(time.Since(t0).Seconds())
+	}
+	r.obsComputed.Inc()
 	r.indexTree(dst, t)
 	s.t.Store(t)
 	return t
@@ -318,6 +341,7 @@ func (r *Routing) indexTree(dst int, t *destTree) {
 // adopt installs a tree computed by an earlier-epoch Routing whose routes
 // the epoch's events provably did not change.
 func (r *Routing) adopt(dst int, t *destTree) {
+	r.obsCarried.Inc()
 	r.indexTree(dst, t)
 	r.slots[dst].t.Store(t)
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/astopo"
 	"repro/internal/ipam"
+	"repro/internal/obs"
 )
 
 // EventKind enumerates routing events.
@@ -95,6 +96,12 @@ type Dynamics struct {
 	cache       map[int64]*Routing // key: epoch<<1 | plane
 	cacheEvict  bool
 	lowestEpoch int
+
+	// Incremental-recomputation telemetry; nil until Instrument.
+	obsComputed *obs.Counter
+	obsCarried  *obs.Counter
+	obsBuild    *obs.Histogram
+	obsCompute  *obs.Histogram
 }
 
 // NewDynamics generates the event schedule for topo under cfg.
@@ -246,6 +253,37 @@ func (d *Dynamics) RoutingAt(t time.Duration, plane Plane) *Routing {
 	return d.RoutingAtEpoch(d.EpochAt(t), plane)
 }
 
+// Metric names exported by Instrument. The carried:computed ratio is the
+// empirical tree carry-over rate of the incremental recomputation.
+const (
+	MetricTreesComputed     = "s2s_bgp_trees_computed_total"
+	MetricTreesCarried      = "s2s_bgp_trees_carried_total"
+	MetricEpochBuildSeconds = "s2s_bgp_epoch_build_seconds"
+	MetricTreeSeconds       = "s2s_bgp_tree_compute_seconds"
+)
+
+// Instrument registers the incremental-recomputation counters in reg:
+// destination trees computed from scratch vs carried over across epoch
+// boundaries, the time spent constructing each epoch's routing view
+// (including the carry-over scan), and the time of each from-scratch tree
+// computation. A nil registry is a no-op. Call before handing the
+// Dynamics to concurrent probers.
+func (d *Dynamics) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.obsComputed = reg.Counter(MetricTreesComputed, "destination trees computed from scratch")
+	d.obsCarried = reg.Counter(MetricTreesCarried, "destination trees carried over across an epoch boundary")
+	d.obsBuild = reg.Histogram(MetricEpochBuildSeconds, "per-epoch routing-view construction time (carry-over scan included)", obs.DurationBuckets())
+	d.obsCompute = reg.Histogram(MetricTreeSeconds, "from-scratch destination-tree computation time", obs.DurationBuckets())
+	// Views built before Instrument keep counting too.
+	for _, r := range d.cache {
+		r.instrument(d.obsComputed, d.obsCarried, d.obsCompute)
+	}
+}
+
 // maxCarryGap bounds how many epochs' events the incremental derivation
 // folds together before falling back to a from-scratch view: past that,
 // nearly every tree is invalidated anyway and the checks are pure cost.
@@ -260,7 +298,14 @@ func (d *Dynamics) RoutingAtEpoch(epoch int, plane Plane) *Routing {
 	if r, ok := d.cache[key]; ok {
 		return r
 	}
+	var t0 time.Time
+	if d.obsBuild != nil {
+		t0 = time.Now()
+	}
 	r := d.buildRoutingLocked(epoch, plane)
+	if d.obsBuild != nil {
+		d.obsBuild.Observe(time.Since(t0).Seconds())
+	}
 	if d.cacheEvict && epoch > d.lowestEpoch {
 		for k := range d.cache {
 			if int(k>>1) < epoch {
@@ -288,6 +333,7 @@ func (d *Dynamics) buildRoutingLocked(epoch int, plane Plane) *Routing {
 		}
 	}
 	r := newRouting(d.g, d.states[epoch], plane)
+	r.instrument(d.obsComputed, d.obsCarried, d.obsCompute)
 	if prev == nil || epoch-prevEpoch > maxCarryGap {
 		return r
 	}

@@ -1,0 +1,65 @@
+package bgp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/obs"
+)
+
+// TestDynamicsMetrics walks a churny schedule in epoch order — the
+// campaign access pattern PR 1's incremental carry-over targets — and
+// checks that the computed/carried counters account for every tree and
+// that the timing histograms saw every computation.
+func TestDynamicsMetrics(t *testing.T) {
+	acfg := astopo.DefaultConfig(31)
+	acfg.NumASes = 80
+	topo, err := astopo.Generate(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := 60 * 24 * time.Hour
+	cfg := DefaultDynConfig(31, dur)
+	// Compress the failure/flip processes so the window holds many epochs.
+	cfg.LinkMTBF /= 40
+	cfg.FlipMTBF /= 40
+	dyn, err := NewDynamics(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.NumEpochs() < 5 {
+		t.Fatalf("schedule too quiet for the test: %d epochs", dyn.NumEpochs())
+	}
+	reg := obs.NewRegistry()
+	dyn.Instrument(reg)
+
+	ases := topo.ASes
+	for epoch := 0; epoch < dyn.NumEpochs(); epoch++ {
+		r := dyn.RoutingAtEpoch(epoch, V4)
+		for s := 0; s < len(ases); s += 5 {
+			for d := 0; d < len(ases); d += 7 {
+				r.Path(ases[s].ASN, ases[d].ASN)
+			}
+		}
+	}
+
+	snap := reg.Snapshot()
+	computed := snap.Counters[MetricTreesComputed]
+	carried := snap.Counters[MetricTreesCarried]
+	if computed == 0 {
+		t.Fatal("no trees computed on an epoch walk")
+	}
+	if carried == 0 {
+		t.Fatal("no trees carried over on an in-order epoch walk")
+	}
+	if got := snap.Histograms[MetricTreeSeconds].Count; got != computed {
+		t.Errorf("tree-compute histogram count = %d, want %d (one sample per computed tree)", got, computed)
+	}
+	if got := snap.Histograms[MetricEpochBuildSeconds].Count; got == 0 {
+		t.Error("epoch-build histogram never observed")
+	}
+	ratio := float64(carried) / float64(carried+computed)
+	t.Logf("trees: computed %d, carried %d (carry ratio %.1f%%) over %d epochs",
+		computed, carried, 100*ratio, dyn.NumEpochs())
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/cdn"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/trace"
 )
@@ -95,6 +96,9 @@ type LongTermConfig struct {
 	// forces sequential execution. The record stream is identical either
 	// way (see Engine).
 	Workers int
+	// Metrics, when non-nil, receives the engine's telemetry (see
+	// Engine.Instrument). Metrics never alter the record stream.
+	Metrics *obs.Registry
 }
 
 // Validate checks the configuration.
@@ -141,6 +145,7 @@ func LongTerm(p *probe.Prober, cfg LongTermConfig, c Consumer) error {
 	}
 	e := NewEngine(p, cfg.Workers)
 	defer e.Close()
+	e.Instrument(cfg.Metrics)
 	var tasks []measurement
 	scheduledParis := false
 	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
@@ -162,6 +167,8 @@ type PingMeshConfig struct {
 	Duration, Interval time.Duration
 	// Workers sizes the measurement engine (see LongTermConfig.Workers).
 	Workers int
+	// Metrics receives engine telemetry (see LongTermConfig.Metrics).
+	Metrics *obs.Registry
 }
 
 // PingMesh runs the ping campaign.
@@ -183,6 +190,7 @@ func PingMesh(p *probe.Prober, cfg PingMeshConfig, c Consumer) error {
 	}
 	e := NewEngine(p, cfg.Workers)
 	defer e.Close()
+	e.Instrument(cfg.Metrics)
 	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
 		e.RunRound(tasks, at, c)
 	}
@@ -203,6 +211,8 @@ type TracerouteCampaignConfig struct {
 	V6    bool
 	// Workers sizes the measurement engine (see LongTermConfig.Workers).
 	Workers int
+	// Metrics receives engine telemetry (see LongTermConfig.Metrics).
+	Metrics *obs.Registry
 }
 
 // TracerouteCampaign runs the campaign.
@@ -229,6 +239,7 @@ func TracerouteCampaign(p *probe.Prober, cfg TracerouteCampaignConfig, c Consume
 	}
 	e := NewEngine(p, cfg.Workers)
 	defer e.Close()
+	e.Instrument(cfg.Metrics)
 	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
 		e.RunRound(tasks, at, c)
 	}

@@ -259,6 +259,37 @@ func TestConsumerAdapters(t *testing.T) {
 	Funcs{}.OnPing(&trace.Ping{})
 }
 
+// TestMultiFanOutOrder checks that Multi delivers every record to every
+// consumer in declaration order, so a metrics tap ahead of a writer sees
+// the record before it is persisted.
+func TestMultiFanOutOrder(t *testing.T) {
+	var order []int
+	tap := func(id int) Funcs {
+		return Funcs{
+			Traceroute: func(*trace.Traceroute) { order = append(order, id) },
+			Ping:       func(*trace.Ping) { order = append(order, -id) },
+		}
+	}
+	var col Collector
+	m := Multi{tap(1), tap(2), &col, tap(3)}
+	m.OnTraceroute(&trace.Traceroute{})
+	m.OnPing(&trace.Ping{})
+	m.OnTraceroute(&trace.Traceroute{})
+	want := []int{1, 2, 3, -1, -2, -3, 1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("fan-out calls = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fan-out order = %v, want %v", order, want)
+		}
+	}
+	if len(col.Traceroutes) != 2 || len(col.Pings) != 1 {
+		t.Errorf("interleaved Collector got %d/%d records, want 2/1",
+			len(col.Traceroutes), len(col.Pings))
+	}
+}
+
 // TestParallelMatchesSequential asserts that the parallel long-term runner
 // produces the exact record stream of the sequential one.
 func TestParallelMatchesSequential(t *testing.T) {
@@ -277,7 +308,8 @@ func TestParallelMatchesSequential(t *testing.T) {
 	p2, platform2 := newProber(t, 8, 2, 60)
 	servers2 := SelectMesh(platform2, 5, 8)
 	cfg.Servers = servers2
-	if err := LongTermParallel(p2, cfg, 4, &par); err != nil {
+	cfg.Workers = 4
+	if err := LongTerm(p2, cfg, &par); err != nil {
 		t.Fatal(err)
 	}
 	if len(seq.Traceroutes) != len(par.Traceroutes) {
@@ -302,9 +334,9 @@ func TestParallelMatchesSequential(t *testing.T) {
 func TestParallelSingleWorkerFallback(t *testing.T) {
 	p, platform := newProber(t, 9, 2, 50)
 	servers := SelectMesh(platform, 3, 9)
-	cfg := LongTermConfig{Servers: servers, Duration: 3 * time.Hour, Interval: 3 * time.Hour}
+	cfg := LongTermConfig{Servers: servers, Duration: 3 * time.Hour, Interval: 3 * time.Hour, Workers: 1}
 	var col Collector
-	if err := LongTermParallel(p, cfg, 1, &col); err != nil {
+	if err := LongTerm(p, cfg, &col); err != nil {
 		t.Fatal(err)
 	}
 	want := 3 * 2 * 2 // pairs × protocols

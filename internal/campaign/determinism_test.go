@@ -135,4 +135,7 @@ func TestNormalizeWorkers(t *testing.T) {
 	if got := NormalizeWorkers(maxWorkers + 100); got != maxWorkers {
 		t.Errorf("NormalizeWorkers(big) = %d, want clamp to %d", got, maxWorkers)
 	}
+	if got := NormalizeWorkers(maxWorkers); got != maxWorkers {
+		t.Errorf("NormalizeWorkers(maxWorkers) = %d, want %d unchanged", got, maxWorkers)
+	}
 }

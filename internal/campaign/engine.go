@@ -1,12 +1,14 @@
 package campaign
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cdn"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/trace"
 )
@@ -74,6 +76,47 @@ type Engine struct {
 	feed    chan *round
 	wg      sync.WaitGroup
 	scratch []result // reused between rounds; only one round is in flight
+	o       engineObs
+}
+
+// Metric names exported by Instrument. Worker busy time carries a worker
+// label; the caller's inline drain is the highest worker index.
+const (
+	MetricTasks        = "s2s_engine_tasks_total"
+	MetricRounds       = "s2s_engine_rounds_total"
+	MetricWorkerBusyNS = "s2s_engine_worker_busy_ns_total"
+	MetricReorderDepth = "s2s_engine_reorder_depth"
+	MetricVirtualNS    = "s2s_campaign_virtual_ns"
+)
+
+// engineObs is the engine's telemetry; all fields nil (one predicted
+// branch per event) until Instrument attaches a registry.
+type engineObs struct {
+	tasks   *obs.Counter
+	rounds  *obs.Counter
+	reorder *obs.Gauge
+	virtual *obs.Gauge
+	busy    []*obs.Counter // per worker, nanoseconds inside drain
+}
+
+// Instrument registers the engine's counters in reg: tasks executed,
+// rounds dispatched, per-worker busy time, the result-reorder buffer
+// depth, and the campaign's virtual-clock progress. A nil registry is a
+// no-op. Call before the first RunRound. Metrics observe execution only —
+// the record stream stays byte-identical to an uninstrumented run.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	e.o.tasks = reg.Counter(MetricTasks, "measurement tasks executed")
+	e.o.rounds = reg.Counter(MetricRounds, "campaign rounds dispatched")
+	e.o.reorder = reg.Gauge(MetricReorderDepth, "result-reorder buffer depth of the current round (tasks held for in-order delivery)")
+	e.o.virtual = reg.Gauge(MetricVirtualNS, "virtual-clock position of the campaign (nanoseconds since start)")
+	e.o.busy = make([]*obs.Counter, e.workers)
+	for i := range e.o.busy {
+		e.o.busy[i] = reg.Counter(fmt.Sprintf(`%s{worker="%d"}`, MetricWorkerBusyNS, i),
+			"time each worker spent executing round tasks, in nanoseconds")
+	}
 }
 
 // NewEngine returns an engine over the prober with NormalizeWorkers(workers)
@@ -84,7 +127,7 @@ func NewEngine(p *probe.Prober, workers int) *Engine {
 		e.feed = make(chan *round, e.workers)
 		for i := 0; i < e.workers-1; i++ {
 			e.wg.Add(1)
-			go e.worker(e.feed)
+			go e.worker(e.feed, i)
 		}
 	}
 	return e
@@ -103,21 +146,28 @@ func (e *Engine) Close() {
 }
 
 // worker receives its feed as an argument so that Close nilling the field
-// cannot race with a worker that has not yet entered its receive loop.
-func (e *Engine) worker(feed <-chan *round) {
+// cannot race with a worker that has not yet entered its receive loop. w
+// is the worker's index for busy-time attribution; the caller's inline
+// drain uses index workers-1.
+func (e *Engine) worker(feed <-chan *round, w int) {
 	defer e.wg.Done()
 	for r := range feed {
-		e.drain(r)
+		e.drain(r, w)
 	}
 }
 
-// drain claims and executes tasks until the round is exhausted.
-func (e *Engine) drain(r *round) {
+// drain claims and executes tasks until the round is exhausted, billing
+// the elapsed time to worker w.
+func (e *Engine) drain(r *round, w int) {
+	var t0 time.Time
+	if e.o.busy != nil {
+		t0 = time.Now()
+	}
 	n := int64(len(r.tasks))
 	for {
 		i := r.next.Add(1) - 1
 		if i >= n {
-			return
+			break
 		}
 		tk := r.tasks[i]
 		if tk.ping {
@@ -125,9 +175,13 @@ func (e *Engine) drain(r *round) {
 		} else {
 			r.out[i].tr = e.p.Traceroute(tk.src, tk.dst, tk.v6, tk.paris, r.at)
 		}
+		e.o.tasks.Inc()
 		if r.done.Add(1) == n {
 			close(r.fin)
 		}
+	}
+	if e.o.busy != nil {
+		e.o.busy[w].Add(time.Since(t0).Nanoseconds())
 	}
 }
 
@@ -137,19 +191,31 @@ func (e *Engine) RunRound(tasks []measurement, at time.Duration, c Consumer) {
 	if len(tasks) == 0 {
 		return
 	}
+	e.o.rounds.Inc()
+	e.o.virtual.Set(float64(at))
 	if e.workers <= 1 || len(tasks) == 1 {
+		var t0 time.Time
+		if e.o.busy != nil {
+			t0 = time.Now()
+		}
 		for _, tk := range tasks {
 			if tk.ping {
 				c.OnPing(e.p.Ping(tk.src, tk.dst, tk.v6, at))
 			} else {
 				c.OnTraceroute(e.p.Traceroute(tk.src, tk.dst, tk.v6, tk.paris, at))
 			}
+			e.o.tasks.Inc()
+		}
+		if e.o.busy != nil {
+			// The caller's inline drain is always the last worker index.
+			e.o.busy[e.workers-1].Add(time.Since(t0).Nanoseconds())
 		}
 		return
 	}
 	if cap(e.scratch) < len(tasks) {
 		e.scratch = make([]result, len(tasks))
 	}
+	e.o.reorder.Set(float64(len(tasks)))
 	out := e.scratch[:len(tasks)]
 	r := &round{at: at, tasks: tasks, out: out, fin: make(chan struct{})}
 	// Wake the pool, then join it: the caller drains too, so the round
@@ -157,7 +223,7 @@ func (e *Engine) RunRound(tasks []measurement, at time.Duration, c Consumer) {
 	for i := 0; i < e.workers-1; i++ {
 		e.feed <- r
 	}
-	e.drain(r)
+	e.drain(r, e.workers-1)
 	<-r.fin
 	for i := range out {
 		if out[i].pg != nil {

@@ -1,0 +1,69 @@
+package campaign
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsDoNotPerturbRecords runs the same long-term campaign with and
+// without an attached registry and asserts the record streams are
+// identical — instrumentation observes execution, it never steers it — and
+// that the engine's counters account for the work done.
+func TestMetricsDoNotPerturbRecords(t *testing.T) {
+	cfg := LongTermConfig{
+		Duration: 12 * time.Hour,
+		Interval: 3 * time.Hour,
+		Workers:  2,
+	}
+
+	p1, plat1 := newProber(t, 12, 2, 60)
+	cfg.Servers = SelectMesh(plat1, 5, 12)
+	var plain Collector
+	if err := LongTerm(p1, cfg, &plain); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, plat2 := newProber(t, 12, 2, 60)
+	cfg.Servers = SelectMesh(plat2, 5, 12)
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	var inst Collector
+	if err := LongTerm(p2, cfg, &inst); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(plain.Traceroutes) != len(inst.Traceroutes) {
+		t.Fatalf("record counts differ: %d vs %d", len(plain.Traceroutes), len(inst.Traceroutes))
+	}
+	for i := range plain.Traceroutes {
+		a, b := plain.Traceroutes[i], inst.Traceroutes[i]
+		if a.SrcID != b.SrcID || a.DstID != b.DstID || a.At != b.At ||
+			a.V6 != b.V6 || a.RTT != b.RTT || a.Complete != b.Complete ||
+			len(a.Hops) != len(b.Hops) {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a, b)
+		}
+		for h := range a.Hops {
+			if a.Hops[h] != b.Hops[h] {
+				t.Fatalf("record %d hop %d differs", i, h)
+			}
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricTasks]; got != int64(len(inst.Traceroutes)) {
+		t.Errorf("tasks counter = %d, want %d (one per record)", got, len(inst.Traceroutes))
+	}
+	rounds := int64(cfg.Duration / cfg.Interval)
+	if got := snap.Counters[MetricRounds]; got != rounds {
+		t.Errorf("rounds counter = %d, want %d", got, rounds)
+	}
+	if got := snap.SumFamily(MetricWorkerBusyNS); got <= 0 {
+		t.Errorf("worker busy time = %d ns, want > 0", got)
+	}
+	wantVirtual := float64(cfg.Duration - cfg.Interval) // last round timestamp
+	if got := snap.Gauges[MetricVirtualNS]; got != wantVirtual {
+		t.Errorf("virtual-clock gauge = %v, want %v", got, wantVirtual)
+	}
+}

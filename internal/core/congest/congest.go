@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core/fft"
 	"repro/internal/core/stats"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -141,16 +142,31 @@ type Detector struct {
 	VariationMs float64
 	// PSDThreshold is the minimum diurnal power ratio (paper: 0.3).
 	PSDThreshold float64
+
+	// evals counts detector evaluations (each a percentile pass and, when
+	// the variation gate passes, an FFT); nil until WithMetrics.
+	evals *obs.Counter
 }
+
+// MetricDetectorEvals is the metric name registered by WithMetrics.
+const MetricDetectorEvals = "s2s_congest_detector_evals_total"
 
 // DefaultDetector returns the paper's thresholds.
 func DefaultDetector() Detector {
 	return Detector{VariationMs: 10, PSDThreshold: fft.DefaultDiurnalThreshold}
 }
 
+// WithMetrics returns a copy of the detector that counts its evaluations
+// in reg (a nil registry leaves the copy uninstrumented).
+func (d Detector) WithMetrics(reg *obs.Registry) Detector {
+	d.evals = reg.Counter(MetricDetectorEvals, "congestion-detector evaluations (percentile spread + diurnal FFT)")
+	return d
+}
+
 // Congested reports whether the series shows consistent congestion: large
 // variation with a strong diurnal pattern.
 func (d Detector) Congested(s *Series) bool {
+	d.evals.Inc()
 	return s.VariationMs() >= d.VariationMs && s.DiurnalRatio() >= d.PSDThreshold
 }
 
@@ -242,6 +258,7 @@ func evalDetector(keys []trace.PairKey, series map[trace.PairKey]*Series, d Dete
 }
 
 func verdictFor(s *Series, d Detector) detectorVerdict {
+	d.evals.Inc()
 	v := detectorVerdict{highVar: s.VariationMs() >= d.VariationMs}
 	if v.highVar {
 		v.congested = s.DiurnalRatio() >= d.PSDThreshold

@@ -1,0 +1,44 @@
+package congest
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestDetectorMetrics checks that an instrumented detector counts one
+// evaluation per series, through both the direct and the parallel path,
+// and that instrumentation does not change verdicts.
+func TestDetectorMetrics(t *testing.T) {
+	pings := synthPings(t, 30, 0)
+	interval := 15 * time.Minute
+	series := BuildSeries(pings, interval, 672*interval, 500)
+	if len(series) == 0 {
+		t.Fatal("no series built")
+	}
+
+	reg := obs.NewRegistry()
+	plain := DefaultDetector()
+	det := plain.WithMetrics(reg)
+
+	evals := int64(0)
+	for _, s := range series {
+		if det.Congested(s) != plain.Congested(s) {
+			t.Error("instrumented detector changed a verdict")
+		}
+		evals++
+	}
+	c := reg.Counter(MetricDetectorEvals, "")
+	if got := c.Value(); got != evals {
+		t.Errorf("evals counter = %d, want %d", got, evals)
+	}
+
+	// SummarizeParallel evaluates each pair exactly once per call.
+	Summarize(series, det)
+	SummarizeParallel(series, det, 4)
+	want := evals + 2*int64(len(series))
+	if got := c.Value(); got != want {
+		t.Errorf("evals counter after summaries = %d, want %d", got, want)
+	}
+}

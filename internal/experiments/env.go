@@ -24,6 +24,7 @@ import (
 	"repro/internal/core/timeline"
 	"repro/internal/geo"
 	"repro/internal/itopo"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/simnet"
 	"repro/internal/trace"
@@ -65,6 +66,11 @@ type Scale struct {
 	// Workers parallelizes the long-term campaign's measurement rounds
 	// (records remain bit-identical to a sequential run; ≤1 disables).
 	Workers int
+
+	// Metrics, when non-nil, receives run telemetry from every
+	// instrumented subsystem (path cache, BGP recomputation, engine,
+	// prober, detector). Metrics never alter any record or result.
+	Metrics *obs.Registry
 }
 
 // TestScale returns a tiny configuration for unit tests.
@@ -201,6 +207,11 @@ func NewEnv(sc Scale) (*Env, error) {
 	if len(env.Mesh) < 2 {
 		return nil, fmt.Errorf("experiments: mesh too small (%d dual-stack sites)", len(env.Mesh))
 	}
+	if sc.Metrics != nil {
+		sim.Instrument(sc.Metrics)
+		dyn.Instrument(sc.Metrics)
+		env.Prober.Instrument(sc.Metrics)
+	}
 	return env, nil
 }
 
@@ -238,6 +249,8 @@ func (e *Env) LongTerm() (*longTermData, error) {
 		Duration:      duration,
 		Interval:      e.Scale.LongTermInterval,
 		ParisSwitchAt: time.Duration(float64(duration) * e.Scale.ParisSwitchFrac),
+		Workers:       e.Scale.Workers,
+		Metrics:       e.Scale.Metrics,
 	}
 	consumer := campaign.Funcs{Traceroute: func(tr *trace.Traceroute) {
 		data.total++
@@ -245,7 +258,7 @@ func (e *Env) LongTerm() (*longTermData, error) {
 		data.diffs.Add(tr)
 		data.inflations.Add(tr)
 	}}
-	if err := campaign.LongTermParallel(e.Prober, cfg, e.Scale.Workers, consumer); err != nil {
+	if err := campaign.LongTerm(e.Prober, cfg, consumer); err != nil {
 		return nil, err
 	}
 	e.long = data
@@ -278,6 +291,7 @@ func (e *Env) ShortTerm() (*shortTermData, error) {
 		Paris:          true,
 		V6:             true,
 		Workers:        e.Scale.Workers,
+		Metrics:        e.Scale.Metrics,
 	}
 	consumer := campaign.Funcs{Traceroute: func(tr *trace.Traceroute) {
 		data.builder.Add(tr)
@@ -320,6 +334,7 @@ func (e *Env) PingMesh() (*pingData, error) {
 		Duration: duration,
 		Interval: e.Scale.PingInterval,
 		Workers:  e.Scale.Workers,
+		Metrics:  e.Scale.Metrics,
 	}
 	if err := campaign.PingMesh(e.Prober, cfg, &col); err != nil {
 		return nil, err
@@ -330,7 +345,7 @@ func (e *Env) PingMesh() (*pingData, error) {
 	data := &pingData{series: series, totalPings: len(col.Pings)}
 	// Per-pair detection (an FFT each) fans out over the workers; the
 	// flagged set is then ordered deterministically.
-	verdicts := congest.DetectParallel(series, congest.DefaultDetector(), e.Scale.Workers)
+	verdicts := congest.DetectParallel(series, congest.DefaultDetector().WithMetrics(e.Scale.Metrics), e.Scale.Workers)
 	var keys []trace.PairKey
 	for k := range series {
 		keys = append(keys, k)
@@ -399,6 +414,7 @@ func (e *Env) Localizations() (*localizationData, error) {
 		BothDirections: true,
 		Paris:          true,
 		Workers:        e.Scale.Workers,
+		Metrics:        e.Scale.Metrics,
 	}
 	if err := campaign.TracerouteCampaign(e.Prober, cfg, &col); err != nil {
 		return nil, err

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LE    float64 `json:"-"` // +Inf for the last bucket
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON renders the bound as a string so the +Inf bucket (which
+// encoding/json cannot represent as a number) survives the round trip.
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	return []byte(`{"le":"` + formatLE(b.LE) + `","count":` + strconv.FormatInt(b.Count, 10) + `}`), nil
+}
+
+// HistogramSnapshot is a point-in-time histogram reading.
+type HistogramSnapshot struct {
+	Buckets []BucketSnapshot `json:"buckets"`
+	Sum     float64          `json:"sum"`
+	Count   int64            `json:"count"`
+}
+
+// Snapshot is a point-in-time reading of every instrument in a registry,
+// with deterministic (sorted) iteration order in both export formats.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	help       map[string]string
+}
+
+// Snapshot captures the registry's current values. Instruments keep
+// counting afterwards; the snapshot does not. Returns an empty snapshot on
+// a nil registry.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+		help:       make(map[string]string),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{Sum: h.Sum(), Count: h.Count()}
+		cum := int64(0)
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			le := inf
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: le, Count: cum})
+		}
+		s.Histograms[name] = hs
+	}
+	for fam, help := range r.help {
+		s.help[fam] = help
+	}
+	return s
+}
+
+var inf = math.Inf(1)
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// series is one exportable line: a full series name (possibly labeled) and
+// its rendered value.
+type series struct {
+	name  string
+	value string
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatLE(v float64) string {
+	if v == inf {
+		return "+Inf"
+	}
+	return formatFloat(v)
+}
+
+// withLabel appends a label to a series name, merging with an existing
+// inline label set: withLabel(`x{a="1"}`, `le`, `0.5`) -> `x{a="1",le="0.5"}`.
+func withLabel(name, key, value string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + `,` + key + `="` + value + `"}`
+	}
+	return name + `{` + key + `="` + value + `"}`
+}
+
+// suffixed inserts a suffix before any inline label set:
+// suffixed(`x{a="1"}`, `_sum`) -> `x_sum{a="1"}`.
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format, families sorted by name and series sorted within each family.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	type family struct {
+		name, kind string
+		series     []series
+	}
+	families := make(map[string]*family)
+	add := func(name, kind string, lines ...series) {
+		fam := familyOf(name)
+		f, ok := families[fam]
+		if !ok {
+			f = &family{name: fam, kind: kind}
+			families[fam] = f
+		}
+		f.series = append(f.series, lines...)
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		add(name, "counter", series{name, strconv.FormatInt(s.Counters[name], 10)})
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		add(name, "gauge", series{name, formatFloat(s.Gauges[name])})
+	}
+	// Histogram series keep their bucket order (increasing le, +Inf last)
+	// rather than sorting lexically, as the exposition format requires.
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		lines := make([]series, 0, len(h.Buckets)+2)
+		for _, b := range h.Buckets {
+			lines = append(lines, series{withLabel(suffixed(name, "_bucket"), "le", formatLE(b.LE)), strconv.FormatInt(b.Count, 10)})
+		}
+		lines = append(lines,
+			series{suffixed(name, "_sum"), formatFloat(h.Sum)},
+			series{suffixed(name, "_count"), strconv.FormatInt(h.Count, 10)},
+		)
+		add(name, "histogram", lines...)
+	}
+
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := families[name]
+		if help := s.help[f.name]; help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, line := range f.series {
+			fmt.Fprintf(bw, "%s %s\n", line.name, line.value)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSON renders the snapshot as indented JSON (keys sort
+// deterministically under encoding/json).
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteFile snapshots the registry and writes it to path: JSON when the
+// path ends in .json, Prometheus text format otherwise.
+func WriteFile(path string, r *Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	s := r.Snapshot()
+	if strings.HasSuffix(path, ".json") {
+		err = s.WriteJSON(f)
+	} else {
+		err = s.WritePrometheus(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// SumFamily sums every counter series in the family (e.g. all shards of
+// `s2s_simnet_path_cache_hits_total`). Bare names match themselves only.
+func (s *Snapshot) SumFamily(family string) int64 {
+	var total int64
+	for name, v := range s.Counters {
+		if familyOf(name) == family {
+			total += v
+		}
+	}
+	return total
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Logger is the single diagnostic channel of a command-line tool. It
+// writes to stderr so dataset and report output on stdout stays clean for
+// piping, and a quiet flag silences progress without silencing errors.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	prefix string
+	quiet  bool
+}
+
+// NewLogger returns a stderr logger. prefix is the tool name; quiet
+// silences Printf (but never Errorf).
+func NewLogger(prefix string, quiet bool) *Logger {
+	return &Logger{w: os.Stderr, prefix: prefix, quiet: quiet}
+}
+
+// SetOutput redirects the logger (test hook).
+func (l *Logger) SetOutput(w io.Writer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w = w
+}
+
+// Printf writes one prefixed diagnostic line, unless quiet.
+func (l *Logger) Printf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.quiet {
+		return
+	}
+	fmt.Fprintf(l.w, "%s: %s\n", l.prefix, fmt.Sprintf(format, args...))
+}
+
+// Errorf writes one prefixed error line even when quiet.
+func (l *Logger) Errorf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "%s: %s\n", l.prefix, fmt.Sprintf(format, args...))
+}
+
+// Every invokes fn every interval on its own goroutine until the returned
+// stop function is called. stop waits for any in-flight fn to finish, so
+// callers may stop and then immediately write a final summary without
+// interleaving.
+func Every(interval time.Duration, fn func()) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fn()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}

@@ -1,0 +1,276 @@
+// Package obs is the platform's observability layer: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket histograms) with
+// snapshot export as Prometheus text format or JSON, plus the shared
+// stderr logger the command-line tools route diagnostics through.
+//
+// The design constraints come from the measurement pipeline it instruments:
+//
+//   - Hot-path safe: every instrument update is a single atomic operation
+//     (histograms: two adds and a CAS loop on the sum) with no locks and no
+//     allocation. Instruments are created once, at Instrument() time.
+//   - Deterministic-safe: metrics observe the computation, they never feed
+//     back into it. Nothing in this package produces a value a measurement
+//     depends on, so instrumented and uninstrumented runs emit byte-identical
+//     datasets (the campaign determinism tests assert exactly this).
+//   - Optional: all instrument methods are nil-receiver no-ops, so a
+//     subsystem holds possibly-nil instrument fields and pays one predicted
+//     branch per event when nobody asked for metrics.
+//
+// Series names follow Prometheus conventions (`s2s_<subsystem>_<what>_total`)
+// and may carry a literal label set in the name itself, e.g.
+// `s2s_engine_worker_busy_ns_total{worker="3"}`: the exporter groups series
+// into families by the name before the brace, emitting one HELP/TYPE pair
+// per family.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. Safe on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotonic). Safe on a nil
+// receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta with a CAS loop. Safe on a nil receiver.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v <= bounds[i]; the last implicit bucket is +Inf. The bound
+// slice is fixed at creation, so Observe is lock- and allocation-free.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Bucket counts are small (tens); a linear scan beats binary search's
+	// branch misses and keeps the code allocation-free.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start, each factor times the previous.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bounds start, start+step, ...
+func LinearBuckets(start, step float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*step
+	}
+	return out
+}
+
+// DurationBuckets spans 1µs to ~4200s in powers of four — wide enough for
+// both per-tree computations and whole-epoch rebuilds, in seconds.
+func DurationBuckets() []float64 { return ExpBuckets(1e-6, 4, 12) }
+
+// Run-level metric names the commands share: whole-process wall time, the
+// records a run produced, and the resulting throughput.
+const (
+	MetricRunWallSeconds   = "s2s_run_wall_seconds"
+	MetricRunRecords       = "s2s_run_records_total"
+	MetricRunRecordsPerSec = "s2s_run_records_per_sec"
+)
+
+// Registry is a named collection of instruments. Lookups are get-or-create
+// and return the same instrument for the same name, so independent callers
+// (a subsystem and a progress reporter, say) can share a series by name.
+// All methods are safe for concurrent use and nil-receiver no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	help       map[string]string // keyed by family name
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
+	}
+}
+
+// familyOf strips an inline label set: `name{worker="3"}` -> `name`.
+func familyOf(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '{' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func (r *Registry) setHelpLocked(name, help string) {
+	fam := familyOf(name)
+	if _, ok := r.help[fam]; !ok && help != "" {
+		r.help[fam] = help
+	}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. The first non-empty help string for a family wins. Returns nil
+// on a nil registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	r.setHelpLocked(name, help)
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+// Returns nil on a nil registry.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	r.setHelpLocked(name, help)
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds if needed (nil bounds select DurationBuckets).
+// Bounds are sorted and deduplicated; later registrations reuse the first
+// creation's buckets. Returns nil on a nil registry.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DurationBuckets()
+		}
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		uniq := bs[:0]
+		for i, b := range bs {
+			if i == 0 || b != bs[i-1] {
+				uniq = append(uniq, b)
+			}
+		}
+		h = &Histogram{bounds: uniq, buckets: make([]atomic.Int64, len(uniq)+1)}
+		r.histograms[name] = h
+	}
+	r.setHelpLocked(name, help)
+	return h
+}

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	if again := r.Counter("x_total", "ignored"); again != c {
+		t.Fatal("same name must return the same counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "a gauge")
+	g.Set(3.5)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("Value = %v, want 2", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "a histogram", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-556.5) > 1e-9 {
+		t.Fatalf("Sum = %v, want 556.5", h.Sum())
+	}
+	s := r.Snapshot().Histograms["lat"]
+	// Cumulative: <=1: 2 (0.5 and the boundary value 1), <=10: 3, <=100: 4, +Inf: 5.
+	want := []int64{2, 3, 4, 5}
+	for i, b := range s.Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d (le=%v) = %d, want %d", i, b.LE, b.Count, want[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[len(s.Buckets)-1].LE, 1) {
+		t.Fatal("last bucket must be +Inf")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	// All of these must be no-ops, not panics.
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	var l *Logger
+	l.Printf("no panic")
+	l.Errorf("no panic")
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	h := r.Histogram("h", "", []float64{10})
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != goroutines*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), goroutines*per)
+	}
+	if h.Count() != goroutines*per || h.Sum() != goroutines*per {
+		t.Fatalf("histogram count/sum = %d/%v", h.Count(), h.Sum())
+	}
+}
+
+func TestPrometheusExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "counts b").Add(7)
+	r.Counter(`a_total{shard="1"}`, "counts a").Add(1)
+	r.Counter(`a_total{shard="0"}`, "counts a").Add(2)
+	r.Gauge("g", "a gauge").Set(1.25)
+	r.Histogram("h_seconds", "a histogram", []float64{0.5}).Observe(0.1)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// Families in sorted order, one TYPE line each, labeled series grouped.
+	wantOrder := []string{
+		"# HELP a_total counts a",
+		"# TYPE a_total counter",
+		`a_total{shard="0"} 2`,
+		`a_total{shard="1"} 1`,
+		"# TYPE b_total counter",
+		"b_total 7",
+		"# TYPE g gauge",
+		"g 1.25",
+		"# TYPE h_seconds histogram",
+		`h_seconds_bucket{le="0.5"} 1`,
+		`h_seconds_bucket{le="+Inf"} 1`,
+		"h_seconds_sum 0.1",
+		"h_seconds_count 1",
+	}
+	pos := -1
+	for _, want := range wantOrder {
+		i := strings.Index(out, want)
+		if i < 0 {
+			t.Fatalf("missing line %q in:\n%s", want, out)
+		}
+		if i < pos {
+			t.Fatalf("line %q out of order in:\n%s", want, out)
+		}
+		pos = i
+	}
+	// Every non-comment line must be exactly "name value" with a numeric value.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed line %q", line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("non-numeric value in line %q", line)
+		}
+	}
+	if n := strings.Count(out, "# TYPE a_total"); n != 1 {
+		t.Fatalf("family a_total has %d TYPE lines, want 1", n)
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(3)
+	r.Gauge("g", "").Set(2.5)
+	r.Histogram("h", "", []float64{1}).Observe(4)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]float64
+		Histograms map[string]struct {
+			Buckets []struct {
+				LE    string `json:"le"`
+				Count int64  `json:"count"`
+			} `json:"buckets"`
+			Sum   float64 `json:"sum"`
+			Count int64   `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if got.Counters["c_total"] != 3 || got.Gauges["g"] != 2.5 {
+		t.Fatalf("bad values: %+v", got)
+	}
+	h := got.Histograms["h"]
+	if h.Count != 1 || h.Sum != 4 || h.Buckets[len(h.Buckets)-1].LE != "+Inf" {
+		t.Fatalf("bad histogram: %+v", h)
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(1)
+	dir := t.TempDir()
+	for _, name := range []string{"snap.prom", "snap.json"} {
+		path := dir + "/" + name
+		if err := WriteFile(path, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSumFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`hits_total{shard="0"}`, "").Add(2)
+	r.Counter(`hits_total{shard="1"}`, "").Add(3)
+	r.Counter("hits_total_other", "").Add(100)
+	if got := r.Snapshot().SumFamily("hits_total"); got != 5 {
+		t.Fatalf("SumFamily = %d, want 5", got)
+	}
+}
+
+func TestLoggerQuiet(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger("tool", true)
+	l.SetOutput(&buf)
+	l.Printf("progress %d", 1)
+	if buf.Len() != 0 {
+		t.Fatalf("quiet logger wrote %q", buf.String())
+	}
+	l.Errorf("boom")
+	if got := buf.String(); got != "tool: boom\n" {
+		t.Fatalf("Errorf wrote %q", got)
+	}
+
+	buf.Reset()
+	loud := NewLogger("tool", false)
+	loud.SetOutput(&buf)
+	loud.Printf("hello %s", "world")
+	if got := buf.String(); got != "tool: hello world\n" {
+		t.Fatalf("Printf wrote %q", got)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	var mu sync.Mutex
+	n := 0
+	stop := Every(time.Millisecond, func() {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	mu.Lock()
+	after := n
+	mu.Unlock()
+	if after == 0 {
+		t.Fatal("ticker never fired")
+	}
+	time.Sleep(5 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if n != after {
+		t.Fatal("ticker fired after stop")
+	}
+	stop() // second stop must not panic
+}

@@ -1,0 +1,43 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestProberMetrics checks the prober's issue counters and the hop-count
+// histogram against a known number of measurements.
+func TestProberMetrics(t *testing.T) {
+	f := newFixture(t, 13, 3, 60)
+	reg := obs.NewRegistry()
+	f.prober.Instrument(reg)
+	src, dst := f.pair(t)
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * time.Hour
+		f.prober.Traceroute(src, dst, false, true, at)
+		f.prober.Ping(src, dst, false, at)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricTraceroutes]; got != n {
+		t.Errorf("traceroutes counter = %d, want %d", got, n)
+	}
+	if got := snap.Counters[MetricPings]; got != n {
+		t.Errorf("pings counter = %d, want %d", got, n)
+	}
+	h := snap.Histograms[MetricHops]
+	if h.Count != n {
+		t.Errorf("hop histogram count = %d, want %d (one sample per traceroute)", h.Count, n)
+	}
+	if h.Sum <= 0 {
+		t.Error("hop histogram sum = 0, expected some reported hops")
+	}
+	// Cumulative buckets end at the total count.
+	if len(h.Buckets) == 0 || h.Buckets[len(h.Buckets)-1].Count != n {
+		t.Errorf("final (+Inf) bucket = %+v, want cumulative count %d", h.Buckets, n)
+	}
+}

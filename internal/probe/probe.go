@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/cdn"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/trace"
 )
@@ -39,6 +40,34 @@ type Prober struct {
 
 	// MaxTTL bounds the probed path length.
 	MaxTTL int
+
+	// Measurement telemetry; nil until Instrument.
+	mTraceroutes *obs.Counter
+	mPings       *obs.Counter
+	mUnreachable *obs.Counter
+	mHops        *obs.Histogram
+}
+
+// Metric names exported by Instrument.
+const (
+	MetricTraceroutes = "s2s_probe_traceroutes_total"
+	MetricPings       = "s2s_probe_pings_total"
+	MetricUnreachable = "s2s_probe_unreachable_total"
+	MetricHops        = "s2s_probe_traceroute_hops"
+)
+
+// Instrument registers the prober's counters in reg: measurements issued
+// per kind, destinations with no route at measurement time, and the
+// distribution of reported hop counts. A nil registry is a no-op. Call
+// before probing starts; counting never alters measurement outcomes.
+func (p *Prober) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.mTraceroutes = reg.Counter(MetricTraceroutes, "traceroutes issued")
+	p.mPings = reg.Counter(MetricPings, "pings issued")
+	p.mUnreachable = reg.Counter(MetricUnreachable, "measurements that found no route to the destination")
+	p.mHops = reg.Histogram(MetricHops, "hops reported per traceroute", obs.LinearBuckets(4, 4, 16))
 }
 
 // New returns a Prober with the standard error rates.
@@ -99,17 +128,20 @@ func (p *Prober) Ping(src, dst *cdn.Cluster, v6 bool, at time.Duration) *trace.P
 		Src: serverAddr(src, v6), Dst: serverAddr(dst, v6),
 		V6: v6, At: at,
 	}
+	p.mPings.Inc()
 	rng := p.Net.Rand(simnet.KindPing, src.ID, dst.ID, v6, at)
 	flowF := pairFlow(src.ID, dst.ID, v6)
 	flowR := pairFlow(dst.ID, src.ID, v6)
 
 	fwd, err := p.Net.ForwardHops(src, dst, v6, flowF, at)
 	if err != nil {
+		p.mUnreachable.Inc()
 		rec.Lost = true
 		return rec
 	}
 	rev, err := p.Net.ForwardHops(dst, src, v6, flowR, at)
 	if err != nil {
+		p.mUnreachable.Inc()
 		rec.Lost = true
 		return rec
 	}
@@ -131,6 +163,7 @@ func (p *Prober) Traceroute(src, dst *cdn.Cluster, v6, paris bool, at time.Durat
 		Src: serverAddr(src, v6), Dst: serverAddr(dst, v6),
 		V6: v6, Paris: paris, At: at,
 	}
+	p.mTraceroutes.Inc()
 	rng := p.Net.Rand(simnet.KindTraceroute, src.ID, dst.ID, v6, at)
 	base := pairFlow(src.ID, dst.ID, v6)
 
@@ -148,6 +181,9 @@ func (p *Prober) Traceroute(src, dst *cdn.Cluster, v6, paris bool, at time.Durat
 		}
 		hops, err := p.Net.ForwardHops(src, dst, v6, flow, at)
 		if err != nil {
+			if ttl == 1 {
+				p.mUnreachable.Inc()
+			}
 			if errors.Is(err, simnet.ErrUnreachable) {
 				break // no route: empty/truncated output
 			}
@@ -190,5 +226,6 @@ func (p *Prober) Traceroute(src, dst *cdn.Cluster, v6, paris bool, at time.Durat
 			rec.Hops[j] = rec.Hops[i]
 		}
 	}
+	p.mHops.Observe(float64(len(rec.Hops)))
 	return rec
 }

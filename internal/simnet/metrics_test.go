@@ -1,0 +1,58 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestPathCacheMetrics checks that the per-shard cache counters move the
+// way the cache behaves: a first resolution misses, an identical repeat
+// hits, and neither changes the resolved path.
+func TestPathCacheMetrics(t *testing.T) {
+	w := newWorld(t, 41)
+	reg := obs.NewRegistry()
+	w.sim.Instrument(reg)
+	a, b := w.pair(t)
+
+	first, err := w.sim.ForwardHops(a, b, false, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := w.sim.ForwardHops(a, b, false, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(again) {
+		t.Fatalf("cached resolution changed the path: %d vs %d hops", len(first), len(again))
+	}
+
+	snap := reg.Snapshot()
+	misses := snap.SumFamily(MetricCacheMisses)
+	hits := snap.SumFamily(MetricCacheHits)
+	if misses == 0 {
+		t.Error("first resolution did not count a miss")
+	}
+	if hits == 0 {
+		t.Error("repeated resolution did not count a hit")
+	}
+
+	// More distinct flows over the same pair only add entries; the hit
+	// and miss totals stay consistent with the lookups made.
+	for flow := uint64(0); flow < 32; flow++ {
+		if _, err := w.sim.ForwardHops(a, b, false, flow, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.sim.ForwardHops(a, b, false, flow, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap = reg.Snapshot()
+	if got := snap.SumFamily(MetricCacheHits); got <= hits {
+		t.Errorf("hits did not grow with repeated lookups: %d -> %d", hits, got)
+	}
+	total := snap.SumFamily(MetricCacheHits) + snap.SumFamily(MetricCacheMisses)
+	if total < 34 { // 2 + 64 lookups, some may share a flow key
+		t.Errorf("hits+misses = %d, want at least the lookups made", total)
+	}
+}

@@ -11,6 +11,7 @@ package simnet
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/congestion"
 	"repro/internal/ipam"
 	"repro/internal/itopo"
+	"repro/internal/obs"
 )
 
 // ErrUnreachable is returned when no route exists between the endpoints at
@@ -97,6 +99,10 @@ type Net struct {
 type pathShard struct {
 	mu sync.Mutex
 	m  map[pathKey][]itopo.PathHop
+
+	// Per-shard cache telemetry; nil (one predicted branch per lookup)
+	// until Instrument attaches a registry.
+	hits, misses, stale, evictions *obs.Counter
 }
 
 type pathKey struct {
@@ -131,6 +137,36 @@ func New(r *itopo.Network, dyn *bgp.Dynamics, cong *congestion.Model, cfg Config
 
 // Config returns the noise configuration.
 func (n *Net) Config() Config { return n.cfg }
+
+// Metric family names exported by Instrument. Each carries family ("v4" or
+// "v6") and shard labels; sum over the series for platform totals.
+const (
+	MetricCacheHits      = "s2s_simnet_path_cache_hits_total"
+	MetricCacheMisses    = "s2s_simnet_path_cache_misses_total"
+	MetricCacheStale     = "s2s_simnet_path_cache_stale_drops_total"
+	MetricCacheEvictions = "s2s_simnet_path_cache_evictions_total"
+)
+
+// Instrument registers the resolved-path cache's per-shard counters in
+// reg. Call it before probing starts; a nil registry leaves the network
+// uninstrumented (the default, zero-overhead state). Metrics never feed
+// back into measurement outcomes, so instrumented runs emit byte-identical
+// datasets.
+func (n *Net) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for fi, fam := range [2]string{"v4", "v6"} {
+		for si := range n.shards[fi] {
+			sh := &n.shards[fi][si]
+			label := fmt.Sprintf(`{family=%q,shard="%d"}`, fam, si)
+			sh.hits = reg.Counter(MetricCacheHits+label, "resolved-path cache hits")
+			sh.misses = reg.Counter(MetricCacheMisses+label, "resolved-path cache misses (paths resolved)")
+			sh.stale = reg.Counter(MetricCacheStale+label, "cache entries dropped for belonging to an old BGP epoch")
+			sh.evictions = reg.Counter(MetricCacheEvictions+label, "cache entries dropped by a full-shard reset")
+		}
+	}
+}
 
 // plane maps a family flag onto the BGP plane.
 func plane(v6 bool) bgp.Plane {
@@ -171,9 +207,11 @@ func (n *Net) resolveCached(sr, dr itopo.RouterID, asPath []ipam.ASN, v6 bool, f
 	sh.mu.Lock()
 	if hops, ok := sh.m[key]; ok {
 		sh.mu.Unlock()
+		sh.hits.Inc()
 		return hops, nil
 	}
 	sh.mu.Unlock()
+	sh.misses.Inc()
 	hops, err := n.R.ResolvePath(sr, dr, asPath, v6, flowID)
 	if err != nil {
 		return nil, err
@@ -187,12 +225,15 @@ func (n *Net) resolveCached(sr, dr itopo.RouterID, asPath []ipam.ASN, v6 bool, f
 	// Entries from other epochs go first (the clock has usually moved
 	// on); if the shard is still full, it is reset.
 	if len(sh.m) >= n.shardMax {
+		before := len(sh.m)
 		for k := range sh.m {
 			if k.epoch != epoch {
 				delete(sh.m, k)
 			}
 		}
+		sh.stale.Add(int64(before - len(sh.m)))
 		if len(sh.m) >= n.shardMax {
+			sh.evictions.Add(int64(len(sh.m)))
 			sh.m = make(map[pathKey][]itopo.PathHop)
 		}
 	}
