@@ -3,13 +3,15 @@
 // does not need the simulator: any dataset in the record format works.
 //
 // Analysis output goes to stdout; diagnostics go to stderr (silence them
-// with -q). -metrics writes a final telemetry snapshot, and
+// with -q). -metrics writes a final telemetry snapshot, -trace records a
+// flight record of the load and analysis phases (inspect with s2sobs), and
 // -cpuprofile/-memprofile capture pprof profiles of the run.
 //
 // Usage:
 //
 //	s2sanalyze -data dataset.bin [-analysis table1|paths|changes|dualstack|congestion]
-//	           [-metrics PATH] [-cpuprofile PATH] [-memprofile PATH] [-q]
+//	           [-metrics PATH] [-trace PATH] [-metrics-interval D]
+//	           [-cpuprofile PATH] [-memprofile PATH] [-q]
 package main
 
 import (
@@ -19,8 +21,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -32,6 +32,7 @@ import (
 	"repro/internal/core/timeline"
 	"repro/internal/ipam"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
@@ -53,25 +54,37 @@ func run() error {
 		quiet      = flag.Bool("q", false, "suppress progress output on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
+		tracePath  = flag.String("trace", "", "write a flight record (JSONL) to this path; inspect with s2sobs")
+		metricsIV  = flag.Duration("metrics-interval", 24*time.Hour, "virtual time between metric snapshots in the flight record")
 	)
 	flag.Parse()
 	log := obs.NewLogger("s2sanalyze", *quiet)
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
 	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			log.Errorf("profiles: %v", perr)
+		}
+	}()
 
 	start := time.Now()
 	reg := obs.NewRegistry()
 	recordsC := reg.Counter(obs.MetricRunRecords, "records the run read")
+
+	var rec *flight.Recorder
+	if *tracePath != "" {
+		rec, err = flight.Create(*tracePath, flight.Options{
+			Tool:            "s2sanalyze",
+			Registry:        reg,
+			MetricsInterval: *metricsIV,
+		})
+		if err != nil {
+			return err
+		}
+	}
 
 	table, err := loadBGP(strings.TrimSuffix(*data, ".bin") + ".bgp.tsv")
 	if err != nil {
@@ -90,11 +103,16 @@ func run() error {
 	diffs := dualstack.NewDiffCollector(mapper)
 	var pings []*trace.Ping
 	stop := obs.Every(2*time.Second, func() {
-		log.Printf("%d records read, %.0f records/s",
+		log.Progress("%d records read, %.0f records/s",
 			recordsC.Value(), float64(recordsC.Value())/time.Since(start).Seconds())
 	})
+	// The dataset's record timestamps drive the flight recorder's virtual
+	// clock, so metric snapshots land on the same virtual-day boundaries a
+	// generating run uses.
+	loadSpan := rec.Begin("load", 0)
+	var lastAt time.Duration
 	for {
-		rec, err := r.Next()
+		v, err := r.Next()
 		if errors.Is(err, io.EOF) {
 			break
 		}
@@ -103,19 +121,25 @@ func run() error {
 			return err
 		}
 		recordsC.Inc()
-		switch v := rec.(type) {
+		switch v := v.(type) {
 		case *trace.Traceroute:
 			builder.Add(v)
 			diffs.Add(v)
+			lastAt = v.At
 		case *trace.Ping:
 			pings = append(pings, v)
+			lastAt = v.At
 		}
+		rec.Advance(lastAt)
 	}
+	loadSpan.End(flight.Attrs{N: recordsC.Value()})
 	stop()
+	log.EndProgress()
 	log.Printf("%d records from %s", recordsC.Value(), *data)
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
+	anSpan := rec.Begin("analysis", lastAt)
 	switch *analysis {
 	case "summary":
 		tls := builder.Timelines()
@@ -206,6 +230,7 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown analysis %q", *analysis)
 	}
+	anSpan.End(flight.Attrs{S: *analysis})
 
 	wall := time.Since(start)
 	reg.Gauge(obs.MetricRunWallSeconds, "wall-clock duration of the run").Set(wall.Seconds())
@@ -216,16 +241,16 @@ func run() error {
 		}
 		log.Printf("wrote metrics snapshot to %s", *metrics)
 	}
-	if *memprofile != "" {
-		mf, err := os.Create(*memprofile)
-		if err != nil {
+	if rec != nil {
+		rec.WriteManifest(flight.Manifest{
+			Tool:    "s2sanalyze",
+			Flags:   flight.FlagsSet(),
+			Records: recordsC.Value(),
+		})
+		if err := rec.Close(); err != nil {
 			return err
 		}
-		defer mf.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(mf); err != nil {
-			return err
-		}
+		log.Printf("wrote flight record to %s", *tracePath)
 	}
 	return nil
 }

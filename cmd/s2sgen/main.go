@@ -8,13 +8,15 @@
 //
 // All diagnostics go to stderr (silence them with -q); stdout carries
 // nothing, so the command composes in pipelines. -metrics writes a final
-// telemetry snapshot (Prometheus text, or JSON for .json paths), and
+// telemetry snapshot (Prometheus text, or JSON for .json paths), -trace
+// records a flight record (inspect with s2sobs), and
 // -cpuprofile/-memprofile capture pprof profiles of the run.
 //
 // Usage:
 //
 //	s2sgen -campaign longterm|pings|short [-seed N] [-days N] [-mesh N] [-o PATH]
-//	       [-churn X] [-metrics PATH] [-cpuprofile PATH] [-memprofile PATH] [-q]
+//	       [-churn X] [-metrics PATH] [-trace PATH] [-metrics-interval D]
+//	       [-cpuprofile PATH] [-memprofile PATH] [-q]
 package main
 
 import (
@@ -22,8 +24,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"time"
 
 	"repro/internal/astopo"
@@ -35,6 +35,7 @@ import (
 	"repro/internal/ipam"
 	"repro/internal/itopo"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/probe"
 	"repro/internal/simnet"
 	"repro/internal/trace"
@@ -63,21 +64,21 @@ func run() error {
 		quiet      = flag.Bool("q", false, "suppress progress output on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
+		tracePath  = flag.String("trace", "", "write a flight record (JSONL) to this path; inspect with s2sobs")
+		metricsIV  = flag.Duration("metrics-interval", 24*time.Hour, "virtual time between metric snapshots in the flight record")
 	)
 	flag.Parse()
 	log := obs.NewLogger("s2sgen", *quiet)
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
 	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			log.Errorf("profiles: %v", perr)
+		}
+	}()
 
 	start := time.Now()
 	duration := time.Duration(*days) * 24 * time.Hour
@@ -119,6 +120,24 @@ func run() error {
 	sim.Instrument(reg)
 	dyn.Instrument(reg)
 	prober.Instrument(reg)
+
+	// Flight recorder: spans and periodic metric snapshots, same
+	// observation-only contract. A nil recorder threads through every
+	// subsystem as a no-op.
+	var rec *flight.Recorder
+	if *tracePath != "" {
+		rec, err = flight.Create(*tracePath, flight.Options{
+			Tool:            "s2sgen",
+			Registry:        reg,
+			MetricsInterval: *metricsIV,
+		})
+		if err != nil {
+			return err
+		}
+		sim.Trace(rec)
+		dyn.Trace(rec)
+		prober.Trace(rec)
+	}
 
 	// Dataset writer. The first write error is remembered and reported
 	// after the campaign; later writes are skipped.
@@ -165,7 +184,7 @@ func run() error {
 	virtualG := reg.Gauge(campaign.MetricVirtualNS, "virtual-clock position of the campaign (nanoseconds since start)")
 	stop := obs.Every(2*time.Second, func() {
 		el := time.Since(start).Seconds()
-		log.Printf("virtual day %.1f/%d, %d records, %.0f records/s",
+		log.Progress("virtual day %.1f/%d, %d records, %.0f records/s",
 			virtualG.Value()/86400e9, *days, tasksC.Value(), float64(tasksC.Value())/el)
 	})
 
@@ -178,6 +197,7 @@ func run() error {
 			ParisSwitchAt: time.Duration(float64(duration) * 0.62),
 			Workers:       *workers,
 			Metrics:       reg,
+			Trace:         rec,
 		}, consumer)
 	case "pings":
 		err = campaign.PingMesh(prober, campaign.PingMeshConfig{
@@ -186,6 +206,7 @@ func run() error {
 			Interval: 15 * time.Minute,
 			Workers:  *workers,
 			Metrics:  reg,
+			Trace:    rec,
 		}, consumer)
 	case "short":
 		err = campaign.TracerouteCampaign(prober, campaign.TracerouteCampaignConfig{
@@ -197,12 +218,14 @@ func run() error {
 			V6:             true,
 			Workers:        *workers,
 			Metrics:        reg,
+			Trace:          rec,
 		}, consumer)
 	default:
 		stop()
 		return fmt.Errorf("unknown campaign %q", *kind)
 	}
 	stop()
+	log.EndProgress()
 	if err != nil {
 		return err
 	}
@@ -234,16 +257,18 @@ func run() error {
 		}
 		log.Printf("wrote metrics snapshot to %s", *metrics)
 	}
-	if *memprofile != "" {
-		mf, err := os.Create(*memprofile)
-		if err != nil {
+	if rec != nil {
+		rec.WriteManifest(flight.Manifest{
+			Tool:       "s2sgen",
+			Seed:       *seed,
+			Flags:      flight.FlagsSet(),
+			TopoDigest: topo.Digest(),
+			Records:    int64(count),
+		})
+		if err := rec.Close(); err != nil {
 			return err
 		}
-		defer mf.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(mf); err != nil {
-			return err
-		}
+		log.Printf("wrote flight record to %s", *tracePath)
 	}
 
 	log.Printf("wrote %d records to %s%s (+ .bgp.tsv, .rel.tsv, .loc.tsv) in %v",

@@ -1,0 +1,74 @@
+// Command s2sobs inspects flight records written by the other commands'
+// -trace flag:
+//
+//	s2sobs summary RUN.trace         per-phase wall-time breakdown, span
+//	                                 histograms, worker-utilization sparkline
+//	s2sobs series RUN.trace [MATCH]  metric time series reconstructed from
+//	                                 the delta snapshots (MATCH filters
+//	                                 metric families by substring)
+//	s2sobs diff A.trace B.trace      manifests and phase timings of two
+//	                                 runs side by side
+//
+// The report goes to stdout; any parse error names the offending line.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"repro/internal/obs/flight"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "s2sobs: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: s2sobs summary RUN.trace | series RUN.trace [MATCH] | diff A.trace B.trace")
+}
+
+func run(args []string) error {
+	if len(args) < 2 {
+		return usage()
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	switch args[0] {
+	case "summary":
+		tr, err := flight.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		flight.Summarize(tr).WriteSummary(w)
+	case "series":
+		tr, err := flight.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		match := ""
+		if len(args) > 2 {
+			match = args[2]
+		}
+		flight.WriteSeries(w, tr, match)
+	case "diff":
+		if len(args) < 3 {
+			return usage()
+		}
+		a, err := flight.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		b, err := flight.ReadFile(args[2])
+		if err != nil {
+			return err
+		}
+		flight.WriteDiff(w, a, b, args[1], args[2])
+	default:
+		return usage()
+	}
+	return nil
+}

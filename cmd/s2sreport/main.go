@@ -4,12 +4,16 @@
 //
 // Rendered artifacts go to stdout; progress and timing go to stderr
 // (silence them with -q). -metrics writes a final telemetry snapshot
-// covering every experiment the run executed.
+// covering every experiment the run executed, -trace records a flight
+// record with one span per experiment (inspect with s2sobs), and
+// -cpuprofile/-memprofile capture pprof profiles of the run.
 //
 // Usage:
 //
 //	s2sreport [-scale test|default|full] [-seed N] [-only ID[,ID...]]
-//	          [-days N] [-mesh N] [-svgdir DIR] [-list] [-metrics PATH] [-q]
+//	          [-days N] [-mesh N] [-svgdir DIR] [-list] [-metrics PATH]
+//	          [-trace PATH] [-metrics-interval D]
+//	          [-cpuprofile PATH] [-memprofile PATH] [-q]
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 func main() {
@@ -33,18 +38,32 @@ func main() {
 
 func run() error {
 	var (
-		scaleName = flag.String("scale", "default", "simulation scale: test, default, or full")
-		seed      = flag.Int64("seed", 1, "master random seed")
-		only      = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		svgDir    = flag.String("svgdir", "", "write rendered figures (SVG) into this directory")
-		days      = flag.Int("days", 0, "override the long-term campaign length (days)")
-		mesh      = flag.Int("mesh", 0, "override the long-term mesh size")
-		metrics   = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
-		quiet     = flag.Bool("q", false, "suppress progress output on stderr")
+		scaleName  = flag.String("scale", "default", "simulation scale: test, default, or full")
+		seed       = flag.Int64("seed", 1, "master random seed")
+		only       = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		svgDir     = flag.String("svgdir", "", "write rendered figures (SVG) into this directory")
+		days       = flag.Int("days", 0, "override the long-term campaign length (days)")
+		mesh       = flag.Int("mesh", 0, "override the long-term mesh size")
+		metrics    = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
+		quiet      = flag.Bool("q", false, "suppress progress output on stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
+		tracePath  = flag.String("trace", "", "write a flight record (JSONL) to this path; inspect with s2sobs")
+		metricsIV  = flag.Duration("metrics-interval", 24*time.Hour, "virtual time between metric snapshots in the flight record")
 	)
 	flag.Parse()
 	log := obs.NewLogger("s2sreport", *quiet)
+
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			log.Errorf("profiles: %v", perr)
+		}
+	}()
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -73,6 +92,19 @@ func run() error {
 	reg := obs.NewRegistry()
 	sc.Metrics = reg
 
+	var rec *flight.Recorder
+	if *tracePath != "" {
+		rec, err = flight.Create(*tracePath, flight.Options{
+			Tool:            "s2sreport",
+			Registry:        reg,
+			MetricsInterval: *metricsIV,
+		})
+		if err != nil {
+			return err
+		}
+		sc.Trace = rec
+	}
+
 	var selected []experiments.Experiment
 	if *only == "" {
 		selected = experiments.All()
@@ -95,7 +127,9 @@ func run() error {
 	}
 	for _, e := range selected {
 		t0 := time.Now()
+		sp := rec.Begin("experiment", 0)
 		res, err := e.Run(env)
+		sp.End(flight.Attrs{S: e.ID})
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -124,6 +158,18 @@ func run() error {
 			return err
 		}
 		log.Printf("wrote metrics snapshot to %s", *metrics)
+	}
+	if rec != nil {
+		rec.WriteManifest(flight.Manifest{
+			Tool:       "s2sreport",
+			Seed:       *seed,
+			Flags:      flight.FlagsSet(),
+			TopoDigest: env.Topo.Digest(),
+		})
+		if err := rec.Close(); err != nil {
+			return err
+		}
+		log.Printf("wrote flight record to %s", *tracePath)
 	}
 	log.Printf("done in %v", wall.Round(time.Millisecond))
 	return nil

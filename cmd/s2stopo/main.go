@@ -4,12 +4,14 @@
 //
 // The summary is the product and goes to stdout; diagnostics go to stderr
 // (silence them with -q). -metrics writes a telemetry snapshot with the
-// generated topology's sizes and the build's wall time.
+// generated topology's sizes and the build's wall time, -trace records a
+// flight record with one span per build phase (inspect with s2sobs), and
+// -cpuprofile/-memprofile capture pprof profiles of the run.
 //
 // Usage:
 //
 //	s2stopo [-seed N] [-ases N] [-clusters N] [-links] [-platform]
-//	        [-metrics PATH] [-q]
+//	        [-metrics PATH] [-trace PATH] [-cpuprofile PATH] [-memprofile PATH] [-q]
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/itopo"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 func main() {
@@ -34,32 +37,59 @@ func main() {
 
 func run() error {
 	var (
-		seed     = flag.Int64("seed", 1, "random seed")
-		ases     = flag.Int("ases", 300, "number of ASes")
-		clusters = flag.Int("clusters", 400, "number of CDN clusters")
-		links    = flag.Bool("links", false, "dump every AS-level link")
-		platform = flag.Bool("platform", false, "dump every cluster")
-		metrics  = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
-		quiet    = flag.Bool("q", false, "suppress progress output on stderr")
+		seed       = flag.Int64("seed", 1, "random seed")
+		ases       = flag.Int("ases", 300, "number of ASes")
+		clusters   = flag.Int("clusters", 400, "number of CDN clusters")
+		links      = flag.Bool("links", false, "dump every AS-level link")
+		platform   = flag.Bool("platform", false, "dump every cluster")
+		metrics    = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
+		quiet      = flag.Bool("q", false, "suppress progress output on stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
+		tracePath  = flag.String("trace", "", "write a flight record (JSONL) to this path; inspect with s2sobs")
 	)
 	flag.Parse()
 	log := obs.NewLogger("s2stopo", *quiet)
 
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			log.Errorf("profiles: %v", perr)
+		}
+	}()
+
+	var rec *flight.Recorder
+	if *tracePath != "" {
+		rec, err = flight.Create(*tracePath, flight.Options{Tool: "s2stopo"})
+		if err != nil {
+			return err
+		}
+	}
+
 	start := time.Now()
+	sp := rec.Begin("as_topology", 0)
 	acfg := astopo.DefaultConfig(*seed)
 	acfg.NumASes = *ases
 	topo, err := astopo.Generate(acfg)
 	if err != nil {
 		return err
 	}
+	sp.End(flight.Attrs{N: int64(len(topo.ASes)), M: int64(len(topo.Links))})
+	sp = rec.Begin("router_network", 0)
 	net, err := itopo.Build(topo, itopo.DefaultConfig(*seed))
 	if err != nil {
 		return err
 	}
+	sp.End(flight.Attrs{N: int64(len(net.Routers)), M: int64(len(net.Links))})
+	sp = rec.Begin("platform", 0)
 	plat, err := cdn.Deploy(net, cdn.DefaultConfig(*seed, *clusters))
 	if err != nil {
 		return err
 	}
+	sp.End(flight.Attrs{N: int64(len(plat.Clusters))})
 	log.Printf("built topology in %v", time.Since(start).Round(time.Millisecond))
 
 	tiers := map[astopo.Tier]int{}
@@ -142,6 +172,18 @@ func run() error {
 			return err
 		}
 		log.Printf("wrote metrics snapshot to %s", *metrics)
+	}
+	if rec != nil {
+		rec.WriteManifest(flight.Manifest{
+			Tool:       "s2stopo",
+			Seed:       *seed,
+			Flags:      flight.FlagsSet(),
+			TopoDigest: topo.Digest(),
+		})
+		if err := rec.Close(); err != nil {
+			return err
+		}
+		log.Printf("wrote flight record to %s", *tracePath)
 	}
 	return nil
 }

@@ -1,0 +1,50 @@
+package astopo
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Digest returns a short stable fingerprint of the topology: an FNV-1a
+// hash over every AS (number, tier, footprint), link (endpoints,
+// relationship, kind, location), and IXP, in their canonical order. Two
+// topologies generated from the same parameters digest identically, so a
+// run manifest carrying the digest pins exactly which virtual Internet a
+// dataset was measured on.
+func (t *Topology) Digest() string {
+	h := fnv.New64a()
+	u64 := func(v uint64) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	u64(uint64(len(t.ASes)))
+	for _, as := range t.ASes {
+		u64(uint64(as.ASN))
+		u64(uint64(as.Tier))
+		u64(uint64(as.HomeCity))
+		u64(uint64(len(as.Footprint)))
+		for _, c := range as.Footprint {
+			u64(uint64(c))
+		}
+	}
+	u64(uint64(len(t.Links)))
+	for _, l := range t.Links {
+		u64(uint64(l.A))
+		u64(uint64(l.B))
+		u64(uint64(l.Rel) & 0xff)
+		u64(uint64(l.Kind))
+		u64(uint64(l.City))
+		u64(uint64(int64(l.IXP)))
+	}
+	u64(uint64(len(t.IXPs)))
+	for _, ix := range t.IXPs {
+		u64(uint64(len(ix.Name)))
+		h.Write([]byte(ix.Name))
+		u64(uint64(ix.City))
+	}
+	u64(uint64(t.CDNASN))
+	return fmt.Sprintf("%016x", h.Sum64())
+}

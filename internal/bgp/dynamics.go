@@ -10,6 +10,7 @@ import (
 	"repro/internal/astopo"
 	"repro/internal/ipam"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // EventKind enumerates routing events.
@@ -102,6 +103,9 @@ type Dynamics struct {
 	obsCarried  *obs.Counter
 	obsBuild    *obs.Histogram
 	obsCompute  *obs.Histogram
+
+	// Flight recorder; nil until Trace.
+	rec *flight.Recorder
 }
 
 // NewDynamics generates the event schedule for topo under cfg.
@@ -284,6 +288,17 @@ func (d *Dynamics) Instrument(reg *obs.Registry) {
 	}
 }
 
+// Trace attaches a flight recorder: every epoch rebuild becomes a span
+// carrying the epoch index, the number of destination trees carried over
+// from the previous view, the size of the event delta at the epoch
+// boundary, and the plane. A nil recorder is a no-op. Call before handing
+// the Dynamics to concurrent probers.
+func (d *Dynamics) Trace(rec *flight.Recorder) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rec = rec
+}
+
 // maxCarryGap bounds how many epochs' events the incremental derivation
 // folds together before falling back to a from-scratch view: past that,
 // nearly every tree is invalidated anyway and the checks are pure cost.
@@ -302,7 +317,14 @@ func (d *Dynamics) RoutingAtEpoch(epoch int, plane Plane) *Routing {
 	if d.obsBuild != nil {
 		t0 = time.Now()
 	}
-	r := d.buildRoutingLocked(epoch, plane)
+	sp := d.rec.Begin(flight.PhEpochBuild, d.epochStart[epoch])
+	r, carried := d.buildRoutingLocked(epoch, plane)
+	sp.End(flight.Attrs{
+		ID: int64(epoch),
+		N:  int64(carried),
+		M:  int64(len(d.epochEvents[epoch])),
+		S:  plane.String(),
+	})
 	if d.obsBuild != nil {
 		d.obsBuild.Observe(time.Since(t0).Seconds())
 	}
@@ -320,8 +342,9 @@ func (d *Dynamics) RoutingAtEpoch(epoch int, plane Plane) *Routing {
 
 // buildRoutingLocked constructs the routing view for an epoch, carrying
 // over destination trees from the nearest cached earlier epoch on the
-// same plane when the intervening events provably left them unchanged.
-func (d *Dynamics) buildRoutingLocked(epoch int, plane Plane) *Routing {
+// same plane when the intervening events provably left them unchanged. It
+// reports how many trees were adopted.
+func (d *Dynamics) buildRoutingLocked(epoch int, plane Plane) (*Routing, int) {
 	prevEpoch := -1
 	var prev *Routing
 	for k, cand := range d.cache {
@@ -335,14 +358,13 @@ func (d *Dynamics) buildRoutingLocked(epoch int, plane Plane) *Routing {
 	r := newRouting(d.g, d.states[epoch], plane)
 	r.instrument(d.obsComputed, d.obsCarried, d.obsCompute)
 	if prev == nil || epoch-prevEpoch > maxCarryGap {
-		return r
+		return r, 0
 	}
 	var delta []Event
 	for e := prevEpoch + 1; e <= epoch; e++ {
 		delta = append(delta, d.epochEvents[e]...)
 	}
-	d.carryTrees(prev, r, delta)
-	return r
+	return r, d.carryTrees(prev, r, delta)
 }
 
 // carryTrees copies prev's computed destination trees into next, skipping
@@ -361,7 +383,8 @@ func (d *Dynamics) buildRoutingLocked(epoch int, plane Plane) *Routing {
 //
 // Trees untouched by every event are exact for the new epoch and are
 // adopted as-is — under the default schedule, the vast majority.
-func (d *Dynamics) carryTrees(prev, next *Routing, delta []Event) {
+// carryTrees returns the number of adopted trees.
+func (d *Dynamics) carryTrees(prev, next *Routing, delta []Event) int {
 	g := d.g
 	dead := make(map[int32]bool)
 	var ups [][2]int32 // restored links, dense indices
@@ -388,6 +411,7 @@ func (d *Dynamics) carryTrees(prev, next *Routing, delta []Event) {
 			}
 		}
 	}
+	carried := 0
 	for dst := range prev.slots {
 		if dead[int32(dst)] {
 			continue
@@ -413,6 +437,8 @@ func (d *Dynamics) carryTrees(prev, next *Routing, delta []Event) {
 		}
 		if carry {
 			next.adopt(dst, t)
+			carried++
 		}
 	}
+	return carried
 }

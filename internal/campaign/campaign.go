@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cdn"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/probe"
 	"repro/internal/trace"
 )
@@ -99,6 +100,10 @@ type LongTermConfig struct {
 	// Metrics, when non-nil, receives the engine's telemetry (see
 	// Engine.Instrument). Metrics never alter the record stream.
 	Metrics *obs.Registry
+	// Trace, when non-nil, records campaign/round/worker spans to the
+	// flight recorder (see Engine.Trace). Tracing never alters the record
+	// stream either.
+	Trace *flight.Recorder
 }
 
 // Validate checks the configuration.
@@ -146,6 +151,9 @@ func LongTerm(p *probe.Prober, cfg LongTermConfig, c Consumer) error {
 	e := NewEngine(p, cfg.Workers)
 	defer e.Close()
 	e.Instrument(cfg.Metrics)
+	e.Trace(cfg.Trace)
+	sp := cfg.Trace.Begin(flight.PhCampaign, 0)
+	rounds := int64(0)
 	var tasks []measurement
 	scheduledParis := false
 	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
@@ -155,7 +163,9 @@ func LongTerm(p *probe.Prober, cfg LongTermConfig, c Consumer) error {
 			scheduledParis = paris4
 		}
 		e.RunRound(tasks, at, c)
+		rounds++
 	}
+	sp.End(flight.Attrs{S: "longterm", N: rounds})
 	return nil
 }
 
@@ -169,6 +179,8 @@ type PingMeshConfig struct {
 	Workers int
 	// Metrics receives engine telemetry (see LongTermConfig.Metrics).
 	Metrics *obs.Registry
+	// Trace records flight spans (see LongTermConfig.Trace).
+	Trace *flight.Recorder
 }
 
 // PingMesh runs the ping campaign.
@@ -191,9 +203,14 @@ func PingMesh(p *probe.Prober, cfg PingMeshConfig, c Consumer) error {
 	e := NewEngine(p, cfg.Workers)
 	defer e.Close()
 	e.Instrument(cfg.Metrics)
+	e.Trace(cfg.Trace)
+	sp := cfg.Trace.Begin(flight.PhCampaign, 0)
+	rounds := int64(0)
 	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
 		e.RunRound(tasks, at, c)
+		rounds++
 	}
+	sp.End(flight.Attrs{S: "pingmesh", N: rounds})
 	return nil
 }
 
@@ -213,6 +230,8 @@ type TracerouteCampaignConfig struct {
 	Workers int
 	// Metrics receives engine telemetry (see LongTermConfig.Metrics).
 	Metrics *obs.Registry
+	// Trace records flight spans (see LongTermConfig.Trace).
+	Trace *flight.Recorder
 }
 
 // TracerouteCampaign runs the campaign.
@@ -240,9 +259,14 @@ func TracerouteCampaign(p *probe.Prober, cfg TracerouteCampaignConfig, c Consume
 	e := NewEngine(p, cfg.Workers)
 	defer e.Close()
 	e.Instrument(cfg.Metrics)
+	e.Trace(cfg.Trace)
+	sp := cfg.Trace.Begin(flight.PhCampaign, 0)
+	rounds := int64(0)
 	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
 		e.RunRound(tasks, at, c)
+		rounds++
 	}
+	sp.End(flight.Attrs{S: "traceroute", N: rounds})
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cdn"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/probe"
 	"repro/internal/trace"
 )
@@ -77,6 +78,7 @@ type Engine struct {
 	wg      sync.WaitGroup
 	scratch []result // reused between rounds; only one round is in flight
 	o       engineObs
+	rec     *flight.Recorder
 }
 
 // Metric names exported by Instrument. Worker busy time carries a worker
@@ -117,6 +119,16 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 		e.o.busy[i] = reg.Counter(fmt.Sprintf(`%s{worker="%d"}`, MetricWorkerBusyNS, i),
 			"time each worker spent executing round tasks, in nanoseconds")
 	}
+}
+
+// Trace attaches a flight recorder: every round and every worker batch
+// becomes a span, and the pool size is announced as an engine event. A nil
+// recorder is a no-op (the default: one predicted branch per round).
+// Like Instrument, tracing observes execution only — the record stream
+// stays byte-identical to an untraced run.
+func (e *Engine) Trace(rec *flight.Recorder) {
+	e.rec = rec
+	rec.Event(flight.PhEngine, 0, flight.Attrs{N: int64(e.workers)})
 }
 
 // NewEngine returns an engine over the prober with NormalizeWorkers(workers)
@@ -163,6 +175,8 @@ func (e *Engine) drain(r *round, w int) {
 	if e.o.busy != nil {
 		t0 = time.Now()
 	}
+	sp := e.rec.Begin(flight.PhWorker, r.at)
+	executed := int64(0)
 	n := int64(len(r.tasks))
 	for {
 		i := r.next.Add(1) - 1
@@ -175,11 +189,13 @@ func (e *Engine) drain(r *round, w int) {
 		} else {
 			r.out[i].tr = e.p.Traceroute(tk.src, tk.dst, tk.v6, tk.paris, r.at)
 		}
+		executed++
 		e.o.tasks.Inc()
 		if r.done.Add(1) == n {
 			close(r.fin)
 		}
 	}
+	sp.End(flight.Attrs{ID: int64(w), N: executed})
 	if e.o.busy != nil {
 		e.o.busy[w].Add(time.Since(t0).Nanoseconds())
 	}
@@ -193,11 +209,13 @@ func (e *Engine) RunRound(tasks []measurement, at time.Duration, c Consumer) {
 	}
 	e.o.rounds.Inc()
 	e.o.virtual.Set(float64(at))
+	rsp := e.rec.Begin(flight.PhRound, at)
 	if e.workers <= 1 || len(tasks) == 1 {
 		var t0 time.Time
 		if e.o.busy != nil {
 			t0 = time.Now()
 		}
+		wsp := e.rec.Begin(flight.PhWorker, at)
 		for _, tk := range tasks {
 			if tk.ping {
 				c.OnPing(e.p.Ping(tk.src, tk.dst, tk.v6, at))
@@ -206,10 +224,12 @@ func (e *Engine) RunRound(tasks []measurement, at time.Duration, c Consumer) {
 			}
 			e.o.tasks.Inc()
 		}
+		// The caller's inline drain is always the last worker index.
+		wsp.End(flight.Attrs{ID: int64(e.workers - 1), N: int64(len(tasks))})
 		if e.o.busy != nil {
-			// The caller's inline drain is always the last worker index.
 			e.o.busy[e.workers-1].Add(time.Since(t0).Nanoseconds())
 		}
+		rsp.End(flight.Attrs{N: int64(len(tasks))})
 		return
 	}
 	if cap(e.scratch) < len(tasks) {
@@ -233,4 +253,5 @@ func (e *Engine) RunRound(tasks []measurement, at time.Duration, c Consumer) {
 		}
 		out[i] = result{}
 	}
+	rsp.End(flight.Attrs{N: int64(len(tasks))})
 }

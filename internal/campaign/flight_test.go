@@ -1,0 +1,167 @@
+package campaign
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
+
+// TestTraceDoesNotPerturbRecords is the flight recorder's core contract:
+// attaching a recorder (with metric snapshots enabled) must leave the
+// encoded record stream byte-identical to an untraced run.
+func TestTraceDoesNotPerturbRecords(t *testing.T) {
+	_, platform := newProber(t, 51, 3, 60)
+	servers := SelectMesh(platform, 5, 51)
+	run := func(workers int, rec *flight.Recorder) []byte {
+		var buf bytes.Buffer
+		c, flush := binarySink(t, &buf)
+		p, _ := newProber(t, 51, 3, 60)
+		if err := LongTerm(p, LongTermConfig{
+			Servers:       servers,
+			Duration:      30 * time.Hour,
+			Interval:      3 * time.Hour,
+			ParisSwitchAt: 15 * time.Hour,
+			Workers:       workers,
+			Trace:         rec,
+		}, c); err != nil {
+			t.Fatal(err)
+		}
+		flush()
+		return buf.Bytes()
+	}
+
+	for _, workers := range []int{1, 4} {
+		plain := run(workers, nil)
+
+		var traceBuf bytes.Buffer
+		reg := obs.NewRegistry()
+		rec := flight.New(&traceBuf, flight.Options{
+			Tool:            "test",
+			Registry:        reg,
+			MetricsInterval: 24 * time.Hour,
+		})
+		traced := run(workers, rec)
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		if !bytes.Equal(plain, traced) {
+			t.Fatalf("workers=%d: traced record stream differs from untraced (%d vs %d bytes)",
+				workers, len(traced), len(plain))
+		}
+
+		tr, err := flight.Read(&traceBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds, workerSpans, campaigns := 0, 0, 0
+		for _, r := range tr.Spans() {
+			switch r.Ph {
+			case flight.PhRound:
+				rounds++
+			case flight.PhWorker:
+				workerSpans++
+			case flight.PhCampaign:
+				campaigns++
+			}
+		}
+		if rounds != 10 {
+			t.Errorf("workers=%d: got %d round spans, want 10", workers, rounds)
+		}
+		if workerSpans < rounds {
+			t.Errorf("workers=%d: got %d worker spans, want >= %d", workers, workerSpans, rounds)
+		}
+		if campaigns != 1 {
+			t.Errorf("workers=%d: got %d campaign spans, want 1", workers, campaigns)
+		}
+	}
+}
+
+// TestEngineTraceEvent verifies the pool-size announcement and that worker
+// span task counts add up to the schedule across a round.
+func TestEngineTraceEvent(t *testing.T) {
+	_, platform := newProber(t, 52, 3, 60)
+	servers := SelectMesh(platform, 4, 52)
+
+	var buf bytes.Buffer
+	rec := flight.New(&buf, flight.Options{Tool: "test"})
+	p, _ := newProber(t, 52, 3, 60)
+	if err := LongTerm(p, LongTermConfig{
+		Servers:  servers,
+		Duration: 3 * time.Hour,
+		Interval: 3 * time.Hour,
+		Workers:  4,
+		Trace:    rec,
+	}, Funcs{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := flight.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var poolSize int64
+	var roundTasks, workerTasks int64
+	for _, r := range tr.Records {
+		switch {
+		case r.K == flight.KEvent && r.Ph == flight.PhEngine:
+			poolSize = r.N
+		case r.K == flight.KSpan && r.Ph == flight.PhRound:
+			roundTasks += r.N
+		case r.K == flight.KSpan && r.Ph == flight.PhWorker:
+			workerTasks += r.N
+		}
+	}
+	if poolSize != 4 {
+		t.Errorf("engine event pool size = %d, want 4", poolSize)
+	}
+	if roundTasks == 0 || workerTasks != roundTasks {
+		t.Errorf("worker span tasks = %d, want %d (sum of round tasks)", workerTasks, roundTasks)
+	}
+}
+
+// BenchmarkLongTermCampaignTraced is BenchmarkLongTermCampaign at 8
+// workers with and without a live flight recorder (draining to
+// io.Discard, snapshots on). The two variants differ only in the
+// recorder, so their delta is the tracing overhead budgeted <5% in
+// DESIGN.md.
+func BenchmarkLongTermCampaignTraced(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		name := "trace=off"
+		if traced {
+			name = "trace=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			p, platform := newProber(b, 41, 10, 80)
+			servers := SelectMesh(platform, 10, 41)
+			reg := obs.NewRegistry()
+			cfg := LongTermConfig{
+				Servers:       servers,
+				Duration:      5 * 24 * time.Hour,
+				Interval:      3 * time.Hour,
+				ParisSwitchAt: 60 * time.Hour,
+				Workers:       8,
+				Metrics:       reg,
+			}
+			if traced {
+				cfg.Trace = flight.New(io.Discard, flight.Options{
+					Tool:            "bench",
+					Registry:        reg,
+					MetricsInterval: 24 * time.Hour,
+				})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := LongTerm(p, cfg, Funcs{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/itopo"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/probe"
 	"repro/internal/simnet"
 	"repro/internal/trace"
@@ -71,6 +72,12 @@ type Scale struct {
 	// instrumented subsystem (path cache, BGP recomputation, engine,
 	// prober, detector). Metrics never alter any record or result.
 	Metrics *obs.Registry
+
+	// Trace, when non-nil, records flight spans and events from every
+	// traced subsystem (campaign rounds, workers, epoch rebuilds, cache
+	// sweeps, probe batches). Like Metrics, tracing never alters any
+	// record or result.
+	Trace *flight.Recorder
 }
 
 // TestScale returns a tiny configuration for unit tests.
@@ -212,6 +219,11 @@ func NewEnv(sc Scale) (*Env, error) {
 		dyn.Instrument(sc.Metrics)
 		env.Prober.Instrument(sc.Metrics)
 	}
+	if sc.Trace != nil {
+		sim.Trace(sc.Trace)
+		dyn.Trace(sc.Trace)
+		env.Prober.Trace(sc.Trace)
+	}
 	return env, nil
 }
 
@@ -251,6 +263,7 @@ func (e *Env) LongTerm() (*longTermData, error) {
 		ParisSwitchAt: time.Duration(float64(duration) * e.Scale.ParisSwitchFrac),
 		Workers:       e.Scale.Workers,
 		Metrics:       e.Scale.Metrics,
+		Trace:         e.Scale.Trace,
 	}
 	consumer := campaign.Funcs{Traceroute: func(tr *trace.Traceroute) {
 		data.total++
@@ -292,6 +305,7 @@ func (e *Env) ShortTerm() (*shortTermData, error) {
 		V6:             true,
 		Workers:        e.Scale.Workers,
 		Metrics:        e.Scale.Metrics,
+		Trace:          e.Scale.Trace,
 	}
 	consumer := campaign.Funcs{Traceroute: func(tr *trace.Traceroute) {
 		data.builder.Add(tr)
@@ -335,6 +349,7 @@ func (e *Env) PingMesh() (*pingData, error) {
 		Interval: e.Scale.PingInterval,
 		Workers:  e.Scale.Workers,
 		Metrics:  e.Scale.Metrics,
+		Trace:    e.Scale.Trace,
 	}
 	if err := campaign.PingMesh(e.Prober, cfg, &col); err != nil {
 		return nil, err
@@ -415,6 +430,7 @@ func (e *Env) Localizations() (*localizationData, error) {
 		Paris:          true,
 		Workers:        e.Scale.Workers,
 		Metrics:        e.Scale.Metrics,
+		Trace:          e.Scale.Trace,
 	}
 	if err := campaign.TracerouteCampaign(e.Prober, cfg, &col); err != nil {
 		return nil, err

@@ -1,0 +1,97 @@
+package flight
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Trace is a fully parsed flight record.
+type Trace struct {
+	// Meta is the header line (zero-valued when the file lacks one).
+	Meta Record
+	// Records are all lines after the meta line, in file order.
+	Records []Record
+	// Manifest is the last manifest line, when present.
+	Manifest *Manifest
+}
+
+// Read parses a flight-record stream. It is strict: any line that is not
+// a valid record fails with its line number, so format drift is caught at
+// read time, not deep inside an analysis.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	tr := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("flight: line %d: %w", lineNo, err)
+		}
+		if rec.K == "" {
+			return nil, fmt.Errorf("flight: line %d: missing record kind", lineNo)
+		}
+		switch rec.K {
+		case KMeta:
+			if lineNo == 1 {
+				tr.Meta = rec
+				continue
+			}
+		case KManifest:
+			if rec.Man == nil {
+				return nil, fmt.Errorf("flight: line %d: manifest record without payload", lineNo)
+			}
+			tr.Manifest = rec.Man
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("flight: %w", err)
+	}
+	return tr, nil
+}
+
+// ReadFile parses the flight record at path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// Spans returns the records of kind span, in file order.
+func (t *Trace) Spans() []Record {
+	var out []Record
+	for _, r := range t.Records {
+		if r.K == KSpan {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Snaps returns the metric-snapshot records, in file order (which is also
+// virtual-time order).
+func (t *Trace) Snaps() []Record {
+	var out []Record
+	for _, r := range t.Records {
+		if r.K == KSnap {
+			out = append(out, r)
+		}
+	}
+	return out
+}

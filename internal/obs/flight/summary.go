@@ -1,0 +1,397 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PhaseStat aggregates every span of one phase.
+type PhaseStat struct {
+	Phase              string
+	Count              int
+	Total, Mean        time.Duration
+	P50, P95, Min, Max time.Duration
+}
+
+// Summary is the digested view of one trace that `s2sobs summary` prints
+// and `s2sobs diff` compares.
+type Summary struct {
+	Tool    string
+	Wall    time.Duration // manifest wall time, or the last span end
+	Rounds  int64
+	Tasks   int64 // tasks executed across all round spans
+	Workers int   // engine pool size (0 when no engine event is present)
+	Records int64 // dataset records, from the manifest
+	Snaps   int
+	Phases  []PhaseStat // sorted by Total descending
+
+	// Utilization is the worker-busy fraction per wall-time bucket
+	// (UtilBuckets columns spanning [0, Wall]), empty without worker spans.
+	Utilization []float64
+}
+
+// UtilBuckets is the resolution of the worker-utilization timeline.
+const UtilBuckets = 60
+
+// Summarize digests a trace.
+func Summarize(tr *Trace) *Summary {
+	s := &Summary{Tool: tr.Meta.Tool}
+	if tr.Manifest != nil {
+		s.Records = tr.Manifest.Records
+		s.Wall = time.Duration(tr.Manifest.WallNS)
+		if s.Tool == "" {
+			s.Tool = tr.Manifest.Tool
+		}
+	}
+	durs := make(map[string][]time.Duration)
+	var lastEnd int64
+	var workerSpans []Record
+	for _, r := range tr.Records {
+		switch r.K {
+		case KSnap:
+			s.Snaps++
+		case KEvent:
+			if r.Ph == PhEngine && r.N > int64(s.Workers) {
+				s.Workers = int(r.N)
+			}
+		case KSpan:
+			durs[r.Ph] = append(durs[r.Ph], time.Duration(r.D))
+			if end := r.T + r.D; end > lastEnd {
+				lastEnd = end
+			}
+			switch r.Ph {
+			case PhRound:
+				s.Rounds++
+				s.Tasks += r.N
+			case PhWorker:
+				workerSpans = append(workerSpans, r)
+			}
+		}
+	}
+	if s.Wall == 0 {
+		s.Wall = time.Duration(lastEnd)
+	}
+	for ph, ds := range durs {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		st := PhaseStat{Phase: ph, Count: len(ds), Min: ds[0], Max: ds[len(ds)-1]}
+		for _, d := range ds {
+			st.Total += d
+		}
+		st.Mean = st.Total / time.Duration(len(ds))
+		st.P50 = ds[len(ds)/2]
+		st.P95 = ds[len(ds)*95/100]
+		s.Phases = append(s.Phases, st)
+	}
+	sort.Slice(s.Phases, func(i, j int) bool {
+		if s.Phases[i].Total != s.Phases[j].Total {
+			return s.Phases[i].Total > s.Phases[j].Total
+		}
+		return s.Phases[i].Phase < s.Phases[j].Phase
+	})
+	s.Utilization = utilization(workerSpans, int64(s.Wall), s.Workers)
+	return s
+}
+
+// utilization buckets worker-span busy time over [0, wall).
+func utilization(spans []Record, wall int64, workers int) []float64 {
+	if len(spans) == 0 || wall <= 0 {
+		return nil
+	}
+	if workers == 0 {
+		// Without an engine event, infer the pool from the largest id seen.
+		for _, sp := range spans {
+			if int(sp.ID)+1 > workers {
+				workers = int(sp.ID) + 1
+			}
+		}
+	}
+	busy := make([]float64, UtilBuckets)
+	bucket := float64(wall) / UtilBuckets
+	for _, sp := range spans {
+		t0, t1 := float64(sp.T), float64(sp.T+sp.D)
+		lo := int(t0 / bucket)
+		hi := int(t1 / bucket)
+		for b := lo; b <= hi && b < UtilBuckets; b++ {
+			if b < 0 {
+				continue
+			}
+			s0, s1 := float64(b)*bucket, float64(b+1)*bucket
+			ov := min64(t1, s1) - max64(t0, s0)
+			if ov > 0 {
+				busy[b] += ov
+			}
+		}
+	}
+	for i := range busy {
+		busy[i] /= bucket * float64(workers)
+		if busy[i] > 1 {
+			busy[i] = 1
+		}
+	}
+	return busy
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a unicode bar string, scaling to [0, max].
+// A non-positive max autoscales to the largest value.
+func Sparkline(vals []float64, max float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	if max <= 0 {
+		for _, v := range vals {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if max > 0 {
+			i = int(v / max * float64(len(sparkRunes)-1))
+		}
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sparkRunes) {
+			i = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// familyOf strips an inline label set: `name{worker="3"}` -> `name`.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// SeriesPoint is one metric reading at a virtual-time boundary.
+type SeriesPoint struct {
+	VT    time.Duration
+	Value float64
+}
+
+// MetricSeries reconstructs per-family metric time series from the trace's
+// delta snapshots. Counter families accumulate interval deltas (the value
+// at vt is the per-interval increment summed over the family's labeled
+// series); gauge families carry the last absolute value; histogram
+// families report the per-interval observation count under the family
+// name with a "_count" suffix.
+func MetricSeries(tr *Trace) map[string][]SeriesPoint {
+	out := make(map[string][]SeriesPoint)
+	for _, r := range tr.Snaps() {
+		vt := time.Duration(r.VT)
+		perFam := make(map[string]float64)
+		for name, d := range r.C {
+			perFam[familyOf(name)] += float64(d)
+		}
+		for fam, v := range perFam {
+			out[fam] = append(out[fam], SeriesPoint{VT: vt, Value: v})
+		}
+		gaugeFam := make(map[string]float64)
+		for name, v := range r.G {
+			gaugeFam[familyOf(name)] += v
+		}
+		for fam, v := range gaugeFam {
+			out[fam] = append(out[fam], SeriesPoint{VT: vt, Value: v})
+		}
+		histFam := make(map[string]float64)
+		for name, cs := range r.H {
+			histFam[familyOf(name)+"_count"] += cs[0]
+		}
+		for fam, v := range histFam {
+			out[fam] = append(out[fam], SeriesPoint{VT: vt, Value: v})
+		}
+	}
+	return out
+}
+
+// days renders a virtual duration in days with one decimal.
+func days(d time.Duration) string {
+	return fmt.Sprintf("%.1fd", d.Hours()/24)
+}
+
+// WriteSummary renders a Summary as the `s2sobs summary` report.
+func (s *Summary) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "tool %s\n", orDash(s.Tool))
+	fmt.Fprintf(w, "wall %v  rounds %d  tasks %d  workers %d  records %d  snapshots %d\n",
+		s.Wall.Round(time.Millisecond), s.Rounds, s.Tasks, s.Workers, s.Records, s.Snaps)
+	if len(s.Phases) > 0 {
+		fmt.Fprintf(w, "\nphase wall-time breakdown\n")
+		fmt.Fprintf(w, "  %-14s %8s %12s %10s %10s %10s %10s\n", "phase", "count", "total", "mean", "p50", "p95", "max")
+		for _, p := range s.Phases {
+			fmt.Fprintf(w, "  %-14s %8d %12v %10v %10v %10v %10v\n",
+				p.Phase, p.Count, rd(p.Total), rd(p.Mean), rd(p.P50), rd(p.P95), rd(p.Max))
+		}
+	}
+	if len(s.Utilization) > 0 {
+		var sum float64
+		for _, v := range s.Utilization {
+			sum += v
+		}
+		fmt.Fprintf(w, "\nworker utilization (%d buckets over %v, avg %.0f%%)\n  %s\n",
+			len(s.Utilization), s.Wall.Round(time.Millisecond),
+			100*sum/float64(len(s.Utilization)), Sparkline(s.Utilization, 1))
+	}
+}
+
+// WriteSeries renders the reconstructed metric time series; match filters
+// family names by substring ("" keeps all).
+func WriteSeries(w io.Writer, tr *Trace, match string) {
+	series := MetricSeries(tr)
+	var fams []string
+	for fam := range series {
+		if match == "" || strings.Contains(fam, match) {
+			fams = append(fams, fam)
+		}
+	}
+	sort.Strings(fams)
+	if len(fams) == 0 {
+		fmt.Fprintln(w, "no metric snapshots match (was the run traced with -metrics-interval?)")
+		return
+	}
+	iv := time.Duration(tr.Meta.IV)
+	fmt.Fprintf(w, "metric time series (%d snapshots, interval %s virtual)\n", len(tr.Snaps()), days(iv))
+	for _, fam := range fams {
+		pts := series[fam]
+		vals := make([]float64, len(pts))
+		var total, maxV float64
+		for i, p := range pts {
+			vals[i] = p.Value
+			total += p.Value
+			if p.Value > maxV {
+				maxV = p.Value
+			}
+		}
+		fmt.Fprintf(w, "  %-52s %s  last-vt %s  peak %.6g  sum %.6g\n",
+			fam, Sparkline(vals, 0), days(pts[len(pts)-1].VT), maxV, total)
+	}
+}
+
+// WriteDiff renders an A/B comparison of two traces: manifest fields that
+// differ, then per-phase wall-time totals side by side.
+func WriteDiff(w io.Writer, a, b *Trace, nameA, nameB string) {
+	sa, sb := Summarize(a), Summarize(b)
+	fmt.Fprintf(w, "diff %s vs %s\n", nameA, nameB)
+
+	fmt.Fprintf(w, "\nmanifest\n")
+	rows := manifestRows(a.Manifest, sa)
+	rowsB := manifestRows(b.Manifest, sb)
+	keys := make(map[string]bool)
+	for k := range rows {
+		keys[k] = true
+	}
+	for k := range rowsB {
+		keys[k] = true
+	}
+	var sorted []string
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	fmt.Fprintf(w, "  %-24s %-24s %-24s\n", "field", "a", "b")
+	for _, k := range sorted {
+		va, vb := orDash(rows[k]), orDash(rowsB[k])
+		marker := " "
+		if va != vb {
+			marker = "*"
+		}
+		fmt.Fprintf(w, "%s %-24s %-24s %-24s\n", marker, k, va, vb)
+	}
+
+	fmt.Fprintf(w, "\nphase timings\n")
+	fmt.Fprintf(w, "  %-14s %12s %12s %9s\n", "phase", "a-total", "b-total", "delta")
+	phases := make(map[string][2]time.Duration)
+	order := []string{}
+	for _, p := range sa.Phases {
+		phases[p.Phase] = [2]time.Duration{p.Total, 0}
+		order = append(order, p.Phase)
+	}
+	for _, p := range sb.Phases {
+		v, ok := phases[p.Phase]
+		if !ok {
+			order = append(order, p.Phase)
+		}
+		v[1] = p.Total
+		phases[p.Phase] = v
+	}
+	for _, ph := range order {
+		v := phases[ph]
+		fmt.Fprintf(w, "  %-14s %12v %12v %9s\n", ph, rd(v[0]), rd(v[1]), pctDelta(v[0], v[1]))
+	}
+	fmt.Fprintf(w, "  %-14s %12v %12v %9s\n", "run wall", rd(sa.Wall), rd(sb.Wall), pctDelta(sa.Wall, sb.Wall))
+}
+
+// manifestRows flattens the diffable manifest fields.
+func manifestRows(m *Manifest, s *Summary) map[string]string {
+	rows := map[string]string{
+		"rounds":  fmt.Sprintf("%d", s.Rounds),
+		"tasks":   fmt.Sprintf("%d", s.Tasks),
+		"workers": fmt.Sprintf("%d", s.Workers),
+	}
+	if m == nil {
+		return rows
+	}
+	rows["tool"] = m.Tool
+	rows["go"] = m.Go
+	rows["seed"] = fmt.Sprintf("%d", m.Seed)
+	rows["records"] = fmt.Sprintf("%d", m.Records)
+	if m.TopoDigest != "" {
+		rows["topo_digest"] = m.TopoDigest
+	}
+	for k, v := range m.Flags {
+		rows["flag."+k] = v
+	}
+	return rows
+}
+
+func pctDelta(a, b time.Duration) string {
+	if a == 0 {
+		if b == 0 {
+			return "0%"
+		}
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(float64(b)-float64(a))/float64(a))
+}
+
+func rd(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

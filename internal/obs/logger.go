@@ -11,24 +11,71 @@ import (
 // Logger is the single diagnostic channel of a command-line tool. It
 // writes to stderr so dataset and report output on stdout stays clean for
 // piping, and a quiet flag silences progress without silencing errors.
+//
+// Progress draws an in-place updating status line; every method holds one
+// mutex, so progress updates and ordinary lines may race from different
+// goroutines (a ticker updating progress while the main goroutine logs)
+// without interleaving mid-line. When a normal line lands while a
+// progress line is on screen, the progress line is cleared first and
+// redrawn after, so it never shears through other output.
 type Logger struct {
 	mu     sync.Mutex
 	w      io.Writer
 	prefix string
 	quiet  bool
+	ansi   bool
+	// progress is the currently drawn in-place line ("" when none).
+	progress string
 }
 
 // NewLogger returns a stderr logger. prefix is the tool name; quiet
-// silences Printf (but never Errorf).
+// silences Printf and Progress (but never Errorf). In-place progress
+// rendering is enabled when stderr is a terminal.
 func NewLogger(prefix string, quiet bool) *Logger {
-	return &Logger{w: os.Stderr, prefix: prefix, quiet: quiet}
+	l := &Logger{w: os.Stderr, prefix: prefix, quiet: quiet}
+	if fi, err := os.Stderr.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+		l.ansi = true
+	}
+	return l
 }
 
-// SetOutput redirects the logger (test hook).
+// SetOutput redirects the logger (test hook). In-place rendering is
+// turned off; use SetANSI to re-enable it for the new writer.
 func (l *Logger) SetOutput(w io.Writer) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.w = w
+	l.ansi = false
+}
+
+// SetANSI forces in-place progress rendering on or off, overriding the
+// terminal autodetection.
+func (l *Logger) SetANSI(on bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ansi = on
+}
+
+// clearLocked erases the drawn progress line, if any.
+func (l *Logger) clearLocked() {
+	if l.progress != "" {
+		fmt.Fprint(l.w, "\r\x1b[2K")
+	}
+}
+
+// redrawLocked re-draws the progress line after other output, if any.
+func (l *Logger) redrawLocked() {
+	if l.progress != "" {
+		fmt.Fprint(l.w, l.progress)
+	}
+}
+
+// lineLocked writes one prefixed line, keeping any progress line intact
+// around it.
+func (l *Logger) lineLocked(format string, args ...any) {
+	l.clearLocked()
+	fmt.Fprintf(l.w, "%s: %s\n", l.prefix, fmt.Sprintf(format, args...))
+	l.redrawLocked()
 }
 
 // Printf writes one prefixed diagnostic line, unless quiet.
@@ -41,7 +88,7 @@ func (l *Logger) Printf(format string, args ...any) {
 	if l.quiet {
 		return
 	}
-	fmt.Fprintf(l.w, "%s: %s\n", l.prefix, fmt.Sprintf(format, args...))
+	l.lineLocked(format, args...)
 }
 
 // Errorf writes one prefixed error line even when quiet.
@@ -51,7 +98,45 @@ func (l *Logger) Errorf(format string, args ...any) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	fmt.Fprintf(l.w, "%s: %s\n", l.prefix, fmt.Sprintf(format, args...))
+	l.lineLocked(format, args...)
+}
+
+// Progress draws (or redraws, in place) the tool's status line. When
+// in-place rendering is off — stderr is not a terminal — each update is
+// an ordinary line instead, so piped and logged output stays readable.
+// Call EndProgress before the final summary.
+func (l *Logger) Progress(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.quiet {
+		return
+	}
+	if !l.ansi {
+		l.lineLocked(format, args...)
+		return
+	}
+	l.clearLocked()
+	l.progress = fmt.Sprintf("%s: %s", l.prefix, fmt.Sprintf(format, args...))
+	fmt.Fprint(l.w, l.progress)
+}
+
+// EndProgress retires the in-place progress line: the last drawn state is
+// finished with a newline and subsequent output resumes normally. A no-op
+// when no progress line is on screen.
+func (l *Logger) EndProgress() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.progress == "" {
+		return
+	}
+	fmt.Fprintln(l.w)
+	l.progress = ""
 }
 
 // Every invokes fn every interval on its own goroutine until the returned

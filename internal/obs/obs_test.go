@@ -224,6 +224,90 @@ func TestSumFamily(t *testing.T) {
 	}
 }
 
+// TestPrometheusHistogramExposition checks the invariants the text format
+// demands of histograms: `le` bounds strictly increasing with +Inf last,
+// bucket counts cumulative (non-decreasing), the +Inf bucket equal to
+// `_count`, and `_sum` agreeing with the observations.
+func TestPrometheusHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rtt_ms", "round-trip time", LinearBuckets(10, 10, 5)) // 10..50
+	obsvs := []float64{1, 10, 15, 35, 49.5, 50, 120, 3000}
+	var wantSum float64
+	for _, v := range obsvs {
+		h.Observe(v)
+		wantSum += v
+	}
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var les []float64
+	var counts []int64
+	var gotSum float64
+	var gotCount int64 = -1
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val := fields[0], fields[1]
+		switch {
+		case strings.HasPrefix(name, "rtt_ms_bucket{le=\""):
+			leStr := strings.TrimSuffix(strings.TrimPrefix(name, "rtt_ms_bucket{le=\""), "\"}")
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				var err error
+				if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+					t.Fatalf("unparseable le in %q: %v", line, err)
+				}
+			}
+			les = append(les, le)
+			c, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				t.Fatalf("unparseable count in %q: %v", line, err)
+			}
+			counts = append(counts, c)
+		case name == "rtt_ms_sum":
+			gotSum, _ = strconv.ParseFloat(val, 64)
+		case name == "rtt_ms_count":
+			gotCount, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+
+	if len(les) != 6 {
+		t.Fatalf("got %d buckets, want 6 (5 bounds + +Inf):\n%s", len(les), buf.String())
+	}
+	for i := 1; i < len(les); i++ {
+		if les[i] <= les[i-1] {
+			t.Errorf("le bounds not increasing: %v", les)
+		}
+		if counts[i] < counts[i-1] {
+			t.Errorf("bucket counts not cumulative: %v", counts)
+		}
+	}
+	if !math.IsInf(les[len(les)-1], 1) {
+		t.Errorf("last bucket le = %v, want +Inf", les[len(les)-1])
+	}
+	// Observations 1,10 ≤10; 15 ≤20; — ≤30; 35 ≤40; 49.5,50 ≤50; 120,3000 only in +Inf.
+	wantCounts := []int64{2, 3, 3, 4, 6, 8}
+	for i, want := range wantCounts {
+		if counts[i] != want {
+			t.Fatalf("cumulative counts = %v, want %v", counts, wantCounts)
+		}
+	}
+	if gotCount != counts[len(counts)-1] {
+		t.Errorf("_count = %d, +Inf bucket = %d; must agree", gotCount, counts[len(counts)-1])
+	}
+	if gotCount != int64(len(obsvs)) {
+		t.Errorf("_count = %d, want %d", gotCount, len(obsvs))
+	}
+	if math.Abs(gotSum-wantSum) > 1e-9 {
+		t.Errorf("_sum = %v, want %v", gotSum, wantSum)
+	}
+}
+
 func TestLoggerQuiet(t *testing.T) {
 	var buf bytes.Buffer
 	l := NewLogger("tool", true)
@@ -243,6 +327,83 @@ func TestLoggerQuiet(t *testing.T) {
 	loud.Printf("hello %s", "world")
 	if got := buf.String(); got != "tool: hello world\n" {
 		t.Fatalf("Printf wrote %q", got)
+	}
+}
+
+// TestLoggerProgress pins the in-place rendering protocol: a progress line
+// is drawn without a newline, cleared with CR+erase before any ordinary
+// line, redrawn after it, and retired by EndProgress with one newline.
+func TestLoggerProgress(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger("tool", false)
+	l.SetOutput(&buf)
+	l.SetANSI(true)
+
+	l.Progress("round %d/%d", 1, 4)
+	l.Printf("paris flip")
+	l.Progress("round %d/%d", 2, 4)
+	l.EndProgress()
+	l.Printf("done")
+
+	const clear = "\r\x1b[2K"
+	want := "tool: round 1/4" +
+		clear + "tool: paris flip\n" + "tool: round 1/4" +
+		clear + "tool: round 2/4" +
+		"\n" +
+		"tool: done\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("progress protocol mismatch:\n got %q\nwant %q", got, want)
+	}
+
+	// EndProgress with nothing on screen is a no-op.
+	buf.Reset()
+	l.EndProgress()
+	if buf.Len() != 0 {
+		t.Fatalf("idle EndProgress wrote %q", buf.String())
+	}
+
+	// Without ANSI (piped stderr) every update is an ordinary line.
+	buf.Reset()
+	l.SetANSI(false)
+	l.Progress("round %d/%d", 3, 4)
+	if got := buf.String(); got != "tool: round 3/4\n" {
+		t.Fatalf("non-ansi Progress wrote %q", got)
+	}
+}
+
+// TestLoggerConcurrent hammers the logger from many goroutines — the mutex
+// must keep every line whole. Run under -race this also proves the
+// progress state is properly guarded.
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger("t", false)
+	l.SetOutput(&buf)
+	l.SetANSI(true)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if id%2 == 0 {
+					l.Progress("worker %d step %d", id, j)
+				} else {
+					l.Printf("worker %d line %d", id, j)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	l.EndProgress()
+	// Every newline-terminated segment must be a whole line: after
+	// stripping clear sequences, each starts with the prefix.
+	out := strings.ReplaceAll(buf.String(), "\r\x1b[2K", "\x00")
+	for _, seg := range strings.Split(out, "\n") {
+		for _, piece := range strings.Split(seg, "\x00") {
+			if piece != "" && !strings.HasPrefix(piece, "t: ") {
+				t.Fatalf("torn output piece %q", piece)
+			}
+		}
 	}
 }
 

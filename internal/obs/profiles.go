@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins CPU profiling to cpuPath and arranges a heap
+// profile at memPath; either path may be empty to skip that profile. It
+// returns a stop function that must be called at the end of the run (a
+// defer right after a successful StartProfiles is the intended shape):
+// stop ends the CPU profile and, after a GC to settle live objects,
+// writes the heap profile. Both the CLIs' -cpuprofile and -memprofile
+// flags route through this one helper.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			mf, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer mf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				return fmt.Errorf("obs: heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

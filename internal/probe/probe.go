@@ -13,10 +13,12 @@ package probe
 import (
 	"errors"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cdn"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/simnet"
 	"repro/internal/trace"
 )
@@ -46,7 +48,17 @@ type Prober struct {
 	mPings       *obs.Counter
 	mUnreachable *obs.Counter
 	mHops        *obs.Histogram
+
+	// Flight recorder; nil until Trace. Individual measurements are far
+	// too hot for per-measurement spans, so the recorder sees one
+	// coalesced batch event per probeBatch measurements.
+	rec    *flight.Recorder
+	batchN atomic.Int64
 }
+
+// probeBatch is the coalescing factor for flight batch events: one event
+// per this many measurements.
+const probeBatch = 1024
 
 // Metric names exported by Instrument.
 const (
@@ -68,6 +80,22 @@ func (p *Prober) Instrument(reg *obs.Registry) {
 	p.mPings = reg.Counter(MetricPings, "pings issued")
 	p.mUnreachable = reg.Counter(MetricUnreachable, "measurements that found no route to the destination")
 	p.mHops = reg.Histogram(MetricHops, "hops reported per traceroute", obs.LinearBuckets(4, 4, 16))
+}
+
+// Trace attaches a flight recorder: every probeBatch-th measurement emits
+// a batch event carrying the cumulative measurement count. A nil recorder
+// is a no-op. Call before probing starts.
+func (p *Prober) Trace(rec *flight.Recorder) { p.rec = rec }
+
+// countMeasurement advances the batch counter and emits a coalesced batch
+// event at every probeBatch boundary.
+func (p *Prober) countMeasurement(at time.Duration) {
+	if p.rec == nil {
+		return
+	}
+	if n := p.batchN.Add(1); n%probeBatch == 0 {
+		p.rec.Event(flight.PhProbeBatch, at, flight.Attrs{N: n})
+	}
 }
 
 // New returns a Prober with the standard error rates.
@@ -129,6 +157,7 @@ func (p *Prober) Ping(src, dst *cdn.Cluster, v6 bool, at time.Duration) *trace.P
 		V6: v6, At: at,
 	}
 	p.mPings.Inc()
+	p.countMeasurement(at)
 	rng := p.Net.Rand(simnet.KindPing, src.ID, dst.ID, v6, at)
 	flowF := pairFlow(src.ID, dst.ID, v6)
 	flowR := pairFlow(dst.ID, src.ID, v6)
@@ -164,6 +193,7 @@ func (p *Prober) Traceroute(src, dst *cdn.Cluster, v6, paris bool, at time.Durat
 		V6: v6, Paris: paris, At: at,
 	}
 	p.mTraceroutes.Inc()
+	p.countMeasurement(at)
 	rng := p.Net.Rand(simnet.KindTraceroute, src.ID, dst.ID, v6, at)
 	base := pairFlow(src.ID, dst.ID, v6)
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/ipam"
 	"repro/internal/itopo"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // ErrUnreachable is returned when no route exists between the endpoints at
@@ -94,6 +95,9 @@ type Net struct {
 	// per-shard bound is reached.
 	shards   [2][pathCacheShards]pathShard
 	shardMax int
+
+	// Flight recorder; nil until Trace.
+	rec *flight.Recorder
 }
 
 type pathShard struct {
@@ -168,6 +172,12 @@ func (n *Net) Instrument(reg *obs.Registry) {
 	}
 }
 
+// Trace attaches a flight recorder: every cache-generation sweep (stale
+// drops at a shard bound, or a full shard reset) becomes an event carrying
+// the shard index, drop counts, and family. A nil recorder is a no-op.
+// Call before probing starts.
+func (n *Net) Trace(rec *flight.Recorder) { n.rec = rec }
+
 // plane maps a family flag onto the BGP plane.
 func plane(v6 bool) bgp.Plane {
 	if v6 {
@@ -231,10 +241,25 @@ func (n *Net) resolveCached(sr, dr itopo.RouterID, asPath []ipam.ASN, v6 bool, f
 				delete(sh.m, k)
 			}
 		}
-		sh.stale.Add(int64(before - len(sh.m)))
+		stale := before - len(sh.m)
+		sh.stale.Add(int64(stale))
+		evicted := 0
 		if len(sh.m) >= n.shardMax {
-			sh.evictions.Add(int64(len(sh.m)))
+			evicted = len(sh.m)
+			sh.evictions.Add(int64(evicted))
 			sh.m = make(map[pathKey][]itopo.PathHop)
+		}
+		if n.rec != nil {
+			fam := "v4"
+			if v6 {
+				fam = "v6"
+			}
+			n.rec.Event(flight.PhCacheSweep, t, flight.Attrs{
+				ID: int64(key.shardIndex()),
+				N:  int64(stale),
+				M:  int64(evicted),
+				S:  fam,
+			})
 		}
 	}
 	sh.m[key] = hops
