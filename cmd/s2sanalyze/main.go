@@ -2,14 +2,27 @@
 // s2sgen, reconstructing the IP-to-AS view from the .bgp.tsv sidecar. It
 // does not need the simulator: any dataset in the record format works.
 //
+// -data accepts all three dataset formats and detects which it got:
+// a binary record file (.bin), a JSON-lines file (.jsonl), or a sharded
+// store directory (<stem>.store/, written by s2sgen -store). Stores load
+// on a parallel shard scan sized by -workers; -pairs restricts the load
+// to chosen src-dst timelines, which on a store is pushed down to the
+// shard indexes so non-matching shards are never read. The .bgp.tsv
+// sidecar is found next to the dataset under the extension-stripped stem
+// for every format.
+//
 // Analysis output goes to stdout; diagnostics go to stderr (silence them
-// with -q). -metrics writes a final telemetry snapshot, -trace records a
-// flight record of the load and analysis phases (inspect with s2sobs), and
-// -cpuprofile/-memprofile capture pprof profiles of the run.
+// with -q). -metrics writes a final telemetry snapshot (including the
+// store read counters when the dataset is a store), -trace records a
+// flight record of the load and analysis phases with one span per shard
+// scan (inspect with s2sobs), and -cpuprofile/-memprofile capture pprof
+// profiles of the run.
 //
 // Usage:
 //
-//	s2sanalyze -data dataset.bin [-analysis table1|paths|changes|dualstack|congestion]
+//	s2sanalyze -data dataset.bin|dataset.jsonl|dataset.store
+//	           [-analysis table1|paths|changes|dualstack|congestion]
+//	           [-pairs SRC-DST[,SRC-DST...]] [-workers N]
 //	           [-metrics PATH] [-trace PATH] [-metrics-interval D]
 //	           [-cpuprofile PATH] [-memprofile PATH] [-q]
 package main
@@ -34,6 +47,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/report"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -46,10 +60,11 @@ func main() {
 
 func run() error {
 	var (
-		data       = flag.String("data", "dataset.bin", "dataset path (binary records written by s2sgen)")
+		data       = flag.String("data", "dataset.bin", "dataset path: .bin, .jsonl, or a store directory")
 		analysis   = flag.String("analysis", "table1", "analysis: summary, table1, paths, changes, dualstack, congestion")
+		pairsSpec  = flag.String("pairs", "", "load only these src-dst timelines, e.g. 3-7,12-0 (store datasets prune shards)")
 		interval   = flag.Duration("interval", 3*time.Hour, "measurement interval of the dataset")
-		workers    = flag.Int("workers", 0, "detector workers (0 = all cores, 1 = sequential)")
+		workers    = flag.Int("workers", 0, "store-scan and detector workers (0 = all cores, 1 = sequential)")
 		metrics    = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
 		quiet      = flag.Bool("q", false, "suppress progress output on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
@@ -86,56 +101,41 @@ func run() error {
 		}
 	}
 
-	table, err := loadBGP(strings.TrimSuffix(*data, ".bin") + ".bgp.tsv")
+	table, err := loadBGP(dataStem(*data) + ".bgp.tsv")
 	if err != nil {
 		return err
 	}
 	mapper := aspath.NewMapper(table)
 
-	f, err := os.Open(*data)
+	keys, err := parsePairs(*pairsSpec)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	r := trace.NewBinaryReader(f)
 
-	builder := timeline.NewBuilder(mapper, *interval)
-	diffs := dualstack.NewDiffCollector(mapper)
-	var pings []*trace.Ping
+	// The loader is a record consumer shared by all three dataset formats.
+	// The dataset's record timestamps drive the flight recorder's virtual
+	// clock, so metric snapshots land on the same virtual-day boundaries a
+	// generating run uses.
+	ld := &loader{
+		builder:  timeline.NewBuilder(mapper, *interval),
+		diffs:    dualstack.NewDiffCollector(mapper),
+		recordsC: recordsC,
+		rec:      rec,
+	}
 	stop := obs.Every(2*time.Second, func() {
 		log.Progress("%d records read, %.0f records/s",
 			recordsC.Value(), float64(recordsC.Value())/time.Since(start).Seconds())
 	})
-	// The dataset's record timestamps drive the flight recorder's virtual
-	// clock, so metric snapshots land on the same virtual-day boundaries a
-	// generating run uses.
 	loadSpan := rec.Begin("load", 0)
-	var lastAt time.Duration
-	for {
-		v, err := r.Next()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			stop()
-			return err
-		}
-		recordsC.Inc()
-		switch v := v.(type) {
-		case *trace.Traceroute:
-			builder.Add(v)
-			diffs.Add(v)
-			lastAt = v.At
-		case *trace.Ping:
-			pings = append(pings, v)
-			lastAt = v.At
-		}
-		rec.Advance(lastAt)
+	if err := loadDataset(*data, *workers, keys, reg, rec, ld); err != nil {
+		stop()
+		return err
 	}
 	loadSpan.End(flight.Attrs{N: recordsC.Value()})
 	stop()
 	log.EndProgress()
 	log.Printf("%d records from %s", recordsC.Value(), *data)
+	builder, diffs, pings, lastAt := ld.builder, ld.diffs, ld.pings, ld.lastAt
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -253,6 +253,130 @@ func run() error {
 		log.Printf("wrote flight record to %s", *tracePath)
 	}
 	return nil
+}
+
+// dataStem strips the dataset extension (.bin, .jsonl, or .store) so the
+// sidecar files resolve to the same <stem>.bgp.tsv for every format. This
+// is also the fix for the old behavior that only stripped ".bin" and broke
+// sidecar lookup for -jsonl datasets.
+func dataStem(path string) string {
+	for _, ext := range []string{".bin", ".jsonl", ".store"} {
+		if strings.HasSuffix(path, ext) {
+			return strings.TrimSuffix(path, ext)
+		}
+	}
+	return path
+}
+
+// parsePairs expands a "SRC-DST[,SRC-DST...]" spec into timeline keys,
+// both protocols per directed pair (the dualstack analysis needs v4 and
+// v6 together). An empty spec selects everything.
+func parsePairs(spec string) ([]trace.PairKey, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var keys []trace.PairKey
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		src, dst, ok := strings.Cut(part, "-")
+		if !ok {
+			return nil, fmt.Errorf("bad pair %q (want SRC-DST)", part)
+		}
+		s, err := strconv.Atoi(src)
+		if err != nil {
+			return nil, fmt.Errorf("bad pair %q: %v", part, err)
+		}
+		d, err := strconv.Atoi(dst)
+		if err != nil {
+			return nil, fmt.Errorf("bad pair %q: %v", part, err)
+		}
+		keys = append(keys,
+			trace.PairKey{SrcID: s, DstID: d},
+			trace.PairKey{SrcID: s, DstID: d, V6: true})
+	}
+	return keys, nil
+}
+
+// loader feeds records into the analysis collectors; it satisfies both
+// the store consumer and the flat-read dispatch.
+type loader struct {
+	builder  *timeline.Builder
+	diffs    *dualstack.DiffCollector
+	pings    []*trace.Ping
+	recordsC *obs.Counter
+	rec      *flight.Recorder
+	lastAt   time.Duration
+}
+
+func (l *loader) OnTraceroute(tr *trace.Traceroute) {
+	l.recordsC.Inc()
+	l.builder.Add(tr)
+	l.diffs.Add(tr)
+	l.lastAt = tr.At
+	l.rec.Advance(tr.At)
+}
+
+func (l *loader) OnPing(p *trace.Ping) {
+	l.recordsC.Inc()
+	l.pings = append(l.pings, p)
+	l.lastAt = p.At
+	l.rec.Advance(p.At)
+}
+
+// loadDataset streams a dataset of any format into the loader. Store
+// directories scan shards on a worker pool with pair pushdown; flat files
+// (.bin or .jsonl) stream front to back with the pair filter applied
+// record by record.
+func loadDataset(path string, workers int, keys []trace.PairKey, reg *obs.Registry, rec *flight.Recorder, ld *loader) error {
+	if store.IsStore(path) {
+		s, err := store.Open(path)
+		if err != nil {
+			return err
+		}
+		s.Instrument(reg)
+		s.Trace(rec)
+		if len(keys) > 0 {
+			return s.Pairs(workers, keys, ld)
+		}
+		return s.Scan(workers, ld)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var next func() (any, error)
+	if strings.HasSuffix(path, ".jsonl") {
+		next = trace.NewJSONLReader(f).Next
+	} else {
+		next = trace.NewBinaryReader(f).Next
+	}
+	var want map[trace.PairKey]bool
+	if len(keys) > 0 {
+		want = make(map[trace.PairKey]bool, len(keys))
+		for _, k := range keys {
+			want[k] = true
+		}
+	}
+	for {
+		v, err := next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch v := v.(type) {
+		case *trace.Traceroute:
+			if want == nil || want[v.Key()] {
+				ld.OnTraceroute(v)
+			}
+		case *trace.Ping:
+			if want == nil || want[v.Key()] {
+				ld.OnPing(v)
+			}
+		}
+	}
 }
 
 func loadBGP(path string) (*ipam.Table, error) {

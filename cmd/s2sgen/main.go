@@ -6,6 +6,13 @@
 //	<out>.rel.tsv  AS relationships       (a <TAB> b <TAB> c2p|p2p)
 //	<out>.loc.tsv  cluster locations      (id <TAB> lat <TAB> lon <TAB> country)
 //
+// With -store the dataset is written as a sharded store directory
+// (<out>.store/) instead of a flat record file: records are routed into
+// per-(day, pair-shard) files with footer indexes and a manifest, which
+// s2sanalyze scans in parallel and prunes per-pair (see internal/store).
+// -compress gzips the shard payloads; -store-shards sets the pair-hash
+// column count. Sidecars keep the <out>.*.tsv names either way.
+//
 // All diagnostics go to stderr (silence them with -q); stdout carries
 // nothing, so the command composes in pipelines. -metrics writes a final
 // telemetry snapshot (Prometheus text, or JSON for .json paths), -trace
@@ -15,7 +22,8 @@
 // Usage:
 //
 //	s2sgen -campaign longterm|pings|short [-seed N] [-days N] [-mesh N] [-o PATH]
-//	       [-churn X] [-metrics PATH] [-trace PATH] [-metrics-interval D]
+//	       [-store] [-compress] [-store-shards N] [-churn X]
+//	       [-metrics PATH] [-trace PATH] [-metrics-interval D]
 //	       [-cpuprofile PATH] [-memprofile PATH] [-q]
 package main
 
@@ -38,6 +46,7 @@ import (
 	"repro/internal/obs/flight"
 	"repro/internal/probe"
 	"repro/internal/simnet"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -58,6 +67,9 @@ func run() error {
 		kind       = flag.String("campaign", "longterm", "campaign: longterm, pings, or short")
 		out        = flag.String("o", "dataset", "output path prefix")
 		jsonl      = flag.Bool("jsonl", false, "write JSON lines instead of binary records")
+		useStore   = flag.Bool("store", false, "write a sharded store directory (<out>.store/) instead of a flat file")
+		compress   = flag.Bool("compress", false, "gzip store shard payloads (requires -store)")
+		storePS    = flag.Int("store-shards", 0, "pair-shard columns per virtual day (0 = store default)")
 		workers    = flag.Int("workers", 0, "measurement workers (0 = all cores, 1 = sequential)")
 		churn      = flag.Float64("churn", 1, "multiply routing-event rates (1 = default schedule)")
 		metrics    = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
@@ -139,44 +151,64 @@ func run() error {
 		prober.Trace(rec)
 	}
 
-	// Dataset writer. The first write error is remembered and reported
-	// after the campaign; later writes are skipped.
-	ext := ".bin"
-	if *jsonl {
-		ext = ".jsonl"
+	// Dataset sink. Both paths go through campaign.WriteSink: the first
+	// write error is remembered and reported after the campaign; later
+	// writes are skipped.
+	if *useStore && *jsonl {
+		return fmt.Errorf("-store and -jsonl are mutually exclusive (store shards use the binary framing)")
 	}
-	f, err := os.Create(*out + ext)
-	if err != nil {
-		return err
+	if *compress && !*useStore {
+		return fmt.Errorf("-compress requires -store")
 	}
-	defer f.Close()
-	var werr error
-	count := 0
-	type recordWriter interface {
-		WriteTraceroute(*trace.Traceroute) error
-		WritePing(*trace.Ping) error
-		Flush() error
-	}
-	var w recordWriter
-	if *jsonl {
-		w = trace.NewJSONLWriter(f)
+	var (
+		sink    *campaign.WriteSink
+		finish  func() error // flush/close the dataset after the campaign
+		dataOut string       // where the records went, for the final log line
+	)
+	if *useStore {
+		dataOut = *out + ".store"
+		compression := ""
+		if *compress {
+			compression = store.CompressionGzip
+		}
+		sw, err := store.Create(dataOut, store.Options{
+			PairShards:  *storePS,
+			Compression: compression,
+			Tool:        "s2sgen",
+			Seed:        *seed,
+			TopoDigest:  topo.Digest(),
+		})
+		if err != nil {
+			return err
+		}
+		sw.Instrument(reg)
+		sink = campaign.NewWriteSink(sw)
+		finish = sw.Close
 	} else {
-		w = trace.NewBinaryWriter(f)
+		ext := ".bin"
+		if *jsonl {
+			ext = ".jsonl"
+		}
+		dataOut = *out + ext
+		f, err := os.Create(dataOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		type flatWriter interface {
+			campaign.RecordWriter
+			Flush() error
+		}
+		var w flatWriter
+		if *jsonl {
+			w = trace.NewJSONLWriter(f)
+		} else {
+			w = trace.NewBinaryWriter(f)
+		}
+		sink = campaign.NewWriteSink(w)
+		finish = w.Flush
 	}
-	consumer := campaign.Funcs{
-		Traceroute: func(tr *trace.Traceroute) {
-			count++
-			if werr == nil {
-				werr = w.WriteTraceroute(tr)
-			}
-		},
-		Ping: func(p *trace.Ping) {
-			count++
-			if werr == nil {
-				werr = w.WritePing(p)
-			}
-		},
-	}
+	consumer := campaign.Consumer(sink)
 
 	// Progress line: virtual-clock position and cumulative throughput,
 	// read from the same registry series the engine updates.
@@ -229,12 +261,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if werr != nil {
+	if werr := sink.Err(); werr != nil {
 		return werr
 	}
-	if err := w.Flush(); err != nil {
+	if err := finish(); err != nil {
 		return err
 	}
+	count := sink.Count()
 
 	// Sidecars.
 	if err := writeBGP(*out+".bgp.tsv", net, plat); err != nil {
@@ -249,7 +282,7 @@ func run() error {
 
 	wall := time.Since(start)
 	reg.Gauge(obs.MetricRunWallSeconds, "wall-clock duration of the run").Set(wall.Seconds())
-	reg.Counter(obs.MetricRunRecords, "records the run wrote").Add(int64(count))
+	reg.Counter(obs.MetricRunRecords, "records the run wrote").Add(count)
 	reg.Gauge(obs.MetricRunRecordsPerSec, "records written per wall-clock second").Set(float64(count) / wall.Seconds())
 	if *metrics != "" {
 		if err := obs.WriteFile(*metrics, reg); err != nil {
@@ -263,7 +296,7 @@ func run() error {
 			Seed:       *seed,
 			Flags:      flight.FlagsSet(),
 			TopoDigest: topo.Digest(),
-			Records:    int64(count),
+			Records:    count,
 		})
 		if err := rec.Close(); err != nil {
 			return err
@@ -271,8 +304,8 @@ func run() error {
 		log.Printf("wrote flight record to %s", *tracePath)
 	}
 
-	log.Printf("wrote %d records to %s%s (+ .bgp.tsv, .rel.tsv, .loc.tsv) in %v",
-		count, *out, ext, wall.Round(time.Millisecond))
+	log.Printf("wrote %d records to %s (+ .bgp.tsv, .rel.tsv, .loc.tsv) in %v",
+		count, dataOut, wall.Round(time.Millisecond))
 	return nil
 }
 

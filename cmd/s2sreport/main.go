@@ -11,9 +11,14 @@
 // Usage:
 //
 //	s2sreport [-scale test|default|full] [-seed N] [-only ID[,ID...]]
-//	          [-days N] [-mesh N] [-svgdir DIR] [-list] [-metrics PATH]
-//	          [-trace PATH] [-metrics-interval D]
+//	          [-days N] [-mesh N] [-svgdir DIR] [-archive DIR] [-list]
+//	          [-metrics PATH] [-trace PATH] [-metrics-interval D]
 //	          [-cpuprofile PATH] [-memprofile PATH] [-q]
+//
+// -archive persists the long-term campaign's record stream into a sharded
+// store directory (see internal/store) while the experiments consume it,
+// so the exact dataset behind a report can be re-analyzed with
+// s2sanalyze -data DIR without re-running the simulation.
 package main
 
 import (
@@ -24,9 +29,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/store"
 )
 
 func main() {
@@ -43,6 +50,7 @@ func run() error {
 		only       = flag.String("only", "", "comma-separated experiment ids (default: all)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		svgDir     = flag.String("svgdir", "", "write rendered figures (SVG) into this directory")
+		archive    = flag.String("archive", "", "persist the long-term campaign into a store directory at this path")
 		days       = flag.Int("days", 0, "override the long-term campaign length (days)")
 		mesh       = flag.Int("mesh", 0, "override the long-term mesh size")
 		metrics    = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
@@ -92,6 +100,23 @@ func run() error {
 	reg := obs.NewRegistry()
 	sc.Metrics = reg
 
+	// The archive store receives the long-term campaign's records alongside
+	// the streaming analyses; provenance is stamped once the topology digest
+	// is known, and the manifest is written after the experiments ran.
+	var (
+		archiveW    *store.Writer
+		archiveSink *campaign.WriteSink
+	)
+	if *archive != "" {
+		archiveW, err = store.Create(*archive, store.Options{})
+		if err != nil {
+			return err
+		}
+		archiveW.Instrument(reg)
+		archiveSink = campaign.NewWriteSink(archiveW)
+		sc.Archive = archiveSink
+	}
+
 	var rec *flight.Recorder
 	if *tracePath != "" {
 		rec, err = flight.Create(*tracePath, flight.Options{
@@ -125,6 +150,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if archiveW != nil {
+		archiveW.SetProvenance("s2sreport", *seed, env.Topo.Digest())
+	}
 	for _, e := range selected {
 		t0 := time.Now()
 		sp := rec.Begin("experiment", 0)
@@ -149,6 +177,20 @@ func run() error {
 			}
 		}
 		log.Printf("%s done in %v", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if archiveW != nil {
+		if err := archiveSink.Err(); err != nil {
+			return fmt.Errorf("archive: %w", err)
+		}
+		if err := archiveW.Close(); err != nil {
+			return err
+		}
+		if archiveSink.Count() == 0 {
+			log.Printf("archive %s is empty (no selected experiment ran the long-term campaign)", *archive)
+		} else {
+			log.Printf("archived %d long-term records to %s", archiveSink.Count(), *archive)
+		}
 	}
 
 	wall := time.Since(start)

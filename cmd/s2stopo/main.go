@@ -12,6 +12,13 @@
 //
 //	s2stopo [-seed N] [-ases N] [-clusters N] [-links] [-platform]
 //	        [-metrics PATH] [-trace PATH] [-cpuprofile PATH] [-memprofile PATH] [-q]
+//	s2stopo -store DIR [-shards]
+//
+// -store prints the manifest of a sharded dataset store (written by
+// s2sgen -store or s2sreport -archive) instead of generating a topology:
+// the producing run's provenance (tool, seed, topology digest), the shard
+// layout, and the record totals. -shards additionally dumps the per-shard
+// table.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"repro/internal/itopo"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/store"
 )
 
 func main() {
@@ -42,6 +50,8 @@ func run() error {
 		clusters   = flag.Int("clusters", 400, "number of CDN clusters")
 		links      = flag.Bool("links", false, "dump every AS-level link")
 		platform   = flag.Bool("platform", false, "dump every cluster")
+		storeDir   = flag.String("store", "", "print the manifest of this dataset store and exit")
+		shards     = flag.Bool("shards", false, "with -store, dump the per-shard table")
 		metrics    = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
 		quiet      = flag.Bool("q", false, "suppress progress output on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
@@ -50,6 +60,10 @@ func run() error {
 	)
 	flag.Parse()
 	log := obs.NewLogger("s2stopo", *quiet)
+
+	if *storeDir != "" {
+		return printStore(*storeDir, *shards)
+	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -186,4 +200,53 @@ func run() error {
 		log.Printf("wrote flight record to %s", *tracePath)
 	}
 	return nil
+}
+
+// printStore summarizes a dataset store's manifest: the producing run's
+// provenance, the shard layout, and the record totals.
+func printStore(dir string, dumpShards bool) error {
+	m, err := store.ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Dataset store %s\n", dir)
+	fmt.Printf("  produced by: %s (seed %d)\n", orDash(m.Tool), m.Seed)
+	fmt.Printf("  topology:    %s\n", orDash(m.TopoDigest))
+	compression := m.Compression
+	if compression == "" {
+		compression = "none"
+	}
+	fmt.Printf("  layout:      day length %v, %d pair shards, compression %s\n",
+		m.DayLength(), m.PairShards, compression)
+	min, max := m.Span()
+	days := make(map[int]bool)
+	var bytes int64
+	segments := 0
+	for _, e := range m.Shards {
+		days[e.Day] = true
+		bytes += e.Bytes
+		if e.Seq > 0 {
+			segments++
+		}
+	}
+	fmt.Printf("  records:     %d (%d traceroutes, %d pings) over days %.1f-%.1f\n",
+		m.Records, m.Traceroutes, m.Pings, min.Hours()/24, max.Hours()/24)
+	fmt.Printf("  shards:      %d files (%d follow-up segments) across %d virtual days, %d bytes\n",
+		len(m.Shards), segments, len(days), bytes)
+	if dumpShards {
+		fmt.Printf("\n  %-22s %10s %12s %12s %10s\n", "file", "records", "min day", "max day", "bytes")
+		for _, e := range m.Shards {
+			fmt.Printf("  %-22s %10d %12.2f %12.2f %10d\n",
+				e.File, e.Records,
+				time.Duration(e.MinAtNS).Hours()/24, time.Duration(e.MaxAtNS).Hours()/24, e.Bytes)
+		}
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }

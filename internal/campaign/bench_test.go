@@ -1,15 +1,149 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"math/rand"
+	"net/netip"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // BenchmarkLongTermCampaign measures the long-term campaign end to end at
 // several worker counts. On a multi-core host the 8-worker variant should
 // run well over 2x faster than the sequential one while producing the
 // byte-identical dataset (see TestLongTermBitIdentical).
+// benchCorpus synthesizes a campaign-shaped record stream: rounds of
+// monotone timestamps, both protocols of each directed pair adjacent.
+func benchCorpus(servers, days, roundsPerDay int) []any {
+	rng := rand.New(rand.NewSource(7))
+	addr := func(id int) netip.Addr {
+		return netip.AddrFrom4([4]byte{10, byte(id >> 8), byte(id), 1})
+	}
+	var out []any
+	interval := 24 * time.Hour / time.Duration(roundsPerDay)
+	for r := 0; r < days*roundsPerDay; r++ {
+		at := time.Duration(r) * interval
+		for s := 0; s < servers; s++ {
+			for d := 0; d < servers; d++ {
+				if s == d {
+					continue
+				}
+				for _, v6 := range []bool{false, true} {
+					tr := &trace.Traceroute{
+						SrcID: s, DstID: d, V6: v6,
+						Src: addr(s), Dst: addr(d),
+						At: at, Complete: true, Paris: true,
+						RTT: time.Duration(rng.Intn(150)) * time.Millisecond,
+					}
+					for h := 0; h < 8; h++ {
+						tr.Hops = append(tr.Hops, trace.Hop{
+							Addr: addr(2000 + rng.Intn(400)),
+							RTT:  time.Duration(rng.Intn(80)) * time.Millisecond,
+						})
+					}
+					out = append(out, tr)
+				}
+			}
+		}
+	}
+	return out
+}
+
+type countConsumer struct{ n int }
+
+func (c *countConsumer) OnTraceroute(*trace.Traceroute) { c.n++ }
+func (c *countConsumer) OnPing(*trace.Ping)             { c.n++ }
+
+// BenchmarkStoreScan compares a full store scan at several worker counts
+// against the single-threaded flat-file read of the same dataset (the
+// compatibility baseline). The workers=8 variant should beat the flat
+// read by well over 3x on a multi-core host: the flat read decodes one
+// record at a time on one core, the store decodes whole shards in
+// parallel and only restores delivery order.
+func BenchmarkStoreScan(b *testing.B) {
+	corpus := benchCorpus(10, 8, 8)
+	dir := b.TempDir()
+	flat := filepath.Join(dir, "dataset.bin")
+	f, err := os.Create(flat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bw := trace.NewBinaryWriter(f)
+	sw, err := store.Create(filepath.Join(dir, "dataset.store"), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rec := range corpus {
+		tr := rec.(*trace.Traceroute)
+		if err := bw.WriteTraceroute(tr); err != nil {
+			b.Fatal(err)
+		}
+		if err := sw.WriteTraceroute(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(flat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := trace.NewBinaryReader(f)
+			n := 0
+			for {
+				_, err := r.Next()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				n++
+			}
+			f.Close()
+			if n != len(corpus) {
+				b.Fatalf("read %d records, want %d", n, len(corpus))
+			}
+		}
+	})
+	// Open once: footer reads are store-open cost, not scan cost, and the
+	// opened store is safe for repeated reads.
+	s, err := store.Open(filepath.Join(dir, "dataset.store"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var c countConsumer
+				if err := s.Scan(w, &c); err != nil {
+					b.Fatal(err)
+				}
+				if c.n != len(corpus) {
+					b.Fatalf("scanned %d records, want %d", c.n, len(corpus))
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkLongTermCampaign(b *testing.B) {
 	for _, w := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {

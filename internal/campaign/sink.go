@@ -1,0 +1,46 @@
+package campaign
+
+import "repro/internal/trace"
+
+// RecordWriter is the write side of a dataset sink: trace.BinaryWriter,
+// trace.JSONLWriter, and store.Writer all satisfy it.
+type RecordWriter interface {
+	WriteTraceroute(*trace.Traceroute) error
+	WritePing(*trace.Ping) error
+}
+
+// WriteSink adapts a RecordWriter into a Consumer. The campaign interfaces
+// deliberately have no error path — measurement delivery never fails — so
+// the sink remembers the first write error, skips subsequent writes, and
+// lets the caller check Err after the campaign. Records are still counted
+// past an error, keeping the count equal to what the campaign produced.
+type WriteSink struct {
+	w     RecordWriter
+	err   error
+	count int64
+}
+
+// NewWriteSink wraps a record writer.
+func NewWriteSink(w RecordWriter) *WriteSink { return &WriteSink{w: w} }
+
+// OnTraceroute writes the record unless a previous write failed.
+func (s *WriteSink) OnTraceroute(tr *trace.Traceroute) {
+	s.count++
+	if s.err == nil {
+		s.err = s.w.WriteTraceroute(tr)
+	}
+}
+
+// OnPing writes the record unless a previous write failed.
+func (s *WriteSink) OnPing(p *trace.Ping) {
+	s.count++
+	if s.err == nil {
+		s.err = s.w.WritePing(p)
+	}
+}
+
+// Err returns the first write error, if any.
+func (s *WriteSink) Err() error { return s.err }
+
+// Count returns how many records the campaign delivered (written or not).
+func (s *WriteSink) Count() int64 { return s.count }

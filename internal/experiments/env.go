@@ -68,6 +68,12 @@ type Scale struct {
 	// (records remain bit-identical to a sequential run; ≤1 disables).
 	Workers int
 
+	// Archive, when non-nil, additionally receives every record of the
+	// long-term campaign alongside the streaming analyses (s2sreport
+	// -archive points this at a store writer so the dataset the report ran
+	// on persists for later s2sanalyze passes).
+	Archive campaign.Consumer
+
 	// Metrics, when non-nil, receives run telemetry from every
 	// instrumented subsystem (path cache, BGP recomputation, engine,
 	// prober, detector). Metrics never alter any record or result.
@@ -265,12 +271,15 @@ func (e *Env) LongTerm() (*longTermData, error) {
 		Metrics:       e.Scale.Metrics,
 		Trace:         e.Scale.Trace,
 	}
-	consumer := campaign.Funcs{Traceroute: func(tr *trace.Traceroute) {
+	var consumer campaign.Consumer = campaign.Funcs{Traceroute: func(tr *trace.Traceroute) {
 		data.total++
 		data.builder.Add(tr)
 		data.diffs.Add(tr)
 		data.inflations.Add(tr)
 	}}
+	if e.Scale.Archive != nil {
+		consumer = campaign.Multi{consumer, e.Scale.Archive}
+	}
 	if err := campaign.LongTerm(e.Prober, cfg, consumer); err != nil {
 		return nil, err
 	}

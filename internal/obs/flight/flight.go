@@ -61,6 +61,7 @@ const (
 	PhEpochBuild = "epoch_build" // span: BGP routing-view build; id = epoch, n = trees carried, m = delta events, s = plane
 	PhCacheSweep = "cache_sweep" // event: path-cache shard sweep; id = shard, n = stale drops, m = full-reset evictions, s = family
 	PhProbeBatch = "probe_batch" // event: probe measurement batch milestone; n = cumulative measurements
+	PhShardScan  = "shard_scan"  // span: one store shard decode during a scan; s = shard file, n = records, m = payload bytes
 )
 
 // Attrs are the optional attributes of a span or event. Zero-valued

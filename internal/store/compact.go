@@ -1,0 +1,182 @@
+package store
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+)
+
+// readShardBytes returns a shard's on-disk payload and its decompressed
+// record framing (the same slice when the shard is uncompressed).
+func readShardBytes(path string, ix *shardIndex) (disk, raw []byte, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, nil, err
+	}
+	if string(hdr[:len(shardMagic)]) != shardMagic {
+		return nil, nil, fmt.Errorf("bad shard magic")
+	}
+	disk = make([]byte, ix.PayloadBytes)
+	if _, err := f.ReadAt(disk, int64(headerLen)); err != nil {
+		return nil, nil, err
+	}
+	if hdr[len(shardMagic)]&flagGzip == 0 {
+		return disk, disk, nil
+	}
+	gr, err := gzip.NewReader(bytes.NewReader(disk))
+	if err != nil {
+		return nil, nil, err
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, ix.RawBytes))
+	if _, err := io.Copy(buf, gr); err != nil {
+		return nil, nil, err
+	}
+	if err := gr.Close(); err != nil {
+		return nil, nil, err
+	}
+	return disk, buf.Bytes(), nil
+}
+
+// Compact merges the segment files of every (day, pair-shard) cell that
+// was split by writer eviction into a single shard. Payload bytes are
+// copied verbatim — frames are walked with trace.ParseFrameHeader to
+// rebuild the footer's pair set, but no record is ever re-decoded, and
+// compressed shards are concatenated as gzip members rather than being
+// recompressed. Compact operates on a closed store; reopen it afterwards.
+func Compact(dir string) error {
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	// Group the (already sorted) shard table by cell.
+	var out []ShardEntry
+	changed := false
+	for i := 0; i < len(man.Shards); {
+		j := i
+		for j < len(man.Shards) &&
+			man.Shards[j].Day == man.Shards[i].Day &&
+			man.Shards[j].PairShard == man.Shards[i].PairShard {
+			j++
+		}
+		group := man.Shards[i:j]
+		i = j
+		if len(group) == 1 {
+			out = append(out, group[0])
+			continue
+		}
+		merged, err := mergeSegments(dir, man, group)
+		if err != nil {
+			return err
+		}
+		out = append(out, merged)
+		changed = true
+	}
+	if !changed {
+		return nil
+	}
+	man.Shards = out
+	sortShards(man.Shards)
+	return WriteManifest(dir, man)
+}
+
+// mergeSegments concatenates one cell's segments into a fresh seq-0 shard.
+func mergeSegments(dir string, man *Manifest, group []ShardEntry) (ShardEntry, error) {
+	var merged shardIndex
+	pairs := make(map[trace.PairKey]struct{})
+	tmpPath := filepath.Join(dir, shardName(group[0].Day, group[0].PairShard, 0)+".tmp")
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return ShardEntry{}, err
+	}
+	defer os.Remove(tmpPath)
+	flags := byte(0)
+	if man.Compression == CompressionGzip {
+		flags |= flagGzip
+	}
+	if _, err := tmp.Write(append([]byte(shardMagic), flags)); err != nil {
+		tmp.Close()
+		return ShardEntry{}, err
+	}
+	for gi, e := range group {
+		ix, err := readFooter(filepath.Join(dir, e.File))
+		if err != nil {
+			tmp.Close()
+			return ShardEntry{}, fmt.Errorf("store: compact %s: %w", e.File, err)
+		}
+		disk, raw, err := readShardBytes(filepath.Join(dir, e.File), ix)
+		if err != nil {
+			tmp.Close()
+			return ShardEntry{}, fmt.Errorf("store: compact %s: %w", e.File, err)
+		}
+		// Frame walk: rebuild the pair set without decoding records.
+		for off := 0; off < len(raw); {
+			h, err := trace.ParseFrameHeader(raw[off:])
+			if err != nil {
+				tmp.Close()
+				return ShardEntry{}, fmt.Errorf("store: compact %s: frame at %d: %w", e.File, off, err)
+			}
+			pairs[h.Key] = struct{}{}
+			off += h.Len
+		}
+		if _, err := tmp.Write(disk); err != nil {
+			tmp.Close()
+			return ShardEntry{}, err
+		}
+		if gi == 0 || ix.MinAt < merged.MinAt {
+			merged.MinAt = ix.MinAt
+		}
+		if gi == 0 || ix.MaxAt > merged.MaxAt {
+			merged.MaxAt = ix.MaxAt
+		}
+		merged.Records += ix.Records
+		merged.Traceroutes += ix.Traceroutes
+		merged.Pings += ix.Pings
+		merged.PayloadBytes += ix.PayloadBytes
+		merged.RawBytes += ix.RawBytes
+	}
+	merged.Exact, merged.Bloom = pairSetOf(pairs)
+	footer := encodeIndex(&merged)
+	trailer := binary.LittleEndian.AppendUint32(nil, uint32(len(footer)))
+	trailer = append(trailer, trailerMagic...)
+	if _, err := tmp.Write(footer); err != nil {
+		tmp.Close()
+		return ShardEntry{}, err
+	}
+	if _, err := tmp.Write(trailer); err != nil {
+		tmp.Close()
+		return ShardEntry{}, err
+	}
+	if err := tmp.Close(); err != nil {
+		return ShardEntry{}, err
+	}
+	for _, e := range group {
+		if err := os.Remove(filepath.Join(dir, e.File)); err != nil {
+			return ShardEntry{}, err
+		}
+	}
+	final := filepath.Join(dir, shardName(group[0].Day, group[0].PairShard, 0))
+	if err := os.Rename(tmpPath, final); err != nil {
+		return ShardEntry{}, err
+	}
+	return ShardEntry{
+		File:      filepath.Base(final),
+		Day:       group[0].Day,
+		PairShard: group[0].PairShard,
+		Seq:       0,
+		Records:   merged.Records,
+		MinAtNS:   int64(merged.MinAt),
+		MaxAtNS:   int64(merged.MaxAt),
+		Bytes:     int64(headerLen) + merged.PayloadBytes + int64(len(footer)) + trailerLen,
+	}, nil
+}

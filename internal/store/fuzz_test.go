@@ -1,0 +1,68 @@
+package store
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// FuzzShardIndex throws arbitrary bytes at the footer decoder (it must
+// reject or decode, never panic) and round-trips every successful decode:
+// re-encoding a decoded index and decoding again must reproduce it.
+func FuzzShardIndex(f *testing.F) {
+	seedIxs := []*shardIndex{
+		{Records: 1, Traceroutes: 1, PayloadBytes: 10, RawBytes: 10,
+			Exact: []trace.PairKey{{SrcID: 1, DstID: 2}}},
+		{Records: 4, Traceroutes: 2, Pings: 2, MinAt: time.Hour, MaxAt: 30 * time.Hour,
+			PayloadBytes: 512, RawBytes: 900,
+			Exact: []trace.PairKey{{SrcID: 0, DstID: 7}, {SrcID: 0, DstID: 7, V6: true}, {SrcID: 3, DstID: 3}}},
+		{Records: 1000, Pings: 1000, MaxAt: time.Minute,
+			PayloadBytes: 1 << 20, RawBytes: 1 << 21,
+			Bloom: newBloom([]trace.PairKey{{SrcID: 1, DstID: 2}, {SrcID: 2, DstID: 1}})},
+	}
+	for _, ix := range seedIxs {
+		f.Add(encodeIndex(ix))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := decodeIndex(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeIndex(encodeIndex(ix))
+		if err != nil {
+			t.Fatalf("re-encode of a valid index does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(ix, again) {
+			t.Fatalf("round trip drifted:\nfirst  %+v\nsecond %+v", ix, again)
+		}
+		if ix.Records != ix.Traceroutes+ix.Pings {
+			t.Fatalf("decoder accepted inconsistent counts: %d != %d + %d",
+				ix.Records, ix.Traceroutes, ix.Pings)
+		}
+	})
+}
+
+// FuzzShardName guards the writer's file naming against manifest
+// validation: every name the writer can emit must survive ReadManifest's
+// path checks (no separators, no escapes).
+func FuzzShardName(f *testing.F) {
+	f.Add(0, 0, 0)
+	f.Add(484, 7, 3)
+	f.Add(99999, 99, 99)
+	f.Fuzz(func(t *testing.T, day, ps, seq int) {
+		if day < 0 || ps < 0 || seq < 0 {
+			return
+		}
+		name := shardName(day, ps, seq)
+		if bytes.ContainsAny([]byte(name), "/\\") || name == "" {
+			t.Fatalf("shardName(%d,%d,%d) = %q contains a path separator", day, ps, seq, name)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// ManifestVersion is the manifest schema version.
+const ManifestVersion = 1
+
+// Manifest pins a store: the run that produced it and the shard table.
+type Manifest struct {
+	Version     int    `json:"version"`
+	Tool        string `json:"tool,omitempty"`
+	Seed        int64  `json:"seed,omitempty"`
+	TopoDigest  string `json:"topo_digest,omitempty"`
+	DayLengthNS int64  `json:"day_length_ns"`
+	PairShards  int    `json:"pair_shards"`
+	Compression string `json:"compression,omitempty"`
+
+	Records     int64 `json:"records"`
+	Traceroutes int64 `json:"traceroutes"`
+	Pings       int64 `json:"pings"`
+
+	Shards []ShardEntry `json:"shards"`
+}
+
+// ShardEntry summarizes one shard file in the manifest. The footer inside
+// the shard carries the full index (including the pair set); the entry
+// repeats only what store-level tooling prints without opening shards.
+type ShardEntry struct {
+	File      string `json:"file"`
+	Day       int    `json:"day"`
+	PairShard int    `json:"pair_shard"`
+	Seq       int    `json:"seq"`
+	Records   int64  `json:"records"`
+	MinAtNS   int64  `json:"min_at_ns"`
+	MaxAtNS   int64  `json:"max_at_ns"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// DayLength returns the virtual-day shard granularity.
+func (m *Manifest) DayLength() time.Duration { return time.Duration(m.DayLengthNS) }
+
+// Span returns the record-timestamp span across all shards.
+func (m *Manifest) Span() (min, max time.Duration) {
+	for i, sh := range m.Shards {
+		lo, hi := time.Duration(sh.MinAtNS), time.Duration(sh.MaxAtNS)
+		if i == 0 || lo < min {
+			min = lo
+		}
+		if hi > max {
+			max = hi
+		}
+	}
+	return min, max
+}
+
+// sortShards orders the shard table into delivery order: day-major,
+// pair-shard-minor, segment sequence last.
+func sortShards(shards []ShardEntry) {
+	sort.Slice(shards, func(i, j int) bool {
+		a, b := shards[i], shards[j]
+		if a.Day != b.Day {
+			return a.Day < b.Day
+		}
+		if a.PairShard != b.PairShard {
+			return a.PairShard < b.PairShard
+		}
+		return a.Seq < b.Seq
+	})
+}
+
+// WriteManifest writes the manifest into dir.
+func WriteManifest(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestName), append(data, '\n'), 0o644)
+}
+
+// ReadManifest reads and validates the manifest of a store directory.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	m := new(Manifest)
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("store: manifest: %w", err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("store: unsupported manifest version %d", m.Version)
+	}
+	if m.PairShards <= 0 || m.DayLengthNS <= 0 {
+		return nil, fmt.Errorf("store: manifest missing layout (pair_shards=%d day_length_ns=%d)",
+			m.PairShards, m.DayLengthNS)
+	}
+	for _, sh := range m.Shards {
+		if filepath.Base(sh.File) != sh.File || sh.File == "" {
+			return nil, fmt.Errorf("store: manifest shard file %q escapes the store directory", sh.File)
+		}
+	}
+	sortShards(m.Shards)
+	return m, nil
+}
+
+// IsStore reports whether path is a store directory (holds a manifest).
+func IsStore(path string) bool {
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(path, ManifestName))
+	return err == nil
+}

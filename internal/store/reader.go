@@ -1,0 +1,334 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/trace"
+)
+
+// shardInfo is one shard file with its decoded footer.
+type shardInfo struct {
+	ShardEntry
+	ix *shardIndex
+}
+
+// Store is an opened dataset store. Reads are safe for concurrent use;
+// consumers passed to Scan/Pairs/TimeRange are always called from the
+// calling goroutine, in deterministic shard order.
+type Store struct {
+	dir    string
+	man    *Manifest
+	shards []shardInfo
+
+	scannedC  *obs.Counter
+	prunedC   *obs.Counter
+	bytesC    *obs.Counter
+	recordsC  *obs.Counter
+	filteredC *obs.Counter
+	rec       *flight.Recorder
+}
+
+// Open reads the manifest and every shard footer of a store directory.
+// Footers are small (counts, span, pair set), so opening stays cheap even
+// when the payloads do not fit in RAM.
+func Open(dir string) (*Store, error) {
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, man: man, shards: make([]shardInfo, 0, len(man.Shards))}
+	for _, e := range man.Shards {
+		ix, err := readFooter(filepath.Join(dir, e.File))
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %s: %w", e.File, err)
+		}
+		if ix.Records != e.Records {
+			return nil, fmt.Errorf("store: shard %s: footer holds %d records, manifest says %d",
+				e.File, ix.Records, e.Records)
+		}
+		s.shards = append(s.shards, shardInfo{ShardEntry: e, ix: ix})
+	}
+	return s, nil
+}
+
+// Manifest returns the store manifest (shared, do not mutate).
+func (s *Store) Manifest() *Manifest { return s.man }
+
+// Instrument registers read-side telemetry: shards scanned vs pruned,
+// payload bytes read off disk, records delivered, frames skipped by
+// pushdown filters.
+func (s *Store) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.scannedC = reg.Counter(MetricShardsScanned, "shard payloads a store read decoded")
+	s.prunedC = reg.Counter(MetricShardsPruned, "shards a store read skipped via the index")
+	s.bytesC = reg.Counter(MetricBytesRead, "payload bytes a store read off disk")
+	s.recordsC = reg.Counter(MetricRecordsRead, "records a store read delivered")
+	s.filteredC = reg.Counter(MetricFramesFiltered, "frames skipped at the frame-header level by pushdown filters")
+}
+
+// Trace records one flight span per shard scan.
+func (s *Store) Trace(rec *flight.Recorder) { s.rec = rec }
+
+// readFooter opens a shard file and decodes its footer index.
+func readFooter(path string) (*shardIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < int64(headerLen+trailerLen) {
+		return nil, fmt.Errorf("file too small (%d bytes)", size)
+	}
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, err
+	}
+	if string(hdr[:len(shardMagic)]) != shardMagic {
+		return nil, fmt.Errorf("bad shard magic")
+	}
+	var tr [trailerLen]byte
+	if _, err := f.ReadAt(tr[:], size-trailerLen); err != nil {
+		return nil, err
+	}
+	if string(tr[4:]) != trailerMagic {
+		return nil, fmt.Errorf("bad trailer magic")
+	}
+	flen := int64(binary.LittleEndian.Uint32(tr[:4]))
+	if flen <= 0 || flen > size-int64(headerLen+trailerLen) {
+		return nil, fmt.Errorf("bad footer length %d", flen)
+	}
+	footer := make([]byte, flen)
+	if _, err := f.ReadAt(footer, size-trailerLen-flen); err != nil {
+		return nil, err
+	}
+	ix, err := decodeIndex(footer)
+	if err != nil {
+		return nil, err
+	}
+	if want := size - int64(headerLen) - flen - trailerLen; ix.PayloadBytes != want {
+		return nil, fmt.Errorf("footer payload size %d disagrees with file layout %d", ix.PayloadBytes, want)
+	}
+	return ix, nil
+}
+
+// readPayload returns a shard's decompressed record framing, counting the
+// on-disk bytes actually read.
+func (s *Store) readPayload(sh *shardInfo) ([]byte, error) {
+	disk, raw, err := readShardBytes(filepath.Join(s.dir, sh.File), sh.ix)
+	if err != nil {
+		return nil, err
+	}
+	s.bytesC.Add(int64(len(disk)))
+	return raw, nil
+}
+
+// frameFilter decides per frame whether to decode it. nil means decode all.
+type frameFilter func(trace.FrameHeader) bool
+
+// decodeShard reads one shard and returns its records in write order,
+// applying the filter at the frame level so rejected frames are never
+// decoded into records.
+func (s *Store) decodeShard(sh *shardInfo, filter frameFilter) ([]any, error) {
+	sp := s.rec.Begin(flight.PhShardScan, sh.ix.MinAt)
+	payload, err := s.readPayload(sh)
+	if err != nil {
+		sp.End(flight.Attrs{S: sh.File})
+		return nil, fmt.Errorf("store: shard %s: %w", sh.File, err)
+	}
+	var out []any
+	if filter == nil {
+		out = make([]any, 0, sh.ix.Records)
+		r := trace.NewBinaryReader(bytes.NewReader(payload))
+		for {
+			rec, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				sp.End(flight.Attrs{S: sh.File})
+				return nil, fmt.Errorf("store: shard %s: %w", sh.File, err)
+			}
+			out = append(out, rec)
+		}
+	} else {
+		skipped := int64(0)
+		for off := 0; off < len(payload); {
+			h, err := trace.ParseFrameHeader(payload[off:])
+			if err != nil {
+				sp.End(flight.Attrs{S: sh.File})
+				return nil, fmt.Errorf("store: shard %s: frame at %d: %w", sh.File, off, err)
+			}
+			if !filter(h) {
+				skipped++
+				off += h.Len
+				continue
+			}
+			r := trace.NewBinaryReader(bytes.NewReader(payload[off : off+h.Len]))
+			rec, err := r.Next()
+			if err != nil {
+				sp.End(flight.Attrs{S: sh.File})
+				return nil, fmt.Errorf("store: shard %s: frame at %d: %w", sh.File, off, err)
+			}
+			out = append(out, rec)
+			off += h.Len
+		}
+		s.filteredC.Add(skipped)
+	}
+	s.scannedC.Inc()
+	s.recordsC.Add(int64(len(out)))
+	sp.End(flight.Attrs{S: sh.File, N: int64(len(out)), M: int64(sh.ix.PayloadBytes)})
+	return out, nil
+}
+
+// normalizeWorkers mirrors the campaign engine's convention: <= 0 selects
+// all cores, anything else is taken as given (capped to the shard count by
+// the caller's loop structure anyway).
+func normalizeWorkers(w int) int {
+	if w <= 0 {
+		return runtime.NumCPU()
+	}
+	return w
+}
+
+// deliver decodes the selected shards on a worker pool and hands records
+// to c in selection order. Per-pair record order is preserved: a pair's
+// records live in one pair-shard column, columns are delivered day by day,
+// and within a shard records keep write order.
+func (s *Store) deliver(selected []*shardInfo, workers int, filter frameFilter, c Consumer) error {
+	if len(selected) == 0 {
+		return nil
+	}
+	workers = normalizeWorkers(workers)
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	type batch struct {
+		recs []any
+		err  error
+	}
+	out := make([]chan batch, len(selected))
+	for i := range out {
+		out[i] = make(chan batch, 1)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(selected) {
+					return
+				}
+				recs, err := s.decodeShard(selected[i], filter)
+				out[i] <- batch{recs: recs, err: err}
+			}
+		}()
+	}
+	var firstErr error
+	for i := range out {
+		b := <-out[i]
+		if b.err != nil {
+			if firstErr == nil {
+				firstErr = b.err
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // drain remaining workers, deliver nothing further
+		}
+		for _, rec := range b.recs {
+			switch v := rec.(type) {
+			case *trace.Traceroute:
+				c.OnTraceroute(v)
+			case *trace.Ping:
+				c.OnPing(v)
+			}
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Scan streams every record of the store to c on a pool of workers.
+func (s *Store) Scan(workers int, c Consumer) error {
+	selected := make([]*shardInfo, len(s.shards))
+	for i := range s.shards {
+		selected[i] = &s.shards[i]
+	}
+	return s.deliver(selected, workers, nil, c)
+}
+
+// Pairs streams only the records of the requested timeline keys, opening
+// just the shards whose index can contain them (pair-shard column first,
+// then the footer's exact list or bloom filter) and skipping non-matching
+// frames without decoding them.
+func (s *Store) Pairs(workers int, keys []trace.PairKey, c Consumer) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	want := make(map[trace.PairKey]bool, len(keys))
+	cols := make(map[int]bool)
+	for _, k := range keys {
+		want[k] = true
+		cols[PairShardOf(k, s.man.PairShards)] = true
+	}
+	var selected []*shardInfo
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if !cols[sh.PairShard] {
+			s.prunedC.Inc()
+			continue
+		}
+		hit := false
+		for k := range want {
+			if sh.ix.canContain(k) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			s.prunedC.Inc()
+			continue
+		}
+		selected = append(selected, sh)
+	}
+	return s.deliver(selected, workers, func(h trace.FrameHeader) bool { return want[h.Key] }, c)
+}
+
+// TimeRange streams the records with At in [from, to), pruning shards
+// whose footer span falls outside the window. to < 0 means no upper bound.
+func (s *Store) TimeRange(workers int, from, to time.Duration, c Consumer) error {
+	var selected []*shardInfo
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if sh.ix.MaxAt < from || (to >= 0 && sh.ix.MinAt >= to) {
+			s.prunedC.Inc()
+			continue
+		}
+		selected = append(selected, sh)
+	}
+	return s.deliver(selected, workers, func(h trace.FrameHeader) bool {
+		return h.At >= from && (to < 0 || h.At < to)
+	}, c)
+}

@@ -1,0 +1,135 @@
+// Package store is the sharded, indexed on-disk dataset store. A store is
+// a directory of shard files plus a manifest: records are routed at write
+// time by (virtual day, pair shard), each shard holds records in the
+// internal/trace binary framing (optionally gzip-compressed) followed by a
+// footer index (record counts, time span, pair set), and manifest.json
+// pins the run that produced the store (seed, topology digest) next to the
+// shard table.
+//
+// The layout exists so dataset size is independent of RAM and so readers
+// parallelize at the I/O level:
+//
+//   - Scan decodes shards on a worker pool and delivers records in a fixed
+//     shard order (day-major, pair-shard-minor), which preserves the
+//     per-pair record order of the writing campaign — both protocols of a
+//     directed pair hash to the same pair shard, so round-adjacent v4/v6
+//     measurements stay adjacent.
+//   - Pairs pushes pair predicates down to the index: only shards whose
+//     footer pair set can contain a requested key are opened, and within a
+//     shard frames are skipped at the frame-header level (never fully
+//     decoded) unless they match.
+//   - TimeRange prunes shards by the footer time span.
+//
+// Instrument and Trace thread the obs metrics registry and the flight
+// recorder through reads and writes; like everywhere else in the pipeline,
+// observation never alters the record stream.
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Metric names exported by Writer.Instrument and Store.Instrument.
+const (
+	MetricShardsWritten  = "s2s_store_shards_written_total"
+	MetricRecordsWritten = "s2s_store_records_written_total"
+	MetricBytesWritten   = "s2s_store_bytes_written_total"
+	MetricShardsScanned  = "s2s_store_shards_scanned_total"
+	MetricShardsPruned   = "s2s_store_shards_pruned_total"
+	MetricBytesRead      = "s2s_store_bytes_read_total"
+	MetricRecordsRead    = "s2s_store_records_read_total"
+	MetricFramesFiltered = "s2s_store_frames_filtered_total"
+)
+
+// ManifestName is the manifest file inside a store directory; its presence
+// is what IsStore detects.
+const ManifestName = "manifest.json"
+
+// CompressionGzip enables per-shard gzip compression of the record payload
+// (footers and the manifest stay uncompressed so pruning never inflates).
+const CompressionGzip = "gzip"
+
+// Options parameterizes a new store.
+type Options struct {
+	// DayLength is the virtual-day shard granularity (default 24h).
+	DayLength time.Duration
+	// PairShards is the number of pair-hash columns per day (default 8).
+	PairShards int
+	// Compression is "" (none) or CompressionGzip.
+	Compression string
+	// MaxOpenShards bounds the writer's open shard files (default 128). A
+	// shard evicted and written to again continues in a follow-up segment
+	// file; Compact merges segments without re-decoding records.
+	MaxOpenShards int
+
+	// Tool, Seed, and TopoDigest are recorded in the manifest.
+	Tool       string
+	Seed       int64
+	TopoDigest string
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	out := *o
+	if out.DayLength == 0 {
+		out.DayLength = 24 * time.Hour
+	}
+	if out.DayLength < 0 {
+		return out, fmt.Errorf("store: negative day length %v", out.DayLength)
+	}
+	if out.PairShards == 0 {
+		out.PairShards = 8
+	}
+	if out.PairShards < 0 {
+		return out, fmt.Errorf("store: negative pair shards %d", out.PairShards)
+	}
+	if out.MaxOpenShards <= 0 {
+		out.MaxOpenShards = 128
+	}
+	switch out.Compression {
+	case "", CompressionGzip:
+	default:
+		return out, fmt.Errorf("store: unknown compression %q", out.Compression)
+	}
+	return out, nil
+}
+
+// Consumer receives records from a store read. campaign.Collector,
+// campaign.Funcs, and every other campaign consumer satisfy it.
+type Consumer interface {
+	OnTraceroute(*trace.Traceroute)
+	OnPing(*trace.Ping)
+}
+
+// PairShardOf maps a timeline key to its pair-shard column. The protocol
+// bit is deliberately ignored: the v4 and v6 timelines of a directed pair
+// live in the same shard, so streaming consumers that pair round-adjacent
+// v4/v6 measurements (dualstack.DiffCollector) see them adjacent under
+// Scan exactly as they did on the live campaign stream.
+func PairShardOf(k trace.PairKey, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [16]byte
+	putUint64(buf[0:8], uint64(int64(k.SrcID)))
+	putUint64(buf[8:16], uint64(int64(k.DstID)))
+	h.Write(buf[:])
+	return int(h.Sum64() % uint64(shards))
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// shardName is the canonical shard file name: day, pair-shard column, and
+// the segment sequence number within that cell.
+func shardName(day, pairShard, seq int) string {
+	return fmt.Sprintf("d%05d-p%02d-s%02d.shard", day, pairShard, seq)
+}

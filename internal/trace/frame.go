@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Frame-level access to the binary framing. A "frame" is the encoded bytes
+// of one record. ParseFrameHeader recovers the routing fields every store
+// and merge operation needs — kind, pair key, timestamp, total length —
+// without decoding addresses or hop lists, so shard merges and pushdown
+// filters move frames as opaque byte ranges and never re-decode records.
+
+// Frame kinds, equal to the record magic bytes of the framing.
+const (
+	FrameTraceroute = magicTraceroute
+	FramePing       = magicPing
+)
+
+// FrameHeader summarizes one binary frame.
+type FrameHeader struct {
+	// Kind is FrameTraceroute or FramePing.
+	Kind byte
+	// Key is the record's timeline key.
+	Key PairKey
+	// At is the record's virtual timestamp.
+	At time.Duration
+	// Len is the total encoded length of the frame in bytes.
+	Len int
+}
+
+// frameCursor walks a byte slice without allocating.
+type frameCursor struct {
+	data []byte
+	off  int
+}
+
+func (c *frameCursor) byte() (byte, error) {
+	if c.off >= len(c.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := c.data[c.off]
+	c.off++
+	return b, nil
+}
+
+func (c *frameCursor) varint() (int64, error) {
+	v, n := binary.Varint(c.data[c.off:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, io.ErrUnexpectedEOF
+		}
+		return 0, fmt.Errorf("trace: varint overflow at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *frameCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.data[c.off:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, io.ErrUnexpectedEOF
+		}
+		return 0, fmt.Errorf("trace: uvarint overflow at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+// skipAddr skips one length-prefixed address.
+func (c *frameCursor) skipAddr() error {
+	n, err := c.byte()
+	if err != nil {
+		return err
+	}
+	switch n {
+	case 0:
+	case 4, 16:
+		if c.off+int(n) > len(c.data) {
+			return io.ErrUnexpectedEOF
+		}
+		c.off += int(n)
+	default:
+		return fmt.Errorf("trace: bad address length %d", n)
+	}
+	return nil
+}
+
+// ParseFrameHeader parses the frame starting at data[0]. It returns io.EOF
+// on an empty slice and io.ErrUnexpectedEOF on a truncated frame, so a
+// caller can walk a buffer with
+//
+//	for {
+//		h, err := ParseFrameHeader(buf)
+//		if err == io.EOF { break }
+//		... use buf[:h.Len] ...
+//		buf = buf[h.Len:]
+//	}
+func ParseFrameHeader(data []byte) (FrameHeader, error) {
+	if len(data) == 0 {
+		return FrameHeader{}, io.EOF
+	}
+	c := frameCursor{data: data}
+	magic, _ := c.byte()
+	if magic != magicTraceroute && magic != magicPing {
+		return FrameHeader{}, fmt.Errorf("trace: bad record magic 0x%02x", magic)
+	}
+	flags, err := c.byte()
+	if err != nil {
+		return FrameHeader{}, err
+	}
+	var h FrameHeader
+	h.Kind = magic
+	h.Key.V6 = flags&1 != 0
+	var vals [4]int64 // src, dst, at, rtt
+	for i := range vals {
+		if vals[i], err = c.varint(); err != nil {
+			return FrameHeader{}, err
+		}
+	}
+	h.Key.SrcID, h.Key.DstID = int(vals[0]), int(vals[1])
+	h.At = time.Duration(vals[2])
+	if err := c.skipAddr(); err != nil { // src
+		return FrameHeader{}, err
+	}
+	if err := c.skipAddr(); err != nil { // dst
+		return FrameHeader{}, err
+	}
+	if magic == magicTraceroute {
+		nHops, err := c.uvarint()
+		if err != nil {
+			return FrameHeader{}, err
+		}
+		if nHops > 1<<16 {
+			return FrameHeader{}, fmt.Errorf("trace: implausible hop count %d", nHops)
+		}
+		for i := uint64(0); i < nHops; i++ {
+			if err := c.skipAddr(); err != nil {
+				return FrameHeader{}, err
+			}
+			if _, err := c.varint(); err != nil {
+				return FrameHeader{}, err
+			}
+		}
+	}
+	h.Len = c.off
+	return h, nil
+}

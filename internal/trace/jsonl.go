@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONLReader reads records written by JSONLWriter, mirroring
+// BinaryReader.Next(). Record kinds are distinguished structurally: a
+// traceroute line always carries the "complete" and "hops" members (they
+// are not omitempty), a ping line never does.
+type JSONLReader struct {
+	r    *bufio.Reader
+	line int
+}
+
+// NewJSONLReader returns a JSON-lines record reader.
+func NewJSONLReader(r io.Reader) *JSONLReader {
+	return &JSONLReader{r: bufio.NewReader(r)}
+}
+
+// Next reads the next record, returning either *Traceroute or *Ping.
+// It returns io.EOF at end of stream. Blank lines are skipped.
+func (jr *JSONLReader) Next() (any, error) {
+	for {
+		raw, err := jr.r.ReadBytes('\n')
+		line := bytes.TrimSpace(raw)
+		if len(line) == 0 {
+			if err != nil {
+				if err == io.EOF {
+					return nil, io.EOF
+				}
+				return nil, err
+			}
+			jr.line++
+			continue
+		}
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		jr.line++
+		var probe struct {
+			Complete *json.RawMessage `json:"complete"`
+			Hops     *json.RawMessage `json:"hops"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", jr.line, err)
+		}
+		if probe.Complete != nil || probe.Hops != nil {
+			tr := new(Traceroute)
+			if err := json.Unmarshal(line, tr); err != nil {
+				return nil, fmt.Errorf("trace: jsonl line %d: %w", jr.line, err)
+			}
+			return tr, nil
+		}
+		p := new(Ping)
+		if err := json.Unmarshal(line, p); err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", jr.line, err)
+		}
+		return p, nil
+	}
+}
