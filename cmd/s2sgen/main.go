@@ -19,18 +19,35 @@
 // records a flight record (inspect with s2sobs), and
 // -cpuprofile/-memprofile capture pprof profiles of the run.
 //
+// Fault injection and resilience: -faults standard|heavy generates a
+// deterministic fault schedule (cluster outages, agent crashes, link
+// brownouts, ICMP rate limiters) from the seed and threads it through the
+// network, the prober, and the platform; -retry and -watchdog arm the
+// campaign runtime's recovery machinery. -checkpoint writes periodic
+// resume points next to the dataset and -resume continues an interrupted
+// run from the last one, producing byte-identical output to an
+// uninterrupted run. -crash-at injects a crash at a virtual time (CI uses
+// it to exercise resume).
+//
+// Exit codes: 0 success, 1 generic error, 3 dataset sink write failure,
+// 7 injected crash.
+//
 // Usage:
 //
 //	s2sgen -campaign longterm|pings|short [-seed N] [-days N] [-mesh N] [-o PATH]
 //	       [-store] [-compress] [-store-shards N] [-churn X]
+//	       [-faults standard|heavy] [-retry N] [-watchdog D]
+//	       [-checkpoint D] [-resume] [-crash-at D]
 //	       [-metrics PATH] [-trace PATH] [-metrics-interval D]
 //	       [-cpuprofile PATH] [-memprofile PATH] [-q]
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -39,6 +56,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/cdn"
 	"repro/internal/congestion"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/ipam"
 	"repro/internal/itopo"
@@ -51,10 +69,46 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	err := run()
+	if err == nil {
+		return
+	}
+	var sinkErr *campaign.SinkError
+	switch {
+	case errors.As(err, &sinkErr):
+		fmt.Fprintf(os.Stderr, "s2sgen: dataset sink write failed: %v\n", sinkErr.Err)
+		os.Exit(3)
+	case errors.Is(err, campaign.ErrInjectedCrash):
+		fmt.Fprintf(os.Stderr, "s2sgen: %v\n", err)
+		os.Exit(7)
+	default:
 		fmt.Fprintf(os.Stderr, "s2sgen: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// flatWriter is the flat-file dataset writer (binary or JSONL framing).
+type flatWriter interface {
+	campaign.RecordWriter
+	Flush() error
+}
+
+// flatCheckpointWriter adds checkpointing to a flat-file writer: flush
+// the framing, fsync the file, and report the byte offset — a resume
+// truncates the file back to it.
+type flatCheckpointWriter struct {
+	flatWriter
+	f *os.File
+}
+
+func (w *flatCheckpointWriter) Checkpoint() (int64, error) {
+	if err := w.Flush(); err != nil {
+		return 0, err
+	}
+	if err := w.f.Sync(); err != nil {
+		return 0, err
+	}
+	return w.f.Seek(0, io.SeekCurrent)
 }
 
 func run() error {
@@ -78,6 +132,12 @@ func run() error {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
 		tracePath  = flag.String("trace", "", "write a flight record (JSONL) to this path; inspect with s2sobs")
 		metricsIV  = flag.Duration("metrics-interval", 24*time.Hour, "virtual time between metric snapshots in the flight record")
+		faultSpec  = flag.String("faults", "", "inject a deterministic fault schedule: standard or heavy")
+		retries    = flag.Int("retry", 0, "retries per failed measurement (virtual-time backoff)")
+		watchdog   = flag.Duration("watchdog", 0, "wall-clock budget per round before it is abandoned as degraded (0 = off)")
+		ckptIV     = flag.Duration("checkpoint", 0, "virtual time between campaign checkpoints (<out>.ckpt; 0 = off)")
+		resume     = flag.Bool("resume", false, "resume an interrupted campaign from <out>.ckpt")
+		crashAt    = flag.Duration("crash-at", 0, "inject a crash at this virtual time (exit 7; for resume testing)")
 	)
 	flag.Parse()
 	log := obs.NewLogger("s2sgen", *quiet)
@@ -125,6 +185,28 @@ func run() error {
 	prober := probe.New(sim)
 	servers := campaign.SelectMesh(plat, *mesh, *seed)
 
+	// Fault plan: regenerated deterministically from the seed and platform
+	// sizes, so a resumed run reconstructs the exact same schedule.
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		var fcfg faults.Config
+		switch *faultSpec {
+		case "standard":
+			fcfg = faults.Standard(*seed, duration, len(plat.Clusters), len(net.Routers), len(net.Links))
+		case "heavy":
+			fcfg = faults.Heavy(*seed, duration, len(plat.Clusters), len(net.Routers), len(net.Links))
+		default:
+			return fmt.Errorf("unknown -faults %q (want standard or heavy)", *faultSpec)
+		}
+		if plan, err = faults.Generate(fcfg); err != nil {
+			return err
+		}
+		sim.SetFaults(plan)
+		prober.Faults = plan
+		plat.SetLiveness(plan)
+		log.Printf("fault plan: %s", plan)
+	}
+
 	// Telemetry: every subsystem registers its counters here; the engine
 	// joins in through the campaign config. Metrics only observe, so the
 	// record stream is byte-identical with or without them.
@@ -149,6 +231,9 @@ func run() error {
 		sim.Trace(rec)
 		dyn.Trace(rec)
 		prober.Trace(rec)
+		if plan != nil {
+			plan.Emit(rec)
+		}
 	}
 
 	// Dataset sink. Both paths go through campaign.WriteSink: the first
@@ -160,6 +245,19 @@ func run() error {
 	if *compress && !*useStore {
 		return fmt.Errorf("-compress requires -store")
 	}
+	// Resume: load and validate the checkpoint before touching the sink.
+	ckptPath := *out + ".ckpt"
+	var resumeCP *campaign.Checkpoint
+	if *resume {
+		if resumeCP, err = campaign.LoadCheckpoint(ckptPath); err != nil {
+			return err
+		}
+		if err := resumeCP.Compatible("s2sgen", *seed, topo.Digest(), *faultSpec); err != nil {
+			return err
+		}
+		log.Printf("resuming at virtual %v (%d rounds, %d records committed)",
+			resumeCP.ResumeAt(), resumeCP.Rounds, resumeCP.Records)
+	}
 	var (
 		sink    *campaign.WriteSink
 		finish  func() error // flush/close the dataset after the campaign
@@ -167,19 +265,31 @@ func run() error {
 	)
 	if *useStore {
 		dataOut = *out + ".store"
-		compression := ""
-		if *compress {
-			compression = store.CompressionGzip
-		}
-		sw, err := store.Create(dataOut, store.Options{
-			PairShards:  *storePS,
-			Compression: compression,
-			Tool:        "s2sgen",
-			Seed:        *seed,
-			TopoDigest:  topo.Digest(),
-		})
-		if err != nil {
-			return err
+		var sw *store.Writer
+		if *resume {
+			// Drop uncommitted segments and continue from the manifest.
+			if sw, err = store.Resume(dataOut); err != nil {
+				return err
+			}
+			if sw.Records() != resumeCP.SinkPos {
+				return fmt.Errorf("store holds %d committed records, checkpoint expects %d",
+					sw.Records(), resumeCP.SinkPos)
+			}
+		} else {
+			compression := ""
+			if *compress {
+				compression = store.CompressionGzip
+			}
+			sw, err = store.Create(dataOut, store.Options{
+				PairShards:  *storePS,
+				Compression: compression,
+				Tool:        "s2sgen",
+				Seed:        *seed,
+				TopoDigest:  topo.Digest(),
+			})
+			if err != nil {
+				return err
+			}
 		}
 		sw.Instrument(reg)
 		sink = campaign.NewWriteSink(sw)
@@ -190,25 +300,65 @@ func run() error {
 			ext = ".jsonl"
 		}
 		dataOut = *out + ext
-		f, err := os.Create(dataOut)
-		if err != nil {
-			return err
+		var f *os.File
+		if *resume {
+			// Truncate back to the checkpoint's durable offset; everything
+			// after it is regenerated byte-identically.
+			if f, err = os.OpenFile(dataOut, os.O_RDWR, 0); err != nil {
+				return err
+			}
+			if err := f.Truncate(resumeCP.SinkPos); err != nil {
+				return err
+			}
+			if _, err := f.Seek(0, io.SeekEnd); err != nil {
+				return err
+			}
+		} else {
+			if f, err = os.Create(dataOut); err != nil {
+				return err
+			}
 		}
 		defer f.Close()
-		type flatWriter interface {
-			campaign.RecordWriter
-			Flush() error
-		}
 		var w flatWriter
 		if *jsonl {
 			w = trace.NewJSONLWriter(f)
 		} else {
 			w = trace.NewBinaryWriter(f)
 		}
-		sink = campaign.NewWriteSink(w)
+		sink = campaign.NewWriteSink(&flatCheckpointWriter{flatWriter: w, f: f})
 		finish = w.Flush
 	}
+	sink.Instrument(reg)
+	sink.Trace(rec)
+	if *resume {
+		sink.SetCount(resumeCP.Records)
+	}
 	consumer := campaign.Consumer(sink)
+
+	var ck *campaign.Checkpointer
+	if *ckptIV > 0 {
+		ck = &campaign.Checkpointer{
+			Path:       ckptPath,
+			Interval:   *ckptIV,
+			Sink:       sink,
+			Records:    sink.Count,
+			Tool:       "s2sgen",
+			Seed:       *seed,
+			TopoDigest: topo.Digest(),
+			Faults:     *faultSpec,
+			Metrics:    reg,
+			Trace:      rec,
+		}
+	}
+	res := campaign.Resilience{Faults: plan, Watchdog: *watchdog}
+	if *retries > 0 {
+		res.Retry.MaxAttempts = *retries + 1
+	}
+	if plan != nil {
+		// Under a fault plan, persistently dead pairs go on the quarantine
+		// list instead of burning probes every round.
+		res.QuarantineAfter = 3
+	}
 
 	// Progress line: virtual-clock position and cumulative throughput,
 	// read from the same registry series the engine updates.
@@ -230,15 +380,25 @@ func run() error {
 			Workers:       *workers,
 			Metrics:       reg,
 			Trace:         rec,
+			Resilience:    res,
+			Checkpoint:    ck,
+			Resume:        resumeCP,
+			CrashAt:       *crashAt,
+			Abort:         sink.Err,
 		}, consumer)
 	case "pings":
 		err = campaign.PingMesh(prober, campaign.PingMeshConfig{
-			Pairs:    campaign.FullMeshPairs(servers),
-			Duration: duration,
-			Interval: 15 * time.Minute,
-			Workers:  *workers,
-			Metrics:  reg,
-			Trace:    rec,
+			Pairs:      campaign.FullMeshPairs(servers),
+			Duration:   duration,
+			Interval:   15 * time.Minute,
+			Workers:    *workers,
+			Metrics:    reg,
+			Trace:      rec,
+			Resilience: res,
+			Checkpoint: ck,
+			Resume:     resumeCP,
+			CrashAt:    *crashAt,
+			Abort:      sink.Err,
 		}, consumer)
 	case "short":
 		err = campaign.TracerouteCampaign(prober, campaign.TracerouteCampaignConfig{
@@ -251,6 +411,11 @@ func run() error {
 			Workers:        *workers,
 			Metrics:        reg,
 			Trace:          rec,
+			Resilience:     res,
+			Checkpoint:     ck,
+			Resume:         resumeCP,
+			CrashAt:        *crashAt,
+			Abort:          sink.Err,
 		}, consumer)
 	default:
 		stop()
@@ -259,10 +424,12 @@ func run() error {
 	stop()
 	log.EndProgress()
 	if err != nil {
+		// An injected crash returns without flushing or writing sidecars —
+		// the point is to leave the debris a real crash would.
 		return err
 	}
 	if werr := sink.Err(); werr != nil {
-		return werr
+		return &campaign.SinkError{Err: werr}
 	}
 	if err := finish(); err != nil {
 		return err

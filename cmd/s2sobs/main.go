@@ -8,6 +8,8 @@
 //	                                 metric families by substring)
 //	s2sobs diff A.trace B.trace      manifests and phase timings of two
 //	                                 runs side by side
+//	s2sobs fsck STOREDIR             integrity-check a sharded dataset
+//	                                 store (exits non-zero on problems)
 //
 // The report goes to stdout; any parse error names the offending line.
 package main
@@ -18,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/obs/flight"
+	"repro/internal/store"
 )
 
 func main() {
@@ -28,7 +31,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: s2sobs summary RUN.trace | series RUN.trace [MATCH] | diff A.trace B.trace")
+	return fmt.Errorf("usage: s2sobs summary RUN.trace | series RUN.trace [MATCH] | diff A.trace B.trace | fsck STOREDIR")
 }
 
 func run(args []string) error {
@@ -67,6 +70,16 @@ func run(args []string) error {
 			return err
 		}
 		flight.WriteDiff(w, a, b, args[1], args[2])
+	case "fsck":
+		rep, err := store.Verify(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: %s\n", args[1], rep)
+		if !rep.OK() {
+			w.Flush()
+			return fmt.Errorf("store %s failed verification", args[1])
+		}
 	default:
 		return usage()
 	}

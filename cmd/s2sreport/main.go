@@ -19,9 +19,12 @@
 // store directory (see internal/store) while the experiments consume it,
 // so the exact dataset behind a report can be re-analyzed with
 // s2sanalyze -data DIR without re-running the simulation.
+//
+// Exit codes: 0 success, 1 generic error, 3 archive sink write failure.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +41,11 @@ import (
 
 func main() {
 	if err := run(); err != nil {
+		var sinkErr *campaign.SinkError
+		if errors.As(err, &sinkErr) {
+			fmt.Fprintf(os.Stderr, "s2sreport: dataset sink write failed: %v\n", sinkErr.Err)
+			os.Exit(3)
+		}
 		fmt.Fprintf(os.Stderr, "s2sreport: %v\n", err)
 		os.Exit(1)
 	}
@@ -114,6 +122,7 @@ func run() error {
 		}
 		archiveW.Instrument(reg)
 		archiveSink = campaign.NewWriteSink(archiveW)
+		archiveSink.Instrument(reg)
 		sc.Archive = archiveSink
 	}
 
@@ -128,6 +137,9 @@ func run() error {
 			return err
 		}
 		sc.Trace = rec
+		if archiveSink != nil {
+			archiveSink.Trace(rec)
+		}
 	}
 
 	var selected []experiments.Experiment
@@ -181,7 +193,7 @@ func run() error {
 
 	if archiveW != nil {
 		if err := archiveSink.Err(); err != nil {
-			return fmt.Errorf("archive: %w", err)
+			return &campaign.SinkError{Err: err}
 		}
 		if err := archiveW.Close(); err != nil {
 			return err

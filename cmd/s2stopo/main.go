@@ -12,13 +12,15 @@
 //
 //	s2stopo [-seed N] [-ases N] [-clusters N] [-links] [-platform]
 //	        [-metrics PATH] [-trace PATH] [-cpuprofile PATH] [-memprofile PATH] [-q]
-//	s2stopo -store DIR [-shards]
+//	s2stopo -store DIR [-shards] [-verify]
 //
 // -store prints the manifest of a sharded dataset store (written by
 // s2sgen -store or s2sreport -archive) instead of generating a topology:
 // the producing run's provenance (tool, seed, topology digest), the shard
 // layout, and the record totals. -shards additionally dumps the per-shard
-// table.
+// table. -verify instead fscks the store — every listed shard is decoded
+// and cross-checked against its footer and the manifest — and exits
+// non-zero when the store has integrity problems.
 package main
 
 import (
@@ -52,6 +54,7 @@ func run() error {
 		platform   = flag.Bool("platform", false, "dump every cluster")
 		storeDir   = flag.String("store", "", "print the manifest of this dataset store and exit")
 		shards     = flag.Bool("shards", false, "with -store, dump the per-shard table")
+		verify     = flag.Bool("verify", false, "with -store, run an integrity check (fsck) instead of printing the manifest")
 		metrics    = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
 		quiet      = flag.Bool("q", false, "suppress progress output on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
@@ -62,6 +65,9 @@ func run() error {
 	log := obs.NewLogger("s2stopo", *quiet)
 
 	if *storeDir != "" {
+		if *verify {
+			return verifyStore(*storeDir)
+		}
 		return printStore(*storeDir, *shards)
 	}
 
@@ -198,6 +204,20 @@ func run() error {
 			return err
 		}
 		log.Printf("wrote flight record to %s", *tracePath)
+	}
+	return nil
+}
+
+// verifyStore fscks a dataset store and prints the report; a store with
+// integrity problems makes the command exit non-zero.
+func verifyStore(dir string) error {
+	rep, err := store.Verify(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Dataset store %s\n  %s\n", dir, rep)
+	if !rep.OK() {
+		return fmt.Errorf("store %s failed verification (%d problems)", dir, len(rep.Problems))
 	}
 	return nil
 }

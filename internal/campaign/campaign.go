@@ -104,6 +104,21 @@ type LongTermConfig struct {
 	// flight recorder (see Engine.Trace). Tracing never alters the record
 	// stream either.
 	Trace *flight.Recorder
+	// Resilience arms fault-aware execution: retries, quarantine, and the
+	// round watchdog (see Resilience). The zero value changes nothing.
+	Resilience Resilience
+	// Checkpoint, when non-nil, writes periodic resume points (see
+	// Checkpointer). Resume, when non-nil, continues an interrupted run
+	// from its checkpoint; the resumed stream is byte-identical to an
+	// uninterrupted run once the sink is positioned at the checkpoint.
+	Checkpoint *Checkpointer
+	Resume     *Checkpoint
+	// CrashAt, when positive, aborts the campaign with ErrInjectedCrash
+	// once the virtual clock reaches it (resume testing).
+	CrashAt time.Duration
+	// Abort is polled after every round; a non-nil error stops the
+	// campaign with a SinkError (wire WriteSink.Err here).
+	Abort func() error
 }
 
 // Validate checks the configuration.
@@ -150,23 +165,29 @@ func LongTerm(p *probe.Prober, cfg LongTermConfig, c Consumer) error {
 	}
 	e := NewEngine(p, cfg.Workers)
 	defer e.Close()
+	e.SetResilience(cfg.Resilience)
 	e.Instrument(cfg.Metrics)
 	e.Trace(cfg.Trace)
-	sp := cfg.Trace.Begin(flight.PhCampaign, 0)
-	rounds := int64(0)
 	var tasks []measurement
 	scheduledParis := false
-	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
-		paris4 := at >= cfg.ParisSwitchAt
-		if tasks == nil || paris4 != scheduledParis {
-			tasks = longTermSchedule(cfg.Servers, paris4, tasks)
-			scheduledParis = paris4
-		}
-		e.RunRound(tasks, at, c)
-		rounds++
+	rc := &runControl{
+		e: e, c: c, kind: "longterm",
+		duration: cfg.Duration, interval: cfg.Interval,
+		schedule: func(at time.Duration) []measurement {
+			paris4 := at >= cfg.ParisSwitchAt
+			if tasks == nil || paris4 != scheduledParis {
+				tasks = longTermSchedule(cfg.Servers, paris4, tasks)
+				scheduledParis = paris4
+			}
+			return tasks
+		},
+		ckpt: cfg.Checkpoint, resume: cfg.Resume,
+		crashAt: cfg.CrashAt, abort: cfg.Abort, rec: cfg.Trace,
 	}
+	sp := cfg.Trace.Begin(flight.PhCampaign, 0)
+	rounds, err := rc.run()
 	sp.End(flight.Attrs{S: "longterm", N: rounds})
-	return nil
+	return err
 }
 
 // PingMeshConfig parameterizes the short-term ping campaign.
@@ -181,6 +202,13 @@ type PingMeshConfig struct {
 	Metrics *obs.Registry
 	// Trace records flight spans (see LongTermConfig.Trace).
 	Trace *flight.Recorder
+	// Resilience, Checkpoint, Resume, CrashAt and Abort behave as on
+	// LongTermConfig.
+	Resilience Resilience
+	Checkpoint *Checkpointer
+	Resume     *Checkpoint
+	CrashAt    time.Duration
+	Abort      func() error
 }
 
 // PingMesh runs the ping campaign.
@@ -202,16 +230,20 @@ func PingMesh(p *probe.Prober, cfg PingMeshConfig, c Consumer) error {
 	}
 	e := NewEngine(p, cfg.Workers)
 	defer e.Close()
+	e.SetResilience(cfg.Resilience)
 	e.Instrument(cfg.Metrics)
 	e.Trace(cfg.Trace)
-	sp := cfg.Trace.Begin(flight.PhCampaign, 0)
-	rounds := int64(0)
-	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
-		e.RunRound(tasks, at, c)
-		rounds++
+	rc := &runControl{
+		e: e, c: c, kind: "pingmesh",
+		duration: cfg.Duration, interval: cfg.Interval,
+		schedule: func(time.Duration) []measurement { return tasks },
+		ckpt:     cfg.Checkpoint, resume: cfg.Resume,
+		crashAt: cfg.CrashAt, abort: cfg.Abort, rec: cfg.Trace,
 	}
+	sp := cfg.Trace.Begin(flight.PhCampaign, 0)
+	rounds, err := rc.run()
 	sp.End(flight.Attrs{S: "pingmesh", N: rounds})
-	return nil
+	return err
 }
 
 // TracerouteCampaignConfig parameterizes the short-term traceroute
@@ -232,6 +264,13 @@ type TracerouteCampaignConfig struct {
 	Metrics *obs.Registry
 	// Trace records flight spans (see LongTermConfig.Trace).
 	Trace *flight.Recorder
+	// Resilience, Checkpoint, Resume, CrashAt and Abort behave as on
+	// LongTermConfig.
+	Resilience Resilience
+	Checkpoint *Checkpointer
+	Resume     *Checkpoint
+	CrashAt    time.Duration
+	Abort      func() error
 }
 
 // TracerouteCampaign runs the campaign.
@@ -258,16 +297,20 @@ func TracerouteCampaign(p *probe.Prober, cfg TracerouteCampaignConfig, c Consume
 	}
 	e := NewEngine(p, cfg.Workers)
 	defer e.Close()
+	e.SetResilience(cfg.Resilience)
 	e.Instrument(cfg.Metrics)
 	e.Trace(cfg.Trace)
-	sp := cfg.Trace.Begin(flight.PhCampaign, 0)
-	rounds := int64(0)
-	for at := time.Duration(0); at < cfg.Duration; at += cfg.Interval {
-		e.RunRound(tasks, at, c)
-		rounds++
+	rc := &runControl{
+		e: e, c: c, kind: "traceroute",
+		duration: cfg.Duration, interval: cfg.Interval,
+		schedule: func(time.Duration) []measurement { return tasks },
+		ckpt:     cfg.Checkpoint, resume: cfg.Resume,
+		crashAt: cfg.CrashAt, abort: cfg.Abort, rec: cfg.Trace,
 	}
+	sp := cfg.Trace.Begin(flight.PhCampaign, 0)
+	rounds, err := rc.run()
 	sp.End(flight.Attrs{S: "traceroute", N: rounds})
-	return nil
+	return err
 }
 
 // SelectMesh picks up to n dual-stack clusters spread across the platform

@@ -59,6 +59,13 @@ type round struct {
 	next  atomic.Int64
 	done  atomic.Int64
 	fin   chan struct{}
+	// ready marks per-slot completion so an abandoned round can tell
+	// finished results from unfinished ones; nil unless a watchdog is
+	// armed.
+	ready []atomic.Bool
+	// abandoned is set by the round watchdog; workers stop claiming tasks
+	// once they observe it.
+	abandoned atomic.Bool
 }
 
 // Engine is the shared parallel measurement executor: a persistent pool
@@ -79,6 +86,20 @@ type Engine struct {
 	scratch []result // reused between rounds; only one round is in flight
 	o       engineObs
 	rec     *flight.Recorder
+
+	// Resilience state (see runtime.go). All zero-valued — and all code
+	// paths unchanged — unless SetResilience arms it.
+	res            Resilience
+	health         map[trace.PairKey]*pairHealth
+	roundIdx       int64
+	quarCount      int
+	agentDownRound atomic.Int64
+	ready          []atomic.Bool // reused per-slot flags; dropped after an abandoned round
+	filterBuf      []measurement
+	// testExec lets tests intercept measurement execution (e.g. to wedge a
+	// task under the watchdog). Returns ok=false to fall through to the
+	// prober.
+	testExec func(measurement, time.Duration) (result, bool)
 }
 
 // Metric names exported by Instrument. Worker busy time carries a worker
@@ -99,6 +120,16 @@ type engineObs struct {
 	reorder *obs.Gauge
 	virtual *obs.Gauge
 	busy    []*obs.Counter // per worker, nanoseconds inside drain
+
+	// Resilience telemetry (runtime.go).
+	retries   *obs.Counter
+	retriesOK *obs.Counter
+	skips     *obs.Counter
+	quarAdds  *obs.Counter
+	quarGauge *obs.Gauge
+	degraded  *obs.Counter
+	agentDown *obs.Counter
+	abandoned *obs.Counter
 }
 
 // Instrument registers the engine's counters in reg: tasks executed,
@@ -119,6 +150,7 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 		e.o.busy[i] = reg.Counter(fmt.Sprintf(`%s{worker="%d"}`, MetricWorkerBusyNS, i),
 			"time each worker spent executing round tasks, in nanoseconds")
 	}
+	e.instrumentResilience(reg)
 }
 
 // Trace attaches a flight recorder: every round and every worker batch
@@ -179,15 +211,18 @@ func (e *Engine) drain(r *round, w int) {
 	executed := int64(0)
 	n := int64(len(r.tasks))
 	for {
+		if r.abandoned.Load() {
+			break
+		}
 		i := r.next.Add(1) - 1
 		if i >= n {
 			break
 		}
-		tk := r.tasks[i]
-		if tk.ping {
-			r.out[i].pg = e.p.Ping(tk.src, tk.dst, tk.v6, r.at)
-		} else {
-			r.out[i].tr = e.p.Traceroute(tk.src, tk.dst, tk.v6, tk.paris, r.at)
+		r.out[i] = e.exec(r.tasks[i], r.at)
+		if r.ready != nil {
+			// The release store publishes out[i]: delivery only reads a
+			// slot whose ready flag it observed true.
+			r.ready[i].Store(true)
 		}
 		executed++
 		e.o.tasks.Inc()
@@ -202,8 +237,14 @@ func (e *Engine) drain(r *round, w int) {
 }
 
 // RunRound executes one round's schedule at virtual time at and delivers
-// the records to c in schedule order.
+// the records to c in schedule order. Under a Resilience policy the
+// schedule is first filtered against the quarantine list, every delivered
+// result is booked into pair health, and a round that degraded (crashed
+// agents or a fired watchdog) is accounted in metrics and the flight
+// record.
 func (e *Engine) RunRound(tasks []measurement, at time.Duration, c Consumer) {
+	e.roundIdx++
+	tasks = e.filterTasks(tasks)
 	if len(tasks) == 0 {
 		return
 	}
@@ -217,10 +258,12 @@ func (e *Engine) RunRound(tasks []measurement, at time.Duration, c Consumer) {
 		}
 		wsp := e.rec.Begin(flight.PhWorker, at)
 		for _, tk := range tasks {
-			if tk.ping {
-				c.OnPing(e.p.Ping(tk.src, tk.dst, tk.v6, at))
+			res := e.exec(tk, at)
+			e.book(tk, res, at)
+			if res.pg != nil {
+				c.OnPing(res.pg)
 			} else {
-				c.OnTraceroute(e.p.Traceroute(tk.src, tk.dst, tk.v6, tk.paris, at))
+				c.OnTraceroute(res.tr)
 			}
 			e.o.tasks.Inc()
 		}
@@ -229,7 +272,7 @@ func (e *Engine) RunRound(tasks []measurement, at time.Duration, c Consumer) {
 		if e.o.busy != nil {
 			e.o.busy[e.workers-1].Add(time.Since(t0).Nanoseconds())
 		}
-		rsp.End(flight.Attrs{N: int64(len(tasks))})
+		e.finishRound(rsp, at, int64(len(tasks)), 0)
 		return
 	}
 	if cap(e.scratch) < len(tasks) {
@@ -238,20 +281,82 @@ func (e *Engine) RunRound(tasks []measurement, at time.Duration, c Consumer) {
 	e.o.reorder.Set(float64(len(tasks)))
 	out := e.scratch[:len(tasks)]
 	r := &round{at: at, tasks: tasks, out: out, fin: make(chan struct{})}
-	// Wake the pool, then join it: the caller drains too, so the round
-	// completes even while workers are still picking the round up.
-	for i := 0; i < e.workers-1; i++ {
-		e.feed <- r
-	}
-	e.drain(r, e.workers-1)
-	<-r.fin
-	for i := range out {
-		if out[i].pg != nil {
-			c.OnPing(out[i].pg)
-		} else {
-			c.OnTraceroute(out[i].tr)
+	wd := e.res.Watchdog
+	if wd > 0 {
+		if cap(e.ready) < len(tasks) {
+			e.ready = make([]atomic.Bool, len(tasks))
 		}
-		out[i] = result{}
+		r.ready = e.ready[:len(tasks)]
+		for i := range r.ready {
+			r.ready[i].Store(false)
+		}
 	}
-	rsp.End(flight.Attrs{N: int64(len(tasks))})
+	if wd <= 0 {
+		// Wake the pool, then join it: the caller drains too, so the round
+		// completes even while workers are still picking the round up.
+		for i := 0; i < e.workers-1; i++ {
+			e.feed <- r
+		}
+		e.drain(r, e.workers-1)
+		<-r.fin
+	} else {
+		// Watchdog armed: the caller must stay free to abandon the round,
+		// so a dedicated goroutine drains in its place and pool wake-ups
+		// are non-blocking (a worker wedged on a previous abandoned round
+		// must not stall this one).
+		for i := 0; i < e.workers-1; i++ {
+			select {
+			case e.feed <- r:
+			default:
+			}
+		}
+		go e.drain(r, e.workers-1)
+		timer := time.NewTimer(wd)
+		select {
+		case <-r.fin:
+			timer.Stop()
+		case <-timer.C:
+			r.abandoned.Store(true)
+		}
+	}
+	aborted := r.abandoned.Load()
+	abandonedTasks := int64(0)
+	for i := range out {
+		var res result
+		if aborted && !r.ready[i].Load() {
+			// The slot's worker may still be mid-write; out[i] must not be
+			// read until its ready flag has been observed true.
+			res = failedResult(tasks[i], at)
+			abandonedTasks++
+			e.o.abandoned.Inc()
+		} else {
+			res = out[i]
+		}
+		e.book(tasks[i], res, at)
+		if res.pg != nil {
+			c.OnPing(res.pg)
+		} else {
+			c.OnTraceroute(res.tr)
+		}
+		if !aborted {
+			out[i] = result{}
+		}
+	}
+	if aborted {
+		// Wedged workers may still write into these arrays; orphan them so
+		// the next round cannot observe the stragglers.
+		e.scratch, e.ready = nil, nil
+	}
+	e.finishRound(rsp, at, int64(len(tasks)), abandonedTasks)
+}
+
+// finishRound closes the round span and books a degraded round (crashed
+// agents or watchdog-abandoned tasks) into metrics and the flight record.
+func (e *Engine) finishRound(rsp flight.Span, at time.Duration, tasks, abandonedTasks int64) {
+	agentDown := e.agentDownRound.Swap(0)
+	if agentDown > 0 || abandonedTasks > 0 {
+		e.o.degraded.Inc()
+		e.rec.Event(flight.PhDegraded, at, flight.Attrs{N: agentDown, M: abandonedTasks})
+	}
+	rsp.End(flight.Attrs{N: tasks})
 }

@@ -1,0 +1,333 @@
+package campaign
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/trace"
+)
+
+// Default retry backoff schedule: the first retry waits DefaultBackoff of
+// virtual time, each later one doubles, capped at DefaultMaxBackoff.
+const (
+	DefaultBackoff    = 30 * time.Second
+	DefaultMaxBackoff = 4 * time.Minute
+	// DefaultReprobeEvery is the re-probe cadence for quarantined pairs,
+	// in rounds.
+	DefaultReprobeEvery = 8
+)
+
+// RetryPolicy governs per-measurement retries. Retries happen in virtual
+// time: attempt k executes at the round timestamp plus the cumulative
+// backoff, so a retried record is a pure function of its coordinates and
+// the stream stays deterministic at any worker count.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per measurement (1 or 0 =
+	// no retries).
+	MaxAttempts int
+	// Backoff is the virtual-time wait before the first retry (default
+	// DefaultBackoff); it doubles per attempt, capped at MaxBackoff
+	// (default DefaultMaxBackoff).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// Resilience configures fault-aware campaign execution. The zero value
+// disables everything: no retries, no quarantine, no watchdog — the
+// engine behaves exactly as before.
+type Resilience struct {
+	// Faults is the fault schedule the runtime consults for agent crashes
+	// (the same plan should be attached to the prober and simnet).
+	Faults *faults.Plan
+	// Retry is the per-measurement retry budget.
+	Retry RetryPolicy
+	// QuarantineAfter quarantines a pair after this many consecutive
+	// failed rounds (0 = no quarantine). Quarantined pairs are skipped
+	// — their failures stop burning probes — and re-probed every
+	// ReprobeEvery rounds; a successful re-probe releases them.
+	QuarantineAfter int
+	// ReprobeEvery is the quarantine re-probe cadence in rounds (default
+	// DefaultReprobeEvery).
+	ReprobeEvery int
+	// Watchdog is a wall-clock budget per round (0 = off). If a round is
+	// still incomplete when it expires, the round is abandoned: finished
+	// tasks deliver normally, unfinished ones are booked as degraded
+	// failure records, and the engine moves on instead of hanging.
+	// A fired watchdog is the one place determinism is deliberately
+	// traded for liveness: which tasks were finished depends on wall
+	// time. It needs at least 2 workers (a single-worker engine executes
+	// inline and has nobody to watch it).
+	Watchdog time.Duration
+}
+
+// Additional engine metric families (see also engine.go).
+const (
+	MetricRetriesAttempted = "s2s_campaign_retries_attempted_total"
+	MetricRetriesSucceeded = "s2s_campaign_retries_succeeded_total"
+	MetricQuarantinedPairs = "s2s_campaign_quarantined_pairs"
+	MetricQuarantineSkips  = "s2s_campaign_quarantine_skips_total"
+	MetricQuarantineAdds   = "s2s_campaign_quarantine_adds_total"
+	MetricDegradedRounds   = "s2s_campaign_degraded_rounds_total"
+	MetricAgentDownTasks   = "s2s_campaign_agent_down_tasks_total"
+	MetricAbandonedTasks   = "s2s_campaign_abandoned_tasks_total"
+)
+
+// pairHealth tracks one pair's consecutive-failure streak and quarantine
+// state. Pairs with no state (the common case) carry no entry.
+type pairHealth struct {
+	streak      int
+	quarantined bool
+	since       int64 // round index of quarantine entry / last re-probe
+}
+
+// SetResilience configures fault-aware execution. Call before the first
+// RunRound (and before Instrument if metrics should see the quarantine
+// gauge).
+func (e *Engine) SetResilience(res Resilience) {
+	if res.Retry.MaxAttempts > 1 {
+		if res.Retry.Backoff <= 0 {
+			res.Retry.Backoff = DefaultBackoff
+		}
+		if res.Retry.MaxBackoff <= 0 {
+			res.Retry.MaxBackoff = DefaultMaxBackoff
+		}
+	}
+	if res.QuarantineAfter > 0 && res.ReprobeEvery <= 0 {
+		res.ReprobeEvery = DefaultReprobeEvery
+	}
+	if res.Watchdog > 0 && e.workers <= 1 {
+		// A single-worker engine executes inline; nobody is free to watch
+		// it, and the sequential reference must stay untouched anyway.
+		res.Watchdog = 0
+	}
+	e.res = res
+	if e.health == nil {
+		e.health = make(map[trace.PairKey]*pairHealth)
+	}
+}
+
+// ok reports whether the measurement succeeded: a ping that came back, or
+// a traceroute that reached its destination.
+func (r result) ok() bool {
+	if r.pg != nil {
+		return !r.pg.Lost
+	}
+	return r.tr != nil && r.tr.Complete
+}
+
+// taskKey is the health-map key for a measurement's pair.
+func taskKey(tk measurement) trace.PairKey {
+	return trace.PairKey{SrcID: tk.src.ID, DstID: tk.dst.ID, V6: tk.v6}
+}
+
+func addrOf(c *cdn.Cluster, v6 bool) netip.Addr {
+	if v6 {
+		return c.Server6
+	}
+	return c.Server4
+}
+
+// failedResult synthesizes the record of a measurement that never ran — a
+// crashed agent or a watchdog-abandoned task: a lost ping or an empty
+// traceroute, stamped with the coordinates the real measurement would
+// have had (the same shape the prober emits for a fully dead probe).
+func failedResult(tk measurement, at time.Duration) result {
+	if tk.ping {
+		return result{pg: &trace.Ping{
+			SrcID: tk.src.ID, DstID: tk.dst.ID,
+			Src: addrOf(tk.src, tk.v6), Dst: addrOf(tk.dst, tk.v6),
+			V6: tk.v6, At: at, Lost: true,
+		}}
+	}
+	return result{tr: &trace.Traceroute{
+		SrcID: tk.src.ID, DstID: tk.dst.ID,
+		Src: addrOf(tk.src, tk.v6), Dst: addrOf(tk.dst, tk.v6),
+		V6: tk.v6, Paris: tk.paris, At: at,
+	}}
+}
+
+// attempt executes one measurement attempt at virtual time at.
+func (e *Engine) attempt(tk measurement, at time.Duration) result {
+	if e.testExec != nil {
+		if res, ok := e.testExec(tk, at); ok {
+			return res
+		}
+	}
+	if tk.ping {
+		return result{pg: e.p.Ping(tk.src, tk.dst, tk.v6, at)}
+	}
+	return result{tr: e.p.Traceroute(tk.src, tk.dst, tk.v6, tk.paris, at)}
+}
+
+// exec runs a measurement under the resilience policy: an agent-down
+// check, then the attempt, then retries with capped exponential backoff
+// in virtual time. The record kept is the last attempt's, so a recovered
+// measurement carries its retry timestamp — as it would on a real
+// platform.
+func (e *Engine) exec(tk measurement, at time.Duration) result {
+	if e.res.Faults != nil && e.res.Faults.AgentDown(tk.src.ID, at) {
+		e.agentDownRound.Add(1)
+		e.o.agentDown.Inc()
+		return failedResult(tk, at)
+	}
+	res := e.attempt(tk, at)
+	if e.res.Retry.MaxAttempts <= 1 || res.ok() {
+		return res
+	}
+	backoff := e.res.Retry.Backoff
+	off := time.Duration(0)
+	for a := 2; a <= e.res.Retry.MaxAttempts; a++ {
+		off += backoff
+		if backoff < e.res.Retry.MaxBackoff {
+			backoff *= 2
+			if backoff > e.res.Retry.MaxBackoff {
+				backoff = e.res.Retry.MaxBackoff
+			}
+		}
+		e.o.retries.Inc()
+		res = e.attempt(tk, at+off)
+		if res.ok() {
+			e.o.retriesOK.Inc()
+			break
+		}
+	}
+	return res
+}
+
+// filterTasks drops quarantined pairs from the round's schedule, except
+// on their re-probe cadence. The input slice is never mutated; the
+// filtered schedule lives in a runtime-owned buffer.
+func (e *Engine) filterTasks(tasks []measurement) []measurement {
+	if e.res.QuarantineAfter <= 0 || e.quarCount == 0 {
+		return tasks
+	}
+	out := e.filterBuf[:0]
+	for _, tk := range tasks {
+		if h := e.health[taskKey(tk)]; h != nil && h.quarantined {
+			if (e.roundIdx-h.since)%int64(e.res.ReprobeEvery) != 0 {
+				e.o.skips.Inc()
+				continue
+			}
+		}
+		out = append(out, tk)
+	}
+	e.filterBuf = out
+	return out
+}
+
+// book updates the pair's health from a delivered result: success clears
+// the streak and releases a quarantine; QuarantineAfter consecutive
+// failed rounds put the pair on the quarantine list.
+func (e *Engine) book(tk measurement, res result, at time.Duration) {
+	if e.res.QuarantineAfter <= 0 {
+		return
+	}
+	k := taskKey(tk)
+	h := e.health[k]
+	if res.ok() {
+		if h == nil {
+			return
+		}
+		if h.quarantined {
+			e.quarCount--
+			e.o.quarGauge.Set(float64(e.quarCount))
+			e.rec.Event(flight.PhQuarantine, at, flight.Attrs{N: int64(tk.src.ID), M: int64(tk.dst.ID), S: "release"})
+		}
+		delete(e.health, k)
+		return
+	}
+	if h == nil {
+		h = &pairHealth{}
+		e.health[k] = h
+	}
+	h.streak++
+	if h.quarantined {
+		// Failed re-probe: restart the cadence from this round.
+		h.since = e.roundIdx
+		return
+	}
+	if h.streak >= e.res.QuarantineAfter {
+		h.quarantined = true
+		h.since = e.roundIdx
+		e.quarCount++
+		e.o.quarAdds.Inc()
+		e.o.quarGauge.Set(float64(e.quarCount))
+		e.rec.Event(flight.PhQuarantine, at, flight.Attrs{N: int64(tk.src.ID), M: int64(tk.dst.ID), S: "add"})
+	}
+}
+
+// RuntimeState is the non-seed-derivable runtime state a checkpoint
+// carries: the round cursor and every pair's health entry.
+type RuntimeState struct {
+	Rounds int64       `json:"rounds"`
+	Pairs  []PairState `json:"pairs,omitempty"`
+}
+
+// PairState is one pair's health entry in a checkpoint.
+type PairState struct {
+	Src         int   `json:"src"`
+	Dst         int   `json:"dst"`
+	V6          bool  `json:"v6,omitempty"`
+	Streak      int   `json:"streak"`
+	Quarantined bool  `json:"q,omitempty"`
+	Since       int64 `json:"since,omitempty"`
+}
+
+// snapshotState captures the engine's runtime state for a checkpoint,
+// with pairs sorted so the encoding is deterministic.
+func (e *Engine) snapshotState() *RuntimeState {
+	st := &RuntimeState{Rounds: e.roundIdx}
+	for k, h := range e.health {
+		st.Pairs = append(st.Pairs, PairState{
+			Src: k.SrcID, Dst: k.DstID, V6: k.V6,
+			Streak: h.streak, Quarantined: h.quarantined, Since: h.since,
+		})
+	}
+	sort.Slice(st.Pairs, func(i, j int) bool {
+		a, b := st.Pairs[i], st.Pairs[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return !a.V6 && b.V6
+	})
+	return st
+}
+
+// restoreState rebuilds the engine's runtime state from a checkpoint.
+func (e *Engine) restoreState(st *RuntimeState) {
+	if st == nil {
+		return
+	}
+	e.roundIdx = st.Rounds
+	e.health = make(map[trace.PairKey]*pairHealth, len(st.Pairs))
+	e.quarCount = 0
+	for _, p := range st.Pairs {
+		h := &pairHealth{streak: p.Streak, quarantined: p.Quarantined, since: p.Since}
+		e.health[trace.PairKey{SrcID: p.Src, DstID: p.Dst, V6: p.V6}] = h
+		if h.quarantined {
+			e.quarCount++
+		}
+	}
+	e.o.quarGauge.Set(float64(e.quarCount))
+}
+
+// instrumentResilience registers the runtime's counters (called from
+// Instrument).
+func (e *Engine) instrumentResilience(reg *obs.Registry) {
+	e.o.retries = reg.Counter(MetricRetriesAttempted, "measurement retry attempts issued")
+	e.o.retriesOK = reg.Counter(MetricRetriesSucceeded, "measurement retries that recovered a failed measurement")
+	e.o.skips = reg.Counter(MetricQuarantineSkips, "scheduled measurements skipped because their pair was quarantined")
+	e.o.quarAdds = reg.Counter(MetricQuarantineAdds, "pairs placed on the quarantine list")
+	e.o.quarGauge = reg.Gauge(MetricQuarantinedPairs, "pairs currently quarantined")
+	e.o.degraded = reg.Counter(MetricDegradedRounds, "rounds that booked degraded (agent-down or abandoned) results")
+	e.o.agentDown = reg.Counter(MetricAgentDownTasks, "tasks booked as failed because the source agent was crashed")
+	e.o.abandoned = reg.Counter(MetricAbandonedTasks, "tasks abandoned by the round watchdog")
+}

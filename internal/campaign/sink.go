@@ -1,6 +1,13 @@
 package campaign
 
-import "repro/internal/trace"
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/trace"
+)
 
 // RecordWriter is the write side of a dataset sink: trace.BinaryWriter,
 // trace.JSONLWriter, and store.Writer all satisfy it.
@@ -9,34 +16,70 @@ type RecordWriter interface {
 	WritePing(*trace.Ping) error
 }
 
+// MetricSinkWriteErrors counts dataset-sink write failures, including
+// records skipped after the first failure.
+const MetricSinkWriteErrors = "s2s_sink_write_errors_total"
+
 // WriteSink adapts a RecordWriter into a Consumer. The campaign interfaces
 // deliberately have no error path — measurement delivery never fails — so
 // the sink remembers the first write error, skips subsequent writes, and
-// lets the caller check Err after the campaign. Records are still counted
-// past an error, keeping the count equal to what the campaign produced.
+// lets the caller check Err after the campaign (or poll it from a round
+// loop's abort hook to stop early). Records are still counted past an
+// error, keeping the count equal to what the campaign produced.
 type WriteSink struct {
 	w     RecordWriter
 	err   error
 	count int64
+	mErrs *obs.Counter
+	rec   *flight.Recorder
 }
 
 // NewWriteSink wraps a record writer.
 func NewWriteSink(w RecordWriter) *WriteSink { return &WriteSink{w: w} }
 
+// Instrument registers the sink's write-error counter. A nil registry is
+// a no-op.
+func (s *WriteSink) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mErrs = reg.Counter(MetricSinkWriteErrors, "dataset sink write failures (incl. records skipped after the first)")
+}
+
+// Trace attaches a flight recorder: the first write failure becomes a
+// sink_error event stamped with the failing record's timestamp.
+func (s *WriteSink) Trace(rec *flight.Recorder) { s.rec = rec }
+
+func (s *WriteSink) fail(err error, at time.Duration) {
+	s.err = err
+	s.rec.Event(flight.PhSinkError, at, flight.Attrs{S: err.Error()})
+	s.rec = nil // only the first failure is an event; the rest are counted
+}
+
 // OnTraceroute writes the record unless a previous write failed.
 func (s *WriteSink) OnTraceroute(tr *trace.Traceroute) {
 	s.count++
 	if s.err == nil {
-		s.err = s.w.WriteTraceroute(tr)
+		if err := s.w.WriteTraceroute(tr); err != nil {
+			s.mErrs.Inc()
+			s.fail(err, tr.At)
+		}
+		return
 	}
+	s.mErrs.Inc()
 }
 
 // OnPing writes the record unless a previous write failed.
 func (s *WriteSink) OnPing(p *trace.Ping) {
 	s.count++
 	if s.err == nil {
-		s.err = s.w.WritePing(p)
+		if err := s.w.WritePing(p); err != nil {
+			s.mErrs.Inc()
+			s.fail(err, p.At)
+		}
+		return
 	}
+	s.mErrs.Inc()
 }
 
 // Err returns the first write error, if any.
@@ -44,3 +87,21 @@ func (s *WriteSink) Err() error { return s.err }
 
 // Count returns how many records the campaign delivered (written or not).
 func (s *WriteSink) Count() int64 { return s.count }
+
+// SetCount primes the delivered-record counter — used when resuming a
+// campaign whose earlier records are already committed.
+func (s *WriteSink) SetCount(n int64) { s.count = n }
+
+// Checkpoint makes the underlying writer durable and returns its resume
+// position, failing if the writer cannot checkpoint or a write already
+// failed.
+func (s *WriteSink) Checkpoint() (int64, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	cw, ok := s.w.(CheckpointableWriter)
+	if !ok {
+		return 0, fmt.Errorf("campaign: sink writer %T cannot checkpoint", s.w)
+	}
+	return cw.Checkpoint()
+}

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
+	"time"
 
 	"repro/internal/geo"
 	"repro/internal/ipam"
@@ -47,6 +48,41 @@ type Platform struct {
 	Clusters []*Cluster
 
 	byAddr map[netip.Addr]*Cluster
+
+	// liveness answers outage queries; nil means always alive.
+	liveness Liveness
+}
+
+// Liveness reports whether a cluster is inside a scheduled outage window
+// at a virtual time. *faults.Plan satisfies it; cdn stays decoupled from
+// the fault subsystem by depending only on this view.
+type Liveness interface {
+	ClusterDown(id int, at time.Duration) bool
+}
+
+// SetLiveness attaches an outage view to the platform (nil detaches it,
+// restoring the always-alive default).
+func (p *Platform) SetLiveness(l Liveness) { p.liveness = l }
+
+// Alive reports whether the cluster is serving at the virtual time: true
+// unless the attached liveness view places it inside an outage window.
+func (p *Platform) Alive(id int, at time.Duration) bool {
+	return p.liveness == nil || !p.liveness.ClusterDown(id, at)
+}
+
+// AliveClusters returns the clusters serving at the virtual time (the
+// full set when no liveness view is attached).
+func (p *Platform) AliveClusters(at time.Duration) []*Cluster {
+	if p.liveness == nil {
+		return p.Clusters
+	}
+	out := make([]*Cluster, 0, len(p.Clusters))
+	for _, c := range p.Clusters {
+		if !p.liveness.ClusterDown(c.ID, at) {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // Config parameterizes deployment.

@@ -1,0 +1,271 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/itopo"
+	"repro/internal/obs/flight"
+)
+
+func standardPlan(t *testing.T, seed int64, days int) *Plan {
+	t.Helper()
+	d := time.Duration(days) * 24 * time.Hour
+	p, err := Generate(Standard(seed, d, 150, 700, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestGenerateDeterministic: the schedule is a pure function of the
+// config.
+func TestGenerateDeterministic(t *testing.T) {
+	a := standardPlan(t, 7, 10)
+	b := standardPlan(t, 7, 10)
+	if len(a.events) != len(b.events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.events), len(b.events))
+	}
+	for i := range a.events {
+		if fmt.Sprintf("%+v", a.events[i]) != fmt.Sprintf("%+v", b.events[i]) {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.events[i], b.events[i])
+		}
+	}
+	c := standardPlan(t, 8, 10)
+	if len(a.events) == len(c.events) && fmt.Sprintf("%+v", a.events[0]) == fmt.Sprintf("%+v", c.events[0]) {
+		t.Fatal("different seeds produced an identical schedule start")
+	}
+}
+
+// TestStandardPlanFiresEveryKind: even a short CI-scale plan schedules at
+// least one window of every event type.
+func TestStandardPlanFiresEveryKind(t *testing.T) {
+	p := standardPlan(t, 1, 4)
+	got := map[Kind]int{}
+	for _, ev := range p.Events() {
+		got[ev.Kind]++
+	}
+	for _, k := range []Kind{KindOutage, KindAgentCrash, KindBrownout, KindRateLimit} {
+		if got[k] == 0 {
+			t.Errorf("no %v events in a 4-day standard plan", k)
+		}
+	}
+}
+
+// TestWindowsWithinHorizon: no window starts past or extends beyond the
+// configured duration.
+func TestWindowsWithinHorizon(t *testing.T) {
+	d := 6 * 24 * time.Hour
+	p := standardPlan(t, 3, 6)
+	for _, ev := range p.Events() {
+		if ev.Start < 0 || ev.Start >= d {
+			t.Fatalf("event starts outside horizon: %+v", ev)
+		}
+		if ev.Start+ev.Length > d {
+			t.Fatalf("event extends past horizon: %+v", ev)
+		}
+		if ev.Kind == KindRateLimit && (ev.Drop <= 0 || ev.Drop > 0.95) {
+			t.Fatalf("drop rate out of range: %+v", ev)
+		}
+	}
+}
+
+// TestOutageQueryMatchesSchedule: ClusterDown answers exactly the
+// scheduled windows.
+func TestOutageQueryMatchesSchedule(t *testing.T) {
+	p := standardPlan(t, 5, 20)
+	checked := 0
+	for _, ev := range p.Events() {
+		if ev.Kind != KindOutage {
+			continue
+		}
+		mid := ev.Start + ev.Length/2
+		if !p.ClusterDown(ev.Cluster, mid) {
+			t.Fatalf("cluster %d not down mid-window at %v", ev.Cluster, mid)
+		}
+		if p.ClusterDown(ev.Cluster, ev.Start-time.Nanosecond) && insideAnyOutage(p, ev.Cluster, ev.Start-time.Nanosecond) == false {
+			t.Fatalf("cluster %d down just before its window", ev.Cluster)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no outage windows to check")
+	}
+	if p.ClusterDown(10_000, time.Hour) {
+		t.Fatal("unknown cluster reported down")
+	}
+}
+
+func insideAnyOutage(p *Plan, id int, at time.Duration) bool {
+	for _, s := range p.outages[id] {
+		if s.contains(at) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPersistenceWindowSemantics: persistent draws are stable within a
+// window and independent across pairs; transient draws vary with the
+// exact timestamp.
+func TestPersistenceWindowSemantics(t *testing.T) {
+	p := standardPlan(t, 11, 10)
+	at := 5 * time.Hour
+	for pair := 0; pair < 50; pair++ {
+		a := p.DstFiltered(pair, pair+1, false, at)
+		b := p.DstFiltered(pair, pair+1, false, at+30*time.Second)
+		if a != b {
+			t.Fatalf("pair %d: persistent verdict flipped within one window", pair)
+		}
+	}
+	// Transient draws at distinct instants must not all agree with each
+	// other for every pair (they are per-attempt coins).
+	varied := false
+	for pair := 0; pair < 200 && !varied; pair++ {
+		a := p.DstFlaky(pair, pair+1, false, at)
+		b := p.DstFlaky(pair, pair+1, false, at+30*time.Second)
+		varied = a != b
+	}
+	if !varied {
+		t.Fatal("transient draws never varied across 200 pairs")
+	}
+	// Persistent rate roughly matches the configured probability.
+	hits := 0
+	const n = 4000
+	for pair := 0; pair < n; pair++ {
+		if p.DstFiltered(pair, pair+13, false, at) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.20 || rate > 0.28 {
+		t.Fatalf("persistent failure rate %.3f far from configured 0.24", rate)
+	}
+}
+
+// TestRouterLimited: governed routers are stable, ungoverned ones are
+// never limited, and drops only happen inside saturation windows.
+func TestRouterLimited(t *testing.T) {
+	p := standardPlan(t, 13, 10)
+	governed := 0
+	for r := 0; r < 700; r++ {
+		limited, _ := p.RouterLimited(itopo.RouterID(r), time.Hour, 1)
+		if limited {
+			governed++
+		}
+	}
+	if frac := float64(governed) / 700; frac < 0.2 || frac > 0.4 {
+		t.Fatalf("governed fraction %.2f far from configured 0.3", frac)
+	}
+	drops, inWindow := 0, 0
+	for _, ev := range p.Events() {
+		if ev.Kind != KindRateLimit {
+			continue
+		}
+		mid := ev.Start + ev.Length/2
+		for salt := uint64(0); salt < 20; salt++ {
+			limited, drop := p.RouterLimited(ev.Router, mid, salt)
+			if !limited {
+				t.Fatalf("router %d not limited inside its own window", ev.Router)
+			}
+			inWindow++
+			if drop {
+				drops++
+			}
+			// Same salt, same persistence window: verdict is stable.
+			if mid/p.PersistWindow() == (mid+time.Second)/p.PersistWindow() {
+				_, again := p.RouterLimited(ev.Router, mid+time.Second, salt)
+				if drop != again {
+					t.Fatalf("limiter verdict flipped within one persistence window")
+				}
+			}
+		}
+	}
+	if inWindow == 0 {
+		t.Fatal("no saturation windows")
+	}
+	if drops == 0 {
+		t.Fatal("saturated limiters never dropped a probe")
+	}
+}
+
+// TestBrownoutInflation: link delay/loss are nonzero exactly during
+// brownout windows.
+func TestBrownoutInflation(t *testing.T) {
+	p := standardPlan(t, 17, 10)
+	found := false
+	for _, ev := range p.Events() {
+		if ev.Kind != KindBrownout {
+			continue
+		}
+		found = true
+		mid := ev.Start + ev.Length/2
+		for _, l := range ev.Links {
+			if p.LinkDelay(l, mid) < ev.Delay {
+				t.Fatalf("link %d missing brownout delay at %v", l, mid)
+			}
+			if p.LinkLoss(l, mid) < ev.Loss {
+				t.Fatalf("link %d missing brownout loss at %v", l, mid)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no brownout events")
+	}
+	if p.LinkDelay(itopo.LinkID(10_000_000), time.Hour) != 0 {
+		t.Fatal("unknown link has delay")
+	}
+}
+
+// TestEmitWritesSchedule: every scheduled window lands in the flight
+// record as a fault event.
+func TestEmitWritesSchedule(t *testing.T) {
+	p := standardPlan(t, 19, 2)
+	path := filepath.Join(t.TempDir(), "run.trace")
+	rec, err := flight.Create(path, flight.Options{Tool: "faults-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Emit(rec)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Count(string(data), `"`+flight.PhFault+`"`)
+	if got < len(p.Events()) {
+		t.Fatalf("flight record has %d fault events, schedule has %d", got, len(p.Events()))
+	}
+}
+
+// TestHeavyIsHeavier: the stress preset schedules more failure than the
+// standard one.
+func TestHeavyIsHeavier(t *testing.T) {
+	d := 10 * 24 * time.Hour
+	std, err := Generate(Standard(1, d, 150, 700, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hvy, err := Generate(Heavy(1, d, 150, 700, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hvy.Events()) <= len(std.Events()) {
+		t.Fatalf("heavy plan (%d events) not heavier than standard (%d)", len(hvy.Events()), len(std.Events()))
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := Generate(Config{Duration: time.Hour, Clusters: -1}); err == nil {
+		t.Fatal("negative platform size accepted")
+	}
+}

@@ -54,14 +54,20 @@ const (
 // these are the ones the instrumented subsystems emit and s2sobs knows how
 // to interpret specially.
 const (
-	PhCampaign   = "campaign"    // span: one whole campaign; s = campaign kind, n = rounds
-	PhRound      = "round"       // span: one engine round; n = tasks, vt = round timestamp
-	PhWorker     = "worker"      // span: one worker's batch within a round; id = worker, n = tasks
-	PhEngine     = "engine"      // event: engine pool came up; n = worker count
-	PhEpochBuild = "epoch_build" // span: BGP routing-view build; id = epoch, n = trees carried, m = delta events, s = plane
-	PhCacheSweep = "cache_sweep" // event: path-cache shard sweep; id = shard, n = stale drops, m = full-reset evictions, s = family
-	PhProbeBatch = "probe_batch" // event: probe measurement batch milestone; n = cumulative measurements
-	PhShardScan  = "shard_scan"  // span: one store shard decode during a scan; s = shard file, n = records, m = payload bytes
+	PhCampaign   = "campaign"       // span: one whole campaign; s = campaign kind, n = rounds
+	PhRound      = "round"          // span: one engine round; n = tasks, vt = round timestamp
+	PhWorker     = "worker"         // span: one worker's batch within a round; id = worker, n = tasks
+	PhEngine     = "engine"         // event: engine pool came up; n = worker count
+	PhEpochBuild = "epoch_build"    // span: BGP routing-view build; id = epoch, n = trees carried, m = delta events, s = plane
+	PhCacheSweep = "cache_sweep"    // event: path-cache shard sweep; id = shard, n = stale drops, m = full-reset evictions, s = family
+	PhProbeBatch = "probe_batch"    // event: probe measurement batch milestone; n = cumulative measurements
+	PhShardScan  = "shard_scan"     // span: one store shard decode during a scan; s = shard file, n = records, m = payload bytes
+	PhFault      = "fault"          // event: one scheduled fault window; vt = start, id = target, n = length ns, s = fault kind
+	PhDegraded   = "round_degraded" // event: round booked degraded results; n = agent-down tasks, m = watchdog-abandoned tasks
+	PhQuarantine = "quarantine"     // event: pair quarantine transition; n = src cluster, m = dst cluster, s = "add"/"release"
+	PhCheckpoint = "checkpoint"     // event: campaign checkpoint written; vt = resume point, n = records, m = sink position
+	PhResume     = "resume"         // event: campaign resumed from a checkpoint; vt = resume point, n = rounds already done
+	PhSinkError  = "sink_error"     // event: first dataset-sink write failure; s = error text
 )
 
 // Attrs are the optional attributes of a span or event. Zero-valued

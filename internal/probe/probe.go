@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/cdn"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/simnet"
@@ -33,6 +34,15 @@ type Prober struct {
 	// transient unreachability.
 	DstFailProb float64
 
+	// Faults, when non-nil, replaces the static failure coins with the
+	// schedule's structured ones: DstFailProb gives way to persistent
+	// filtering + per-attempt transient failures + the destination attach
+	// router's ICMP rate limiter, governed routers' static ResponseProb
+	// gives way to their limiter verdict, and brownout loss applies to
+	// ping packets and traceroute destination replies. Set it together
+	// with simnet.SetFaults before probing starts.
+	Faults *faults.Plan
+
 	// ArtifactProb is the probability that a classic traceroute suffers a
 	// mid-measurement path artifact (a stale hop repeated later in the
 	// output), occasionally producing AS-path loops (paper: 2.16% of IPv4,
@@ -44,10 +54,12 @@ type Prober struct {
 	MaxTTL int
 
 	// Measurement telemetry; nil until Instrument.
-	mTraceroutes *obs.Counter
-	mPings       *obs.Counter
-	mUnreachable *obs.Counter
-	mHops        *obs.Histogram
+	mTraceroutes    *obs.Counter
+	mPings          *obs.Counter
+	mUnreachable    *obs.Counter
+	mHops           *obs.Histogram
+	mRateLimitDrops *obs.Counter
+	mDstRateLimited *obs.Counter
 
 	// Flight recorder; nil until Trace. Individual measurements are far
 	// too hot for per-measurement spans, so the recorder sees one
@@ -66,6 +78,12 @@ const (
 	MetricPings       = "s2s_probe_pings_total"
 	MetricUnreachable = "s2s_probe_unreachable_total"
 	MetricHops        = "s2s_probe_traceroute_hops"
+	// MetricRateLimitDrops counts TTL-exceeded replies shed by a saturated
+	// router rate limiter; MetricDstRateLimited counts destination replies
+	// shed by the destination attach router's limiter. Both stay zero
+	// without a fault plan.
+	MetricRateLimitDrops = "s2s_probe_ratelimit_drops_total"
+	MetricDstRateLimited = "s2s_probe_dst_ratelimited_total"
 )
 
 // Instrument registers the prober's counters in reg: measurements issued
@@ -80,6 +98,8 @@ func (p *Prober) Instrument(reg *obs.Registry) {
 	p.mPings = reg.Counter(MetricPings, "pings issued")
 	p.mUnreachable = reg.Counter(MetricUnreachable, "measurements that found no route to the destination")
 	p.mHops = reg.Histogram(MetricHops, "hops reported per traceroute", obs.LinearBuckets(4, 4, 16))
+	p.mRateLimitDrops = reg.Counter(MetricRateLimitDrops, "TTL-exceeded replies shed by saturated router rate limiters")
+	p.mDstRateLimited = reg.Counter(MetricDstRateLimited, "destination replies shed by the destination attach router's rate limiter")
 }
 
 // Trace attaches a flight recorder: every probeBatch-th measurement emits
@@ -135,6 +155,16 @@ func pairFlow(srcID, dstID int, v6 bool) uint64 {
 	return h
 }
 
+// dstLimiterSalt and hopLimiterSalt namespace a pair's limiter draws: the
+// destination's echo reply and each TTL's exceeded reply are independent
+// coins, but each is stable across retry attempts inside one persistence
+// window (see faults.Plan.RouterLimited).
+func dstLimiterSalt(base uint64) uint64 { return base ^ 0xd1b54a32d192ed03 }
+
+func hopLimiterSalt(base uint64, ttl int) uint64 {
+	return base + uint64(ttl)*0x9e3779b97f4a7c15
+}
+
 func probeFlow(base uint64, ttl int, at time.Duration) uint64 {
 	h := base
 	mix := func(v uint64) {
@@ -175,7 +205,8 @@ func (p *Prober) Ping(src, dst *cdn.Cluster, v6 bool, at time.Duration) *trace.P
 		return rec
 	}
 	cong := p.Net.CongestionDelay(fwd, len(fwd)-1, at) + p.Net.CongestionDelay(rev, len(rev)-1, at)
-	if p.Net.LostCongested(rng, cong) {
+	extra := p.Net.FaultLoss(fwd, len(fwd)-1, at) + p.Net.FaultLoss(rev, len(rev)-1, at)
+	if p.Net.LostFaulted(rng, cong, extra) {
 		rec.Lost = true
 		return rec
 	}
@@ -203,6 +234,27 @@ func (p *Prober) Traceroute(src, dst *cdn.Cluster, v6, paris bool, at time.Durat
 
 	serverLink := p.Net.Config().ServerLinkDelay
 	dstAnswers := rng.Float64() >= p.DstFailProb
+	if p.Faults != nil {
+		// The fault plan replaces the static destination coin (drawn above
+		// regardless, keeping the rng stream uniform across pairs within a
+		// faulted run) with structured failure: persistent filtering that a
+		// retry inside the same persistence window cannot recover, a
+		// transient per-attempt failure that it can, the destination attach
+		// router's ICMP rate limiter, and brownout loss on the reply path.
+		dstAnswers = !p.Faults.DstFiltered(src.ID, dst.ID, v6, at) &&
+			!p.Faults.DstFlaky(src.ID, dst.ID, v6, at)
+		if dstAnswers {
+			if _, drop := p.Faults.RouterLimited(dst.Attach, at, dstLimiterSalt(base)); drop {
+				p.mDstRateLimited.Inc()
+				dstAnswers = false
+			}
+		}
+		if dstAnswers && revErr == nil {
+			if loss := p.Net.FaultLoss(rev, len(rev)-1, at); loss > 0 && rng.Float64() < loss {
+				dstAnswers = false
+			}
+		}
+	}
 
 	for ttl := 1; ttl <= p.MaxTTL; ttl++ {
 		flow := base
@@ -234,7 +286,19 @@ func (p *Prober) Traceroute(src, dst *cdn.Cluster, v6, paris bool, at time.Durat
 		}
 		h := hops[ttl]
 		router := p.Net.R.Router(h.Router)
-		if rng.Float64() >= router.ResponseProb {
+		responds := rng.Float64() < router.ResponseProb
+		if p.Faults != nil {
+			// Governed routers answer by their limiter's verdict instead of
+			// the static coin (which is still drawn, keeping the rng stream
+			// aligned between governed and ungoverned routers).
+			if limited, drop := p.Faults.RouterLimited(h.Router, at, hopLimiterSalt(base, ttl)); limited {
+				responds = !drop
+				if drop {
+					p.mRateLimitDrops.Inc()
+				}
+			}
+		}
+		if !responds {
 			rec.Hops = append(rec.Hops, trace.Hop{})
 			continue
 		}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/cdn"
 	"repro/internal/congestion"
+	"repro/internal/faults"
 	"repro/internal/ipam"
 	"repro/internal/itopo"
 	"repro/internal/obs"
@@ -96,6 +97,14 @@ type Net struct {
 	shards   [2][pathCacheShards]pathShard
 	shardMax int
 
+	// Fault schedule; nil (the default) leaves the network fault-free and
+	// the measurement byte-stream identical to the pre-fault behavior.
+	faults *faults.Plan
+
+	// Counts route lookups that failed because an endpoint cluster was
+	// inside a scheduled outage window; nil until Instrument.
+	mFaultUnreach *obs.Counter
+
 	// Flight recorder; nil until Trace.
 	rec *flight.Recorder
 }
@@ -151,6 +160,21 @@ const (
 	MetricCacheEvictions = "s2s_simnet_path_cache_evictions_total"
 )
 
+// MetricFaultUnreachable counts route lookups refused because an endpoint
+// cluster was inside a scheduled outage window (no family/shard labels).
+const MetricFaultUnreachable = "s2s_simnet_fault_unreachable_total"
+
+// SetFaults attaches a fault schedule: route lookups fail with
+// ErrUnreachable while either endpoint cluster is inside an outage
+// window, and browned-out links add delay (via CongestionDelay) and loss
+// (via FaultLoss) to paths crossing them. Call before probing starts; a
+// nil plan (the default) keeps the network byte-identical to the
+// fault-free behavior.
+func (n *Net) SetFaults(p *faults.Plan) { n.faults = p }
+
+// Faults returns the attached fault schedule (nil when fault-free).
+func (n *Net) Faults() *faults.Plan { return n.faults }
+
 // Instrument registers the resolved-path cache's per-shard counters in
 // reg. Call it before probing starts; a nil registry leaves the network
 // uninstrumented (the default, zero-overhead state). Metrics never feed
@@ -160,6 +184,7 @@ func (n *Net) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	n.mFaultUnreach = reg.Counter(MetricFaultUnreachable, "route lookups refused by a scheduled cluster outage")
 	for fi, fam := range [2]string{"v4", "v6"} {
 		for si := range n.shards[fi] {
 			sh := &n.shards[fi][si]
@@ -199,6 +224,10 @@ func (n *Net) ASPath(src, dst *cdn.Cluster, v6 bool, t time.Duration) []ipam.ASN
 // to dst's at time t for the given flow. The first hop is src's attachment
 // router with zero cumulative delay.
 func (n *Net) ForwardHops(src, dst *cdn.Cluster, v6 bool, flowID uint64, t time.Duration) ([]itopo.PathHop, error) {
+	if n.faults != nil && (n.faults.ClusterDown(src.ID, t) || n.faults.ClusterDown(dst.ID, t)) {
+		n.mFaultUnreach.Inc()
+		return nil, ErrUnreachable
+	}
 	asPath := n.ASPath(src, dst, v6, t)
 	if asPath == nil {
 		return nil, ErrUnreachable
@@ -295,19 +324,40 @@ func (n *Net) OneWayDelay(hops []itopo.PathHop, t time.Duration) time.Duration {
 	return d
 }
 
-// CongestionDelay sums the congestion delay on the inbound links of
-// hops[1..upto] at time t.
+// CongestionDelay sums the congestion queueing delay — plus any brownout
+// delay from the fault schedule — on the inbound links of hops[1..upto]
+// at time t.
 func (n *Net) CongestionDelay(hops []itopo.PathHop, upto int, t time.Duration) time.Duration {
-	if n.Cong == nil {
+	if n.Cong == nil && n.faults == nil {
 		return 0
 	}
 	var d time.Duration
 	for i := 1; i <= upto && i < len(hops); i++ {
 		if hops[i].InLink >= 0 {
-			d += n.Cong.DelayOn(hops[i].InLink, t)
+			if n.Cong != nil {
+				d += n.Cong.DelayOn(hops[i].InLink, t)
+			}
+			if n.faults != nil {
+				d += n.faults.LinkDelay(hops[i].InLink, t)
+			}
 		}
 	}
 	return d
+}
+
+// FaultLoss sums the brownout loss probability on the inbound links of
+// hops[1..upto] at time t. Zero when no fault schedule is attached.
+func (n *Net) FaultLoss(hops []itopo.PathHop, upto int, t time.Duration) float64 {
+	if n.faults == nil {
+		return 0
+	}
+	var loss float64
+	for i := 1; i <= upto && i < len(hops); i++ {
+		if hops[i].InLink >= 0 {
+			loss += n.faults.LinkLoss(hops[i].InLink, t)
+		}
+	}
+	return loss
 }
 
 // BaseRTT returns the noise-free round-trip time between two clusters at
@@ -378,7 +428,14 @@ func (n *Net) Lost(rng *rand.Rand) bool { return rng.Float64() < n.cfg.LossProb 
 // LostCongested reports a drop given the congestion queueing delay the
 // packet met: baseline loss plus CongestionLossPerMs per millisecond.
 func (n *Net) LostCongested(rng *rand.Rand, congestion time.Duration) bool {
-	p := n.cfg.LossProb + n.cfg.CongestionLossPerMs*float64(congestion)/float64(time.Millisecond)
+	return n.LostFaulted(rng, congestion, 0)
+}
+
+// LostFaulted reports a drop given the congestion queueing delay and an
+// additional fault-induced loss probability (brownouts, from FaultLoss)
+// on the path. It consumes exactly one rng draw, like LostCongested.
+func (n *Net) LostFaulted(rng *rand.Rand, congestion time.Duration, extraLoss float64) bool {
+	p := n.cfg.LossProb + n.cfg.CongestionLossPerMs*float64(congestion)/float64(time.Millisecond) + extraLoss
 	return rng.Float64() < p
 }
 

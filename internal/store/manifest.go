@@ -75,13 +75,36 @@ func sortShards(shards []ShardEntry) {
 	})
 }
 
-// WriteManifest writes the manifest into dir.
+// WriteManifest writes the manifest into dir atomically: the bytes go to
+// a temp file that is fsynced and renamed over manifest.json, so a crash
+// at any instant leaves either the previous manifest or the new one,
+// never a torn file.
 func WriteManifest(dir string, m *Manifest) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, ManifestName), append(data, '\n'), 0o644)
+	path := filepath.Join(dir, ManifestName)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(append(data, '\n')); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // ReadManifest reads and validates the manifest of a store directory.

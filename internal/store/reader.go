@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,13 @@ type Store struct {
 // Open reads the manifest and every shard footer of a store directory.
 // Footers are small (counts, span, pair set), so opening stays cheap even
 // when the payloads do not fit in RAM.
+//
+// Open also recovers crash debris: segment files a killed writer
+// finalized after its last manifest write are adopted, and the torn
+// segment it was writing is truncated to its decodable prefix and
+// adopted too. The in-memory manifest reflects what is actually readable;
+// the on-disk manifest is left untouched (use Resume to continue writing,
+// or Verify to audit without modifying anything).
 func Open(dir string) (*Store, error) {
 	man, err := ReadManifest(dir)
 	if err != nil {
@@ -59,6 +67,30 @@ func Open(dir string) (*Store, error) {
 				e.File, ix.Records, e.Records)
 		}
 		s.shards = append(s.shards, shardInfo{ShardEntry: e, ix: ix})
+	}
+	adopted, err := adoptOrphans(dir, man)
+	if err != nil {
+		return nil, err
+	}
+	for _, sh := range adopted {
+		s.shards = append(s.shards, sh)
+		man.Shards = append(man.Shards, sh.ShardEntry)
+		man.Records += sh.ix.Records
+		man.Traceroutes += sh.ix.Traceroutes
+		man.Pings += sh.ix.Pings
+	}
+	if len(adopted) > 0 {
+		sortShards(man.Shards)
+		sort.Slice(s.shards, func(i, j int) bool {
+			a, b := s.shards[i], s.shards[j]
+			if a.Day != b.Day {
+				return a.Day < b.Day
+			}
+			if a.PairShard != b.PairShard {
+				return a.PairShard < b.PairShard
+			}
+			return a.Seq < b.Seq
+		})
 	}
 	return s, nil
 }

@@ -79,12 +79,19 @@ func Create(dir string, o Options) (*Writer, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Writer{
+	w := &Writer{
 		dir:  dir,
 		opts: opts,
 		open: make(map[cellID]*shardWriter),
 		seqs: make(map[cellID]int),
-	}, nil
+	}
+	// Write the (empty) manifest immediately so a crash at any later
+	// instant leaves a readable store: uncommitted segment files are
+	// recovered or discarded against it (see Open and Resume).
+	if err := WriteManifest(dir, w.manifest()); err != nil {
+		return nil, err
+	}
+	return w, nil
 }
 
 // SetProvenance records the run identity written into the manifest at
@@ -281,13 +288,8 @@ func (w *Writer) finalize(sw *shardWriter) error {
 	return nil
 }
 
-// Close finalizes every open shard and writes the manifest. The Writer is
-// unusable afterwards.
-func (w *Writer) Close() error {
-	if w.closed {
-		return nil
-	}
-	w.closed = true
+// finalizeOpen finalizes every open shard in name order.
+func (w *Writer) finalizeOpen() error {
 	remaining := make([]*shardWriter, 0, len(w.open))
 	for _, sw := range w.open {
 		remaining = append(remaining, sw)
@@ -298,6 +300,11 @@ func (w *Writer) Close() error {
 			return err
 		}
 	}
+	return nil
+}
+
+// manifest builds the manifest for the shards finalized so far.
+func (w *Writer) manifest() *Manifest {
 	m := &Manifest{
 		Version:     ManifestVersion,
 		Tool:        w.opts.Tool,
@@ -309,8 +316,43 @@ func (w *Writer) Close() error {
 		Records:     w.records,
 		Traceroutes: w.traceroutes,
 		Pings:       w.pings,
-		Shards:      w.done,
+		Shards:      append([]ShardEntry(nil), w.done...),
 	}
 	sortShards(m.Shards)
-	return WriteManifest(w.dir, m)
+	return m
+}
+
+// Records returns how many records have been routed into the store.
+func (w *Writer) Records() int64 { return w.records }
+
+// Checkpoint makes everything written so far durable — every open segment
+// is finalized (footer and trailer written, file closed) and the manifest
+// is atomically replaced — and returns the committed record count as the
+// resume position. The writer stays usable: cells written again after a
+// checkpoint continue in follow-up segment files (Compact merges them).
+// Checkpoint satisfies campaign.CheckpointableWriter.
+func (w *Writer) Checkpoint() (int64, error) {
+	if w.closed {
+		return 0, fmt.Errorf("store: checkpoint after Close")
+	}
+	if err := w.finalizeOpen(); err != nil {
+		return 0, err
+	}
+	if err := WriteManifest(w.dir, w.manifest()); err != nil {
+		return 0, err
+	}
+	return w.records, nil
+}
+
+// Close finalizes every open shard and writes the manifest. The Writer is
+// unusable afterwards.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.finalizeOpen(); err != nil {
+		return err
+	}
+	return WriteManifest(w.dir, w.manifest())
 }
