@@ -1,0 +1,352 @@
+package main
+
+// The -benchjson mode: an end-to-end campaign benchmark with memory
+// accounting, recorded as a machine-readable trajectory point.
+//
+// `go test -bench` numbers live and die with the CI log; this runner
+// writes them to a JSON file (BENCH_006.json and successors) that is
+// checked in next to the code, so every future change can be compared
+// against the trajectory with -bench-baseline. The benchmarked workload
+// is fixed — same seed, same world, same schedule — because the point is
+// comparing builds, not worlds:
+//
+//	world:    600 ASes, 1600 clusters (4x the default platform; the AS
+//	          count is capped by the IPv4 pool), 24-server mesh
+//	campaign: longterm, 5 virtual days, 3h interval, Paris switch at 62%
+//	workers:  1 and 8
+//
+// Per variant the runner reports wall time, allocated bytes and
+// allocation count (runtime.MemStats deltas), sampled peak heap, the
+// record count, and an FNV-64a digest of the encoded record stream. The
+// digests double as a determinism check: every variant must produce the
+// same bytes, or the runner fails. Process peak RSS (VmHWM) is recorded
+// once at the end where the platform exposes it.
+//
+// With -bench-baseline PATH the runner compares its B/op against the
+// named trajectory file and fails if any variant regressed more than 10%
+// — the CI guard against silently re-fattening the hot path.
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/bgp"
+	"repro/internal/campaign"
+	"repro/internal/cdn"
+	"repro/internal/congestion"
+	"repro/internal/itopo"
+	"repro/internal/obs"
+	"repro/internal/probe"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// The fixed benchmark workload. Changing any of these invalidates every
+// checked-in trajectory file, so bump the schema version if you must.
+const (
+	benchSchema   = "s2s-bench/1"
+	benchSeed     = 41
+	benchASes     = 600
+	benchClusters = 1600
+	benchMesh     = 24
+	benchDays     = 5
+)
+
+// benchVariants are the worker counts measured, slowest first so the
+// sampler warms up on the long run.
+var benchVariants = []int{1, 8}
+
+// benchResult is one measured campaign variant.
+type benchResult struct {
+	Name          string `json:"name"`
+	Workers       int    `json:"workers"`
+	NsPerOp       int64  `json:"ns_per_op"`
+	BPerOp        int64  `json:"b_per_op"`
+	AllocsPerOp   int64  `json:"allocs_per_op"`
+	PeakHeapBytes int64  `json:"peak_heap_bytes"`
+	Records       int64  `json:"records"`
+	Digest        string `json:"digest"`
+}
+
+// benchFile is the on-disk trajectory point.
+type benchFile struct {
+	Schema    string `json:"schema"`
+	Workload  string `json:"workload"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+
+	Seed     int64 `json:"seed"`
+	ASes     int   `json:"ases"`
+	Clusters int   `json:"clusters"`
+	Mesh     int   `json:"mesh"`
+	Days     int   `json:"days"`
+
+	PeakRSSBytes int64         `json:"peak_rss_bytes,omitempty"`
+	Benchmarks   []benchResult `json:"benchmarks"`
+}
+
+// hashWriter digests and counts everything written through it. The
+// campaign's record stream flows through the real binary encoder into
+// this sink, so the benchmark pays full encode cost without disk I/O,
+// and the digest pins byte identity across worker counts.
+type hashWriter struct {
+	h interface {
+		Write([]byte) (int, error)
+		Sum64() uint64
+	}
+	n int64
+}
+
+func newHashWriter() *hashWriter { return &hashWriter{h: fnv.New64a()} }
+
+func (w *hashWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return w.h.Write(p)
+}
+
+func (w *hashWriter) sum() string { return fmt.Sprintf("%016x", w.h.Sum64()) }
+
+// benchWorld builds the fixed benchmark world from scratch. Each variant
+// gets a fresh world so no routing or path cache is shared between
+// measurements and every variant replays identical work.
+func benchWorld() (*probe.Prober, []*cdn.Cluster, error) {
+	dur := benchDays * 24 * time.Hour
+	acfg := astopo.DefaultConfig(benchSeed)
+	acfg.NumASes = benchASes
+	topo, err := astopo.Generate(acfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	net, err := itopo.Build(topo, itopo.DefaultConfig(benchSeed))
+	if err != nil {
+		return nil, nil, err
+	}
+	dyn, err := bgp.NewDynamics(topo, bgp.DefaultDynConfig(benchSeed, dur))
+	if err != nil {
+		return nil, nil, err
+	}
+	cong, err := congestion.NewModel(net, congestion.DefaultConfig(benchSeed, dur))
+	if err != nil {
+		return nil, nil, err
+	}
+	plat, err := cdn.Deploy(net, cdn.DefaultConfig(benchSeed, benchClusters))
+	if err != nil {
+		return nil, nil, err
+	}
+	prober := probe.New(simnet.New(net, dyn, cong, simnet.DefaultConfig(benchSeed)))
+	return prober, campaign.SelectMesh(plat, benchMesh, benchSeed), nil
+}
+
+// sampleHeap polls HeapAlloc until stop is closed and reports the peak
+// it saw. 10ms is frequent enough to catch the between-GC high-water
+// mark of a multi-second run without perturbing it.
+func sampleHeap(stop <-chan struct{}, peak *uint64, wg *sync.WaitGroup) {
+	defer wg.Done()
+	var ms runtime.MemStats
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > *peak {
+				*peak = ms.HeapAlloc
+			}
+		}
+	}
+}
+
+// runBenchVariant builds a fresh world and runs the fixed campaign once
+// at the given worker count, measuring the campaign phase only.
+func runBenchVariant(workers int) (benchResult, error) {
+	prober, servers, err := benchWorld()
+	if err != nil {
+		return benchResult{}, err
+	}
+	hw := newHashWriter()
+	bw := trace.NewBinaryWriter(hw)
+	sink := campaign.NewWriteSink(bw)
+	cfg := campaign.LongTermConfig{
+		Servers:       servers,
+		Duration:      benchDays * 24 * time.Hour,
+		Interval:      3 * time.Hour,
+		ParisSwitchAt: time.Duration(float64(benchDays*24*time.Hour) * 0.62),
+		Workers:       workers,
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	peak := before.HeapAlloc
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go sampleHeap(stop, &peak, &wg)
+
+	start := time.Now()
+	err = campaign.LongTerm(prober, cfg, sink)
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		return benchResult{}, err
+	}
+	if err := sink.Err(); err != nil {
+		return benchResult{}, err
+	}
+	if err := bw.Flush(); err != nil {
+		return benchResult{}, err
+	}
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > peak {
+		peak = after.HeapAlloc
+	}
+	return benchResult{
+		Name:          fmt.Sprintf("campaign/workers=%d", workers),
+		Workers:       workers,
+		NsPerOp:       elapsed.Nanoseconds(),
+		BPerOp:        int64(after.TotalAlloc - before.TotalAlloc),
+		AllocsPerOp:   int64(after.Mallocs - before.Mallocs),
+		PeakHeapBytes: int64(peak),
+		Records:       sink.Count(),
+		Digest:        hw.sum(),
+	}, nil
+}
+
+// peakRSSBytes reads the process high-water RSS from /proc/self/status
+// (VmHWM). Returns 0 where the platform does not expose it.
+func peakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		var kb int64
+		if _, err := fmt.Sscanf(strings.TrimPrefix(line, "VmHWM:"), "%d kB", &kb); err == nil {
+			return kb << 10
+		}
+	}
+	return 0
+}
+
+// runBench executes every variant, writes the trajectory point to
+// jsonPath, and (when baselinePath is set) enforces the B/op budget.
+func runBench(jsonPath, baselinePath string, log *obs.Logger) error {
+	out := benchFile{
+		Schema:    benchSchema,
+		Workload:  "longterm campaign, fixed world (see cmd/s2sgen/bench.go)",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Seed:      benchSeed,
+		ASes:      benchASes,
+		Clusters:  benchClusters,
+		Mesh:      benchMesh,
+		Days:      benchDays,
+	}
+	for _, workers := range benchVariants {
+		res, err := runBenchVariant(workers)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", fmt.Sprintf("campaign/workers=%d", workers), err)
+		}
+		log.Printf("%-20s %12d ns/op %14d B/op %10d allocs/op peak heap %s records %d digest %s",
+			res.Name, res.NsPerOp, res.BPerOp, res.AllocsPerOp,
+			fmtBytes(res.PeakHeapBytes), res.Records, res.Digest)
+		out.Benchmarks = append(out.Benchmarks, res)
+	}
+	// Byte identity across worker counts is part of the contract the
+	// benchmark exists to protect; a digest mismatch is a hard failure.
+	for _, b := range out.Benchmarks[1:] {
+		first := out.Benchmarks[0]
+		if b.Digest != first.Digest || b.Records != first.Records {
+			return fmt.Errorf("bench: %s produced %d records digest %s, %s produced %d records digest %s — record stream depends on worker count",
+				first.Name, first.Records, first.Digest, b.Name, b.Records, b.Digest)
+		}
+	}
+	out.PeakRSSBytes = peakRSSBytes()
+
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote bench trajectory to %s", jsonPath)
+
+	if baselinePath == "" {
+		return nil
+	}
+	return compareBaseline(&out, baselinePath, log)
+}
+
+// compareBaseline fails if any variant's B/op regressed more than 10%
+// against the named trajectory file. ns/op is reported but not enforced
+// (CI machines vary); allocation volume is machine-independent.
+func compareBaseline(cur *benchFile, path string, log *obs.Logger) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench baseline: %w", err)
+	}
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench baseline %s: %w", path, err)
+	}
+	if base.Schema != cur.Schema {
+		return fmt.Errorf("bench baseline %s: schema %q, runner speaks %q", path, base.Schema, cur.Schema)
+	}
+	byName := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	var regressed []string
+	for _, b := range cur.Benchmarks {
+		bl, ok := byName[b.Name]
+		if !ok {
+			log.Printf("bench baseline: no entry for %s, skipping", b.Name)
+			continue
+		}
+		ratio := float64(b.BPerOp) / float64(bl.BPerOp)
+		log.Printf("%-20s B/op %14d vs baseline %14d (%+.1f%%)",
+			b.Name, b.BPerOp, bl.BPerOp, (ratio-1)*100)
+		if ratio > 1.10 {
+			regressed = append(regressed, fmt.Sprintf("%s: %d B/op vs baseline %d (+%.1f%%)",
+				b.Name, b.BPerOp, bl.BPerOp, (ratio-1)*100))
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("bench: B/op regressed >10%% against %s:\n  %s",
+			path, strings.Join(regressed, "\n  "))
+	}
+	return nil
+}
+
+// fmtBytes renders a byte count for the log line.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -40,6 +40,12 @@
 //	       [-checkpoint D] [-resume] [-crash-at D]
 //	       [-metrics PATH] [-trace PATH] [-metrics-interval D]
 //	       [-cpuprofile PATH] [-memprofile PATH] [-q]
+//	s2sgen -benchjson PATH [-bench-baseline PATH] [-q]
+//
+// The second form runs a fixed end-to-end campaign benchmark and writes
+// a machine-readable trajectory point (see cmd/s2sgen/bench.go and the
+// checked-in BENCH_*.json files); with -bench-baseline it exits nonzero
+// if allocation volume regressed more than 10% against the named file.
 package main
 
 import (
@@ -138,9 +144,17 @@ func run() error {
 		ckptIV     = flag.Duration("checkpoint", 0, "virtual time between campaign checkpoints (<out>.ckpt; 0 = off)")
 		resume     = flag.Bool("resume", false, "resume an interrupted campaign from <out>.ckpt")
 		crashAt    = flag.Duration("crash-at", 0, "inject a crash at this virtual time (exit 7; for resume testing)")
+		benchJSON  = flag.String("benchjson", "", "run the fixed campaign benchmark and write a trajectory point (JSON) to this path, then exit")
+		benchBase  = flag.String("bench-baseline", "", "with -benchjson: compare B/op against this trajectory file, fail on >10% regression")
 	)
 	flag.Parse()
 	log := obs.NewLogger("s2sgen", *quiet)
+	if *benchJSON != "" {
+		return runBench(*benchJSON, *benchBase, log)
+	}
+	if *benchBase != "" {
+		return fmt.Errorf("-bench-baseline requires -benchjson")
+	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {

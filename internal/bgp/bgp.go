@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/astopo"
+	"repro/internal/intern"
 	"repro/internal/ipam"
 	"repro/internal/obs"
 )
@@ -156,6 +157,16 @@ type Routing struct {
 
 	slots []treeSlot
 
+	// pool recycles destination-tree backing arrays across epochs; nil for
+	// standalone views (NewRouting), which simply allocate.
+	pool *treePool
+
+	// paths interns the AS paths this view hands out: every Path call for
+	// a pair returns the same canonical slab-backed slice, so a path is
+	// stored once per epoch instead of once per call site. Returned paths
+	// are shared and must be treated as immutable.
+	paths *intern.Seq[ipam.ASN]
+
 	// linkUse is the reverse index from a selected AS-level edge to the
 	// destinations whose trees traverse it. Dynamics consults it when an
 	// epoch boundary carries a LinkDown: only trees actually routing over
@@ -189,10 +200,10 @@ type treeSlot struct {
 // steady state) on the given plane. For repeated use across many states
 // prefer Dynamics, which shares the dense graph.
 func NewRouting(topo *astopo.Topology, state *State, plane Plane) *Routing {
-	return newRouting(newGraph(topo), state, plane)
+	return newRouting(newGraph(topo), state, plane, nil)
 }
 
-func newRouting(g *graph, state *State, plane Plane) *Routing {
+func newRouting(g *graph, state *State, plane Plane, pool *treePool) *Routing {
 	r := &Routing{
 		g:       g,
 		plane:   plane,
@@ -200,6 +211,8 @@ func newRouting(g *graph, state *State, plane Plane) *Routing {
 		flipped: make([]bool, len(g.asns)),
 		slots:   make([]treeSlot, len(g.asns)),
 		linkUse: make(map[[2]int32][]int32),
+		pool:    pool,
+		paths:   intern.NewSeq[ipam.ASN](8, hashASN),
 	}
 	if state != nil {
 		for k, v := range state.Down {
@@ -221,20 +234,51 @@ func newRouting(g *graph, state *State, plane Plane) *Routing {
 	return r
 }
 
-// destTree is the per-destination routing tree.
+// destTree is the per-destination routing tree. kind, plen and the tied
+// bit are packed into one uint32 per AS (meta), halving the per-tree
+// footprint vs separate arrays and keeping the three fields the selection
+// loop reads together on one cache line.
+//
+// meta word layout: bits 0..23 plen | bits 24..25 kind | bit 26 tied.
+// The tied bit records that the AS's selection involved a tie-break
+// comparison: only those selections can change when the AS flips its
+// preference, which is what lets Dynamics carry unaffected trees across
+// flip events.
 type destTree struct {
-	nextHop []int32 // -1 when no route
-	kind    []routeKind
-	plen    []int32
-	// tied[as] records that as's selection involved a tie-break
-	// comparison: only those selections can change when the AS flips its
-	// preference, which is what lets Dynamics carry unaffected trees
-	// across flip events.
-	tied []bool
+	nextHop []int32  // -1 when no route
+	meta    []uint32 // packed plen/kind/tied, see above
+
+	// refs counts the Routing views holding this tree (1 on compute, +1
+	// per adopt). Dynamics decrements on eviction and recycles the backing
+	// arrays once no view references the tree.
+	refs atomic.Int32
 }
+
+const (
+	metaPlenMask  = 1<<24 - 1
+	metaKindShift = 24
+	metaTiedBit   = 1 << 26
+	metaNone      = uint32(viaNone) << metaKindShift
+)
+
+func (t *destTree) kind(as int32) routeKind { return routeKind(t.meta[as] >> metaKindShift & 3) }
+func (t *destTree) plen(as int32) int32     { return int32(t.meta[as] & metaPlenMask) }
+func (t *destTree) tied(as int32) bool      { return t.meta[as]&metaTiedBit != 0 }
+
+func hashASN(a ipam.ASN) uint64 { return uint64(a) * 0x9e3779b97f4a7c15 }
+
+// pathScratch pools the candidate-path buffer Path fills before interning.
+var pathScratch = sync.Pool{New: func() any {
+	b := make([]ipam.ASN, 0, 64)
+	return &b
+}}
 
 // Path returns the selected AS path from src to dst, inclusive of both. It
 // returns nil when dst is unreachable from src on this plane.
+//
+// The returned slice is canonical for this routing view — repeated calls
+// for the same pair (and distinct pairs sharing a path) return the same
+// interned backing storage. Callers must not mutate it.
 func (r *Routing) Path(src, dst ipam.ASN) []ipam.ASN {
 	si, ok := r.g.idx[src]
 	if !ok {
@@ -244,26 +288,42 @@ func (r *Routing) Path(src, dst ipam.ASN) []ipam.ASN {
 	if !ok {
 		return nil
 	}
+	bufp := pathScratch.Get().(*[]ipam.ASN)
+	buf := (*bufp)[:0]
 	if src == dst {
-		return []ipam.ASN{src}
-	}
-	tree := r.treeFor(di)
-	if tree.kind[si] == viaNone {
-		return nil
-	}
-	path := []ipam.ASN{src}
-	cur := int32(si)
-	for int(cur) != di {
-		nh := tree.nextHop[cur]
-		if nh < 0 {
+		buf = append(buf, src)
+	} else {
+		tree := r.treeFor(di)
+		if tree.kind(int32(si)) == viaNone {
+			pathScratch.Put(bufp)
 			return nil
 		}
-		path = append(path, r.g.asns[nh])
-		cur = nh
-		if len(path) > len(r.g.asns) {
-			return nil // defensive; selection is loop-free by construction
+		// The walk visits plen(si)+1 ASes; size the buffer once from the
+		// tree depth instead of growing by repeated append.
+		if need := int(tree.plen(int32(si))) + 1; cap(buf) < need {
+			buf = make([]ipam.ASN, 0, need)
+		}
+		buf = append(buf, src)
+		cur := int32(si)
+		for int(cur) != di {
+			nh := tree.nextHop[cur]
+			if nh < 0 {
+				*bufp = buf[:0]
+				pathScratch.Put(bufp)
+				return nil
+			}
+			buf = append(buf, r.g.asns[nh])
+			cur = nh
+			if len(buf) > len(r.g.asns) {
+				*bufp = buf[:0]
+				pathScratch.Put(bufp)
+				return nil // defensive; selection is loop-free by construction
+			}
 		}
 	}
+	path, _ := r.paths.Intern(buf)
+	*bufp = buf[:0]
+	pathScratch.Put(bufp)
 	return path
 }
 
@@ -297,7 +357,7 @@ func (r *Routing) Reachable(src, dst ipam.ASN) bool {
 	if !ok {
 		return false
 	}
-	return r.treeFor(di).kind[si] != viaNone
+	return r.treeFor(di).kind(int32(si)) != viaNone
 }
 
 func (r *Routing) treeFor(dst int) *destTree {
@@ -319,6 +379,7 @@ func (r *Routing) treeFor(dst int) *destTree {
 		r.obsCompute.Observe(time.Since(t0).Seconds())
 	}
 	r.obsComputed.Inc()
+	t.refs.Store(1)
 	r.indexTree(dst, t)
 	s.t.Store(t)
 	return t
@@ -342,8 +403,23 @@ func (r *Routing) indexTree(dst int, t *destTree) {
 // the epoch's events provably did not change.
 func (r *Routing) adopt(dst int, t *destTree) {
 	r.obsCarried.Inc()
+	t.refs.Add(1)
 	r.indexTree(dst, t)
 	r.slots[dst].t.Store(t)
+}
+
+// retireTrees drops this view's reference on every computed tree, handing
+// arrays nobody references to the pool for recycling at virtual time now.
+// Called by Dynamics when the view is evicted from the epoch cache.
+func (r *Routing) retireTrees(now time.Duration) {
+	if r.pool == nil {
+		return
+	}
+	for i := range r.slots {
+		if t := r.slots[i].t.Load(); t != nil && t.refs.Add(-1) == 0 {
+			r.pool.retire(t, now)
+		}
+	}
 }
 
 // cachedTree returns the destination tree if it has been computed.
@@ -396,7 +472,7 @@ func (r *Routing) linkUpAffects(t *destTree, a, b int32) bool {
 // endpointGains reports whether x could prefer (or tie with) a candidate
 // route via its neighbor y over x's current selection in t.
 func (r *Routing) endpointGains(t *destTree, x, y int32) bool {
-	if t.kind[y] == viaNone {
+	if t.kind(y) == viaNone {
 		return false // y has nothing to offer
 	}
 	rel := r.g.relKind(x, y)
@@ -405,18 +481,18 @@ func (r *Routing) endpointGains(t *destTree, x, y int32) bool {
 	}
 	// Valley-free export: y offers its route to x only when the route is
 	// customer-learned or x is y's customer (y is x's provider).
-	if t.kind[y] != viaCustomer && rel != viaProvider {
+	if t.kind(y) != viaCustomer && rel != viaProvider {
 		return false
 	}
-	candLen := t.plen[y] + 1
-	if t.kind[x] == viaNone {
+	candLen := t.plen(y) + 1
+	if t.kind(x) == viaNone {
 		return true
 	}
-	if rel != t.kind[x] {
-		return rel < t.kind[x]
+	if rel != t.kind(x) {
+		return rel < t.kind(x)
 	}
-	if candLen != t.plen[x] {
-		return candLen < t.plen[x]
+	if candLen != t.plen(x) {
+		return candLen < t.plen(x)
 	}
 	return true // equal class and length: the tie-break could switch
 }
@@ -430,21 +506,30 @@ func (r *Routing) usable(a, b int32) bool {
 	return !r.down[ipairKey(a, b)]
 }
 
+// newTree returns a destTree with n-AS backing arrays, reusing recycled
+// arrays from the pool when available, initialized to the no-route state.
+func (r *Routing) newTree(n int) *destTree {
+	tree := &destTree{}
+	if r.pool != nil {
+		tree.nextHop, tree.meta = r.pool.get(n)
+	}
+	if tree.nextHop == nil {
+		tree.nextHop = make([]int32, n)
+		tree.meta = make([]uint32, n)
+	}
+	for i := range tree.nextHop {
+		tree.nextHop[i] = -1
+		tree.meta[i] = metaNone
+	}
+	return tree
+}
+
 // computeTree runs the three-stage Gao–Rexford propagation for one
 // destination.
 func (r *Routing) computeTree(dst int) *destTree {
 	g := r.g
 	n := len(g.asns)
-	tree := &destTree{
-		nextHop: make([]int32, n),
-		kind:    make([]routeKind, n),
-		plen:    make([]int32, n),
-		tied:    make([]bool, n),
-	}
-	for i := range tree.nextHop {
-		tree.nextHop[i] = -1
-		tree.kind[i] = viaNone
-	}
+	tree := r.newTree(n)
 	if r.plane == V6 && !g.dual[dst] {
 		return tree
 	}
@@ -456,18 +541,20 @@ func (r *Routing) computeTree(dst int) *destTree {
 	// shared infrastructure — the source of the paper's §6 observation
 	// that v4 and v6 paths frequently disagree.
 	better := func(as int32, k routeKind, l int32, via int32) bool {
-		ck := tree.kind[as]
+		m := tree.meta[as]
+		ck := routeKind(m >> metaKindShift & 3)
 		if k != ck {
 			return k < ck
 		}
-		if l != tree.plen[as] {
-			return l < tree.plen[as]
+		cl := int32(m & metaPlenMask)
+		if l != cl {
+			return l < cl
 		}
 		cur := tree.nextHop[as]
 		if cur < 0 {
 			return true
 		}
-		tree.tied[as] = true
+		tree.meta[as] = m | metaTiedBit
 		flip := r.flipped[as]
 		if r.plane == V6 && v6TieBias(g.asns[as]) {
 			flip = !flip
@@ -478,8 +565,7 @@ func (r *Routing) computeTree(dst int) *destTree {
 		return g.asns[via] < g.asns[cur]
 	}
 	set := func(as int32, k routeKind, l int32, via int32) {
-		tree.kind[as] = k
-		tree.plen[as] = l
+		tree.meta[as] = tree.meta[as]&metaTiedBit | uint32(k)<<metaKindShift | uint32(l)
 		tree.nextHop[as] = via
 	}
 
@@ -493,11 +579,11 @@ func (r *Routing) computeTree(dst int) *destTree {
 				if !r.usable(x, y) {
 					continue
 				}
-				if tree.kind[x] == viaCustomer && tree.plen[x] < level {
+				if tree.kind(x) == viaCustomer && tree.plen(x) < level {
 					continue
 				}
 				if better(x, viaCustomer, level, y) {
-					if tree.kind[x] != viaCustomer {
+					if tree.kind(x) != viaCustomer {
 						next = append(next, x)
 					}
 					set(x, viaCustomer, level, y)
@@ -510,9 +596,9 @@ func (r *Routing) computeTree(dst int) *destTree {
 	// Stage 2: one peer edge on top of a customer route. Snapshot the
 	// customer-routed set first so peer routes never chain.
 	var custRouted []int32
-	for i := 0; i < n; i++ {
-		if tree.kind[i] == viaCustomer {
-			custRouted = append(custRouted, int32(i))
+	for i := int32(0); i < int32(n); i++ {
+		if tree.kind(i) == viaCustomer {
+			custRouted = append(custRouted, i)
 		}
 	}
 	for _, y := range custRouted {
@@ -520,8 +606,8 @@ func (r *Routing) computeTree(dst int) *destTree {
 			if !r.usable(x, y) {
 				continue
 			}
-			if better(x, viaPeer, tree.plen[y]+1, y) {
-				set(x, viaPeer, tree.plen[y]+1, y)
+			if better(x, viaPeer, tree.plen(y)+1, y) {
+				set(x, viaPeer, tree.plen(y)+1, y)
 			}
 		}
 	}
@@ -532,9 +618,9 @@ func (r *Routing) computeTree(dst int) *destTree {
 		l  int32
 	}
 	var queue []item
-	for i := 0; i < n; i++ {
-		if tree.kind[i] != viaNone {
-			queue = append(queue, item{int32(i), tree.plen[i]})
+	for i := int32(0); i < int32(n); i++ {
+		if tree.kind(i) != viaNone {
+			queue = append(queue, item{i, tree.plen(i)})
 		}
 	}
 	for len(queue) > 0 {
@@ -548,14 +634,14 @@ func (r *Routing) computeTree(dst int) *destTree {
 		it := queue[mi]
 		queue[mi] = queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		if it.l > tree.plen[it.as] {
+		if it.l > tree.plen(it.as) {
 			continue // stale
 		}
 		for _, c := range g.customers[it.as] {
 			if !r.usable(c, it.as) {
 				continue
 			}
-			nl := tree.plen[it.as] + 1
+			nl := tree.plen(it.as) + 1
 			if better(c, viaProvider, nl, it.as) {
 				set(c, viaProvider, nl, it.as)
 				queue = append(queue, item{c, nl})

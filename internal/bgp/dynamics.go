@@ -97,6 +97,7 @@ type Dynamics struct {
 	cache       map[int64]*Routing // key: epoch<<1 | plane
 	cacheEvict  bool
 	lowestEpoch int
+	pool        *treePool // recycles destTree arrays retired by eviction
 
 	// Incremental-recomputation telemetry; nil until Instrument.
 	obsComputed *obs.Counter
@@ -179,6 +180,7 @@ func NewDynamics(topo *astopo.Topology, cfg DynConfig) (*Dynamics, error) {
 		events:     events,
 		cache:      make(map[int64]*Routing),
 		cacheEvict: true,
+		pool:       &treePool{},
 	}
 	d.buildEpochs()
 	return d, nil
@@ -329,12 +331,15 @@ func (d *Dynamics) RoutingAtEpoch(epoch int, plane Plane) *Routing {
 		d.obsBuild.Observe(time.Since(t0).Seconds())
 	}
 	if d.cacheEvict && epoch > d.lowestEpoch {
-		for k := range d.cache {
+		now := d.epochStart[epoch]
+		for k, old := range d.cache {
 			if int(k>>1) < epoch {
+				old.retireTrees(now)
 				delete(d.cache, k)
 			}
 		}
 		d.lowestEpoch = epoch
+		d.pool.release(now)
 	}
 	d.cache[key] = r
 	return r
@@ -355,7 +360,7 @@ func (d *Dynamics) buildRoutingLocked(epoch int, plane Plane) (*Routing, int) {
 			prevEpoch, prev = e, cand
 		}
 	}
-	r := newRouting(d.g, d.states[epoch], plane)
+	r := newRouting(d.g, d.states[epoch], plane, d.pool)
 	r.instrument(d.obsComputed, d.obsCarried, d.obsCompute)
 	if prev == nil || epoch-prevEpoch > maxCarryGap {
 		return r, 0
@@ -422,7 +427,7 @@ func (d *Dynamics) carryTrees(prev, next *Routing, delta []Event) int {
 		}
 		carry := true
 		for _, ix := range flips {
-			if t.tied[ix] {
+			if t.tied(ix) {
 				carry = false
 				break
 			}

@@ -55,7 +55,8 @@ func TestIncrementalTreesMatchScratch(t *testing.T) {
 // treesEqual compares two destination trees structurally.
 func treesEqual(a, b *destTree) bool {
 	for i := range a.nextHop {
-		if a.nextHop[i] != b.nextHop[i] || a.kind[i] != b.kind[i] || a.plen[i] != b.plen[i] {
+		ix := int32(i)
+		if a.nextHop[i] != b.nextHop[i] || a.kind(ix) != b.kind(ix) || a.plen(ix) != b.plen(ix) {
 			return false
 		}
 	}

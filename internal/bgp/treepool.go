@@ -1,0 +1,110 @@
+package bgp
+
+import (
+	"sync"
+	"time"
+)
+
+// treeRecycleGuard is the virtual-time quarantine between a tree's
+// retirement and the reuse of its backing arrays. An evicted Routing view
+// can still be read by workers finishing (or retrying) measurements
+// scheduled before the epoch boundary that evicted it; retries back off at
+// most minutes of virtual time, so two days is a comfortable horizon after
+// which no reader can still hold the view.
+const treeRecycleGuard = 48 * time.Hour
+
+const (
+	// maxFreeTrees bounds the ready-for-reuse list; beyond it retired
+	// arrays are dropped to the GC. A routing view holds one tree per
+	// destination actually probed, so this covers worlds well past the
+	// default cluster counts.
+	maxFreeTrees = 4096
+	// maxPendingTrees bounds the quarantine list the same way.
+	maxPendingTrees = 8192
+)
+
+// treeArrays is one recycled set of destTree backing arrays.
+type treeArrays struct {
+	nextHop []int32
+	meta    []uint32
+}
+
+// pendingTrees groups arrays retired at the same virtual time.
+type pendingTrees struct {
+	at     time.Duration
+	arrays []treeArrays
+}
+
+// treePool recycles destination-tree backing arrays across epochs. Retired
+// arrays sit in a quarantine list until treeRecycleGuard of virtual time
+// has passed (late readers of an evicted view may still traverse them),
+// then move to the free list for newTree to reuse. All methods are called
+// under the owning Dynamics' mutex except get, which locks itself because
+// tree computation happens outside that mutex.
+type treePool struct {
+	mu      sync.Mutex
+	free    []treeArrays
+	pending []pendingTrees
+}
+
+// get pops recycled arrays of length n, or returns nils when none fit.
+func (p *treePool) get(n int) ([]int32, []uint32) {
+	if p == nil {
+		return nil, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := len(p.free) - 1; i >= 0; i-- {
+		a := p.free[i]
+		if len(a.nextHop) == n {
+			p.free[i] = p.free[len(p.free)-1]
+			p.free = p.free[:len(p.free)-1]
+			return a.nextHop, a.meta
+		}
+	}
+	return nil, nil
+}
+
+// retire quarantines a dead tree's arrays, recording the virtual time of
+// retirement. Overflow beyond maxPendingTrees is dropped to the GC.
+func (p *treePool) retire(t *destTree, now time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.pending)
+	if n > 0 && p.pending[n-1].at == now {
+		if len(p.pending[n-1].arrays) < maxPendingTrees {
+			p.pending[n-1].arrays = append(p.pending[n-1].arrays, treeArrays{t.nextHop, t.meta})
+		}
+		return
+	}
+	p.pending = append(p.pending, pendingTrees{at: now, arrays: []treeArrays{{t.nextHop, t.meta}}})
+}
+
+// release moves quarantined arrays whose guard has elapsed at virtual time
+// now onto the free list. Campaigns advance monotonically, so pending
+// entries are in nondecreasing retirement order.
+func (p *treePool) release(now time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	i := 0
+	for ; i < len(p.pending); i++ {
+		if now-p.pending[i].at < treeRecycleGuard {
+			break
+		}
+		for _, a := range p.pending[i].arrays {
+			if len(p.free) >= maxFreeTrees {
+				break
+			}
+			p.free = append(p.free, a)
+		}
+	}
+	if i > 0 {
+		p.pending = append(p.pending[:0], p.pending[i:]...)
+	}
+}

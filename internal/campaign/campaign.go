@@ -33,6 +33,34 @@ type Consumer interface {
 	OnPing(*trace.Ping)
 }
 
+// RecordStreamer marks a Consumer that never retains a record past the
+// On* call that delivered it (it streams: encodes, counts, forwards).
+// The engine recycles records delivered to a streaming consumer back to
+// the trace pool, eliminating the dominant per-measurement allocation.
+// Consumers without the marker — or whose StreamsRecords reports false —
+// keep ownership of every delivered record, exactly as before pooling.
+type RecordStreamer interface {
+	StreamsRecords() bool
+}
+
+// streams reports whether every record delivered to c may be recycled
+// after delivery. A Multi streams only when all members do.
+func streams(c Consumer) bool {
+	if m, ok := c.(Multi); ok {
+		if len(m) == 0 {
+			return false
+		}
+		for _, sub := range m {
+			if !streams(sub) {
+				return false
+			}
+		}
+		return true
+	}
+	s, ok := c.(RecordStreamer)
+	return ok && s.StreamsRecords()
+}
+
 // Collector is an in-memory Consumer.
 type Collector struct {
 	Traceroutes []*trace.Traceroute

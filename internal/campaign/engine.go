@@ -248,6 +248,10 @@ func (e *Engine) RunRound(tasks []measurement, at time.Duration, c Consumer) {
 	if len(tasks) == 0 {
 		return
 	}
+	// A streaming consumer relinquishes each record inside its On* call,
+	// so the round can recycle records into the trace pool right after
+	// delivery. Retaining consumers own their records forever.
+	recycle := streams(c)
 	e.o.rounds.Inc()
 	e.o.virtual.Set(float64(at))
 	rsp := e.rec.Begin(flight.PhRound, at)
@@ -264,6 +268,9 @@ func (e *Engine) RunRound(tasks []measurement, at time.Duration, c Consumer) {
 				c.OnPing(res.pg)
 			} else {
 				c.OnTraceroute(res.tr)
+			}
+			if recycle {
+				recycleResult(res)
 			}
 			e.o.tasks.Inc()
 		}
@@ -337,6 +344,9 @@ func (e *Engine) RunRound(tasks []measurement, at time.Duration, c Consumer) {
 			c.OnPing(res.pg)
 		} else {
 			c.OnTraceroute(res.tr)
+		}
+		if recycle {
+			recycleResult(res)
 		}
 		if !aborted {
 			out[i] = result{}

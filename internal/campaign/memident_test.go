@@ -1,0 +1,96 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestPooledStreamMatchesNaive pins the memory overhaul's output
+// contract on a larger world: a streaming run — WriteSink consumer, so
+// the engine recycles every record through the trace pools — and a
+// seed-style naive run — a retaining consumer, so recycling stays off
+// and every record is a fresh allocation — must produce byte-identical
+// datasets at every worker count. The naive runs also re-encode their
+// records only after the campaign finishes, which fails loudly if pooled
+// buffers were ever handed out again while still retained.
+func TestPooledStreamMatchesNaive(t *testing.T) {
+	_, platform := newProber(t, 46, 3, 300)
+	servers := SelectMesh(platform, 8, 46)
+	run := func(w int, c Consumer) {
+		t.Helper()
+		p, _ := newProber(t, 46, 3, 300)
+		err := LongTerm(p, LongTermConfig{
+			Servers:       servers,
+			Duration:      24 * time.Hour,
+			Interval:      3 * time.Hour,
+			ParisSwitchAt: 15 * time.Hour, // classic and Paris probes both on the table
+			Workers:       w,
+		}, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var want []byte
+	for _, w := range []int{1, 8} {
+		// Pooled, streaming path.
+		var streamed bytes.Buffer
+		bw := trace.NewBinaryWriter(&streamed)
+		sink := NewWriteSink(bw)
+		if !streams(sink) {
+			t.Fatal("WriteSink must enable record recycling")
+		}
+		run(w, sink)
+		if err := sink.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Naive path: retain every record in delivery order, encode after
+		// the campaign completes.
+		var recs []any
+		naive := Funcs{
+			Traceroute: func(tr *trace.Traceroute) { recs = append(recs, tr) },
+			Ping:       func(p *trace.Ping) { recs = append(recs, p) },
+		}
+		if streams(naive) {
+			t.Fatal("a retaining consumer must not enable recycling")
+		}
+		run(w, naive)
+		var retained bytes.Buffer
+		nw := trace.NewBinaryWriter(&retained)
+		for _, rec := range recs {
+			var err error
+			switch v := rec.(type) {
+			case *trace.Traceroute:
+				err = nw.WriteTraceroute(v)
+			case *trace.Ping:
+				err = nw.WritePing(v)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := nw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		if streamed.Len() == 0 {
+			t.Fatal("empty record stream")
+		}
+		if !bytes.Equal(streamed.Bytes(), retained.Bytes()) {
+			t.Fatalf("workers=%d: pooled stream (%d bytes) differs from naive run (%d bytes)",
+				w, streamed.Len(), retained.Len())
+		}
+		if want == nil {
+			want = streamed.Bytes()
+		} else if !bytes.Equal(want, streamed.Bytes()) {
+			t.Fatalf("workers=%d: stream differs from workers=1 stream", w)
+		}
+	}
+}

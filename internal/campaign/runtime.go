@@ -138,17 +138,24 @@ func addrOf(c *cdn.Cluster, v6 bool) netip.Addr {
 // have had (the same shape the prober emits for a fully dead probe).
 func failedResult(tk measurement, at time.Duration) result {
 	if tk.ping {
-		return result{pg: &trace.Ping{
-			SrcID: tk.src.ID, DstID: tk.dst.ID,
-			Src: addrOf(tk.src, tk.v6), Dst: addrOf(tk.dst, tk.v6),
-			V6: tk.v6, At: at, Lost: true,
-		}}
+		pg := trace.NewPooledPing()
+		pg.SrcID, pg.DstID = tk.src.ID, tk.dst.ID
+		pg.Src, pg.Dst = addrOf(tk.src, tk.v6), addrOf(tk.dst, tk.v6)
+		pg.V6, pg.At, pg.Lost = tk.v6, at, true
+		return result{pg: pg}
 	}
-	return result{tr: &trace.Traceroute{
-		SrcID: tk.src.ID, DstID: tk.dst.ID,
-		Src: addrOf(tk.src, tk.v6), Dst: addrOf(tk.dst, tk.v6),
-		V6: tk.v6, Paris: tk.paris, At: at,
-	}}
+	tr := trace.NewPooledTraceroute()
+	tr.SrcID, tr.DstID = tk.src.ID, tk.dst.ID
+	tr.Src, tr.Dst = addrOf(tk.src, tk.v6), addrOf(tk.dst, tk.v6)
+	tr.V6, tr.Paris, tr.At = tk.v6, tk.paris, at
+	return result{tr: tr}
+}
+
+// recycleResult hands a delivered (or discarded) result's record back to
+// the trace pool.
+func recycleResult(r result) {
+	trace.RecyclePing(r.pg)
+	trace.RecycleTraceroute(r.tr)
 }
 
 // attempt executes one measurement attempt at virtual time at.
@@ -190,7 +197,14 @@ func (e *Engine) exec(tk measurement, at time.Duration) result {
 			}
 		}
 		e.o.retries.Inc()
-		res = e.attempt(tk, at+off)
+		next := e.attempt(tk, at+off)
+		if e.testExec == nil {
+			// The failed attempt's record is discarded in favor of the
+			// retry's; hand it back to the pool. Test interceptors may
+			// return shared records, so only real prober output recycles.
+			recycleResult(res)
+		}
+		res = next
 		if res.ok() {
 			e.o.retriesOK.Inc()
 			break

@@ -11,6 +11,10 @@ import (
 
 // RecordWriter is the write side of a dataset sink: trace.BinaryWriter,
 // trace.JSONLWriter, and store.Writer all satisfy it.
+//
+// Writers must not retain the record (or its Hops slice) past the Write
+// call: WriteSink declares itself a streaming consumer, so the engine
+// recycles records into the trace pool as soon as the write returns.
 type RecordWriter interface {
 	WriteTraceroute(*trace.Traceroute) error
 	WritePing(*trace.Ping) error
@@ -81,6 +85,11 @@ func (s *WriteSink) OnPing(p *trace.Ping) {
 	}
 	s.mErrs.Inc()
 }
+
+// StreamsRecords marks the sink as a streaming consumer: every record is
+// encoded (or counted) within the On* call and never retained, so the
+// engine may recycle it immediately after delivery.
+func (s *WriteSink) StreamsRecords() bool { return true }
 
 // Err returns the first write error, if any.
 func (s *WriteSink) Err() error { return s.err }

@@ -1,0 +1,220 @@
+// Package intern provides slab-backed sequence interners: append-only
+// slabs of elements plus an FNV-keyed dedup index, so that a sequence
+// stored many times (an AS path repeated in every cache entry, a resolved
+// router path shared by hundreds of flows) occupies slab memory exactly
+// once. Interning returns both a compact offset/length Handle and the
+// canonical subslice into the slab; either can be kept, and the subslice
+// costs nothing to "resolve".
+//
+// Interners are shard-locked: concurrent writers hash onto independent
+// shards and only contend when their sequences collide on a shard. Slabs
+// are built from fixed-size blocks, so a long-lived canonical slice pins at
+// most one block — dropping the interner releases every block no surviving
+// slice points into.
+//
+// The package exists for the simulation hot path (see the bgp and simnet
+// packages); it knows nothing about routing. Canonical slices are shared:
+// callers must treat them as immutable.
+package intern
+
+import "sync"
+
+// Handle is a compact reference to an interned sequence: shard, block,
+// offset and length packed into one word. The zero Handle is the empty
+// sequence.
+//
+// Layout (high to low): 8 bits shard | 16 bits block | 24 bits offset |
+// 16 bits length.
+type Handle uint64
+
+const (
+	handleLenBits   = 16
+	handleOffBits   = 24
+	handleBlockBits = 16
+
+	// MaxSeqLen is the longest sequence a Handle can address. Longer
+	// sequences are still interned (stored in a dedicated oversized block)
+	// but never share storage.
+	MaxSeqLen = 1<<handleLenBits - 1
+)
+
+// Len returns the sequence length addressed by the handle.
+func (h Handle) Len() int { return int(h & MaxSeqLen) }
+
+func makeHandle(shard, block, off, n int) Handle {
+	return Handle(uint64(shard)<<(handleBlockBits+handleOffBits+handleLenBits) |
+		uint64(block)<<(handleOffBits+handleLenBits) |
+		uint64(off)<<handleLenBits |
+		uint64(n))
+}
+
+func (h Handle) parts() (shard, block, off, n int) {
+	n = int(h & MaxSeqLen)
+	off = int(h >> handleLenBits & (1<<handleOffBits - 1))
+	block = int(h >> (handleOffBits + handleLenBits) & (1<<handleBlockBits - 1))
+	shard = int(h >> (handleBlockBits + handleOffBits + handleLenBits))
+	return
+}
+
+// blockLen is the slab block size in elements. Sequences never straddle
+// blocks; a block holds many typical AS paths (< 16 hops) or router paths
+// (< 64 hops). Kept modest so a sparsely used interner generation (or one
+// pinned by a few surviving canonical slices) holds little slack memory.
+const blockLen = 1 << 12
+
+// Seq is a slab-backed interner for sequences of T. The zero value is not
+// usable; construct with NewSeq.
+type Seq[T comparable] struct {
+	hash   func(T) uint64
+	shards []seqShard[T]
+	mask   uint64
+}
+
+type seqShard[T comparable] struct {
+	mu     sync.Mutex
+	blocks [][]T               // blocks[i] has len == used portion, cap == blockLen
+	idx    map[uint64][]Handle // FNV key -> candidate handles (collision chain)
+	seqs   int
+	elems  int
+}
+
+// NewSeq returns an interner with the given shard count (rounded up to a
+// power of two, clamped to [1, 256]) and per-element hash function.
+func NewSeq[T comparable](shards int, hash func(T) uint64) *Seq[T] {
+	n := 1
+	for n < shards && n < 256 {
+		n <<= 1
+	}
+	s := &Seq[T]{hash: hash, shards: make([]seqShard[T], n), mask: uint64(n - 1)}
+	return s
+}
+
+// fnv-1a over the per-element hashes.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func (s *Seq[T]) key(seq []T) uint64 {
+	h := uint64(fnvOffset)
+	for _, e := range seq {
+		v := s.hash(e)
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// Intern stores seq once and returns its canonical slab subslice and
+// handle. The canonical slice is shared with every other caller that
+// interned the same sequence — it must not be mutated. An empty sequence
+// interns to (nil, 0).
+func (s *Seq[T]) Intern(seq []T) ([]T, Handle) {
+	if len(seq) == 0 {
+		return nil, 0
+	}
+	if len(seq) > MaxSeqLen {
+		// Longer than a Handle can address: hand back an unshared copy
+		// under the zero handle. No realistic AS path or router path comes
+		// within two orders of magnitude of this.
+		out := make([]T, len(seq))
+		copy(out, seq)
+		return out, 0
+	}
+	key := s.key(seq)
+	sh := &s.shards[key&s.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.idx == nil {
+		sh.idx = make(map[uint64][]Handle)
+	}
+	for _, h := range sh.idx[key] {
+		cand := sh.get(h)
+		if equal(cand, seq) {
+			return cand, h
+		}
+	}
+	h := sh.store(int(key&s.mask), seq)
+	sh.idx[key] = append(sh.idx[key], h)
+	sh.seqs++
+	sh.elems += len(seq)
+	return sh.get(h), h
+}
+
+// Get resolves a handle to its canonical slice. Resolving a handle not
+// produced by this interner is undefined.
+func (s *Seq[T]) Get(h Handle) []T {
+	if h == 0 {
+		return nil
+	}
+	shard, _, _, _ := h.parts()
+	sh := &s.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.get(h)
+}
+
+// get resolves a handle within the shard (lock held by the caller).
+func (sh *seqShard[T]) get(h Handle) []T {
+	_, block, off, n := h.parts()
+	return sh.blocks[block][off : off+n : off+n]
+}
+
+// store appends seq to the shard's slab and returns its handle. Sequences
+// longer than a block get a dedicated block of their own.
+func (sh *seqShard[T]) store(shard int, seq []T) Handle {
+	n := len(seq)
+	if n > blockLen {
+		block := make([]T, n)
+		copy(block, seq)
+		sh.blocks = append(sh.blocks, block)
+		return makeHandle(shard, len(sh.blocks)-1, 0, n)
+	}
+	last := len(sh.blocks) - 1
+	if last < 0 || len(sh.blocks[last])+n > cap(sh.blocks[last]) {
+		sh.blocks = append(sh.blocks, make([]T, 0, blockLen))
+		last++
+	}
+	off := len(sh.blocks[last])
+	sh.blocks[last] = append(sh.blocks[last], seq...)
+	return makeHandle(shard, last, off, n)
+}
+
+func equal[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats summarizes an interner's population.
+type Stats struct {
+	// Seqs is the number of unique sequences stored.
+	Seqs int
+	// Elems is the total number of slab elements those sequences occupy.
+	Elems int
+	// Blocks is the number of slab blocks allocated.
+	Blocks int
+}
+
+// Stats returns the interner's population counters.
+func (s *Seq[T]) Stats() Stats {
+	var st Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st.Seqs += sh.seqs
+		st.Elems += sh.elems
+		st.Blocks += len(sh.blocks)
+		sh.mu.Unlock()
+	}
+	return st
+}

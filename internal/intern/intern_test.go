@@ -1,0 +1,180 @@
+package intern
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func hashInt32(v int32) uint64 { return uint64(uint32(v)) * 0x9e3779b97f4a7c15 }
+
+// TestInternDedup checks that identical sequences share storage and
+// distinct sequences do not.
+func TestInternDedup(t *testing.T) {
+	s := NewSeq[int32](4, hashInt32)
+	a1, h1 := s.Intern([]int32{1, 2, 3})
+	a2, h2 := s.Intern([]int32{1, 2, 3})
+	if h1 != h2 {
+		t.Fatalf("same sequence, different handles: %x vs %x", h1, h2)
+	}
+	if &a1[0] != &a2[0] {
+		t.Fatal("same sequence, different backing storage")
+	}
+	b, h3 := s.Intern([]int32{1, 2, 4})
+	if h3 == h1 {
+		t.Fatal("distinct sequences share a handle")
+	}
+	if got := s.Get(h3); !equal(got, b) {
+		t.Fatalf("Get(h3) = %v, want %v", got, b)
+	}
+	if st := s.Stats(); st.Seqs != 2 || st.Elems != 6 {
+		t.Fatalf("stats = %+v, want 2 seqs / 6 elems", st)
+	}
+}
+
+// TestInternEmptyAndRoundTrip checks the empty sequence and Get.
+func TestInternEmptyAndRoundTrip(t *testing.T) {
+	s := NewSeq[int32](1, hashInt32)
+	if got, h := s.Intern(nil); got != nil || h != 0 {
+		t.Fatalf("empty intern = (%v, %x)", got, h)
+	}
+	if got := s.Get(0); got != nil {
+		t.Fatalf("Get(0) = %v, want nil", got)
+	}
+	want := []int32{9, 8, 7, 6}
+	canon, h := s.Intern(want)
+	if !equal(canon, want) {
+		t.Fatalf("canonical = %v, want %v", canon, want)
+	}
+	if got := s.Get(h); !equal(got, want) {
+		t.Fatalf("Get = %v, want %v", got, want)
+	}
+	if h.Len() != len(want) {
+		t.Fatalf("handle length = %d, want %d", h.Len(), len(want))
+	}
+}
+
+// TestInternKeyCollision forces two different sequences onto the same FNV
+// key chain (same shard, crafted equal hashes) and checks both survive.
+func TestInternKeyCollision(t *testing.T) {
+	// A constant element hash collides every sequence of equal length.
+	s := NewSeq[int32](1, func(int32) uint64 { return 42 })
+	a, ha := s.Intern([]int32{1, 2})
+	b, hb := s.Intern([]int32{3, 4})
+	if ha == hb {
+		t.Fatal("colliding sequences share a handle")
+	}
+	if !equal(s.Get(ha), a) || !equal(s.Get(hb), b) {
+		t.Fatal("collision chain lost a sequence")
+	}
+}
+
+// TestInternBlockSpill interns more elements than one block holds and
+// checks sequences never straddle blocks.
+func TestInternBlockSpill(t *testing.T) {
+	s := NewSeq[int32](1, hashInt32)
+	seq := make([]int32, 100)
+	var handles []Handle
+	var canons [][]int32
+	for i := 0; i < 2*blockLen/len(seq)+4; i++ {
+		for j := range seq {
+			seq[j] = int32(i*1000 + j)
+		}
+		canon, h := s.Intern(seq)
+		handles = append(handles, h)
+		canons = append(canons, canon)
+	}
+	for i, h := range handles {
+		if !equal(s.Get(h), canons[i]) {
+			t.Fatalf("sequence %d corrupted after spill", i)
+		}
+	}
+	if st := s.Stats(); st.Blocks < 2 {
+		t.Fatalf("expected multiple blocks, got %+v", st)
+	}
+}
+
+// TestInternOversized checks sequences beyond MaxSeqLen come back intact,
+// unshared, under the zero handle.
+func TestInternOversized(t *testing.T) {
+	s := NewSeq[int32](1, hashInt32)
+	big := make([]int32, MaxSeqLen+5)
+	for i := range big {
+		big[i] = int32(i)
+	}
+	got, h := s.Intern(big)
+	if h != 0 {
+		t.Fatalf("oversized handle = %x, want 0", h)
+	}
+	if !equal(got, big) {
+		t.Fatal("oversized sequence corrupted")
+	}
+	if &got[0] == &big[0] {
+		t.Fatal("oversized sequence not copied")
+	}
+}
+
+// TestInternConcurrent hammers one interner from many goroutines; run
+// under -race this is the shard-locking test.
+func TestInternConcurrent(t *testing.T) {
+	s := NewSeq[int32](8, hashInt32)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	results := make([]map[string]Handle, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			got := make(map[string]Handle)
+			for i := 0; i < 2000; i++ {
+				n := 1 + rng.Intn(8)
+				seq := make([]int32, n)
+				for j := range seq {
+					seq[j] = int32(rng.Intn(32)) // heavy overlap across goroutines
+				}
+				_, h := s.Intern(seq)
+				got[fmt.Sprint(seq)] = h
+			}
+			results[g] = got
+		}(g)
+	}
+	wg.Wait()
+	// The same sequence must have the same handle regardless of which
+	// goroutine interned it.
+	merged := make(map[string]Handle)
+	for _, m := range results {
+		for k, h := range m {
+			if prev, ok := merged[k]; ok && prev != h {
+				t.Fatalf("sequence %s interned to %x and %x", k, prev, h)
+			}
+			merged[k] = h
+		}
+	}
+}
+
+// TestInternZeroAlloc checks that re-interning a warm sequence does not
+// allocate.
+func TestInternZeroAlloc(t *testing.T) {
+	s := NewSeq[int32](4, hashInt32)
+	seq := []int32{5, 6, 7, 8, 9}
+	s.Intern(seq)
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Intern(seq)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Intern allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func BenchmarkInternWarm(b *testing.B) {
+	s := NewSeq[int32](8, hashInt32)
+	seq := []int32{1, 2, 3, 4, 5, 6}
+	s.Intern(seq)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Intern(seq)
+	}
+}

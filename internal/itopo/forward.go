@@ -156,16 +156,29 @@ func (n *Network) walkIntraAS(hops *[]PathHop, cur RouterID, target RouterID, v6
 // Egress selection is hot-potato: within each AS the packet exits at the
 // physical interconnect closest (by internal delay) to where it entered.
 func (n *Network) ResolvePath(src, dst RouterID, asPath []ipam.ASN, v6 bool, flowID uint64) ([]PathHop, error) {
+	hops, err := n.AppendPath(nil, src, dst, asPath, v6, flowID)
+	if err != nil {
+		return nil, err
+	}
+	return hops, nil
+}
+
+// AppendPath is ResolvePath appending into buf, reusing its capacity —
+// the resolve loop's scratch allocation was the hottest in the simulator.
+// It always returns the (possibly regrown) slice so a pooling caller can
+// recover the capacity even on error; the contents are meaningful only
+// when err is nil.
+func (n *Network) AppendPath(buf []PathHop, src, dst RouterID, asPath []ipam.ASN, v6 bool, flowID uint64) ([]PathHop, error) {
 	if len(asPath) == 0 {
-		return nil, fmt.Errorf("itopo: empty AS path")
+		return buf, fmt.Errorf("itopo: empty AS path")
 	}
 	if n.Routers[src].Owner != asPath[0] {
-		return nil, fmt.Errorf("itopo: src router owned by %v, path starts at %v", n.Routers[src].Owner, asPath[0])
+		return buf, fmt.Errorf("itopo: src router owned by %v, path starts at %v", n.Routers[src].Owner, asPath[0])
 	}
 	if n.Routers[dst].Owner != asPath[len(asPath)-1] {
-		return nil, fmt.Errorf("itopo: dst router owned by %v, path ends at %v", n.Routers[dst].Owner, asPath[len(asPath)-1])
+		return buf, fmt.Errorf("itopo: dst router owned by %v, path ends at %v", n.Routers[dst].Owner, asPath[len(asPath)-1])
 	}
-	hops := []PathHop{{Router: src, InLink: -1, Cum: 0}}
+	hops := append(buf, PathHop{Router: src, InLink: -1, Cum: 0})
 	cur := src
 	var cum time.Duration
 	var err error
@@ -173,11 +186,11 @@ func (n *Network) ResolvePath(src, dst RouterID, asPath []ipam.ASN, v6 bool, flo
 		from, to := asPath[i], asPath[i+1]
 		lid, nearSide, ok := n.chooseEgress(cur, from, to, v6)
 		if !ok {
-			return nil, fmt.Errorf("itopo: no %s interconnect %v→%v", fam(v6), from, to)
+			return hops, fmt.Errorf("itopo: no %s interconnect %v→%v", fam(v6), from, to)
 		}
 		cur, cum, err = n.walkIntraAS(&hops, cur, nearSide, v6, flowID, cum)
 		if err != nil {
-			return nil, fmt.Errorf("itopo: within %v: %w", from, err)
+			return hops, fmt.Errorf("itopo: within %v: %w", from, err)
 		}
 		l := n.Links[lid]
 		far := l.Other(nearSide)
@@ -186,7 +199,7 @@ func (n *Network) ResolvePath(src, dst RouterID, asPath []ipam.ASN, v6 bool, flo
 		cur = far
 	}
 	if _, cum, err = n.walkIntraAS(&hops, cur, dst, v6, flowID, cum); err != nil {
-		return nil, fmt.Errorf("itopo: within %v: %w", asPath[len(asPath)-1], err)
+		return hops, fmt.Errorf("itopo: within %v: %w", asPath[len(asPath)-1], err)
 	}
 	_ = cum
 	return hops, nil

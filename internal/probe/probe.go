@@ -13,16 +13,25 @@ package probe
 import (
 	"errors"
 	"net/netip"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cdn"
 	"repro/internal/faults"
+	"repro/internal/itopo"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/simnet"
 	"repro/internal/trace"
 )
+
+// hopScratch pools the per-traceroute resolve buffer used for classic
+// (per-TTL flow) probes, which resolve uncached into caller-owned memory.
+var hopScratch = sync.Pool{New: func() any {
+	b := make([]itopo.PathHop, 0, 64)
+	return &b
+}}
 
 // Prober issues measurements on a virtual network.
 type Prober struct {
@@ -180,15 +189,17 @@ func probeFlow(base uint64, ttl int, at time.Duration) uint64 {
 }
 
 // Ping measures the RTT between two measurement servers at virtual time at.
+// Records come from the trace pool: consumers that stream them may hand
+// them back via trace.RecyclePing.
 func (p *Prober) Ping(src, dst *cdn.Cluster, v6 bool, at time.Duration) *trace.Ping {
-	rec := &trace.Ping{
-		SrcID: src.ID, DstID: dst.ID,
-		Src: serverAddr(src, v6), Dst: serverAddr(dst, v6),
-		V6: v6, At: at,
-	}
+	rec := trace.NewPooledPing()
+	rec.SrcID, rec.DstID = src.ID, dst.ID
+	rec.Src, rec.Dst = serverAddr(src, v6), serverAddr(dst, v6)
+	rec.V6, rec.At = v6, at
 	p.mPings.Inc()
 	p.countMeasurement(at)
 	rng := p.Net.Rand(simnet.KindPing, src.ID, dst.ID, v6, at)
+	defer p.Net.PutRand(rng)
 	flowF := pairFlow(src.ID, dst.ID, v6)
 	flowR := pairFlow(dst.ID, src.ID, v6)
 
@@ -218,14 +229,14 @@ func (p *Prober) Ping(src, dst *cdn.Cluster, v6 bool, at time.Duration) *trace.P
 // Traceroute measures the hop-by-hop path between two measurement servers.
 // With paris=true the flow identifier is held constant across probes.
 func (p *Prober) Traceroute(src, dst *cdn.Cluster, v6, paris bool, at time.Duration) *trace.Traceroute {
-	rec := &trace.Traceroute{
-		SrcID: src.ID, DstID: dst.ID,
-		Src: serverAddr(src, v6), Dst: serverAddr(dst, v6),
-		V6: v6, Paris: paris, At: at,
-	}
+	rec := trace.NewPooledTraceroute()
+	rec.SrcID, rec.DstID = src.ID, dst.ID
+	rec.Src, rec.Dst = serverAddr(src, v6), serverAddr(dst, v6)
+	rec.V6, rec.Paris, rec.At = v6, paris, at
 	p.mTraceroutes.Inc()
 	p.countMeasurement(at)
 	rng := p.Net.Rand(simnet.KindTraceroute, src.ID, dst.ID, v6, at)
+	defer p.Net.PutRand(rng)
 	base := pairFlow(src.ID, dst.ID, v6)
 
 	// The destination's reply travels the true reverse route.
@@ -256,12 +267,25 @@ func (p *Prober) Traceroute(src, dst *cdn.Cluster, v6, paris bool, at time.Durat
 		}
 	}
 
+	// Classic probes derive a fresh flow per TTL, so their resolves are
+	// one-shot: resolve into a pooled scratch buffer instead of filling
+	// the path cache (and the epoch's intern slab) with entries no later
+	// lookup can ever hit.
+	var scratch *[]itopo.PathHop
+	if !paris {
+		scratch = hopScratch.Get().(*[]itopo.PathHop)
+		defer hopScratch.Put(scratch)
+	}
 	for ttl := 1; ttl <= p.MaxTTL; ttl++ {
-		flow := base
-		if !paris {
-			flow = probeFlow(base, ttl, at)
+		var hops []itopo.PathHop
+		var err error
+		if paris {
+			hops, err = p.Net.ForwardHops(src, dst, v6, base, at)
+		} else {
+			flow := probeFlow(base, ttl, at)
+			*scratch, err = p.Net.ForwardHopsScratch(*scratch, src, dst, v6, flow, at)
+			hops = *scratch
 		}
-		hops, err := p.Net.ForwardHops(src, dst, v6, flow, at)
 		if err != nil {
 			if ttl == 1 {
 				p.mUnreachable.Inc()

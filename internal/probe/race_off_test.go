@@ -1,0 +1,5 @@
+//go:build !race
+
+package probe
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package probe
+
+// The race detector makes sync.Pool randomly drop Puts, so pooled hot
+// paths cannot be allocation-free under -race.
+const raceEnabled = true

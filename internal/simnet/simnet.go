@@ -21,6 +21,7 @@ import (
 	"repro/internal/cdn"
 	"repro/internal/congestion"
 	"repro/internal/faults"
+	"repro/internal/intern"
 	"repro/internal/ipam"
 	"repro/internal/itopo"
 	"repro/internal/obs"
@@ -97,6 +98,13 @@ type Net struct {
 	shards   [2][pathCacheShards]pathShard
 	shardMax int
 
+	// Per-family hop-sequence interners, epoch-keyed like the path cache:
+	// distinct cache entries (and concurrent resolutions) that resolve to
+	// the same router path share one canonical slab-backed slice. Two
+	// generations stay warm so a round straddling an epoch boundary keeps
+	// deduplicating on both sides.
+	hopSeqs [2]hopInterner
+
 	// Fault schedule; nil (the default) leaves the network fault-free and
 	// the measurement byte-stream identical to the pre-fault behavior.
 	faults *faults.Plan
@@ -112,6 +120,13 @@ type Net struct {
 type pathShard struct {
 	mu sync.Mutex
 	m  map[pathKey][]itopo.PathHop
+
+	// epoch is the newest BGP epoch this shard has seen. When it
+	// advances, entries more than one epoch old are swept eagerly: they
+	// can never be hit again (lookups key on the current epoch; only the
+	// previous one stays reachable while a round straddles the boundary),
+	// and while present they pin their interner generation's slab blocks.
+	epoch int
 
 	// Per-shard cache telemetry; nil (one predicted branch per lookup)
 	// until Instrument attaches a registry.
@@ -235,6 +250,26 @@ func (n *Net) ForwardHops(src, dst *cdn.Cluster, v6 bool, flowID uint64, t time.
 	return n.resolveCached(src.Attach, dst.Attach, asPath, v6, flowID, t)
 }
 
+// ForwardHopsScratch resolves like ForwardHops but bypasses the path
+// cache and the hop interner, appending into buf (whose capacity is
+// reused). It exists for one-shot flows: classic traceroute derives a
+// fresh flow per TTL and per measurement, so a cache entry for it can
+// never be hit again and an interned copy would sit in the slab for the
+// rest of the epoch. The returned slice is backed by buf (when it fits)
+// and owned by the caller — unlike ForwardHops results it is neither
+// shared nor retained by the network.
+func (n *Net) ForwardHopsScratch(buf []itopo.PathHop, src, dst *cdn.Cluster, v6 bool, flowID uint64, t time.Duration) ([]itopo.PathHop, error) {
+	if n.faults != nil && (n.faults.ClusterDown(src.ID, t) || n.faults.ClusterDown(dst.ID, t)) {
+		n.mFaultUnreach.Inc()
+		return buf, ErrUnreachable
+	}
+	asPath := n.ASPath(src, dst, v6, t)
+	if asPath == nil {
+		return buf, ErrUnreachable
+	}
+	return n.R.AppendPath(buf[:0], src.Attach, dst.Attach, asPath, v6, flowID)
+}
+
 func (n *Net) resolveCached(sr, dr itopo.RouterID, asPath []ipam.ASN, v6 bool, flowID uint64, t time.Duration) ([]itopo.PathHop, error) {
 	fi := 0
 	if v6 {
@@ -251,18 +286,40 @@ func (n *Net) resolveCached(sr, dr itopo.RouterID, asPath []ipam.ASN, v6 bool, f
 	}
 	sh.mu.Unlock()
 	sh.misses.Inc()
-	hops, err := n.R.ResolvePath(sr, dr, asPath, v6, flowID)
+	// Resolve into pooled scratch: the interner copies the sequence into
+	// its slab (or an unshared copy), so the resolve buffer never escapes
+	// and the growth churn of cold resolves is paid once per pool entry.
+	bufp := hopScratch.Get().(*[]itopo.PathHop)
+	scratch, err := n.R.AppendPath((*bufp)[:0], sr, dr, asPath, v6, flowID)
+	if cap(scratch) > cap(*bufp) {
+		*bufp = scratch
+	}
 	if err != nil {
+		hopScratch.Put(bufp)
 		return nil, err
 	}
+	hops := n.hopSeqs[fi].intern(epoch, scratch)
+	hopScratch.Put(bufp)
 	sh.mu.Lock()
 	if sh.m == nil {
 		sh.m = make(map[pathKey][]itopo.PathHop)
 	}
-	// Classic traceroute uses per-probe flows that never repeat, so the
-	// cache is bounded to keep long campaigns from accumulating entries.
-	// Entries from other epochs go first (the clock has usually moved
-	// on); if the shard is still full, it is reset.
+	if epoch > sh.epoch {
+		sh.epoch = epoch
+		swept := 0
+		for k := range sh.m {
+			if k.epoch < epoch-1 {
+				delete(sh.m, k)
+				swept++
+			}
+		}
+		sh.stale.Add(int64(swept))
+	}
+	// One-shot flows (callers that derive a fresh flow per probe and do
+	// not use ForwardHopsScratch) never repeat, so the cache is bounded
+	// to keep long campaigns from accumulating entries. Entries from
+	// other epochs go first (the clock has usually moved on); if the
+	// shard is still full, it is reset.
 	if len(sh.m) >= n.shardMax {
 		before := len(sh.m)
 		for k := range sh.m {
@@ -294,6 +351,64 @@ func (n *Net) resolveCached(sr, dr itopo.RouterID, asPath []ipam.ASN, v6 bool, f
 	sh.m[key] = hops
 	sh.mu.Unlock()
 	return hops, nil
+}
+
+// hopScratch pools the per-resolve path buffer; interned sequences are
+// copied out of it before it is reused.
+var hopScratch = sync.Pool{New: func() any {
+	b := make([]itopo.PathHop, 0, 64)
+	return &b
+}}
+
+// hopInterner is a per-family pair of epoch-keyed hop-sequence interners.
+// Interned slices are shared across cache entries and callers: they must
+// be treated as immutable (every consumer of ForwardHops already is
+// read-only — mutating resolved hops would break cache correctness even
+// without interning).
+type hopInterner struct {
+	mu   sync.Mutex
+	gens [2]struct {
+		epoch int
+		seq   *intern.Seq[itopo.PathHop]
+	}
+}
+
+func hashPathHop(h itopo.PathHop) uint64 {
+	x := uint64(uint32(h.Router)) | uint64(uint32(h.InLink))<<32
+	x ^= uint64(h.Cum) * 0x9e3779b97f4a7c15
+	x *= 0xff51afd7ed558ccd
+	return x ^ x>>33
+}
+
+// intern returns the canonical slice for hops within the given BGP epoch,
+// rotating out the older generation when a third epoch appears.
+func (hi *hopInterner) intern(epoch int, hops []itopo.PathHop) []itopo.PathHop {
+	hi.mu.Lock()
+	var seq *intern.Seq[itopo.PathHop]
+	for i := range hi.gens {
+		if hi.gens[i].seq != nil && hi.gens[i].epoch == epoch {
+			seq = hi.gens[i].seq
+		}
+	}
+	if seq == nil {
+		// Replace the older (or empty) generation.
+		oldest := 0
+		for i := range hi.gens {
+			if hi.gens[i].seq == nil {
+				oldest = i
+				break
+			}
+			if hi.gens[i].epoch < hi.gens[oldest].epoch {
+				oldest = i
+			}
+		}
+		seq = intern.NewSeq[itopo.PathHop](8, hashPathHop)
+		hi.gens[oldest].epoch = epoch
+		hi.gens[oldest].seq = seq
+	}
+	hi.mu.Unlock()
+	canon, _ := seq.Intern(hops)
+	return canon
 }
 
 // cachedPaths reports the resolved-path cache population for one family
@@ -386,7 +501,18 @@ const (
 	KindTraceroute
 )
 
-// Rand returns the deterministic PRNG for one measurement.
+// rngPool recycles per-measurement PRNGs: the ~5KB rngSource state behind
+// every rand.New was the single largest per-measurement allocation.
+// Reseeding a pooled generator resets it to exactly the state rand.New
+// produces, so pooled and fresh generators draw identical streams.
+var rngPool = sync.Pool{New: func() any {
+	return rand.New(rand.NewSource(0))
+}}
+
+// Rand returns the deterministic PRNG for one measurement. Callers on the
+// hot path should hand the generator back via PutRand once the measurement
+// is complete; generators are pooled and reseeded, which preserves the
+// determinism contract exactly.
 func (n *Net) Rand(kind MeasurementKind, srcID, dstID int, v6 bool, at time.Duration) *rand.Rand {
 	h := uint64(14695981039346656037)
 	mix := func(v uint64) {
@@ -406,7 +532,17 @@ func (n *Net) Rand(kind MeasurementKind, srcID, dstID int, v6 bool, at time.Dura
 	} else {
 		mix(2)
 	}
-	return rand.New(rand.NewSource(int64(h)))
+	rng := rngPool.Get().(*rand.Rand)
+	rng.Seed(int64(h))
+	return rng
+}
+
+// PutRand returns a measurement PRNG to the pool. The caller must not use
+// the generator afterwards. Passing nil is a no-op.
+func (n *Net) PutRand(rng *rand.Rand) {
+	if rng != nil {
+		rngPool.Put(rng)
+	}
 }
 
 // Noise draws the additive measurement noise for a path of the given hop

@@ -1,9 +1,7 @@
 package store
 
 import (
-	"bytes"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -186,20 +184,20 @@ func (s *Store) decodeShard(sh *shardInfo, filter frameFilter) ([]any, error) {
 		sp.End(flight.Attrs{S: sh.File})
 		return nil, fmt.Errorf("store: shard %s: %w", sh.File, err)
 	}
+	// Both paths decode frames in place with trace.DecodeFrame: the
+	// payload is already in memory, so no per-frame (or even per-shard)
+	// reader and scratch-buffer allocations — only the records themselves.
 	var out []any
 	if filter == nil {
 		out = make([]any, 0, sh.ix.Records)
-		r := trace.NewBinaryReader(bytes.NewReader(payload))
-		for {
-			rec, err := r.Next()
-			if errors.Is(err, io.EOF) {
-				break
-			}
+		for off := 0; off < len(payload); {
+			rec, n, err := trace.DecodeFrame(payload[off:])
 			if err != nil {
 				sp.End(flight.Attrs{S: sh.File})
-				return nil, fmt.Errorf("store: shard %s: %w", sh.File, err)
+				return nil, fmt.Errorf("store: shard %s: frame at %d: %w", sh.File, off, err)
 			}
 			out = append(out, rec)
+			off += n
 		}
 	} else {
 		skipped := int64(0)
@@ -214,8 +212,7 @@ func (s *Store) decodeShard(sh *shardInfo, filter frameFilter) ([]any, error) {
 				off += h.Len
 				continue
 			}
-			r := trace.NewBinaryReader(bytes.NewReader(payload[off : off+h.Len]))
-			rec, err := r.Next()
+			rec, _, err := trace.DecodeFrame(payload[off : off+h.Len])
 			if err != nil {
 				sp.End(flight.Attrs{S: sh.File})
 				return nil, fmt.Errorf("store: shard %s: frame at %d: %w", sh.File, off, err)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"net/netip"
 	"time"
 )
 
@@ -87,6 +88,116 @@ func (c *frameCursor) skipAddr() error {
 		return fmt.Errorf("trace: bad address length %d", n)
 	}
 	return nil
+}
+
+// addr decodes one length-prefixed address in place (no intermediate
+// buffer: netip.Addr is a value).
+func (c *frameCursor) addr() (netip.Addr, error) {
+	n, err := c.byte()
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	switch n {
+	case 0:
+		return netip.Addr{}, nil
+	case 4, 16:
+		if c.off+int(n) > len(c.data) {
+			return netip.Addr{}, io.ErrUnexpectedEOF
+		}
+		a, ok := netip.AddrFromSlice(c.data[c.off : c.off+int(n)])
+		if !ok {
+			return netip.Addr{}, fmt.Errorf("trace: bad address bytes")
+		}
+		c.off += int(n)
+		return a, nil
+	default:
+		return netip.Addr{}, fmt.Errorf("trace: bad address length %d", n)
+	}
+}
+
+// DecodeFrame decodes the record frame starting at data[0] straight from
+// the byte slice, returning the record (*Traceroute or *Ping) and the
+// frame length. It is the in-memory counterpart of BinaryReader.Next: a
+// caller holding a whole payload in RAM walks it frame by frame without
+// the per-frame reader and buffer allocations a stream reader needs —
+// only the record itself (and a traceroute's hop list) is allocated. It
+// returns io.EOF on an empty slice.
+func DecodeFrame(data []byte) (any, int, error) {
+	if len(data) == 0 {
+		return nil, 0, io.EOF
+	}
+	c := frameCursor{data: data}
+	magic, _ := c.byte()
+	flags, err := c.byte()
+	if err != nil {
+		return nil, 0, err
+	}
+	var vals [4]int64 // src, dst, at, rtt
+	decodeCommon := func() error {
+		for i := range vals {
+			if vals[i], err = c.varint(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch magic {
+	case magicTraceroute:
+		tr := &Traceroute{
+			V6:       flags&1 != 0,
+			Paris:    flags&2 != 0,
+			Complete: flags&4 != 0,
+		}
+		if err := decodeCommon(); err != nil {
+			return nil, 0, err
+		}
+		tr.SrcID, tr.DstID = int(vals[0]), int(vals[1])
+		tr.At, tr.RTT = time.Duration(vals[2]), time.Duration(vals[3])
+		if tr.Src, err = c.addr(); err != nil {
+			return nil, 0, err
+		}
+		if tr.Dst, err = c.addr(); err != nil {
+			return nil, 0, err
+		}
+		nHops, err := c.uvarint()
+		if err != nil {
+			return nil, 0, err
+		}
+		if nHops > 1<<16 {
+			return nil, 0, fmt.Errorf("trace: implausible hop count %d", nHops)
+		}
+		tr.Hops = make([]Hop, nHops)
+		for i := range tr.Hops {
+			if tr.Hops[i].Addr, err = c.addr(); err != nil {
+				return nil, 0, err
+			}
+			rtt, err := c.varint()
+			if err != nil {
+				return nil, 0, err
+			}
+			tr.Hops[i].RTT = time.Duration(rtt)
+		}
+		return tr, c.off, nil
+	case magicPing:
+		p := &Ping{
+			V6:   flags&1 != 0,
+			Lost: flags&2 != 0,
+		}
+		if err := decodeCommon(); err != nil {
+			return nil, 0, err
+		}
+		p.SrcID, p.DstID = int(vals[0]), int(vals[1])
+		p.At, p.RTT = time.Duration(vals[2]), time.Duration(vals[3])
+		if p.Src, err = c.addr(); err != nil {
+			return nil, 0, err
+		}
+		if p.Dst, err = c.addr(); err != nil {
+			return nil, 0, err
+		}
+		return p, c.off, nil
+	default:
+		return nil, 0, fmt.Errorf("trace: bad record magic 0x%02x", magic)
+	}
 }
 
 // ParseFrameHeader parses the frame starting at data[0]. It returns io.EOF

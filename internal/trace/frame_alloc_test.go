@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// frameCorpus encodes a mixed record stream and returns the framing bytes.
+func frameCorpus(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for i := 0; i < 64; i++ {
+		tr := &Traceroute{
+			SrcID: i, DstID: i + 1,
+			Src: netip.AddrFrom4([4]byte{10, 0, byte(i), 1}),
+			Dst: netip.AddrFrom4([4]byte{10, 0, byte(i), 2}),
+			At:  time.Duration(i) * time.Minute,
+			RTT: time.Duration(i) * time.Millisecond,
+		}
+		if i%3 == 0 {
+			tr.V6 = true
+			tr.Src = netip.AddrFrom16([16]byte{0x20, 0x01, 15: byte(i)})
+			tr.Dst = netip.AddrFrom16([16]byte{0x20, 0x01, 15: byte(i + 1)})
+		}
+		for h := 0; h < i%12; h++ {
+			hop := Hop{RTT: time.Duration(h) * time.Millisecond}
+			if h%4 != 0 {
+				hop.Addr = netip.AddrFrom4([4]byte{192, 0, byte(i), byte(h)})
+			}
+			tr.Hops = append(tr.Hops, hop)
+		}
+		tr.Complete = len(tr.Hops) > 0
+		if err := w.WriteTraceroute(tr); err != nil {
+			t.Fatal(err)
+		}
+		p := &Ping{
+			SrcID: i, DstID: i + 2,
+			Src:  netip.AddrFrom4([4]byte{10, 1, byte(i), 1}),
+			Dst:  netip.AddrFrom4([4]byte{10, 1, byte(i), 2}),
+			At:   time.Duration(i) * time.Minute,
+			RTT:  time.Duration(i) * time.Microsecond,
+			Lost: i%7 == 0,
+		}
+		if err := w.WritePing(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDecodeFrameMatchesReader pins DecodeFrame to BinaryReader: walking
+// the framing with DecodeFrame must yield exactly the records the stream
+// reader produces, and the frame lengths must tile the buffer.
+func TestDecodeFrameMatchesReader(t *testing.T) {
+	data := frameCorpus(t)
+	r := NewBinaryReader(bytes.NewReader(data))
+	off := 0
+	for {
+		want, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, n, err := DecodeFrame(data[off:])
+		if err != nil {
+			t.Fatalf("DecodeFrame at %d: %v", off, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame at %d: DecodeFrame %+v, reader %+v", off, got, want)
+		}
+		h, err := ParseFrameHeader(data[off:])
+		if err != nil {
+			t.Fatalf("ParseFrameHeader at %d: %v", off, err)
+		}
+		if h.Len != n {
+			t.Fatalf("frame at %d: header length %d, decode length %d", off, h.Len, n)
+		}
+		off += n
+	}
+	if off != len(data) {
+		t.Fatalf("frames tile %d of %d bytes", off, len(data))
+	}
+	if _, _, err := DecodeFrame(data[off:]); err != io.EOF {
+		t.Fatalf("DecodeFrame at end = %v, want io.EOF", err)
+	}
+}
+
+// TestParseFrameHeaderZeroAlloc pins the pushdown hot path: scanning the
+// framing header-by-header (the work a filtered store read does for every
+// rejected frame) must not allocate at all.
+func TestParseFrameHeaderZeroAlloc(t *testing.T) {
+	data := frameCorpus(t)
+	allocs := testing.AllocsPerRun(100, func() {
+		for off := 0; off < len(data); {
+			h, err := ParseFrameHeader(data[off:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			off += h.Len
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("header scan allocates %.1f times per walk, want 0", allocs)
+	}
+}
+
+// BenchmarkFrameHeaderScan measures the per-frame cost of the pushdown
+// header walk; -benchmem should report 0 B/op.
+func BenchmarkFrameHeaderScan(b *testing.B) {
+	data := frameCorpus(b)
+	frames := 0
+	for off := 0; off < len(data); {
+		h, err := ParseFrameHeader(data[off:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames++
+		off += h.Len
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < len(data); {
+			h, err := ParseFrameHeader(data[off:])
+			if err != nil {
+				b.Fatal(err)
+			}
+			off += h.Len
+		}
+	}
+	b.ReportMetric(float64(frames), "frames/scan")
+}
+
+// BenchmarkDecodeFrame measures in-place record decoding of a full
+// payload, the store's unfiltered scan loop.
+func BenchmarkDecodeFrame(b *testing.B) {
+	data := frameCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < len(data); {
+			rec, n, err := DecodeFrame(data[off:])
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = rec
+			off += n
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package trace
+
+import "sync"
+
+// Record pooling. A multi-day campaign produces one Traceroute (with its
+// Hops slice) or Ping per measurement; when the consumer only streams
+// records to a sink, those allocations dominate the heap profile. The
+// probers allocate records through the pooled constructors below, and the
+// campaign engine recycles each record after a streaming consumer is done
+// with it. Consumers that retain records simply never recycle, and the
+// pool degenerates to plain allocation.
+
+var traceroutePool = sync.Pool{New: func() any { return new(Traceroute) }}
+
+var pingPool = sync.Pool{New: func() any { return new(Ping) }}
+
+// NewPooledTraceroute returns a zeroed Traceroute, reusing a recycled
+// record (and its Hops capacity) when one is available.
+func NewPooledTraceroute() *Traceroute {
+	tr := traceroutePool.Get().(*Traceroute)
+	hops := tr.Hops[:0]
+	*tr = Traceroute{Hops: hops}
+	return tr
+}
+
+// RecycleTraceroute returns a record to the pool. The caller must not use
+// the record (or its Hops) afterwards. Nil is a no-op.
+func RecycleTraceroute(tr *Traceroute) {
+	if tr != nil {
+		traceroutePool.Put(tr)
+	}
+}
+
+// NewPooledPing returns a zeroed Ping, reusing a recycled record when one
+// is available.
+func NewPooledPing() *Ping {
+	p := pingPool.Get().(*Ping)
+	*p = Ping{}
+	return p
+}
+
+// RecyclePing returns a record to the pool. The caller must not use the
+// record afterwards. Nil is a no-op.
+func RecyclePing(p *Ping) {
+	if p != nil {
+		pingPool.Put(p)
+	}
+}
