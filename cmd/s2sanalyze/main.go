@@ -15,16 +15,19 @@
 // with -q). -metrics writes a final telemetry snapshot (including the
 // store read counters when the dataset is a store), -trace records a
 // flight record of the load and analysis phases with one span per shard
-// scan (inspect with s2sobs), and -cpuprofile/-memprofile capture pprof
-// profiles of the run.
+// scan (inspect with s2sobs), -ops serves the live run state over HTTP
+// while the analysis runs (see s2sgen's doc for the endpoints), and
+// -cpuprofile/-memprofile/-blockprofile/-mutexprofile capture pprof
+// profiles of the run. SIGQUIT dumps goroutine stacks without killing it.
 //
 // Usage:
 //
 //	s2sanalyze -data dataset.bin|dataset.jsonl|dataset.store
 //	           [-analysis table1|paths|changes|dualstack|congestion]
 //	           [-pairs SRC-DST[,SRC-DST...]] [-workers N]
-//	           [-metrics PATH] [-trace PATH] [-metrics-interval D]
-//	           [-cpuprofile PATH] [-memprofile PATH] [-q]
+//	           [-metrics PATH] [-trace PATH] [-metrics-interval D] [-ops ADDR]
+//	           [-cpuprofile PATH] [-memprofile PATH]
+//	           [-blockprofile PATH] [-mutexprofile PATH] [-q]
 package main
 
 import (
@@ -46,6 +49,7 @@ import (
 	"repro/internal/ipam"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/ops"
 	"repro/internal/report"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -66,16 +70,22 @@ func run() error {
 		interval   = flag.Duration("interval", 3*time.Hour, "measurement interval of the dataset")
 		workers    = flag.Int("workers", 0, "store-scan and detector workers (0 = all cores, 1 = sequential)")
 		metrics    = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
+		opsAddr    = flag.String("ops", "", "serve live ops endpoints (/metrics, /healthz, /runz, /flight/tail, /debug/pprof) on this address, e.g. :6060")
 		quiet      = flag.Bool("q", false, "suppress progress output on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
+		blockprof  = flag.String("blockprofile", "", "write a goroutine blocking profile to this path")
+		mutexprof  = flag.String("mutexprofile", "", "write a mutex contention profile to this path")
 		tracePath  = flag.String("trace", "", "write a flight record (JSONL) to this path; inspect with s2sobs")
 		metricsIV  = flag.Duration("metrics-interval", 24*time.Hour, "virtual time between metric snapshots in the flight record")
 	)
 	flag.Parse()
 	log := obs.NewLogger("s2sanalyze", *quiet)
 
-	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	obs.DumpOnSIGQUIT()
+	stopProfiles, err := obs.StartProfiles(obs.Profiles{
+		CPU: *cpuprofile, Mem: *memprofile, Block: *blockprof, Mutex: *mutexprof,
+	})
 	if err != nil {
 		return err
 	}
@@ -90,7 +100,8 @@ func run() error {
 	recordsC := reg.Counter(obs.MetricRunRecords, "records the run read")
 
 	var rec *flight.Recorder
-	if *tracePath != "" {
+	switch {
+	case *tracePath != "":
 		rec, err = flight.Create(*tracePath, flight.Options{
 			Tool:            "s2sanalyze",
 			Registry:        reg,
@@ -99,7 +110,18 @@ func run() error {
 		if err != nil {
 			return err
 		}
+	case *opsAddr != "":
+		rec = flight.New(io.Discard, flight.Options{
+			Tool:            "s2sanalyze",
+			Registry:        reg,
+			MetricsInterval: *metricsIV,
+		})
 	}
+	stopOps, err := ops.StartRun(*opsAddr, "s2sanalyze", reg, rec, log)
+	if err != nil {
+		return err
+	}
+	defer stopOps()
 
 	table, err := loadBGP(dataStem(*data) + ".bgp.tsv")
 	if err != nil {
@@ -250,7 +272,9 @@ func run() error {
 		if err := rec.Close(); err != nil {
 			return err
 		}
-		log.Printf("wrote flight record to %s", *tracePath)
+		if *tracePath != "" {
+			log.Printf("wrote flight record to %s", *tracePath)
+		}
 	}
 	return nil
 }

@@ -16,8 +16,13 @@
 // All diagnostics go to stderr (silence them with -q); stdout carries
 // nothing, so the command composes in pipelines. -metrics writes a final
 // telemetry snapshot (Prometheus text, or JSON for .json paths), -trace
-// records a flight record (inspect with s2sobs), and
-// -cpuprofile/-memprofile capture pprof profiles of the run.
+// records a flight record (inspect with s2sobs), and -cpuprofile/
+// -memprofile/-blockprofile/-mutexprofile capture pprof profiles of the
+// run. -ops serves live run state over HTTP while the campaign runs:
+// /metrics (Prometheus), /healthz (degraded while alert rules fire),
+// /runz (JSON run state), /flight/tail (streaming flight record; attach
+// `s2sobs watch http://ADDR`), and /debug/pprof. SIGQUIT dumps all
+// goroutine stacks to stderr without killing the run.
 //
 // Fault injection and resilience: -faults standard|heavy generates a
 // deterministic fault schedule (cluster outages, agent crashes, link
@@ -38,8 +43,9 @@
 //	       [-store] [-compress] [-store-shards N] [-churn X]
 //	       [-faults standard|heavy] [-retry N] [-watchdog D]
 //	       [-checkpoint D] [-resume] [-crash-at D]
-//	       [-metrics PATH] [-trace PATH] [-metrics-interval D]
-//	       [-cpuprofile PATH] [-memprofile PATH] [-q]
+//	       [-metrics PATH] [-trace PATH] [-metrics-interval D] [-ops ADDR]
+//	       [-cpuprofile PATH] [-memprofile PATH]
+//	       [-blockprofile PATH] [-mutexprofile PATH] [-q]
 //	s2sgen -benchjson PATH [-bench-baseline PATH] [-q]
 //
 // The second form runs a fixed end-to-end campaign benchmark and writes
@@ -68,6 +74,7 @@ import (
 	"repro/internal/itopo"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/ops"
 	"repro/internal/probe"
 	"repro/internal/simnet"
 	"repro/internal/store"
@@ -133,9 +140,12 @@ func run() error {
 		workers    = flag.Int("workers", 0, "measurement workers (0 = all cores, 1 = sequential)")
 		churn      = flag.Float64("churn", 1, "multiply routing-event rates (1 = default schedule)")
 		metrics    = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
+		opsAddr    = flag.String("ops", "", "serve live ops endpoints (/metrics, /healthz, /runz, /flight/tail, /debug/pprof) on this address, e.g. :6060")
 		quiet      = flag.Bool("q", false, "suppress progress output on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
+		blockprof  = flag.String("blockprofile", "", "write a goroutine blocking profile to this path")
+		mutexprof  = flag.String("mutexprofile", "", "write a mutex contention profile to this path")
 		tracePath  = flag.String("trace", "", "write a flight record (JSONL) to this path; inspect with s2sobs")
 		metricsIV  = flag.Duration("metrics-interval", 24*time.Hour, "virtual time between metric snapshots in the flight record")
 		faultSpec  = flag.String("faults", "", "inject a deterministic fault schedule: standard or heavy")
@@ -156,7 +166,10 @@ func run() error {
 		return fmt.Errorf("-bench-baseline requires -benchjson")
 	}
 
-	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	obs.DumpOnSIGQUIT()
+	stopProfiles, err := obs.StartProfiles(obs.Profiles{
+		CPU: *cpuprofile, Mem: *memprofile, Block: *blockprof, Mutex: *mutexprof,
+	})
 	if err != nil {
 		return err
 	}
@@ -233,7 +246,8 @@ func run() error {
 	// observation-only contract. A nil recorder threads through every
 	// subsystem as a no-op.
 	var rec *flight.Recorder
-	if *tracePath != "" {
+	switch {
+	case *tracePath != "":
 		rec, err = flight.Create(*tracePath, flight.Options{
 			Tool:            "s2sgen",
 			Registry:        reg,
@@ -242,6 +256,16 @@ func run() error {
 		if err != nil {
 			return err
 		}
+	case *opsAddr != "":
+		// No trace file, but the live ops endpoint still needs the stream
+		// for /flight/tail and the alert engine: record into the void.
+		rec = flight.New(io.Discard, flight.Options{
+			Tool:            "s2sgen",
+			Registry:        reg,
+			MetricsInterval: *metricsIV,
+		})
+	}
+	if rec != nil {
 		sim.Trace(rec)
 		dyn.Trace(rec)
 		prober.Trace(rec)
@@ -249,6 +273,15 @@ func run() error {
 			plan.Emit(rec)
 		}
 	}
+
+	// Live telemetry: ops HTTP server and/or alert engine. Both observe the
+	// same registry and recorder the run already feeds, so turning them on
+	// cannot change the dataset (see TestOpsDoesNotPerturbRecords).
+	stopOps, err := ops.StartRun(*opsAddr, "s2sgen", reg, rec, log)
+	if err != nil {
+		return err
+	}
+	defer stopOps()
 
 	// Dataset sink. Both paths go through campaign.WriteSink: the first
 	// write error is remembered and reported after the campaign; later
@@ -482,7 +515,9 @@ func run() error {
 		if err := rec.Close(); err != nil {
 			return err
 		}
-		log.Printf("wrote flight record to %s", *tracePath)
+		if *tracePath != "" {
+			log.Printf("wrote flight record to %s", *tracePath)
+		}
 	}
 
 	log.Printf("wrote %d records to %s (+ .bgp.tsv, .rel.tsv, .loc.tsv) in %v",

@@ -2,7 +2,8 @@
 // -trace flag:
 //
 //	s2sobs summary RUN.trace         per-phase wall-time breakdown, span
-//	                                 histograms, worker-utilization sparkline
+//	                                 histograms, worker-utilization sparkline;
+//	                                 exits 4 on a truncated/torn trace
 //	s2sobs series RUN.trace [MATCH]  metric time series reconstructed from
 //	                                 the delta snapshots (MATCH filters
 //	                                 metric families by substring)
@@ -10,12 +11,21 @@
 //	                                 runs side by side
 //	s2sobs fsck STOREDIR             integrity-check a sharded dataset
 //	                                 store (exits non-zero on problems)
+//	s2sobs watch SOURCE              live dashboard over a growing trace
+//	                                 file or an ops server URL
+//	                                 (http://host:port attaches to
+//	                                 /flight/tail); -once renders a single
+//	                                 snapshot for CI / non-TTY use
 //
 // The report goes to stdout; any parse error names the offending line.
+//
+// Exit codes: 0 success, 1 error, 4 truncated trace (summary only).
 package main
 
 import (
 	"bufio"
+	"errors"
+	"flag"
 	"fmt"
 	"os"
 
@@ -23,15 +33,41 @@ import (
 	"repro/internal/store"
 )
 
+// exitTruncated is the exit code for a trace whose tail is torn or whose
+// manifest is missing: the data is readable but the run did not finish
+// cleanly, which callers scripting summaries must be able to tell apart
+// from success (0) and unreadable input (1).
+const exitTruncated = 4
+
+// exitError carries a specific exit code out of run.
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintf(os.Stderr, "s2sobs: %v\n", err)
+		var ee *exitError
+		if errors.As(err, &ee) {
+			os.Exit(ee.code)
+		}
 		os.Exit(1)
 	}
 }
 
 func usage() error {
-	return fmt.Errorf("usage: s2sobs summary RUN.trace | series RUN.trace [MATCH] | diff A.trace B.trace | fsck STOREDIR")
+	return fmt.Errorf("usage: s2sobs summary RUN.trace | series RUN.trace [MATCH] | diff A.trace B.trace | fsck STOREDIR | watch [-once] [-interval D] SOURCE")
+}
+
+// newFlagSet returns a subcommand flag set that reports errors instead of
+// exiting.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
 }
 
 func run(args []string) error {
@@ -42,11 +78,30 @@ func run(args []string) error {
 	defer w.Flush()
 	switch args[0] {
 	case "summary":
-		tr, err := flight.ReadFile(args[1])
+		tr, tn, err := flight.ReadFileTolerant(args[1])
 		if err != nil {
 			return err
 		}
 		flight.Summarize(tr).WriteSummary(w)
+		if tn.Truncated() {
+			w.Flush()
+			var what, repair string
+			switch {
+			case tn.Torn && tn.NoManifest:
+				what = fmt.Sprintf("torn final line (line %d) and no manifest", tn.LineNo)
+			case tn.Torn:
+				what = fmt.Sprintf("torn final line (line %d)", tn.LineNo)
+			default:
+				what = "no manifest record"
+			}
+			if tn.Torn {
+				repair = fmt.Sprintf("; if it crashed, drop the torn tail (keep lines 1..%d) to repair it", tn.LineNo-1)
+			}
+			return &exitError{code: exitTruncated, err: fmt.Errorf(
+				"%s is truncated: %s — the summary above covers only the decodable prefix. "+
+					"If the run is still going, follow it with `s2sobs watch %s`%s",
+				args[1], what, args[1], repair)}
+		}
 	case "series":
 		tr, err := flight.ReadFile(args[1])
 		if err != nil {
@@ -80,6 +135,8 @@ func run(args []string) error {
 			w.Flush()
 			return fmt.Errorf("store %s failed verification", args[1])
 		}
+	case "watch":
+		return watch(args[1:])
 	default:
 		return usage()
 	}

@@ -1,0 +1,414 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
+
+// utilWindow is how many refresh ticks of per-worker utilization history
+// the sparklines keep.
+const utilWindow = 30
+
+// maxWorkerRows caps the per-worker section of the dashboard.
+const maxWorkerRows = 16
+
+// maxAlertRows caps the scrolling alert feed.
+const maxAlertRows = 8
+
+// watchState digests a live flight stream into the dashboard's view. One
+// goroutine ingests lines; the render ticker reads under the mutex.
+type watchState struct {
+	mu sync.Mutex
+
+	tool     string
+	campaign string
+	lastPh   string
+	rounds   int64
+	tasks    int64
+	records  int64 // from the manifest, when the run has ended
+	snaps    int
+	alertsOn int // currently-firing alert rules
+	alertLog []string
+	maxVT    int64 // ns, virtual clock high-water mark
+	lastT    int64 // ns, wall offset of the newest record
+	workers  int
+	busyNS   map[int]int64 // cumulative per-worker busy time
+	done     bool          // manifest seen: the run is over
+
+	// Per-refresh deltas for rate and utilization sparklines.
+	prevVT   int64
+	prevT    int64
+	prevBusy map[int]int64
+	vtRate   float64 // virtual seconds per wall second
+	utilHist map[int][]float64
+	active   map[string]bool // firing alert rules
+}
+
+func newWatchState() *watchState {
+	return &watchState{
+		busyNS:   make(map[int]int64),
+		prevBusy: make(map[int]int64),
+		utilHist: make(map[int][]float64),
+		active:   make(map[string]bool),
+	}
+}
+
+// ingest folds one JSONL line into the state. Undecodable lines (a torn
+// tail mid-write) are skipped: a live view tolerates what a strict reader
+// would not.
+func (s *watchState) ingest(line []byte) {
+	var rec flight.Record
+	if err := json.Unmarshal(line, &rec); err != nil || rec.K == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec.T > s.lastT {
+		s.lastT = rec.T
+	}
+	if rec.VT > s.maxVT {
+		s.maxVT = rec.VT
+	}
+	switch rec.K {
+	case flight.KMeta:
+		s.tool = rec.Tool
+	case flight.KSnap:
+		s.snaps++
+	case flight.KSpan:
+		s.lastPh = rec.Ph
+		switch rec.Ph {
+		case flight.PhRound:
+			s.rounds++
+			s.tasks += rec.N
+		case flight.PhWorker:
+			s.busyNS[int(rec.ID)] += rec.D
+			if int(rec.ID)+1 > s.workers {
+				s.workers = int(rec.ID) + 1
+			}
+		case flight.PhCampaign:
+			s.campaign = rec.S
+		}
+	case flight.KEvent:
+		s.lastPh = rec.Ph
+		switch rec.Ph {
+		case flight.PhEngine:
+			if int(rec.N) > s.workers {
+				s.workers = int(rec.N)
+			}
+		case flight.PhAlert:
+			s.ingestAlertLocked(&rec)
+		}
+	case flight.KManifest:
+		if rec.Man != nil {
+			s.records = rec.Man.Records
+			if s.tool == "" {
+				s.tool = rec.Man.Tool
+			}
+		}
+		s.done = true
+	}
+}
+
+func (s *watchState) ingestAlertLocked(rec *flight.Record) {
+	sev := "warn"
+	if rec.ID >= 1 {
+		sev = "crit"
+	}
+	state := "resolved"
+	if rec.N == 1 {
+		state = "FIRING"
+		s.active[rec.S] = true
+	} else {
+		delete(s.active, rec.S)
+	}
+	s.alertsOn = len(s.active)
+	entry := fmt.Sprintf("  %-8s [%s] %-18s %s", fmtDays(time.Duration(rec.VT)), sev, rec.S, state)
+	s.alertLog = append(s.alertLog, entry)
+	if len(s.alertLog) > maxAlertRows {
+		s.alertLog = s.alertLog[len(s.alertLog)-maxAlertRows:]
+	}
+}
+
+// tick computes the per-refresh derived values: virtual-vs-wall rate and
+// per-worker utilization fractions, bucketed by record wall offsets so the
+// view works identically on live streams and replayed files.
+func (s *watchState) tick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dT := s.lastT - s.prevT
+	if dT <= 0 {
+		return
+	}
+	s.vtRate = float64(s.maxVT-s.prevVT) / float64(dT)
+	for id, busy := range s.busyNS {
+		f := float64(busy-s.prevBusy[id]) / float64(dT)
+		if f > 1 {
+			f = 1
+		}
+		if f < 0 {
+			f = 0
+		}
+		hist := append(s.utilHist[id], f)
+		if len(hist) > utilWindow {
+			hist = hist[len(hist)-utilWindow:]
+		}
+		s.utilHist[id] = hist
+		s.prevBusy[id] = busy
+	}
+	s.prevT = s.lastT
+	s.prevVT = s.maxVT
+}
+
+func fmtDays(d time.Duration) string {
+	if d >= 24*time.Hour {
+		return fmt.Sprintf("%.2fd", d.Hours()/24)
+	}
+	return d.Round(time.Second).String()
+}
+
+// render builds the dashboard block.
+func (s *watchState) render() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var lines []string
+	tool := s.tool
+	if tool == "" {
+		tool = "?"
+	}
+	status := "live"
+	if s.done {
+		status = "finished"
+	}
+	head := fmt.Sprintf("%s %s", tool, status)
+	if s.campaign != "" {
+		head += "  campaign " + s.campaign
+	}
+	if s.lastPh != "" {
+		head += "  phase " + s.lastPh
+	}
+	lines = append(lines, head)
+	rate := ""
+	if s.vtRate > 0 {
+		rate = fmt.Sprintf("  rate %.0fx", s.vtRate)
+	}
+	line2 := fmt.Sprintf("vt %s%s  wall %s  rounds %d  tasks %d  snapshots %d",
+		fmtDays(time.Duration(s.maxVT)), rate,
+		time.Duration(s.lastT).Round(time.Millisecond), s.rounds, s.tasks, s.snaps)
+	if s.done {
+		line2 += fmt.Sprintf("  records %d", s.records)
+	}
+	lines = append(lines, line2)
+
+	if len(s.utilHist) > 0 {
+		ids := make([]int, 0, len(s.utilHist))
+		for id := range s.utilHist {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		lines = append(lines, fmt.Sprintf("workers (%d):", s.workers))
+		for i, id := range ids {
+			if i >= maxWorkerRows {
+				lines = append(lines, fmt.Sprintf("  … %d more workers", len(ids)-maxWorkerRows))
+				break
+			}
+			hist := s.utilHist[id]
+			cur := 0.0
+			if len(hist) > 0 {
+				cur = hist[len(hist)-1]
+			}
+			lines = append(lines, fmt.Sprintf("  w%-3d %-*s %3.0f%%",
+				id, utilWindow, flight.Sparkline(hist, 1), cur*100))
+		}
+	}
+
+	if len(s.alertLog) > 0 {
+		lines = append(lines, fmt.Sprintf("alerts (%d firing):", s.alertsOn))
+		lines = append(lines, s.alertLog...)
+	} else {
+		lines = append(lines, "alerts: none")
+	}
+	return lines
+}
+
+func (s *watchState) finished() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}
+
+// watch runs the `s2sobs watch` subcommand: follow a growing trace file or
+// an ops server's /flight/tail stream and draw a live dashboard. In -once
+// mode it ingests what is available now, prints one snapshot, and exits —
+// for CI and non-TTY use.
+func watch(args []string) error {
+	fs := newFlagSet("watch")
+	once := fs.Bool("once", false, "render one snapshot of the current state and exit")
+	interval := fs.Duration("interval", time.Second, "dashboard refresh interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return usage()
+	}
+	src := fs.Arg(0)
+
+	log := obs.NewLogger("s2sobs", false)
+	log.SetOutput(os.Stdout)
+	if fi, err := os.Stdout.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 && !*once {
+		log.SetANSI(true)
+	}
+
+	st := newWatchState()
+	lines := make(chan []byte, 256)
+	readErr := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		go func() { readErr <- tailHTTP(ctx, src, *once, lines) }()
+	} else {
+		go func() { readErr <- tailFile(ctx, src, *once, st, lines) }()
+	}
+
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	var ingestDone bool
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				if !ingestDone {
+					ingestDone = true
+					if err := <-readErr; err != nil {
+						return err
+					}
+				}
+				st.tick()
+				log.Block(st.render())
+				log.EndBlock()
+				return nil
+			}
+			st.ingest(line)
+		case <-tick.C:
+			if *once {
+				continue // once mode renders exactly one final frame
+			}
+			st.tick()
+			log.Block(st.render())
+			if st.finished() {
+				log.EndBlock()
+				// Drain whatever the reader still has, then exit.
+				cancel()
+				return nil
+			}
+		}
+	}
+}
+
+// tailFile streams the trace at path into out. In follow mode it keeps
+// reading as the file grows until a manifest line lands; in once mode it
+// stops at the current end of file. Torn trailing bytes are passed through
+// (ingest skips undecodable lines).
+func tailFile(ctx context.Context, path string, once bool, st *watchState, out chan<- []byte) error {
+	defer close(out)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var partial []byte
+	for {
+		chunk, err := r.ReadBytes('\n')
+		if len(chunk) > 0 {
+			partial = append(partial, chunk...)
+			if partial[len(partial)-1] == '\n' {
+				line := append([]byte(nil), partial...)
+				partial = partial[:0]
+				select {
+				case out <- line:
+				case <-ctx.Done():
+					return nil
+				}
+			}
+		}
+		if err == io.EOF {
+			if once || st.finished() {
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(200 * time.Millisecond):
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// tailHTTP streams an ops server's /flight/tail into out. src may be the
+// server root (http://host:port) or the full tail URL. In once mode the
+// request asks the server to close the stream after a bounded number of
+// lines, so the snapshot terminates on quiet runs too.
+func tailHTTP(ctx context.Context, src string, once bool, out chan<- []byte) error {
+	defer close(out)
+	u, err := url.Parse(src)
+	if err != nil {
+		return fmt.Errorf("watch: bad URL %q: %v", src, err)
+	}
+	if !strings.Contains(u.Path, "/flight/tail") {
+		u.Path = strings.TrimSuffix(u.Path, "/") + "/flight/tail"
+	}
+	if once {
+		q := u.Query()
+		if q.Get("max") == "" {
+			q.Set("max", "64")
+		}
+		u.RawQuery = q.Encode()
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, 15*time.Second)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("watch: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("watch: %s returned %s", u, resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := append([]byte(nil), sc.Bytes()...)
+		line = append(line, '\n')
+		select {
+		case out <- line:
+		case <-ctx.Done():
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return fmt.Errorf("watch: stream: %v", err)
+	}
+	return nil
+}

@@ -5,15 +5,19 @@
 // Rendered artifacts go to stdout; progress and timing go to stderr
 // (silence them with -q). -metrics writes a final telemetry snapshot
 // covering every experiment the run executed, -trace records a flight
-// record with one span per experiment (inspect with s2sobs), and
-// -cpuprofile/-memprofile capture pprof profiles of the run.
+// record with one span per experiment (inspect with s2sobs), -ops serves
+// the live run state over HTTP while the report runs (see s2sgen's doc
+// for the endpoints), and -cpuprofile/-memprofile/-blockprofile/
+// -mutexprofile capture pprof profiles of the run. SIGQUIT dumps
+// goroutine stacks without killing it.
 //
 // Usage:
 //
 //	s2sreport [-scale test|default|full] [-seed N] [-only ID[,ID...]]
 //	          [-days N] [-mesh N] [-svgdir DIR] [-archive DIR] [-list]
-//	          [-metrics PATH] [-trace PATH] [-metrics-interval D]
-//	          [-cpuprofile PATH] [-memprofile PATH] [-q]
+//	          [-metrics PATH] [-trace PATH] [-metrics-interval D] [-ops ADDR]
+//	          [-cpuprofile PATH] [-memprofile PATH]
+//	          [-blockprofile PATH] [-mutexprofile PATH] [-q]
 //
 // -archive persists the long-term campaign's record stream into a sharded
 // store directory (see internal/store) while the experiments consume it,
@@ -27,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -36,6 +41,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/ops"
 	"repro/internal/store"
 )
 
@@ -62,16 +68,22 @@ func run() error {
 		days       = flag.Int("days", 0, "override the long-term campaign length (days)")
 		mesh       = flag.Int("mesh", 0, "override the long-term mesh size")
 		metrics    = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
+		opsAddr    = flag.String("ops", "", "serve live ops endpoints (/metrics, /healthz, /runz, /flight/tail, /debug/pprof) on this address, e.g. :6060")
 		quiet      = flag.Bool("q", false, "suppress progress output on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
+		blockprof  = flag.String("blockprofile", "", "write a goroutine blocking profile to this path")
+		mutexprof  = flag.String("mutexprofile", "", "write a mutex contention profile to this path")
 		tracePath  = flag.String("trace", "", "write a flight record (JSONL) to this path; inspect with s2sobs")
 		metricsIV  = flag.Duration("metrics-interval", 24*time.Hour, "virtual time between metric snapshots in the flight record")
 	)
 	flag.Parse()
 	log := obs.NewLogger("s2sreport", *quiet)
 
-	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	obs.DumpOnSIGQUIT()
+	stopProfiles, err := obs.StartProfiles(obs.Profiles{
+		CPU: *cpuprofile, Mem: *memprofile, Block: *blockprof, Mutex: *mutexprof,
+	})
 	if err != nil {
 		return err
 	}
@@ -127,7 +139,8 @@ func run() error {
 	}
 
 	var rec *flight.Recorder
-	if *tracePath != "" {
+	switch {
+	case *tracePath != "":
 		rec, err = flight.Create(*tracePath, flight.Options{
 			Tool:            "s2sreport",
 			Registry:        reg,
@@ -136,11 +149,24 @@ func run() error {
 		if err != nil {
 			return err
 		}
+	case *opsAddr != "":
+		rec = flight.New(io.Discard, flight.Options{
+			Tool:            "s2sreport",
+			Registry:        reg,
+			MetricsInterval: *metricsIV,
+		})
+	}
+	if rec != nil {
 		sc.Trace = rec
 		if archiveSink != nil {
 			archiveSink.Trace(rec)
 		}
 	}
+	stopOps, err := ops.StartRun(*opsAddr, "s2sreport", reg, rec, log)
+	if err != nil {
+		return err
+	}
+	defer stopOps()
 
 	var selected []experiments.Experiment
 	if *only == "" {
@@ -223,7 +249,9 @@ func run() error {
 		if err := rec.Close(); err != nil {
 			return err
 		}
-		log.Printf("wrote flight record to %s", *tracePath)
+		if *tracePath != "" {
+			log.Printf("wrote flight record to %s", *tracePath)
+		}
 	}
 	log.Printf("done in %v", wall.Round(time.Millisecond))
 	return nil

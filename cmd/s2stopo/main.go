@@ -5,13 +5,16 @@
 // The summary is the product and goes to stdout; diagnostics go to stderr
 // (silence them with -q). -metrics writes a telemetry snapshot with the
 // generated topology's sizes and the build's wall time, -trace records a
-// flight record with one span per build phase (inspect with s2sobs), and
-// -cpuprofile/-memprofile capture pprof profiles of the run.
+// flight record with one span per build phase (inspect with s2sobs), -ops
+// serves the live run state over HTTP (see s2sgen's doc for the
+// endpoints), and -cpuprofile/-memprofile/-blockprofile/-mutexprofile
+// capture pprof profiles of the run.
 //
 // Usage:
 //
 //	s2stopo [-seed N] [-ases N] [-clusters N] [-links] [-platform]
-//	        [-metrics PATH] [-trace PATH] [-cpuprofile PATH] [-memprofile PATH] [-q]
+//	        [-metrics PATH] [-trace PATH] [-ops ADDR] [-cpuprofile PATH]
+//	        [-memprofile PATH] [-blockprofile PATH] [-mutexprofile PATH] [-q]
 //	s2stopo -store DIR [-shards] [-verify]
 //
 // -store prints the manifest of a sharded dataset store (written by
@@ -26,6 +29,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -35,6 +39,7 @@ import (
 	"repro/internal/itopo"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/ops"
 	"repro/internal/store"
 )
 
@@ -56,9 +61,12 @@ func run() error {
 		shards     = flag.Bool("shards", false, "with -store, dump the per-shard table")
 		verify     = flag.Bool("verify", false, "with -store, run an integrity check (fsck) instead of printing the manifest")
 		metrics    = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
+		opsAddr    = flag.String("ops", "", "serve live ops endpoints (/metrics, /healthz, /runz, /flight/tail, /debug/pprof) on this address, e.g. :6060")
 		quiet      = flag.Bool("q", false, "suppress progress output on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
+		blockprof  = flag.String("blockprofile", "", "write a goroutine blocking profile to this path")
+		mutexprof  = flag.String("mutexprofile", "", "write a mutex contention profile to this path")
 		tracePath  = flag.String("trace", "", "write a flight record (JSONL) to this path; inspect with s2sobs")
 	)
 	flag.Parse()
@@ -71,7 +79,10 @@ func run() error {
 		return printStore(*storeDir, *shards)
 	}
 
-	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	obs.DumpOnSIGQUIT()
+	stopProfiles, err := obs.StartProfiles(obs.Profiles{
+		CPU: *cpuprofile, Mem: *memprofile, Block: *blockprof, Mutex: *mutexprof,
+	})
 	if err != nil {
 		return err
 	}
@@ -81,13 +92,22 @@ func run() error {
 		}
 	}()
 
+	reg := obs.NewRegistry()
 	var rec *flight.Recorder
-	if *tracePath != "" {
-		rec, err = flight.Create(*tracePath, flight.Options{Tool: "s2stopo"})
+	switch {
+	case *tracePath != "":
+		rec, err = flight.Create(*tracePath, flight.Options{Tool: "s2stopo", Registry: reg})
 		if err != nil {
 			return err
 		}
+	case *opsAddr != "":
+		rec = flight.New(io.Discard, flight.Options{Tool: "s2stopo", Registry: reg})
 	}
+	stopOps, err := ops.StartRun(*opsAddr, "s2stopo", reg, rec, log)
+	if err != nil {
+		return err
+	}
+	defer stopOps()
 
 	start := time.Now()
 	sp := rec.Begin("as_topology", 0)
@@ -180,18 +200,19 @@ func run() error {
 		}
 	}
 
-	if *metrics != "" {
-		reg := obs.NewRegistry()
+	if *metrics != "" || *opsAddr != "" {
 		reg.Gauge(obs.MetricRunWallSeconds, "wall-clock duration of the run").Set(time.Since(start).Seconds())
 		reg.Gauge("s2s_topo_ases", "ASes in the generated topology").Set(float64(len(topo.ASes)))
 		reg.Gauge("s2s_topo_as_links", "AS-level links in the generated topology").Set(float64(len(topo.Links)))
 		reg.Gauge("s2s_topo_routers", "routers in the generated network").Set(float64(len(net.Routers)))
 		reg.Gauge("s2s_topo_router_links", "router-level links in the generated network").Set(float64(len(net.Links)))
 		reg.Gauge("s2s_topo_clusters", "CDN clusters deployed").Set(float64(len(plat.Clusters)))
-		if err := obs.WriteFile(*metrics, reg); err != nil {
-			return err
+		if *metrics != "" {
+			if err := obs.WriteFile(*metrics, reg); err != nil {
+				return err
+			}
+			log.Printf("wrote metrics snapshot to %s", *metrics)
 		}
-		log.Printf("wrote metrics snapshot to %s", *metrics)
 	}
 	if rec != nil {
 		rec.WriteManifest(flight.Manifest{
@@ -203,7 +224,9 @@ func run() error {
 		if err := rec.Close(); err != nil {
 			return err
 		}
-		log.Printf("wrote flight record to %s", *tracePath)
+		if *tracePath != "" {
+			log.Printf("wrote flight record to %s", *tracePath)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,106 @@
+package campaign
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/alert"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/ops"
+)
+
+// TestOpsDoesNotPerturbRecords extends the flight recorder's
+// observation-only contract to the whole live-telemetry stack: a campaign
+// run with an ops HTTP server attached, an alert engine evaluating every
+// boundary, and a client streaming /flight/tail must produce a dataset
+// byte-identical to a bare run — at one worker and under contention.
+func TestOpsDoesNotPerturbRecords(t *testing.T) {
+	_, platform := newProber(t, 51, 3, 60)
+	servers := SelectMesh(platform, 5, 51)
+	run := func(workers int, rec *flight.Recorder) []byte {
+		var buf bytes.Buffer
+		c, flush := binarySink(t, &buf)
+		p, _ := newProber(t, 51, 3, 60)
+		if err := LongTerm(p, LongTermConfig{
+			Servers:       servers,
+			Duration:      30 * time.Hour,
+			Interval:      3 * time.Hour,
+			ParisSwitchAt: 15 * time.Hour,
+			Workers:       workers,
+			Trace:         rec,
+		}, c); err != nil {
+			t.Fatal(err)
+		}
+		flush()
+		return buf.Bytes()
+	}
+
+	for _, workers := range []int{1, 8} {
+		plain := run(workers, nil)
+
+		reg := obs.NewRegistry()
+		var traceBuf bytes.Buffer
+		rec := flight.New(&traceBuf, flight.Options{
+			Tool:            "test",
+			Registry:        reg,
+			MetricsInterval: 24 * time.Hour,
+		})
+		srv, err := ops.Start("127.0.0.1:0", ops.Options{Tool: "test", Registry: reg, Recorder: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		alert.New(alert.Options{Registry: reg, Health: srv.Health()}).Attach(rec)
+
+		// A live client tails the flight stream for the whole run; the
+		// handler ends when rec.Close() closes the subscription.
+		tailDone := make(chan int64, 1)
+		tailResp, err := http.Get("http://" + srv.Addr() + "/flight/tail")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			n, _ := io.Copy(io.Discard, tailResp.Body)
+			tailResp.Body.Close()
+			tailDone <- n
+		}()
+
+		traced := run(workers, rec)
+
+		for _, path := range []string{"/metrics", "/healthz", "/runz"} {
+			resp, err := http.Get("http://" + srv.Addr() + path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && path != "/healthz" {
+				t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+			}
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case n := <-tailDone:
+			if n == 0 {
+				t.Errorf("workers=%d: /flight/tail streamed no bytes", workers)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("workers=%d: /flight/tail did not terminate after recorder close", workers)
+		}
+		srv.Close()
+
+		if !bytes.Equal(plain, traced) {
+			t.Fatalf("workers=%d: record stream with ops attached differs from bare run (%d vs %d bytes)",
+				workers, len(traced), len(plain))
+		}
+		if !strings.Contains(traceBuf.String(), `"tool":"test"`) {
+			t.Errorf("workers=%d: flight record missing meta line", workers)
+		}
+	}
+}

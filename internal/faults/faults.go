@@ -216,7 +216,9 @@ func (p *Plan) PersistWindow() time.Duration { return p.persistWindow }
 
 // Emit writes one flight event per scheduled fault window, stamped at
 // the window's virtual start, so the run's record carries the complete
-// fault schedule next to its effects.
+// fault schedule next to its effects. The events are announcements —
+// they describe the future without advancing the recorder's snapshot
+// clock, which the campaign's own progress drives.
 func (p *Plan) Emit(rec *flight.Recorder) {
 	for _, ev := range p.events {
 		id := int64(ev.Cluster)
@@ -228,7 +230,7 @@ func (p *Plan) Emit(rec *flight.Recorder) {
 				id = int64(ev.Links[0])
 			}
 		}
-		rec.Event(flight.PhFault, ev.Start, flight.Attrs{ID: id, N: int64(ev.Length), S: ev.Kind.String()})
+		rec.Announce(flight.PhFault, ev.Start, flight.Attrs{ID: id, N: int64(ev.Length), S: ev.Kind.String()})
 	}
 }
 

@@ -1,0 +1,317 @@
+// Package alert is the live alerting layer: a small rule engine that
+// watches a run through the flight recorder's observation taps and flags
+// operational pathologies — stalled rounds, retry storms, sink failures,
+// stale checkpoints, cache collapse, runaway heap — while the run is still
+// executing.
+//
+// The engine evaluates its rules at every -metrics-interval boundary of
+// the virtual clock (via flight.Recorder.OnBoundary), over a Sample
+// holding the registry snapshot now and at the previous boundary plus the
+// flight events seen in between. Each rule is edge-triggered: it fires
+// exactly once when its condition becomes true (one flight event, one log
+// line, one health degradation reason) and once more when it resolves —
+// never per-boundary spam while a condition persists.
+//
+// Alerting is observation-only, like everything else in internal/obs: the
+// engine reads snapshots and emits alert events into the flight record,
+// but nothing in the simulation reads alert state, so a run with alerting
+// attached emits a byte-identical dataset record stream to one without.
+// Rules marked WallClock depend on wall time or process memory — their
+// firing pattern may differ between machines or runs, which is fine for
+// the flight record (wall timestamps differ anyway) and irrelevant to the
+// dataset stream.
+package alert
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
+
+// Severity ranks an alert. The numeric values appear in the flight
+// record's id field.
+type Severity int64
+
+const (
+	Warn Severity = 0
+	Crit Severity = 1
+)
+
+func (s Severity) String() string {
+	if s == Crit {
+		return "crit"
+	}
+	return "warn"
+}
+
+// Health receives degradation state for a /healthz-style endpoint.
+// Implemented by ops.Health; a nil Health is ignored.
+type Health interface {
+	// SetReason marks the process degraded for the given rule.
+	SetReason(rule, detail string)
+	// ClearReason removes the rule's degradation.
+	ClearReason(rule string)
+}
+
+// Sample is the window a rule evaluates: the state of the world at one
+// metrics-interval boundary, relative to the previous one.
+type Sample struct {
+	// VT is the virtual-clock boundary being evaluated.
+	VT time.Duration
+	// Interval is the metrics interval (boundary spacing).
+	Interval time.Duration
+	// Cur and Prev are the registry snapshots at this boundary and the
+	// previous one. Prev is nil at the first boundary.
+	Cur, Prev *obs.Snapshot
+	// Events are the watched flight events recorded since the previous
+	// boundary, in emission order.
+	Events []flight.Record
+	// Wall is wall time since the engine started (WallClock rules only).
+	Wall time.Duration
+	// HeapBytes is the live heap at this boundary (WallClock rules only).
+	HeapBytes uint64
+}
+
+// Counter returns the cumulative sum of a counter family in the current
+// snapshot (labels aggregated).
+func (s *Sample) Counter(family string) int64 {
+	return s.Cur.SumFamily(family)
+}
+
+// DeltaCounter returns the growth of a counter family since the previous
+// boundary (the whole cumulative value at the first boundary).
+func (s *Sample) DeltaCounter(family string) int64 {
+	d := s.Cur.SumFamily(family)
+	if s.Prev != nil {
+		d -= s.Prev.SumFamily(family)
+	}
+	return d
+}
+
+// Rule is one alert condition. Check returns whether the condition holds
+// for the sample, plus a human-readable detail used when the state
+// changes. Check functions may be stateful closures (the engine serializes
+// all calls); they must not mutate the sample.
+type Rule struct {
+	Name     string
+	Severity Severity
+	// WallClock marks rules whose signal depends on wall time or process
+	// state rather than the virtual-time-deterministic counters; their
+	// firings can differ across machines without breaking determinism.
+	WallClock bool
+	Check     func(s *Sample) (detail string, firing bool)
+}
+
+// ruleState pairs a rule with its edge-trigger latch.
+type ruleState struct {
+	Rule
+	active bool
+}
+
+// Options configure an Engine.
+type Options struct {
+	// Registry is snapshotted at every boundary. Required.
+	Registry *obs.Registry
+	// Logger, when set, receives one stderr line per alert transition.
+	Logger *obs.Logger
+	// Health, when set, receives degradation reasons.
+	Health Health
+	// Rules defaults to StandardRules(DefaultConfig()).
+	Rules []Rule
+	// Interval is the boundary spacing, for staleness windows. Attach
+	// overwrites it with the recorder's snapshot interval when set there.
+	Interval time.Duration
+	// Clock overrides time.Now (test hook).
+	Clock func() time.Time
+	// Heap overrides the live-heap reading (test hook).
+	Heap func() uint64
+}
+
+// Engine evaluates alert rules at metric-snapshot boundaries. All methods
+// are safe for concurrent use and no-ops on a nil receiver.
+type Engine struct {
+	mu     sync.Mutex
+	reg    *obs.Registry
+	rec    *flight.Recorder
+	log    *obs.Logger
+	health Health
+	rules  []*ruleState
+	prev   *obs.Snapshot
+	events []flight.Record
+	iv     time.Duration
+	now    func() time.Time
+	start  time.Time
+	heapFn func() uint64
+}
+
+// New builds an Engine. It does nothing until attached to a recorder (or
+// driven directly via Ingest/EvalBoundary in tests).
+func New(o Options) *Engine {
+	now := o.Clock
+	if now == nil {
+		now = time.Now
+	}
+	heap := o.Heap
+	if heap == nil {
+		heap = liveHeap
+	}
+	rules := o.Rules
+	if rules == nil {
+		rules = StandardRules(DefaultConfig())
+	}
+	e := &Engine{
+		reg:    o.Registry,
+		log:    o.Logger,
+		health: o.Health,
+		iv:     o.Interval,
+		now:    now,
+		heapFn: heap,
+	}
+	e.start = now()
+	for i := range rules {
+		e.rules = append(e.rules, &ruleState{Rule: rules[i]})
+	}
+	return e
+}
+
+func liveHeap() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// watchedPhases are the event phases buffered between boundaries for rules
+// to inspect. Everything else (probe batches, cache sweeps, alerts
+// themselves) is dropped at the tap, bounding the buffer.
+var watchedPhases = map[string]bool{
+	flight.PhCheckpoint: true,
+	flight.PhResume:     true,
+	flight.PhSinkError:  true,
+	flight.PhDegraded:   true,
+}
+
+// Attach wires the engine to a recorder: watched events feed Ingest, and
+// every metrics-interval boundary triggers an evaluation whose alert
+// transitions are emitted back into the same recorder. Attach once, before
+// the run starts.
+func (e *Engine) Attach(rec *flight.Recorder) {
+	if e == nil || rec == nil {
+		return
+	}
+	e.mu.Lock()
+	e.rec = rec
+	if iv := rec.Interval(); iv > 0 {
+		e.iv = iv
+	}
+	e.mu.Unlock()
+	rec.Observe(func(r *flight.Record) {
+		if r.K == flight.KEvent && watchedPhases[r.Ph] {
+			e.Ingest(r)
+		}
+	})
+	rec.OnBoundary(e.EvalBoundary)
+}
+
+// Ingest buffers one flight event for the next evaluation.
+func (e *Engine) Ingest(r *flight.Record) {
+	if e == nil || r == nil {
+		return
+	}
+	e.mu.Lock()
+	e.events = append(e.events, *r)
+	e.mu.Unlock()
+}
+
+// transition is one rule edge (fired or resolved) produced by an
+// evaluation, notified outside the engine lock.
+type transition struct {
+	rule   Rule
+	detail string
+	firing bool
+}
+
+// EvalBoundary evaluates every rule against the interval ending at vt.
+// The recorder calls it from its boundary tap; tests call it directly.
+func (e *Engine) EvalBoundary(vt time.Duration) {
+	if e == nil || e.reg == nil {
+		return
+	}
+	e.mu.Lock()
+	cur := e.reg.Snapshot()
+	iv := e.iv
+	if iv <= 0 {
+		iv = vt // direct-driven (tests): treat the whole span as one interval
+	}
+	s := &Sample{
+		VT:        vt,
+		Interval:  iv,
+		Cur:       cur,
+		Prev:      e.prev,
+		Events:    e.events,
+		Wall:      e.now().Sub(e.start),
+		HeapBytes: e.heapFn(),
+	}
+	e.prev = cur
+	e.events = nil
+	var trans []transition
+	for _, rs := range e.rules {
+		detail, firing := rs.Check(s)
+		if firing != rs.active {
+			rs.active = firing
+			trans = append(trans, transition{rule: rs.Rule, detail: detail, firing: firing})
+		}
+	}
+	rec := e.rec
+	e.mu.Unlock()
+	// Side effects run unlocked: emitting into the recorder re-enters its
+	// dispatch loop, which may deliver unrelated pending events back into
+	// Ingest.
+	for _, tr := range trans {
+		e.notify(rec, vt, tr)
+	}
+}
+
+func (e *Engine) notify(rec *flight.Recorder, vt time.Duration, tr transition) {
+	firing := int64(0)
+	if tr.firing {
+		firing = 1
+	}
+	rec.Event(flight.PhAlert, vt, flight.Attrs{
+		S: tr.rule.Name, ID: int64(tr.rule.Severity), N: firing,
+	})
+	if tr.firing {
+		if tr.rule.Severity >= Crit {
+			e.log.Errorf("ALERT [%s] %s: %s", tr.rule.Severity, tr.rule.Name, tr.detail)
+		} else {
+			e.log.Printf("alert [%s] %s: %s", tr.rule.Severity, tr.rule.Name, tr.detail)
+		}
+		if e.health != nil {
+			e.health.SetReason(tr.rule.Name, tr.detail)
+		}
+	} else {
+		e.log.Printf("alert resolved: %s", tr.rule.Name)
+		if e.health != nil {
+			e.health.ClearReason(tr.rule.Name)
+		}
+	}
+}
+
+// Active returns the names of currently-firing rules, sorted by rule
+// registration order.
+func (e *Engine) Active() []string {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for _, rs := range e.rules {
+		if rs.active {
+			out = append(out, rs.Name)
+		}
+	}
+	return out
+}

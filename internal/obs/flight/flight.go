@@ -26,6 +26,7 @@ package flight
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"io"
@@ -68,6 +69,7 @@ const (
 	PhCheckpoint = "checkpoint"     // event: campaign checkpoint written; vt = resume point, n = records, m = sink position
 	PhResume     = "resume"         // event: campaign resumed from a checkpoint; vt = resume point, n = rounds already done
 	PhSinkError  = "sink_error"     // event: first dataset-sink write failure; s = error text
+	PhAlert      = "alert"          // event: alert-rule transition; s = rule, id = severity (0 warn, 1 crit), n = 1 firing / 0 resolved
 )
 
 // Attrs are the optional attributes of a span or event. Zero-valued
@@ -136,11 +138,28 @@ type Options struct {
 
 // Recorder streams flight records to a writer. All methods are safe for
 // concurrent use and are no-ops on a nil receiver.
+//
+// Besides the file stream, a live recorder can be tapped three ways, all
+// observation-only (none of them can slow or change the record file):
+//
+//   - Subscribe tees every encoded line to a channel — the transport
+//     behind the ops server's /flight/tail endpoint. Slow subscribers
+//     lose lines rather than stalling the run.
+//   - Observe delivers every record, decoded, to a callback — how the
+//     alert engine watches checkpoint and sink events.
+//   - OnBoundary fires a callback at every metrics-interval boundary the
+//     virtual clock crosses (even when the interval's delta snapshot was
+//     empty and skipped) — the alert engine's evaluation clock.
+//
+// Observer and boundary callbacks run outside the recorder's lock, so
+// they may themselves emit records (the alert engine writes alert events
+// from inside its boundary callback).
 type Recorder struct {
 	mu     sync.Mutex
 	bw     *bufio.Writer
 	file   io.Closer
-	enc    *json.Encoder
+	buf    bytes.Buffer  // encode scratch; one line at a time
+	enc    *json.Encoder // encodes into buf
 	now    func() time.Time
 	start  time.Time
 	reg    *obs.Registry
@@ -149,6 +168,23 @@ type Recorder struct {
 	last   *obs.Snapshot
 	err    error
 	closed bool
+
+	// Live taps. metaLine replays the header to late subscribers.
+	metaLine    []byte
+	subs        map[int]chan []byte
+	subID       int
+	observers   []func(*Record)
+	boundaryFns []func(time.Duration)
+	// pending holds callback work queued under the lock, dispatched by the
+	// public entry points after releasing it.
+	pending []pendingCallback
+}
+
+// pendingCallback is one deferred observer notification: a written record
+// or a crossed snapshot boundary.
+type pendingCallback struct {
+	rec      *Record
+	boundary int64
 }
 
 // New returns a Recorder streaming to w and writes the meta line.
@@ -160,11 +196,11 @@ func New(w io.Writer, o Options) *Recorder {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	r := &Recorder{
 		bw:  bw,
-		enc: json.NewEncoder(bw),
 		now: now,
 		reg: o.Registry,
 		iv:  int64(o.MetricsInterval),
 	}
+	r.enc = json.NewEncoder(&r.buf)
 	r.start = r.now()
 	if r.iv > 0 {
 		r.next.Store(r.iv)
@@ -188,6 +224,15 @@ func Create(path string, o Options) (*Recorder, error) {
 // Enabled reports whether the recorder is live (false on nil), for callers
 // that guard non-trivial attribute computation.
 func (r *Recorder) Enabled() bool { return r != nil }
+
+// Interval returns the configured snapshot interval (0 when snapshots are
+// disabled or the recorder is nil).
+func (r *Recorder) Interval() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Duration(r.iv)
+}
 
 // Span is an in-flight timed phase. The zero Span (from a nil Recorder)
 // is inert: End is a no-op.
@@ -232,6 +277,26 @@ func (r *Recorder) Event(ph string, vt time.Duration, a Attrs) {
 	})
 }
 
+// Announce writes a point event describing a future virtual time without
+// advancing the snapshot clock. Schedule announcements — a fault plan
+// emitted at run start, say — declare what will happen rather than report
+// that the clock got there, so they must not consume metric-snapshot
+// boundaries the way Event's vt does. On disk the line is identical to an
+// Event's.
+func (r *Recorder) Announce(ph string, vt time.Duration, a Attrs) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.writeLocked(&Record{
+		K: KEvent, Ph: ph,
+		T:  r.now().Sub(r.start).Nanoseconds(),
+		VT: int64(vt), ID: a.ID, N: a.N, M: a.M, S: a.S,
+	})
+	r.mu.Unlock()
+	r.dispatch()
+}
+
 // Advance tells the recorder the virtual clock reached vt without emitting
 // a span, flushing any metric snapshots whose boundary passed. Callers on
 // tight loops (e.g. a dataset reader walking record timestamps) can call
@@ -246,6 +311,7 @@ func (r *Recorder) Advance(vt time.Duration) {
 	r.mu.Lock()
 	r.snapUpToLocked(int64(vt))
 	r.mu.Unlock()
+	r.dispatch()
 }
 
 // WriteManifest completes m (Go version, wall time, final metrics from the
@@ -258,7 +324,6 @@ func (r *Recorder) WriteManifest(m Manifest) {
 		m.Go = runtime.Version()
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if m.WallNS == 0 {
 		m.WallNS = r.now().Sub(r.start).Nanoseconds()
 	}
@@ -274,6 +339,8 @@ func (r *Recorder) WriteManifest(m Manifest) {
 		}
 	}
 	r.writeLocked(&Record{K: KManifest, T: r.now().Sub(r.start).Nanoseconds(), Man: &m})
+	r.mu.Unlock()
+	r.dispatch()
 }
 
 // Close flushes the stream and closes the underlying file (when the
@@ -288,6 +355,10 @@ func (r *Recorder) Close() error {
 		return r.err
 	}
 	r.closed = true
+	for id, ch := range r.subs {
+		delete(r.subs, id)
+		close(ch)
+	}
 	if err := r.bw.Flush(); err != nil && r.err == nil {
 		r.err = err
 	}
@@ -314,19 +385,140 @@ func (r *Recorder) Err() error {
 // order relative to the spans that drove the clock forward).
 func (r *Recorder) emit(rec *Record) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if rec.VT > 0 {
 		r.snapUpToLocked(rec.VT)
 	}
 	r.writeLocked(rec)
+	r.mu.Unlock()
+	r.dispatch()
 }
 
 func (r *Recorder) writeLocked(rec *Record) {
 	if r.err != nil || r.closed {
 		return
 	}
+	r.buf.Reset()
 	if err := r.enc.Encode(rec); err != nil {
 		r.err = err
+		return
+	}
+	line := r.buf.Bytes()
+	if _, err := r.bw.Write(line); err != nil && r.err == nil {
+		r.err = err
+	}
+	if rec.K == KMeta && r.metaLine == nil {
+		r.metaLine = append([]byte(nil), line...)
+	}
+	if len(r.subs) > 0 {
+		// One shared copy per line; a subscriber whose buffer is full loses
+		// the line (a live tail must never stall the run).
+		cp := append([]byte(nil), line...)
+		for _, ch := range r.subs {
+			select {
+			case ch <- cp:
+			default:
+			}
+		}
+	}
+	if len(r.observers) > 0 {
+		r.pending = append(r.pending, pendingCallback{rec: rec})
+	}
+}
+
+// Subscribe tees every encoded line (including the already-written meta
+// header) into a fresh channel with the given buffer size. The channel is
+// closed when the recorder closes or cancel is called; lines that arrive
+// while the buffer is full are dropped. On a nil recorder it returns a
+// closed channel.
+func (r *Recorder) Subscribe(buffer int) (lines <-chan []byte, cancel func()) {
+	if r == nil {
+		ch := make(chan []byte)
+		close(ch)
+		return ch, func() {}
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan []byte, buffer)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	if r.subs == nil {
+		r.subs = make(map[int]chan []byte)
+	}
+	id := r.subID
+	r.subID++
+	r.subs[id] = ch
+	if r.metaLine != nil {
+		ch <- r.metaLine // buffer >= 1, channel is fresh: never blocks
+	}
+	r.mu.Unlock()
+	return ch, func() {
+		r.mu.Lock()
+		if sub, ok := r.subs[id]; ok {
+			delete(r.subs, id)
+			close(sub)
+		}
+		r.mu.Unlock()
+	}
+}
+
+// Observe registers fn to receive every record the recorder writes, after
+// the write. Callbacks run outside the recorder lock (so fn may emit
+// records itself) but on the emitting goroutine. Register before the run
+// starts; a nil recorder is a no-op.
+func (r *Recorder) Observe(fn func(*Record)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.observers = append(r.observers, fn)
+	r.mu.Unlock()
+}
+
+// OnBoundary registers fn to run each time the virtual clock crosses a
+// metrics-interval boundary, whether or not that interval's delta
+// snapshot was empty. Like Observe callbacks, fn runs outside the
+// recorder lock and may emit records. A nil recorder (or a recorder
+// without snapshots configured) never fires.
+func (r *Recorder) OnBoundary(fn func(vt time.Duration)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.boundaryFns = append(r.boundaryFns, fn)
+	r.mu.Unlock()
+}
+
+// dispatch drains the pending callback queue outside the lock. Callbacks
+// may emit records, queueing more work; the loop runs until the queue is
+// empty.
+func (r *Recorder) dispatch() {
+	for {
+		r.mu.Lock()
+		if len(r.pending) == 0 {
+			r.mu.Unlock()
+			return
+		}
+		work := r.pending
+		r.pending = nil
+		obsFns := r.observers
+		bFns := r.boundaryFns
+		r.mu.Unlock()
+		for _, p := range work {
+			if p.rec != nil {
+				for _, fn := range obsFns {
+					fn(p.rec)
+				}
+			} else {
+				for _, fn := range bFns {
+					fn(time.Duration(p.boundary))
+				}
+			}
+		}
 	}
 }
 
@@ -343,6 +535,9 @@ func (r *Recorder) snapUpToLocked(vt int64) {
 	}
 	for vt >= next {
 		r.snapAtLocked(next)
+		if len(r.boundaryFns) > 0 {
+			r.pending = append(r.pending, pendingCallback{boundary: next})
+		}
 		next += r.iv
 	}
 	r.next.Store(next)

@@ -59,6 +59,91 @@ func Read(r io.Reader) (*Trace, error) {
 	return tr, nil
 }
 
+// Truncation describes how a tolerantly-read trace fell short of a
+// complete file: a torn (undecodable) final line, a missing manifest, or
+// both. The zero value means the trace was complete.
+type Truncation struct {
+	// Torn is set when the final line failed to decode — the signature of
+	// a writer killed mid-line. LineNo is that line's 1-based number.
+	Torn   bool
+	LineNo int
+	// NoManifest is set when no manifest record was found: the run never
+	// reached WriteManifest (still running, crashed, or truncated).
+	NoManifest bool
+}
+
+// Truncated reports whether the trace is incomplete in any way.
+func (tn Truncation) Truncated() bool { return tn.Torn || tn.NoManifest }
+
+// ReadTolerant parses a flight-record stream that may still be growing or
+// may have been torn by a crash. Unlike Read, an undecodable *final* line
+// is tolerated (reported via Truncation, the decodable prefix returned);
+// an undecodable line in the middle of the file is still a hard error —
+// that is corruption, not truncation.
+func ReadTolerant(r io.Reader) (*Trace, Truncation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	tr := &Trace{}
+	var tn Truncation
+	lineNo := 0
+	badLine := 0 // deferred: only an error if another line follows
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if badLine != 0 {
+			return nil, tn, fmt.Errorf("flight: line %d: undecodable record mid-file (corrupt, not torn)", badLine)
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.K == "" {
+			badLine = lineNo
+			continue
+		}
+		switch rec.K {
+		case KMeta:
+			if lineNo == 1 {
+				tr.Meta = rec
+				continue
+			}
+		case KManifest:
+			if rec.Man == nil {
+				badLine = lineNo
+				continue
+			}
+			tr.Manifest = rec.Man
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, tn, fmt.Errorf("flight: %w", err)
+	}
+	if badLine != 0 {
+		tn.Torn = true
+		tn.LineNo = badLine
+	}
+	if tr.Manifest == nil {
+		tn.NoManifest = true
+	}
+	return tr, tn, nil
+}
+
+// ReadFileTolerant parses the (possibly growing or torn) flight record at
+// path.
+func ReadFileTolerant(path string) (*Trace, Truncation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Truncation{}, err
+	}
+	defer f.Close()
+	tr, tn, err := ReadTolerant(f)
+	if err != nil {
+		return nil, tn, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, tn, nil
+}
+
 // ReadFile parses the flight record at path.
 func ReadFile(path string) (*Trace, error) {
 	f, err := os.Open(path)

@@ -1,0 +1,317 @@
+package flight
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestSubscribeTee checks that a subscriber sees the meta header plus every
+// line written after it joined, byte-identical to the file stream.
+func TestSubscribeTee(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf, Options{Tool: "tap-test", Clock: testClock(time.Millisecond)})
+	lines, cancel := r.Subscribe(64)
+	defer cancel()
+
+	r.Event(PhEngine, 0, Attrs{N: 4})
+	sp := r.Begin(PhRound, time.Hour)
+	sp.End(Attrs{N: 7})
+	r.WriteManifest(Manifest{Tool: "tap-test", Seed: 1})
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var got bytes.Buffer
+	for line := range lines {
+		got.Write(line)
+	}
+	if got.String() != buf.String() {
+		t.Fatalf("subscriber stream differs from file:\nsub:  %q\nfile: %q", got.String(), buf.String())
+	}
+	if n := strings.Count(got.String(), "\n"); n != 4 {
+		t.Fatalf("want 4 lines (meta, ev, span, manifest), got %d", n)
+	}
+}
+
+// TestSubscribeLateJoinerGetsMeta: a subscriber attaching mid-run replays
+// the meta header first, so a tailing client can always identify the format.
+func TestSubscribeLateJoinerGetsMeta(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf, Options{Tool: "late", Clock: testClock(time.Millisecond)})
+	r.Event(PhEngine, 0, Attrs{N: 2}) // before subscribing: lost to the tail
+
+	lines, cancel := r.Subscribe(8)
+	defer cancel()
+	r.Event(PhProbeBatch, time.Hour, Attrs{N: 1024})
+	r.Close()
+
+	var seen []string
+	for line := range lines {
+		seen = append(seen, string(line))
+	}
+	if len(seen) != 2 {
+		t.Fatalf("want meta + 1 event, got %d lines: %v", len(seen), seen)
+	}
+	if !strings.Contains(seen[0], `"k":"meta"`) {
+		t.Fatalf("first replayed line is not meta: %s", seen[0])
+	}
+	if !strings.Contains(seen[1], PhProbeBatch) {
+		t.Fatalf("second line is not the post-subscribe event: %s", seen[1])
+	}
+}
+
+// TestSubscribeSlowClientDropsLines: a full subscriber buffer drops lines
+// instead of blocking the writer.
+func TestSubscribeSlowClientDropsLines(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf, Options{Tool: "slow", Clock: testClock(time.Millisecond)})
+	lines, cancel := r.Subscribe(1)
+	defer cancel()
+	// Buffer of 1 already holds the meta line; these must not block.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			r.Event(PhProbeBatch, 0, Attrs{N: int64(i)})
+		}
+		r.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer blocked on a slow subscriber")
+	}
+	n := 0
+	for range lines {
+		n++
+	}
+	if n > 2 { // meta + at most one buffered event
+		t.Fatalf("slow subscriber saw %d lines, want <= 2", n)
+	}
+}
+
+func TestSubscribeCancelIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf, Options{Tool: "cancel"})
+	_, cancel := r.Subscribe(4)
+	cancel()
+	cancel() // second cancel must not panic (double close)
+	r.Close()
+
+	// Subscribing to a closed recorder returns a closed channel.
+	lines, cancel2 := r.Subscribe(4)
+	defer cancel2()
+	if _, ok := <-lines; ok {
+		t.Fatal("subscription on closed recorder delivered a line")
+	}
+}
+
+// TestObserveSeesEveryRecord: observers receive each record after it is
+// written, including snapshots and the manifest.
+func TestObserveSeesEveryRecord(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("tap_obs_total", "")
+	var buf bytes.Buffer
+	r := New(&buf, Options{
+		Tool: "observe", Registry: reg, MetricsInterval: time.Hour,
+		Clock: testClock(time.Millisecond),
+	})
+	var kinds []string
+	r.Observe(func(rec *Record) { kinds = append(kinds, rec.K) })
+
+	c.Inc()
+	r.Event(PhEngine, 90*time.Minute, Attrs{N: 1}) // crosses the 1h boundary
+	r.WriteManifest(Manifest{Tool: "observe"})
+	r.Close()
+
+	want := []string{KSnap, KEvent, KManifest}
+	if len(kinds) != len(want) {
+		t.Fatalf("observer saw %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("observer saw %v, want %v", kinds, want)
+		}
+	}
+}
+
+// TestOnBoundaryFiresPerInterval: boundary callbacks fire once per crossed
+// interval, even when the interval's delta snapshot was empty, and the
+// callback may itself emit records without deadlocking.
+func TestOnBoundaryFiresPerInterval(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	r := New(&buf, Options{
+		Tool: "boundary", Registry: reg, MetricsInterval: time.Hour,
+		Clock: testClock(time.Millisecond),
+	})
+	var fired []time.Duration
+	r.OnBoundary(func(vt time.Duration) {
+		fired = append(fired, vt)
+		r.Event(PhAlert, vt, Attrs{S: "test_rule", N: 1}) // reentrant emit
+	})
+
+	r.Advance(3*time.Hour + 30*time.Minute) // crosses 1h, 2h, 3h — all quiet
+	r.Close()
+
+	want := []time.Duration{time.Hour, 2 * time.Hour, 3 * time.Hour}
+	if len(fired) != len(want) {
+		t.Fatalf("boundaries fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("boundaries fired at %v, want %v", fired, want)
+		}
+	}
+	if n := strings.Count(buf.String(), `"ph":"alert"`); n != 3 {
+		t.Fatalf("want 3 alert events from the callback, got %d\n%s", n, buf.String())
+	}
+}
+
+// TestTapsDoNotPerturbStream: the file bytes with taps attached equal the
+// file bytes without any taps.
+func TestTapsDoNotPerturbStream(t *testing.T) {
+	run := func(tap bool) string {
+		reg := obs.NewRegistry()
+		c := reg.Counter("tap_perturb_total", "")
+		var buf bytes.Buffer
+		r := New(&buf, Options{
+			Tool: "perturb", Registry: reg, MetricsInterval: time.Hour,
+			Clock: testClock(time.Millisecond),
+		})
+		if tap {
+			lines, cancel := r.Subscribe(4)
+			defer cancel()
+			go func() {
+				for range lines {
+				}
+			}()
+			r.Observe(func(*Record) {})
+			r.OnBoundary(func(time.Duration) {})
+		}
+		c.Inc()
+		r.Event(PhEngine, 2*time.Hour, Attrs{N: 1})
+		r.WriteManifest(Manifest{Tool: "perturb", Seed: 9})
+		r.Close()
+		return buf.String()
+	}
+	if plain, tapped := run(false), run(true); plain != tapped {
+		t.Fatalf("taps perturbed the stream:\nplain:  %q\ntapped: %q", plain, tapped)
+	}
+}
+
+// TestReadTolerant covers the three truncation shapes: complete file, torn
+// final line, and missing manifest; plus mid-file corruption as hard error.
+func TestReadTolerant(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf, Options{Tool: "tol", Clock: testClock(time.Millisecond)})
+	r.Event(PhEngine, 0, Attrs{N: 4})
+	r.WriteManifest(Manifest{Tool: "tol"})
+	r.Close()
+	full := buf.String()
+
+	t.Run("complete", func(t *testing.T) {
+		tr, tn, err := ReadTolerant(strings.NewReader(full))
+		if err != nil {
+			t.Fatalf("ReadTolerant: %v", err)
+		}
+		if tn.Truncated() {
+			t.Fatalf("complete file reported truncated: %+v", tn)
+		}
+		if tr.Manifest == nil || len(tr.Records) != 2 {
+			t.Fatalf("bad parse: manifest=%v records=%d", tr.Manifest, len(tr.Records))
+		}
+	})
+	t.Run("torn final line", func(t *testing.T) {
+		torn := full[:len(full)-10] // cut into the manifest line
+		tr, tn, err := ReadTolerant(strings.NewReader(torn))
+		if err != nil {
+			t.Fatalf("ReadTolerant on torn file: %v", err)
+		}
+		if !tn.Torn || !tn.NoManifest {
+			t.Fatalf("want Torn+NoManifest, got %+v", tn)
+		}
+		if len(tr.Records) != 1 {
+			t.Fatalf("want the decodable prefix (1 record), got %d", len(tr.Records))
+		}
+	})
+	t.Run("no manifest", func(t *testing.T) {
+		idx := strings.LastIndex(full[:len(full)-1], "\n")
+		_, tn, err := ReadTolerant(strings.NewReader(full[:idx+1]))
+		if err != nil {
+			t.Fatalf("ReadTolerant: %v", err)
+		}
+		if tn.Torn || !tn.NoManifest {
+			t.Fatalf("want NoManifest only, got %+v", tn)
+		}
+	})
+	t.Run("mid-file corruption", func(t *testing.T) {
+		corrupt := strings.Replace(full, `"k":"ev"`, `!garbage!`, 1)
+		if _, _, err := ReadTolerant(strings.NewReader(corrupt)); err == nil {
+			t.Fatal("mid-file corruption not reported as error")
+		}
+	})
+}
+
+// TestAnnounceDoesNotAdvanceBoundaries pins the schedule-announcement
+// contract: an event announced at a far-future virtual time (a fault plan
+// emitted at run start) is written to the stream but leaves the snapshot
+// clock alone, so the boundaries still fire as the run actually reaches
+// them. Before this distinction existed, a faulted run's upfront schedule
+// consumed every boundary against a zeroed registry and the run produced
+// no snapshots at all.
+func TestAnnounceDoesNotAdvanceBoundaries(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("s2s_test_events_total", "test counter")
+	var buf bytes.Buffer
+	r := New(&buf, Options{
+		Tool: "announce", Registry: reg, MetricsInterval: time.Hour,
+		Clock: testClock(time.Millisecond),
+	})
+	var fired []time.Duration
+	r.OnBoundary(func(vt time.Duration) { fired = append(fired, vt) })
+
+	// Announce the whole "schedule" upfront, far past several boundaries.
+	for i := 1; i <= 5; i++ {
+		r.Announce("fault", time.Duration(i)*24*time.Hour, Attrs{ID: int64(i), S: "outage"})
+	}
+	if len(fired) != 0 {
+		t.Fatalf("announcements fired %d boundaries, want 0", len(fired))
+	}
+
+	// Real progress still snapshots at each crossed boundary.
+	c.Add(3)
+	r.Advance(2 * time.Hour)
+	if want := []time.Duration{time.Hour, 2 * time.Hour}; len(fired) != len(want) {
+		t.Fatalf("boundaries fired at %v, want %v", fired, want)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := 0
+	for _, rec := range tr.Records {
+		if rec.K == KSnap {
+			snaps++
+		}
+	}
+	if snaps == 0 {
+		t.Fatal("no snapshots after real progress")
+	}
+	events := 0
+	for _, rec := range tr.Records {
+		if rec.K == KEvent && rec.Ph == "fault" {
+			events++
+		}
+	}
+	if events != 5 {
+		t.Fatalf("got %d announced events in the stream, want 5", events)
+	}
+}

@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus audits a Prometheus text exposition against the
+// invariants this repo's exporter promises (a promtool-style check, kept
+// in-tree so CI needs no external binary):
+//
+//   - every line is a series, `# HELP`, or `# TYPE` with a known kind
+//   - every series has a preceding `# TYPE` for its family, families are
+//     contiguous blocks in sorted order, and no series repeats
+//   - series values parse as floats; label keys within a series are sorted
+//   - counter family names end in `_total`
+//   - histogram bucket `le` bounds strictly increase and end at `+Inf`,
+//     bucket counts are cumulative (non-decreasing), and the family's
+//     `_count` equals its `+Inf` bucket
+//
+// It returns one message per problem; an empty slice means the exposition
+// is clean.
+func LintPrometheus(r io.Reader) []string {
+	var problems []string
+	bad := func(lineNo int, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("line %d: %s", lineNo, fmt.Sprintf(format, args...)))
+	}
+
+	kinds := make(map[string]string) // family -> TYPE
+	seenSeries := make(map[string]int)
+	famOrder := []string{}
+	famClosed := make(map[string]bool)
+	curFam := ""
+
+	// Histogram state, validated when its family block ends.
+	type histGroup struct {
+		lastLE     float64
+		lastCount  int64
+		sawInf     bool
+		infCount   int64
+		firstLine  int
+		hasCount   bool
+		countValue int64
+	}
+	hists := make(map[string]*histGroup) // per labeled sub-series (labels minus le)
+
+	closeFam := func() {
+		for key, g := range hists {
+			if !g.sawInf {
+				bad(g.firstLine, "histogram %s has no +Inf bucket", key)
+			}
+			if g.hasCount && g.sawInf && g.countValue != g.infCount {
+				bad(g.firstLine, "histogram %s _count %d != +Inf bucket %d", key, g.countValue, g.infCount)
+			}
+		}
+		hists = make(map[string]*histGroup)
+	}
+
+	enterFam := func(fam string, lineNo int) {
+		if fam == curFam {
+			return
+		}
+		closeFam()
+		if famClosed[fam] {
+			bad(lineNo, "family %s reappears after other families (blocks must be contiguous)", fam)
+		}
+		if curFam != "" {
+			famClosed[curFam] = true
+			if fam < curFam {
+				bad(lineNo, "family %s out of order after %s (families must sort)", fam, curFam)
+			}
+		}
+		curFam = fam
+		famOrder = append(famOrder, fam)
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				bad(lineNo, "malformed comment %q (want # HELP or # TYPE)", line)
+				continue
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					bad(lineNo, "TYPE without kind: %q", line)
+					continue
+				}
+				fam, kind := fields[2], fields[3]
+				switch kind {
+				case "counter", "gauge", "histogram":
+				default:
+					bad(lineNo, "unknown TYPE kind %q for %s", kind, fam)
+				}
+				if _, dup := kinds[fam]; dup {
+					bad(lineNo, "duplicate TYPE for %s", fam)
+				}
+				kinds[fam] = kind
+				enterFam(fam, lineNo)
+				if kind == "counter" && !strings.HasSuffix(fam, "_total") {
+					bad(lineNo, "counter family %s does not end in _total", fam)
+				}
+			}
+			continue
+		}
+
+		name, value, ok := splitSeries(line)
+		if !ok {
+			bad(lineNo, "malformed series line %q", line)
+			continue
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			bad(lineNo, "series %s has non-numeric value %q", name, value)
+		}
+		if prev, dup := seenSeries[name]; dup {
+			bad(lineNo, "duplicate series %s (first at line %d)", name, prev)
+		}
+		seenSeries[name] = lineNo
+
+		labels, lerr := labelKeys(name)
+		if lerr != "" {
+			bad(lineNo, "series %s: %s", name, lerr)
+		} else if !sort.StringsAreSorted(labels) {
+			bad(lineNo, "series %s label keys not sorted: %v", name, labels)
+		}
+
+		fam := seriesFamily(name, kinds)
+		if fam == "" {
+			bad(lineNo, "series %s has no preceding # TYPE", name)
+			continue
+		}
+		enterFam(fam, lineNo)
+
+		if kinds[fam] == "histogram" {
+			base := familyOf(name)
+			switch {
+			case strings.HasSuffix(base, "_bucket"):
+				le, key, perr := bucketLE(name)
+				if perr != "" {
+					bad(lineNo, "bucket %s: %s", name, perr)
+					continue
+				}
+				g := hists[key]
+				if g == nil {
+					g = &histGroup{lastLE: negInf, firstLine: lineNo}
+					hists[key] = g
+				}
+				if g.sawInf {
+					bad(lineNo, "bucket %s after the +Inf bucket", name)
+				}
+				if le <= g.lastLE {
+					bad(lineNo, "bucket %s le %v not increasing (prev %v)", name, le, g.lastLE)
+				}
+				count, _ := strconv.ParseInt(value, 10, 64)
+				if count < g.lastCount {
+					bad(lineNo, "bucket %s count %d below previous bucket %d (buckets are cumulative)", name, count, g.lastCount)
+				}
+				g.lastLE, g.lastCount = le, count
+				if le == inf {
+					g.sawInf, g.infCount = true, count
+				}
+			case strings.HasSuffix(base, "_count"):
+				key := strings.TrimSuffix(base, "_count") + labelsOf(name)
+				g := hists[key]
+				if g == nil {
+					g = &histGroup{lastLE: negInf, firstLine: lineNo}
+					hists[key] = g
+				}
+				g.hasCount = true
+				g.countValue, _ = strconv.ParseInt(value, 10, 64)
+			case strings.HasSuffix(base, "_sum"):
+				// value already checked numeric; nothing structural
+			default:
+				bad(lineNo, "histogram family %s has non-histogram series %s", fam, name)
+			}
+		}
+	}
+	closeFam()
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("read: %v", err))
+	}
+	return problems
+}
+
+var negInf = -inf
+
+// splitSeries divides a series line into name (with inline labels) and
+// value. The name may contain spaces only inside quoted label values.
+func splitSeries(line string) (name, value string, ok bool) {
+	// Find the space that terminates the name: after the closing brace if
+	// labels are present, else the first space.
+	end := strings.IndexByte(line, '{')
+	if end >= 0 {
+		close := strings.IndexByte(line[end:], '}')
+		if close < 0 {
+			return "", "", false
+		}
+		end += close + 1
+	} else {
+		end = strings.IndexByte(line, ' ')
+		if end < 0 {
+			return "", "", false
+		}
+	}
+	name = line[:end]
+	rest := strings.TrimSpace(line[end:])
+	if name == "" || rest == "" || strings.ContainsAny(rest, " \t") {
+		return "", "", false
+	}
+	return name, rest, true
+}
+
+// labelKeys extracts the label keys of a series name in order of
+// appearance; the second return is a parse problem ("" when fine).
+func labelKeys(name string) ([]string, string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return nil, ""
+	}
+	if !strings.HasSuffix(name, "}") {
+		return nil, "unterminated label set"
+	}
+	body := name[i+1 : len(name)-1]
+	var keys []string
+	for _, part := range strings.Split(body, ",") {
+		eq := strings.IndexByte(part, '=')
+		if eq <= 0 {
+			return nil, fmt.Sprintf("malformed label %q", part)
+		}
+		v := part[eq+1:]
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return nil, fmt.Sprintf("unquoted label value %q", part)
+		}
+		keys = append(keys, part[:eq])
+	}
+	return keys, ""
+}
+
+// labelsOf returns the inline label set of a name including braces ("" if
+// none).
+func labelsOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[i:]
+	}
+	return ""
+}
+
+// seriesFamily resolves the declared family a series belongs to: its base
+// name, or for histogram sub-series the base minus _bucket/_sum/_count.
+func seriesFamily(name string, kinds map[string]string) string {
+	base := familyOf(name)
+	if _, ok := kinds[base]; ok {
+		return base
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		trimmed := strings.TrimSuffix(base, suffix)
+		if trimmed != base {
+			if kinds[trimmed] == "histogram" {
+				return trimmed
+			}
+		}
+	}
+	return ""
+}
+
+// bucketLE parses a bucket series' le label, returning the bound and the
+// group key (family + labels minus le).
+func bucketLE(name string) (le float64, key string, problem string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return 0, "", "bucket without labels"
+	}
+	base := strings.TrimSuffix(familyOf(name), "_bucket")
+	body := name[i+1 : len(name)-1]
+	var rest []string
+	leStr := ""
+	for _, part := range strings.Split(body, ",") {
+		if strings.HasPrefix(part, `le="`) && strings.HasSuffix(part, `"`) {
+			leStr = part[4 : len(part)-1]
+			continue
+		}
+		rest = append(rest, part)
+	}
+	if leStr == "" {
+		return 0, "", "bucket without le label"
+	}
+	if leStr == "+Inf" {
+		le = inf
+	} else {
+		v, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			return 0, "", fmt.Sprintf("unparseable le %q", leStr)
+		}
+		le = v
+	}
+	key = base
+	if len(rest) > 0 {
+		key += "{" + strings.Join(rest, ",") + "}"
+	}
+	return le, key, ""
+}

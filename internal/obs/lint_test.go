@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestLintCleanExposition checks that a populated registry's own export
+// passes the linter: the exporter and the linter agree on the format.
+func TestLintCleanExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("s2s_test_tasks_total", "tasks started").Add(42)
+	r.Counter(`s2s_test_worker_busy_ns_total{worker="0"}`, "busy time").Add(100)
+	r.Counter(`s2s_test_worker_busy_ns_total{worker="1"}`, "busy time").Add(200)
+	r.Gauge("s2s_test_virtual_ns", "virtual clock").Set(5e9)
+	h := r.Histogram("s2s_test_hops", "hop counts", []float64{1, 4, 16})
+	for _, v := range []float64{0.5, 2, 3, 20} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if problems := LintPrometheus(&buf); len(problems) != 0 {
+		t.Fatalf("registry export should lint clean, got:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+// TestLintCatchesViolations feeds hand-broken expositions through the
+// linter and checks each violation is caught by name.
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // substring of some reported problem
+	}{
+		{
+			name: "counter without _total",
+			text: "# TYPE s2s_bad_counter counter\ns2s_bad_counter 1\n",
+			want: "does not end in _total",
+		},
+		{
+			name: "series without TYPE",
+			text: "s2s_orphan_total 3\n",
+			want: "no preceding # TYPE",
+		},
+		{
+			name: "duplicate series",
+			text: "# TYPE s2s_x_total counter\ns2s_x_total 1\ns2s_x_total 2\n",
+			want: "duplicate series",
+		},
+		{
+			name: "unsorted label keys",
+			text: "# TYPE s2s_x_total counter\n" +
+				`s2s_x_total{role="probe",az="use1"} 1` + "\n",
+			want: "label keys not sorted",
+		},
+		{
+			name: "families out of order",
+			text: "# TYPE s2s_b_total counter\ns2s_b_total 1\n" +
+				"# TYPE s2s_a_total counter\ns2s_a_total 1\n",
+			want: "out of order",
+		},
+		{
+			name: "family block not contiguous",
+			text: "# TYPE s2s_a_total counter\ns2s_a_total 1\n" +
+				"# TYPE s2s_b_total counter\ns2s_b_total 1\n" +
+				`s2s_a_total{k="v"} 2` + "\n",
+			want: "reappears",
+		},
+		{
+			name: "non-numeric value",
+			text: "# TYPE s2s_x_total counter\ns2s_x_total NaN-ish\n",
+			want: "non-numeric value",
+		},
+		{
+			name: "unknown TYPE kind",
+			text: "# TYPE s2s_x_total summary\ns2s_x_total 1\n",
+			want: "unknown TYPE kind",
+		},
+		{
+			name: "histogram missing +Inf bucket",
+			text: "# TYPE s2s_h histogram\n" +
+				`s2s_h_bucket{le="1"} 2` + "\n" +
+				`s2s_h_bucket{le="4"} 3` + "\n" +
+				"s2s_h_sum 4\ns2s_h_count 3\n",
+			want: "no +Inf bucket",
+		},
+		{
+			name: "histogram buckets not cumulative",
+			text: "# TYPE s2s_h histogram\n" +
+				`s2s_h_bucket{le="1"} 5` + "\n" +
+				`s2s_h_bucket{le="4"} 3` + "\n" +
+				`s2s_h_bucket{le="+Inf"} 6` + "\n" +
+				"s2s_h_sum 4\ns2s_h_count 6\n",
+			want: "cumulative",
+		},
+		{
+			name: "histogram le not increasing",
+			text: "# TYPE s2s_h histogram\n" +
+				`s2s_h_bucket{le="4"} 2` + "\n" +
+				`s2s_h_bucket{le="1"} 2` + "\n" +
+				`s2s_h_bucket{le="+Inf"} 2` + "\n" +
+				"s2s_h_sum 4\ns2s_h_count 2\n",
+			want: "not increasing",
+		},
+		{
+			name: "histogram count disagrees with +Inf",
+			text: "# TYPE s2s_h histogram\n" +
+				`s2s_h_bucket{le="1"} 2` + "\n" +
+				`s2s_h_bucket{le="+Inf"} 4` + "\n" +
+				"s2s_h_sum 4\ns2s_h_count 9\n",
+			want: "_count 9 != +Inf bucket 4",
+		},
+		{
+			name: "malformed comment",
+			text: "# NOTE whatever\n",
+			want: "malformed comment",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := LintPrometheus(strings.NewReader(tc.text))
+			for _, p := range problems {
+				if strings.Contains(p, tc.want) {
+					return
+				}
+			}
+			t.Fatalf("want a problem containing %q, got %v", tc.want, problems)
+		})
+	}
+}

@@ -26,6 +26,8 @@ type Logger struct {
 	ansi   bool
 	// progress is the currently drawn in-place line ("" when none).
 	progress string
+	// block is the currently drawn multi-line status block (nil when none).
+	block []string
 }
 
 // NewLogger returns a stderr logger. prefix is the tool name; quiet
@@ -56,15 +58,27 @@ func (l *Logger) SetANSI(on bool) {
 	l.ansi = on
 }
 
-// clearLocked erases the drawn progress line, if any.
+// clearLocked erases the drawn progress line or status block, if any.
 func (l *Logger) clearLocked() {
+	if len(l.block) > 0 {
+		// Cursor up over the block, then clear to end of screen.
+		fmt.Fprintf(l.w, "\x1b[%dA\r\x1b[0J", len(l.block))
+		return
+	}
 	if l.progress != "" {
 		fmt.Fprint(l.w, "\r\x1b[2K")
 	}
 }
 
-// redrawLocked re-draws the progress line after other output, if any.
+// redrawLocked re-draws the progress line or status block after other
+// output, if any.
 func (l *Logger) redrawLocked() {
+	if len(l.block) > 0 {
+		for _, line := range l.block {
+			fmt.Fprintln(l.w, line)
+		}
+		return
+	}
 	if l.progress != "" {
 		fmt.Fprint(l.w, l.progress)
 	}
@@ -137,6 +151,45 @@ func (l *Logger) EndProgress() {
 	}
 	fmt.Fprintln(l.w)
 	l.progress = ""
+}
+
+// Block draws (or redraws, in place) a multi-line status block — the
+// machinery behind `s2sobs watch`'s live dashboard. Each call replaces the
+// previous block on screen. When in-place rendering is off the lines are
+// printed once per call as ordinary output (suitable for -once snapshots;
+// a follow loop should throttle itself). Interleaved Printf/Errorf lines
+// land above the block, which is cleared and redrawn around them like the
+// single-line progress display. Call EndBlock to retire the block, leaving
+// its last state on screen.
+func (l *Logger) Block(lines []string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.ansi {
+		for _, line := range lines {
+			fmt.Fprintln(l.w, line)
+		}
+		return
+	}
+	l.clearLocked()
+	l.progress = ""
+	l.block = append(l.block[:0], lines...)
+	for _, line := range l.block {
+		fmt.Fprintln(l.w, line)
+	}
+}
+
+// EndBlock retires the status block: the last drawn state stays on screen
+// and subsequent output resumes normally.
+func (l *Logger) EndBlock() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.block = nil
 }
 
 // Every invokes fn every interval on its own goroutine until the returned

@@ -371,6 +371,41 @@ func TestLoggerProgress(t *testing.T) {
 	}
 }
 
+// TestLoggerBlock pins the multi-line block protocol: the first Block
+// draws its lines, a redraw moves the cursor up over the previous block
+// and clears to end of screen first, interleaved lines land above the
+// block, and EndBlock leaves the last state on screen.
+func TestLoggerBlock(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger("tool", false)
+	l.SetOutput(&buf)
+	l.SetANSI(true)
+
+	l.Block([]string{"head", "row1"})
+	l.Block([]string{"head", "row1", "row2"})
+	l.Printf("note")
+	l.EndBlock()
+	l.Printf("after")
+
+	const up2 = "\x1b[2A\r\x1b[0J"
+	const up3 = "\x1b[3A\r\x1b[0J"
+	want := "head\nrow1\n" +
+		up2 + "head\nrow1\nrow2\n" +
+		up3 + "tool: note\n" + "head\nrow1\nrow2\n" +
+		"tool: after\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("block protocol mismatch:\n got %q\nwant %q", got, want)
+	}
+
+	// Without ANSI, each Block call prints its lines once, plainly.
+	buf.Reset()
+	l.SetANSI(false)
+	l.Block([]string{"a", "b"})
+	if got := buf.String(); got != "a\nb\n" {
+		t.Fatalf("non-ansi Block wrote %q", got)
+	}
+}
+
 // TestLoggerConcurrent hammers the logger from many goroutines — the mutex
 // must keep every line whole. Run under -race this also proves the
 // progress state is properly guarded.

@@ -1,0 +1,332 @@
+// Package ops is the embeddable HTTP ops surface: one `-ops :port` flag on
+// any CLI starts a server exposing the run's live state —
+//
+//	/metrics       Prometheus text from the obs.Registry
+//	/healthz       OK / degraded (503) with one line per active alert
+//	/runz          JSON run state: virtual clock, rounds, tasks, per-worker
+//	               utilization, checkpoint position, active alerts
+//	/flight/tail   streaming JSONL tee off the flight recorder (?max=N to
+//	               stop after N lines), the transport `s2sobs watch` attaches to
+//	/debug/pprof/  the standard pprof handlers
+//
+// The server is observation-only: every handler reads atomic registry
+// instruments or recorder taps, never state the simulation writes
+// unsynchronized, so a run with `-ops` emits a byte-identical dataset
+// record stream to one without (asserted by TestOpsDoesNotPerturbRecords).
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
+
+// Health aggregates degradation reasons for /healthz. It implements
+// alert.Health; the alert engine sets and clears reasons as rules fire and
+// resolve. The zero value is unusable — use NewHealth.
+type Health struct {
+	mu      sync.Mutex
+	reasons map[string]string
+}
+
+// NewHealth returns an empty (healthy) Health.
+func NewHealth() *Health {
+	return &Health{reasons: make(map[string]string)}
+}
+
+// SetReason marks the process degraded for the given rule.
+func (h *Health) SetReason(rule, detail string) {
+	h.mu.Lock()
+	h.reasons[rule] = detail
+	h.mu.Unlock()
+}
+
+// ClearReason removes the rule's degradation.
+func (h *Health) ClearReason(rule string) {
+	h.mu.Lock()
+	delete(h.reasons, rule)
+	h.mu.Unlock()
+}
+
+// Reasons returns a copy of the active degradation reasons.
+func (h *Health) Reasons() map[string]string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]string, len(h.reasons))
+	for k, v := range h.reasons {
+		out[k] = v
+	}
+	return out
+}
+
+// OK reports whether no degradation reason is active.
+func (h *Health) OK() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.reasons) == 0
+}
+
+// Options configure a Server.
+type Options struct {
+	// Tool names the process in /runz.
+	Tool string
+	// Registry backs /metrics and the counters in /runz.
+	Registry *obs.Registry
+	// Recorder backs /flight/tail and the checkpoint/phase fields of
+	// /runz. Optional; without it /flight/tail returns 404.
+	Recorder *flight.Recorder
+	// Logger, when set, logs the bound address at startup.
+	Logger *obs.Logger
+}
+
+// CheckpointInfo is the last checkpoint the run wrote (from the flight
+// record's checkpoint events).
+type CheckpointInfo struct {
+	VirtualNS int64 `json:"virtual_ns"`
+	Records   int64 `json:"records"`
+	SinkPos   int64 `json:"sink_pos"`
+}
+
+// WorkerInfo is one engine worker's cumulative busy time.
+type WorkerInfo struct {
+	ID     int   `json:"id"`
+	BusyNS int64 `json:"busy_ns"`
+}
+
+// RunInfo is the /runz payload.
+type RunInfo struct {
+	Tool       string            `json:"tool"`
+	PID        int               `json:"pid"`
+	WallNS     int64             `json:"wall_ns"`
+	VirtualNS  int64             `json:"virtual_ns"`
+	Rounds     int64             `json:"rounds"`
+	Tasks      int64             `json:"tasks"`
+	Records    int64             `json:"records"`
+	LastPhase  string            `json:"last_phase,omitempty"`
+	LastVTNS   int64             `json:"last_vt_ns,omitempty"`
+	Workers    []WorkerInfo      `json:"workers,omitempty"`
+	Checkpoint *CheckpointInfo   `json:"checkpoint,omitempty"`
+	Alerts     map[string]string `json:"alerts,omitempty"`
+	Flags      map[string]string `json:"flags,omitempty"`
+}
+
+// Server is a running ops endpoint. Close shuts it down.
+type Server struct {
+	tool   string
+	reg    *obs.Registry
+	rec    *flight.Recorder
+	health *Health
+	srv    *http.Server
+	ln     net.Listener
+	start  time.Time
+
+	mu       sync.Mutex
+	lastCkpt *CheckpointInfo
+	lastPh   string
+	lastVT   int64
+	flags    map[string]string
+}
+
+// Start listens on addr (e.g. ":9090" or "127.0.0.1:0") and serves the ops
+// endpoints in a background goroutine.
+func Start(addr string, o Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ops: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		tool:   o.Tool,
+		reg:    o.Registry,
+		rec:    o.Recorder,
+		health: NewHealth(),
+		ln:     ln,
+		start:  time.Now(),
+		flags:  flight.FlagsSet(),
+	}
+	if s.rec != nil {
+		s.rec.Observe(s.observe)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.index)
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/runz", s.runz)
+	mux.HandleFunc("/flight/tail", s.tail)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	o.Logger.Printf("ops server listening on http://%s", ln.Addr())
+	return s, nil
+}
+
+// Health returns the server's health sink, for wiring into an
+// alert.Engine.
+func (s *Server) Health() *Health { return s.health }
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down, severing any in-flight tails.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// observe is the recorder tap feeding /runz's checkpoint and phase fields.
+func (s *Server) observe(rec *flight.Record) {
+	if rec.K != flight.KSpan && rec.K != flight.KEvent {
+		return
+	}
+	s.mu.Lock()
+	s.lastPh = rec.Ph
+	if rec.VT > 0 {
+		s.lastVT = rec.VT
+	}
+	if rec.K == flight.KEvent && rec.Ph == flight.PhCheckpoint {
+		s.lastCkpt = &CheckpointInfo{VirtualNS: rec.VT, Records: rec.N, SinkPos: rec.M}
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) index(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path != "/" {
+		http.NotFound(w, req)
+		return
+	}
+	fmt.Fprintf(w, "%s ops server\n\n/metrics\n/healthz\n/runz\n/flight/tail\n/debug/pprof/\n", s.tool)
+}
+
+func (s *Server) metrics(w http.ResponseWriter, req *http.Request) {
+	if s.reg == nil {
+		http.Error(w, "no metrics registry", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.Snapshot().WritePrometheus(w)
+}
+
+func (s *Server) healthz(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	reasons := s.health.Reasons()
+	if len(reasons) == 0 {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "degraded")
+	rules := make([]string, 0, len(reasons))
+	for rule := range reasons {
+		rules = append(rules, rule)
+	}
+	sort.Strings(rules)
+	for _, rule := range rules {
+		fmt.Fprintf(w, "%s: %s\n", rule, reasons[rule])
+	}
+}
+
+func (s *Server) runz(w http.ResponseWriter, req *http.Request) {
+	info := RunInfo{
+		Tool:   s.tool,
+		PID:    os.Getpid(),
+		WallNS: time.Since(s.start).Nanoseconds(),
+		Alerts: s.health.Reasons(),
+	}
+	if len(info.Alerts) == 0 {
+		info.Alerts = nil
+	}
+	if s.reg != nil {
+		snap := s.reg.Snapshot()
+		info.VirtualNS = int64(snap.Gauges["s2s_campaign_virtual_ns"])
+		info.Rounds = snap.SumFamily("s2s_engine_rounds_total")
+		info.Tasks = snap.SumFamily("s2s_engine_tasks_total")
+		info.Records = snap.SumFamily("s2s_run_records_total")
+		info.Workers = workerInfos(snap)
+	}
+	s.mu.Lock()
+	info.Checkpoint = s.lastCkpt
+	info.LastPhase = s.lastPh
+	info.LastVTNS = s.lastVT
+	info.Flags = s.flags
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&info)
+}
+
+// workerInfos extracts the per-worker busy counters
+// (s2s_engine_worker_busy_ns_total{worker="N"}) into a sorted slice.
+func workerInfos(snap *obs.Snapshot) []WorkerInfo {
+	const prefix = `s2s_engine_worker_busy_ns_total{worker="`
+	var out []WorkerInfo
+	for name, v := range snap.Counters {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		rest := name[len(prefix):]
+		end := strings.IndexByte(rest, '"')
+		if end < 0 {
+			continue
+		}
+		id, err := strconv.Atoi(rest[:end])
+		if err != nil {
+			continue
+		}
+		out = append(out, WorkerInfo{ID: id, BusyNS: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (s *Server) tail(w http.ResponseWriter, req *http.Request) {
+	if s.rec == nil {
+		http.Error(w, "no flight recorder", http.StatusNotFound)
+		return
+	}
+	max := 0
+	if q := req.URL.Query().Get("max"); q != "" {
+		if n, err := strconv.Atoi(q); err == nil && n > 0 {
+			max = n
+		}
+	}
+	lines, cancel := s.rec.Subscribe(256)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush() // commit headers so clients see the stream open
+	}
+	sent := 0
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case line, ok := <-lines:
+			if !ok {
+				return
+			}
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			sent++
+			if max > 0 && sent >= max {
+				return
+			}
+		}
+	}
+}

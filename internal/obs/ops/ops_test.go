@@ -1,0 +1,173 @@
+package ops
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
+
+// startTestServer brings up an ops server on a loopback port with a live
+// registry and recorder.
+func startTestServer(t *testing.T) (*Server, *obs.Registry, *flight.Recorder) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	rec := flight.New(io.Discard, flight.Options{
+		Tool: "ops-test", Registry: reg, MetricsInterval: time.Hour,
+	})
+	s, err := Start("127.0.0.1:0", Options{Tool: "ops-test", Registry: reg, Recorder: rec})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { s.Close(); rec.Close() })
+	return s, reg, rec
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, reg, _ := startTestServer(t)
+	reg.Counter("ops_test_requests_total", "requests served").Add(7)
+
+	code, body := get(t, "http://"+s.Addr()+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "ops_test_requests_total 7") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE ops_test_requests_total counter") {
+		t.Fatalf("/metrics missing TYPE metadata:\n%s", body)
+	}
+	if !strings.Contains(body, "# HELP ops_test_requests_total requests served") {
+		t.Fatalf("/metrics missing HELP metadata:\n%s", body)
+	}
+	if problems := obs.LintPrometheus(strings.NewReader(body)); len(problems) != 0 {
+		t.Fatalf("/metrics fails exposition lint:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+func TestHealthzTransitions(t *testing.T) {
+	s, _, _ := startTestServer(t)
+	url := "http://" + s.Addr() + "/healthz"
+
+	if code, body := get(t, url); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthy server: status %d body %q", code, body)
+	}
+	s.Health().SetReason("retry_storm", "0.50 retries per task")
+	code, body := get(t, url)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded server: status %d, want 503", code)
+	}
+	if !strings.Contains(body, "degraded") || !strings.Contains(body, "retry_storm: 0.50 retries per task") {
+		t.Fatalf("degraded body missing reason:\n%s", body)
+	}
+	s.Health().ClearReason("retry_storm")
+	if code, _ := get(t, url); code != 200 {
+		t.Fatalf("recovered server: status %d, want 200", code)
+	}
+}
+
+func TestRunzEndpoint(t *testing.T) {
+	s, reg, rec := startTestServer(t)
+	reg.Counter("s2s_engine_rounds_total", "").Add(12)
+	reg.Counter("s2s_engine_tasks_total", "").Add(3456)
+	reg.Gauge("s2s_campaign_virtual_ns", "").Set(float64(36 * time.Hour))
+	for w := 0; w < 3; w++ {
+		reg.Counter(fmt.Sprintf(`s2s_engine_worker_busy_ns_total{worker="%d"}`, w), "").Add(int64(1000 * (w + 1)))
+	}
+	rec.Event(flight.PhCheckpoint, 24*time.Hour, flight.Attrs{N: 5000, M: 123456})
+
+	code, body := get(t, "http://"+s.Addr()+"/runz")
+	if code != 200 {
+		t.Fatalf("/runz status %d", code)
+	}
+	var info RunInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatalf("/runz not JSON: %v\n%s", err, body)
+	}
+	if info.Tool != "ops-test" || info.Rounds != 12 || info.Tasks != 3456 {
+		t.Fatalf("bad run info: %+v", info)
+	}
+	if info.VirtualNS != int64(36*time.Hour) {
+		t.Fatalf("virtual clock %d, want %d", info.VirtualNS, int64(36*time.Hour))
+	}
+	if len(info.Workers) != 3 || info.Workers[2].ID != 2 || info.Workers[2].BusyNS != 3000 {
+		t.Fatalf("bad workers: %+v", info.Workers)
+	}
+	if info.Checkpoint == nil || info.Checkpoint.VirtualNS != int64(24*time.Hour) ||
+		info.Checkpoint.Records != 5000 || info.Checkpoint.SinkPos != 123456 {
+		t.Fatalf("bad checkpoint: %+v", info.Checkpoint)
+	}
+}
+
+// TestFlightTailStreams: a tail client sees the meta line plus events
+// emitted after attaching, and ?max=N closes the stream after N lines.
+func TestFlightTailStreams(t *testing.T) {
+	s, _, rec := startTestServer(t)
+
+	resp, err := http.Get("http://" + s.Addr() + "/flight/tail?max=3")
+	if err != nil {
+		t.Fatalf("GET /flight/tail: %v", err)
+	}
+	defer resp.Body.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			rec.Event(flight.PhProbeBatch, time.Duration(i)*time.Minute, flight.Attrs{N: int64(i)})
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	defer func() { done <- struct{}{}; <-done }()
+
+	sc := bufio.NewScanner(resp.Body)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if len(lines) != 3 {
+		t.Fatalf("tail with max=3 delivered %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], `"k":"meta"`) {
+		t.Fatalf("first tailed line is not the meta header: %s", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, `"k":"ev"`) {
+			t.Fatalf("tailed line is not an event: %s", l)
+		}
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	s, _, _ := startTestServer(t)
+	code, body := get(t, "http://"+s.Addr()+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d body %.100q", code, body)
+	}
+}

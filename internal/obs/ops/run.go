@@ -1,0 +1,38 @@
+package ops
+
+import (
+	"repro/internal/obs"
+	"repro/internal/obs/alert"
+	"repro/internal/obs/flight"
+)
+
+// StartRun wires a CLI's live-telemetry stack in one call, so every
+// command gets the same behavior from the same three inputs:
+//
+//   - addr != ""  → an ops server on addr (/metrics, /healthz, /runz,
+//     /flight/tail, /debug/pprof)
+//   - rec != nil  → a standard alert engine attached to the recorder,
+//     degrading the ops server's /healthz while rules fire (stderr-only
+//     when there is no server)
+//
+// The returned stop func shuts the server down; it is never nil.
+func StartRun(addr, tool string, reg *obs.Registry, rec *flight.Recorder, log *obs.Logger) (stop func(), err error) {
+	var srv *Server
+	if addr != "" {
+		srv, err = Start(addr, Options{Tool: tool, Registry: reg, Recorder: rec, Logger: log})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if rec != nil {
+		var health alert.Health
+		if srv != nil {
+			health = srv.Health()
+		}
+		alert.New(alert.Options{Registry: reg, Logger: log, Health: health}).Attach(rec)
+	}
+	if srv == nil {
+		return func() {}, nil
+	}
+	return func() { srv.Close() }, nil
+}

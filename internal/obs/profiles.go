@@ -3,21 +3,38 @@ package obs
 import (
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync"
+	"syscall"
 )
 
-// StartProfiles begins CPU profiling to cpuPath and arranges a heap
-// profile at memPath; either path may be empty to skip that profile. It
-// returns a stop function that must be called at the end of the run (a
-// defer right after a successful StartProfiles is the intended shape):
-// stop ends the CPU profile and, after a GC to settle live objects,
-// writes the heap profile. Both the CLIs' -cpuprofile and -memprofile
-// flags route through this one helper.
-func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+// Profiles names the profile outputs of one run; empty paths skip that
+// profile. It backs the CLIs' -cpuprofile/-memprofile/-blockprofile/
+// -mutexprofile flags.
+type Profiles struct {
+	// CPU streams a CPU profile to this path for the whole run.
+	CPU string
+	// Mem writes a heap profile at stop, after a GC settles live objects.
+	Mem string
+	// Block enables the blocking profiler (rate 1: every blocking event)
+	// and writes the profile at stop.
+	Block string
+	// Mutex enables mutex contention profiling (fraction 1) and writes
+	// the profile at stop.
+	Mutex string
+}
+
+// StartProfiles begins the requested profiles and returns a stop function
+// that must be called at the end of the run (a defer right after a
+// successful StartProfiles is the intended shape): stop ends the CPU
+// profile, writes the heap/block/mutex profiles, and restores the
+// runtime's profiling rates.
+func StartProfiles(p Profiles) (stop func() error, err error) {
 	var cpuFile *os.File
-	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
+	if p.CPU != "" {
+		cpuFile, err = os.Create(p.CPU)
 		if err != nil {
 			return nil, err
 		}
@@ -25,6 +42,12 @@ func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
 			cpuFile.Close()
 			return nil, fmt.Errorf("obs: cpu profile: %w", err)
 		}
+	}
+	if p.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if p.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
 	}
 	stopped := false
 	return func() error {
@@ -38,8 +61,8 @@ func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
 				return err
 			}
 		}
-		if memPath != "" {
-			mf, err := os.Create(memPath)
+		if p.Mem != "" {
+			mf, err := os.Create(p.Mem)
 			if err != nil {
 				return err
 			}
@@ -49,6 +72,68 @@ func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
 				return fmt.Errorf("obs: heap profile: %w", err)
 			}
 		}
+		if p.Block != "" {
+			if err := writeLookupProfile("block", p.Block); err != nil {
+				return err
+			}
+			runtime.SetBlockProfileRate(0)
+		}
+		if p.Mutex != "" {
+			if err := writeLookupProfile("mutex", p.Mutex); err != nil {
+				return err
+			}
+			runtime.SetMutexProfileFraction(0)
+		}
 		return nil
 	}, nil
+}
+
+// writeLookupProfile writes one of the runtime's named profiles to path.
+func writeLookupProfile(name, path string) error {
+	prof := pprof.Lookup(name)
+	if prof == nil {
+		return fmt.Errorf("obs: no %s profile", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = prof.WriteTo(f, 0)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("obs: %s profile: %w", name, err)
+	}
+	return nil
+}
+
+var sigquitOnce sync.Once
+
+// DumpOnSIGQUIT installs a SIGQUIT handler that dumps every goroutine's
+// stack to stderr and keeps running — unlike the Go runtime default, which
+// dumps and dies. Every CLI installs it at startup, so a wedged run can
+// always be inspected with `kill -QUIT <pid>` (or ^\ at a terminal)
+// without losing the run. Safe to call more than once.
+func DumpOnSIGQUIT() {
+	sigquitOnce.Do(func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGQUIT)
+		go func() {
+			for range ch {
+				buf := make([]byte, 1<<20)
+				for {
+					n := runtime.Stack(buf, true)
+					if n < len(buf) {
+						buf = buf[:n]
+						break
+					}
+					buf = make([]byte, 2*len(buf))
+				}
+				fmt.Fprintf(os.Stderr, "=== SIGQUIT goroutine dump (pid %d) ===\n", os.Getpid())
+				os.Stderr.Write(buf)
+				fmt.Fprintf(os.Stderr, "=== end goroutine dump ===\n")
+			}
+		}()
+	})
 }
