@@ -20,10 +20,19 @@
 // -cpuprofile/-memprofile/-blockprofile/-mutexprofile capture pprof
 // profiles of the run. SIGQUIT dumps goroutine stacks without killing it.
 //
+// -live-equivalent TRACE replays the dataset through the same streaming
+// operators a live `s2sgen -analyze` run attaches (internal/analysis) and
+// asserts the finding stream matches the findings recorded in TRACE, the
+// live run's flight record. A match prints a one-line summary; any
+// divergence (missing, extra, or different finding at any position) exits
+// nonzero with the first mismatch. This pins the determinism contract:
+// live and replay produce the same findings in the same order.
+//
 // Usage:
 //
 //	s2sanalyze -data dataset.bin|dataset.jsonl|dataset.store
 //	           [-analysis table1|paths|changes|dualstack|congestion]
+//	           [-live-equivalent TRACE]
 //	           [-pairs SRC-DST[,SRC-DST...]] [-workers N]
 //	           [-metrics PATH] [-trace PATH] [-metrics-interval D] [-ops ADDR]
 //	           [-cpuprofile PATH] [-memprofile PATH]
@@ -41,6 +50,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core/aspath"
 	"repro/internal/core/congest"
 	"repro/internal/core/dualstack"
@@ -64,22 +74,27 @@ func main() {
 
 func run() error {
 	var (
-		data       = flag.String("data", "dataset.bin", "dataset path: .bin, .jsonl, or a store directory")
-		analysis   = flag.String("analysis", "table1", "analysis: summary, table1, paths, changes, dualstack, congestion")
-		pairsSpec  = flag.String("pairs", "", "load only these src-dst timelines, e.g. 3-7,12-0 (store datasets prune shards)")
-		interval   = flag.Duration("interval", 3*time.Hour, "measurement interval of the dataset")
-		workers    = flag.Int("workers", 0, "store-scan and detector workers (0 = all cores, 1 = sequential)")
-		metrics    = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
-		opsAddr    = flag.String("ops", "", "serve live ops endpoints (/metrics, /healthz, /runz, /flight/tail, /debug/pprof) on this address, e.g. :6060")
-		quiet      = flag.Bool("q", false, "suppress progress output on stderr")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
-		blockprof  = flag.String("blockprofile", "", "write a goroutine blocking profile to this path")
-		mutexprof  = flag.String("mutexprofile", "", "write a mutex contention profile to this path")
-		tracePath  = flag.String("trace", "", "write a flight record (JSONL) to this path; inspect with s2sobs")
-		metricsIV  = flag.Duration("metrics-interval", 24*time.Hour, "virtual time between metric snapshots in the flight record")
+		data         = flag.String("data", "dataset.bin", "dataset path: .bin, .jsonl, or a store directory")
+		analysisKind = flag.String("analysis", "table1", "analysis: summary, table1, paths, changes, dualstack, congestion")
+		liveEq       = flag.String("live-equivalent", "", "replay the dataset through the streaming operators and assert the findings match this live flight record")
+		pairsSpec    = flag.String("pairs", "", "load only these src-dst timelines, e.g. 3-7,12-0 (store datasets prune shards)")
+		interval     = flag.Duration("interval", 3*time.Hour, "measurement interval of the dataset")
+		workers      = flag.Int("workers", 0, "store-scan and detector workers (0 = all cores, 1 = sequential)")
+		metrics      = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
+		opsAddr      = flag.String("ops", "", "serve live ops endpoints (/metrics, /healthz, /runz, /flight/tail, /debug/pprof) on this address, e.g. :6060")
+		quiet        = flag.Bool("q", false, "suppress progress output on stderr")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this path")
+		blockprof    = flag.String("blockprofile", "", "write a goroutine blocking profile to this path")
+		mutexprof    = flag.String("mutexprofile", "", "write a mutex contention profile to this path")
+		tracePath    = flag.String("trace", "", "write a flight record (JSONL) to this path; inspect with s2sobs")
+		metricsIV    = flag.Duration("metrics-interval", 24*time.Hour, "virtual time between metric snapshots in the flight record")
 	)
 	flag.Parse()
+	if err := obs.ValidateRunFlags(*metricsIV, *opsAddr); err != nil {
+		fmt.Fprintf(os.Stderr, "s2sanalyze: %v\n", err)
+		os.Exit(2)
+	}
 	log := obs.NewLogger("s2sanalyze", *quiet)
 
 	obs.DumpOnSIGQUIT()
@@ -117,17 +132,36 @@ func run() error {
 			MetricsInterval: *metricsIV,
 		})
 	}
-	stopOps, err := ops.StartRun(*opsAddr, "s2sanalyze", reg, rec, log)
-	if err != nil {
-		return err
-	}
-	defer stopOps()
-
 	table, err := loadBGP(dataStem(*data) + ".bgp.tsv")
 	if err != nil {
 		return err
 	}
 	mapper := aspath.NewMapper(table)
+
+	// Live-equivalence replay: the archived store streams through the
+	// identical operators a live `s2sgen -analyze` run attaches; the
+	// resulting findings are compared against the live flight record.
+	var (
+		stage *analysis.Stage
+		got   []analysis.Finding
+	)
+	if *liveEq != "" {
+		stage = analysis.NewStage(analysis.Config{
+			Mapper:   mapper,
+			Interval: *interval,
+			Sink:     func(f analysis.Finding) { got = append(got, f) },
+		}, reg, rec)
+	}
+	var analysisSrc ops.AnalysisSource
+	if stage != nil {
+		analysisSrc = stage // avoid a typed-nil interface
+	}
+
+	stopOps, err := ops.StartRun(*opsAddr, "s2sanalyze", reg, rec, analysisSrc, log)
+	if err != nil {
+		return err
+	}
+	defer stopOps()
 
 	keys, err := parsePairs(*pairsSpec)
 	if err != nil {
@@ -141,6 +175,7 @@ func run() error {
 	ld := &loader{
 		builder:  timeline.NewBuilder(mapper, *interval),
 		diffs:    dualstack.NewDiffCollector(mapper),
+		stage:    stage,
 		recordsC: recordsC,
 		rec:      rec,
 	}
@@ -161,8 +196,22 @@ func run() error {
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
+	kind := *analysisKind
+	if *liveEq != "" {
+		kind = "live-equivalent"
+	}
 	anSpan := rec.Begin("analysis", lastAt)
-	switch *analysis {
+	switch kind {
+	case "live-equivalent":
+		stage.Finish()
+		want, err := analysis.FindingsFromTrace(*liveEq)
+		if err != nil {
+			return err
+		}
+		if err := analysis.DiffStreams(want, got); err != nil {
+			return fmt.Errorf("live-equivalence vs %s: %w", *liveEq, err)
+		}
+		fmt.Fprintf(w, "live-equivalent: %d findings match %s\n", len(got), *liveEq)
 	case "summary":
 		tls := builder.Timelines()
 		v4, v6 := timeline.ByProtocol(tls)
@@ -250,9 +299,9 @@ func run() error {
 			{"congested", pc(v4.CongestedFrac()), pc(v6.CongestedFrac())},
 		})
 	default:
-		return fmt.Errorf("unknown analysis %q", *analysis)
+		return fmt.Errorf("unknown analysis %q", *analysisKind)
 	}
-	anSpan.End(flight.Attrs{S: *analysis})
+	anSpan.End(flight.Attrs{S: kind})
 
 	wall := time.Since(start)
 	reg.Gauge(obs.MetricRunWallSeconds, "wall-clock duration of the run").Set(wall.Seconds())
@@ -326,6 +375,7 @@ func parsePairs(spec string) ([]trace.PairKey, error) {
 type loader struct {
 	builder  *timeline.Builder
 	diffs    *dualstack.DiffCollector
+	stage    *analysis.Stage // non-nil only in -live-equivalent replay
 	pings    []*trace.Ping
 	recordsC *obs.Counter
 	rec      *flight.Recorder
@@ -336,6 +386,7 @@ func (l *loader) OnTraceroute(tr *trace.Traceroute) {
 	l.recordsC.Inc()
 	l.builder.Add(tr)
 	l.diffs.Add(tr)
+	l.stage.OnTraceroute(tr)
 	l.lastAt = tr.At
 	l.rec.Advance(tr.At)
 }
@@ -343,6 +394,7 @@ func (l *loader) OnTraceroute(tr *trace.Traceroute) {
 func (l *loader) OnPing(p *trace.Ping) {
 	l.recordsC.Inc()
 	l.pings = append(l.pings, p)
+	l.stage.OnPing(p)
 	l.lastAt = p.At
 	l.rec.Advance(p.At)
 }

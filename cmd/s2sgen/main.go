@@ -20,9 +20,18 @@
 // -memprofile/-blockprofile/-mutexprofile capture pprof profiles of the
 // run. -ops serves live run state over HTTP while the campaign runs:
 // /metrics (Prometheus), /healthz (degraded while alert rules fire),
-// /runz (JSON run state), /flight/tail (streaming flight record; attach
-// `s2sobs watch http://ADDR`), and /debug/pprof. SIGQUIT dumps all
-// goroutine stacks to stderr without killing the run.
+// /runz (JSON run state), /analysisz (streaming-analysis state),
+// /flight/tail (streaming flight record; attach `s2sobs watch
+// http://ADDR`), and /debug/pprof. SIGQUIT dumps all goroutine stacks to
+// stderr without killing the run.
+//
+// -analyze attaches the streaming-analysis operators (internal/analysis)
+// to the record stream: incremental routing-change, congestion, and
+// dual-stack delta detection over the live campaign. Findings and
+// windowed partial results land in the flight record (watch them with
+// `s2sobs watch` or /flight/tail), live state is served on /analysisz,
+// and the operators observe only — the dataset is byte-identical with
+// -analyze on or off.
 //
 // Fault injection and resilience: -faults standard|heavy generates a
 // deterministic fault schedule (cluster outages, agent crashes, link
@@ -42,7 +51,7 @@
 //	s2sgen -campaign longterm|pings|short [-seed N] [-days N] [-mesh N] [-o PATH]
 //	       [-store] [-compress] [-store-shards N] [-churn X]
 //	       [-faults standard|heavy] [-retry N] [-watchdog D]
-//	       [-checkpoint D] [-resume] [-crash-at D]
+//	       [-checkpoint D] [-resume] [-crash-at D] [-analyze]
 //	       [-metrics PATH] [-trace PATH] [-metrics-interval D] [-ops ADDR]
 //	       [-cpuprofile PATH] [-memprofile PATH]
 //	       [-blockprofile PATH] [-mutexprofile PATH] [-q]
@@ -63,11 +72,13 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/astopo"
 	"repro/internal/bgp"
 	"repro/internal/campaign"
 	"repro/internal/cdn"
 	"repro/internal/congestion"
+	"repro/internal/core/aspath"
 	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/ipam"
@@ -139,8 +150,9 @@ func run() error {
 		storePS    = flag.Int("store-shards", 0, "pair-shard columns per virtual day (0 = store default)")
 		workers    = flag.Int("workers", 0, "measurement workers (0 = all cores, 1 = sequential)")
 		churn      = flag.Float64("churn", 1, "multiply routing-event rates (1 = default schedule)")
+		analyze    = flag.Bool("analyze", false, "attach streaming-analysis operators (routing/congestion/dualstack) to the record stream")
 		metrics    = flag.String("metrics", "", "write a final metrics snapshot to this path (.json = JSON, else Prometheus text)")
-		opsAddr    = flag.String("ops", "", "serve live ops endpoints (/metrics, /healthz, /runz, /flight/tail, /debug/pprof) on this address, e.g. :6060")
+		opsAddr    = flag.String("ops", "", "serve live ops endpoints (/metrics, /healthz, /runz, /analysisz, /flight/tail, /debug/pprof) on this address, e.g. :6060")
 		quiet      = flag.Bool("q", false, "suppress progress output on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
@@ -158,12 +170,27 @@ func run() error {
 		benchBase  = flag.String("bench-baseline", "", "with -benchjson: compare B/op against this trajectory file, fail on >10% regression")
 	)
 	flag.Parse()
+	if err := obs.ValidateRunFlags(*metricsIV, *opsAddr); err != nil {
+		fmt.Fprintf(os.Stderr, "s2sgen: %v\n", err)
+		os.Exit(2)
+	}
 	log := obs.NewLogger("s2sgen", *quiet)
 	if *benchJSON != "" {
 		return runBench(*benchJSON, *benchBase, log)
 	}
 	if *benchBase != "" {
 		return fmt.Errorf("-bench-baseline requires -benchjson")
+	}
+	var campIV time.Duration
+	switch *kind {
+	case "longterm":
+		campIV = 3 * time.Hour
+	case "pings":
+		campIV = 15 * time.Minute
+	case "short":
+		campIV = 30 * time.Minute
+	default:
+		return fmt.Errorf("unknown campaign %q", *kind)
 	}
 
 	obs.DumpOnSIGQUIT()
@@ -274,10 +301,33 @@ func run() error {
 		}
 	}
 
+	// Streaming analysis: routing-change, congestion, and dual-stack
+	// operators attached to the record stream. Like metrics and the
+	// recorder they only observe — the dataset and the rest of the flight
+	// record are byte-identical with or without them (see
+	// TestAnalysisDoesNotPerturbRecords).
+	var stage *analysis.Stage
+	if *analyze {
+		table := ipam.NewTable()
+		for _, e := range net.BGPEntries() {
+			if err := table.Insert(e.Prefix, e.Origin); err != nil {
+				return err
+			}
+		}
+		stage = analysis.NewStage(analysis.Config{
+			Mapper:   aspath.NewMapper(table),
+			Interval: campIV,
+		}, reg, rec)
+	}
+	var analysisSrc ops.AnalysisSource
+	if stage != nil {
+		analysisSrc = stage // avoid a typed-nil interface when -analyze is off
+	}
+
 	// Live telemetry: ops HTTP server and/or alert engine. Both observe the
 	// same registry and recorder the run already feeds, so turning them on
 	// cannot change the dataset (see TestOpsDoesNotPerturbRecords).
-	stopOps, err := ops.StartRun(*opsAddr, "s2sgen", reg, rec, log)
+	stopOps, err := ops.StartRun(*opsAddr, "s2sgen", reg, rec, analysisSrc, log)
 	if err != nil {
 		return err
 	}
@@ -381,6 +431,10 @@ func run() error {
 		sink.SetCount(resumeCP.Records)
 	}
 	consumer := campaign.Consumer(sink)
+	if stage != nil {
+		// Both members stream, so the engine keeps recycling records.
+		consumer = campaign.Multi{sink, stage}
+	}
 
 	var ck *campaign.Checkpointer
 	if *ckptIV > 0 {
@@ -422,7 +476,7 @@ func run() error {
 		err = campaign.LongTerm(prober, campaign.LongTermConfig{
 			Servers:       servers,
 			Duration:      duration,
-			Interval:      3 * time.Hour,
+			Interval:      campIV,
 			ParisSwitchAt: time.Duration(float64(duration) * 0.62),
 			Workers:       *workers,
 			Metrics:       reg,
@@ -437,7 +491,7 @@ func run() error {
 		err = campaign.PingMesh(prober, campaign.PingMeshConfig{
 			Pairs:      campaign.FullMeshPairs(servers),
 			Duration:   duration,
-			Interval:   15 * time.Minute,
+			Interval:   campIV,
 			Workers:    *workers,
 			Metrics:    reg,
 			Trace:      rec,
@@ -451,7 +505,7 @@ func run() error {
 		err = campaign.TracerouteCampaign(prober, campaign.TracerouteCampaignConfig{
 			Pairs:          campaign.UnorderedPairs(servers),
 			Duration:       duration,
-			Interval:       30 * time.Minute,
+			Interval:       campIV,
 			BothDirections: true,
 			Paris:          true,
 			V6:             true,
@@ -482,6 +536,13 @@ func run() error {
 		return err
 	}
 	count := sink.Count()
+
+	// Close out the streaming analysis: flush remaining finding buckets
+	// and open windows into the flight record before the manifest.
+	if stage != nil {
+		stage.Finish()
+		log.Printf("streaming analysis: %d findings", stage.Total())
+	}
 
 	// Sidecars.
 	if err := writeBGP(*out+".bgp.tsv", net, plat); err != nil {

@@ -28,6 +28,9 @@ const maxWorkerRows = 16
 // maxAlertRows caps the scrolling alert feed.
 const maxAlertRows = 8
 
+// maxFindingRows caps the scrolling findings feed.
+const maxFindingRows = 6
+
 // watchState digests a live flight stream into the dashboard's view. One
 // goroutine ingests lines; the render ticker reads under the mutex.
 type watchState struct {
@@ -55,6 +58,12 @@ type watchState struct {
 	vtRate   float64 // virtual seconds per wall second
 	utilHist map[int][]float64
 	active   map[string]bool // firing alert rules
+
+	// Streaming-analysis findings (finding / analysis_partial events).
+	findTotal int64
+	findByOp  map[string]int64 // per-analysis finding counts (v6 folded in)
+	findLog   []string
+	partials  map[string]string // latest partial-result line per analysis
 }
 
 func newWatchState() *watchState {
@@ -63,6 +72,8 @@ func newWatchState() *watchState {
 		prevBusy: make(map[int]int64),
 		utilHist: make(map[int][]float64),
 		active:   make(map[string]bool),
+		findByOp: make(map[string]int64),
+		partials: make(map[string]string),
 	}
 }
 
@@ -110,6 +121,11 @@ func (s *watchState) ingest(line []byte) {
 			}
 		case flight.PhAlert:
 			s.ingestAlertLocked(&rec)
+		case flight.PhFinding:
+			s.ingestFindingLocked(&rec)
+		case flight.PhAnalysisPartial:
+			s.partials[rec.S] = fmt.Sprintf("  %-10s %4d pairs  %4d windows  %4d findings",
+				rec.S, rec.N, rec.ID, rec.M)
 		}
 	case flight.KManifest:
 		if rec.Man != nil {
@@ -139,6 +155,20 @@ func (s *watchState) ingestAlertLocked(rec *flight.Record) {
 	s.alertLog = append(s.alertLog, entry)
 	if len(s.alertLog) > maxAlertRows {
 		s.alertLog = s.alertLog[len(s.alertLog)-maxAlertRows:]
+	}
+}
+
+// ingestFindingLocked folds one streaming-analysis finding into the feed.
+// The finding's analysis name carries a "_v6" suffix for IPv6 timelines;
+// the per-analysis tallies fold both protocols together.
+func (s *watchState) ingestFindingLocked(rec *flight.Record) {
+	name := strings.TrimSuffix(rec.S, "_v6")
+	s.findTotal++
+	s.findByOp[name]++
+	entry := fmt.Sprintf("  %-8s %-12s %d->%d  %+d", fmtDays(time.Duration(rec.VT)), rec.S, rec.N, rec.M, rec.ID)
+	s.findLog = append(s.findLog, entry)
+	if len(s.findLog) > maxFindingRows {
+		s.findLog = s.findLog[len(s.findLog)-maxFindingRows:]
 	}
 }
 
@@ -239,6 +269,19 @@ func (s *watchState) render() []string {
 		lines = append(lines, s.alertLog...)
 	} else {
 		lines = append(lines, "alerts: none")
+	}
+
+	if s.findTotal > 0 || len(s.partials) > 0 {
+		lines = append(lines, fmt.Sprintf("findings (%d):", s.findTotal))
+		names := make([]string, 0, len(s.partials))
+		for name := range s.partials {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			lines = append(lines, s.partials[name])
+		}
+		lines = append(lines, s.findLog...)
 	}
 	return lines
 }

@@ -78,6 +78,10 @@ func run() error {
 		metricsIV  = flag.Duration("metrics-interval", 24*time.Hour, "virtual time between metric snapshots in the flight record")
 	)
 	flag.Parse()
+	if err := obs.ValidateRunFlags(*metricsIV, *opsAddr); err != nil {
+		fmt.Fprintf(os.Stderr, "s2sreport: %v\n", err)
+		os.Exit(2)
+	}
 	log := obs.NewLogger("s2sreport", *quiet)
 
 	obs.DumpOnSIGQUIT()
@@ -162,7 +166,7 @@ func run() error {
 			archiveSink.Trace(rec)
 		}
 	}
-	stopOps, err := ops.StartRun(*opsAddr, "s2sreport", reg, rec, log)
+	stopOps, err := ops.StartRun(*opsAddr, "s2sreport", reg, rec, nil, log)
 	if err != nil {
 		return err
 	}

@@ -70,6 +70,10 @@ func run() error {
 		tracePath  = flag.String("trace", "", "write a flight record (JSONL) to this path; inspect with s2sobs")
 	)
 	flag.Parse()
+	if err := obs.ValidateOpsAddr(*opsAddr); err != nil {
+		fmt.Fprintf(os.Stderr, "s2stopo: %v\n", err)
+		os.Exit(2)
+	}
 	log := obs.NewLogger("s2stopo", *quiet)
 
 	if *storeDir != "" {
@@ -103,7 +107,7 @@ func run() error {
 	case *opsAddr != "":
 		rec = flight.New(io.Discard, flight.Options{Tool: "s2stopo", Registry: reg})
 	}
-	stopOps, err := ops.StartRun(*opsAddr, "s2stopo", reg, rec, log)
+	stopOps, err := ops.StartRun(*opsAddr, "s2stopo", reg, rec, nil, log)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,527 @@
+// Package analysis runs the paper's three headline analyses — routing
+// changes, consistent congestion, dual-stack RTT deltas — as incremental
+// streaming operators over a live record stream, instead of a batch pass
+// over a finished dataset.
+//
+// A Stage is a campaign.Consumer fan-out member: attach it next to the
+// dataset sink (campaign.Multi{sink, stage}) and it folds every record
+// into per-pair operator state, emitting typed `finding` events and
+// periodic windowed partial-result snapshots into the flight record, plus
+// s2s_analysis_* registry metrics and a live Status for the ops server's
+// /analysisz endpoint.
+//
+// Design rules:
+//
+//   - Observation only: a Stage never produces a value the simulation
+//     reads, so the dataset record stream is byte-identical with the stage
+//     attached or not (finding/partial events go through
+//     flight.Recorder.Announce, which does not advance the snapshot clock).
+//   - Streaming: the stage implements campaign.RecordStreamer and never
+//     retains a delivered record — every retained value (AS paths, RTT
+//     samples) is copied or derived inside the On* call, so the engine's
+//     record pooling stays on.
+//   - Deterministic: records arrive on one goroutine in schedule order at
+//     any worker count, and findings are flushed per virtual day in a
+//     canonical sort order, so a live campaign and a replay of its
+//     archived store through the same operators emit the same finding
+//     stream (see the live-equivalence tests and s2sanalyze
+//     -live-equivalent).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core/aspath"
+	"repro/internal/core/congest"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/trace"
+)
+
+// Metric families the stage registers. The findings counter feeds the
+// alert engine's finding_surge rule.
+const (
+	MetricFindings = "s2s_analysis_findings_total"
+	MetricPairs    = "s2s_analysis_pairs"
+	MetricWindows  = "s2s_analysis_windows_total"
+)
+
+// Analysis names, the S attribute of finding and partial events (findings
+// on IPv6 timelines carry a "_v6" suffix on the wire).
+const (
+	Routing    = "routing"
+	Congestion = "congestion"
+	Dualstack  = "dualstack"
+)
+
+// flushDay is the finding-flush granularity. It matches the dataset
+// store's day-major shard order (store.DayLength default): both a live
+// campaign and a store replay deliver every day-d record before any
+// day-d+1 record, so sorting each day's findings canonically makes the
+// two streams identical. flushSlack delays the flush past the boundary to
+// absorb retried measurements whose virtual timestamps were pushed past
+// their round by backoff (capped far below an hour at default settings).
+const (
+	flushDay   = 24 * time.Hour
+	flushSlack = time.Hour
+)
+
+// Finding is one streaming-analysis result: a routing change, a congested
+// window, or a large dual-stack delta on one pair.
+type Finding struct {
+	// Analysis is Routing, Congestion, or Dualstack.
+	Analysis string `json:"analysis"`
+	// At is the finding's virtual time: the observation for routing and
+	// dualstack, the window end for congestion.
+	At time.Duration `json:"at"`
+	// Src and Dst are the pair's cluster ids. V6 marks the IPv6 timeline
+	// (always false for dualstack, which spans both protocols).
+	Src int  `json:"src"`
+	Dst int  `json:"dst"`
+	V6  bool `json:"v6,omitempty"`
+	// Value is the finding magnitude: AS-path edit distance (routing),
+	// rounded p95−p5 RTT variation in ms (congestion), or the rounded
+	// signed RTTv4−RTTv6 delta in ms (dualstack).
+	Value int64 `json:"value"`
+}
+
+// String renders the finding for logs and diffs.
+func (f Finding) String() string {
+	proto := ""
+	if f.V6 {
+		proto = " v6"
+	}
+	return fmt.Sprintf("%s @%s %d->%d%s value %d", f.Analysis, f.At, f.Src, f.Dst, proto, f.Value)
+}
+
+// attrs encodes the finding as flight-event attributes.
+func (f Finding) attrs() flight.Attrs {
+	s := f.Analysis
+	if f.V6 {
+		s += "_v6"
+	}
+	return flight.Attrs{ID: f.Value, N: int64(f.Src), M: int64(f.Dst), S: s}
+}
+
+// ParseFinding decodes a finding event. The second return is false for
+// any other record kind or phase.
+func ParseFinding(r *flight.Record) (Finding, bool) {
+	if r.K != flight.KEvent || r.Ph != flight.PhFinding {
+		return Finding{}, false
+	}
+	name, v6 := strings.CutSuffix(r.S, "_v6")
+	return Finding{
+		Analysis: name,
+		At:       time.Duration(r.VT),
+		Src:      int(r.N),
+		Dst:      int(r.M),
+		V6:       v6,
+		Value:    r.ID,
+	}, true
+}
+
+// less is the canonical finding order within one flush bucket.
+func (f Finding) less(g Finding) bool {
+	if f.At != g.At {
+		return f.At < g.At
+	}
+	if f.Analysis != g.Analysis {
+		return f.Analysis < g.Analysis
+	}
+	if f.Src != g.Src {
+		return f.Src < g.Src
+	}
+	if f.Dst != g.Dst {
+		return f.Dst < g.Dst
+	}
+	if f.V6 != g.V6 {
+		return !f.V6
+	}
+	return f.Value < g.Value
+}
+
+// PairCount is one entry of an operator's top-K most-active pairs.
+type PairCount struct {
+	Src   int   `json:"src"`
+	Dst   int   `json:"dst"`
+	V6    bool  `json:"v6,omitempty"`
+	Count int64 `json:"count"`
+}
+
+// OpStatus is the live state of one operator, for /analysisz and the
+// partial-result events.
+type OpStatus struct {
+	// Name is the analysis name.
+	Name string `json:"name"`
+	// Pairs is the operator's pair coverage: distinct pairs that
+	// contributed at least one usable observation.
+	Pairs int `json:"pairs"`
+	// Windows counts evaluated windows (congestion only).
+	Windows int64 `json:"windows,omitempty"`
+	// Findings emitted so far (including buffered, unflushed ones).
+	Findings int64 `json:"findings"`
+	// TopPairs ranks the most-active pairs (routing: most changes).
+	TopPairs []PairCount `json:"top_pairs,omitempty"`
+}
+
+// Status is the /analysisz payload.
+type Status struct {
+	// Findings counts emitted (flushed) findings across all operators.
+	Findings int64 `json:"findings"`
+	// Analyses holds one entry per operator, in a fixed order.
+	Analyses []OpStatus `json:"analyses"`
+}
+
+// operator is one incremental per-pair analysis. Operators run under the
+// stage mutex on the delivery goroutine and must derive everything they
+// retain (records are recycled after the call returns).
+type operator interface {
+	name() string
+	onTraceroute(tr *trace.Traceroute, emit func(Finding))
+	onPing(p *trace.Ping, emit func(Finding))
+	// finish evaluates residual state (open windows) at end of stream.
+	finish(emit func(Finding))
+	status() OpStatus
+}
+
+// Config parameterizes a Stage. The zero value of every field but Mapper
+// and Interval picks the documented default.
+type Config struct {
+	// Mapper resolves hop addresses to ASes for the routing-change
+	// operator (and must match the dataset's .bgp.tsv sidecar when
+	// replaying). Required.
+	Mapper *aspath.Mapper
+	// Interval is the campaign's measurement cadence — the RTT-series
+	// slot width of the congestion operator. Required.
+	Interval time.Duration
+	// Window is the congestion evaluation window span (default 2 days).
+	Window time.Duration
+	// MinWindowSamples gates window evaluation on coverage (default 80%
+	// of the window's slots, mirroring the paper's ≥600-of-672 rule).
+	MinWindowSamples int
+	// Detector holds the congestion thresholds (default: the paper's).
+	Detector congest.Detector
+	// DeltaThresholdMs is the |RTTv4−RTTv6| magnitude that makes a
+	// dual-stack delta a finding (default 50 ms, the paper's tail cut).
+	DeltaThresholdMs float64
+	// TopK bounds the top-changing-pairs list in Status (default 5).
+	TopK int
+	// Sink, when set, additionally receives every finding in emission
+	// order (the -live-equivalent collector and tests).
+	Sink func(Finding)
+}
+
+func (c Config) fill() Config {
+	if c.Window <= 0 {
+		c.Window = 2 * flushDay
+	}
+	if c.Interval > 0 && c.MinWindowSamples <= 0 {
+		c.MinWindowSamples = int(c.Window/c.Interval) * 80 / 100
+		if c.MinWindowSamples < 1 {
+			c.MinWindowSamples = 1
+		}
+	}
+	if c.Detector.VariationMs == 0 && c.Detector.PSDThreshold == 0 {
+		c.Detector = congest.DefaultDetector()
+	}
+	if c.DeltaThresholdMs <= 0 {
+		c.DeltaThresholdMs = 50
+	}
+	if c.TopK <= 0 {
+		c.TopK = 5
+	}
+	return c
+}
+
+// Stage attaches the streaming operators to a record stream. It
+// implements campaign.Consumer (fan it out with campaign.Multi) and
+// campaign.RecordStreamer (it never retains a record). All methods are
+// safe for concurrent use and no-ops on a nil receiver; record delivery
+// itself arrives on one goroutine, the mutex exists so the ops server can
+// read Status mid-run.
+type Stage struct {
+	mu   sync.Mutex
+	ops  []operator
+	rec  *flight.Recorder
+	sink func(Finding)
+
+	// Day-bucketed findings pending flush, keyed by the virtual day of
+	// the record that produced them.
+	pending   map[int64][]Finding
+	flushed   int64         // next day bucket to flush
+	watermark time.Duration // max record timestamp seen
+	total     int64         // findings emitted (flushed)
+	finished  bool
+
+	findingsC   map[string]*obs.Counter
+	pairsG      map[string]*obs.Gauge
+	windowsC    *obs.Counter
+	prevWindows int64
+
+	// emitDay and emitFn avoid a per-record closure allocation: emitFn is
+	// bound once and buckets into the day set before each record.
+	emitDay int64
+	emitFn  func(Finding)
+}
+
+// NewStage builds a stage with the three operators. reg and rec may be
+// nil (metrics and events are then dropped); cfg.Mapper must be set for
+// the routing operator to see any usable paths.
+func NewStage(cfg Config, reg *obs.Registry, rec *flight.Recorder) *Stage {
+	cfg = cfg.fill()
+	s := &Stage{
+		rec:     rec,
+		sink:    cfg.Sink,
+		pending: make(map[int64][]Finding),
+	}
+	s.emitFn = func(f Finding) { s.bufferLocked(s.emitDay, f) }
+	s.ops = []operator{
+		newRoutingOp(cfg.Mapper, cfg.TopK),
+		newCongestOp(cfg.Interval, cfg.Window, cfg.MinWindowSamples, cfg.Detector.WithMetrics(reg)),
+		newDualstackOp(cfg.DeltaThresholdMs),
+	}
+	s.findingsC = make(map[string]*obs.Counter, len(s.ops))
+	s.pairsG = make(map[string]*obs.Gauge, len(s.ops))
+	for _, op := range s.ops {
+		n := op.name()
+		s.findingsC[n] = reg.Counter(fmt.Sprintf("%s{analysis=%q}", MetricFindings, n),
+			"streaming-analysis findings emitted")
+		s.pairsG[n] = reg.Gauge(fmt.Sprintf("%s{analysis=%q}", MetricPairs, n),
+			"pairs covered by the streaming analysis")
+	}
+	s.windowsC = reg.Counter(fmt.Sprintf("%s{analysis=%q}", MetricWindows, Congestion),
+		"congestion windows evaluated by the streaming analysis")
+	return s
+}
+
+// StreamsRecords reports that delivered records may be recycled after the
+// On* call: the stage copies everything it keeps.
+func (s *Stage) StreamsRecords() bool { return true }
+
+// OnTraceroute folds one traceroute into every operator.
+func (s *Stage) OnTraceroute(tr *trace.Traceroute) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.emitDay = int64(tr.At / flushDay)
+	for _, op := range s.ops {
+		op.onTraceroute(tr, s.emitFn)
+	}
+	s.advanceLocked(tr.At)
+	s.mu.Unlock()
+}
+
+// OnPing folds one ping into every operator.
+func (s *Stage) OnPing(p *trace.Ping) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.emitDay = int64(p.At / flushDay)
+	for _, op := range s.ops {
+		op.onPing(p, s.emitFn)
+	}
+	s.advanceLocked(p.At)
+	s.mu.Unlock()
+}
+
+// bufferLocked queues a finding in its day bucket. A bucket that already
+// flushed (possible only when retry backoff exceeds flushSlack, outside
+// the documented envelope) degrades to the lowest open bucket rather than
+// dropping the finding.
+func (s *Stage) bufferLocked(day int64, f Finding) {
+	if day < s.flushed {
+		day = s.flushed
+	}
+	s.pending[day] = append(s.pending[day], f)
+}
+
+// advanceLocked moves the watermark and flushes every day bucket the
+// stream has safely moved past.
+func (s *Stage) advanceLocked(at time.Duration) {
+	if at > s.watermark {
+		s.watermark = at
+	}
+	for time.Duration(s.flushed+1)*flushDay+flushSlack <= s.watermark {
+		s.flushDayLocked(s.flushed)
+		s.flushed++
+	}
+}
+
+// flushDayLocked emits day d's findings in canonical order, then one
+// partial-result event per operator at the day boundary.
+func (s *Stage) flushDayLocked(d int64) {
+	fs := s.pending[d]
+	delete(s.pending, d)
+	sort.Slice(fs, func(i, j int) bool { return fs[i].less(fs[j]) })
+	for i := range fs {
+		s.emitFindingLocked(fs[i])
+	}
+	s.partialsLocked(time.Duration(d+1) * flushDay)
+}
+
+// emitFindingLocked writes one finding event and updates the counters.
+func (s *Stage) emitFindingLocked(f Finding) {
+	s.total++
+	s.findingsC[f.Analysis].Inc()
+	s.rec.Announce(flight.PhFinding, f.At, f.attrs())
+	if s.sink != nil {
+		s.sink(f)
+	}
+}
+
+// partialsLocked emits one windowed partial-result event per operator and
+// refreshes the coverage gauges.
+func (s *Stage) partialsLocked(vt time.Duration) {
+	var windows int64
+	for _, op := range s.ops {
+		st := op.status()
+		s.rec.Announce(flight.PhAnalysisPartial, vt, flight.Attrs{
+			S: st.Name, N: int64(st.Pairs), M: st.Findings, ID: st.Windows,
+		})
+		s.pairsG[st.Name].Set(float64(st.Pairs))
+		windows += st.Windows
+	}
+	if d := windows - s.prevWindows; d > 0 {
+		s.windowsC.Add(d)
+		s.prevWindows = windows
+	}
+}
+
+// Finish flushes the remaining day buckets, evaluates residual operator
+// state (open congestion windows), and emits a final partial-result set.
+// Call once, after the last record; it is idempotent.
+func (s *Stage) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return
+	}
+	s.finished = true
+	days := make([]int64, 0, len(s.pending))
+	for d := range s.pending {
+		days = append(days, d)
+	}
+	sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
+	for _, d := range days {
+		fs := s.pending[d]
+		delete(s.pending, d)
+		sort.Slice(fs, func(i, j int) bool { return fs[i].less(fs[j]) })
+		for i := range fs {
+			s.emitFindingLocked(fs[i])
+		}
+	}
+	// Residual findings (open windows) come last, in canonical order —
+	// the same per-pair state exists live and on replay, so the tail of
+	// the stream matches too.
+	var tail []Finding
+	for _, op := range s.ops {
+		op.finish(func(f Finding) { tail = append(tail, f) })
+	}
+	sort.Slice(tail, func(i, j int) bool { return tail[i].less(tail[j]) })
+	for i := range tail {
+		s.emitFindingLocked(tail[i])
+	}
+	s.partialsLocked(s.watermark)
+}
+
+// Total returns the number of findings emitted so far.
+func (s *Stage) Total() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Status returns the live per-operator state.
+func (s *Stage) Status() Status {
+	if s == nil {
+		return Status{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Status{Findings: s.total}
+	for _, op := range s.ops {
+		out.Analyses = append(out.Analyses, op.status())
+	}
+	return out
+}
+
+// AnalysisStatus implements the ops server's AnalysisSource, backing the
+// /analysisz endpoint.
+func (s *Stage) AnalysisStatus() any { return s.Status() }
+
+// FindingsFromTrace extracts the finding stream of a flight record, in
+// file (= emission) order.
+func FindingsFromTrace(path string) ([]Finding, error) {
+	tr, err := flight.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for i := range tr.Records {
+		if f, ok := ParseFinding(&tr.Records[i]); ok {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// DiffStreams compares two ordered finding streams and returns nil when
+// they match, or an error describing the first divergence — the
+// live-vs-replay equivalence check behind s2sanalyze -live-equivalent.
+func DiffStreams(want, got []Finding) error {
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if want[i] != got[i] {
+			return fmt.Errorf("finding %d diverges: live {%s} vs replay {%s}", i, want[i], got[i])
+		}
+	}
+	if len(want) != len(got) {
+		return fmt.Errorf("finding streams differ in length: live %d vs replay %d", len(want), len(got))
+	}
+	return nil
+}
+
+// topPairs ranks a per-pair counter map, ties broken by key for
+// determinism.
+func topPairs(counts map[trace.PairKey]int64, k int) []PairCount {
+	keys := make([]trace.PairKey, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if counts[a] != counts[b] {
+			return counts[a] > counts[b]
+		}
+		if a.SrcID != b.SrcID {
+			return a.SrcID < b.SrcID
+		}
+		if a.DstID != b.DstID {
+			return a.DstID < b.DstID
+		}
+		return !a.V6 && b.V6
+	})
+	if len(keys) > k {
+		keys = keys[:k]
+	}
+	out := make([]PairCount, len(keys))
+	for i, key := range keys {
+		out[i] = PairCount{Src: key.SrcID, Dst: key.DstID, V6: key.V6, Count: counts[key]}
+	}
+	return out
+}

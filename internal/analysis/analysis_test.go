@@ -1,0 +1,403 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core/aspath"
+	"repro/internal/ipam"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// testMapper maps 10.<i>.0.0/16 to AS 100+i, so synthetic traceroutes can
+// spell out AS paths by hop address.
+func testMapper(t *testing.T) *aspath.Mapper {
+	t.Helper()
+	table := ipam.NewTable()
+	for i := 0; i < 10; i++ {
+		p := netip.MustParsePrefix(fmt.Sprintf("10.%d.0.0/16", i))
+		if err := table.Insert(p, ipam.ASN(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return aspath.NewMapper(table)
+}
+
+// tracert builds a complete traceroute whose AS path is 100 (the source's
+// AS) followed by 100+a for each a in hopASes.
+func tracert(src, dst int, v6 bool, at time.Duration, rttMs float64, hopASes []int) *trace.Traceroute {
+	tr := &trace.Traceroute{
+		SrcID: src, DstID: dst, V6: v6,
+		Src:      netip.MustParseAddr("10.0.0.1"),
+		At:       at,
+		Complete: true,
+		RTT:      time.Duration(rttMs * float64(time.Millisecond)),
+	}
+	for _, a := range hopASes {
+		tr.Hops = append(tr.Hops, trace.Hop{
+			Addr: netip.MustParseAddr(fmt.Sprintf("10.%d.0.1", a)),
+			RTT:  time.Duration(10 * float64(time.Millisecond)),
+		})
+	}
+	return tr
+}
+
+func pingAt(src, dst int, at time.Duration, rttMs float64) *trace.Ping {
+	return &trace.Ping{
+		SrcID: src, DstID: dst, At: at,
+		RTT: time.Duration(rttMs * float64(time.Millisecond)),
+	}
+}
+
+// diurnalMs is a raised-cosine busy-hour bump (peak at hour 20) plus a
+// deterministic sub-millisecond wobble.
+func diurnalMs(at time.Duration, amp float64) float64 {
+	hour := math.Mod(at.Hours(), 24)
+	d := math.Abs(hour - 20)
+	if d > 12 {
+		d = 24 - d
+	}
+	base := 80 + 0.3*math.Sin(float64(at)/1e12)
+	if d >= 3 {
+		return base
+	}
+	return base + amp*0.5*(1+math.Cos(2*math.Pi*d/6))
+}
+
+func collectStage(cfg Config) (*Stage, *[]Finding) {
+	var got []Finding
+	cfg.Sink = func(f Finding) { got = append(got, f) }
+	return NewStage(cfg, nil, nil), &got
+}
+
+func TestRoutingFindings(t *testing.T) {
+	stage, got := collectStage(Config{Mapper: testMapper(t), Interval: 3 * time.Hour})
+	// Pair 1->2 every 3h for 3 days; the path swaps one AS at 30h and
+	// swaps back at 51h: two changes, edit distance 1 each.
+	for at := time.Duration(0); at < 72*time.Hour; at += 3 * time.Hour {
+		hops := []int{1, 2, 3}
+		if at >= 30*time.Hour && at < 51*time.Hour {
+			hops = []int{1, 4, 3}
+		}
+		stage.OnTraceroute(tracert(1, 2, false, at, 40, hops))
+	}
+	stage.Finish()
+	want := []Finding{
+		{Analysis: Routing, At: 30 * time.Hour, Src: 1, Dst: 2, Value: 1},
+		{Analysis: Routing, At: 51 * time.Hour, Src: 1, Dst: 2, Value: 1},
+	}
+	if err := DiffStreams(want, *got); err != nil {
+		t.Fatalf("routing findings: %v (got %v)", err, *got)
+	}
+	st := stage.Status()
+	if st.Findings != 2 || st.Analyses[0].Name != Routing || st.Analyses[0].Pairs != 1 {
+		t.Errorf("status = %+v", st)
+	}
+	if tp := st.Analyses[0].TopPairs; len(tp) != 1 || tp[0].Count != 2 {
+		t.Errorf("top pairs = %+v", tp)
+	}
+}
+
+func TestDualstackFindings(t *testing.T) {
+	stage, got := collectStage(Config{Mapper: testMapper(t), Interval: 3 * time.Hour})
+	// Pair 5<->6 measured on both protocols each round for two days, with
+	// v4 80 ms slower than v6: one finding per day, not per round.
+	for at := time.Duration(0); at < 48*time.Hour; at += 3 * time.Hour {
+		stage.OnTraceroute(tracert(5, 6, false, at, 160, []int{1, 2}))
+		stage.OnTraceroute(tracert(5, 6, true, at, 80, []int{1, 2}))
+	}
+	stage.Finish()
+	var ds []Finding
+	for _, f := range *got {
+		if f.Analysis == Dualstack {
+			ds = append(ds, f)
+		}
+	}
+	if len(ds) != 2 {
+		t.Fatalf("dualstack findings = %v, want one per day", ds)
+	}
+	for _, f := range ds {
+		if f.Src != 5 || f.Dst != 6 || f.V6 || f.Value != 80 {
+			t.Errorf("finding = %+v, want 5->6 v4 delta +80", f)
+		}
+	}
+}
+
+func TestCongestionFindings(t *testing.T) {
+	iv := 15 * time.Minute
+	stage, got := collectStage(Config{
+		Mapper:   testMapper(t),
+		Interval: iv,
+		Window:   4 * 24 * time.Hour,
+	})
+	// Pair 7->8: strong diurnal congestion. Pair 7->9: flat. Nine days of
+	// pings cover two full four-day windows plus a residual one.
+	for at := time.Duration(0); at < 9*24*time.Hour; at += iv {
+		stage.OnPing(pingAt(7, 8, at, diurnalMs(at, 30)))
+		stage.OnPing(pingAt(7, 9, at, diurnalMs(at, 0)))
+	}
+	stage.Finish()
+	if len(*got) == 0 {
+		t.Fatal("no congestion findings from a congested pair")
+	}
+	for _, f := range *got {
+		if f.Analysis != Congestion || f.Src != 7 || f.Dst != 8 {
+			t.Fatalf("finding = %+v, want congestion on 7->8 only", f)
+		}
+		if f.At%(4*24*time.Hour) != 0 {
+			t.Errorf("finding at %v, want a window boundary", f.At)
+		}
+		if f.Value < 10 {
+			t.Errorf("finding variation %d ms, want >= detector threshold", f.Value)
+		}
+	}
+	st := stage.Status()
+	var cong OpStatus
+	for _, op := range st.Analyses {
+		if op.Name == Congestion {
+			cong = op
+		}
+	}
+	if cong.Pairs != 2 || cong.Windows < 4 {
+		t.Errorf("congestion status = %+v, want 2 pairs and >= 4 windows", cong)
+	}
+}
+
+// synthMixedStream builds a multi-day stream exercising all three
+// operators across several pairs, in the interleaved per-round order a
+// live campaign delivers.
+func synthMixedStream() []any {
+	var out []any
+	iv := 3 * time.Hour
+	for at := time.Duration(0); at < 5*24*time.Hour; at += iv {
+		day := int(at / (24 * time.Hour))
+		for pair := 0; pair < 4; pair++ {
+			src, dst := 1+pair, 10+pair
+			hops := []int{1, 2 + (day+pair)%3, 3}
+			out = append(out, tracert(src, dst, false, at, 40+float64(pair), hops))
+			if pair%2 == 0 {
+				out = append(out, tracert(src, dst, true, at, 120+float64(10*pair), hops))
+			}
+		}
+		for sub := time.Duration(0); sub < iv; sub += 15 * time.Minute {
+			out = append(out, pingAt(6, 16, at+sub, diurnalMs(at+sub, 30)))
+		}
+	}
+	return out
+}
+
+func feed(s *Stage, records []any) {
+	for _, r := range records {
+		switch r := r.(type) {
+		case *trace.Traceroute:
+			s.OnTraceroute(r)
+		case *trace.Ping:
+			s.OnPing(r)
+		}
+	}
+	s.Finish()
+}
+
+// TestLiveVsStoreReplay pins the determinism contract end to end at the
+// package level: the finding stream of a live-order feed equals the stream
+// produced by replaying the same records from an archived store, at one
+// and at four scan workers.
+func TestLiveVsStoreReplay(t *testing.T) {
+	records := synthMixedStream()
+	cfg := Config{Mapper: testMapper(t), Interval: 3 * time.Hour}
+
+	live, liveGot := collectStage(cfg)
+	feed(live, records)
+	if len(*liveGot) == 0 {
+		t.Fatal("synthetic stream produced no findings; the equivalence check would be vacuous")
+	}
+
+	dir := filepath.Join(t.TempDir(), "mixed.store")
+	w, err := store.Create(dir, store.Options{Tool: "test", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		switch r := r.(type) {
+		case *trace.Traceroute:
+			err = w.WriteTraceroute(r)
+		case *trace.Ping:
+			err = w.WritePing(r)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay, replayGot := collectStage(cfg)
+		if err := st.Scan(workers, replay); err != nil {
+			t.Fatal(err)
+		}
+		replay.Finish()
+		if err := DiffStreams(*liveGot, *replayGot); err != nil {
+			t.Errorf("store replay at %d workers: %v", workers, err)
+		}
+	}
+
+	// A second identical live feed is byte-for-byte the same stream.
+	again, againGot := collectStage(cfg)
+	feed(again, records)
+	if err := DiffStreams(*liveGot, *againGot); err != nil {
+		t.Errorf("repeat live feed: %v", err)
+	}
+}
+
+// TestStageFlightEvents checks the event families a stage writes into the
+// flight record: finding events round-trip through ParseFinding and every
+// flush emits per-operator partial-result snapshots.
+func TestStageFlightEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	reg := obs.NewRegistry()
+	rec, err := flight.Create(path, flight.Options{Tool: "test", Registry: reg, MetricsInterval: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := NewStage(Config{Mapper: testMapper(t), Interval: 3 * time.Hour}, reg, rec)
+	var want []Finding
+	stage.sink = func(f Finding) { want = append(want, f) }
+	feed(stage, synthMixedStream())
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := FindingsFromTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no finding events in the trace")
+	}
+	if err := DiffStreams(want, got); err != nil {
+		t.Fatalf("trace round-trip: %v", err)
+	}
+	if got[0] != want[0] {
+		t.Errorf("first finding decoded as %+v, want %+v", got[0], want[0])
+	}
+
+	tr, err := flight.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partials := map[string]int{}
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		if r.K == flight.KEvent && r.Ph == flight.PhAnalysisPartial {
+			partials[r.S]++
+		}
+	}
+	for _, name := range []string{Routing, Congestion, Dualstack} {
+		if partials[name] == 0 {
+			t.Errorf("no partial-result events for %q (got %v)", name, partials)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if n := snap.SumFamily(MetricFindings); n != int64(len(want)) {
+		t.Errorf("findings counter = %d, want %d", n, len(want))
+	}
+	if snap.SumFamily(MetricWindows) == 0 {
+		t.Error("windows counter never moved")
+	}
+	if stage.Total() != int64(len(want)) {
+		t.Errorf("Total() = %d, want %d", stage.Total(), len(want))
+	}
+}
+
+// TestFindingParseRejectsOtherEvents pins ParseFinding to the finding
+// phase and the v6 suffix convention.
+func TestFindingParseRejectsOtherEvents(t *testing.T) {
+	if _, ok := ParseFinding(&flight.Record{K: flight.KEvent, Ph: flight.PhAlert}); ok {
+		t.Error("alert event parsed as finding")
+	}
+	if _, ok := ParseFinding(&flight.Record{K: flight.KSpan, Ph: flight.PhFinding}); ok {
+		t.Error("span parsed as finding")
+	}
+	f, ok := ParseFinding(&flight.Record{
+		K: flight.KEvent, Ph: flight.PhFinding,
+		VT: int64(36 * time.Hour), S: "congestion_v6", N: 3, M: 9, ID: 27,
+	})
+	if !ok || f.Analysis != Congestion || !f.V6 || f.Src != 3 || f.Dst != 9 || f.Value != 27 {
+		t.Errorf("parsed = %+v ok=%v", f, ok)
+	}
+}
+
+func TestDiffStreams(t *testing.T) {
+	a := Finding{Analysis: Routing, At: time.Hour, Src: 1, Dst: 2, Value: 1}
+	b := Finding{Analysis: Routing, At: 2 * time.Hour, Src: 1, Dst: 2, Value: 2}
+	if err := DiffStreams([]Finding{a, b}, []Finding{a, b}); err != nil {
+		t.Errorf("equal streams: %v", err)
+	}
+	if err := DiffStreams([]Finding{a, b}, []Finding{a}); err == nil {
+		t.Error("length mismatch not reported")
+	}
+	if err := DiffStreams([]Finding{a, b}, []Finding{b, a}); err == nil {
+		t.Error("divergence not reported")
+	}
+}
+
+// TestNilStage pins the nil-receiver no-op contract the CLIs rely on.
+func TestNilStage(t *testing.T) {
+	var s *Stage
+	s.OnTraceroute(tracert(1, 2, false, 0, 10, []int{1}))
+	s.OnPing(pingAt(1, 2, 0, 10))
+	s.Finish()
+	if s.Total() != 0 {
+		t.Error("nil stage total != 0")
+	}
+	if st := s.Status(); st.Findings != 0 || st.Analyses != nil {
+		t.Errorf("nil stage status = %+v", st)
+	}
+}
+
+// TestFlushOrderWithinDay: findings generated out of canonical order
+// within one virtual day are emitted sorted, and only once the watermark
+// clears the day boundary plus slack.
+func TestFlushOrderWithinDay(t *testing.T) {
+	stage, got := collectStage(Config{Mapper: testMapper(t), Interval: 3 * time.Hour})
+	// Two pairs change routes in the same day, delivered higher-pair
+	// first; canonical order sorts by At then pair.
+	stage.OnTraceroute(tracert(9, 2, false, 3*time.Hour, 40, []int{1, 2}))
+	stage.OnTraceroute(tracert(1, 2, false, 3*time.Hour, 40, []int{1, 2}))
+	stage.OnTraceroute(tracert(9, 2, false, 9*time.Hour, 40, []int{1, 3}))
+	stage.OnTraceroute(tracert(1, 2, false, 10*time.Hour, 40, []int{1, 3}))
+	if len(*got) != 0 {
+		t.Fatalf("findings flushed before the day boundary: %v", *got)
+	}
+	// 24h+slack has not passed yet at 24h30m: still buffered.
+	stage.OnTraceroute(tracert(3, 4, false, 24*time.Hour+30*time.Minute, 40, []int{1, 2}))
+	if len(*got) != 0 {
+		t.Fatalf("findings flushed inside the slack window: %v", *got)
+	}
+	stage.OnTraceroute(tracert(3, 4, false, 25*time.Hour+time.Minute, 40, []int{1, 2}))
+	want := []Finding{
+		{Analysis: Routing, At: 9 * time.Hour, Src: 9, Dst: 2, Value: 1},
+		{Analysis: Routing, At: 10 * time.Hour, Src: 1, Dst: 2, Value: 1},
+	}
+	if err := DiffStreams(want, *got); err != nil {
+		t.Fatalf("day flush: %v (got %v)", err, *got)
+	}
+	stage.Finish()
+	if len(*got) != 2 {
+		t.Errorf("finish added findings: %v", *got)
+	}
+}

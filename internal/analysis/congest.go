@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core/congest"
+	"repro/internal/trace"
+)
+
+// congestOp runs the §5.1 consistent-congestion detector over a rolling
+// per-pair RTT window: samples fill interval-wide slots; when a pair's
+// stream moves past its current window the window is handed to the
+// core/fft + core/congest detector, and a congested verdict becomes a
+// finding at the window's end. Pings and complete traceroutes both
+// contribute their end-to-end RTT.
+type congestOp struct {
+	det        congest.Detector
+	interval   time.Duration
+	window     time.Duration
+	slots      int
+	minSamples int
+
+	pairs   map[trace.PairKey]*pairWindow
+	counts  map[trace.PairKey]int64 // congested windows per pair
+	windows int64                   // windows evaluated
+	total   int64
+}
+
+// pairWindow is one pair's current window: idx = At/window, one RTT slot
+// per interval, NaN = no sample.
+type pairWindow struct {
+	idx      int64
+	rtt      []float64
+	received int
+}
+
+func newCongestOp(interval, window time.Duration, minSamples int, det congest.Detector) *congestOp {
+	slots := 0
+	if interval > 0 {
+		slots = int(window / interval)
+	}
+	return &congestOp{
+		det:        det,
+		interval:   interval,
+		window:     window,
+		slots:      slots,
+		minSamples: minSamples,
+		pairs:      make(map[trace.PairKey]*pairWindow),
+		counts:     make(map[trace.PairKey]int64),
+	}
+}
+
+func (o *congestOp) name() string { return Congestion }
+
+func (o *congestOp) onTraceroute(tr *trace.Traceroute, emit func(Finding)) {
+	if !tr.Complete {
+		return
+	}
+	o.sample(tr.Key(), tr.At, float64(tr.RTT)/float64(time.Millisecond), false, emit)
+}
+
+func (o *congestOp) onPing(p *trace.Ping, emit func(Finding)) {
+	o.sample(p.Key(), p.At, float64(p.RTT)/float64(time.Millisecond), p.Lost, emit)
+}
+
+// sample files one RTT observation, rolling (and evaluating) the pair's
+// window when the observation belongs to a later one. Samples that lag
+// the current window (a retried measurement straddling the roll) are
+// dropped — deterministically, since the per-pair delivery order is the
+// same live and on replay.
+func (o *congestOp) sample(k trace.PairKey, at time.Duration, rttMs float64, lost bool, emit func(Finding)) {
+	if o.slots <= 0 {
+		return
+	}
+	w := int64(at / o.window)
+	pw := o.pairs[k]
+	if pw == nil {
+		pw = &pairWindow{idx: w, rtt: nanWindow(o.slots)}
+		o.pairs[k] = pw
+	}
+	if w != pw.idx {
+		if w < pw.idx {
+			return
+		}
+		o.evaluate(k, pw, emit)
+		pw.idx = w
+		for i := range pw.rtt {
+			pw.rtt[i] = math.NaN()
+		}
+		pw.received = 0
+	}
+	if lost {
+		return
+	}
+	slot := int((at - time.Duration(w)*o.window) / o.interval)
+	if slot < 0 || slot >= o.slots {
+		return
+	}
+	if math.IsNaN(pw.rtt[slot]) {
+		pw.received++
+	}
+	pw.rtt[slot] = rttMs
+}
+
+// evaluate runs the detector over a completed window.
+func (o *congestOp) evaluate(k trace.PairKey, pw *pairWindow, emit func(Finding)) {
+	o.windows++
+	if pw.received < o.minSamples {
+		return
+	}
+	s := &congest.Series{Key: k, Interval: o.interval, RTTms: pw.rtt, Received: pw.received}
+	if !o.det.Congested(s) {
+		return
+	}
+	o.counts[k]++
+	o.total++
+	emit(Finding{
+		Analysis: Congestion,
+		At:       time.Duration(pw.idx+1) * o.window,
+		Src:      k.SrcID,
+		Dst:      k.DstID,
+		V6:       k.V6,
+		Value:    int64(math.Round(s.VariationMs())),
+	})
+}
+
+// finish evaluates every open window: a campaign that ends mid-window
+// still reports congestion the batch analysis would find.
+func (o *congestOp) finish(emit func(Finding)) {
+	for k, pw := range o.pairs {
+		o.evaluate(k, pw, emit)
+	}
+}
+
+func (o *congestOp) status() OpStatus {
+	return OpStatus{
+		Name:     Congestion,
+		Pairs:    len(o.pairs),
+		Windows:  o.windows,
+		Findings: o.total,
+		TopPairs: topPairs(o.counts, 5),
+	}
+}
+
+func nanWindow(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// dualstackOp streams the Figure 10a pairing: the v4 and v6 traceroutes
+// of a pair measured in the same round (round-adjacent, any order) yield
+// one RTTv4−RTTv6 delta. Deltas at or past the threshold become findings,
+// deduplicated per pair per virtual day so a persistently asymmetric pair
+// reports once a day instead of once a round. The pending-map protocol
+// mirrors dualstack.DiffCollector; the undirected (src,dst) key is the
+// same protocol-blind pairing the store's shard hash preserves.
+type dualstackOp struct {
+	threshold float64
+	pending   map[[2]int]dsHalf
+	covered   map[trace.PairKey]int64 // paired deltas per pair (v4 key)
+	lastDay   map[[2]int]int64
+	total     int64
+}
+
+// dsHalf is one protocol's measurement awaiting its round partner. Only
+// scalars are kept — nothing pins the delivered record.
+type dsHalf struct {
+	at    time.Duration
+	v6    bool
+	rttMs float64
+}
+
+func newDualstackOp(thresholdMs float64) *dualstackOp {
+	return &dualstackOp{
+		threshold: thresholdMs,
+		pending:   make(map[[2]int]dsHalf),
+		covered:   make(map[trace.PairKey]int64),
+		lastDay:   make(map[[2]int]int64),
+	}
+}
+
+func (o *dualstackOp) name() string { return Dualstack }
+
+func (o *dualstackOp) onTraceroute(tr *trace.Traceroute, emit func(Finding)) {
+	if !tr.Complete {
+		return
+	}
+	cur := dsHalf{at: tr.At, v6: tr.V6, rttMs: float64(tr.RTT) / float64(time.Millisecond)}
+	k := [2]int{tr.SrcID, tr.DstID}
+	prev, ok := o.pending[k]
+	if !ok || prev.at != tr.At || prev.v6 == tr.V6 {
+		o.pending[k] = cur
+		return
+	}
+	delete(o.pending, k)
+	v4, v6 := prev, cur
+	if v4.v6 {
+		v4, v6 = v6, v4
+	}
+	o.covered[trace.PairKey{SrcID: k[0], DstID: k[1]}]++
+	diff := v4.rttMs - v6.rttMs
+	if math.Abs(diff) < o.threshold {
+		return
+	}
+	day := int64(tr.At / flushDay)
+	if last, seen := o.lastDay[k]; seen && last == day {
+		return
+	}
+	o.lastDay[k] = day
+	o.total++
+	emit(Finding{
+		Analysis: Dualstack,
+		At:       tr.At,
+		Src:      k[0],
+		Dst:      k[1],
+		Value:    int64(math.Round(diff)),
+	})
+}
+
+func (o *dualstackOp) onPing(*trace.Ping, func(Finding)) {}
+
+func (o *dualstackOp) finish(func(Finding)) {}
+
+func (o *dualstackOp) status() OpStatus {
+	return OpStatus{
+		Name:     Dualstack,
+		Pairs:    len(o.covered),
+		Findings: o.total,
+		TopPairs: topPairs(o.covered, 5),
+	}
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"repro/internal/core/aspath"
+	"repro/internal/trace"
+)
+
+// routingOp detects routing changes the way §4.1 does, but incrementally:
+// per directed-pair-and-protocol timeline it keeps only the last usable
+// AS path; when the next complete traceroute infers a different path, the
+// token-level edit distance between the two becomes a finding.
+type routingOp struct {
+	mapper *aspath.Mapper
+	last   map[trace.PairKey]aspath.Path
+	counts map[trace.PairKey]int64
+	total  int64
+	topK   int
+}
+
+func newRoutingOp(m *aspath.Mapper, topK int) *routingOp {
+	return &routingOp{
+		mapper: m,
+		last:   make(map[trace.PairKey]aspath.Path),
+		counts: make(map[trace.PairKey]int64),
+		topK:   topK,
+	}
+}
+
+func (o *routingOp) name() string { return Routing }
+
+func (o *routingOp) onTraceroute(tr *trace.Traceroute, emit func(Finding)) {
+	if o.mapper == nil || !tr.Complete {
+		return
+	}
+	// Infer allocates a fresh path, so retaining it never pins the
+	// (pooled) record. Only usable paths enter the timeline, matching
+	// timeline.Builder's batch semantics.
+	r := o.mapper.Infer(tr)
+	if !r.Usable() {
+		return
+	}
+	k := tr.Key()
+	prev, seen := o.last[k]
+	o.last[k] = r.Path
+	if !seen || prev.Equal(r.Path) {
+		return
+	}
+	o.counts[k]++
+	o.total++
+	emit(Finding{
+		Analysis: Routing,
+		At:       tr.At,
+		Src:      tr.SrcID,
+		Dst:      tr.DstID,
+		V6:       tr.V6,
+		Value:    int64(aspath.EditDistance(prev, r.Path)),
+	})
+}
+
+func (o *routingOp) onPing(*trace.Ping, func(Finding)) {}
+
+func (o *routingOp) finish(func(Finding)) {}
+
+func (o *routingOp) status() OpStatus {
+	return OpStatus{
+		Name:     Routing,
+		Pairs:    len(o.last),
+		Findings: o.total,
+		TopPairs: topPairs(o.counts, o.topK),
+	}
+}

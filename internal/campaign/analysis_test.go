@@ -1,0 +1,109 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/astopo"
+	"repro/internal/core/aspath"
+	"repro/internal/ipam"
+	"repro/internal/itopo"
+	"repro/internal/trace"
+)
+
+// analysisMapper rebuilds the seed's BGP view the way s2sgen -analyze does,
+// so the routing operator sees the same IP-to-AS table the campaign's
+// network announces.
+func analysisMapper(t *testing.T, seed int64) *aspath.Mapper {
+	t.Helper()
+	topo, err := astopo.Generate(astopo.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnet, err := itopo.Build(topo, itopo.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := ipam.NewTable()
+	for _, e := range rnet.BGPEntries() {
+		if err := table.Insert(e.Prefix, e.Origin); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return aspath.NewMapper(table)
+}
+
+// TestAnalysisStageObservesOnly pins the tentpole contracts end to end on
+// a real campaign: attaching the streaming-analysis stage (fanned out next
+// to a streaming dataset sink, so record pooling stays on) leaves the
+// dataset byte-identical, and the finding stream is identical at one
+// worker and under contention.
+func TestAnalysisStageObservesOnly(t *testing.T) {
+	_, platform := newProber(t, 51, 3, 60)
+	servers := SelectMesh(platform, 5, 51)
+	mapper := analysisMapper(t, 51)
+
+	run := func(workers int, stage *analysis.Stage) []byte {
+		var buf bytes.Buffer
+		w := trace.NewBinaryWriter(&buf)
+		sink := NewWriteSink(w)
+		var c Consumer = sink
+		if stage != nil {
+			c = Multi{sink, stage}
+		}
+		p, _ := newProber(t, 51, 3, 60)
+		if err := LongTerm(p, LongTermConfig{
+			Servers:       servers,
+			Duration:      54 * time.Hour,
+			Interval:      3 * time.Hour,
+			ParisSwitchAt: 27 * time.Hour,
+			Workers:       workers,
+		}, c); err != nil {
+			t.Fatal(err)
+		}
+		if stage != nil {
+			stage.Finish()
+		}
+		if err := sink.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	var baseline []analysis.Finding
+	var baselineBytes []byte
+	for _, workers := range []int{1, 8} {
+		plain := run(workers, nil)
+
+		var got []analysis.Finding
+		stage := analysis.NewStage(analysis.Config{
+			Mapper:   mapper,
+			Interval: 3 * time.Hour,
+			Sink:     func(f analysis.Finding) { got = append(got, f) },
+		}, nil, nil)
+		instrumented := run(workers, stage)
+
+		if !bytes.Equal(plain, instrumented) {
+			t.Fatalf("workers=%d: record stream with analysis attached differs from bare run (%d vs %d bytes)",
+				workers, len(instrumented), len(plain))
+		}
+		if len(got) == 0 {
+			t.Fatalf("workers=%d: campaign produced no findings; the equivalence check is vacuous", workers)
+		}
+		if baseline == nil {
+			baseline, baselineBytes = got, plain
+			continue
+		}
+		if err := analysis.DiffStreams(baseline, got); err != nil {
+			t.Errorf("workers=8 finding stream diverges from workers=1: %v", err)
+		}
+		if !bytes.Equal(baselineBytes, plain) {
+			t.Error("workers=8 record stream diverges from workers=1 (engine determinism broken)")
+		}
+	}
+}

@@ -78,7 +78,10 @@ func Detect(xs []float64, minSegment int, penalty float64) []int {
 	if minSegment < 1 {
 		minSegment = 1
 	}
-	if n < 2*minSegment {
+	// Guard as minSegment > n/2 rather than n < 2*minSegment: the product
+	// overflows for huge minSegment values, letting a degenerate call
+	// through to negative prefix-sum indexing.
+	if n < 2 || minSegment > n/2 {
 		return nil
 	}
 	if penalty <= 0 {

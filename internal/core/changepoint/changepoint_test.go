@@ -146,3 +146,47 @@ func TestMatchRate(t *testing.T) {
 		t.Error("exact match at tol 0 should count")
 	}
 }
+
+// TestDetectDegenerateInputs pins Detect and DetectRobust against the
+// degenerate parameter space: non-positive and oversized minSegment values
+// (including ones whose doubling overflows int) and all-equal series must
+// return empty instead of panicking or misindexing.
+func TestDetectDegenerateInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shifted := steps(rng, []int{60, 60}, []float64{10, 90}, 1)
+	equal := make([]float64, 50)
+	for i := range equal {
+		equal[i] = 42
+	}
+	cases := []struct {
+		name       string
+		xs         []float64
+		minSegment int
+		wantCuts   bool
+	}{
+		{"empty series", nil, 5, false},
+		{"single sample", []float64{3}, 1, false},
+		{"zero minSegment", shifted, 0, true},
+		{"negative minSegment", shifted, -5, true},
+		{"minSegment equals length", shifted, len(shifted), false},
+		{"minSegment beyond length", shifted, len(shifted) + 1, false},
+		{"minSegment overflows doubling", shifted, math.MaxInt, false},
+		{"all-equal series", equal, 5, false},
+		{"all-equal huge minSegment", equal, math.MaxInt - 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cuts := Detect(tc.xs, tc.minSegment, 0)
+			if tc.wantCuts && len(cuts) == 0 {
+				t.Errorf("Detect(%s) found no cuts, want at least one", tc.name)
+			}
+			if !tc.wantCuts && len(cuts) != 0 {
+				t.Errorf("Detect(%s) = %v, want none", tc.name, cuts)
+			}
+			robust := DetectRobust(tc.xs, tc.minSegment, 5)
+			if !tc.wantCuts && len(robust) != 0 {
+				t.Errorf("DetectRobust(%s) = %v, want none", tc.name, robust)
+			}
+		})
+	}
+}

@@ -247,3 +247,43 @@ func TestOverheadSamples(t *testing.T) {
 		t.Errorf("OverheadSamples = %v", got)
 	}
 }
+
+// TestSummarizeParallelDeterminism pins the worker-count independence of
+// the parallel mesh summary: the atomic work-stealing split must produce
+// an identical MeshSummary at 1, 4, and 8 workers (CI runs this with
+// -race, which also catches unsynchronized summary accumulation).
+func TestSummarizeParallelDeterminism(t *testing.T) {
+	series := map[trace.PairKey]*Series{}
+	rng := rand.New(rand.NewSource(11))
+	for id := 1; id <= 24; id++ {
+		amp := 0.0
+		switch id % 3 {
+		case 0:
+			amp = 25 + rng.Float64()*10
+		case 1:
+			amp = 5 * rng.Float64()
+		}
+		pings := synthPings(t, amp, 0)
+		for _, p := range pings {
+			p.SrcID, p.V6 = id, id%2 == 0
+		}
+		for k, s := range BuildSeries(pings, 15*time.Minute, 7*24*time.Hour, 600) {
+			series[k] = s
+		}
+	}
+	det := DefaultDetector()
+	base4, base6 := SummarizeParallel(series, det, 1)
+	if base4.Pairs+base6.Pairs != 24 {
+		t.Fatalf("seeded mesh covered %d+%d pairs, want 24", base4.Pairs, base6.Pairs)
+	}
+	if base4.Congested+base6.Congested == 0 {
+		t.Fatal("seeded mesh produced no congested pairs; the determinism check would be vacuous")
+	}
+	for _, workers := range []int{4, 8} {
+		v4, v6 := SummarizeParallel(series, det, workers)
+		if v4 != base4 || v6 != base6 {
+			t.Errorf("workers=%d: summary (%+v, %+v) != workers=1 (%+v, %+v)",
+				workers, v4, v6, base4, base6)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/campaign"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
@@ -299,6 +300,7 @@ func TestStandardRuleFamilies(t *testing.T) {
 		famSinkWriteErrors: campaign.MetricSinkWriteErrors,
 		famCacheHits:       simnet.MetricCacheHits,
 		famCacheMisses:     simnet.MetricCacheMisses,
+		famFindings:        analysis.MetricFindings,
 	}
 	for local, canonical := range pairs {
 		if local != canonical {

@@ -19,6 +19,7 @@ const (
 	famSinkWriteErrors = "s2s_sink_write_errors_total"
 	famCacheHits       = "s2s_simnet_path_cache_hits_total"
 	famCacheMisses     = "s2s_simnet_path_cache_misses_total"
+	famFindings        = "s2s_analysis_findings_total"
 )
 
 // Config holds the thresholds of the standard rules.
@@ -45,6 +46,10 @@ type Config struct {
 	// least HeapMinGrowth bytes in total.
 	HeapWindow    int
 	HeapMinGrowth uint64
+	// FindingFraction: finding_surge fires when the streaming-analysis
+	// operators emit more findings per executed task than this in one
+	// interval — the observed network is churning far above baseline.
+	FindingFraction float64
 }
 
 // DefaultConfig returns the standard thresholds.
@@ -58,6 +63,7 @@ func DefaultConfig() Config {
 		CacheMinLookups:          1000,
 		HeapWindow:               6,
 		HeapMinGrowth:            512 << 20,
+		FindingFraction:          0.10,
 	}
 }
 
@@ -89,11 +95,14 @@ func (c Config) fill() Config {
 	if c.HeapMinGrowth == 0 {
 		c.HeapMinGrowth = d.HeapMinGrowth
 	}
+	if c.FindingFraction == 0 {
+		c.FindingFraction = d.FindingFraction
+	}
 	return c
 }
 
-// StandardRules builds the six standard rules with the given thresholds.
-// The returned rules carry private state (edge windows, last-checkpoint
+// StandardRules builds the standard rules with the given thresholds. The
+// returned rules carry private state (edge windows, last-checkpoint
 // tracking) and must be given to exactly one Engine.
 func StandardRules(cfg Config) []Rule {
 	cfg = cfg.fill()
@@ -105,6 +114,7 @@ func StandardRules(cfg Config) []Rule {
 		checkpointStale(cfg),
 		cacheCollapse(cfg),
 		heapGrowth(cfg),
+		findingSurge(cfg),
 	}
 }
 
@@ -226,6 +236,26 @@ func cacheCollapse(cfg Config) Rule {
 			rate := float64(hits) / float64(total)
 			return fmt.Sprintf("path-cache hit rate %.0f%% over %d lookups this interval",
 				rate*100, total), rate < cfg.CacheHitFloor
+		},
+	}
+}
+
+// findingSurge: the streaming-analysis operators are emitting findings at
+// a rate far above baseline — the observed network is churning (or a
+// detector threshold is badly tuned). Inert without `-analyze`: the
+// findings family never moves, so the rule never fires.
+func findingSurge(cfg Config) Rule {
+	return Rule{
+		Name: "finding_surge", Severity: Warn,
+		Check: func(s *Sample) (string, bool) {
+			tasks := s.DeltaCounter(famTasks)
+			if tasks <= 0 {
+				return "", false
+			}
+			findings := s.DeltaCounter(famFindings)
+			f := float64(findings) / float64(tasks)
+			return fmt.Sprintf("%d analysis findings against %d tasks this interval",
+				findings, tasks), f > cfg.FindingFraction
 		},
 	}
 }

@@ -70,6 +70,12 @@ const (
 	PhResume     = "resume"         // event: campaign resumed from a checkpoint; vt = resume point, n = rounds already done
 	PhSinkError  = "sink_error"     // event: first dataset-sink write failure; s = error text
 	PhAlert      = "alert"          // event: alert-rule transition; s = rule, id = severity (0 warn, 1 crit), n = 1 firing / 0 resolved
+
+	// Streaming-analysis event families (internal/analysis). Both are
+	// emitted via Announce so attaching operators never perturbs the
+	// snapshot clock of the run they observe.
+	PhFinding         = "finding"          // event: one analysis finding; vt = finding time, s = analysis name (+ "_v6"), n = src cluster, m = dst cluster, id = magnitude
+	PhAnalysisPartial = "analysis_partial" // event: windowed partial-result snapshot of one operator at a virtual-day flush; vt = day boundary, s = analysis name, n = pairs covered, m = findings so far, id = windows evaluated
 )
 
 // Attrs are the optional attributes of a span or event. Zero-valued

@@ -216,6 +216,11 @@ func goldenTrace() []byte {
 	sp.End(Attrs{ID: 2, N: 117, M: 3, S: "v4"})
 	r.Event(PhCacheSweep, 26*time.Hour, Attrs{ID: 7, N: 12, M: 0, S: "v6"})
 	r.Event(PhProbeBatch, 27*time.Hour, Attrs{N: 1024})
+	// Streaming-analysis families ride on Announce: same line on disk, but
+	// no snapshot-clock advance (the golden snap count pins that).
+	r.Announce(PhFinding, 25*time.Hour, Attrs{S: "routing", N: 3, M: 9, ID: 2})
+	r.Announce(PhFinding, 26*time.Hour, Attrs{S: "congestion_v6", N: 3, M: 9, ID: 18})
+	r.Announce(PhAnalysisPartial, 24*time.Hour, Attrs{S: "routing", N: 12, M: 2, ID: 0})
 	c.Add(40)
 	r.Advance(49 * time.Hour)
 	sp = r.Begin(PhCampaign, 0)

@@ -30,6 +30,8 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte("{\"k\":\"span\",\"ph\":\"round\",\"t\":5,\"d\":9,\"n\":-1}\n"))
 	f.Add([]byte("{\"k\":\"snap\",\"vt\":86400000000000,\"c\":{\"a\":1},\"g\":{\"b\":2.5},\"h\":{\"c\":[3,4]}}\n"))
 	f.Add([]byte("{\"k\":\"manifest\",\"manifest\":{\"tool\":\"t\",\"seed\":2}}\n"))
+	f.Add([]byte("{\"k\":\"event\",\"ph\":\"finding\",\"vt\":97200000000000,\"id\":2,\"n\":3,\"m\":9,\"s\":\"routing_v6\"}\n"))
+	f.Add([]byte("{\"k\":\"event\",\"ph\":\"analysis_partial\",\"vt\":86400000000000,\"id\":40,\"n\":12,\"m\":-2,\"s\":\"congestion\"}\n"))
 	f.Add([]byte("not json\n"))
 	f.Add([]byte("{\"k\":\"meta\"}\n{\"k\":5}\n"))
 	f.Add([]byte{0xff, 0xfe, '\n'})

@@ -5,6 +5,8 @@
 //	/healthz       OK / degraded (503) with one line per active alert
 //	/runz          JSON run state: virtual clock, rounds, tasks, per-worker
 //	               utilization, checkpoint position, active alerts
+//	/analysisz     JSON streaming-analysis state: per-analysis pair coverage,
+//	               windows evaluated, findings so far, top-K changing pairs
 //	/flight/tail   streaming JSONL tee off the flight recorder (?max=N to
 //	               stop after N lines), the transport `s2sobs watch` attaches to
 //	/debug/pprof/  the standard pprof handlers
@@ -77,6 +79,13 @@ func (h *Health) OK() bool {
 	return len(h.reasons) == 0
 }
 
+// AnalysisSource exposes the live state of a streaming-analysis stage
+// (analysis.Stage implements it). The returned value must be
+// JSON-encodable; it is served verbatim on /analysisz.
+type AnalysisSource interface {
+	AnalysisStatus() any
+}
+
 // Options configure a Server.
 type Options struct {
 	// Tool names the process in /runz.
@@ -86,6 +95,9 @@ type Options struct {
 	// Recorder backs /flight/tail and the checkpoint/phase fields of
 	// /runz. Optional; without it /flight/tail returns 404.
 	Recorder *flight.Recorder
+	// Analysis backs /analysisz. Optional; without it /analysisz
+	// returns 404.
+	Analysis AnalysisSource
 	// Logger, when set, logs the bound address at startup.
 	Logger *obs.Logger
 }
@@ -123,13 +135,14 @@ type RunInfo struct {
 
 // Server is a running ops endpoint. Close shuts it down.
 type Server struct {
-	tool   string
-	reg    *obs.Registry
-	rec    *flight.Recorder
-	health *Health
-	srv    *http.Server
-	ln     net.Listener
-	start  time.Time
+	tool     string
+	reg      *obs.Registry
+	rec      *flight.Recorder
+	analysis AnalysisSource
+	health   *Health
+	srv      *http.Server
+	ln       net.Listener
+	start    time.Time
 
 	mu       sync.Mutex
 	lastCkpt *CheckpointInfo
@@ -146,13 +159,14 @@ func Start(addr string, o Options) (*Server, error) {
 		return nil, fmt.Errorf("ops: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		tool:   o.Tool,
-		reg:    o.Registry,
-		rec:    o.Recorder,
-		health: NewHealth(),
-		ln:     ln,
-		start:  time.Now(),
-		flags:  flight.FlagsSet(),
+		tool:     o.Tool,
+		reg:      o.Registry,
+		rec:      o.Recorder,
+		analysis: o.Analysis,
+		health:   NewHealth(),
+		ln:       ln,
+		start:    time.Now(),
+		flags:    flight.FlagsSet(),
 	}
 	if s.rec != nil {
 		s.rec.Observe(s.observe)
@@ -162,6 +176,7 @@ func Start(addr string, o Options) (*Server, error) {
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/runz", s.runz)
+	mux.HandleFunc("/analysisz", s.analysisz)
 	mux.HandleFunc("/flight/tail", s.tail)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -205,7 +220,7 @@ func (s *Server) index(w http.ResponseWriter, req *http.Request) {
 		http.NotFound(w, req)
 		return
 	}
-	fmt.Fprintf(w, "%s ops server\n\n/metrics\n/healthz\n/runz\n/flight/tail\n/debug/pprof/\n", s.tool)
+	fmt.Fprintf(w, "%s ops server\n\n/metrics\n/healthz\n/runz\n/analysisz\n/flight/tail\n/debug/pprof/\n", s.tool)
 }
 
 func (s *Server) metrics(w http.ResponseWriter, req *http.Request) {
@@ -264,6 +279,19 @@ func (s *Server) runz(w http.ResponseWriter, req *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(&info)
+}
+
+// analysisz serves the live streaming-analysis state: per-analysis pair
+// coverage, windows evaluated, findings so far, top-K changing pairs.
+func (s *Server) analysisz(w http.ResponseWriter, req *http.Request) {
+	if s.analysis == nil {
+		http.Error(w, "no streaming analysis attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.analysis.AnalysisStatus())
 }
 
 // workerInfos extracts the per-worker busy counters

@@ -10,16 +10,17 @@ import (
 // command gets the same behavior from the same three inputs:
 //
 //   - addr != ""  → an ops server on addr (/metrics, /healthz, /runz,
-//     /flight/tail, /debug/pprof)
+//     /analysisz, /flight/tail, /debug/pprof)
 //   - rec != nil  → a standard alert engine attached to the recorder,
 //     degrading the ops server's /healthz while rules fire (stderr-only
 //     when there is no server)
+//   - src != nil  → /analysisz serves the streaming-analysis state
 //
 // The returned stop func shuts the server down; it is never nil.
-func StartRun(addr, tool string, reg *obs.Registry, rec *flight.Recorder, log *obs.Logger) (stop func(), err error) {
+func StartRun(addr, tool string, reg *obs.Registry, rec *flight.Recorder, src AnalysisSource, log *obs.Logger) (stop func(), err error) {
 	var srv *Server
 	if addr != "" {
-		srv, err = Start(addr, Options{Tool: tool, Registry: reg, Recorder: rec, Logger: log})
+		srv, err = Start(addr, Options{Tool: tool, Registry: reg, Recorder: rec, Analysis: src, Logger: log})
 		if err != nil {
 			return nil, err
 		}
