@@ -43,6 +43,11 @@
 // uninterrupted run. -crash-at injects a crash at a virtual time (CI uses
 // it to exercise resume).
 //
+// SIGINT/SIGTERM stop the campaign gracefully: the run finishes its
+// current round, flushes the dataset, sidecars, and manifest, and exits
+// 0 — every delivered record is coherent, and a -checkpoint run resumes
+// from its last checkpoint like any interrupted campaign.
+//
 // Exit codes: 0 success, 1 generic error, 3 dataset sink write failure,
 // 7 injected crash.
 //
@@ -451,6 +456,20 @@ func run() error {
 			Trace:      rec,
 		}
 	}
+	// Graceful shutdown: the first SIGINT/SIGTERM stops the campaign at the
+	// next round boundary; the run then flushes the dataset, sidecars, and
+	// flight record and exits 0. A second signal kills immediately.
+	shutdown := obs.TrapShutdown()
+	abort := func() error {
+		if werr := sink.Err(); werr != nil {
+			return werr
+		}
+		if shutdown() {
+			return campaign.ErrShutdown
+		}
+		return nil
+	}
+
 	res := campaign.Resilience{Faults: plan, Watchdog: *watchdog}
 	if *retries > 0 {
 		res.Retry.MaxAttempts = *retries + 1
@@ -485,7 +504,7 @@ func run() error {
 			Checkpoint:    ck,
 			Resume:        resumeCP,
 			CrashAt:       *crashAt,
-			Abort:         sink.Err,
+			Abort:         abort,
 		}, consumer)
 	case "pings":
 		err = campaign.PingMesh(prober, campaign.PingMeshConfig{
@@ -499,7 +518,7 @@ func run() error {
 			Checkpoint: ck,
 			Resume:     resumeCP,
 			CrashAt:    *crashAt,
-			Abort:      sink.Err,
+			Abort:      abort,
 		}, consumer)
 	case "short":
 		err = campaign.TracerouteCampaign(prober, campaign.TracerouteCampaignConfig{
@@ -516,7 +535,7 @@ func run() error {
 			Checkpoint:     ck,
 			Resume:         resumeCP,
 			CrashAt:        *crashAt,
-			Abort:          sink.Err,
+			Abort:          abort,
 		}, consumer)
 	default:
 		stop()
@@ -524,6 +543,15 @@ func run() error {
 	}
 	stop()
 	log.EndProgress()
+	if errors.Is(err, campaign.ErrShutdown) {
+		// Graceful SIGINT/SIGTERM: the campaign stopped at a round
+		// boundary, so every delivered record is coherent. Flush the
+		// dataset and sidecars like a normal finish and exit 0 — the run
+		// resumes from its last checkpoint like any interrupted campaign.
+		log.Printf("shutdown requested: stopping at virtual day %.1f, flushing dataset",
+			virtualG.Value()/86400e9)
+		err = nil
+	}
 	if err != nil {
 		// An injected crash returns without flushing or writing sidecars —
 		// the point is to leave the debris a real crash would.

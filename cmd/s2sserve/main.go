@@ -1,0 +1,451 @@
+// Command s2sserve is the measurement query service: a long-running
+// daemon pair (plus a coordinator) answering HTTP/JSON queries over an
+// archived dataset store, replicated primary/backup so a killed server
+// costs availability only until the next view change:
+//
+//	s2sserve view    the view service: tracks replica liveness by pings
+//	                 and publishes numbered (primary, backup) views
+//	s2sserve serve   one query replica: serves /api/{series,paths,summary,
+//	                 pairs,meta} over a store when primary, absorbs
+//	                 forwarded state when backup
+//	s2sserve loadgen a synthetic client fleet against a running service:
+//	                 concurrent querents with seeded zipfian pair
+//	                 popularity, reporting throughput and latency
+//	                 percentiles
+//	s2sserve bench   in-process benchmark: view service + two replicas +
+//	                 fleet sweeps (cache on/off), JSON to -o
+//
+// Every daemon carries the standard ops surface on its listen address —
+// /metrics, /healthz, /runz, /flight/tail, /debug/pprof — next to its
+// protocol endpoints, and drains gracefully on SIGINT/SIGTERM: in-flight
+// requests finish, the flight record is flushed, exit status 0.
+//
+// Exit codes: 0 success (including signal-initiated shutdown), 1 error,
+// 2 bad usage.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/alert"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/ops"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "s2sserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	fmt.Fprintf(os.Stderr, `usage:
+  s2sserve view    -addr :7400 [-dead-pings N] [-tick D] [-trace F]
+  s2sserve serve   -data DIR -view URL [-addr :7401] [-name URL] [-cache N]
+                   [-interval D] [-ping D] [-trace F] [-metrics F]
+  s2sserve loadgen -view URL [-fleet N] [-requests N] [-seed N] [-zipf S] [-o F]
+  s2sserve bench   -data DIR [-o BENCH_009.json] [-seed N] [-per N] [-fleets CSV]
+`)
+	os.Exit(2)
+	return nil
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return usage()
+	}
+	switch args[0] {
+	case "view":
+		return runView(args[1:])
+	case "serve":
+		return runServe(args[1:])
+	case "loadgen":
+		return runLoadgen(args[1:])
+	case "bench":
+		return runBench(args[1:])
+	default:
+		return usage()
+	}
+}
+
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+// newRecorder builds the daemon's flight recorder: to a file with -trace,
+// else into the void so /flight/tail and the alert engine still work.
+func newRecorder(path, tool string, reg *obs.Registry, iv time.Duration) (*flight.Recorder, error) {
+	if path != "" {
+		return flight.Create(path, flight.Options{Tool: tool, Registry: reg, MetricsInterval: iv})
+	}
+	return flight.New(io.Discard, flight.Options{Tool: tool, Registry: reg, MetricsInterval: iv}), nil
+}
+
+// heartbeat drives the metric-snapshot clock with wall time: every
+// interval it emits a serve_tick event, which advances the recorder's
+// snapshot boundary — /flight/tail gets deltas, `s2sobs watch` gets a
+// pulse, and the attached alert engine evaluates its rules.
+func heartbeat(rec *flight.Recorder, iv time.Duration, shutdown func() bool) {
+	start := time.Now()
+	for !shutdown() {
+		time.Sleep(iv)
+		rec.Event(serve.PhServeTick, time.Since(start), flight.Attrs{})
+	}
+}
+
+func runView(args []string) error {
+	fs := newFlagSet("view")
+	var (
+		addr      = fs.String("addr", ":7400", "listen address")
+		deadPings = fs.Int("dead-pings", serve.DefaultDeadPings, "ticks of silence before a replica is dead")
+		tick      = fs.Duration("tick", time.Second, "liveness tick (= expected replica ping interval)")
+		tracePath = fs.String("trace", "", "write a flight record to this file")
+		metricsIV = fs.Duration("metrics-interval", 5*time.Second, "metric snapshot cadence")
+		quiet     = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	log := obs.NewLogger("s2sserve", *quiet)
+	reg := obs.NewRegistry()
+	rec, err := newRecorder(*tracePath, "s2sserve-view", reg, *metricsIV)
+	if err != nil {
+		return err
+	}
+	vs := serve.NewViewService(serve.ViewOptions{
+		DeadPings: *deadPings, Registry: reg, Recorder: rec, Logger: log,
+	})
+	vh := vs.Handler()
+	srv, err := ops.Start(*addr, ops.Options{
+		Tool: "s2sserve-view", Registry: reg, Recorder: rec, Logger: log,
+		Extra: map[string]http.Handler{"/view": vh, "/ping": vh},
+	})
+	if err != nil {
+		return err
+	}
+	alert.New(alert.Options{Registry: reg, Logger: log, Health: srv.Health()}).Attach(rec)
+
+	shutdown := obs.TrapShutdown()
+	go heartbeat(rec, *metricsIV, shutdown)
+	t := time.NewTicker(*tick)
+	defer t.Stop()
+	for !shutdown() {
+		<-t.C
+		vs.Tick()
+	}
+	return drain(srv, rec, log, "view service")
+}
+
+func runServe(args []string) error {
+	fs := newFlagSet("serve")
+	var (
+		dataPath  = fs.String("data", "", "dataset store directory (required)")
+		viewURL   = fs.String("view", "", "view service base URL (required)")
+		addr      = fs.String("addr", ":7401", "listen address (ops + query endpoints)")
+		name      = fs.String("name", "", "advertised base URL (default derived from -addr)")
+		cacheN    = fs.Int("cache", 1024, "hot-pair cache entries (0 disables)")
+		interval  = fs.Duration("interval", 3*time.Hour, "dataset measurement cadence (summary slot width)")
+		pingIV    = fs.Duration("ping", time.Second, "view service ping interval")
+		workers   = fs.Int("workers", runtime.NumCPU(), "store scan workers")
+		tracePath = fs.String("trace", "", "write a flight record to this file")
+		metricsIV = fs.Duration("metrics-interval", 5*time.Second, "metric snapshot cadence")
+		quiet     = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" || *viewURL == "" {
+		return fmt.Errorf("serve: -data and -view are required")
+	}
+	self := *name
+	if self == "" {
+		var err error
+		if self, err = deriveName(*addr); err != nil {
+			return err
+		}
+	}
+	log := obs.NewLogger("s2sserve", *quiet)
+	reg := obs.NewRegistry()
+	rec, err := newRecorder(*tracePath, "s2sserve", reg, *metricsIV)
+	if err != nil {
+		return err
+	}
+	be, err := serve.OpenBackend(*dataPath, serve.BackendConfig{Workers: *workers, Interval: *interval})
+	if err != nil {
+		return err
+	}
+	be.Store().Instrument(reg)
+	be.Store().Trace(rec)
+	meta, _ := be.Meta()
+	log.Printf("store %s: %d records, %d shards, bgp=%t", *dataPath, meta.Records, meta.Shards, meta.HasBGP)
+
+	r := serve.NewReplica(serve.ReplicaOptions{
+		Name: self, ViewURL: *viewURL, Backend: be,
+		CacheEntries: *cacheN,
+		Registry:     reg, Recorder: rec, Logger: log,
+	})
+	srv, err := ops.Start(*addr, ops.Options{
+		Tool: "s2sserve", Registry: reg, Recorder: rec, Logger: log,
+		Extra: r.Handlers(),
+	})
+	if err != nil {
+		return err
+	}
+	alert.New(alert.Options{Registry: reg, Logger: log, Health: srv.Health()}).Attach(rec)
+	log.Printf("replica %s pinging view service %s every %v", self, *viewURL, *pingIV)
+	r.Start(*pingIV)
+
+	shutdown := obs.TrapShutdown()
+	heartbeat(rec, *metricsIV, shutdown)
+	r.Close()
+	return drain(srv, rec, log, fmt.Sprintf("replica %s", self))
+}
+
+// drain is the daemons' graceful exit: stop accepting, finish in-flight
+// requests, flush the flight record, exit 0.
+func drain(srv *ops.Server, rec *flight.Recorder, log *obs.Logger, what string) error {
+	log.Printf("shutdown requested: draining %s", what)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+	}
+	rec.WriteManifest(flight.Manifest{Tool: "s2sserve", Flags: flight.FlagsSet()})
+	if err := rec.Close(); err != nil {
+		return err
+	}
+	log.Printf("%s stopped cleanly", what)
+	return nil
+}
+
+// deriveName turns a listen address into the advertised URL. An explicit
+// host is kept; a bare ":port" advertises loopback. Ephemeral ports need
+// -name.
+func deriveName(addr string) (string, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: cannot derive -name from -addr %q: %v", addr, err)
+	}
+	if port == "0" || port == "" {
+		return "", fmt.Errorf("serve: -addr %q has an ephemeral port; set -name explicitly", addr)
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port), nil
+}
+
+// fetchPairs pulls the popularity-ranked pair universe from the service.
+func fetchPairs(cl *serve.Client) ([]trace.PairKey, error) {
+	resp, err := cl.Get("/api/pairs", nil)
+	if err != nil {
+		return nil, err
+	}
+	var pr serve.PairsResponse
+	if err := json.Unmarshal(resp.Body, &pr); err != nil {
+		return nil, err
+	}
+	keys := make([]trace.PairKey, len(pr.Pairs))
+	for i, p := range pr.Pairs {
+		keys[i] = trace.PairKey{SrcID: p.Src, DstID: p.Dst, V6: p.V6}
+	}
+	return keys, nil
+}
+
+func runLoadgen(args []string) error {
+	fs := newFlagSet("loadgen")
+	var (
+		viewURL  = fs.String("view", "", "view service base URL (required)")
+		fleet    = fs.Int("fleet", 100, "concurrent clients")
+		requests = fs.Int("requests", 1000, "total requests across the fleet")
+		seed     = fs.Int64("seed", 1, "request-schedule seed")
+		zipfS    = fs.Float64("zipf", serve.DefaultZipfS, "pair-popularity zipf skew (> 1)")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-request timeout including failover retries")
+		outPath  = fs.String("o", "", "write the result JSON to this file")
+		quiet    = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *viewURL == "" {
+		return fmt.Errorf("loadgen: -view is required")
+	}
+	log := obs.NewLogger("s2sserve", *quiet)
+	cl := &serve.Client{VS: *viewURL, Timeout: *timeout}
+	pairs, err := fetchPairs(cl)
+	if err != nil {
+		return fmt.Errorf("loadgen: listing pairs: %w", err)
+	}
+	if len(pairs) == 0 {
+		return fmt.Errorf("loadgen: service reports no pairs")
+	}
+	log.Printf("fleet %d x %d requests over %d pairs (seed %d, zipf %.2f)",
+		*fleet, *requests, len(pairs), *seed, *zipfS)
+	res, err := serve.RunFleet(serve.LoadConfig{
+		VS: *viewURL, Fleet: *fleet, Requests: *requests,
+		Seed: *seed, ZipfS: *zipfS, Pairs: pairs, Timeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	printResult(log, res)
+	if *outPath != "" {
+		if err := writeJSONFile(*outPath, res); err != nil {
+			return err
+		}
+		log.Printf("wrote %s", *outPath)
+	}
+	return nil
+}
+
+func printResult(log *obs.Logger, r *serve.LoadResult) {
+	log.Printf("fleet=%d ok=%d errors=%d cache_hits=%d | %.0f req/s | p50=%s p95=%s p99=%s max=%s",
+		r.Fleet, r.OK, r.Errors, r.CacheHits, r.RPS,
+		us(r.P50us), us(r.P95us), us(r.P99us), us(r.MaxUs))
+}
+
+func us(v int64) string { return (time.Duration(v) * time.Microsecond).String() }
+
+// benchRun is one fleet sweep in the BENCH_009 output.
+type benchRun struct {
+	Name  string `json:"name"`
+	Cache bool   `json:"cache"`
+	serve.LoadResult
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// benchOut is the BENCH_009.json schema.
+type benchOut struct {
+	Schema    string     `json:"schema"`
+	Workload  string     `json:"workload"`
+	GoVersion string     `json:"go_version"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	CPUs      int        `json:"cpus"`
+	Seed      int64      `json:"seed"`
+	Pairs     int        `json:"pairs"`
+	Records   int64      `json:"records"`
+	PerClient int        `json:"requests_per_client"`
+	Runs      []benchRun `json:"benchmarks"`
+}
+
+func runBench(args []string) error {
+	fs := newFlagSet("bench")
+	var (
+		dataPath = fs.String("data", "", "dataset store directory (required)")
+		outPath  = fs.String("o", "BENCH_009.json", "output file")
+		seed     = fs.Int64("seed", 1, "request-schedule seed")
+		perC     = fs.Int("per", 10, "requests per client")
+		fleets   = fs.String("fleets", "100,1000,4000", "fleet sizes to sweep")
+		cacheN   = fs.Int("cache", 4096, "cache entries for the cache-on arms")
+		interval = fs.Duration("interval", 3*time.Hour, "dataset measurement cadence")
+		quiet    = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" {
+		return fmt.Errorf("bench: -data is required")
+	}
+	log := obs.NewLogger("s2sserve", *quiet)
+	var sizes []int
+	for _, s := range strings.Split(*fleets, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n <= 0 {
+			return fmt.Errorf("bench: bad fleet size %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	openBackend := func() (*serve.Backend, error) {
+		return serve.OpenBackend(*dataPath, serve.BackendConfig{Interval: *interval})
+	}
+	// One backend just for the universe + manifest.
+	be, err := openBackend()
+	if err != nil {
+		return err
+	}
+	keys, _ := be.Store().PairKeys()
+	meta, _ := be.Meta()
+	if len(keys) == 0 {
+		return fmt.Errorf("bench: store has no indexed pairs")
+	}
+	out := benchOut{
+		Schema:    "s2s-serve-bench/1",
+		Workload:  "replicated query service, synthetic zipfian fleet (see internal/serve/loadgen.go)",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Seed:      *seed,
+		Pairs:     len(keys),
+		Records:   meta.Records,
+		PerClient: *perC,
+	}
+	for _, cache := range []bool{true, false} {
+		entries := 0
+		if cache {
+			entries = *cacheN
+		}
+		d, err := serve.StartDeployment(serve.DeployConfig{
+			Replicas: 2, OpenBackend: openBackend, CacheEntries: entries,
+		})
+		if err != nil {
+			return err
+		}
+		for _, fleet := range sizes {
+			res, err := serve.RunFleet(serve.LoadConfig{
+				VS: d.VSURL, Fleet: fleet, Requests: fleet * *perC,
+				Seed: *seed, Pairs: keys,
+			})
+			if err != nil {
+				d.Close()
+				return err
+			}
+			run := benchRun{
+				Name:       fmt.Sprintf("fleet=%d/cache=%t", fleet, cache),
+				Cache:      cache,
+				LoadResult: *res,
+			}
+			if res.OK > 0 {
+				run.CacheHitRate = float64(res.CacheHits) / float64(res.OK)
+			}
+			out.Runs = append(out.Runs, run)
+			log.Printf("cache=%t %s", cache, resultLine(res))
+		}
+		d.Close()
+	}
+	if err := writeJSONFile(*outPath, out); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", *outPath)
+	return nil
+}
+
+func resultLine(r *serve.LoadResult) string {
+	return fmt.Sprintf("fleet=%d ok=%d errors=%d hits=%d %.0f req/s p50=%s p95=%s p99=%s",
+		r.Fleet, r.OK, r.Errors, r.CacheHits, r.RPS, us(r.P50us), us(r.P95us), us(r.P99us))
+}
+
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

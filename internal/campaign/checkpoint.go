@@ -16,6 +16,13 @@ import (
 // hard process death for resume testing.
 var ErrInjectedCrash = errors.New("campaign: injected crash")
 
+// ErrShutdown is the graceful-stop sentinel: an Abort hook that returns it
+// stops the campaign at the next round boundary without the error being
+// treated as a sink failure. Commands map it to a clean exit — the
+// dataset holds every completed round and can be flushed, analyzed, and
+// resumed from a checkpoint like any interrupted run.
+var ErrShutdown = errors.New("campaign: shutdown requested")
+
 // SinkError wraps a dataset-sink write failure that aborted a campaign.
 // Commands should detect it (errors.As) and exit with a distinct status:
 // the measurements were fine, the dataset is incomplete.
@@ -256,6 +263,9 @@ func (rc *runControl) run() (int64, error) {
 		rounds++
 		if rc.abort != nil {
 			if err := rc.abort(); err != nil {
+				if errors.Is(err, ErrShutdown) {
+					return rounds, err
+				}
 				return rounds, &SinkError{Err: err}
 			}
 		}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/serve"
 	"repro/internal/simnet"
 )
 
@@ -288,6 +289,54 @@ func TestAttachedEngineEmitsAlertEvents(t *testing.T) {
 	}
 }
 
+// TestViewFlapRule: repeated replication view changes within one interval
+// fire the flap alert; the steady trickle of a single failover does not.
+func TestViewFlapRule(t *testing.T) {
+	e, reg, h := newEngine(t, Config{})
+	changes := reg.Counter(famViewChanges, "")
+
+	changes.Add(1) // one failover this interval: fine
+	e.EvalBoundary(1 * time.Hour)
+	if len(h.active) != 0 {
+		t.Fatalf("view_flap fired on a single view change: %v", h.active)
+	}
+	changes.Add(4) // churning
+	e.EvalBoundary(2 * time.Hour)
+	if got := h.sets["view_flap"]; got != 1 {
+		t.Fatalf("view_flap fired %d times, want 1", got)
+	}
+	e.EvalBoundary(3 * time.Hour) // quiet again: resolves
+	if got := h.clears["view_flap"]; got != 1 {
+		t.Fatalf("view_flap resolved %d times, want 1", got)
+	}
+}
+
+// TestServeCacheCollapseRule: a hit rate under the floor fires only once
+// the lookup volume is meaningful.
+func TestServeCacheCollapseRule(t *testing.T) {
+	e, reg, h := newEngine(t, Config{})
+	hits := reg.Counter(famServeCacheHits, "")
+	misses := reg.Counter(famServeCacheMiss, "")
+
+	misses.Add(50) // all misses, but under the volume gate: quiet
+	e.EvalBoundary(1 * time.Hour)
+	if len(h.active) != 0 {
+		t.Fatalf("collapse fired under the lookup gate: %v", h.active)
+	}
+	hits.Add(10) // 10/510 ≈ 2% hit rate over 500+ lookups: fires
+	misses.Add(500)
+	e.EvalBoundary(2 * time.Hour)
+	if got := h.sets["serve_cache_collapse"]; got != 1 {
+		t.Fatalf("serve_cache_collapse fired %d times, want 1", got)
+	}
+	hits.Add(400) // healthy again
+	misses.Add(100)
+	e.EvalBoundary(3 * time.Hour)
+	if got := h.clears["serve_cache_collapse"]; got != 1 {
+		t.Fatalf("serve_cache_collapse resolved %d times, want 1", got)
+	}
+}
+
 // TestStandardRuleFamilies pins the metric families the rules read to the
 // constants the instrumented packages actually export, so a rename there
 // breaks this test instead of silently muting an alert.
@@ -301,6 +350,9 @@ func TestStandardRuleFamilies(t *testing.T) {
 		famCacheHits:       simnet.MetricCacheHits,
 		famCacheMisses:     simnet.MetricCacheMisses,
 		famFindings:        analysis.MetricFindings,
+		famServeCacheHits:  serve.MetricCacheHits,
+		famServeCacheMiss:  serve.MetricCacheMisses,
+		famViewChanges:     serve.MetricViewChanges,
 	}
 	for local, canonical := range pairs {
 		if local != canonical {

@@ -20,6 +20,9 @@ const (
 	famCacheHits       = "s2s_simnet_path_cache_hits_total"
 	famCacheMisses     = "s2s_simnet_path_cache_misses_total"
 	famFindings        = "s2s_analysis_findings_total"
+	famServeCacheHits  = "s2s_serve_cache_hits_total"
+	famServeCacheMiss  = "s2s_serve_cache_misses_total"
+	famViewChanges     = "s2s_serve_view_changes_total"
 )
 
 // Config holds the thresholds of the standard rules.
@@ -50,6 +53,15 @@ type Config struct {
 	// operators emit more findings per executed task than this in one
 	// interval — the observed network is churning far above baseline.
 	FindingFraction float64
+	// ViewFlapChanges: view_flap fires when the replication view service
+	// moved through this many view changes in one interval — replicas are
+	// flapping between alive and dead instead of settling.
+	ViewFlapChanges int64
+	// ServeCacheHitFloor and ServeCacheMinLookups: serve_cache_collapse
+	// fires when the query service's hot-pair cache hit rate drops below
+	// the floor with at least that many lookups in the interval.
+	ServeCacheHitFloor   float64
+	ServeCacheMinLookups int64
 }
 
 // DefaultConfig returns the standard thresholds.
@@ -64,6 +76,9 @@ func DefaultConfig() Config {
 		HeapWindow:               6,
 		HeapMinGrowth:            512 << 20,
 		FindingFraction:          0.10,
+		ViewFlapChanges:          3,
+		ServeCacheHitFloor:       0.20,
+		ServeCacheMinLookups:     200,
 	}
 }
 
@@ -98,6 +113,15 @@ func (c Config) fill() Config {
 	if c.FindingFraction == 0 {
 		c.FindingFraction = d.FindingFraction
 	}
+	if c.ViewFlapChanges == 0 {
+		c.ViewFlapChanges = d.ViewFlapChanges
+	}
+	if c.ServeCacheHitFloor == 0 {
+		c.ServeCacheHitFloor = d.ServeCacheHitFloor
+	}
+	if c.ServeCacheMinLookups == 0 {
+		c.ServeCacheMinLookups = d.ServeCacheMinLookups
+	}
 	return c
 }
 
@@ -115,6 +139,8 @@ func StandardRules(cfg Config) []Rule {
 		cacheCollapse(cfg),
 		heapGrowth(cfg),
 		findingSurge(cfg),
+		viewFlap(cfg),
+		serveCacheCollapse(cfg),
 	}
 }
 
@@ -256,6 +282,42 @@ func findingSurge(cfg Config) Rule {
 			f := float64(findings) / float64(tasks)
 			return fmt.Sprintf("%d analysis findings against %d tasks this interval",
 				findings, tasks), f > cfg.FindingFraction
+		},
+	}
+}
+
+// viewFlap: the replication view service is cycling through views — a
+// replica (or the network between it and the view service) is flapping,
+// so every few intervals availability pays another failover. Inert
+// outside the query service: the view-change family never moves. Wall
+// clock, like everything in the serving path.
+func viewFlap(cfg Config) Rule {
+	return Rule{
+		Name: "view_flap", Severity: Warn, WallClock: true,
+		Check: func(s *Sample) (string, bool) {
+			changes := s.DeltaCounter(famViewChanges)
+			return fmt.Sprintf("%d replication view changes this interval (limit %d)",
+				changes, cfg.ViewFlapChanges), changes >= cfg.ViewFlapChanges
+		},
+	}
+}
+
+// serveCacheCollapse: the query service's hot-pair cache stopped hitting —
+// the working set outgrew the cache bound (or the request population
+// stopped being zipfian) and every query is paying a store read.
+func serveCacheCollapse(cfg Config) Rule {
+	return Rule{
+		Name: "serve_cache_collapse", Severity: Warn, WallClock: true,
+		Check: func(s *Sample) (string, bool) {
+			hits := s.DeltaCounter(famServeCacheHits)
+			misses := s.DeltaCounter(famServeCacheMiss)
+			total := hits + misses
+			if total < cfg.ServeCacheMinLookups {
+				return "", false
+			}
+			rate := float64(hits) / float64(total)
+			return fmt.Sprintf("hot-pair cache hit rate %.0f%% over %d lookups this interval",
+				rate*100, total), rate < cfg.ServeCacheHitFloor
 		},
 	}
 }

@@ -18,6 +18,7 @@
 package ops
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -100,6 +101,10 @@ type Options struct {
 	Analysis AnalysisSource
 	// Logger, when set, logs the bound address at startup.
 	Logger *obs.Logger
+	// Extra mounts additional handlers onto the ops mux — the query
+	// service's /api/* endpoints ride on the same port as /metrics and
+	// /healthz this way. Patterns must not collide with the built-ins.
+	Extra map[string]http.Handler
 }
 
 // CheckpointInfo is the last checkpoint the run wrote (from the flight
@@ -183,6 +188,9 @@ func Start(addr string, o Options) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range o.Extra {
+		mux.Handle(pattern, h)
+	}
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)
 	o.Logger.Printf("ops server listening on http://%s", ln.Addr())
@@ -198,6 +206,11 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Close shuts the server down, severing any in-flight tails.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown drains in-flight requests before closing the listener (Close
+// severs them). Open /flight/tail streams are not drained — they never
+// finish on their own — so callers should bound ctx.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
 
 // observe is the recorder tap feeding /runz's checkpoint and phase fields.
 func (s *Server) observe(rec *flight.Record) {

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+)
+
+// TrapShutdown installs a SIGINT/SIGTERM handler and returns a checker
+// that reports whether a shutdown was requested. Long-running commands
+// poll it to drain gracefully — finish the round or request in flight,
+// flush sinks and the flight record, exit 0 — instead of dying mid-write.
+//
+// A second signal restores the default disposition and re-raises, so an
+// operator who really means it (^C ^C) still gets an immediate kill.
+func TrapShutdown() func() bool {
+	var requested atomic.Bool
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		requested.Store(true)
+		<-ch
+		signal.Reset(sig)
+		if s, ok := sig.(syscall.Signal); ok {
+			syscall.Kill(os.Getpid(), s)
+		}
+		os.Exit(130)
+	}()
+	return requested.Load
+}

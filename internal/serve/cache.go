@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Entry is one cached (and journaled) query response.
+type Entry struct {
+	Key    string
+	Body   []byte
+	Digest string
+}
+
+// Cache is the hot-pair LRU in front of the backend: a bounded map from
+// canonical query key to marshaled response. Query popularity is zipfian —
+// operators watch the same few pairs — so a small cache absorbs most of
+// the load; the metrics let the alert engine notice when it stops doing so
+// (serve_cache_collapse).
+//
+// The cache is also half of the replicated state: the primary forwards
+// every response it caches to the backup, so a promoted backup serves the
+// same bytes for warmed pairs without touching its store.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+
+	hitsC    *obs.Counter
+	missesC  *obs.Counter
+	evictC   *obs.Counter
+	entriesG *obs.Gauge
+}
+
+// NewCache returns an LRU bounded to max entries. max <= 0 disables
+// caching: every Get misses and Put is a no-op (the cache-off arm of the
+// benchmark).
+func NewCache(max int) *Cache {
+	return &Cache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Instrument registers the cache metrics on reg.
+func (c *Cache) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.hitsC = reg.Counter(MetricCacheHits, "query responses served from the hot-pair cache")
+	c.missesC = reg.Counter(MetricCacheMisses, "query responses computed from the store")
+	c.evictC = reg.Counter(MetricCacheEvictions, "cache entries evicted by the LRU bound")
+	c.entriesG = reg.Gauge(MetricCacheEntries, "cache entries resident")
+}
+
+// Get returns the cached response for key and marks it most recent.
+func (c *Cache) Get(key string) (body []byte, digest string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.missesC.Inc()
+		return nil, "", false
+	}
+	c.hitsC.Inc()
+	c.ll.MoveToFront(el)
+	e := el.Value.(*Entry)
+	return e.Body, e.Digest, true
+}
+
+// Put inserts (or refreshes) a response, evicting from the cold end to
+// stay within the bound.
+func (c *Cache) Put(key string, body []byte, digest string) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*Entry)
+		e.Body, e.Digest = body, digest
+		return
+	}
+	c.items[key] = c.ll.PushFront(&Entry{Key: key, Body: body, Digest: digest})
+	for c.ll.Len() > c.max {
+		cold := c.ll.Back()
+		c.ll.Remove(cold)
+		delete(c.items, cold.Value.(*Entry).Key)
+		c.evictC.Inc()
+	}
+	c.entriesG.Set(float64(c.ll.Len()))
+}
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Keys returns the resident keys from most to least recently used.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*Entry).Key)
+	}
+	return keys
+}
+
+// Snapshot copies the resident entries from most to least recently used —
+// the cache half of a state transfer.
+func (c *Cache) Snapshot() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*Entry)
+		out = append(out, Entry{Key: e.Key, Body: e.Body, Digest: e.Digest})
+	}
+	return out
+}
+
+// Install replaces the cache contents with a transferred snapshot
+// (entries arrive most-recent-first, so inserting in reverse rebuilds the
+// recency order).
+func (c *Cache) Install(entries []Entry) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, len(entries))
+	c.mu.Unlock()
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		c.Put(e.Key, e.Body, e.Digest)
+	}
+}

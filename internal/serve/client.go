@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client is a view-aware query client: it learns the primary from the
+// view service, caches it, and on any failure — connection refused, 409
+// not-primary, 5xx refusal to acknowledge — refreshes the view and
+// retries with backoff until Timeout. A failover is therefore invisible
+// to the caller beyond added latency: the request lands on whichever
+// primary the next view names.
+type Client struct {
+	// VS is the view service's base URL.
+	VS string
+	// HC is the underlying HTTP client (default http.DefaultClient).
+	HC *http.Client
+	// Timeout bounds one Get including all retries (default 20s).
+	Timeout time.Duration
+
+	mu      sync.Mutex
+	primary string
+}
+
+// Response is one acknowledged query response.
+type Response struct {
+	Body     []byte
+	Digest   string // X-S2S-Digest: the journaled response digest
+	ServedBy string // X-S2S-Served-By: which replica acknowledged
+	ViewNum  uint64 // X-S2S-View: the view it was acknowledged in
+	CacheHit bool
+}
+
+// viewReply mirrors the view service's /view payload.
+type viewReply struct {
+	View  View `json:"view"`
+	Acked bool `json:"acked"`
+}
+
+func (c *Client) hc() *http.Client {
+	if c.HC != nil {
+		return c.HC
+	}
+	return http.DefaultClient
+}
+
+// RefreshView re-reads the current view and returns its primary.
+func (c *Client) RefreshView() (string, error) {
+	resp, err := c.hc().Get(c.VS + "/view")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var vr viewReply
+	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+		return "", fmt.Errorf("serve: view service: %w", err)
+	}
+	c.mu.Lock()
+	c.primary = vr.View.Primary
+	c.mu.Unlock()
+	return vr.View.Primary, nil
+}
+
+// Get issues one query (path like "/api/series") and retries through view
+// changes until it gets an acknowledged response or Timeout elapses.
+func (c *Client) Get(path string, q url.Values) (*Response, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 20 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	backoff := 5 * time.Millisecond
+	var lastErr error
+	for {
+		c.mu.Lock()
+		primary := c.primary
+		c.mu.Unlock()
+		if primary == "" {
+			var err error
+			if primary, err = c.RefreshView(); err != nil || primary == "" {
+				lastErr = fmt.Errorf("serve: no primary: %v", err)
+			}
+		}
+		if primary != "" {
+			resp, err := c.tryOnce(primary, path, q)
+			if err == nil {
+				return resp, nil
+			}
+			var bad *BadRequestError
+			if errors.As(err, &bad) {
+				return nil, err
+			}
+			lastErr = err
+			// Whatever went wrong — dead primary, stale view, unsynced
+			// backup — the cure is the same: re-learn the view and retry.
+			c.mu.Lock()
+			c.primary = ""
+			c.mu.Unlock()
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("serve: %s not acknowledged within %v: %w", path, timeout, lastErr)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 250*time.Millisecond {
+			backoff = 250 * time.Millisecond
+		}
+	}
+}
+
+// tryOnce issues the query against one candidate primary.
+func (c *Client) tryOnce(primary, path string, q url.Values) (*Response, error) {
+	u := primary + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	hresp, err := c.hc().Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	body, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case hresp.StatusCode == http.StatusOK:
+		viewNum, _ := strconv.ParseUint(hresp.Header.Get("X-S2S-View"), 10, 64)
+		return &Response{
+			Body:     body,
+			Digest:   hresp.Header.Get("X-S2S-Digest"),
+			ServedBy: hresp.Header.Get("X-S2S-Served-By"),
+			ViewNum:  viewNum,
+			CacheHit: hresp.Header.Get("X-S2S-Cache") == "hit",
+		}, nil
+	case hresp.StatusCode == http.StatusBadRequest:
+		// Malformed query: retrying cannot help.
+		return nil, &BadRequestError{Body: string(body)}
+	default:
+		return nil, fmt.Errorf("%s: status %d: %s", u, hresp.StatusCode, trimBody(body))
+	}
+}
+
+// BadRequestError marks a non-retryable client error.
+type BadRequestError struct{ Body string }
+
+func (e *BadRequestError) Error() string { return "bad request: " + e.Body }
+
+func trimBody(b []byte) string {
+	const max = 200
+	if len(b) > max {
+		b = b[:max]
+	}
+	return string(b)
+}

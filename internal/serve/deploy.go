@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DeployConfig parameterizes an in-process deployment.
+type DeployConfig struct {
+	// Replicas is how many query servers to start (>= 1; the view service
+	// uses the first two live ones as primary and backup).
+	Replicas int
+	// OpenBackend builds each replica's backend — its own store handle, so
+	// replicas do not share read state.
+	OpenBackend func() (*Backend, error)
+	// CacheEntries bounds each replica's hot-pair cache (0 = off).
+	CacheEntries int
+	// PingInterval is the view protocol cadence (default 25ms); DeadPings
+	// the liveness threshold (default DefaultDeadPings).
+	PingInterval time.Duration
+	DeadPings    int
+	// Logger observes the deployment (optional).
+	Logger *obs.Logger
+}
+
+// Deployment is a view service plus replicas running in one process on
+// loopback listeners — the harness behind the failover tests and the
+// `s2sserve bench` fleet runs. The production layout (one daemon per
+// process, ops mux) wires the same pieces; this just does it compactly.
+type Deployment struct {
+	VS    *ViewService
+	VSURL string
+
+	// Registries holds each replica's metric registry, keyed by name.
+	Registries map[string]*obs.Registry
+
+	cfg      DeployConfig
+	vsSrv    *http.Server
+	mu       sync.Mutex
+	replicas map[string]*replicaProc
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+type replicaProc struct {
+	r   *Replica
+	srv *http.Server
+}
+
+// StartDeployment boots the view service and cfg.Replicas replicas and
+// waits for an acknowledged primary.
+func StartDeployment(cfg DeployConfig) (*Deployment, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("serve: deployment needs at least one replica")
+	}
+	if cfg.PingInterval <= 0 {
+		cfg.PingInterval = 25 * time.Millisecond
+	}
+	d := &Deployment{
+		VS:         NewViewService(ViewOptions{DeadPings: cfg.DeadPings, Logger: cfg.Logger}),
+		Registries: make(map[string]*obs.Registry),
+		cfg:        cfg,
+		replicas:   make(map[string]*replicaProc),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	var err error
+	if d.VSURL, d.vsSrv, err = serveOnLoopback(d.VS.Handler()); err != nil {
+		return nil, err
+	}
+	// The ticker drives liveness; replicas ping on their own loops.
+	go func() {
+		defer close(d.done)
+		t := time.NewTicker(cfg.PingInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-t.C:
+				d.VS.Tick()
+			}
+		}
+	}()
+	for i := 0; i < cfg.Replicas; i++ {
+		if _, err := d.AddReplica(); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	if _, err := d.WaitForPrimary(10 * time.Second); err != nil {
+		d.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// AddReplica starts one more replica and returns its name.
+func (d *Deployment) AddReplica() (string, error) {
+	be, err := d.cfg.OpenBackend()
+	if err != nil {
+		return "", err
+	}
+	reg := obs.NewRegistry()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	name := "http://" + ln.Addr().String()
+	r := NewReplica(ReplicaOptions{
+		Name:         name,
+		ViewURL:      d.VSURL,
+		Backend:      be,
+		CacheEntries: d.cfg.CacheEntries,
+		Registry:     reg,
+		Logger:       d.cfg.Logger,
+	})
+	mux := http.NewServeMux()
+	for pattern, h := range r.Handlers() {
+		mux.Handle(pattern, h)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	r.Start(d.cfg.PingInterval)
+	d.mu.Lock()
+	d.replicas[name] = &replicaProc{r: r, srv: srv}
+	d.Registries[name] = reg
+	d.mu.Unlock()
+	return name, nil
+}
+
+// Replica returns a running replica by name (nil if killed or unknown).
+func (d *Deployment) Replica(name string) *Replica {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p, ok := d.replicas[name]; ok {
+		return p.r
+	}
+	return nil
+}
+
+// Kill stops one replica abruptly: ping loop and listener die together,
+// like a process kill. Returns false if the name is not running.
+func (d *Deployment) Kill(name string) bool {
+	d.mu.Lock()
+	p, ok := d.replicas[name]
+	delete(d.replicas, name)
+	d.mu.Unlock()
+	if !ok {
+		return false
+	}
+	p.r.Close()
+	p.srv.Close()
+	return true
+}
+
+// KillPrimary kills the current primary and returns its name.
+func (d *Deployment) KillPrimary() (string, error) {
+	v, _ := d.VS.View()
+	if v.Primary == "" {
+		return "", fmt.Errorf("serve: no primary to kill")
+	}
+	if !d.Kill(v.Primary) {
+		return "", fmt.Errorf("serve: primary %s not running here", v.Primary)
+	}
+	return v.Primary, nil
+}
+
+// WaitForPrimary polls until the view has an acknowledged primary.
+func (d *Deployment) WaitForPrimary(timeout time.Duration) (View, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		v, acked := d.VS.View()
+		if v.Primary != "" && acked {
+			return v, nil
+		}
+		if time.Now().After(deadline) {
+			return v, fmt.Errorf("serve: no acknowledged primary within %v (view %d)", timeout, v.Num)
+		}
+		time.Sleep(d.cfg.PingInterval / 2)
+	}
+}
+
+// Close tears the deployment down.
+func (d *Deployment) Close() {
+	close(d.stop)
+	<-d.done
+	d.mu.Lock()
+	procs := make([]*replicaProc, 0, len(d.replicas))
+	for name, p := range d.replicas {
+		procs = append(procs, p)
+		delete(d.replicas, name)
+	}
+	d.mu.Unlock()
+	for _, p := range procs {
+		p.r.Close()
+		p.srv.Close()
+	}
+	d.vsSrv.Close()
+}
+
+// serveOnLoopback starts an HTTP server on an ephemeral loopback port.
+func serveOnLoopback(h http.Handler) (url string, srv *http.Server, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv = &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), srv, nil
+}

@@ -1,0 +1,459 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
+
+// ReplicaOptions parameterizes a Replica.
+type ReplicaOptions struct {
+	// Name is the replica's advertised base URL ("http://127.0.0.1:7401") —
+	// its identity at the view service and the address peers forward to.
+	Name string
+	// ViewURL is the view service's base URL.
+	ViewURL string
+	// Backend answers queries over this replica's own store handle.
+	Backend *Backend
+	// CacheEntries bounds the hot-pair cache (0 disables caching).
+	CacheEntries int
+	// HTTPClient is used for pings, forwards, and transfers (default: a
+	// client with a 10s timeout).
+	HTTPClient *http.Client
+	// Registry, Recorder, Logger observe the replica (all optional).
+	Registry *obs.Registry
+	Recorder *flight.Recorder
+	Logger   *obs.Logger
+}
+
+// Replica is one query server under the view service's command. Both
+// replicas run the same code; the view decides the role:
+//
+//   - The primary executes queries. Before acknowledging a response it
+//     journals the response digest under the query's canonical key and —
+//     when a backup exists — forwards {key, digest, body} to it. A forward
+//     failure is a refusal to acknowledge (502): the client retries and
+//     either the backup recovers or the view drops it.
+//   - The backup executes nothing. It absorbs forwarded responses into its
+//     own journal and cache, rejecting any digest that contradicts what it
+//     already journaled (409) — determinism insurance, not an expected
+//     path. On promotion it serves warmed pairs from the transferred cache
+//     bytes, so no response acknowledged before the failover can be
+//     contradicted after it.
+//   - A fresh backup first receives a full state transfer (journal + cache
+//     snapshot); the primary will not acknowledge past it until the
+//     transfer lands.
+//
+// Non-primaries answer queries with 409 and the current view, steering
+// clients to the right server.
+type Replica struct {
+	name  string
+	vsURL string
+	be    *Backend
+	cache *Cache
+	hc    *http.Client
+	log   *obs.Logger
+	rec   *flight.Recorder
+	start time.Time
+
+	requestsC  map[string]*obs.Counter
+	latencyH   map[string]*obs.Histogram
+	errorsC    *obs.Counter
+	forwardsC  *obs.Counter
+	transfersC *obs.Counter
+	promoteC   *obs.Counter
+
+	mu         sync.Mutex
+	view       View
+	journal    map[string]string // canonical query key -> acknowledged digest
+	syncedView uint64            // as primary: view whose backup holds our state
+
+	syncMu sync.Mutex // serializes outbound state transfers
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewReplica builds a replica; call Start to begin pinging the view
+// service, and mount Handlers on an HTTP server at Name.
+func NewReplica(o ReplicaOptions) *Replica {
+	r := &Replica{
+		name:    o.Name,
+		vsURL:   o.ViewURL,
+		be:      o.Backend,
+		cache:   NewCache(o.CacheEntries),
+		hc:      o.HTTPClient,
+		log:     o.Logger,
+		rec:     o.Recorder,
+		start:   time.Now(),
+		journal: make(map[string]string),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if r.hc == nil {
+		r.hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	r.cache.Instrument(o.Registry)
+	r.requestsC = make(map[string]*obs.Counter, len(Endpoints))
+	r.latencyH = make(map[string]*obs.Histogram, len(Endpoints))
+	if reg := o.Registry; reg != nil {
+		for _, ep := range Endpoints {
+			r.requestsC[ep] = reg.Counter(fmt.Sprintf(`%s{endpoint=%q}`, MetricRequests, ep),
+				"query requests served, by endpoint")
+			r.latencyH[ep] = reg.Histogram(fmt.Sprintf(`%s{endpoint=%q}`, MetricLatency, ep),
+				"query latency in seconds, by endpoint", obs.DurationBuckets())
+		}
+		r.errorsC = reg.Counter(MetricErrors, "query requests answered with an error status")
+		r.forwardsC = reg.Counter(MetricForwards, "responses forwarded to the backup before acknowledgement")
+		r.transfersC = reg.Counter(MetricTransfers, "full state transfers sent to a fresh backup")
+		r.promoteC = reg.Counter(MetricPromotions, "backup-to-primary promotions on this replica")
+	}
+	return r
+}
+
+// Cache exposes the hot-pair cache (for tests and status pages).
+func (r *Replica) Cache() *Cache { return r.cache }
+
+// View returns the replica's latest view of the view.
+func (r *Replica) View() View {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.view
+}
+
+// Start launches the ping loop at the given interval.
+func (r *Replica) Start(interval time.Duration) {
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			r.PingOnce()
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// Close stops the ping loop. The HTTP server owning the handlers is shut
+// down by the caller.
+func (r *Replica) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// PingOnce sends one ping to the view service and absorbs the returned
+// view: promotion bookkeeping on role change, then a state transfer if
+// this replica is primary of a view with an unsynced backup. Tests call it
+// directly to step the protocol deterministically.
+func (r *Replica) PingOnce() {
+	r.mu.Lock()
+	old := r.view
+	r.mu.Unlock()
+	resp, err := r.hc.Get(fmt.Sprintf("%s/ping?addr=%s&num=%d", r.vsURL, url.QueryEscape(r.name), old.Num))
+	if err != nil {
+		r.log.Printf("viewservice unreachable: %v", err)
+		return
+	}
+	var v View
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	if err != nil {
+		r.log.Printf("viewservice ping: %v", err)
+		return
+	}
+	if v.Num != old.Num {
+		r.mu.Lock()
+		r.view = v
+		r.mu.Unlock()
+		role := "idle"
+		switch r.name {
+		case v.Primary:
+			role = "primary"
+		case v.Backup:
+			role = "backup"
+		}
+		if r.name == v.Primary && old.Num > 0 && old.Primary != r.name {
+			r.promoteC.Inc()
+			r.log.Printf("promoted to primary in view %d (journal %d entries, cache %d)",
+				v.Num, r.journalLen(), r.cache.Len())
+		} else {
+			r.log.Printf("view %d: %s", v.Num, role)
+		}
+		r.rec.Event(PhViewChange, time.Since(r.start), flight.Attrs{ID: int64(v.Num), S: role})
+	}
+	r.maybeSync(v)
+}
+
+// maybeSync pushes a state transfer when this replica is primary of a view
+// whose backup has not received one.
+func (r *Replica) maybeSync(v View) {
+	if v.Primary != r.name || v.Backup == "" {
+		return
+	}
+	r.mu.Lock()
+	synced := r.syncedView == v.Num
+	r.mu.Unlock()
+	if !synced {
+		if err := r.transferTo(v); err != nil {
+			r.log.Printf("state transfer to %s failed: %v", v.Backup, err)
+		}
+	}
+}
+
+// transferMsg is the state-transfer payload.
+type transferMsg struct {
+	View    uint64            `json:"view"`
+	Journal map[string]string `json:"journal"`
+	Entries []Entry           `json:"entries"`
+}
+
+// applyMsg is the per-response forward payload.
+type applyMsg struct {
+	View   uint64 `json:"view"`
+	Key    string `json:"key"`
+	Digest string `json:"digest"`
+	Body   []byte `json:"body"`
+}
+
+// transferTo ships the full journal and cache snapshot to the view's
+// backup. Serialized so concurrent queries trigger at most one transfer.
+func (r *Replica) transferTo(v View) error {
+	r.syncMu.Lock()
+	defer r.syncMu.Unlock()
+	r.mu.Lock()
+	if r.syncedView == v.Num { // raced with another transfer
+		r.mu.Unlock()
+		return nil
+	}
+	journal := make(map[string]string, len(r.journal))
+	for k, d := range r.journal {
+		journal[k] = d
+	}
+	r.mu.Unlock()
+	msg := transferMsg{View: v.Num, Journal: journal, Entries: r.cache.Snapshot()}
+	if err := r.postJSON(v.Backup+"/internal/transfer", msg); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.syncedView = v.Num
+	r.mu.Unlock()
+	r.transfersC.Inc()
+	r.rec.Event(PhTransfer, time.Since(r.start), flight.Attrs{
+		ID: int64(v.Num), N: int64(len(journal)), M: int64(len(msg.Entries)),
+	})
+	r.log.Printf("transferred state to %s: %d journal entries, %d cached responses",
+		v.Backup, len(journal), len(msg.Entries))
+	return nil
+}
+
+func (r *Replica) postJSON(url string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := r.hc.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// Handlers returns the replica's HTTP surface, ready to mount on the ops
+// mux (ops.Options.Extra) or a bare ServeMux.
+func (r *Replica) Handlers() map[string]http.Handler {
+	h := map[string]http.Handler{
+		"/internal/apply":    http.HandlerFunc(r.handleApply),
+		"/internal/transfer": http.HandlerFunc(r.handleTransfer),
+	}
+	for _, ep := range Endpoints {
+		h["/api/"+ep] = r.queryHandler(ep)
+	}
+	return h
+}
+
+// queryHandler wraps one endpoint with role enforcement, the cache, the
+// journal, and backup forwarding.
+func (r *Replica) queryHandler(endpoint string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		r.requestsC[endpoint].Inc()
+		defer func() { r.latencyH[endpoint].Observe(time.Since(start).Seconds()) }()
+
+		var q PairQuery
+		if endpoint == "series" || endpoint == "paths" || endpoint == "summary" {
+			var err error
+			if q, err = ParsePairQuery(req.URL.Query()); err != nil {
+				r.fail(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+		key := q.CanonicalKey(endpoint)
+
+		r.mu.Lock()
+		v := r.view
+		r.mu.Unlock()
+		if v.Primary != r.name {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error": "not primary", "view": v,
+			})
+			r.errorsC.Inc()
+			return
+		}
+
+		if body, digest, ok := r.cache.Get(key); ok {
+			r.reply(w, v, digest, body, true)
+			return
+		}
+
+		body, digest, err := r.be.Answer(endpoint, q)
+		if err != nil {
+			r.fail(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+
+		r.mu.Lock()
+		if prev, ok := r.journal[key]; ok && prev != digest {
+			r.mu.Unlock()
+			r.fail(w, http.StatusInternalServerError,
+				fmt.Sprintf("journal divergence for %s: %s != %s", key, digest, prev))
+			return
+		}
+		r.mu.Unlock()
+
+		if v.Backup != "" {
+			r.mu.Lock()
+			synced := r.syncedView == v.Num
+			r.mu.Unlock()
+			if !synced {
+				if terr := r.transferTo(v); terr != nil {
+					r.fail(w, http.StatusServiceUnavailable, "backup not synced: "+terr.Error())
+					return
+				}
+			}
+			if ferr := r.postJSON(v.Backup+"/internal/apply", applyMsg{
+				View: v.Num, Key: key, Digest: digest, Body: body,
+			}); ferr != nil {
+				// Refuse to acknowledge what the backup has not seen.
+				r.fail(w, http.StatusBadGateway, "backup forward failed: "+ferr.Error())
+				return
+			}
+			r.forwardsC.Inc()
+		}
+
+		r.mu.Lock()
+		r.journal[key] = digest
+		r.mu.Unlock()
+		r.cache.Put(key, body, digest)
+		r.reply(w, v, digest, body, false)
+	})
+}
+
+// reply writes an acknowledged response.
+func (r *Replica) reply(w http.ResponseWriter, v View, digest string, body []byte, hit bool) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-S2S-Digest", digest)
+	h.Set("X-S2S-View", fmt.Sprintf("%d", v.Num))
+	h.Set("X-S2S-Served-By", r.name)
+	if hit {
+		h.Set("X-S2S-Cache", "hit")
+	} else {
+		h.Set("X-S2S-Cache", "miss")
+	}
+	w.Write(body)
+}
+
+func (r *Replica) fail(w http.ResponseWriter, status int, msg string) {
+	r.errorsC.Inc()
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// handleApply is the backup's side of response forwarding.
+func (r *Replica) handleApply(w http.ResponseWriter, req *http.Request) {
+	var msg applyMsg
+	if err := json.NewDecoder(req.Body).Decode(&msg); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	r.mu.Lock()
+	if msg.View < r.view.Num {
+		v := r.view
+		r.mu.Unlock()
+		writeJSON(w, http.StatusConflict, map[string]any{"error": "stale view", "view": v})
+		return
+	}
+	if prev, ok := r.journal[msg.Key]; ok && prev != msg.Digest {
+		r.mu.Unlock()
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("digest conflict for %s: have %s, got %s", msg.Key, prev, msg.Digest),
+		})
+		return
+	}
+	r.journal[msg.Key] = msg.Digest
+	r.mu.Unlock()
+	r.cache.Put(msg.Key, msg.Body, msg.Digest)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleTransfer installs a full state transfer from the primary.
+func (r *Replica) handleTransfer(w http.ResponseWriter, req *http.Request) {
+	var msg transferMsg
+	if err := json.NewDecoder(req.Body).Decode(&msg); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	r.mu.Lock()
+	if msg.View < r.view.Num {
+		v := r.view
+		r.mu.Unlock()
+		writeJSON(w, http.StatusConflict, map[string]any{"error": "stale view", "view": v})
+		return
+	}
+	r.journal = msg.Journal
+	if r.journal == nil {
+		r.journal = make(map[string]string)
+	}
+	r.mu.Unlock()
+	r.cache.Install(msg.Entries)
+	r.log.Printf("installed state transfer: view %d, %d journal entries, %d cached responses",
+		msg.View, len(msg.Journal), len(msg.Entries))
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Journal returns a copy of the acknowledged-response journal (tests
+// assert failover safety against it).
+func (r *Replica) Journal() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]string, len(r.journal))
+	for k, d := range r.journal {
+		out[k] = d
+	}
+	return out
+}
+
+func (r *Replica) journalLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.journal)
+}

@@ -1,0 +1,582 @@
+// Package serve is the measurement query service: the layer that turns an
+// archived internal/store dataset into a long-running, replicated HTTP/JSON
+// API — the serving half of the paper's platform, where per-pair RTT
+// series, path histories, and routing/congestion summaries from the
+// traceroute archive are consumed continuously by operators rather than by
+// one-shot batch CLIs.
+//
+// The package has four layers:
+//
+//   - Backend answers queries over an opened store.Store, leaning on the
+//     store's index pushdown (Store.Pair point lookups open only the shards
+//     that can hold the pair and decode only its frames) and reusing the
+//     internal/analysis streaming operators in replay mode for per-pair
+//     routing/congestion summaries.
+//   - Cache is the hot-pair LRU in front of the backend: query results for
+//     popular pairs (zipfian in practice) are served from memory with hit,
+//     miss, and eviction metrics.
+//   - ViewService + Replica are the replication layer, the classic
+//     viewservice/pbservice shape: a lightweight view service tracks
+//     replica liveness through pings and publishes numbered views
+//     (primary, backup); the primary executes queries and forwards every
+//     acknowledged result to the backup before replying, a new backup
+//     receives a full state transfer, and when the primary dies the backup
+//     is promoted at the next view change — so a killed primary costs
+//     availability only until the view advances, and an acknowledged
+//     response is never contradicted after failover.
+//   - Client + RunFleet are the consumption side: a view-aware HTTP client
+//     that rides through failovers, and a synthetic client fleet
+//     (thousands of concurrent querents, seeded zipfian pair popularity,
+//     deterministic request schedule) that drives throughput/latency
+//     benchmarks — the BENCH_009.json trajectory.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core/aspath"
+	"repro/internal/ipam"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// Metric families the query service exports. The cache and view families
+// feed the alert engine's serve_cache_collapse and view_flap rules.
+const (
+	MetricCacheHits      = "s2s_serve_cache_hits_total"
+	MetricCacheMisses    = "s2s_serve_cache_misses_total"
+	MetricCacheEvictions = "s2s_serve_cache_evictions_total"
+	MetricCacheEntries   = "s2s_serve_cache_entries"
+	MetricViewChanges    = "s2s_serve_view_changes_total"
+	MetricViewNum        = "s2s_serve_view_num"
+	MetricRequests       = "s2s_serve_requests_total"
+	MetricErrors         = "s2s_serve_request_errors_total"
+	MetricForwards       = "s2s_serve_forwards_total"
+	MetricTransfers      = "s2s_serve_state_transfers_total"
+	MetricPromotions     = "s2s_serve_promotions_total"
+	MetricLatency        = "s2s_serve_request_seconds"
+)
+
+// Flight phases the serving layer emits.
+const (
+	PhViewChange = "view_change"    // event: the view advanced; id = view num, s = "primary|backup"
+	PhTransfer   = "state_transfer" // event: primary pushed state to a fresh backup; n = journal entries, m = cache entries
+	PhServeTick  = "serve_tick"     // event: daemon heartbeat driving metric snapshots and alert evaluation
+)
+
+// Endpoints is the fixed set of query endpoints, in display order. The
+// per-endpoint request counters and latency histograms are labeled with
+// these names.
+var Endpoints = []string{"series", "paths", "summary", "pairs", "meta"}
+
+// BackendConfig parameterizes a Backend.
+type BackendConfig struct {
+	// Workers sizes store scans behind multi-pair queries (0 = all cores).
+	Workers int
+	// Interval is the dataset's measurement cadence — the RTT slot width
+	// for the congestion summary operator (default 3h, the long-term
+	// campaign round length).
+	Interval time.Duration
+	// MaxPoints bounds a series response (default 2000 buckets): when the
+	// requested step would produce more, the step is widened.
+	MaxPoints int
+}
+
+func (c BackendConfig) fill() BackendConfig {
+	if c.Interval <= 0 {
+		c.Interval = 3 * time.Hour
+	}
+	if c.MaxPoints <= 0 {
+		c.MaxPoints = 2000
+	}
+	return c
+}
+
+// Backend answers queries over one archived store. All methods are safe
+// for concurrent use: store reads are concurrency-safe and every query
+// builds its own consumer state.
+type Backend struct {
+	st     *store.Store
+	mapper *aspath.Mapper
+	cfg    BackendConfig
+}
+
+// OpenBackend opens the store directory at dataPath and, when a .bgp.tsv
+// sidecar exists next to it (extension-stripped stem, like s2sanalyze),
+// loads the IP-to-AS view so path history carries AS paths and the
+// routing-change summary works. Without the sidecar those degrade
+// gracefully: hops-only path history, no routing findings.
+func OpenBackend(dataPath string, cfg BackendConfig) (*Backend, error) {
+	st, err := store.Open(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBackend(st, nil, cfg)
+	stem := strings.TrimSuffix(dataPath, ".store")
+	if f, err := os.Open(stem + ".bgp.tsv"); err == nil {
+		table, terr := ipam.ReadTSV(f)
+		f.Close()
+		if terr != nil {
+			return nil, fmt.Errorf("serve: %s.bgp.tsv: %w", stem, terr)
+		}
+		b.mapper = aspath.NewMapper(table)
+	}
+	return b, nil
+}
+
+// NewBackend wraps an already-opened store. mapper may be nil.
+func NewBackend(st *store.Store, mapper *aspath.Mapper, cfg BackendConfig) *Backend {
+	return &Backend{st: st, mapper: mapper, cfg: cfg.fill()}
+}
+
+// Store exposes the underlying store (to instrument it, and for tests).
+func (b *Backend) Store() *store.Store { return b.st }
+
+// PairQuery is the parsed parameter set of the per-pair endpoints.
+type PairQuery struct {
+	Src, Dst int
+	V6       bool
+	From, To time.Duration // half-open [From, To); To < 0 = unbounded
+	Step     time.Duration // series bucket width; 0 = pick from span
+}
+
+// Key returns the timeline key of the query.
+func (q PairQuery) Key() trace.PairKey { return trace.PairKey{SrcID: q.Src, DstID: q.Dst, V6: q.V6} }
+
+// ParsePairQuery decodes src/dst/v6/from/to/step URL parameters. Durations
+// accept Go syntax ("36h") or bare integer nanoseconds.
+func ParsePairQuery(v url.Values) (PairQuery, error) {
+	q := PairQuery{To: -1}
+	var err error
+	if q.Src, err = strconv.Atoi(v.Get("src")); err != nil {
+		return q, fmt.Errorf("bad or missing src: %q", v.Get("src"))
+	}
+	if q.Dst, err = strconv.Atoi(v.Get("dst")); err != nil {
+		return q, fmt.Errorf("bad or missing dst: %q", v.Get("dst"))
+	}
+	if s := v.Get("v6"); s != "" {
+		if q.V6, err = strconv.ParseBool(s); err != nil {
+			return q, fmt.Errorf("bad v6: %q", s)
+		}
+	}
+	for _, p := range []struct {
+		name string
+		dst  *time.Duration
+	}{{"from", &q.From}, {"to", &q.To}, {"step", &q.Step}} {
+		s := v.Get(p.name)
+		if s == "" {
+			continue
+		}
+		if d, derr := time.ParseDuration(s); derr == nil {
+			*p.dst = d
+		} else if ns, nerr := strconv.ParseInt(s, 10, 64); nerr == nil {
+			*p.dst = time.Duration(ns)
+		} else {
+			return q, fmt.Errorf("bad %s: %q", p.name, s)
+		}
+	}
+	if q.To >= 0 && q.To <= q.From {
+		return q, fmt.Errorf("empty window: from=%v to=%v", q.From, q.To)
+	}
+	return q, nil
+}
+
+// CanonicalKey is the cache/journal key of a query: endpoint plus the
+// normalized parameters, independent of URL parameter order or spelling.
+func (q PairQuery) CanonicalKey(endpoint string) string {
+	return fmt.Sprintf("%s?src=%d&dst=%d&v6=%t&from=%d&to=%d&step=%d",
+		endpoint, q.Src, q.Dst, q.V6, int64(q.From), int64(q.To), int64(q.Step))
+}
+
+// SeriesPoint is one downsampled RTT bucket.
+type SeriesPoint struct {
+	AtNS  int64   `json:"at_ns"` // bucket start
+	Count int     `json:"count"` // RTT samples in the bucket
+	Lost  int     `json:"lost,omitempty"`
+	MinMs float64 `json:"min_ms"`
+	AvgMs float64 `json:"avg_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// SeriesResponse is the /api/series payload: the pair's end-to-end RTT
+// series (pings and complete traceroutes both contribute), downsampled to
+// step-wide buckets.
+type SeriesResponse struct {
+	Src     int           `json:"src"`
+	Dst     int           `json:"dst"`
+	V6      bool          `json:"v6,omitempty"`
+	FromNS  int64         `json:"from_ns"`
+	ToNS    int64         `json:"to_ns"`
+	StepNS  int64         `json:"step_ns"`
+	Samples int           `json:"samples"`
+	Points  []SeriesPoint `json:"points"`
+}
+
+// Series answers a per-pair RTT series query through the store's
+// point-lookup path.
+func (b *Backend) Series(q PairQuery) (*SeriesResponse, error) {
+	from, to := b.clampWindow(q)
+	step := q.Step
+	span := to - from
+	if step <= 0 {
+		step = span / 240
+		if step < b.cfg.Interval {
+			step = b.cfg.Interval
+		}
+	}
+	if min := span / time.Duration(b.cfg.MaxPoints); step < min {
+		step = min
+	}
+	n := int((span + step - 1) / step)
+	if n < 1 {
+		n = 1
+	}
+	resp := &SeriesResponse{
+		Src: q.Src, Dst: q.Dst, V6: q.V6,
+		FromNS: int64(from), ToNS: int64(to), StepNS: int64(step),
+	}
+	type agg struct {
+		count, lost   int
+		sum, min, max float64
+	}
+	buckets := make([]agg, n)
+	sample := func(at time.Duration, rttMs float64, lost bool) {
+		i := int((at - from) / step)
+		if i < 0 || i >= n {
+			return
+		}
+		bu := &buckets[i]
+		if lost {
+			bu.lost++
+			return
+		}
+		if bu.count == 0 || rttMs < bu.min {
+			bu.min = rttMs
+		}
+		if bu.count == 0 || rttMs > bu.max {
+			bu.max = rttMs
+		}
+		bu.count++
+		bu.sum += rttMs
+		resp.Samples++
+	}
+	err := b.st.Pair(q.Key(), from, to, consumerFuncs{
+		tr: func(tr *trace.Traceroute) {
+			if tr.Complete {
+				sample(tr.At, float64(tr.RTT)/float64(time.Millisecond), false)
+			}
+		},
+		ping: func(p *trace.Ping) {
+			sample(p.At, float64(p.RTT)/float64(time.Millisecond), p.Lost)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp.Points = make([]SeriesPoint, 0, n)
+	for i, bu := range buckets {
+		if bu.count == 0 && bu.lost == 0 {
+			continue
+		}
+		pt := SeriesPoint{AtNS: int64(from + time.Duration(i)*step), Count: bu.count, Lost: bu.lost}
+		if bu.count > 0 {
+			pt.MinMs = round2(bu.min)
+			pt.AvgMs = round2(bu.sum / float64(bu.count))
+			pt.MaxMs = round2(bu.max)
+		}
+		resp.Points = append(resp.Points, pt)
+	}
+	return resp, nil
+}
+
+// PathEpoch is one stretch of consecutive traceroutes sharing the same
+// hop-level path.
+type PathEpoch struct {
+	FirstNS int64    `json:"first_ns"`
+	LastNS  int64    `json:"last_ns"`
+	Count   int      `json:"count"`
+	Hops    []string `json:"hops"`
+	ASPath  []int64  `json:"as_path,omitempty"`
+}
+
+// PathsResponse is the /api/paths payload: the pair's path history as
+// epochs of identical hop sequences, with inferred AS paths when the
+// backend has a BGP view.
+type PathsResponse struct {
+	Src         int         `json:"src"`
+	Dst         int         `json:"dst"`
+	V6          bool        `json:"v6,omitempty"`
+	FromNS      int64       `json:"from_ns"`
+	ToNS        int64       `json:"to_ns"`
+	Traceroutes int         `json:"traceroutes"`
+	Changes     int         `json:"changes"` // epoch transitions = hop-level path changes
+	Epochs      []PathEpoch `json:"epochs"`
+}
+
+// Paths answers a per-pair path-history query.
+func (b *Backend) Paths(q PairQuery) (*PathsResponse, error) {
+	from, to := b.clampWindow(q)
+	resp := &PathsResponse{
+		Src: q.Src, Dst: q.Dst, V6: q.V6,
+		FromNS: int64(from), ToNS: int64(to),
+	}
+	var cur *PathEpoch
+	var curSig string
+	err := b.st.Pair(q.Key(), from, to, consumerFuncs{
+		tr: func(tr *trace.Traceroute) {
+			resp.Traceroutes++
+			hops := make([]string, len(tr.Hops))
+			var sig strings.Builder
+			for i, h := range tr.Hops {
+				if h.Responsive() {
+					hops[i] = h.Addr.String()
+				} else {
+					hops[i] = "*"
+				}
+				sig.WriteString(hops[i])
+				sig.WriteByte('|')
+			}
+			if cur != nil && sig.String() == curSig {
+				cur.LastNS = int64(tr.At)
+				cur.Count++
+				return
+			}
+			if cur != nil {
+				resp.Changes++
+			}
+			resp.Epochs = append(resp.Epochs, PathEpoch{
+				FirstNS: int64(tr.At), LastNS: int64(tr.At), Count: 1, Hops: hops,
+			})
+			cur = &resp.Epochs[len(resp.Epochs)-1]
+			curSig = sig.String()
+			if b.mapper != nil && tr.Complete {
+				if r := b.mapper.Infer(tr); r.Usable() {
+					cur.ASPath = make([]int64, len(r.Path))
+					for i, as := range r.Path {
+						cur.ASPath[i] = int64(as)
+					}
+				}
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// SummaryResponse is the /api/summary payload: the pair's records (both
+// protocols) replayed through the streaming-analysis operators —
+// routing-change, congestion, and dual-stack findings exactly as a live
+// campaign would have emitted them.
+type SummaryResponse struct {
+	Src      int                 `json:"src"`
+	Dst      int                 `json:"dst"`
+	FromNS   int64               `json:"from_ns"`
+	ToNS     int64               `json:"to_ns"`
+	Records  int64               `json:"records"`
+	Findings []analysis.Finding  `json:"findings"`
+	Analyses []analysis.OpStatus `json:"analyses"`
+}
+
+// Summary replays one pair (v4 and v6 timelines, so the dual-stack
+// operator sees its round-adjacent pairs) through the analysis operators.
+func (b *Backend) Summary(q PairQuery) (*SummaryResponse, error) {
+	from, to := b.clampWindow(q)
+	resp := &SummaryResponse{
+		Src: q.Src, Dst: q.Dst,
+		FromNS: int64(from), ToNS: int64(to),
+		Findings: []analysis.Finding{},
+	}
+	stage := analysis.NewStage(analysis.Config{
+		Mapper:   b.mapper,
+		Interval: b.cfg.Interval,
+		Sink:     func(f analysis.Finding) { resp.Findings = append(resp.Findings, f) },
+	}, nil, nil)
+	keys := []trace.PairKey{
+		{SrcID: q.Src, DstID: q.Dst, V6: false},
+		{SrcID: q.Src, DstID: q.Dst, V6: true},
+	}
+	window := consumerFuncs{
+		tr: func(tr *trace.Traceroute) {
+			if tr.At >= from && (to < 0 || tr.At < to) {
+				resp.Records++
+				stage.OnTraceroute(tr)
+			}
+		},
+		ping: func(p *trace.Ping) {
+			if p.At >= from && (to < 0 || p.At < to) {
+				resp.Records++
+				stage.OnPing(p)
+			}
+		},
+	}
+	// Pairs with one worker keeps the exact shard-order delivery of the
+	// live stream, so the finding stream matches what a campaign with
+	// -analyze emitted for this pair.
+	if err := b.st.Pairs(1, keys, window); err != nil {
+		return nil, err
+	}
+	stage.Finish()
+	resp.Analyses = stage.Status().Analyses
+	return resp, nil
+}
+
+// PairInfo is one timeline key in the /api/pairs listing.
+type PairInfo struct {
+	Src int  `json:"src"`
+	Dst int  `json:"dst"`
+	V6  bool `json:"v6,omitempty"`
+}
+
+// PairsResponse is the /api/pairs payload.
+type PairsResponse struct {
+	Count int `json:"count"`
+	// Exhaustive is false when shard footers hold bloom filters instead of
+	// exact pair lists — the listing is then a lower bound.
+	Exhaustive bool       `json:"exhaustive"`
+	Pairs      []PairInfo `json:"pairs"`
+}
+
+// Pairs lists the store's timeline keys from the shard footers.
+func (b *Backend) Pairs() (*PairsResponse, error) {
+	keys, exhaustive := b.st.PairKeys()
+	resp := &PairsResponse{Count: len(keys), Exhaustive: exhaustive, Pairs: make([]PairInfo, len(keys))}
+	for i, k := range keys {
+		resp.Pairs[i] = PairInfo{Src: k.SrcID, Dst: k.DstID, V6: k.V6}
+	}
+	return resp, nil
+}
+
+// MetaResponse is the /api/meta payload: the dataset's provenance and
+// extent, straight from the store manifest.
+type MetaResponse struct {
+	Tool        string `json:"tool,omitempty"`
+	Seed        int64  `json:"seed,omitempty"`
+	TopoDigest  string `json:"topo_digest,omitempty"`
+	Records     int64  `json:"records"`
+	Traceroutes int64  `json:"traceroutes"`
+	Pings       int64  `json:"pings"`
+	Shards      int    `json:"shards"`
+	MinAtNS     int64  `json:"min_at_ns"`
+	MaxAtNS     int64  `json:"max_at_ns"`
+	HasBGP      bool   `json:"has_bgp"`
+}
+
+// Meta answers the dataset-metadata query.
+func (b *Backend) Meta() (*MetaResponse, error) {
+	m := b.st.Manifest()
+	min, max := m.Span()
+	return &MetaResponse{
+		Tool: m.Tool, Seed: m.Seed, TopoDigest: m.TopoDigest,
+		Records: m.Records, Traceroutes: m.Traceroutes, Pings: m.Pings,
+		Shards: len(m.Shards), MinAtNS: int64(min), MaxAtNS: int64(max),
+		HasBGP: b.mapper != nil,
+	}, nil
+}
+
+// Answer executes the query named by endpoint and returns the marshaled
+// JSON body plus its digest — the unit the replication layer forwards,
+// journals, and caches.
+func (b *Backend) Answer(endpoint string, q PairQuery) (body []byte, digest string, err error) {
+	var v any
+	switch endpoint {
+	case "series":
+		v, err = b.Series(q)
+	case "paths":
+		v, err = b.Paths(q)
+	case "summary":
+		v, err = b.Summary(q)
+	case "pairs":
+		v, err = b.Pairs()
+	case "meta":
+		v, err = b.Meta()
+	default:
+		return nil, "", fmt.Errorf("serve: unknown endpoint %q", endpoint)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	body, err = json.Marshal(v)
+	if err != nil {
+		return nil, "", err
+	}
+	body = append(body, '\n')
+	return body, Digest(body), nil
+}
+
+// Digest is the response digest used by the replication journal: a
+// truncated SHA-256 over the marshaled body.
+func Digest(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:8])
+}
+
+// clampWindow resolves a query window against the dataset span.
+func (b *Backend) clampWindow(q PairQuery) (from, to time.Duration) {
+	min, max := b.st.Manifest().Span()
+	from, to = q.From, q.To
+	if from < min {
+		from = min
+	}
+	if to < 0 || to > max+1 {
+		to = max + 1 // inclusive of the last record
+	}
+	if to < from {
+		to = from
+	}
+	return from, to
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// consumerFuncs adapts two closures to store.Consumer.
+type consumerFuncs struct {
+	tr   func(*trace.Traceroute)
+	ping func(*trace.Ping)
+}
+
+func (c consumerFuncs) OnTraceroute(tr *trace.Traceroute) {
+	if c.tr != nil {
+		c.tr(tr)
+	}
+}
+func (c consumerFuncs) OnPing(p *trace.Ping) {
+	if c.ping != nil {
+		c.ping(p)
+	}
+}
+
+// writeJSON writes a JSON response body (already marshaled or not).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// sortPairKeys orders timeline keys canonically (src, dst, v4 before v6).
+func sortPairKeys(keys []trace.PairKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.SrcID != b.SrcID {
+			return a.SrcID < b.SrcID
+		}
+		if a.DstID != b.DstID {
+			return a.DstID < b.DstID
+		}
+		return !a.V6 && b.V6
+	})
+}

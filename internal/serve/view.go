@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
+
+// View is one numbered replica assignment. Views only ever move forward:
+// every change — first primary, backup enlisted, failover promotion —
+// increments Num, and replicas use the number to reject stale peers.
+type View struct {
+	Num     uint64 `json:"num"`
+	Primary string `json:"primary"`
+	Backup  string `json:"backup,omitempty"`
+}
+
+// DefaultDeadPings is how many ping intervals of silence mark a replica
+// dead.
+const DefaultDeadPings = 5
+
+// ViewOptions parameterizes a ViewService.
+type ViewOptions struct {
+	// DeadPings overrides the liveness threshold (default 5 intervals).
+	DeadPings int
+	// Registry and Recorder observe view changes (optional).
+	Registry *obs.Registry
+	Recorder *flight.Recorder
+	Logger   *obs.Logger
+}
+
+// ViewService is the replication coordinator: the single (unreplicated,
+// deliberately simple) process that decides who is primary and who is
+// backup. Replicas ping it every interval carrying the view number they
+// have processed; the service detects death by missed pings and publishes
+// a new view. Two rules keep promotions safe:
+//
+//   - The view can only advance after the current primary has acknowledged
+//     the current view (pinged with its number). Until then the service
+//     holds the view steady even through failures, because a primary that
+//     never learned it was primary cannot have transferred state.
+//   - A new primary is always the old backup — never a fresh idle server —
+//     so the acknowledged state (response journal + hot cache) survives
+//     every single-failure transition.
+//
+// A restarted replica pings with view number 0; the service treats that as
+// a death (its in-memory state is gone) and replaces it.
+type ViewService struct {
+	mu        sync.Mutex
+	cur       View
+	acked     bool
+	tick      int64
+	last      map[string]int64 // replica -> tick of most recent ping
+	deadPings int64
+
+	changesC *obs.Counter
+	numG     *obs.Gauge
+	log      *obs.Logger
+	rec      *flight.Recorder
+	start    time.Time
+}
+
+// NewViewService returns a view service; drive liveness with Tick.
+func NewViewService(o ViewOptions) *ViewService {
+	if o.DeadPings <= 0 {
+		o.DeadPings = DefaultDeadPings
+	}
+	vs := &ViewService{
+		last:      make(map[string]int64),
+		deadPings: int64(o.DeadPings),
+		log:       o.Logger,
+		rec:       o.Recorder,
+		start:     time.Now(),
+	}
+	if o.Registry != nil {
+		vs.changesC = o.Registry.Counter(MetricViewChanges, "view changes published by the view service")
+		vs.numG = o.Registry.Gauge(MetricViewNum, "current view number")
+	}
+	return vs
+}
+
+// Ping records a replica's heartbeat and returns the current view. num is
+// the view number the replica has processed (0 = fresh start).
+func (vs *ViewService) Ping(addr string, num uint64) View {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	vs.last[addr] = vs.tick
+	switch {
+	case vs.cur.Num == 0:
+		// First replica ever becomes primary of view 1.
+		vs.setView(View{Num: 1, Primary: addr})
+	case addr == vs.cur.Primary:
+		if num == vs.cur.Num {
+			vs.acked = true
+		} else if num == 0 && vs.acked {
+			// The primary restarted: its journal and cache are gone, so it
+			// is dead for replication purposes. Promote the backup.
+			vs.advance(true)
+		}
+	case addr == vs.cur.Backup:
+		if num == 0 && vs.acked {
+			// A restarted backup lost its transferred state; drop it so the
+			// next view re-enlists it as a fresh backup (with a new
+			// transfer).
+			vs.setView(View{Num: vs.cur.Num + 1, Primary: vs.cur.Primary})
+		}
+	default:
+		if vs.cur.Backup == "" && vs.acked {
+			vs.setView(View{Num: vs.cur.Num + 1, Primary: vs.cur.Primary, Backup: addr})
+		}
+	}
+	return vs.cur
+}
+
+// Tick advances the liveness clock one ping interval and applies any
+// pending view change. The daemon calls it on a timer; tests call it
+// directly for determinism.
+func (vs *ViewService) Tick() {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	vs.tick++
+	if vs.cur.Num == 0 || !vs.acked {
+		return
+	}
+	primaryDead := vs.deadLocked(vs.cur.Primary)
+	backupDead := vs.cur.Backup != "" && vs.deadLocked(vs.cur.Backup)
+	switch {
+	case primaryDead:
+		vs.advance(true)
+	case backupDead:
+		vs.advance(false)
+	case vs.cur.Backup == "":
+		if idle := vs.idleLocked(); idle != "" {
+			vs.setView(View{Num: vs.cur.Num + 1, Primary: vs.cur.Primary, Backup: idle})
+		}
+	}
+}
+
+// View returns the current view and whether its primary has acknowledged
+// it.
+func (vs *ViewService) View() (View, bool) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	return vs.cur, vs.acked
+}
+
+// advance moves to the next view. promote replaces the primary with the
+// backup (failover); otherwise the primary stays and only the backup slot
+// is refilled. With no live backup to promote, the service is stuck — by
+// design — until the primary returns: promoting a stateless idle server
+// would contradict acknowledged responses.
+func (vs *ViewService) advance(promote bool) {
+	next := View{Num: vs.cur.Num + 1, Primary: vs.cur.Primary, Backup: vs.cur.Backup}
+	if promote {
+		if vs.cur.Backup == "" || vs.deadLocked(vs.cur.Backup) {
+			return
+		}
+		next.Primary = vs.cur.Backup
+		next.Backup = ""
+	}
+	if next.Backup == "" {
+		next.Backup = vs.idleLocked()
+	}
+	vs.setView(next)
+}
+
+// deadLocked reports whether addr has missed the liveness threshold.
+func (vs *ViewService) deadLocked(addr string) bool {
+	at, ok := vs.last[addr]
+	return !ok || vs.tick-at >= vs.deadPings
+}
+
+// idleLocked picks the lexically-first live replica holding no role, so
+// backup selection is deterministic.
+func (vs *ViewService) idleLocked() string {
+	var idle []string
+	for addr := range vs.last {
+		if addr != vs.cur.Primary && addr != vs.cur.Backup && !vs.deadLocked(addr) {
+			idle = append(idle, addr)
+		}
+	}
+	if len(idle) == 0 {
+		return ""
+	}
+	sort.Strings(idle)
+	return idle[0]
+}
+
+func (vs *ViewService) setView(v View) {
+	vs.cur = v
+	vs.acked = false
+	vs.changesC.Inc()
+	vs.numG.Set(float64(v.Num))
+	if vs.log != nil {
+		vs.log.Printf("view %d: primary=%s backup=%s", v.Num, v.Primary, orNone(v.Backup))
+	}
+	vs.rec.Event(PhViewChange, time.Since(vs.start), flight.Attrs{
+		ID: int64(v.Num), S: v.Primary + "|" + v.Backup,
+	})
+}
+
+// Handler serves the view protocol over HTTP:
+//
+//	GET /view                  -> {"view": {...}, "acked": bool}
+//	GET|POST /ping?addr=&num=  -> current View
+func (vs *ViewService) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/view", func(w http.ResponseWriter, r *http.Request) {
+		v, acked := vs.View()
+		writeJSON(w, http.StatusOK, map[string]any{"view": v, "acked": acked})
+	})
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, r *http.Request) {
+		addr := r.URL.Query().Get("addr")
+		if addr == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing addr"})
+			return
+		}
+		num, _ := strconv.ParseUint(r.URL.Query().Get("num"), 10, 64)
+		writeJSON(w, http.StatusOK, vs.Ping(addr, num))
+	})
+	return mux
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestViewProgression(t *testing.T) {
+	reg := obs.NewRegistry()
+	vs := NewViewService(ViewOptions{DeadPings: 3, Registry: reg})
+
+	// First ping wins the primary slot of view 1.
+	v := vs.Ping("A", 0)
+	if v.Num != 1 || v.Primary != "A" || v.Backup != "" {
+		t.Fatalf("first view = %+v", v)
+	}
+	// A volunteer cannot become backup before the primary acks view 1.
+	if v = vs.Ping("B", 0); v.Num != 1 || v.Backup != "" {
+		t.Fatalf("view advanced before primary ack: %+v", v)
+	}
+	// Primary acks; the volunteer's next ping enlists it as backup.
+	vs.Ping("A", 1)
+	if v = vs.Ping("B", 0); v.Num != 2 || v.Primary != "A" || v.Backup != "B" {
+		t.Fatalf("backup not enlisted: %+v", v)
+	}
+	if got := reg.Snapshot().Counters[MetricViewChanges]; got != 2 {
+		t.Fatalf("view changes = %d, want 2", got)
+	}
+}
+
+func TestViewFailoverPromotesBackup(t *testing.T) {
+	vs := NewViewService(ViewOptions{DeadPings: 3})
+	vs.Ping("A", 0)
+	vs.Ping("A", 1)
+	vs.Ping("B", 0)
+	vs.Ping("A", 2)
+	vs.Ping("C", 0) // idle spare
+
+	// A stops pinging; B and C stay alive across the liveness threshold.
+	for i := 0; i < 3; i++ {
+		vs.Tick()
+		vs.Ping("B", 2)
+		vs.Ping("C", 0)
+	}
+	v, _ := vs.View()
+	if v.Num != 3 || v.Primary != "B" || v.Backup != "C" {
+		t.Fatalf("after primary death: %+v, want view 3 primary B backup C", v)
+	}
+}
+
+func TestViewStuckWithoutAck(t *testing.T) {
+	vs := NewViewService(ViewOptions{DeadPings: 2})
+	vs.Ping("A", 0)
+	// A never acks view 1 and dies; B keeps pinging. The view must not
+	// move — promoting would hand primaryship to a server that never knew
+	// the state it is supposed to have.
+	for i := 0; i < 6; i++ {
+		vs.Tick()
+		vs.Ping("B", 0)
+	}
+	v, acked := vs.View()
+	if v.Num != 1 || v.Primary != "A" || acked {
+		t.Fatalf("unacked view moved: %+v acked=%t", v, acked)
+	}
+}
+
+func TestViewRestartedPrimaryIsDead(t *testing.T) {
+	vs := NewViewService(ViewOptions{DeadPings: 3})
+	vs.Ping("A", 0)
+	vs.Ping("A", 1)
+	vs.Ping("B", 0)
+	vs.Ping("A", 2)
+	// A restarts: pings with view number 0. Its journal and cache are
+	// gone, so the backup must take over even though A is "alive".
+	v := vs.Ping("A", 0)
+	if v.Num != 3 || v.Primary != "B" {
+		t.Fatalf("restarted primary kept the role: %+v", v)
+	}
+}
+
+func TestViewRestartedBackupReplaced(t *testing.T) {
+	vs := NewViewService(ViewOptions{DeadPings: 3})
+	vs.Ping("A", 0)
+	vs.Ping("A", 1)
+	vs.Ping("B", 0)
+	vs.Ping("A", 2)
+	// B restarts. It loses the backup slot in view 3 (state transfer is
+	// per-view, so re-enlisting it forces a fresh transfer)...
+	v := vs.Ping("B", 0)
+	if v.Num != 3 || v.Primary != "A" || v.Backup != "" {
+		t.Fatalf("restarted backup kept the slot: %+v", v)
+	}
+	// ...and after the primary acks, the next tick re-enlists it.
+	vs.Ping("A", 3)
+	vs.Tick()
+	v, _ = vs.View()
+	if v.Num != 4 || v.Backup != "B" {
+		t.Fatalf("restarted backup not re-enlisted: %+v", v)
+	}
+}
+
+func TestViewNoPromotionWithoutBackup(t *testing.T) {
+	vs := NewViewService(ViewOptions{DeadPings: 2})
+	vs.Ping("A", 0)
+	vs.Ping("A", 1)
+	// A dies with no backup ever enlisted: the service must hold view 1
+	// (unavailable) rather than invent a primary from nothing.
+	vs.Tick()
+	vs.Tick()
+	vs.Tick()
+	v, _ := vs.View()
+	if v.Num != 1 || v.Primary != "A" {
+		t.Fatalf("view moved without a promotable backup: %+v", v)
+	}
+}

@@ -345,6 +345,72 @@ func (s *Store) Pairs(workers int, keys []trace.PairKey, c Consumer) error {
 	return s.deliver(selected, workers, func(h trace.FrameHeader) bool { return want[h.Key] }, c)
 }
 
+// Pair streams the records of exactly one timeline key with At in
+// [from, to), in write order, to c. to < 0 means no upper bound.
+//
+// This is the query service's point-lookup path: unlike Pairs it never
+// spins up a worker pool — a single pair's records live in one pair-shard
+// column, so the work is a handful of sequential shard decodes. Pushdown
+// happens at both levels: shards outside the pair's column, without the
+// key in their footer pair set, or outside the time window are pruned
+// unopened, and within a shard non-matching frames are skipped at the
+// frame-header level without being decoded (asserted byte-for-byte by
+// TestPairPointLookupPushdown).
+func (s *Store) Pair(k trace.PairKey, from, to time.Duration, c Consumer) error {
+	col := PairShardOf(k, s.man.PairShards)
+	filter := func(h trace.FrameHeader) bool {
+		return h.Key == k && h.At >= from && (to < 0 || h.At < to)
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if sh.PairShard != col || !sh.ix.canContain(k) ||
+			sh.ix.MaxAt < from || (to >= 0 && sh.ix.MinAt >= to) {
+			s.prunedC.Inc()
+			continue
+		}
+		recs, err := s.decodeShard(sh, filter)
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			switch v := rec.(type) {
+			case *trace.Traceroute:
+				c.OnTraceroute(v)
+			case *trace.Ping:
+				c.OnPing(v)
+			}
+		}
+	}
+	return nil
+}
+
+// PairKeys returns the sorted union of the distinct timeline keys recorded
+// in the shard footers. exhaustive is false when any non-empty shard's
+// footer holds a bloom filter instead of an exact pair list — the returned
+// keys are then a subset of the store's population.
+func (s *Store) PairKeys() (keys []trace.PairKey, exhaustive bool) {
+	set := make(map[trace.PairKey]struct{})
+	exhaustive = true
+	for i := range s.shards {
+		ix := s.shards[i].ix
+		if ix.Exact == nil {
+			if ix.Records > 0 {
+				exhaustive = false
+			}
+			continue
+		}
+		for _, k := range ix.Exact {
+			set[k] = struct{}{}
+		}
+	}
+	keys = make([]trace.PairKey, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return pairLess(keys[i], keys[j]) })
+	return keys, exhaustive
+}
+
 // TimeRange streams the records with At in [from, to), pruning shards
 // whose footer span falls outside the window. to < 0 means no upper bound.
 func (s *Store) TimeRange(workers int, from, to time.Duration, c Consumer) error {

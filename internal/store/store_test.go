@@ -565,3 +565,141 @@ func TestPairShardOfProtocolInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestPairPointLookup checks the single-pair point-lookup path against a
+// filtered flat read, including time-window clipping.
+func TestPairPointLookup(t *testing.T) {
+	corpus := synthCorpus(11, 6, 4, 3)
+	dir := writeStore(t, corpus, Options{PairShards: 4})
+	k := trace.PairKey{SrcID: 2, DstID: 5}
+	from, to := 24*time.Hour, 72*time.Hour
+	var want []string
+	for _, rec := range corpus {
+		var at time.Duration
+		switch v := rec.(type) {
+		case *trace.Traceroute:
+			at = v.At
+		case *trace.Ping:
+			at = v.At
+		}
+		if keyOf(rec) == k && at >= from && at < to {
+			want = append(want, recBytes(t, rec))
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("corpus has no records in the probe window")
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var col collector
+	if err := s.Pair(k, from, to, &col); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, rec := range col.recs {
+		got = append(got, recBytes(t, rec))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("point lookup returned %d records, filtered flat read %d (or order differs)",
+			len(got), len(want))
+	}
+	// Open-ended window (to < 0) must include the tail.
+	var all collector
+	if err := s.Pair(k, 0, -1, &all); err != nil {
+		t.Fatal(err)
+	}
+	var full []string
+	for _, rec := range corpus {
+		if keyOf(rec) == k {
+			full = append(full, recBytes(t, rec))
+		}
+	}
+	var gotAll []string
+	for _, rec := range all.recs {
+		gotAll = append(gotAll, recBytes(t, rec))
+	}
+	if !reflect.DeepEqual(gotAll, full) {
+		t.Fatalf("open-ended point lookup returned %d records, want %d", len(gotAll), len(full))
+	}
+}
+
+// TestPairPointLookupPushdown asserts — via the store metrics — that the
+// point-lookup path reads strictly fewer payload bytes than a full scan,
+// prunes shards through the index (column, pair set, and time span), and
+// skips non-matching frames without decoding them.
+func TestPairPointLookupPushdown(t *testing.T) {
+	corpus := synthCorpus(12, 6, 4, 3)
+	dir := writeStore(t, corpus, Options{PairShards: 4})
+
+	fullReg := obs.NewRegistry()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Instrument(fullReg)
+	var full collector
+	if err := s.Scan(4, &full); err != nil {
+		t.Fatal(err)
+	}
+	fullBytes := fullReg.Counter(MetricBytesRead, "").Value()
+
+	pairReg := obs.NewRegistry()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Instrument(pairReg)
+	var col collector
+	k := trace.PairKey{SrcID: 1, DstID: 4}
+	if err := s2.Pair(k, 24*time.Hour, 48*time.Hour, &col); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.recs) == 0 {
+		t.Fatal("point lookup delivered no records")
+	}
+	pairBytes := pairReg.Counter(MetricBytesRead, "").Value()
+	if pairBytes <= 0 || pairBytes >= fullBytes {
+		t.Fatalf("point lookup read %d bytes, full scan %d — want strictly fewer and nonzero",
+			pairBytes, fullBytes)
+	}
+	if pruned := pairReg.Counter(MetricShardsPruned, "").Value(); pruned == 0 {
+		t.Fatal("point lookup pruned no shards")
+	}
+	if skipped := pairReg.Counter(MetricFramesFiltered, "").Value(); skipped == 0 {
+		t.Fatal("point lookup decoded every frame (frame filter did not fire)")
+	}
+	// The time window must also prune whole shards: a one-day window over a
+	// four-day store leaves at least two days of this pair's column unread.
+	scanned := pairReg.Counter(MetricShardsScanned, "").Value()
+	if scanned == 0 {
+		t.Fatal("no shards scanned")
+	}
+}
+
+// TestPairKeys checks the footer-union pair listing on an exact-list store.
+func TestPairKeys(t *testing.T) {
+	corpus := synthCorpus(13, 4, 2, 2)
+	dir := writeStore(t, corpus, Options{PairShards: 3})
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, exhaustive := s.PairKeys()
+	if !exhaustive {
+		t.Fatal("small store should have exact footer pair lists")
+	}
+	want := make(map[trace.PairKey]struct{})
+	for _, rec := range corpus {
+		want[keyOf(rec)] = struct{}{}
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("PairKeys returned %d keys, corpus holds %d", len(keys), len(want))
+	}
+	for i := 1; i < len(keys); i++ {
+		if !pairLess(keys[i-1], keys[i]) {
+			t.Fatalf("PairKeys not sorted at %d", i)
+		}
+	}
+}
