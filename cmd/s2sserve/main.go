@@ -14,6 +14,10 @@
 //	                 percentiles
 //	s2sserve bench   in-process benchmark: view service + two replicas +
 //	                 fleet sweeps (cache on/off), JSON to -o
+//	s2sserve chaos   chaos drill: an in-process deployment under a seeded
+//	                 network-fault schedule, a scripted partition of the
+//	                 primary mid-load, and a safety verdict (no
+//	                 acknowledged digest contradicted, bounded recovery)
 //
 // Every daemon carries the standard ops surface on its listen address —
 // /metrics, /healthz, /runz, /flight/tail, /debug/pprof — next to its
@@ -42,6 +46,7 @@ import (
 	"repro/internal/obs/flight"
 	"repro/internal/obs/ops"
 	"repro/internal/serve"
+	"repro/internal/serve/chaos"
 	"repro/internal/trace"
 )
 
@@ -56,9 +61,12 @@ func usage() error {
 	fmt.Fprintf(os.Stderr, `usage:
   s2sserve view    -addr :7400 [-dead-pings N] [-tick D] [-trace F]
   s2sserve serve   -data DIR -view URL [-addr :7401] [-name URL] [-cache N]
-                   [-interval D] [-ping D] [-trace F] [-metrics F]
+                   [-max-inflight N] [-interval D] [-ping D] [-trace F] [-metrics F]
   s2sserve loadgen -view URL [-fleet N] [-requests N] [-seed N] [-zipf S] [-o F]
   s2sserve bench   -data DIR [-o BENCH_009.json] [-seed N] [-per N] [-fleets CSV]
+  s2sserve chaos   -data DIR [-seed N] [-replicas N] [-fleet N] [-max-inflight N]
+                   [-horizon D] [-partition-after D] [-partition-for D]
+                   [-trace F] [-o F]
 `)
 	os.Exit(2)
 	return nil
@@ -77,6 +85,8 @@ func run(args []string) error {
 		return runLoadgen(args[1:])
 	case "bench":
 		return runBench(args[1:])
+	case "chaos":
+		return runChaos(args[1:])
 	default:
 		return usage()
 	}
@@ -160,6 +170,7 @@ func runServe(args []string) error {
 		addr      = fs.String("addr", ":7401", "listen address (ops + query endpoints)")
 		name      = fs.String("name", "", "advertised base URL (default derived from -addr)")
 		cacheN    = fs.Int("cache", 1024, "hot-pair cache entries (0 disables)")
+		maxInF    = fs.Int("max-inflight", 0, "bound on concurrent /api/* queries; excess is shed with 503 (0 = unlimited)")
 		interval  = fs.Duration("interval", 3*time.Hour, "dataset measurement cadence (summary slot width)")
 		pingIV    = fs.Duration("ping", time.Second, "view service ping interval")
 		workers   = fs.Int("workers", runtime.NumCPU(), "store scan workers")
@@ -197,8 +208,8 @@ func runServe(args []string) error {
 
 	r := serve.NewReplica(serve.ReplicaOptions{
 		Name: self, ViewURL: *viewURL, Backend: be,
-		CacheEntries: *cacheN,
-		Registry:     reg, Recorder: rec, Logger: log,
+		CacheEntries: *cacheN, MaxInFlight: *maxInF,
+		Registry: reg, Recorder: rec, Logger: log,
 	})
 	srv, err := ops.Start(*addr, ops.Options{
 		Tool: "s2sserve", Registry: reg, Recorder: rec, Logger: log,
@@ -434,6 +445,78 @@ func runBench(args []string) error {
 		return err
 	}
 	log.Printf("wrote %s", *outPath)
+	return nil
+}
+
+// runChaos is the chaos drill: an in-process deployment under a seeded
+// fault schedule, a scripted partition of the primary, and a safety
+// verdict — see internal/serve/chaos.RunDrill.
+func runChaos(args []string) error {
+	fs := newFlagSet("chaos")
+	var (
+		dataPath    = fs.String("data", "", "dataset store directory (required)")
+		seed        = fs.Int64("seed", 1, "fault-schedule and fleet seed")
+		replicas    = fs.Int("replicas", 3, "replicas to deploy")
+		fleetN      = fs.Int("fleet", 12, "concurrent chaos clients")
+		maxInflight = fs.Int("max-inflight", 2, "per-replica admission bound")
+		cacheN      = fs.Int("cache", 0, "hot-pair cache entries per replica")
+		horizon     = fs.Duration("horizon", 2*time.Second, "generated-noise horizon")
+		partAfter   = fs.Duration("partition-after", 600*time.Millisecond, "when to isolate the primary")
+		partFor     = fs.Duration("partition-for", 500*time.Millisecond, "how long the partition lasts")
+		pingIV      = fs.Duration("ping", 25*time.Millisecond, "view service ping interval")
+		deadPings   = fs.Int("dead-pings", 4, "ticks of silence before a replica is dead")
+		settle      = fs.Uint64("settle-views", 2, "view changes tolerated after the heal")
+		interval    = fs.Duration("interval", 3*time.Hour, "dataset measurement cadence")
+		tracePath   = fs.String("trace", "", "write the drill's flight record to this file")
+		metricsIV   = fs.Duration("metrics-interval", 250*time.Millisecond, "metric snapshot / alert cadence")
+		outPath     = fs.String("o", "", "write the drill report JSON to this file")
+		quiet       = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" {
+		return fmt.Errorf("chaos: -data is required")
+	}
+	log := obs.NewLogger("s2sserve", *quiet)
+	rep, err := chaos.RunDrill(chaos.DrillConfig{
+		OpenBackend: func() (*serve.Backend, error) {
+			return serve.OpenBackend(*dataPath, serve.BackendConfig{Interval: *interval})
+		},
+		Seed:            *seed,
+		Replicas:        *replicas,
+		Fleet:           *fleetN,
+		MaxInFlight:     *maxInflight,
+		CacheEntries:    *cacheN,
+		PingInterval:    *pingIV,
+		DeadPings:       *deadPings,
+		Horizon:         *horizon,
+		PartitionAfter:  *partAfter,
+		PartitionFor:    *partFor,
+		SettleViews:     *settle,
+		TracePath:       *tracePath,
+		MetricsInterval: *metricsIV,
+		Logger:          log,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("drill seed %d: %d acked / %d requests, %d shed, %d ping failures, %d retries, %d breaker trips",
+		rep.Seed, rep.Acked, rep.Requests, rep.Shed, rep.PingFailures, rep.Retries, rep.BreakerTrips)
+	log.Printf("chaos injected: %d drops, %d delays, %d dup deliveries, %d replies lost",
+		rep.Drops, rep.Delays, rep.Dups, rep.RepliesLost)
+	log.Printf("views: %d at partition, %d at heal, %d final (%d post-heal); healed=%t safety_ok=%t",
+		rep.ViewAtPartition, rep.ViewAtHeal, rep.FinalView, rep.PostHealViews, rep.Healed, rep.SafetyOK)
+	if *outPath != "" {
+		if err := writeJSONFile(*outPath, rep); err != nil {
+			return err
+		}
+		log.Printf("wrote %s", *outPath)
+	}
+	if !rep.SafetyOK {
+		return fmt.Errorf("chaos: drill failed: contradictions=%d requery_errors=%d healed=%t post_heal_views=%d",
+			rep.Contradictions, rep.RequeryErrors, rep.Healed, rep.PostHealViews)
+	}
 	return nil
 }
 

@@ -337,6 +337,50 @@ func TestServeCacheCollapseRule(t *testing.T) {
 	}
 }
 
+// TestLoadShedRule: an interval's worth of admission-control refusals
+// fires once and resolves when the overload subsides.
+func TestLoadShedRule(t *testing.T) {
+	e, reg, h := newEngine(t, Config{})
+	shed := reg.Counter(famServeShed, "")
+
+	shed.Add(5) // under the threshold: quiet
+	e.EvalBoundary(1 * time.Hour)
+	if len(h.active) != 0 {
+		t.Fatalf("load_shed fired under threshold: %v", h.active)
+	}
+	shed.Add(40) // overload: fires
+	e.EvalBoundary(2 * time.Hour)
+	if got := h.sets["load_shed"]; got != 1 {
+		t.Fatalf("load_shed fired %d times, want 1", got)
+	}
+	e.EvalBoundary(3 * time.Hour) // no sheds this interval: resolves
+	if got := h.clears["load_shed"]; got != 1 {
+		t.Fatalf("load_shed resolved %d times, want 1", got)
+	}
+}
+
+// TestPartitionSuspectRule: sustained view-service ping failures fire;
+// a single dropped ping does not.
+func TestPartitionSuspectRule(t *testing.T) {
+	e, reg, h := newEngine(t, Config{})
+	fails := reg.Counter(famServePingFails, "")
+
+	fails.Add(1) // one lost ping: fine
+	e.EvalBoundary(1 * time.Hour)
+	if len(h.active) != 0 {
+		t.Fatalf("partition_suspect fired on one lost ping: %v", h.active)
+	}
+	fails.Add(12) // the link is down
+	e.EvalBoundary(2 * time.Hour)
+	if got := h.sets["partition_suspect"]; got != 1 {
+		t.Fatalf("partition_suspect fired %d times, want 1", got)
+	}
+	e.EvalBoundary(3 * time.Hour) // healed: resolves
+	if got := h.clears["partition_suspect"]; got != 1 {
+		t.Fatalf("partition_suspect resolved %d times, want 1", got)
+	}
+}
+
 // TestStandardRuleFamilies pins the metric families the rules read to the
 // constants the instrumented packages actually export, so a rename there
 // breaks this test instead of silently muting an alert.
@@ -353,6 +397,8 @@ func TestStandardRuleFamilies(t *testing.T) {
 		famServeCacheHits:  serve.MetricCacheHits,
 		famServeCacheMiss:  serve.MetricCacheMisses,
 		famViewChanges:     serve.MetricViewChanges,
+		famServeShed:       serve.MetricShed,
+		famServePingFails:  serve.MetricPingFailures,
 	}
 	for local, canonical := range pairs {
 		if local != canonical {

@@ -23,6 +23,8 @@ const (
 	famServeCacheHits  = "s2s_serve_cache_hits_total"
 	famServeCacheMiss  = "s2s_serve_cache_misses_total"
 	famViewChanges     = "s2s_serve_view_changes_total"
+	famServeShed       = "s2s_serve_shed_total"
+	famServePingFails  = "s2s_serve_ping_failures_total"
 )
 
 // Config holds the thresholds of the standard rules.
@@ -62,6 +64,13 @@ type Config struct {
 	// the floor with at least that many lookups in the interval.
 	ServeCacheHitFloor   float64
 	ServeCacheMinLookups int64
+	// ShedMin: load_shed fires when admission control shed at least this
+	// many queries in one interval.
+	ShedMin int64
+	// PingFailMin: partition_suspect fires when at least this many
+	// view-service pings failed in one interval — the replica↔viewservice
+	// link is partitioned or the view service is down.
+	PingFailMin int64
 }
 
 // DefaultConfig returns the standard thresholds.
@@ -79,6 +88,8 @@ func DefaultConfig() Config {
 		ViewFlapChanges:          3,
 		ServeCacheHitFloor:       0.20,
 		ServeCacheMinLookups:     200,
+		ShedMin:                  10,
+		PingFailMin:              3,
 	}
 }
 
@@ -122,6 +133,12 @@ func (c Config) fill() Config {
 	if c.ServeCacheMinLookups == 0 {
 		c.ServeCacheMinLookups = d.ServeCacheMinLookups
 	}
+	if c.ShedMin == 0 {
+		c.ShedMin = d.ShedMin
+	}
+	if c.PingFailMin == 0 {
+		c.PingFailMin = d.PingFailMin
+	}
 	return c
 }
 
@@ -141,6 +158,8 @@ func StandardRules(cfg Config) []Rule {
 		findingSurge(cfg),
 		viewFlap(cfg),
 		serveCacheCollapse(cfg),
+		loadShed(cfg),
+		partitionSuspect(cfg),
 	}
 }
 
@@ -318,6 +337,37 @@ func serveCacheCollapse(cfg Config) Rule {
 			rate := float64(hits) / float64(total)
 			return fmt.Sprintf("hot-pair cache hit rate %.0f%% over %d lookups this interval",
 				rate*100, total), rate < cfg.ServeCacheHitFloor
+		},
+	}
+}
+
+// loadShed: the query service's admission control is refusing work —
+// the offered load exceeds what MaxInFlight queries can absorb, and
+// clients are seeing 503s. Degradation is working as designed, but the
+// operator should know it is happening. Inert outside the query
+// service. Wall clock, like everything in the serving path.
+func loadShed(cfg Config) Rule {
+	return Rule{
+		Name: "load_shed", Severity: Warn, WallClock: true,
+		Check: func(s *Sample) (string, bool) {
+			shed := s.DeltaCounter(famServeShed)
+			return fmt.Sprintf("admission control shed %d queries this interval (limit %d)",
+				shed, cfg.ShedMin), shed >= cfg.ShedMin
+		},
+	}
+}
+
+// partitionSuspect: a replica's pings to the view service keep failing —
+// either the view service is down or the replica↔viewservice link is
+// partitioned. Either way the replica is flying blind on a stale view
+// and a failover may already be in progress around it.
+func partitionSuspect(cfg Config) Rule {
+	return Rule{
+		Name: "partition_suspect", Severity: Warn, WallClock: true,
+		Check: func(s *Sample) (string, bool) {
+			fails := s.DeltaCounter(famServePingFails)
+			return fmt.Sprintf("%d view-service pings failed this interval (limit %d)",
+				fails, cfg.PingFailMin), fails >= cfg.PingFailMin
 		},
 	}
 }

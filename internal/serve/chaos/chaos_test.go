@@ -1,0 +1,229 @@
+package chaos
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sample probes a plan on a grid of edges and instants, flattening the
+// verdicts for comparison.
+func sample(p *Plan) []Verdict {
+	var out []Verdict
+	nodes := []string{"http://a", "http://b", "http://c"}
+	for _, src := range nodes {
+		for _, dst := range nodes {
+			if src == dst {
+				continue
+			}
+			for at := time.Duration(0); at < 3*time.Second; at += 10 * time.Millisecond {
+				out = append(out, p.At(src, dst, at))
+			}
+		}
+	}
+	return out
+}
+
+// TestPlanDeterministic: the generated schedule is a pure function of
+// the seed — and of nothing else, including the order edges are probed.
+func TestPlanDeterministic(t *testing.T) {
+	a := sample(New(Standard(42, 2*time.Second)))
+	b := sample(New(Standard(42, 2*time.Second)))
+	if len(a) != len(b) {
+		t.Fatalf("sample sizes differ: %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at probe %d: %+v != %+v", i, a[i], b[i])
+		}
+	}
+	// Probing edges in a different order first must not change anything.
+	c := New(Standard(42, 2*time.Second))
+	c.At("http://c", "http://a", time.Second) // warm a late edge early
+	for i, v := range sample(c) {
+		if a[i] != v {
+			t.Fatalf("probe order changed the schedule at %d: %+v != %+v", i, a[i], v)
+		}
+	}
+	d := sample(New(Standard(43, 2*time.Second)))
+	same := true
+	for i := range a {
+		if a[i] != d[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+// TestPlanHealsAtHorizon: no generated window survives the horizon, so
+// every edge is clean afterwards — the property recovery bounds rest on.
+func TestPlanHealsAtHorizon(t *testing.T) {
+	p := New(Standard(7, 500*time.Millisecond))
+	nodes := []string{"http://a", "http://b", "http://c", "http://d"}
+	faulted := 0
+	for _, src := range nodes {
+		for _, dst := range nodes {
+			if src == dst {
+				continue
+			}
+			for at := time.Duration(0); at < 500*time.Millisecond; at += time.Millisecond {
+				if v := p.At(src, dst, at); v != (Verdict{}) {
+					faulted++
+				}
+			}
+			for at := 500 * time.Millisecond; at < 3*time.Second; at += time.Millisecond {
+				if v := p.At(src, dst, at); v != (Verdict{}) {
+					t.Fatalf("%s->%s still faulted at %v past the horizon: %+v", src, dst, at, v)
+				}
+			}
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("Standard config injected nothing inside the horizon")
+	}
+}
+
+// TestScriptedPartition: scripted cuts affect exactly the named
+// directions and instants, and outlive the horizon.
+func TestScriptedPartition(t *testing.T) {
+	p := New(Config{Seed: 1, Horizon: time.Second}) // zero rates: scripted only
+	p.CutOneWay("http://a", "http://b", 100*time.Millisecond, 50*time.Millisecond)
+	p.Partition("http://a", "http://c", 2*time.Second, time.Second) // past the horizon
+
+	if v := p.At("http://a", "http://b", 120*time.Millisecond); !v.Drop {
+		t.Fatal("one-way cut did not drop a->b inside its window")
+	}
+	if v := p.At("http://b", "http://a", 120*time.Millisecond); v.Drop {
+		t.Fatal("one-way cut dropped the reverse direction")
+	}
+	if v := p.At("http://a", "http://b", 200*time.Millisecond); v.Drop {
+		t.Fatal("cut outlived its window")
+	}
+	for _, e := range [][2]string{{"http://a", "http://c"}, {"http://c", "http://a"}} {
+		if v := p.At(e[0], e[1], 2500*time.Millisecond); !v.Drop {
+			t.Fatalf("partition missing on %s->%s past the horizon", e[0], e[1])
+		}
+	}
+}
+
+// scriptedTransport builds a client whose edge to srv carries exactly
+// the given windows, with the fault clock pinned to zero.
+func scriptedTransport(srv *httptest.Server, ws ...Window) (*http.Client, *Plan) {
+	p := New(Config{Seed: 1, Horizon: time.Second})
+	for _, w := range ws {
+		p.Add("http://tester", srv.URL, w)
+	}
+	p.StartClock()
+	return &http.Client{Transport: NewTransport("http://tester", p, nil)}, p
+}
+
+func TestTransportDrop(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer srv.Close()
+	hc, p := scriptedTransport(srv, Window{Kind: KindDrop, Start: 0, Length: time.Hour})
+	_, err := hc.Get(srv.URL + "/x")
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Op != "drop" {
+		t.Fatalf("dropped request returned %v, want a chaos drop error", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("dropped request reached the server %d times", hits.Load())
+	}
+	if drops, _, _, _ := p.Totals(); drops != 1 {
+		t.Fatalf("drop not counted: totals %d", drops)
+	}
+}
+
+func TestTransportDuplicate(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	hc, p := scriptedTransport(srv, Window{Kind: KindDuplicate, Start: 0, Length: time.Hour})
+	resp, err := hc.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatalf("duplicated request failed: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("duplicated request delivered %d times, want 2", hits.Load())
+	}
+	if _, _, dups, _ := p.Totals(); dups != 1 {
+		t.Fatalf("duplicate not counted: totals %d", dups)
+	}
+}
+
+func TestTransportReplyLoss(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	hc, p := scriptedTransport(srv, Window{Kind: KindReplyLoss, Start: 0, Length: time.Hour})
+	_, err := hc.Get(srv.URL + "/x")
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Op != "reply_loss" {
+		t.Fatalf("reply-lost request returned %v, want a chaos reply_loss error", err)
+	}
+	// The whole point of reply loss: the server DID process the request.
+	if hits.Load() != 1 {
+		t.Fatalf("reply-lost request delivered %d times, want 1", hits.Load())
+	}
+	if _, _, _, lost := p.Totals(); lost != 1 {
+		t.Fatalf("reply loss not counted: totals %d", lost)
+	}
+}
+
+func TestTransportDelay(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	const delay = 30 * time.Millisecond
+	hc, p := scriptedTransport(srv, Window{Kind: KindDelay, Start: 0, Length: time.Hour, Delay: delay})
+	start := time.Now()
+	resp, err := hc.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatalf("delayed request failed: %v", err)
+	}
+	resp.Body.Close()
+	if took := time.Since(start); took < delay {
+		t.Fatalf("delayed request took %v, want >= %v", took, delay)
+	}
+	if _, delays, _, _ := p.Totals(); delays != 1 {
+		t.Fatalf("delay not counted: totals %d", delays)
+	}
+}
+
+// TestTransportCleanEdge: an edge with no windows passes requests
+// through untouched.
+func TestTransportCleanEdge(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	hc, p := scriptedTransport(srv)
+	resp, err := hc.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatalf("clean edge failed: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatalf("clean edge delivered %d times, want 1", hits.Load())
+	}
+	if d, dl, du, l := p.Totals(); d+dl+du+l != 0 {
+		t.Fatalf("clean edge counted faults: %d %d %d %d", d, dl, du, l)
+	}
+}

@@ -1,0 +1,395 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/alert"
+	"repro/internal/obs/flight"
+	"repro/internal/serve"
+)
+
+// DrillConfig parameterizes one chaos drill: an in-process deployment
+// with every link chaos-wrapped, a seeded client fleet driving load, and
+// a scripted partition that isolates the primary mid-run.
+type DrillConfig struct {
+	// OpenBackend builds each replica's backend. Required.
+	OpenBackend func() (*serve.Backend, error)
+	// Seed derives the fault schedule, the fleet's request schedules, and
+	// every client's retry jitter: same seed, same drill.
+	Seed int64
+	// Replicas (default 3: primary, backup, and a spare to promote into).
+	Replicas int
+	// Fleet is the concurrent client count (default 12 — enough, against
+	// MaxInFlight slots, to keep admission control shedding).
+	Fleet int
+	// MaxInFlight is each replica's admission bound (default 2,
+	// deliberately tight so the drill proves the shed path).
+	MaxInFlight int
+	// CacheEntries per replica (default 0: every query exercises the
+	// backend and the forward path, not the cache).
+	CacheEntries int
+	// PingInterval (default 25ms) and DeadPings (default 4) set the view
+	// protocol's tempo; the scripted partition must outlast
+	// PingInterval×DeadPings to force a failover.
+	PingInterval time.Duration
+	DeadPings    int
+	// Horizon bounds the generated noise (default 2s).
+	Horizon time.Duration
+	// PartitionAfter is when (on the fault clock) the primary is cut off
+	// from both the view service and the backup (default 600ms);
+	// PartitionFor how long the cut lasts (default 500ms).
+	PartitionAfter time.Duration
+	PartitionFor   time.Duration
+	// SettleViews bounds how many further view changes are acceptable
+	// after the network heals (default 2).
+	SettleViews uint64
+	// ClientTimeout bounds one fleet request including retries
+	// (default 10s).
+	ClientTimeout time.Duration
+	// TracePath, when set, writes the drill's flight record — scripted
+	// chaos windows, view changes, and alert transitions in one file.
+	TracePath string
+	// MetricsInterval is the snapshot/alert cadence (default 250ms).
+	MetricsInterval time.Duration
+	// Logger observes the drill (optional).
+	Logger *obs.Logger
+}
+
+func (c DrillConfig) fill() DrillConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Fleet <= 0 {
+		c.Fleet = 12
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2
+	}
+	if c.PingInterval <= 0 {
+		c.PingInterval = 25 * time.Millisecond
+	}
+	if c.DeadPings <= 0 {
+		c.DeadPings = 4
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 2 * time.Second
+	}
+	if c.PartitionAfter <= 0 {
+		c.PartitionAfter = 600 * time.Millisecond
+	}
+	if c.PartitionFor <= 0 {
+		c.PartitionFor = 500 * time.Millisecond
+	}
+	if c.SettleViews == 0 {
+		c.SettleViews = 2
+	}
+	if c.ClientTimeout <= 0 {
+		c.ClientTimeout = 10 * time.Second
+	}
+	if c.MetricsInterval <= 0 {
+		c.MetricsInterval = 250 * time.Millisecond
+	}
+	return c
+}
+
+// DrillReport is the drill's verdict, written as JSON by `s2sserve
+// chaos`. SafetyOK is the headline: no acknowledged digest was ever
+// contradicted — not across the partition, not by the post-heal
+// re-query — and the service healed within the view-change budget.
+type DrillReport struct {
+	Schema    string  `json:"schema"`
+	Seed      int64   `json:"seed"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+
+	Requests   int `json:"requests"`
+	Acked      int `json:"acked"`
+	AckErrors  int `json:"ack_errors"`
+	UniqueKeys int `json:"unique_keys"`
+
+	Contradictions int `json:"contradictions"`
+	RequeryErrors  int `json:"requery_errors"`
+
+	Shed         int64 `json:"shed"`
+	PingFailures int64 `json:"ping_failures"`
+	Retries      int64 `json:"retries"`
+	BreakerTrips int64 `json:"breaker_trips"`
+
+	Drops       int64 `json:"chaos_drops"`
+	Delays      int64 `json:"chaos_delays"`
+	Dups        int64 `json:"chaos_dup_deliveries"`
+	RepliesLost int64 `json:"chaos_replies_lost"`
+
+	ViewAtPartition uint64 `json:"view_at_partition"`
+	ViewAtHeal      uint64 `json:"view_at_heal"`
+	FinalView       uint64 `json:"final_view"`
+	PostHealViews   uint64 `json:"post_heal_view_changes"`
+
+	Healed   bool `json:"healed"`
+	SafetyOK bool `json:"safety_ok"`
+}
+
+// ackRecord is one acknowledged response the drill will hold the
+// service to: the digest may never change for this query again.
+type ackRecord struct {
+	endpoint string
+	values   url.Values
+	digest   string
+}
+
+// RunDrill runs one seeded chaos drill end to end:
+//
+//  1. Start a deployment whose every outbound link — replica pings and
+//     forwards, fleet requests — passes through a chaos Transport over
+//     one shared Plan (Standard noise inside the horizon).
+//  2. Script a partition isolating the primary from both the view
+//     service and the backup, forcing a real failover under load.
+//  3. Drive a seeded client fleet through the whole window, recording
+//     every acknowledged digest and flagging contradictions live.
+//  4. After the network heals, wait for an acknowledged primary and
+//     re-query every acknowledged key through a clean client: the
+//     digests must all still match.
+//
+// The same seed replays the same drill; the report says whether the
+// replication protocol kept its promise under that schedule.
+func RunDrill(cfg DrillConfig) (*DrillReport, error) {
+	cfg = cfg.fill()
+	if cfg.OpenBackend == nil {
+		return nil, fmt.Errorf("chaos: drill needs an OpenBackend")
+	}
+	if min := time.Duration(cfg.DeadPings) * cfg.PingInterval; cfg.PartitionFor <= min {
+		return nil, fmt.Errorf("chaos: partition %v cannot outlast the liveness threshold %v", cfg.PartitionFor, min)
+	}
+	log := cfg.Logger
+	start := time.Now()
+
+	reg := obs.NewRegistry()
+	var rec *flight.Recorder
+	var err error
+	if cfg.TracePath != "" {
+		rec, err = flight.Create(cfg.TracePath, flight.Options{
+			Tool: "s2sserve-chaos", Registry: reg, MetricsInterval: cfg.MetricsInterval,
+		})
+	} else {
+		rec = flight.New(io.Discard, flight.Options{
+			Tool: "s2sserve-chaos", Registry: reg, MetricsInterval: cfg.MetricsInterval,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	alert.New(alert.Options{Registry: reg, Logger: log}).Attach(rec)
+
+	plan := New(Standard(cfg.Seed, cfg.Horizon))
+	plan.Instrument(reg)
+
+	// The fault clock starts at the deployment's first ping, so the
+	// bootstrap rides the same noise the steady state does.
+	d, err := serve.StartDeployment(serve.DeployConfig{
+		Replicas:     cfg.Replicas,
+		OpenBackend:  cfg.OpenBackend,
+		CacheEntries: cfg.CacheEntries,
+		PingInterval: cfg.PingInterval,
+		DeadPings:    cfg.DeadPings,
+		Transport: func(self string) http.RoundTripper {
+			return NewTransport(self, plan, nil)
+		},
+		MaxInFlight: cfg.MaxInFlight,
+		Registry:    reg,
+		Recorder:    rec,
+		Logger:      log,
+	})
+	if err != nil {
+		rec.Close()
+		return nil, err
+	}
+	defer d.Close()
+
+	// The pair universe comes straight from a backend handle, not through
+	// the (chaotic) service.
+	be, err := cfg.OpenBackend()
+	if err != nil {
+		rec.Close()
+		return nil, err
+	}
+	keys, _ := be.Store().PairKeys()
+	if len(keys) == 0 {
+		rec.Close()
+		return nil, fmt.Errorf("chaos: store has no indexed pairs")
+	}
+
+	// Heartbeat: advances metric snapshots so the alert engine evaluates
+	// load_shed and partition_suspect while the drill runs.
+	hbStop := make(chan struct{})
+	var hbDone sync.WaitGroup
+	hbDone.Add(1)
+	go func() {
+		defer hbDone.Done()
+		t := time.NewTicker(cfg.MetricsInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				rec.Event(serve.PhServeTick, time.Since(start), flight.Attrs{})
+			}
+		}
+	}()
+
+	// Script the outage relative to the running fault clock: cut the
+	// primary off from the view service (so it is declared dead) and from
+	// the backup (so it cannot acknowledge through the cut). Wait for a
+	// backup first — a partition of a solo primary tests far less.
+	rep := &DrillReport{Schema: "s2s-chaos-drill/1", Seed: cfg.Seed}
+	v0, _ := d.VS.View()
+	for deadline := time.Now().Add(5 * time.Second); v0.Backup == "" && time.Now().Before(deadline); {
+		time.Sleep(cfg.PingInterval)
+		v0, _ = d.VS.View()
+	}
+	rep.ViewAtPartition = v0.Num
+	cutAt := plan.Elapsed() + cfg.PartitionAfter
+	plan.Partition(v0.Primary, d.VSURL, cutAt, cfg.PartitionFor)
+	if v0.Backup != "" {
+		plan.Partition(v0.Primary, v0.Backup, cutAt, cfg.PartitionFor)
+	}
+	plan.Emit(rec)
+	log.Printf("drill seed %d: partitioning %s at %v for %v (view %d)",
+		cfg.Seed, v0.Primary, cutAt.Round(time.Millisecond), cfg.PartitionFor, v0.Num)
+
+	// Drive the fleet until both the noise horizon and the scripted
+	// partition are over. Every acknowledged digest goes into the ledger;
+	// a second ack for the same query with a different digest is a
+	// contradiction, whoever served it.
+	endAt := cfg.Horizon
+	if scriptEnd := cutAt + cfg.PartitionFor; scriptEnd > endAt {
+		endAt = scriptEnd
+	}
+	var (
+		ledgerMu                                sync.Mutex
+		ledger                                  = make(map[string]*ackRecord)
+		requests, acks, ackErrs, contradictions int
+		retries, trips                          int64
+	)
+	var fleet sync.WaitGroup
+	for c := 0; c < cfg.Fleet; c++ {
+		fleet.Add(1)
+		go func(c int) {
+			defer fleet.Done()
+			self := fmt.Sprintf("chaos-client-%d", c)
+			cl := &serve.Client{
+				VS:      d.VSURL,
+				HC:      &http.Client{Transport: NewTransport(self, plan, nil)},
+				Timeout: cfg.ClientTimeout,
+				Seed:    cfg.Seed ^ int64(uint64(c+1)*0x9e3779b97f4a7c15),
+			}
+			// A generous schedule; the loop stops on the fault clock, not
+			// on exhausting it.
+			for _, q := range serve.Schedule(cfg.Seed, c, keys, 4096, 0) {
+				if plan.Elapsed() >= endAt {
+					break
+				}
+				vals := q.Values()
+				resp, err := cl.Get("/api/"+q.Endpoint, vals)
+				ledgerMu.Lock()
+				requests++
+				if err != nil {
+					ackErrs++
+					ledgerMu.Unlock()
+					continue
+				}
+				acks++
+				key := q.Endpoint + "?" + vals.Encode()
+				if prev, ok := ledger[key]; ok {
+					if prev.digest != resp.Digest {
+						contradictions++
+						log.Printf("CONTRADICTION %s: acked %s then %s", key, prev.digest, resp.Digest)
+					}
+				} else {
+					ledger[key] = &ackRecord{endpoint: q.Endpoint, values: vals, digest: resp.Digest}
+				}
+				ledgerMu.Unlock()
+			}
+			r, t := cl.Stats()
+			ledgerMu.Lock()
+			retries += r
+			trips += t
+			ledgerMu.Unlock()
+		}(c)
+	}
+	fleet.Wait()
+	if remaining := endAt - plan.Elapsed(); remaining > 0 {
+		time.Sleep(remaining) // the network must be healed before the verdict
+	}
+
+	// Post-heal: the service must converge on an acknowledged primary,
+	// and every digest the drill was promised must still hold through a
+	// clean (chaos-free) client.
+	vh, err := d.WaitForPrimary(10 * time.Second)
+	rep.Healed = err == nil
+	rep.ViewAtHeal = vh.Num
+	clean := &serve.Client{VS: d.VSURL, Timeout: cfg.ClientTimeout, Seed: cfg.Seed}
+	requeryErrs := 0
+	for _, key := range sortedKeys(ledger) {
+		rc := ledger[key]
+		resp, err := clean.Get("/api/"+rc.endpoint, rc.values)
+		if err != nil {
+			requeryErrs++
+			log.Printf("requery %s: %v", key, err)
+			continue
+		}
+		if resp.Digest != rc.digest {
+			contradictions++
+			log.Printf("CONTRADICTION %s: acked %s, post-heal %s", key, rc.digest, resp.Digest)
+		}
+	}
+	vf, _ := d.VS.View()
+
+	close(hbStop)
+	hbDone.Wait()
+
+	rep.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	rep.Requests = requests
+	rep.Acked = acks
+	rep.AckErrors = ackErrs
+	rep.UniqueKeys = len(ledger)
+	rep.Contradictions = contradictions
+	rep.RequeryErrors = requeryErrs
+	rep.Retries = retries
+	rep.BreakerTrips = trips
+	snap := reg.Snapshot()
+	rep.Shed = snap.Counters[serve.MetricShed]
+	rep.PingFailures = snap.Counters[serve.MetricPingFailures]
+	rep.Drops, rep.Delays, rep.Dups, rep.RepliesLost = plan.Totals()
+	rep.FinalView = vf.Num
+	if vf.Num > vh.Num {
+		rep.PostHealViews = vf.Num - vh.Num
+	}
+	rep.SafetyOK = rep.Healed && rep.Contradictions == 0 && rep.RequeryErrors == 0 &&
+		rep.PostHealViews <= cfg.SettleViews
+
+	if cfg.TracePath != "" {
+		rec.WriteManifest(flight.Manifest{Tool: "s2sserve-chaos"})
+	}
+	if err := rec.Close(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// sortedKeys fixes the requery order so two same-seed drills replay the
+// verification phase identically.
+func sortedKeys(m map[string]*ackRecord) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

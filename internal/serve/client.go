@@ -1,14 +1,17 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,6 +21,14 @@ import (
 // retries with backoff until Timeout. A failover is therefore invisible
 // to the caller beyond added latency: the request lands on whichever
 // primary the next view names.
+//
+// Two mechanisms keep a fleet of Clients from harming a struggling
+// service. Retry backoff is jittered (seeded, so runs stay
+// reproducible): after a failover the fleet's retries spread out instead
+// of arriving in lockstep waves. And a circuit breaker trips after
+// BreakerThreshold consecutive failures against one primary, pausing
+// attempts at it for a cooldown — while still refreshing the view, so
+// the moment a new primary is published the breaker is irrelevant.
 type Client struct {
 	// VS is the view service's base URL.
 	VS string
@@ -25,9 +36,23 @@ type Client struct {
 	HC *http.Client
 	// Timeout bounds one Get including all retries (default 20s).
 	Timeout time.Duration
+	// Seed makes the retry jitter deterministic (same seed, same waits).
+	Seed int64
+	// BreakerThreshold is how many consecutive failures against one
+	// primary trip the circuit (default 4); BreakerCooldown how long it
+	// stays open before a half-open probe (default 500ms).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 
-	mu      sync.Mutex
-	primary string
+	mu        sync.Mutex
+	primary   string
+	rng       *rand.Rand
+	fails     int       // consecutive failures against broken
+	broken    string    // the primary the circuit is open for
+	openUntil time.Time // zero = circuit closed
+
+	retries atomic.Int64
+	trips   atomic.Int64
 }
 
 // Response is one acknowledged query response.
@@ -52,9 +77,24 @@ func (c *Client) hc() *http.Client {
 	return http.DefaultClient
 }
 
+// Stats returns how many retry sleeps and breaker trips this client has
+// performed — the chaos drill's measure of how hard the fleet had to
+// work to ride the faults.
+func (c *Client) Stats() (retries, breakerTrips int64) {
+	return c.retries.Load(), c.trips.Load()
+}
+
 // RefreshView re-reads the current view and returns its primary.
 func (c *Client) RefreshView() (string, error) {
-	resp, err := c.hc().Get(c.VS + "/view")
+	return c.refreshView(context.Background())
+}
+
+func (c *Client) refreshView(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.VS+"/view", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc().Do(req)
 	if err != nil {
 		return "", err
 	}
@@ -69,9 +109,17 @@ func (c *Client) RefreshView() (string, error) {
 	return vr.View.Primary, nil
 }
 
-// Get issues one query (path like "/api/series") and retries through view
-// changes until it gets an acknowledged response or Timeout elapses.
+// Get issues one query (path like "/api/series") and retries through
+// view changes until it gets an acknowledged response or Timeout
+// elapses.
 func (c *Client) Get(path string, q url.Values) (*Response, error) {
+	return c.GetCtx(context.Background(), path, q)
+}
+
+// GetCtx is Get under a caller context: cancellation aborts the retry
+// loop and the in-flight request, and propagates into the primary's
+// backend so an abandoned query stops consuming its CPU.
+func (c *Client) GetCtx(ctx context.Context, path string, q url.Values) (*Response, error) {
 	timeout := c.Timeout
 	if timeout <= 0 {
 		timeout = 20 * time.Second
@@ -80,18 +128,32 @@ func (c *Client) Get(path string, q url.Values) (*Response, error) {
 	backoff := 5 * time.Millisecond
 	var lastErr error
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c.mu.Lock()
 		primary := c.primary
 		c.mu.Unlock()
 		if primary == "" {
 			var err error
-			if primary, err = c.RefreshView(); err != nil || primary == "" {
+			if primary, err = c.refreshView(ctx); err != nil || primary == "" {
 				lastErr = fmt.Errorf("serve: no primary: %v", err)
 			}
 		}
-		if primary != "" {
-			resp, err := c.tryOnce(primary, path, q)
+		if primary != "" && c.circuitOpen(primary) {
+			// Keep re-learning the view while the circuit is open: the
+			// breaker is name-scoped, so a published failover unblocks the
+			// very next attempt.
+			if np, err := c.refreshView(ctx); err == nil && np != "" && np != primary {
+				continue
+			}
+			if lastErr == nil {
+				lastErr = fmt.Errorf("serve: circuit open for %s", primary)
+			}
+		} else if primary != "" {
+			resp, err := c.tryOnce(ctx, primary, path, q)
 			if err == nil {
+				c.noteSuccess()
 				return resp, nil
 			}
 			var bad *BadRequestError
@@ -99,29 +161,93 @@ func (c *Client) Get(path string, q url.Values) (*Response, error) {
 				return nil, err
 			}
 			lastErr = err
+			c.noteFailure(primary)
 			// Whatever went wrong — dead primary, stale view, unsynced
 			// backup — the cure is the same: re-learn the view and retry.
 			c.mu.Lock()
 			c.primary = ""
 			c.mu.Unlock()
 		}
-		if time.Now().Add(backoff).After(deadline) {
+		sleep := c.jitter(backoff)
+		if time.Now().Add(sleep).After(deadline) {
 			return nil, fmt.Errorf("serve: %s not acknowledged within %v: %w", path, timeout, lastErr)
 		}
-		time.Sleep(backoff)
+		c.retries.Add(1)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(sleep):
+		}
 		if backoff *= 2; backoff > 250*time.Millisecond {
 			backoff = 250 * time.Millisecond
 		}
 	}
 }
 
+// jitter spreads one backoff step uniformly over [0.5d, 1.5d): enough
+// randomness to break fleet lockstep, small enough to keep the
+// exponential envelope.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.Seed))
+	}
+	return d/2 + time.Duration(c.rng.Int63n(int64(d)))
+}
+
+// circuitOpen reports whether the breaker currently blocks attempts at
+// primary. Only the primary the circuit tripped on is blocked: a view
+// change publishes a different name and sails through immediately.
+func (c *Client) circuitOpen(primary string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return primary == c.broken && time.Now().Before(c.openUntil)
+}
+
+// noteFailure counts a consecutive failure; at the threshold the
+// circuit opens for the cooldown. Past it, each further failure (the
+// half-open probe) re-opens immediately.
+func (c *Client) noteFailure(primary string) {
+	threshold := c.BreakerThreshold
+	if threshold <= 0 {
+		threshold = 4
+	}
+	cooldown := c.BreakerCooldown
+	if cooldown <= 0 {
+		cooldown = 500 * time.Millisecond
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if primary != c.broken {
+		c.broken, c.fails = primary, 0
+	}
+	c.fails++
+	if c.fails >= threshold {
+		if !time.Now().Before(c.openUntil) {
+			c.trips.Add(1)
+		}
+		c.openUntil = time.Now().Add(cooldown)
+	}
+}
+
+func (c *Client) noteSuccess() {
+	c.mu.Lock()
+	c.fails, c.broken, c.openUntil = 0, "", time.Time{}
+	c.mu.Unlock()
+}
+
 // tryOnce issues the query against one candidate primary.
-func (c *Client) tryOnce(primary, path string, q url.Values) (*Response, error) {
+func (c *Client) tryOnce(ctx context.Context, primary, path string, q url.Values) (*Response, error) {
 	u := primary + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	hresp, err := c.hc().Get(u)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := c.hc().Do(req)
 	if err != nil {
 		return nil, err
 	}

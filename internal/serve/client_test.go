@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeCluster is a hand-cranked view service plus one primary endpoint,
+// for exercising the client's retry/breaker logic without a deployment.
+type fakeCluster struct {
+	mu      sync.Mutex
+	primary string // URL the /view endpoint publishes
+	fail    bool   // primary answers 500 while set
+	hits    int
+
+	vs  *httptest.Server
+	api *httptest.Server
+}
+
+func newFakeCluster(t *testing.T) *fakeCluster {
+	t.Helper()
+	fc := &fakeCluster{}
+	fc.api = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fc.mu.Lock()
+		fc.hits++
+		fail := fc.fail
+		fc.mu.Unlock()
+		if fail {
+			http.Error(w, "injected", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("X-S2S-Digest", "d00d")
+		w.Write([]byte(`{}`))
+	}))
+	fc.vs = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fc.mu.Lock()
+		p := fc.primary
+		fc.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"view": View{Num: 1, Primary: p}, "acked": true,
+		})
+	}))
+	fc.primary = fc.api.URL
+	t.Cleanup(fc.vs.Close)
+	t.Cleanup(fc.api.Close)
+	return fc
+}
+
+// TestClientJitterDeterministic: the same seed yields the same backoff
+// schedule — chaos runs replay — and different seeds de-lockstep a
+// fleet.
+func TestClientJitterDeterministic(t *testing.T) {
+	steps := [...]time.Duration{5, 10, 20, 40, 80, 160, 250, 250}
+	seq := func(seed int64) []time.Duration {
+		c := &Client{Seed: seed}
+		out := make([]time.Duration, len(steps))
+		for i, d := range steps {
+			out[i] = c.jitter(d * time.Millisecond)
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at step %d: %v != %v", i, a[i], b[i])
+		}
+		d := steps[i] * time.Millisecond
+		if a[i] < d/2 || a[i] >= d/2+d {
+			t.Fatalf("jitter %v outside the [d/2, 3d/2) envelope for d=%v", a[i], d)
+		}
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter schedules")
+	}
+}
+
+// TestClientBreakerTripsAndRecovers: consecutive failures against one
+// primary trip the breaker; a view change to a healthy primary is picked
+// up while the circuit is still open.
+func TestClientBreakerTripsAndRecovers(t *testing.T) {
+	fc := newFakeCluster(t)
+	fc.mu.Lock()
+	fc.fail = true
+	fc.mu.Unlock()
+
+	cl := &Client{
+		VS: fc.vs.URL, Timeout: 400 * time.Millisecond, Seed: 1,
+		BreakerThreshold: 2, BreakerCooldown: time.Minute,
+	}
+	if _, err := cl.Get("/api/meta", nil); err == nil {
+		t.Fatal("Get succeeded against a failing primary")
+	}
+	if _, trips := cl.Stats(); trips < 1 {
+		t.Fatalf("breaker never tripped (trips=%d)", trips)
+	}
+	fc.mu.Lock()
+	hitsWhileBroken := fc.hits
+	fc.mu.Unlock()
+
+	// Publish a healthy primary. The old circuit is still open (cooldown
+	// is a minute), but it is name-scoped: the new primary sails through.
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-S2S-Digest", "beef")
+		w.Write([]byte(`{}`))
+	}))
+	defer healthy.Close()
+	fc.mu.Lock()
+	fc.primary = healthy.URL
+	fc.mu.Unlock()
+
+	resp, err := cl.Get("/api/meta", nil)
+	if err != nil {
+		t.Fatalf("Get after failover: %v", err)
+	}
+	if resp.Digest != "beef" {
+		t.Fatalf("served by the wrong primary: digest %q", resp.Digest)
+	}
+	fc.mu.Lock()
+	hitsAfter := fc.hits
+	fc.mu.Unlock()
+	if hitsAfter != hitsWhileBroken {
+		t.Fatalf("open circuit still sent %d requests at the broken primary", hitsAfter-hitsWhileBroken)
+	}
+}
+
+// TestClientContextCancel: a canceled context aborts the retry loop
+// immediately, whatever state the view service is in.
+func TestClientContextCancel(t *testing.T) {
+	fc := newFakeCluster(t)
+	fc.mu.Lock()
+	fc.fail = true // every attempt fails, so the loop would retry forever
+	fc.mu.Unlock()
+
+	cl := &Client{VS: fc.vs.URL, Timeout: time.Minute, Seed: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.GetCtx(ctx, "/api/meta", nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("GetCtx returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("GetCtx did not return after cancel")
+	}
+}
+
+// TestAdmissionShed: with every slot occupied the replica refuses /api/*
+// with 503 + Retry-After and counts the shed, before spending any work
+// on the request.
+func TestAdmissionShed(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := NewReplica(ReplicaOptions{
+		Name: "http://primary", ViewURL: "http://unused",
+		MaxInFlight: 1, Registry: reg,
+	})
+	if !r.adm.tryAcquire() {
+		t.Fatal("fresh admission gate refused")
+	}
+	defer r.adm.release()
+
+	h := r.Handlers()["/api/meta"]
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/api/meta", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rr.Code)
+	}
+	if got := rr.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+	if got := reg.Snapshot().Counters[MetricShed]; got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricShed, got)
+	}
+
+	// Internal replication endpoints must never shed: refusing a forward
+	// would turn overload into a replication stall.
+	rr = httptest.NewRecorder()
+	r.Handlers()["/internal/apply"].ServeHTTP(rr, httptest.NewRequest(
+		http.MethodPost, "/internal/apply", nil))
+	if rr.Code == http.StatusServiceUnavailable {
+		t.Fatal("internal endpoint was shed by admission control")
+	}
+	if got := reg.Snapshot().Counters[MetricShed]; got != 1 {
+		t.Fatalf("%s moved to %d on an internal request", MetricShed, got)
+	}
+}
+
+// TestAdmissionUnlimitedByDefault: MaxInFlight 0 admits everything.
+func TestAdmissionUnlimitedByDefault(t *testing.T) {
+	var a *admission // = newAdmission(0)
+	for i := 0; i < 100; i++ {
+		if !a.tryAcquire() {
+			t.Fatal("nil admission refused a request")
+		}
+	}
+	a.release() // must not panic
+}

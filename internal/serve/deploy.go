@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // DeployConfig parameterizes an in-process deployment.
@@ -24,6 +25,20 @@ type DeployConfig struct {
 	// the liveness threshold (default DefaultDeadPings).
 	PingInterval time.Duration
 	DeadPings    int
+	// Transport, when set, builds each replica's outbound RoundTripper
+	// from its advertised name — the chaos layer's injection seam.
+	Transport func(self string) http.RoundTripper
+	// Timeouts are each replica's per-request-kind deadlines.
+	Timeouts RequestTimeouts
+	// MaxInFlight bounds each replica's concurrently executing queries
+	// (0 = unlimited).
+	MaxInFlight int
+	// Registry and Recorder, when set, are shared by the view service and
+	// every replica — one pane of glass for a drill. By default each
+	// replica gets its own registry (in Deployment.Registries), which
+	// per-replica assertions rely on.
+	Registry *obs.Registry
+	Recorder *flight.Recorder
 	// Logger observes the deployment (optional).
 	Logger *obs.Logger
 }
@@ -62,7 +77,10 @@ func StartDeployment(cfg DeployConfig) (*Deployment, error) {
 		cfg.PingInterval = 25 * time.Millisecond
 	}
 	d := &Deployment{
-		VS:         NewViewService(ViewOptions{DeadPings: cfg.DeadPings, Logger: cfg.Logger}),
+		VS: NewViewService(ViewOptions{
+			DeadPings: cfg.DeadPings, Logger: cfg.Logger,
+			Registry: cfg.Registry, Recorder: cfg.Recorder,
+		}),
 		Registries: make(map[string]*obs.Registry),
 		cfg:        cfg,
 		replicas:   make(map[string]*replicaProc),
@@ -106,18 +124,29 @@ func (d *Deployment) AddReplica() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	reg := obs.NewRegistry()
+	reg := d.cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", err
 	}
 	name := "http://" + ln.Addr().String()
+	var tr http.RoundTripper
+	if d.cfg.Transport != nil {
+		tr = d.cfg.Transport(name)
+	}
 	r := NewReplica(ReplicaOptions{
 		Name:         name,
 		ViewURL:      d.VSURL,
 		Backend:      be,
 		CacheEntries: d.cfg.CacheEntries,
+		Transport:    tr,
+		Timeouts:     d.cfg.Timeouts,
+		MaxInFlight:  d.cfg.MaxInFlight,
 		Registry:     reg,
+		Recorder:     d.cfg.Recorder,
 		Logger:       d.cfg.Logger,
 	})
 	mux := http.NewServeMux()

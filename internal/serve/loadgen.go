@@ -163,7 +163,11 @@ func RunFleet(cfg LoadConfig) (*LoadResult, error) {
 		wg.Add(1)
 		go func(c, n int) {
 			defer wg.Done()
-			cl := &Client{VS: cfg.VS, HC: hc, Timeout: timeout}
+			// Each client jitters its retries from its own seed: a failover
+			// spreads the fleet's retry wave deterministically instead of
+			// replaying it in lockstep.
+			cl := &Client{VS: cfg.VS, HC: hc, Timeout: timeout,
+				Seed: cfg.Seed ^ int64(uint64(c+1)*0x9e3779b97f4a7c15)}
 			res := &results[c]
 			res.lat = make([]int64, 0, n)
 			for _, q := range Schedule(cfg.Seed, c, cfg.Pairs, n, cfg.ZipfS) {

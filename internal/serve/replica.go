@@ -2,7 +2,9 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,6 +15,34 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 )
+
+// RequestTimeouts are the replica's per-request-kind deadlines. One
+// timeout cannot serve all three RPC kinds: a ping that takes seconds is
+// already a liveness failure, while a journal+cache state transfer may
+// legitimately run long on a warm deployment — a shared deadline either
+// lets pings hang or truncates transfers.
+type RequestTimeouts struct {
+	// Ping bounds a view-service ping (default 1s — several ping
+	// intervals, but far below the transfer ceiling).
+	Ping time.Duration
+	// Forward bounds one response forward to the backup (default 3s).
+	Forward time.Duration
+	// Transfer bounds a full state transfer (default 30s).
+	Transfer time.Duration
+}
+
+func (t RequestTimeouts) fill() RequestTimeouts {
+	if t.Ping <= 0 {
+		t.Ping = time.Second
+	}
+	if t.Forward <= 0 {
+		t.Forward = 3 * time.Second
+	}
+	if t.Transfer <= 0 {
+		t.Transfer = 30 * time.Second
+	}
+	return t
+}
 
 // ReplicaOptions parameterizes a Replica.
 type ReplicaOptions struct {
@@ -25,9 +55,19 @@ type ReplicaOptions struct {
 	Backend *Backend
 	// CacheEntries bounds the hot-pair cache (0 disables caching).
 	CacheEntries int
-	// HTTPClient is used for pings, forwards, and transfers (default: a
-	// client with a 10s timeout).
-	HTTPClient *http.Client
+	// Transport carries the replica's outbound RPC — pings, forwards,
+	// transfers (default http.DefaultTransport). The chaos layer's fault
+	// injection plugs in here.
+	Transport http.RoundTripper
+	// Timeouts are the per-request-kind deadlines (zero fields take
+	// defaults).
+	Timeouts RequestTimeouts
+	// MaxInFlight bounds concurrently executing /api/* queries; excess
+	// requests are shed with 503 + Retry-After rather than queued into
+	// memory exhaustion (0 = unlimited). Internal replication endpoints
+	// are never shed: refusing a forward or transfer would turn an
+	// overload into a replication stall.
+	MaxInFlight int
 	// Registry, Recorder, Logger observe the replica (all optional).
 	Registry *obs.Registry
 	Recorder *flight.Recorder
@@ -59,14 +99,22 @@ type Replica struct {
 	vsURL string
 	be    *Backend
 	cache *Cache
-	hc    *http.Client
+	adm   *admission
 	log   *obs.Logger
 	rec   *flight.Recorder
 	start time.Time
 
+	// Per-request-kind HTTP clients over one shared transport: tight
+	// deadlines for pings, looser for forwards, loosest for transfers.
+	pingHC *http.Client
+	fwdHC  *http.Client
+	xferHC *http.Client
+
 	requestsC  map[string]*obs.Counter
 	latencyH   map[string]*obs.Histogram
 	errorsC    *obs.Counter
+	shedC      *obs.Counter
+	pingFailC  *obs.Counter
 	forwardsC  *obs.Counter
 	transfersC *obs.Counter
 	promoteC   *obs.Counter
@@ -91,7 +139,7 @@ func NewReplica(o ReplicaOptions) *Replica {
 		vsURL:   o.ViewURL,
 		be:      o.Backend,
 		cache:   NewCache(o.CacheEntries),
-		hc:      o.HTTPClient,
+		adm:     newAdmission(o.MaxInFlight),
 		log:     o.Logger,
 		rec:     o.Recorder,
 		start:   time.Now(),
@@ -99,9 +147,14 @@ func NewReplica(o ReplicaOptions) *Replica {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	if r.hc == nil {
-		r.hc = &http.Client{Timeout: 10 * time.Second}
+	tr := o.Transport
+	if tr == nil {
+		tr = http.DefaultTransport
 	}
+	to := o.Timeouts.fill()
+	r.pingHC = &http.Client{Transport: tr, Timeout: to.Ping}
+	r.fwdHC = &http.Client{Transport: tr, Timeout: to.Forward}
+	r.xferHC = &http.Client{Transport: tr, Timeout: to.Transfer}
 	r.cache.Instrument(o.Registry)
 	r.requestsC = make(map[string]*obs.Counter, len(Endpoints))
 	r.latencyH = make(map[string]*obs.Histogram, len(Endpoints))
@@ -113,6 +166,8 @@ func NewReplica(o ReplicaOptions) *Replica {
 				"query latency in seconds, by endpoint", obs.DurationBuckets())
 		}
 		r.errorsC = reg.Counter(MetricErrors, "query requests answered with an error status")
+		r.shedC = reg.Counter(MetricShed, "query requests shed by admission control (503 + Retry-After)")
+		r.pingFailC = reg.Counter(MetricPingFailures, "view-service pings that failed (unreachable or undecodable)")
 		r.forwardsC = reg.Counter(MetricForwards, "responses forwarded to the backup before acknowledgement")
 		r.transfersC = reg.Counter(MetricTransfers, "full state transfers sent to a fresh backup")
 		r.promoteC = reg.Counter(MetricPromotions, "backup-to-primary promotions on this replica")
@@ -162,8 +217,9 @@ func (r *Replica) PingOnce() {
 	r.mu.Lock()
 	old := r.view
 	r.mu.Unlock()
-	resp, err := r.hc.Get(fmt.Sprintf("%s/ping?addr=%s&num=%d", r.vsURL, url.QueryEscape(r.name), old.Num))
+	resp, err := r.pingHC.Get(fmt.Sprintf("%s/ping?addr=%s&num=%d", r.vsURL, url.QueryEscape(r.name), old.Num))
 	if err != nil {
+		r.pingFailC.Inc()
 		r.log.Printf("viewservice unreachable: %v", err)
 		return
 	}
@@ -171,6 +227,7 @@ func (r *Replica) PingOnce() {
 	err = json.NewDecoder(resp.Body).Decode(&v)
 	resp.Body.Close()
 	if err != nil {
+		r.pingFailC.Inc()
 		r.log.Printf("viewservice ping: %v", err)
 		return
 	}
@@ -244,7 +301,9 @@ func (r *Replica) transferTo(v View) error {
 	}
 	r.mu.Unlock()
 	msg := transferMsg{View: v.Num, Journal: journal, Entries: r.cache.Snapshot()}
-	if err := r.postJSON(v.Backup+"/internal/transfer", msg); err != nil {
+	// Background context: a transfer is amortized across every client
+	// waiting on it, so no single request's cancellation may abort it.
+	if err := r.postJSON(context.Background(), r.xferHC, v.Backup+"/internal/transfer", msg); err != nil {
 		return err
 	}
 	r.mu.Lock()
@@ -259,12 +318,20 @@ func (r *Replica) transferTo(v View) error {
 	return nil
 }
 
-func (r *Replica) postJSON(url string, v any) error {
+func (r *Replica) postJSON(ctx context.Context, hc *http.Client, url string, v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	resp, err := r.hc.Post(url, "application/json", bytes.NewReader(data))
+	// NewRequest over a bytes.Reader sets GetBody, so a chaos transport
+	// can legally duplicate the delivery — the receiver's handlers are
+	// idempotent and re-application is digest-checked.
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -297,6 +364,19 @@ func (r *Replica) queryHandler(endpoint string) http.Handler {
 		r.requestsC[endpoint].Inc()
 		defer func() { r.latencyH[endpoint].Observe(time.Since(start).Seconds()) }()
 
+		// Admission control: shed rather than queue once MaxInFlight
+		// queries are executing. 503 + Retry-After tells a generic client
+		// this is overload, not failure; the view-aware Client's jittered
+		// backoff desynchronizes the retries.
+		if !r.adm.tryAcquire() {
+			r.shedC.Inc()
+			w.Header().Set("Retry-After", "1")
+			r.fail(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("overloaded: %d queries in flight", r.adm.max))
+			return
+		}
+		defer r.adm.release()
+
 		var q PairQuery
 		if endpoint == "series" || endpoint == "paths" || endpoint == "summary" {
 			var err error
@@ -325,8 +405,14 @@ func (r *Replica) queryHandler(endpoint string) http.Handler {
 			return
 		}
 
-		body, digest, err := r.be.Answer(endpoint, q)
+		body, digest, err := r.be.Answer(req.Context(), endpoint, q)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				// The client went away mid-read; nobody is listening to the
+				// status code, but the error counter should not blame the
+				// backend.
+				return
+			}
 			r.fail(w, http.StatusInternalServerError, err.Error())
 			return
 		}
@@ -350,7 +436,11 @@ func (r *Replica) queryHandler(endpoint string) http.Handler {
 					return
 				}
 			}
-			if ferr := r.postJSON(v.Backup+"/internal/apply", applyMsg{
+			// The forward rides the request context: if the client gives up,
+			// the primary stops trying to replicate an answer it will never
+			// acknowledge. The backup may still apply it — harmless, since
+			// an unacknowledged digest constrains nothing.
+			if ferr := r.postJSON(req.Context(), r.fwdHC, v.Backup+"/internal/apply", applyMsg{
 				View: v.Num, Key: key, Digest: digest, Body: body,
 			}); ferr != nil {
 				// Refuse to acknowledge what the backup has not seen.
@@ -456,4 +546,39 @@ func (r *Replica) journalLen() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.journal)
+}
+
+// admission is a bounded in-flight gate: a semaphore that refuses
+// instead of blocking, so overload turns into fast 503s the client can
+// back off from, not a queue that grows until the process dies. A nil
+// admission admits everything.
+type admission struct {
+	max   int
+	slots chan struct{}
+}
+
+func newAdmission(max int) *admission {
+	if max <= 0 {
+		return nil
+	}
+	return &admission{max: max, slots: make(chan struct{}, max)}
+}
+
+func (a *admission) tryAcquire() bool {
+	if a == nil {
+		return true
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (a *admission) release() {
+	if a == nil {
+		return
+	}
+	<-a.slots
 }

@@ -32,6 +32,7 @@
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -53,7 +54,8 @@ import (
 )
 
 // Metric families the query service exports. The cache and view families
-// feed the alert engine's serve_cache_collapse and view_flap rules.
+// feed the alert engine's serve_cache_collapse and view_flap rules; the
+// shed and ping-failure families feed load_shed and partition_suspect.
 const (
 	MetricCacheHits      = "s2s_serve_cache_hits_total"
 	MetricCacheMisses    = "s2s_serve_cache_misses_total"
@@ -63,6 +65,8 @@ const (
 	MetricViewNum        = "s2s_serve_view_num"
 	MetricRequests       = "s2s_serve_requests_total"
 	MetricErrors         = "s2s_serve_request_errors_total"
+	MetricShed           = "s2s_serve_shed_total"
+	MetricPingFailures   = "s2s_serve_ping_failures_total"
 	MetricForwards       = "s2s_serve_forwards_total"
 	MetricTransfers      = "s2s_serve_state_transfers_total"
 	MetricPromotions     = "s2s_serve_promotions_total"
@@ -225,8 +229,9 @@ type SeriesResponse struct {
 }
 
 // Series answers a per-pair RTT series query through the store's
-// point-lookup path.
-func (b *Backend) Series(q PairQuery) (*SeriesResponse, error) {
+// point-lookup path. ctx cancellation stops the store read between
+// shard decodes.
+func (b *Backend) Series(ctx context.Context, q PairQuery) (*SeriesResponse, error) {
 	from, to := b.clampWindow(q)
 	step := q.Step
 	span := to - from
@@ -272,7 +277,7 @@ func (b *Backend) Series(q PairQuery) (*SeriesResponse, error) {
 		bu.sum += rttMs
 		resp.Samples++
 	}
-	err := b.st.Pair(q.Key(), from, to, consumerFuncs{
+	err := b.st.PairCtx(ctx, q.Key(), from, to, consumerFuncs{
 		tr: func(tr *trace.Traceroute) {
 			if tr.Complete {
 				sample(tr.At, float64(tr.RTT)/float64(time.Millisecond), false)
@@ -326,7 +331,7 @@ type PathsResponse struct {
 }
 
 // Paths answers a per-pair path-history query.
-func (b *Backend) Paths(q PairQuery) (*PathsResponse, error) {
+func (b *Backend) Paths(ctx context.Context, q PairQuery) (*PathsResponse, error) {
 	from, to := b.clampWindow(q)
 	resp := &PathsResponse{
 		Src: q.Src, Dst: q.Dst, V6: q.V6,
@@ -334,7 +339,7 @@ func (b *Backend) Paths(q PairQuery) (*PathsResponse, error) {
 	}
 	var cur *PathEpoch
 	var curSig string
-	err := b.st.Pair(q.Key(), from, to, consumerFuncs{
+	err := b.st.PairCtx(ctx, q.Key(), from, to, consumerFuncs{
 		tr: func(tr *trace.Traceroute) {
 			resp.Traceroutes++
 			hops := make([]string, len(tr.Hops))
@@ -393,7 +398,7 @@ type SummaryResponse struct {
 
 // Summary replays one pair (v4 and v6 timelines, so the dual-stack
 // operator sees its round-adjacent pairs) through the analysis operators.
-func (b *Backend) Summary(q PairQuery) (*SummaryResponse, error) {
+func (b *Backend) Summary(ctx context.Context, q PairQuery) (*SummaryResponse, error) {
 	from, to := b.clampWindow(q)
 	resp := &SummaryResponse{
 		Src: q.Src, Dst: q.Dst,
@@ -426,7 +431,7 @@ func (b *Backend) Summary(q PairQuery) (*SummaryResponse, error) {
 	// Pairs with one worker keeps the exact shard-order delivery of the
 	// live stream, so the finding stream matches what a campaign with
 	// -analyze emitted for this pair.
-	if err := b.st.Pairs(1, keys, window); err != nil {
+	if err := b.st.PairsCtx(ctx, 1, keys, window); err != nil {
 		return nil, err
 	}
 	stage.Finish()
@@ -489,16 +494,17 @@ func (b *Backend) Meta() (*MetaResponse, error) {
 
 // Answer executes the query named by endpoint and returns the marshaled
 // JSON body plus its digest — the unit the replication layer forwards,
-// journals, and caches.
-func (b *Backend) Answer(endpoint string, q PairQuery) (body []byte, digest string, err error) {
+// journals, and caches. ctx comes from the HTTP request: an abandoned
+// query stops reading the store mid-way instead of finishing for nobody.
+func (b *Backend) Answer(ctx context.Context, endpoint string, q PairQuery) (body []byte, digest string, err error) {
 	var v any
 	switch endpoint {
 	case "series":
-		v, err = b.Series(q)
+		v, err = b.Series(ctx, q)
 	case "paths":
-		v, err = b.Paths(q)
+		v, err = b.Paths(ctx, q)
 	case "summary":
-		v, err = b.Summary(q)
+		v, err = b.Summary(ctx, q)
 	case "pairs":
 		v, err = b.Pairs()
 	case "meta":

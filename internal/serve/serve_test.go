@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"net/netip"
 	"path/filepath"
@@ -107,7 +108,7 @@ func TestSeries(t *testing.T) {
 	const servers, rounds = 3, 8
 	be := openTestBackend(t, buildStore(t, servers, rounds))
 	q := PairQuery{Src: 0, Dst: 1, To: -1, Step: fixtureInterval}
-	resp, err := be.Series(q)
+	resp, err := be.Series(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestSeries(t *testing.T) {
 
 	// A half-open sub-window keeps only the covered rounds.
 	q2 := PairQuery{Src: 0, Dst: 1, From: 2 * fixtureInterval, To: 5 * fixtureInterval, Step: fixtureInterval}
-	sub, err := be.Series(q2)
+	sub, err := be.Series(context.Background(), q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestSeries(t *testing.T) {
 func TestPaths(t *testing.T) {
 	const rounds = 8
 	be := openTestBackend(t, buildStore(t, 3, rounds))
-	resp, err := be.Paths(PairQuery{Src: 1, Dst: 2, To: -1})
+	resp, err := be.Paths(context.Background(), PairQuery{Src: 1, Dst: 2, To: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,11 +174,11 @@ func TestAnswerDeterministic(t *testing.T) {
 	be := openTestBackend(t, buildStore(t, 3, 6))
 	for _, ep := range Endpoints {
 		q := PairQuery{Src: 0, Dst: 2, To: -1}
-		b1, d1, err := be.Answer(ep, q)
+		b1, d1, err := be.Answer(context.Background(), ep, q)
 		if err != nil {
 			t.Fatalf("%s: %v", ep, err)
 		}
-		b2, d2, err := be.Answer(ep, q)
+		b2, d2, err := be.Answer(context.Background(), ep, q)
 		if err != nil {
 			t.Fatalf("%s: %v", ep, err)
 		}
@@ -213,7 +214,7 @@ func TestPairsAndMeta(t *testing.T) {
 
 func TestSummaryReplay(t *testing.T) {
 	be := openTestBackend(t, buildStore(t, 3, 8))
-	resp, err := be.Summary(PairQuery{Src: 0, Dst: 1, To: -1})
+	resp, err := be.Summary(context.Background(), PairQuery{Src: 0, Dst: 1, To: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestSummaryReplay(t *testing.T) {
 		t.Fatalf("no operator statuses")
 	}
 	// Replay must be reproducible.
-	again, err := be.Summary(PairQuery{Src: 0, Dst: 1, To: -1})
+	again, err := be.Summary(context.Background(), PairQuery{Src: 0, Dst: 1, To: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

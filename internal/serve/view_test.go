@@ -100,6 +100,133 @@ func TestViewRestartedBackupReplaced(t *testing.T) {
 	}
 }
 
+// TestViewDuplicatedPingsHarmless replays every ping twice — the chaos
+// transport's retransmit case. The protocol must be idempotent: the
+// duplicate deliveries change nothing, including the view-change count.
+func TestViewDuplicatedPingsHarmless(t *testing.T) {
+	reg := obs.NewRegistry()
+	vs := NewViewService(ViewOptions{DeadPings: 3, Registry: reg})
+	for _, p := range []struct {
+		addr string
+		num  uint64
+	}{
+		{"A", 0}, // A becomes primary of view 1
+		{"A", 1}, // A acks
+		{"B", 0}, // B enlisted as backup of view 2
+		{"A", 2}, // A acks view 2
+		{"B", 2}, // B reports progress
+	} {
+		vs.Ping(p.addr, p.num)
+		vs.Ping(p.addr, p.num) // the network delivered it twice
+	}
+	v, acked := vs.View()
+	if v.Num != 2 || v.Primary != "A" || v.Backup != "B" || !acked {
+		t.Fatalf("after duplicated pings: %+v acked=%t", v, acked)
+	}
+	if got := reg.Snapshot().Counters[MetricViewChanges]; got != 2 {
+		t.Fatalf("view changes = %d, want 2", got)
+	}
+}
+
+// TestViewDelayedAckNeitherAcksNorRegresses delivers the primary's ack
+// for an old view late (the chaos delay case). A stale ack must not
+// acknowledge the current view, and the service must hold — not regress,
+// not promote — until the real ack lands.
+func TestViewDelayedAckNeitherAcksNorRegresses(t *testing.T) {
+	vs := NewViewService(ViewOptions{DeadPings: 3})
+	vs.Ping("A", 0)
+	vs.Ping("A", 1)
+	vs.Ping("B", 0) // view 2: primary A, backup B, unacked
+
+	vs.Ping("A", 1) // delayed duplicate of the view-1 ack arrives now
+	if v, acked := vs.View(); v.Num != 2 || acked {
+		t.Fatalf("stale ack moved the view: %+v acked=%t", v, acked)
+	}
+	// Unacked, the view is frozen even across liveness ticks.
+	for i := 0; i < 5; i++ {
+		vs.Tick()
+		vs.Ping("A", 1)
+		vs.Ping("B", 0)
+	}
+	if v, acked := vs.View(); v.Num != 2 || v.Primary != "A" || acked {
+		t.Fatalf("frozen view drifted: %+v acked=%t", v, acked)
+	}
+	vs.Ping("A", 2) // the real ack
+	if v, acked := vs.View(); v.Num != 2 || !acked {
+		t.Fatalf("real ack not applied: %+v acked=%t", v, acked)
+	}
+}
+
+// TestViewPartitionedPrimaryNeverReclaims partitions the primary away
+// (silence), lets the backup take over, then heals the partition. The
+// deposed primary — still carrying its old view number — must come back
+// as idle, never as primary: its journal is stale the moment the
+// promoted backup acknowledges anything new.
+func TestViewPartitionedPrimaryNeverReclaims(t *testing.T) {
+	vs := NewViewService(ViewOptions{DeadPings: 3})
+	vs.Ping("A", 0)
+	vs.Ping("A", 1)
+	vs.Ping("B", 0)
+	vs.Ping("A", 2)
+	vs.Ping("C", 0) // idle spare
+
+	// A is partitioned: B and C keep pinging, A goes silent.
+	for i := 0; i < 3; i++ {
+		vs.Tick()
+		vs.Ping("B", 2)
+		vs.Ping("C", 0)
+	}
+	v, _ := vs.View()
+	if v.Num != 3 || v.Primary != "B" || v.Backup != "C" {
+		t.Fatalf("failover did not happen: %+v", v)
+	}
+	// The partition heals; A still believes in view 2.
+	if v = vs.Ping("A", 2); v.Primary != "B" {
+		t.Fatalf("healed primary reclaimed the role: %+v", v)
+	}
+	vs.Ping("B", 3) // B acks its promotion
+	for i := 0; i < 3; i++ {
+		vs.Tick()
+		vs.Ping("A", 2)
+		vs.Ping("B", 3)
+		vs.Ping("C", 3)
+	}
+	v, _ = vs.View()
+	if v.Primary != "B" || v.Backup != "C" {
+		t.Fatalf("deposed primary displaced a role holder: %+v", v)
+	}
+}
+
+// TestViewHealedPrimaryReenlistsAsBackup is the two-replica version: the
+// partitioned primary's old backup is promoted with no spare to enlist,
+// and when the partition heals the old primary is re-enlisted as the new
+// backup — state flows back to it by transfer, not by trust.
+func TestViewHealedPrimaryReenlistsAsBackup(t *testing.T) {
+	vs := NewViewService(ViewOptions{DeadPings: 3})
+	vs.Ping("A", 0)
+	vs.Ping("A", 1)
+	vs.Ping("B", 0)
+	vs.Ping("A", 2)
+
+	for i := 0; i < 3; i++ {
+		vs.Tick()
+		vs.Ping("B", 2)
+	}
+	v, _ := vs.View()
+	if v.Num != 3 || v.Primary != "B" || v.Backup != "" {
+		t.Fatalf("solo promotion missing: %+v", v)
+	}
+	vs.Ping("B", 3) // B acks
+	// A heals: its next ping (old view number) makes it the only idle
+	// live server, and the next tick enlists it as backup.
+	vs.Ping("A", 2)
+	vs.Tick()
+	v, _ = vs.View()
+	if v.Num != 4 || v.Primary != "B" || v.Backup != "A" {
+		t.Fatalf("healed primary not re-enlisted as backup: %+v", v)
+	}
+}
+
 func TestViewNoPromotionWithoutBackup(t *testing.T) {
 	vs := NewViewService(ViewOptions{DeadPings: 2})
 	vs.Ping("A", 0)

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -242,7 +243,7 @@ func normalizeWorkers(w int) int {
 // to c in selection order. Per-pair record order is preserved: a pair's
 // records live in one pair-shard column, columns are delivered day by day,
 // and within a shard records keep write order.
-func (s *Store) deliver(selected []*shardInfo, workers int, filter frameFilter, c Consumer) error {
+func (s *Store) deliver(ctx context.Context, selected []*shardInfo, workers int, filter frameFilter, c Consumer) error {
 	if len(selected) == 0 {
 		return nil
 	}
@@ -268,6 +269,12 @@ func (s *Store) deliver(selected []*shardInfo, workers int, filter frameFilter, 
 				i := int(next.Add(1)) - 1
 				if i >= len(selected) {
 					return
+				}
+				// A canceled caller stops paying for decodes; shards already
+				// claimed still drain through the ordered delivery loop.
+				if err := ctx.Err(); err != nil {
+					out[i] <- batch{err: err}
+					continue
 				}
 				recs, err := s.decodeShard(selected[i], filter)
 				out[i] <- batch{recs: recs, err: err}
@@ -305,7 +312,7 @@ func (s *Store) Scan(workers int, c Consumer) error {
 	for i := range s.shards {
 		selected[i] = &s.shards[i]
 	}
-	return s.deliver(selected, workers, nil, c)
+	return s.deliver(context.Background(), selected, workers, nil, c)
 }
 
 // Pairs streams only the records of the requested timeline keys, opening
@@ -313,6 +320,13 @@ func (s *Store) Scan(workers int, c Consumer) error {
 // then the footer's exact list or bloom filter) and skipping non-matching
 // frames without decoding them.
 func (s *Store) Pairs(workers int, keys []trace.PairKey, c Consumer) error {
+	return s.PairsCtx(context.Background(), workers, keys, c)
+}
+
+// PairsCtx is Pairs under a context: cancellation stops further shard
+// decodes and surfaces ctx.Err(). Records already decoded when the
+// context fires may still be delivered.
+func (s *Store) PairsCtx(ctx context.Context, workers int, keys []trace.PairKey, c Consumer) error {
 	if len(keys) == 0 {
 		return nil
 	}
@@ -342,7 +356,7 @@ func (s *Store) Pairs(workers int, keys []trace.PairKey, c Consumer) error {
 		}
 		selected = append(selected, sh)
 	}
-	return s.deliver(selected, workers, func(h trace.FrameHeader) bool { return want[h.Key] }, c)
+	return s.deliver(ctx, selected, workers, func(h trace.FrameHeader) bool { return want[h.Key] }, c)
 }
 
 // Pair streams the records of exactly one timeline key with At in
@@ -357,6 +371,13 @@ func (s *Store) Pairs(workers int, keys []trace.PairKey, c Consumer) error {
 // frame-header level without being decoded (asserted byte-for-byte by
 // TestPairPointLookupPushdown).
 func (s *Store) Pair(k trace.PairKey, from, to time.Duration, c Consumer) error {
+	return s.PairCtx(context.Background(), k, from, to, c)
+}
+
+// PairCtx is Pair under a context, checked between shard decodes: a
+// canceled query stops after the shard it is in, so an abandoned HTTP
+// request stops consuming decode CPU within one shard's work.
+func (s *Store) PairCtx(ctx context.Context, k trace.PairKey, from, to time.Duration, c Consumer) error {
 	col := PairShardOf(k, s.man.PairShards)
 	filter := func(h trace.FrameHeader) bool {
 		return h.Key == k && h.At >= from && (to < 0 || h.At < to)
@@ -367,6 +388,9 @@ func (s *Store) Pair(k trace.PairKey, from, to time.Duration, c Consumer) error 
 			sh.ix.MaxAt < from || (to >= 0 && sh.ix.MinAt >= to) {
 			s.prunedC.Inc()
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		recs, err := s.decodeShard(sh, filter)
 		if err != nil {
@@ -423,7 +447,7 @@ func (s *Store) TimeRange(workers int, from, to time.Duration, c Consumer) error
 		}
 		selected = append(selected, sh)
 	}
-	return s.deliver(selected, workers, func(h trace.FrameHeader) bool {
+	return s.deliver(context.Background(), selected, workers, func(h trace.FrameHeader) bool {
 		return h.At >= from && (to < 0 || h.At < to)
 	}, c)
 }
